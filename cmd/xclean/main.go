@@ -1,0 +1,144 @@
+// Command xclean indexes an XML document and suggests clean
+// alternative queries, either one-shot or interactively:
+//
+//	xclean -doc corpus.xml "hinrich schutze geo-taging"
+//	xclean -doc corpus.xml -semantics slca -k 5 "rose architecure fpga"
+//	xclean -doc corpus.xml            # interactive REPL on stdin
+//
+// Indexing dominates startup on large documents; save the index once
+// and reopen it per session:
+//
+//	xclean -doc corpus.xml -save-index corpus.idx
+//	xclean -index corpus.idx "rose architecure fpga"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"xclean"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xclean: ")
+	var (
+		doc       = flag.String("doc", "", "XML document to index")
+		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
+		saveIndex = flag.String("save-index", "", "write the index to this file and exit")
+		k         = flag.Int("k", 10, "suggestions to return")
+		eps       = flag.Int("eps", 2, "max edit errors per keyword")
+		beta      = flag.Float64("beta", 5, "error penalty β")
+		semantics = flag.String("semantics", "type", "entity semantics: type, slca, or elca")
+		bigram    = flag.Bool("bigram", false, "enable the bigram coherence extension")
+		compact   = flag.Bool("compact", false, "store posting lists block-compressed")
+		stream    = flag.Bool("stream", false, "index the document as a stream (constant extra memory)")
+		spaces    = flag.Bool("spaces", false, "also explore space insertions/deletions")
+		verbose   = flag.Bool("v", false, "print result types and entity counts")
+	)
+	flag.Parse()
+	if (*doc == "") == (*index == "") {
+		log.Print("exactly one of -doc or -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := xclean.Options{
+		MaxErrors:       *eps,
+		ErrorPenalty:    *beta,
+		TopK:            *k,
+		BigramCoherence: *bigram,
+		CompactPostings: *compact,
+	}
+	switch *semantics {
+	case "type":
+	case "slca":
+		opts.Semantics = xclean.SemanticsSLCA
+	case "elca":
+		opts.Semantics = xclean.SemanticsELCA
+	default:
+		log.Fatalf("unknown semantics %q (want type, slca, or elca)", *semantics)
+	}
+
+	start := time.Now()
+	var (
+		eng *xclean.Engine
+		err error
+	)
+	switch {
+	case *doc != "" && *stream:
+		var f *os.File
+		if f, err = os.Open(*doc); err == nil {
+			eng, err = xclean.OpenStreaming(f, opts)
+			f.Close()
+		}
+	case *doc != "":
+		eng, err = xclean.OpenFile(*doc, opts)
+	default:
+		eng, err = xclean.OpenIndexFile(*index, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "indexed in %v: %d nodes, %d terms, %d tokens\n",
+		time.Since(start).Round(time.Millisecond), st.Nodes, st.DistinctTerms, st.Tokens)
+
+	if *saveIndex != "" {
+		f, err := os.Create(*saveIndex)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.SaveIndex(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveIndex)
+		return
+	}
+
+	ask := func(q string) {
+		t := time.Now()
+		var sugs []xclean.Suggestion
+		if *spaces {
+			sugs = eng.SuggestWithSpaces(q)
+		} else {
+			sugs = eng.Suggest(q)
+		}
+		elapsed := time.Since(t)
+		if len(sugs) == 0 {
+			fmt.Printf("no valid suggestions for %q (%v)\n", q, elapsed.Round(time.Microsecond))
+			return
+		}
+		for i, s := range sugs {
+			if *verbose {
+				fmt.Printf("%2d. %-40s score=%.3g entities=%d type=%s\n",
+					i+1, s.Query, s.Score, s.Entities, s.ResultType)
+			} else {
+				fmt.Printf("%2d. %s\n", i+1, s.Query)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "(%v)\n", elapsed.Round(time.Microsecond))
+	}
+
+	if flag.NArg() > 0 {
+		ask(strings.Join(flag.Args(), " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprint(os.Stderr, "query> ")
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q != "" {
+			ask(q)
+		}
+		fmt.Fprint(os.Stderr, "query> ")
+	}
+}

@@ -1,0 +1,91 @@
+// Command xgen generates the synthetic corpora and query sets used by
+// the experiments, writing them to disk so they can be inspected or
+// fed to cmd/xclean:
+//
+//	xgen -out corpus.xml -kind dblp -articles 20000 -queries 50
+//	xgen -out wiki.xml   -kind wiki -articles 2000
+//
+// Alongside the XML it writes <out>.queries.tsv with one
+// "set<TAB>dirty<TAB>truth" line per query.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xclean/internal/dataset"
+	"xclean/internal/invindex"
+	"xclean/internal/queryset"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xgen: ")
+	var (
+		out      = flag.String("out", "corpus.xml", "output XML path")
+		kind     = flag.String("kind", "dblp", "corpus kind: dblp or wiki")
+		articles = flag.Int("articles", 0, "number of articles (0 = kind default)")
+		queries  = flag.Int("queries", 50, "clean queries to sample")
+		seed     = flag.Int64("seed", 42, "generation seed")
+	)
+	flag.Parse()
+
+	var tree *xmltree.Tree
+	var clean []string
+	switch *kind {
+	case "dblp":
+		c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: *seed, Articles: *articles})
+		tree, clean = c.Tree, c.SampleQueries(*seed+1, *queries)
+	case "wiki":
+		c := dataset.GenerateWiki(dataset.WikiConfig{Seed: *seed, Articles: *articles})
+		tree, clean = c.Tree, c.SampleQueries(*seed+1, *queries)
+	default:
+		log.Fatalf("unknown -kind %q (want dblp or wiki)", *kind)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := tree.WriteXML(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st := tree.ComputeStats()
+	fmt.Printf("wrote %s: %.1f MB, %d nodes, max depth %d, avg depth %.2f\n",
+		*out, float64(n)/(1<<20), st.Nodes, st.MaxDepth, st.AvgDepth())
+
+	ix := invindex.Build(tree, tokenizer.Options{})
+	p := queryset.NewPerturber(*seed+2, ix.Vocab)
+	qpath := *out + ".queries.tsv"
+	qf, err := os.Create(qpath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(qf)
+	count := 0
+	emit := func(set string, qs []queryset.Query) {
+		for _, q := range qs {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", set, q.Dirty, q.Truth)
+			count++
+		}
+	}
+	emit("CLEAN", queryset.MakeClean(clean))
+	emit("RAND", p.MakeRand(clean))
+	emit("RULE", p.MakeRule(clean))
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := qf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d queries\n", qpath, count)
+}

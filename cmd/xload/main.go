@@ -1,0 +1,88 @@
+// Command xload drives a running xserve instance with reproducible,
+// optionally Zipf-skewed suggestion traffic and reports throughput and
+// latency percentiles:
+//
+//	xgen  -out corpus.xml -kind dblp -articles 20000 -queries 200
+//	xserve -doc corpus.xml -addr :8080 &
+//	xload -url http://localhost:8080 -queryfile corpus.xml.queries.tsv -n 5000 -c 16 -zipf 1.2
+//
+// Query files are either plain text (one query per line) or the TSV
+// that cmd/xgen writes (set<TAB>dirty<TAB>truth; the dirty column is
+// used).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xclean/internal/load"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xload: ")
+	var (
+		baseURL   = flag.String("url", "http://localhost:8080", "service base URL")
+		queryFile = flag.String("queryfile", "", "query pool file (required)")
+		n         = flag.Int("n", 1000, "total requests")
+		c         = flag.Int("c", 8, "concurrent workers")
+		zipf      = flag.Float64("zipf", 1.2, "query popularity skew (≤1 = uniform)")
+		seed      = flag.Int64("seed", 42, "traffic seed")
+	)
+	flag.Parse()
+	if *queryFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	queries, err := readQueries(*queryFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(queries) == 0 {
+		log.Fatalf("no queries in %s", *queryFile)
+	}
+	fmt.Fprintf(os.Stderr, "xload: %d queries, %d requests, %d workers, zipf=%.2f\n",
+		len(queries), *n, *c, *zipf)
+
+	res, err := load.Run(load.Config{
+		BaseURL:  strings.TrimRight(*baseURL, "/"),
+		Queries:  queries,
+		Requests: *n,
+		Workers:  *c,
+		ZipfS:    *zipf,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}
+
+// readQueries loads one query per line; TSV lines contribute their
+// second (dirty) column.
+func readQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if cols := strings.Split(line, "\t"); len(cols) >= 2 {
+			out = append(out, cols[1])
+		} else {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,140 @@
+// Command xserve runs the XClean suggestion service over HTTP:
+//
+//	xserve -doc corpus.xml -addr :8080
+//	xserve -index corpus.idx -addr :8080 -semantics slca
+//
+//	curl 'localhost:8080/suggest?q=hinrich+schutze+geo-taging'
+//	curl 'localhost:8080/stats'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xclean"
+	"xclean/internal/qlog"
+	"xclean/internal/server"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xserve: ")
+	var (
+		doc       = flag.String("doc", "", "XML document to index")
+		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		k         = flag.Int("k", 10, "suggestions to return")
+		eps       = flag.Int("eps", 2, "max edit errors per keyword")
+		beta      = flag.Float64("beta", 5, "error penalty β")
+		semantics = flag.String("semantics", "type", "entity semantics: type, slca, or elca")
+		bigram    = flag.Bool("bigram", false, "enable the bigram coherence extension")
+		compact   = flag.Bool("compact", false, "store posting lists block-compressed")
+		store     = flag.Bool("store-text", false, "store document text for ?preview=1 responses")
+		qlogPath  = flag.String("qlog", "", "query-log file: loaded at startup (entity priors), appended on shutdown")
+		cacheSize = flag.Int("cache", 1024, "suggestion LRU cache entries (0 disables)")
+		quiet     = flag.Bool("q", false, "disable request logging")
+	)
+	flag.Parse()
+	if (*doc == "") == (*index == "") {
+		log.Print("exactly one of -doc or -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := xclean.Options{
+		MaxErrors:       *eps,
+		ErrorPenalty:    *beta,
+		TopK:            *k,
+		BigramCoherence: *bigram,
+		CompactPostings: *compact,
+		StoreText:       *store,
+	}
+
+	var queryLog *qlog.Log
+	if *qlogPath != "" {
+		queryLog = qlog.New(tokenizer.Options{})
+		if f, err := os.Open(*qlogPath); err == nil {
+			if err := queryLog.Load(f); err != nil {
+				log.Fatalf("load query log: %v", err)
+			}
+			f.Close()
+			// Recorded clicks become the entity prior of Eq. (8).
+			if priors := queryLog.EntityPriors(); len(priors) > 0 {
+				opts.EntityPrior = xclean.PriorCustom
+				opts.EntityWeights = make(map[string]float64, len(priors))
+				for key, w := range priors {
+					opts.EntityWeights[xmltree.DeweyFromKey(key).String()] = w
+				}
+				fmt.Fprintf(os.Stderr, "xserve: %d entity priors from %s\n", len(priors), *qlogPath)
+			}
+		}
+	}
+	switch *semantics {
+	case "type":
+	case "slca":
+		opts.Semantics = xclean.SemanticsSLCA
+	case "elca":
+		opts.Semantics = xclean.SemanticsELCA
+	default:
+		log.Fatalf("unknown semantics %q (want type, slca, or elca)", *semantics)
+	}
+
+	start := time.Now()
+	var (
+		eng *xclean.Engine
+		err error
+	)
+	if *doc != "" {
+		eng, err = xclean.OpenFile(*doc, opts)
+	} else {
+		eng, err = xclean.OpenIndexFile(*index, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "xserve: ready in %v: %d nodes, %d terms, %d tokens\n",
+		time.Since(start).Round(time.Millisecond), st.Nodes, st.DistinctTerms, st.Tokens)
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "xserve: ", 0)
+	}
+	srv := server.New(eng, server.Config{
+		Addr:      *addr,
+		Logger:    logger,
+		QueryLog:  queryLog,
+		CacheSize: *cacheSize,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "xserve: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if queryLog != nil {
+		f, err := os.Create(*qlogPath)
+		if err != nil {
+			log.Fatalf("save query log: %v", err)
+		}
+		if err := queryLog.Save(f); err != nil {
+			log.Fatalf("save query log: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("save query log: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "xserve: query log saved to %s\n", *qlogPath)
+	}
+	fmt.Fprintln(os.Stderr, "xserve: shut down")
+}

@@ -1,0 +1,57 @@
+// Figure 1 of the paper, runnable: the PY08 scoring function prefers
+// the rare, disconnected token "instance" to the frequent, connected
+// "insurance" for the query "health insurance", while XClean's
+// result-quality scoring keeps the right answer and refuses to suggest
+// the root-only-connected alternative at all.
+//
+//	go run ./examples/biasdemo
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"xclean"
+	"xclean/internal/baseline"
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func main() {
+	// Build Figure 1's corpus: many records pairing health+insurance,
+	// one unrelated note containing the rare word "instance".
+	var b strings.Builder
+	b.WriteString("<db>")
+	for i := 0; i < 8; i++ {
+		b.WriteString("<record><title>health insurance policy</title>")
+		b.WriteString("<body>national health insurance coverage details</body></record>")
+	}
+	b.WriteString("<note><text>instance</text></note></db>")
+
+	tree, err := xmltree.Parse(strings.NewReader(b.String()))
+	if err != nil {
+		panic(err)
+	}
+	ix := invindex.Build(tree, tokenizer.Options{})
+
+	query := "health insurance"
+	fmt.Printf("query: %q\n", query)
+	fmt.Printf("df(insurance)=%d (frequent, co-occurs with health)\n", ix.DocFreq("insurance"))
+	fmt.Printf("df(instance)=%d (rare, connected to health only via the root)\n\n", ix.DocFreq("instance"))
+
+	py := baseline.NewPY08(ix, core.Config{Epsilon: 2, K: 3})
+	fmt.Println("PY08 (max-tfidf per keyword — rare-token bias):")
+	for i, s := range py.Suggest(query) {
+		fmt.Printf("  %d. %s\n", i+1, s.Query())
+	}
+
+	eng := xclean.FromIndex(ix, xclean.Options{MaxErrors: 2, TopK: 3})
+	fmt.Println("\nXClean (result-quality scoring):")
+	for i, s := range eng.Suggest(query) {
+		fmt.Printf("  %d. %-20s entities=%d type=%s\n", i+1, s.Query, s.Entities, s.ResultType)
+	}
+	fmt.Println("\nnote: 'health instance' is absent from XClean's list — it has no")
+	fmt.Println("connected result below the root, so it is never suggested.")
+}

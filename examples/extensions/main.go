@@ -1,0 +1,134 @@
+// Extensions: a tour of everything beyond the paper's core algorithm —
+// space errors (Sec. VI-A), phonetic and synonym variants (Sec. VI-A),
+// SLCA/ELCA semantics (Sec. VI-B and beyond), the bigram coherence
+// factor, entity priors, compressed postings, incremental document
+// addition, and result previews.
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xclean"
+)
+
+const corpus = `<catalog>
+  <product>
+    <name>powerpoint presentation templates</name>
+    <blurb>professional slides for business presentations</blurb>
+  </product>
+  <product>
+    <name>health insurance policy builder</name>
+    <blurb>compare health insurance plans and premiums</blurb>
+  </product>
+  <product>
+    <name>health insurance claims assistant</name>
+    <blurb>track health insurance claims status easily</blurb>
+  </product>
+  <product>
+    <name>instance health</name>
+  </product>
+  <product>
+    <name>smith forecasting engine</name>
+    <blurb>time series prediction by smyth methods</blurb>
+  </product>
+</catalog>`
+
+func open(opts xclean.Options) *xclean.Engine {
+	eng, err := xclean.Open(strings.NewReader(corpus), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return eng
+}
+
+func show(title, query string, sugs []xclean.Suggestion) {
+	fmt.Printf("%s\n  query: %q\n", title, query)
+	if len(sugs) == 0 {
+		fmt.Println("  (no valid suggestion)")
+		return
+	}
+	for i, s := range sugs {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("  %d. %s\n", i+1, s.Query)
+	}
+}
+
+func main() {
+	// 1. Space errors (Section VI-A): "power point" → "powerpoint".
+	e := open(xclean.Options{})
+	show("1. space errors", "power point", e.SuggestWithSpaces("power point"))
+
+	// 2. Phonetic (cognitive) errors: "helth inshurance" is 2-3 edits
+	// out, but Soundex-equal to the intended words.
+	e = open(xclean.Options{PhoneticMatching: true})
+	show("\n2. phonetic matching", "inshurance premums",
+		e.Suggest("inshurance premums"))
+
+	// 3. Synonyms from a small thesaurus.
+	e = open(xclean.Options{Synonyms: map[string][]string{
+		"meeting": {"presentation", "presentations"},
+	}})
+	show("\n3. synonyms", "business meeting", e.Suggest("business meeting"))
+
+	// 4. Bigram coherence: "health instance" combines frequent words,
+	// but only "health insurance" is an attested phrase.
+	plain := open(xclean.Options{MaxErrors: 2, ErrorPenalty: -1, Smoothing: 1})
+	bigram := open(xclean.Options{MaxErrors: 2, ErrorPenalty: -1, Smoothing: 1,
+		BigramCoherence: true})
+	q := "health insurnce"
+	show("\n4a. unigram only", q, plain.Suggest(q))
+	show("4b. with bigram coherence", q, bigram.Suggest(q))
+
+	// 5. Previews: the witness entity makes the non-empty-result
+	// guarantee tangible.
+	e = open(xclean.Options{StoreText: true})
+	sugs := e.Suggest("helth insurance")
+	if len(sugs) > 0 {
+		fmt.Printf("\n5. previews\n  query: %q\n  1. %s\n     witness %s: %.60s…\n",
+			"helth insurance", sugs[0].Query, sugs[0].Witness,
+			e.Preview(sugs[0], 60))
+	}
+
+	// 6. Incremental growth: new vocabulary is searchable immediately.
+	e = open(xclean.Options{})
+	if got := e.Suggest("quantum toolkit"); got == nil {
+		fmt.Println("\n6. incremental add\n  before: no results for \"quantum toolkit\"")
+	}
+	err := e.AddDocument(strings.NewReader(
+		`<product><name>quantum computing toolkit</name></product>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("  after AddDocument", "quantun toolkit", e.Suggest("quantun toolkit"))
+
+	// 7. Semantics: the same dirty query under all three entity
+	// decompositions.
+	for _, sem := range []struct {
+		name string
+		s    xclean.Semantics
+	}{
+		{"result-type", xclean.SemanticsResultType},
+		{"SLCA", xclean.SemanticsSLCA},
+		{"ELCA", xclean.SemanticsELCA},
+	} {
+		e := open(xclean.Options{Semantics: sem.s})
+		sugs := e.Suggest("smith forcasting")
+		top := "(none)"
+		if len(sugs) > 0 {
+			top = sugs[0].Query
+		}
+		fmt.Printf("\n7. %-11s top: %s", sem.name, top)
+	}
+	fmt.Println()
+
+	// 8. Compressed postings: identical answers, smaller index.
+	compact := open(xclean.Options{CompactPostings: true})
+	show("\n8. compressed postings", "powerpint templates",
+		compact.Suggest("powerpint templates"))
+}

@@ -1,0 +1,88 @@
+// Largescale: index a corpus the memory-frugal way — streaming
+// construction (no materialized tree) plus block-compressed posting
+// lists — and compare footprint and query latency against the default
+// path. This is the configuration for documents in the paper's INEX
+// class (multi-GB), scaled to run in seconds.
+//
+//	go run ./examples/largescale
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"time"
+
+	"xclean"
+	"xclean/internal/dataset"
+)
+
+func heapMB() float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return float64(m.HeapAlloc) / (1 << 20)
+}
+
+func main() {
+	const articles = 15000
+	corpus := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 13, Articles: articles})
+	var xmlDoc strings.Builder
+	if _, err := corpus.Tree.WriteXML(&xmlDoc); err != nil {
+		log.Fatal(err)
+	}
+	doc := xmlDoc.String()
+	queries := corpus.SampleQueries(14, 25)
+	corpus = nil // the generator's tree is no longer needed
+
+	fmt.Printf("corpus: %d articles, %.1f MB of XML\n\n", articles,
+		float64(len(doc))/(1<<20))
+
+	type variant struct {
+		name string
+		open func() (*xclean.Engine, error)
+	}
+	variants := []variant{
+		{"tree build, raw postings", func() (*xclean.Engine, error) {
+			return xclean.Open(strings.NewReader(doc), xclean.Options{MaxErrors: 2})
+		}},
+		{"streaming build, compressed postings", func() (*xclean.Engine, error) {
+			return xclean.OpenStreaming(strings.NewReader(doc),
+				xclean.Options{MaxErrors: 2, CompactPostings: true})
+		}},
+	}
+
+	for _, v := range variants {
+		before := heapMB()
+		t0 := time.Now()
+		eng, err := v.open()
+		if err != nil {
+			log.Fatal(err)
+		}
+		buildTime := time.Since(t0)
+		after := heapMB()
+
+		// Query latency over perturbed clean queries.
+		var worst, total time.Duration
+		for _, q := range queries {
+			dirty := q[:len(q)-1] + "z"
+			t0 := time.Now()
+			sugs := eng.Suggest(dirty)
+			d := time.Since(t0)
+			total += d
+			if d > worst {
+				worst = d
+			}
+			if len(sugs) == 0 {
+				log.Fatalf("%s: no suggestion for %q", v.name, dirty)
+			}
+		}
+		fmt.Printf("%s\n", v.name)
+		fmt.Printf("  build %v, resident ≈ %.0f MB\n", buildTime.Round(time.Millisecond), after-before)
+		fmt.Printf("  query mean %v, worst %v over %d queries\n\n",
+			(total / time.Duration(len(queries))).Round(time.Microsecond),
+			worst.Round(time.Microsecond), len(queries))
+		runtime.KeepAlive(eng)
+	}
+}

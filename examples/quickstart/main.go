@@ -1,0 +1,68 @@
+// Quickstart: index a small XML document and clean a few misspelt
+// keyword queries using only the public xclean API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xclean"
+)
+
+const bibliography = `<dblp>
+  <article>
+    <author>hinrich schutze</author>
+    <title>introduction to information retrieval</title>
+    <year>2008</year>
+  </article>
+  <article>
+    <author>hinrich schutze</author>
+    <title>automatic geo tagging of text documents</title>
+    <year>2009</year>
+  </article>
+  <article>
+    <author>jonathan rose</author>
+    <title>fpga architecture synthesis and routing</title>
+    <year>2001</year>
+  </article>
+  <article>
+    <author>mary fisher</author>
+    <title>keyword search over xml databases</title>
+    <year>2007</year>
+  </article>
+</dblp>`
+
+func main() {
+	eng, err := xclean.Open(strings.NewReader(bibliography), xclean.Options{
+		MaxErrors: 2, // allow up to two typos per keyword
+		TopK:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("indexed %d nodes, %d distinct terms\n\n", st.Nodes, st.DistinctTerms)
+
+	queries := []string{
+		"schutze geo taging",     // Section I's motivating typo
+		"rose architecure fpga",  // keyboard slip
+		"keyward search databse", // two dirty keywords
+		"fisher xml search",      // already clean: suggested as-is
+	}
+	for _, q := range queries {
+		fmt.Printf("query: %q\n", q)
+		sugs := eng.Suggest(q)
+		if len(sugs) == 0 {
+			fmt.Println("  no valid suggestion")
+			continue
+		}
+		for i, s := range sugs {
+			fmt.Printf("  %d. %-35s (results in %d %s entities)\n",
+				i+1, s.Query, s.Entities, s.ResultType)
+		}
+		fmt.Println()
+	}
+}

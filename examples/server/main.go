@@ -1,0 +1,117 @@
+// Server: run the XClean "Did you mean" HTTP service on a generated
+// bibliography, exercise it with a client (suggestions with previews,
+// clicks, top queries), and shut down gracefully — the online
+// deployment the paper's introduction motivates.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"xclean"
+	"xclean/internal/dataset"
+	"xclean/internal/qlog"
+	"xclean/internal/server"
+	"xclean/internal/tokenizer"
+)
+
+func main() {
+	// A seeded 2000-article bibliography stands in for DBLP.
+	corpus := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 7, Articles: 2000})
+	eng := xclean.FromTree(corpus.Tree, xclean.Options{
+		MaxErrors: 2,
+		TopK:      3,
+		StoreText: true, // enable ?preview=1
+	})
+	st := eng.Stats()
+	fmt.Printf("indexed %d nodes, %d terms\n", st.Nodes, st.DistinctTerms)
+
+	queryLog := qlog.New(tokenizer.Options{})
+	srv := server.New(eng, server.Config{QueryLog: queryLog})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// Pick a real clean query from the corpus and dirty it up.
+	clean := corpus.SampleQueries(8, 1)[0]
+	dirty := clean[:len(clean)-1] + "x" // inject one trailing typo
+
+	fmt.Printf("GET /suggest?q=%q&preview=1\n", dirty)
+	var sr server.SuggestResponse
+	getJSON(base+"/suggest?preview=1&q="+urlEscape(dirty), &sr)
+	for i, s := range sr.Suggestions {
+		fmt.Printf("  %d. %-40s witness=%s\n", i+1, s.Query, s.Witness)
+		if s.Preview != "" {
+			fmt.Printf("     preview: %.70s\n", s.Preview)
+		}
+	}
+
+	// The user clicks the top suggestion's witness entity.
+	if len(sr.Suggestions) > 0 {
+		w := sr.Suggestions[0].Witness
+		resp, err := http.Post(base+"/click?entity="+w, "", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("\nPOST /click?entity=%s -> %s\n", w, resp.Status)
+	}
+
+	// Popularity surfaces in the query log.
+	var top []qlog.QueryFreq
+	getJSON(base+"/topqueries?n=3", &top)
+	fmt.Println("\nGET /topqueries:")
+	for _, row := range top {
+		fmt.Printf("  %4d  %s\n", row.Count, row.Query)
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		log.Fatal("shutdown timed out")
+	}
+	q, c := queryLog.Len()
+	fmt.Printf("\nshut down cleanly; query log holds %d queries, %d clicked entities\n", q, c)
+}
+
+func getJSON(url string, v interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func urlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			out = append(out, '+')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,66 @@
+// Document-centric search — the paper's INEX/Wikipedia scenario.
+//
+// Demonstrates (1) cleaning over deep, prose-heavy XML, (2) the
+// result-type vs SLCA semantics comparison of Section VI-B, and
+// (3) the space-error extension of Section VI-A.
+//
+//	go run ./examples/wiki
+package main
+
+import (
+	"fmt"
+
+	"xclean"
+	"xclean/internal/dataset"
+	"xclean/internal/invindex"
+	"xclean/internal/queryset"
+	"xclean/internal/tokenizer"
+)
+
+func main() {
+	corpus := dataset.GenerateWiki(dataset.WikiConfig{Seed: 3, Articles: 1500})
+	ix := invindex.Build(corpus.Tree, tokenizer.Options{})
+
+	typeEng := xclean.FromIndex(ix, xclean.Options{MaxErrors: 2, TopK: 3})
+	slcaEng := xclean.FromIndex(ix, xclean.Options{
+		MaxErrors: 2, TopK: 3, Semantics: xclean.SemanticsSLCA,
+	})
+
+	st := typeEng.Stats()
+	fmt.Printf("wiki collection: %d nodes, max depth %d, %d terms\n\n",
+		st.Nodes, st.MaxDepth, st.DistinctTerms)
+
+	pert := queryset.NewPerturber(5, ix.Vocab)
+	for _, cq := range corpus.SampleQueries(9, 6) {
+		dirty, ok := pert.Rand(cq)
+		if !ok {
+			continue
+		}
+		fmt.Printf("dirty : %s   (truth: %s)\n", dirty, cq)
+		if s := typeEng.Suggest(dirty); len(s) > 0 {
+			fmt.Printf("  type semantics : %s  -> %d entities of %s\n",
+				s[0].Query, s[0].Entities, s[0].ResultType)
+		} else {
+			fmt.Println("  type semantics : no suggestion")
+		}
+		if s := slcaEng.Suggest(dirty); len(s) > 0 {
+			fmt.Printf("  SLCA semantics : %s  -> %d SLCA entities\n",
+				s[0].Query, s[0].Entities)
+		} else {
+			fmt.Println("  SLCA semantics : no suggestion")
+		}
+		fmt.Println()
+	}
+
+	// Space errors (Section VI-A): the corpus indexes e.g. "greenland";
+	// a user typing "green land" gets the merged form suggested.
+	fmt.Println("space-error cleaning:")
+	for _, q := range []string{"green land glacier", "ice land"} {
+		sugs := typeEng.SuggestWithSpaces(q)
+		if len(sugs) == 0 {
+			fmt.Printf("  %-22s -> no suggestion\n", q)
+			continue
+		}
+		fmt.Printf("  %-22s -> %s\n", q, sugs[0].Query)
+	}
+}

@@ -1,0 +1,60 @@
+package xclean
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun compiles every example and runs it to
+// completion, guarding the documented entry points against rot. Run
+// with -short to skip (the examples generate corpora and take a few
+// seconds each).
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 7 {
+		t.Fatalf("expected ≥7 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, out)
+				}
+				if len(out) == 0 {
+					t.Error("example produced no output")
+				}
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module xclean
+
+go 1.22

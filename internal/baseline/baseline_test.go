@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// biasTree reproduces Figure 1: frequent "insurance" co-occurs with
+// "health"; rare "instance" sits in an unrelated branch.
+func biasTree() *xmltree.Tree {
+	t := xmltree.NewTree("db")
+	for i := 0; i < 5; i++ {
+		rec := t.AddChild(t.Root, "record", "")
+		t.AddChild(rec, "title", "health insurance policy")
+		t.AddChild(rec, "body", "national health insurance coverage details")
+	}
+	other := t.AddChild(t.Root, "note", "")
+	t.AddChild(other, "text", "instance")
+	return t
+}
+
+func findSuggestion(sugs []core.Suggestion, query string) (core.Suggestion, bool) {
+	for _, s := range sugs {
+		if s.Query() == query {
+			return s, true
+		}
+	}
+	return core.Suggestion{}, false
+}
+
+func TestPY08RareTokenBias(t *testing.T) {
+	tr := biasTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	py := NewPY08(ix, core.Config{Epsilon: 2})
+
+	// Figure 1's query is the *clean* "health insurance"; instance is
+	// within 2 edits of insurance and PY08 still prefers it.
+	sugs := py.Suggest("health insurance")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "health instance" {
+		t.Errorf("PY08 top=%q, expected the biased 'health instance'", sugs[0].Query())
+	}
+	// XClean on the same corpus keeps the connected frequent token.
+	xc := core.NewEngine(ix, core.Config{Epsilon: 2})
+	xsugs := xc.Suggest("health insurance")
+	if len(xsugs) == 0 || xsugs[0].Query() != "health insurance" {
+		t.Errorf("XClean top=%v, want 'health insurance'", xsugs)
+	}
+	if _, ok := findSuggestion(xsugs, "health instance"); ok {
+		t.Error("XClean suggested the root-only-connected 'health instance'")
+	}
+}
+
+func TestPY08TopKAndGamma(t *testing.T) {
+	tr := biasTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	py := NewPY08(ix, core.Config{Epsilon: 2, K: 2})
+	if got := py.Suggest("health insurence"); len(got) > 2 {
+		t.Errorf("K=2 violated: %d", len(got))
+	}
+	py1 := NewPY08(ix, core.Config{Epsilon: 2, Gamma: 1})
+	if got := py1.Suggest("health insurence"); len(got) != 1 {
+		t.Errorf("gamma=1 should emit exactly one combo, got %d", len(got))
+	}
+}
+
+func TestPY08EmptyAndHopeless(t *testing.T) {
+	tr := biasTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	py := NewPY08(ix, core.Config{})
+	if got := py.Suggest(""); got != nil {
+		t.Errorf("empty -> %v", got)
+	}
+	if got := py.Suggest("zzzzzz"); got != nil {
+		t.Errorf("hopeless -> %v", got)
+	}
+}
+
+func TestPY08ScoresDescending(t *testing.T) {
+	tr := biasTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	py := NewPY08(ix, core.Config{Epsilon: 2})
+	sugs := py.Suggest("health insurence")
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i-1].Score < sugs[i].Score {
+			t.Errorf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestTopCombos(t *testing.T) {
+	perKW := [][]py08Variant{
+		{{word: "a1", score: 10}, {word: "a2", score: 1}},
+		{{word: "b1", score: 5}, {word: "b2", score: 4}},
+	}
+	combos := topCombos(perKW, 10)
+	if len(combos) != 4 {
+		t.Fatalf("got %d combos", len(combos))
+	}
+	wantScores := []float64{15, 14, 6, 5}
+	for i, c := range combos {
+		if c.score != wantScores[i] {
+			t.Errorf("combo %d score=%g want %g", i, c.score, wantScores[i])
+		}
+	}
+	// Bounded enumeration.
+	if got := topCombos(perKW, 2); len(got) != 2 {
+		t.Errorf("limit violated: %d", len(got))
+	}
+}
+
+func TestLogCorrectorCleanQueryKept(t *testing.T) {
+	lc := NewLogCorrector(map[string]int64{
+		"great barrier reef": 100,
+		"health insurance":   50,
+	}, nil, LogConfig{})
+	sugs := lc.Suggest("great barrier reef")
+	if len(sugs) != 1 || sugs[0].Query() != "great barrier reef" {
+		t.Errorf("clean query altered: %v", sugs)
+	}
+	if sugs[0].EditDistance != 0 {
+		t.Error("clean query distance nonzero")
+	}
+}
+
+func TestLogCorrectorRuleHit(t *testing.T) {
+	lc := NewLogCorrector(map[string]int64{
+		"great barrier reef": 100,
+	}, map[string]string{"gerat": "great"}, LogConfig{})
+	sugs := lc.Suggest("gerat barrier reef")
+	if sugs[0].Query() != "great barrier reef" {
+		t.Errorf("rule correction failed: %v", sugs)
+	}
+}
+
+func TestLogCorrectorPopularityBias(t *testing.T) {
+	// The paper's Section I example: "tige serum" should stay (it is a
+	// valid rare term), but a log-based corrector rewrites it to the
+	// popular "tigi serum".
+	lc := NewLogCorrector(map[string]int64{
+		"tigi serum": 1000,
+	}, nil, LogConfig{})
+	sugs := lc.Suggest("tige serum")
+	if sugs[0].Query() != "tigi serum" {
+		t.Errorf("popularity bias not reproduced: %v", sugs)
+	}
+}
+
+func TestLogCorrectorEditFallback(t *testing.T) {
+	lc := NewLogCorrector(map[string]int64{
+		"barrier reef": 10,
+	}, nil, LogConfig{})
+	sugs := lc.Suggest("barier reef")
+	if sugs[0].Query() != "barrier reef" {
+		t.Errorf("edit fallback failed: %v", sugs)
+	}
+}
+
+func TestLogCorrectorUnknownToken(t *testing.T) {
+	lc := NewLogCorrector(map[string]int64{"reef": 1}, nil, LogConfig{})
+	sugs := lc.Suggest("xqzwvut reef")
+	if len(sugs) != 1 {
+		t.Fatalf("sugs=%v", sugs)
+	}
+	// Token too far from anything: kept verbatim.
+	if sugs[0].Words[0] != "xqzwvut" {
+		t.Errorf("unknown token rewritten: %v", sugs)
+	}
+}
+
+func TestLogCorrectorEmpty(t *testing.T) {
+	lc := NewLogCorrector(nil, nil, LogConfig{})
+	if got := lc.Suggest(""); got != nil {
+		t.Errorf("empty -> %v", got)
+	}
+}

@@ -1,0 +1,233 @@
+// The HMM baseline: Pu's follow-up to PY08 (reference [7] of the
+// paper), which models query generation as a Hidden Markov Model. The
+// paper's related-work section describes it precisely enough to
+// reproduce its behaviour: every database node approximately matching
+// a query keyword is a state, the user is assumed to "sequentially
+// travel" the database emitting one keyword per step, and aggressive
+// state pruning keeps the state space tractable.
+//
+// The implementation follows that description:
+//
+//   - States at position j are (node, variant) pairs: node's direct
+//     text contains variant, variant ∈ var_ε(q_j).
+//   - Emission probability is the same exponential edit-error model
+//     XClean uses, P(q_j|w) ∝ exp(-β·ed(q_j,w)), so the comparison
+//     isolates the generation model.
+//   - Transition probability decays with tree distance:
+//     P(s→s') ∝ r^dist(n,n'), dist = depth(n)+depth(n')−2·depth(lca).
+//     Nearby nodes are likely successors; nodes connected only through
+//     the root are heavily discounted but — unlike XClean — never
+//     excluded, so the model cannot guarantee non-empty results.
+//   - Per-position states are pruned to the MaxStates best by emission
+//     × tf weight (the "aggressive states pruning" the paper notes may
+//     hurt quality).
+//   - Viterbi decoding returns the top-k distinct keyword sequences
+//     among the best paths into each final state.
+//
+// Both weaknesses the paper analyzes emerge naturally: the state space
+// grows with the data (so pruning discards good paths), and the
+// sequential-travel assumption mis-scores queries that combine
+// concepts from unrelated parts of the document.
+package baseline
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"xclean/internal/core"
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/xmltree"
+)
+
+// DefaultHMMStates is the per-position state cap when Config.Gamma is
+// unset. Viterbi is O(l·S²), so the default is deliberately modest.
+const DefaultHMMStates = 200
+
+// HMM is the Hidden-Markov-Model query cleaning baseline.
+type HMM struct {
+	ix  *invindex.Index
+	fss *fastss.Index
+	cfg core.Config
+	em  core.ErrorModel
+}
+
+// NewHMM builds the baseline over an index. Config supplies Epsilon
+// (variant threshold), Beta (emission error penalty), R (transition
+// decay rate), Gamma (per-position state cap), and K.
+func NewHMM(ix *invindex.Index, cfg core.Config) *HMM {
+	fss := fastss.Build(ix.VocabList(), fastss.Config{
+		MaxErrors:    epsOf(cfg),
+		PartitionLen: plenOf(cfg),
+	})
+	return NewHMMWithFastSS(ix, fss, cfg)
+}
+
+// NewHMMWithFastSS builds the baseline reusing a prebuilt variant
+// index.
+func NewHMMWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg core.Config) *HMM {
+	return &HMM{ix: ix, fss: fss, cfg: cfg, em: core.ErrorModel{Beta: cfg.Beta}}
+}
+
+func (e *HMM) maxStates() int {
+	switch {
+	case e.cfg.Gamma == 0:
+		return DefaultHMMStates
+	case e.cfg.Gamma < 0:
+		return math.MaxInt32
+	default:
+		return e.cfg.Gamma
+	}
+}
+
+func (e *HMM) k() int {
+	if e.cfg.K <= 0 {
+		return 10
+	}
+	return e.cfg.K
+}
+
+func (e *HMM) decay() float64 {
+	if e.cfg.R <= 0 || e.cfg.R >= 1 {
+		return 0.8
+	}
+	return e.cfg.R
+}
+
+// hmmState is one (node, variant) state with its Viterbi bookkeeping.
+type hmmState struct {
+	dewey xmltree.Dewey
+	word  string
+	dist  int
+	// emit is the normalized error-model weight P(w|q_j).
+	emit float64
+	// pruneWeight orders states for the per-position cap: emission
+	// scaled by the node-local term frequency.
+	pruneWeight float64
+
+	// Viterbi: best log-probability of any path ending here, and the
+	// predecessor state index on that path.
+	score float64
+	prev  int
+}
+
+// Suggest returns the top-k candidate queries under the HMM model.
+func (e *HMM) Suggest(query string) []core.Suggestion {
+	toks := e.cfg.Tokenizer.Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+
+	levels := make([][]hmmState, len(toks))
+	for j, tok := range toks {
+		kw := e.em.Keyword(tok, e.fss.Search(tok))
+		if len(kw.Variants) == 0 {
+			return nil
+		}
+		var states []hmmState
+		for _, v := range kw.Variants {
+			for _, p := range e.ix.Postings(v.Word) {
+				states = append(states, hmmState{
+					dewey:       p.Dewey,
+					word:        v.Word,
+					dist:        v.Dist,
+					emit:        v.Weight,
+					pruneWeight: v.Weight * float64(p.TF) / float64(p.NodeLen),
+				})
+			}
+		}
+		if len(states) == 0 {
+			return nil
+		}
+		// Aggressive state pruning: keep the MaxStates most promising.
+		if limit := e.maxStates(); len(states) > limit {
+			sort.Slice(states, func(a, b int) bool {
+				if states[a].pruneWeight != states[b].pruneWeight {
+					return states[a].pruneWeight > states[b].pruneWeight
+				}
+				return states[a].dewey.Compare(states[b].dewey) < 0
+			})
+			states = states[:limit]
+		}
+		levels[j] = states
+	}
+
+	// Viterbi in log space. Uniform initial distribution.
+	logDecay := math.Log(e.decay())
+	for i := range levels[0] {
+		levels[0][i].score = math.Log(levels[0][i].emit)
+		levels[0][i].prev = -1
+	}
+	for j := 1; j < len(levels); j++ {
+		prev, cur := levels[j-1], levels[j]
+		for i := range cur {
+			best := math.Inf(-1)
+			bestPrev := -1
+			for pi := range prev {
+				s := prev[pi].score + logDecay*float64(treeDist(prev[pi].dewey, cur[i].dewey))
+				if s > best {
+					best = s
+					bestPrev = pi
+				}
+			}
+			cur[i].score = best + math.Log(cur[i].emit)
+			cur[i].prev = bestPrev
+		}
+	}
+
+	// Collect top-k distinct keyword sequences among final-state paths.
+	final := levels[len(levels)-1]
+	order := make([]int, len(final))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if final[order[a]].score != final[order[b]].score {
+			return final[order[a]].score > final[order[b]].score
+		}
+		return final[order[a]].dewey.Compare(final[order[b]].dewey) < 0
+	})
+
+	seen := make(map[string]bool)
+	var out []core.Suggestion
+	for _, fi := range order {
+		if len(out) >= e.k() {
+			break
+		}
+		words := make([]string, len(levels))
+		dist := 0
+		i := fi
+		for j := len(levels) - 1; j >= 0; j-- {
+			st := levels[j][i]
+			words[j] = st.word
+			dist += st.dist
+			i = st.prev
+		}
+		key := strings.Join(words, "\x00")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, core.Suggestion{
+			Words:        words,
+			Score:        final[fi].score, // log-probability: higher is better
+			ResultType:   xmltree.InvalidPath,
+			EditDistance: dist,
+		})
+	}
+	return out
+}
+
+// treeDist is the number of edges on the tree path between two nodes.
+func treeDist(a, b xmltree.Dewey) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	shared := 0
+	for shared < n && a[shared] == b[shared] {
+		shared++
+	}
+	return len(a) + len(b) - 2*shared
+}

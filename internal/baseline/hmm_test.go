@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func hmmTree() *xmltree.Tree {
+	t := xmltree.NewTree("dblp")
+	add := func(author, title string) {
+		art := t.AddChild(t.Root, "article", "")
+		t.AddChild(art, "author", author)
+		t.AddChild(art, "title", title)
+	}
+	add("rose", "fpga architecture synthesis")
+	add("rose", "reconfigurable fpga architecture")
+	add("smith", "database indexing methods")
+	add("jones", "xml keyword search ranking")
+	return t
+}
+
+func TestHMMCorrectsTypo(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{})
+	sugs := e.Suggest("rose fpga architecure")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "rose fpga architecture" {
+		t.Errorf("top=%q want %q", sugs[0].Query(), "rose fpga architecture")
+	}
+}
+
+func TestHMMKeepsCleanQuery(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{})
+	sugs := e.Suggest("database indexing")
+	if len(sugs) == 0 || sugs[0].Query() != "database indexing" {
+		t.Fatalf("clean query displaced: %v", sugs)
+	}
+}
+
+// TestHMMNoNonEmptyGuarantee: the paper's key criticism — sequential
+// travel with decaying transitions still assigns positive probability
+// to keyword pairs that never co-occur below the root, so the HMM
+// suggests queries with empty results where XClean refuses.
+func TestHMMNoNonEmptyGuarantee(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{})
+	sugs := e.Suggest("rose database")
+	if len(sugs) == 0 {
+		t.Fatal("HMM should (wrongly) suggest the root-only-connected pair")
+	}
+	if sugs[0].Query() != "rose database" {
+		t.Errorf("top=%q", sugs[0].Query())
+	}
+	// The corresponding XClean engine refuses the same pair.
+	xc := core.NewEngine(ix, core.Config{})
+	if got := xc.Suggest("rose database"); got != nil {
+		t.Fatalf("XClean suggested the root-only pair: %v", got)
+	}
+}
+
+// TestHMMPrefersCloseNodes: with two spelling-valid alternatives, the
+// transition decay must favour the keyword pair that co-occurs in one
+// entity over the pair connected only through the root.
+func TestHMMPrefersCloseNodes(t *testing.T) {
+	tr := xmltree.NewTree("db")
+	a := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(a, "f", "health insurance policy")
+	b := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(b, "f", "instance segmentation")
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewHMM(ix, core.Config{Epsilon: 2})
+
+	sugs := e.Suggest("health insurence")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "health insurance" {
+		t.Errorf("top=%q want %q (transition decay should beat the rare-token path)",
+			sugs[0].Query(), "health insurance")
+	}
+}
+
+func TestHMMStatePruning(t *testing.T) {
+	// A corpus with many nodes containing the same word: state cap 1
+	// must still produce a suggestion (one surviving state per level).
+	tr := xmltree.NewTree("db")
+	for i := 0; i < 30; i++ {
+		r := tr.AddChild(tr.Root, "rec", "")
+		tr.AddChild(r, "f", "common words here")
+	}
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewHMM(ix, core.Config{Gamma: 1})
+	sugs := e.Suggest("common words")
+	if len(sugs) != 1 {
+		t.Fatalf("got %d suggestions, want 1", len(sugs))
+	}
+	if sugs[0].Query() != "common words" {
+		t.Errorf("top=%q", sugs[0].Query())
+	}
+}
+
+func TestHMMEmptyAndHopeless(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{})
+	if got := e.Suggest(""); got != nil {
+		t.Errorf("empty -> %v", got)
+	}
+	if got := e.Suggest("zzzzzzzz"); got != nil {
+		t.Errorf("hopeless -> %v", got)
+	}
+}
+
+func TestHMMTopK(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{K: 2, Epsilon: 2})
+	if got := e.Suggest("fpga architecure"); len(got) > 2 {
+		t.Errorf("K=2 violated: %d suggestions", len(got))
+	}
+}
+
+func TestHMMDeterminism(t *testing.T) {
+	ix := invindex.Build(hmmTree(), tokenizer.Options{})
+	e := NewHMM(ix, core.Config{Epsilon: 2})
+	a := e.Suggest("rose fpga architecure")
+	b := e.Suggest("rose fpga architecure")
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Query() != b[i].Query() || a[i].Score != b[i].Score {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTreeDist(t *testing.T) {
+	mk := func(s string) xmltree.Dewey {
+		d, err := xmltree.ParseDewey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.2.3", "1.2.3", 0},
+		{"1.2.3", "1.2.4", 2},
+		{"1.2", "1.2.3", 1},
+		{"1.2.3", "1.3.4.5", 5},
+		{"1", "1.2", 1},
+	}
+	for _, c := range cases {
+		if got := treeDist(mk(c.a), mk(c.b)); got != c.want {
+			t.Errorf("treeDist(%s,%s)=%d want %d", c.a, c.b, got, c.want)
+		}
+		if got := treeDist(mk(c.b), mk(c.a)); got != c.want {
+			t.Errorf("treeDist(%s,%s)=%d want %d (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"xclean/internal/core"
+	"xclean/internal/editdist"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// LogCorrector is the stand-in for the commercial search engines
+// (SE1/SE2) the paper compares against. Like them, it corrects purely
+// from a query log, token by token, and returns at most one
+// suggestion:
+//
+//   - a token seen in the log is trusted and kept — so clean queries
+//     are (almost) never altered, reproducing the SEs' near-perfect
+//     behaviour on the CLEAN sets;
+//   - a token matching a known human misspelling rule is rewritten to
+//     its correction — reproducing the SEs' strength on RULE errors,
+//     which the paper attributes to their logs;
+//   - any other token is mapped to the log token maximizing
+//     log(1+freq) · exp(-β·ed), which is *popularity-biased*: a rare
+//     correct word loses to a frequent similar one (the "TiGe serum →
+//     Tigi serum" failure of Section I).
+type LogCorrector struct {
+	freq map[string]int64
+	// rules maps a known misspelling to its correction.
+	rules map[string]string
+	beta  float64
+	eps   int
+	tok   tokenizer.Options
+	vocab []string
+	known interface{ Contains(string) bool }
+}
+
+// LogConfig configures a LogCorrector.
+type LogConfig struct {
+	// Beta is the distance penalty (0 = core.DefaultBeta).
+	Beta float64
+	// Epsilon is the maximum edit distance considered (0 = 2).
+	Epsilon int
+	// Tokenizer matches the engine's query tokenization.
+	Tokenizer tokenizer.Options
+	// KnownWords, if non-nil, is the indexed site vocabulary (the
+	// paper queries the engines with site: restriction, so they know
+	// the corpus terms). Tokens it contains are trusted and kept,
+	// which is what makes real engines leave clean queries alone.
+	KnownWords interface{ Contains(string) bool }
+}
+
+// NewLogCorrector builds a corrector from a log of (query, frequency)
+// pairs and a misspelling rule list (misspelling → correction).
+func NewLogCorrector(queries map[string]int64, rules map[string]string, cfg LogConfig) *LogCorrector {
+	c := &LogCorrector{
+		freq:  make(map[string]int64),
+		rules: make(map[string]string, len(rules)),
+		beta:  cfg.Beta,
+		eps:   cfg.Epsilon,
+		tok:   cfg.Tokenizer,
+		known: cfg.KnownWords,
+	}
+	if c.beta <= 0 {
+		c.beta = core.DefaultBeta
+	}
+	if c.eps <= 0 {
+		c.eps = 2
+	}
+	for q, n := range queries {
+		for _, t := range c.tok.Tokenize(q) {
+			c.freq[t] += n
+		}
+	}
+	for miss, corr := range rules {
+		c.rules[miss] = corr
+	}
+	c.vocab = make([]string, 0, len(c.freq))
+	for w := range c.freq {
+		c.vocab = append(c.vocab, w)
+	}
+	sort.Strings(c.vocab)
+	return c
+}
+
+// Suggest returns at most one suggestion, like the search engines the
+// paper queries with the site: operator. The suggestion may equal the
+// input (meaning "looks correct").
+func (c *LogCorrector) Suggest(query string) []core.Suggestion {
+	toks := c.tok.Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	words := make([]string, len(toks))
+	dist := 0
+	score := 1.0
+	for i, t := range toks {
+		w, d, s := c.correctToken(t)
+		words[i] = w
+		dist += d
+		score *= s
+	}
+	return []core.Suggestion{{
+		Words:        words,
+		Score:        score,
+		ResultType:   xmltree.InvalidPath,
+		EditDistance: dist,
+	}}
+}
+
+// correctToken maps one token to its correction, its distance, and a
+// confidence factor.
+func (c *LogCorrector) correctToken(t string) (string, int, float64) {
+	if _, ok := c.freq[t]; ok {
+		return t, 0, 1
+	}
+	if corr, ok := c.rules[t]; ok {
+		return corr, editdist.Distance(t, corr), 1
+	}
+	if c.known != nil && c.known.Contains(t) {
+		return t, 0, 1
+	}
+	bestWord, bestScore, bestDist := t, 0.0, 0
+	for _, w := range c.vocab {
+		d, ok := editdist.WithinK(t, w, c.eps)
+		if !ok {
+			continue
+		}
+		s := math.Log(1+float64(c.freq[w])) * math.Exp(-c.beta*float64(d))
+		if s > bestScore {
+			bestWord, bestScore, bestDist = w, s, d
+		}
+	}
+	if bestScore == 0 {
+		return t, 0, 0.5 // unknown token, kept verbatim with low confidence
+	}
+	return bestWord, bestDist, bestScore
+}

@@ -1,0 +1,245 @@
+// Package baseline implements the comparison systems of Section VII:
+//
+//   - PY08, the relational keyword-query cleaning method of Pu & Yu
+//     adapted to XML exactly as the paper does ("treating each XML
+//     element as a document"), including both scoring biases Section II
+//     analyzes;
+//   - LogCorrector, a query-log-based corrector standing in for the two
+//     commercial search engines (SE1/SE2), reproducing their
+//     qualitative behaviour: excellent on clean queries, strong on
+//     human-rule misspellings, popularity-biased.
+package baseline
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xclean/internal/core"
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/xmltree"
+)
+
+// PY08 scores candidate queries with
+//
+//	score(C)     = Σ_{w∈C} score_IR(w) · f(w)
+//	score_IR(w)  = max_t tfidf(w,t),  tfidf(w,t) = count(w,t)/|t| · log(N/df(w))
+//	f(w)         = 1 / (1 + ed(q,w))
+//
+// where each XML element is one "tuple" t. Because every keyword is
+// maximized independently, the method inherits the two biases of
+// Section II: a preference for rare tokens (df in the denominator) and
+// no connectivity requirement between keywords — and it cannot
+// guarantee non-empty results.
+type PY08 struct {
+	ix  *invindex.Index
+	fss *fastss.Index
+	cfg core.Config
+}
+
+// NewPY08 builds the baseline over an index. Config supplies Epsilon
+// (variant threshold), Gamma (number of top partial candidates
+// combined, the γ the paper reports for PY08 in Table V), and K.
+func NewPY08(ix *invindex.Index, cfg core.Config) *PY08 {
+	fss := fastss.Build(ix.VocabList(), fastss.Config{
+		MaxErrors:    epsOf(cfg),
+		PartitionLen: plenOf(cfg),
+	})
+	return NewPY08WithFastSS(ix, fss, cfg)
+}
+
+// NewPY08WithFastSS builds the baseline reusing a prebuilt variant
+// index.
+func NewPY08WithFastSS(ix *invindex.Index, fss *fastss.Index, cfg core.Config) *PY08 {
+	return &PY08{ix: ix, fss: fss, cfg: cfg}
+}
+
+func epsOf(cfg core.Config) int {
+	if cfg.Epsilon <= 0 {
+		return 1
+	}
+	return cfg.Epsilon
+}
+
+func plenOf(cfg core.Config) int {
+	if cfg.PartitionLen <= 0 {
+		return 12
+	}
+	return cfg.PartitionLen
+}
+
+func (e *PY08) gamma() int {
+	switch {
+	case e.cfg.Gamma == 0:
+		return 1000
+	case e.cfg.Gamma < 0:
+		return math.MaxInt32
+	default:
+		return e.cfg.Gamma
+	}
+}
+
+func (e *PY08) k() int {
+	if e.cfg.K <= 0 {
+		return 10
+	}
+	return e.cfg.K
+}
+
+// scoreIR computes max_t tfidf(w,t) by scanning w's full inverted
+// list. PY08 has no skipping machinery, so this is a complete pass —
+// the source of the 5–10× running-time gap of Table VI.
+func (e *PY08) scoreIR(w string) float64 {
+	pl := e.ix.Postings(w)
+	if len(pl) == 0 {
+		return 0
+	}
+	idf := math.Log(float64(e.ix.NodeCount()) / float64(len(pl)))
+	var max float64
+	for _, p := range pl {
+		tf := float64(p.TF) / float64(p.NodeLen)
+		if s := tf * idf; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+type py08Variant struct {
+	word  string
+	dist  int
+	score float64 // score_IR(w)·f(w)
+}
+
+// Suggest returns the top-k candidate queries under the PY08 scoring.
+// The top-γ candidate combinations are enumerated best-first; each is
+// then verified with another pass over its variants' inverted lists
+// (the "segment combination" passes of the original method).
+func (e *PY08) Suggest(query string) []core.Suggestion {
+	toks := e.cfg.Tokenizer.Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	perKW := make([][]py08Variant, len(toks))
+	for i, tok := range toks {
+		matches := e.fss.Search(tok)
+		if len(matches) == 0 {
+			return nil
+		}
+		vs := make([]py08Variant, len(matches))
+		for j, m := range matches {
+			vs[j] = py08Variant{
+				word:  m.Word,
+				dist:  m.Dist,
+				score: e.scoreIR(m.Word) / float64(1+m.Dist),
+			}
+		}
+		sort.Slice(vs, func(a, b int) bool {
+			if vs[a].score != vs[b].score {
+				return vs[a].score > vs[b].score
+			}
+			return vs[a].word < vs[b].word
+		})
+		perKW[i] = vs
+	}
+
+	combos := topCombos(perKW, e.gamma())
+
+	out := make([]core.Suggestion, 0, len(combos))
+	for _, c := range combos {
+		words := make([]string, len(toks))
+		dist := 0
+		score := 0.0
+		for i, j := range c.idx {
+			v := perKW[i][j]
+			words[i] = v.word
+			dist += v.dist
+			// Verification pass: recompute the segment score from the
+			// inverted list, as the original combines segments with
+			// repeated list accesses.
+			score += e.scoreIR(v.word) / float64(1+v.dist)
+		}
+		out = append(out, core.Suggestion{
+			Words:        words,
+			Score:        score,
+			ResultType:   xmltree.InvalidPath,
+			EditDistance: dist,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Query() < out[j].Query()
+	})
+	if k := e.k(); len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// combo is one point of the candidate product space.
+type combo struct {
+	idx   []int
+	score float64
+}
+
+type comboHeap []combo
+
+func (h comboHeap) Len() int            { return len(h) }
+func (h comboHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h comboHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *comboHeap) Push(x interface{}) { *h = append(*h, x.(combo)) }
+func (h *comboHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// topCombos emits up to limit highest-scoring index vectors from the
+// per-keyword variant lists (each sorted descending) via best-first
+// search over the product lattice.
+func topCombos(perKW [][]py08Variant, limit int) []combo {
+	l := len(perKW)
+	first := combo{idx: make([]int, l)}
+	for i := range perKW {
+		first.score += perKW[i][0].score
+	}
+	h := comboHeap{first}
+	seen := map[string]bool{comboKey(first.idx): true}
+	var out []combo
+	for len(h) > 0 && len(out) < limit {
+		c := heap.Pop(&h).(combo)
+		out = append(out, c)
+		for i := 0; i < l; i++ {
+			if c.idx[i]+1 >= len(perKW[i]) {
+				continue
+			}
+			next := make([]int, l)
+			copy(next, c.idx)
+			next[i]++
+			key := comboKey(next)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			score := c.score - perKW[i][c.idx[i]].score + perKW[i][next[i]].score
+			heap.Push(&h, combo{idx: next, score: score})
+		}
+	}
+	return out
+}
+
+func comboKey(idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+// Package cache provides a small concurrency-safe LRU used to front
+// the suggestion engine in the HTTP service: "Did you mean" traffic is
+// Zipfian (the same misspellings recur), so caching whole suggestion
+// lists by query text removes the engine from the hot path for popular
+// queries. Mutating the index (AddDocument / RemoveDocument) must be
+// followed by Clear.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded least-recently-used map. The zero value is not
+// usable; construct with New.
+type LRU[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[V any](capacity int) *LRU[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores the value for key, evicting the least recently used entry
+// when full.
+func (c *LRU[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[V]).key)
+		}
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Clear drops every entry (call after index mutations). Hit/miss
+// counters are preserved.
+func (c *LRU[V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
+// Len is the current number of entries.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU[V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a=%d/%v", v, ok)
+	}
+	// Overwrite keeps a single entry.
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("a=%d after overwrite", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len=%d", c.Len())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // refresh a: b is now the oldest
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted", k)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New[string](4)
+	c.Put("a", "x")
+	c.Put("b", "y")
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("len=%d after clear", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("entry survived clear")
+	}
+	// Cache works after clearing.
+	c.Put("a", "z")
+	if v, ok := c.Get("a"); !ok || v != "z" {
+		t.Error("put after clear failed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	if h, m := c.Stats(); h != 2 || m != 1 {
+		t.Errorf("hits=%d misses=%d", h, m)
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New[int](0) // clamped to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("len=%d", c.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, i)
+				}
+				if i%97 == 0 {
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("len=%d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"container/heap"
+
+	"xclean/internal/xmltree"
+)
+
+// accum is the in-memory score accumulator of one candidate query
+// (Section V-D).
+type accum struct {
+	key        string
+	words      []string
+	choice     []int
+	resultType xmltree.PathID
+	// sum is Σ_j Π_w p(w|D(r_j)) over matched entities so far.
+	sum float64
+	// bgMatched is Σ_j Π_w p_bg(w|D(r_j)) over matched entities (exact
+	// scoring mode bookkeeping).
+	bgMatched float64
+	entities  int
+	// witness is the Dewey key of the first matched entity root.
+	witness string
+	// weightOverN is errWeight(C)/N, the static factor of the final
+	// score; estimate() = weightOverN · sum is the Hoeffding-style
+	// sample estimate used to pick eviction victims.
+	weightOverN float64
+	seq         int
+	// version increments whenever a fresh priority-queue entry is
+	// pushed, invalidating older ones.
+	version int64
+	// pqEst is the estimate recorded by the accumulator's live queue
+	// entry; a fresh entry is only pushed when the estimate has grown
+	// substantially, keeping queue churn low.
+	pqEst float64
+}
+
+func (a *accum) estimate() float64 { return a.weightOverN * a.sum }
+
+// pqEntry is a lazily-invalidated min-heap entry; it is stale when the
+// accumulator it referenced was merged into (version moved on),
+// evicted, or replaced by a new accumulator under the same key (seq
+// differs).
+type pqEntry struct {
+	key     string
+	seq     int
+	version int64
+	est     float64
+}
+
+type estimateHeap []pqEntry
+
+func (h estimateHeap) Len() int            { return len(h) }
+func (h estimateHeap) Less(i, j int) bool  { return h[i].est < h[j].est }
+func (h estimateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *estimateHeap) Push(x interface{}) { *h = append(*h, x.(pqEntry)) }
+func (h *estimateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// accumulators is the bounded candidate-score table. At most limit
+// candidates are tracked; when full, the entry with the lowest
+// estimated final score (or the oldest, under FIFO) is discarded.
+//
+// Victim selection is O(log γ) amortized via a lazy priority queue:
+// every insert/merge pushes a fresh (estimate, version) entry and
+// stale entries are skipped when popped. Since entity contributions
+// are non-negative, estimates only grow, so a live popped entry is a
+// true minimum.
+type accumulators struct {
+	limit  int // ≤ 0 means unlimited
+	policy EvictionPolicy
+	m      map[string]*accum
+	seq    int
+	pq     estimateHeap
+	// fifo lists keys in insertion order for the FIFO ablation policy;
+	// entries whose accumulator is gone are skipped lazily.
+	fifo []pqEntry
+	// evictions counts discarded accumulators.
+	evictions int
+}
+
+func newAccumulators(limit int, policy EvictionPolicy) *accumulators {
+	if limit < 0 {
+		limit = 0 // unlimited
+	}
+	return &accumulators{limit: limit, policy: policy, m: make(map[string]*accum)}
+}
+
+// add merges one subtree's contribution for a candidate. It returns
+// the accumulator (nil if the candidate was rejected because the table
+// is full and its estimate is the lowest).
+func (t *accumulators) add(
+	key string,
+	words []string,
+	choice []int,
+	resultType xmltree.PathID,
+	weightOverN float64,
+	sum float64,
+	bgMatched float64,
+	entities int,
+	witness string,
+) *accum {
+	if a, ok := t.m[key]; ok {
+		a.sum += sum
+		a.bgMatched += bgMatched
+		a.entities += entities
+		if a.witness == "" {
+			a.witness = witness
+		}
+		// Refresh the queue entry only when the estimate doubled: the
+		// stale entry under-estimates by at most 2×, a bounded error in
+		// an already-heuristic victim rule, and the queue stays small.
+		if t.limit > 0 && t.policy == EvictLowestEstimate && a.estimate() > 2*a.pqEst {
+			a.version++
+			a.pqEst = a.estimate()
+			heap.Push(&t.pq, pqEntry{key: a.key, seq: a.seq, version: a.version, est: a.pqEst})
+		}
+		return a
+	}
+	a := &accum{
+		key:         key,
+		words:       append([]string(nil), words...),
+		choice:      append([]int(nil), choice...),
+		resultType:  resultType,
+		sum:         sum,
+		bgMatched:   bgMatched,
+		entities:    entities,
+		witness:     witness,
+		weightOverN: weightOverN,
+		seq:         t.seq,
+	}
+	t.seq++
+	if t.limit > 0 && len(t.m) >= t.limit {
+		victim := t.victim()
+		if t.policy == EvictLowestEstimate && victim != nil && a.estimate() <= victim.estimate() {
+			// The newcomer itself is the lowest; reject it.
+			t.evictions++
+			return nil
+		}
+		if victim != nil {
+			delete(t.m, victim.key)
+			t.evictions++
+		}
+	}
+	t.m[key] = a
+	if t.limit > 0 {
+		a.pqEst = a.estimate()
+		e := pqEntry{key: a.key, seq: a.seq, version: a.version, est: a.pqEst}
+		if t.policy == EvictLowestEstimate {
+			heap.Push(&t.pq, e)
+		} else {
+			t.fifo = append(t.fifo, e)
+		}
+	}
+	return a
+}
+
+// victim selects the entry to discard under the configured policy,
+// skipping stale queue entries.
+func (t *accumulators) victim() *accum {
+	if t.policy == EvictFIFO {
+		for len(t.fifo) > 0 {
+			e := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			if a, ok := t.m[e.key]; ok && a.seq == e.seq {
+				return a
+			}
+		}
+		return nil
+	}
+	for len(t.pq) > 0 {
+		e := t.pq[0]
+		a, ok := t.m[e.key]
+		if !ok || a.seq != e.seq || a.version != e.version {
+			heap.Pop(&t.pq) // stale
+			continue
+		}
+		return a
+	}
+	return nil
+}
+
+// all returns the live accumulators in unspecified order.
+func (t *accumulators) all() []*accum {
+	out := make([]*accum, 0, len(t.m))
+	for _, a := range t.m {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (t *accumulators) len() int { return len(t.m) }

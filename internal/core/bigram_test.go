@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// bigramTree recreates the Figure 1 tension with connectivity intact:
+// "health insurance" is an attested phrase in three entities, while
+// one short entity contains "instance health" (both words, reversed
+// order). The unigram model's rare-token and short-document effects
+// make "health instance" win; the bigram coherence factor restores
+// "health insurance".
+func bigramTree() *invindex.Index {
+	tr := xmltree.NewTree("db")
+	for i := 0; i < 3; i++ {
+		rec := tr.AddChild(tr.Root, "rec", "")
+		tr.AddChild(rec, "f", "health insurance claims processing today")
+	}
+	rec := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(rec, "f", "instance health")
+	return invindex.Build(tr, tokenizer.Options{})
+}
+
+func TestBigramFlipsFigure1Scenario(t *testing.T) {
+	ix := bigramTree()
+	// β→0 gives both corrections equal error weight (insurance is at
+	// distance 1, instance at 2); μ=1 sharpens document-length effects.
+	base := Config{Epsilon: 2, Beta: -1, Mu: 1}
+
+	uni := NewEngine(ix, base)
+	sugs := uni.Suggest("health insurnce")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if got := sugs[0].Query(); got != "health instance" {
+		t.Fatalf("unigram top=%q; the fixture should make the rare-token candidate win", got)
+	}
+
+	biCfg := base
+	biCfg.Bigram = true
+	bi := NewEngine(ix, biCfg)
+	sugs = bi.Suggest("health insurnce")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions with bigram")
+	}
+	if got := sugs[0].Query(); got != "health insurance" {
+		t.Fatalf("bigram top=%q want %q", got, "health insurance")
+	}
+}
+
+// TestBigramSingleKeywordNeutral: one-word queries carry no adjacency
+// evidence, so the bigram factor must not change their ranking.
+func TestBigramSingleKeywordNeutral(t *testing.T) {
+	ix := bigramTree()
+	uni := NewEngine(ix, Config{Epsilon: 1})
+	biCfg := Config{Epsilon: 1, Bigram: true}
+	bi := NewEngine(ix, biCfg)
+
+	a := uni.Suggest("helth")
+	b := bi.Suggest("helth")
+	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+		t.Fatalf("suggestion counts diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Query() != b[i].Query() || a[i].Score != b[i].Score {
+			t.Fatalf("rank %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBigramKeepsNonEmptyGuarantee: the coherence factor rescales
+// scores but never admits entity-less candidates.
+func TestBigramKeepsNonEmptyGuarantee(t *testing.T) {
+	ix := bigramTree()
+	e := NewEngine(ix, Config{Epsilon: 2, Bigram: true})
+	for _, s := range e.Suggest("health insurnce") {
+		if s.Entities < 1 {
+			t.Errorf("suggestion %q has no entities", s.Query())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"xclean/internal/dataset"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+)
+
+// TestSuggestCompactedEquivalence: suggestions over a compacted index
+// must be byte-identical to suggestions over the raw index — the
+// compression is pure storage, never semantics.
+func TestSuggestCompactedEquivalence(t *testing.T) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 11, Articles: 800})
+	raw := invindex.Build(c.Tree, tokenizer.Options{})
+	comp := invindex.Build(c.Tree, tokenizer.Options{})
+	comp.Compact()
+
+	er := NewEngine(raw, Config{Epsilon: 2})
+	ec := NewEngine(comp, Config{Epsilon: 2})
+
+	queries := append(c.SampleQueries(12, 15),
+		"databse systems", "algoritm", "quer optimization", "")
+	for _, q := range queries {
+		sr := er.Suggest(q)
+		sc := ec.Suggest(q)
+		if !reflect.DeepEqual(sr, sc) {
+			t.Fatalf("query %q: raw and compacted suggestions diverge\nraw:  %v\ncomp: %v",
+				q, sr, sc)
+		}
+	}
+}
+
+// TestSuggestCompactedStats: the one-pass I/O property must survive
+// compression — the compacted run reads the same number of postings.
+func TestSuggestCompactedStats(t *testing.T) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 13, Articles: 500})
+	raw := invindex.Build(c.Tree, tokenizer.Options{})
+	comp := invindex.Build(c.Tree, tokenizer.Options{})
+	comp.Compact()
+
+	er := NewEngine(raw, Config{})
+	ec := NewEngine(comp, Config{})
+	q := c.SampleQueries(14, 1)[0]
+	_, str := er.SuggestDetailed(q)
+	_, stc := ec.SuggestDetailed(q)
+	if str.PostingsRead != stc.PostingsRead || str.Subtrees != stc.Subtrees {
+		t.Fatalf("work counters diverge: raw=%+v comp=%+v", str, stc)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Engines must be safe for concurrent Suggest calls (run under -race
+// in CI).
+func TestConcurrentSuggest(t *testing.T) {
+	e := paperEngine(Config{})
+	want := e.Suggest("tree icdt")
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, st := e.SuggestDetailed("tree icdt")
+				if !reflect.DeepEqual(got, want) {
+					errs <- "result mismatch under concurrency"
+					return
+				}
+				if st.Subtrees != 3 {
+					errs <- "stats mismatch under concurrency"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,721 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/lm"
+	"xclean/internal/phonetic"
+	"xclean/internal/resulttype"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// ScoreMode selects how P(C|T) is computed.
+type ScoreMode int
+
+const (
+	// ScoreModeMatchedOnly follows Algorithm 1: only entities that
+	// contain at least one instance of every keyword contribute. This
+	// also guarantees suggested queries have non-empty results.
+	ScoreModeMatchedOnly ScoreMode = iota
+	// ScoreModeExact additionally adds the smoothed background-only
+	// contribution of entities that match no keyword, approximating
+	// the full sum of Eq. (8). Used by the scoring ablation.
+	ScoreModeExact
+)
+
+// EvictionPolicy selects the accumulator victim rule of Section V-D.
+type EvictionPolicy int
+
+const (
+	// EvictLowestEstimate evicts the candidate whose estimated final
+	// score (error weight × accumulated mean) is lowest — the paper's
+	// probabilistic pruning.
+	EvictLowestEstimate EvictionPolicy = iota
+	// EvictFIFO evicts the oldest candidate; the ablation baseline.
+	EvictFIFO
+)
+
+// Config collects every tunable of the XClean engine. The zero value
+// yields the paper's defaults (ε=1, β=5, μ=2000, r=0.8, d=2, γ=1000,
+// k=10).
+type Config struct {
+	// Epsilon is the maximum edit errors per keyword (0 = 1).
+	Epsilon int
+	// Beta is the error penalty β. 0 means DefaultBeta (5); negative
+	// values mean a literal β of 0 (no penalty), which Table IV sweeps.
+	Beta float64
+	// Mu is the Dirichlet smoothing parameter (0 = lm.DefaultMu).
+	Mu float64
+	// R is the depth reduction rate of Eq. (7) (0 = resulttype.DefaultR).
+	R float64
+	// MinDepth is the minimal depth threshold d (0 = 2).
+	MinDepth int
+	// Gamma is the maximum number of in-memory score accumulators
+	// (0 = 1000). Negative means unlimited.
+	Gamma int
+	// K is the number of suggestions returned (0 = 10).
+	K int
+	// PartitionLen is the FastSS partition length l_p (0 = 12).
+	PartitionLen int
+	// ScoreMode selects matched-only (default, Algorithm 1) or exact
+	// scoring.
+	ScoreMode ScoreMode
+	// Eviction selects the accumulator victim policy.
+	Eviction EvictionPolicy
+	// LinearSkip disables galloping search in MergedList.SkipTo (the
+	// skipping ablation).
+	LinearSkip bool
+	// MaxSpaceChanges is τ of Section VI-A, the maximum number of
+	// space insertions/deletions explored by SuggestWithSpaces.
+	// (0 = 1).
+	MaxSpaceChanges int
+	// Phonetic enables the Soundex cognitive-error extension of
+	// Section VI-A: vocabulary words sounding like a keyword join its
+	// variant set with an effective edit distance of PhoneticDistance.
+	Phonetic bool
+	// PhoneticDistance is the penalty distance of phonetic variants
+	// (0 = 2).
+	PhoneticDistance int
+	// Synonyms maps keywords to alternative terms (a thesaurus or
+	// ontology, Section VI-A); in-vocabulary synonyms join the variant
+	// set with SynonymDistance.
+	Synonyms map[string][]string
+	// SynonymDistance is the penalty distance of synonym variants
+	// (0 = 1).
+	SynonymDistance int
+	// Prior selects the entity prior P(r_j|T) of Eq. (8); the zero
+	// value is the paper's uniform prior.
+	Prior Prior
+	// CustomPrior maps entity root Dewey keys (xmltree.Dewey.Key) to
+	// unnormalized prior weights; consulted only under PriorCustom.
+	CustomPrior map[string]float64
+	// Bigram multiplies every candidate's score by the interpolated
+	// bigram coherence of its keyword sequence (the language-model
+	// extension beyond the paper's unigram Eq. (9)).
+	Bigram bool
+	// BigramLambda is the interpolation weight λ of the bigram model
+	// (0 = lm.DefaultLambda).
+	BigramLambda float64
+	// Tokenizer overrides the indexing tokenizer options for queries.
+	Tokenizer tokenizer.Options
+}
+
+func (c Config) epsilon() int {
+	if c.Epsilon <= 0 {
+		return 1
+	}
+	return c.Epsilon
+}
+
+func (c Config) minDepth() int {
+	if c.MinDepth <= 0 {
+		return 2
+	}
+	return c.MinDepth
+}
+
+func (c Config) gamma() int {
+	if c.Gamma == 0 {
+		return 1000
+	}
+	return c.Gamma
+}
+
+func (c Config) k() int {
+	if c.K <= 0 {
+		return 10
+	}
+	return c.K
+}
+
+func (c Config) partitionLen() int {
+	if c.PartitionLen <= 0 {
+		return 12
+	}
+	return c.PartitionLen
+}
+
+func (c Config) tau() int {
+	if c.MaxSpaceChanges <= 0 {
+		return 1
+	}
+	return c.MaxSpaceChanges
+}
+
+func (c Config) phoneticDistance() int {
+	if c.PhoneticDistance <= 0 {
+		return 2
+	}
+	return c.PhoneticDistance
+}
+
+func (c Config) synonymDistance() int {
+	if c.SynonymDistance <= 0 {
+		return 1
+	}
+	return c.SynonymDistance
+}
+
+// Suggestion is one alternative query with its score P(C|Q,T) up to
+// the constant κ, and diagnostic detail.
+type Suggestion struct {
+	// Words are the suggested keywords, aligned with the input
+	// keywords (after space expansion they may differ in number).
+	Words []string
+	// Score is errWeight(C) · P(C|T); comparable within one Suggest
+	// call only.
+	Score float64
+	// ResultType is the inferred best result node type p_C.
+	ResultType xmltree.PathID
+	// Entities is the number of entities of type p_C that matched all
+	// keywords — always ≥ 1, which is the paper's non-empty-result
+	// guarantee.
+	Entities int
+	// EditDistance is the total edit distance from the observed query.
+	EditDistance int
+	// Witness is the root of the first entity that matched every
+	// keyword — a concrete exhibit of the non-empty-result guarantee,
+	// usable for result previews.
+	Witness xmltree.Dewey
+}
+
+// Query renders the suggestion as a query string.
+func (s Suggestion) Query() string { return strings.Join(s.Words, " ") }
+
+// Engine answers top-k query cleaning requests against one index.
+// Engines are safe for concurrent use: all index structures are
+// read-only after construction and every Suggest call works on its own
+// state.
+type Engine struct {
+	ix     *invindex.Index
+	fss    *fastss.Index
+	phon   *phonetic.Index // nil unless Config.Phonetic
+	model  *lm.Model
+	bigram *lm.BigramModel // nil unless Config.Bigram
+	inf    *resulttype.Inferrer
+	em     ErrorModel
+	prior  *entityPrior
+	cfg    Config
+
+	// mu guards lastStats, the diagnostics of the most recent call.
+	mu        sync.Mutex
+	lastStats Stats
+}
+
+// Stats reports work counters of the last Suggest call, used by the
+// efficiency experiments.
+type Stats struct {
+	// PostingsRead is the number of merged-list entries consumed.
+	PostingsRead int
+	// Subtrees is the number of anchor subtrees processed.
+	Subtrees int
+	// CandidatesSeen is the number of candidate-query observations
+	// (per subtree).
+	CandidatesSeen int
+	// TypeComputations counts FindResultType invocations (cache
+	// misses).
+	TypeComputations int
+	// Evictions counts accumulator evictions.
+	Evictions int
+}
+
+// NewEngine builds an engine over an existing index. The FastSS
+// variant index is constructed over the index vocabulary.
+func NewEngine(ix *invindex.Index, cfg Config) *Engine {
+	fss := fastss.Build(ix.VocabList(), fastss.Config{
+		MaxErrors:    cfg.epsilon(),
+		PartitionLen: cfg.partitionLen(),
+	})
+	return NewEngineWithFastSS(ix, fss, cfg)
+}
+
+// NewEngineWithFastSS builds an engine reusing a prebuilt variant
+// index (so that several engines with different scoring parameters can
+// share it, as the β and γ sweeps do).
+func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg Config) *Engine {
+	e := &Engine{
+		ix:    ix,
+		fss:   fss,
+		model: lm.New(ix.Vocab, cfg.Mu),
+		inf: &resulttype.Inferrer{
+			Index:    ix,
+			R:        cfg.R,
+			MinDepth: cfg.minDepth(),
+		},
+		em:    ErrorModel{Beta: cfg.Beta},
+		prior: newEntityPrior(ix, cfg.Prior, cfg.CustomPrior),
+		cfg:   cfg,
+	}
+	if cfg.Phonetic {
+		e.phon = phonetic.Build(ix.VocabList())
+	}
+	if cfg.Bigram {
+		e.bigram = lm.NewBigram(ix, ix.Vocab, cfg.BigramLambda)
+	}
+	return e
+}
+
+// Refresh rebuilds the structures derived from the index after an
+// incremental index mutation (invindex.Index.AddDocument): the given
+// words — typically every token of the added document; known words are
+// ignored — join the shared variant index, and prior caches, the
+// phonetic index, and the language models are rebuilt. The receiver
+// must not be used afterwards; queries go to the returned engine.
+func (e *Engine) Refresh(newWords []string) *Engine {
+	for _, w := range newWords {
+		e.fss.Add(w)
+	}
+	return NewEngineWithFastSS(e.ix, e.fss, e.cfg)
+}
+
+// Stats returns the work counters of the most recent Suggest call.
+// Under concurrent use, prefer SuggestDetailed, which returns the
+// counters of one specific call.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastStats
+}
+
+// Keywords tokenizes a raw query and attaches the variant sets. A
+// keyword with an empty variant set makes every candidate invalid, so
+// callers can detect hopeless queries early.
+func (e *Engine) Keywords(query string) []Keyword {
+	toks := e.cfg.Tokenizer.Tokenize(query)
+	kws := make([]Keyword, len(toks))
+	for i, tok := range toks {
+		kws[i] = e.em.Keyword(tok, e.variants(tok))
+	}
+	return kws
+}
+
+// variants merges all enabled variant sources for one keyword:
+// edit-distance neighbors (FastSS), phonetic equivalents, and
+// synonyms. When a word arises from several sources, the smallest
+// effective distance wins.
+func (e *Engine) variants(tok string) []fastss.Match {
+	matches := e.fss.Search(tok)
+	if e.phon == nil && e.cfg.Synonyms == nil {
+		return matches
+	}
+	best := make(map[string]int, len(matches))
+	for _, m := range matches {
+		best[m.Word] = m.Dist
+	}
+	merge := func(word string, dist int) {
+		if d, ok := best[word]; !ok || dist < d {
+			best[word] = dist
+		}
+	}
+	if e.phon != nil {
+		for _, w := range e.phon.Search(tok) {
+			merge(w, e.cfg.phoneticDistance())
+		}
+	}
+	if e.cfg.Synonyms != nil {
+		for _, s := range e.cfg.Synonyms[tok] {
+			if s != tok && e.ix.Vocab.Contains(s) {
+				merge(s, e.cfg.synonymDistance())
+			}
+		}
+	}
+	if len(best) == len(matches) {
+		return matches
+	}
+	out := make([]fastss.Match, 0, len(best))
+	for w, d := range best {
+		out = append(out, fastss.Match{Word: w, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Word < out[j].Word
+	})
+	return out
+}
+
+// Suggest returns the top-k alternative queries for the raw query,
+// ranked by P(C|Q,T). It implements Algorithm 1 of the paper.
+func (e *Engine) Suggest(query string) []Suggestion {
+	out, _ := e.SuggestDetailed(query)
+	return out
+}
+
+// SuggestDetailed is Suggest plus the work counters of this call.
+func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
+	return e.suggestKeywords(e.Keywords(query))
+}
+
+// suggestKeywords runs Algorithm 1 over a prepared keyword list.
+func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
+	var st Stats
+	defer func() {
+		e.mu.Lock()
+		e.lastStats = st
+		e.mu.Unlock()
+	}()
+	if len(kws) == 0 {
+		return nil, st
+	}
+	for _, kw := range kws {
+		if len(kw.Variants) == 0 {
+			return nil, st
+		}
+	}
+
+	d := e.cfg.minDepth()
+	lists := make([]*invindex.MergedList, len(kws))
+	for i, kw := range kws {
+		tokens := make([]string, len(kw.Variants))
+		for j, v := range kw.Variants {
+			tokens[j] = v.Word
+		}
+		lists[i] = e.ix.MergedListFor(tokens)
+		lists[i].SetLinearSkip(e.cfg.LinearSkip)
+	}
+
+	acc := newAccumulators(e.cfg.gamma(), e.cfg.Eviction)
+	typeCache := make(map[string]xmltree.PathID)
+	// occurrences[i][variantIdx] collects postings of keyword i's
+	// variants inside the current anchor subtree.
+	occ := make([]map[int][]invindex.Posting, len(kws))
+	for i := range occ {
+		occ[i] = make(map[int][]invindex.Posting)
+	}
+
+	anchor, ok := e.maxHead(lists)
+	for ok {
+		g := anchor.Truncate(d)
+		st.Subtrees++
+
+		// Align every list to g and collect the subtree occurrences.
+		for i := range occ {
+			for k := range occ[i] {
+				delete(occ[i], k)
+			}
+		}
+		complete := true
+		for i, l := range lists {
+			found := false
+			l.CollectSubtree(g, func(entry invindex.Entry) {
+				occ[i][entry.TokenIdx] = append(occ[i][entry.TokenIdx], entry.Posting)
+				st.PostingsRead++
+				found = true
+			})
+			if !found {
+				complete = false
+			}
+		}
+		if complete {
+			e.enumerateAndScore(kws, occ, typeCache, acc, &st)
+		}
+
+		anchor, ok = e.maxHead(lists)
+	}
+
+	return e.finalize(kws, acc), st
+}
+
+// maxHead returns the anchor: the largest Dewey code among the current
+// heads. ok is false when any list is exhausted (no further subtree
+// can contain all keywords).
+func (e *Engine) maxHead(lists []*invindex.MergedList) (xmltree.Dewey, bool) {
+	var max xmltree.Dewey
+	for _, l := range lists {
+		entry, ok := l.CurPos()
+		if !ok {
+			return nil, false
+		}
+		if max == nil || entry.Dewey.Compare(max) > 0 {
+			max = entry.Dewey
+		}
+	}
+	return max, max != nil
+}
+
+// groupEntry is one entity root observed for a (keyword, variant) at a
+// given depth, with the summed term frequency under it.
+type groupEntry struct {
+	rootKey string
+	path    xmltree.PathID
+	count   int32
+}
+
+// groupKey identifies one per-subtree grouping: a keyword's variant at
+// an entity depth.
+type groupKey struct {
+	kw, variant, depth int
+}
+
+// enumerateAndScore enumerates every candidate query formable from the
+// variants observed in the current subtree and accumulates entity
+// scores. Occurrence groupings by entity depth are computed lazily and
+// shared across the candidates that need the same (variant, depth)
+// pair, so each occurrence is touched O(#depths) rather than
+// O(#candidates) times.
+func (e *Engine) enumerateAndScore(
+	kws []Keyword,
+	occ []map[int][]invindex.Posting,
+	typeCache map[string]xmltree.PathID,
+	acc *accumulators,
+	st *Stats,
+) {
+	present := make([][]int, len(kws))
+	for i := range kws {
+		if len(occ[i]) == 0 {
+			return
+		}
+		for idx := range occ[i] {
+			present[i] = append(present[i], idx)
+		}
+		sort.Ints(present[i])
+	}
+
+	groups := make(map[groupKey][]groupEntry)
+	scratch := &candScratch{
+		choice: make([]int, len(kws)),
+		words:  make([]string, len(kws)),
+		counts: make([]int32, len(kws)),
+		others: make([][]groupEntry, len(kws)-1),
+		pos:    make([]int, len(kws)-1),
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(kws) {
+			e.scoreCandidate(kws, scratch, occ, groups, typeCache, acc, st)
+			return
+		}
+		for _, idx := range present[i] {
+			scratch.choice[i] = idx
+			scratch.words[i] = kws[i].Variants[idx].Word
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// candScratch holds per-enumeration buffers reused across candidates.
+type candScratch struct {
+	choice []int
+	words  []string
+	keyBuf []byte
+	counts []int32
+	others [][]groupEntry
+	pos    []int
+}
+
+// group returns this subtree's occurrences of (keyword kw, variant
+// idx), grouped by entity root at the given depth (lazily computed).
+func (e *Engine) group(
+	groups map[groupKey][]groupEntry,
+	occ []map[int][]invindex.Posting,
+	kw, idx, depth int,
+) []groupEntry {
+	k := groupKey{kw, idx, depth}
+	if g, ok := groups[k]; ok {
+		return g
+	}
+	var g []groupEntry
+	for _, p := range occ[kw][idx] {
+		if p.Dewey.Depth() < depth {
+			continue
+		}
+		rk := p.Dewey.Truncate(depth).Key()
+		path := e.ix.Paths.Ancestor(p.Path, depth)
+		// Occurrences arrive in document order, so equal roots are
+		// adjacent.
+		if n := len(g); n > 0 && g[n-1].rootKey == rk {
+			g[n-1].count += p.TF
+		} else {
+			g = append(g, groupEntry{rootKey: rk, path: path, count: p.TF})
+		}
+	}
+	groups[k] = g
+	return g
+}
+
+// scoreCandidate scores one candidate (identified by per-keyword
+// variant indices) within the current subtree's occurrences.
+func (e *Engine) scoreCandidate(
+	kws []Keyword,
+	sc *candScratch,
+	occ []map[int][]invindex.Posting,
+	groups map[groupKey][]groupEntry,
+	typeCache map[string]xmltree.PathID,
+	acc *accumulators,
+	st *Stats,
+) {
+	st.CandidatesSeen++
+	choice, words := sc.choice, sc.words
+	buf := sc.keyBuf[:0]
+	for i, w := range words {
+		if i > 0 {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, w...)
+	}
+	sc.keyBuf = buf
+
+	resType, cached := typeCache[string(buf)] // no alloc: map lookup
+	if !cached {
+		st.TypeComputations++
+		best, _, ok := e.inf.Best(words)
+		if !ok {
+			best = xmltree.InvalidPath
+		}
+		resType = best
+		typeCache[string(buf)] = resType
+	}
+	if resType == xmltree.InvalidPath {
+		return
+	}
+	dp := e.ix.Paths.Depth(resType)
+
+	// Intersect the per-keyword entity groupings at depth dp,
+	// restricted to roots whose label path is the result type. The
+	// first keyword's group drives the scan; the rest are probed in
+	// order (all groups are in document order).
+	base := e.group(groups, occ, 0, choice[0], dp)
+	if len(base) == 0 {
+		return
+	}
+	others := sc.others
+	for i := 1; i < len(kws); i++ {
+		others[i-1] = e.group(groups, occ, i, choice[i], dp)
+		if len(others[i-1]) == 0 {
+			return
+		}
+	}
+
+	var sum, bgMatched float64
+	matched := 0
+	witness := ""
+	counts := sc.counts
+	pos := sc.pos
+	for i := range pos {
+		pos[i] = 0
+	}
+	for _, ge := range base {
+		if ge.path != resType {
+			continue
+		}
+		counts[0] = ge.count
+		ok := true
+		for j, og := range others {
+			// Advance this keyword's cursor to ge.rootKey.
+			for pos[j] < len(og) && og[pos[j]].rootKey < ge.rootKey {
+				pos[j]++
+			}
+			if pos[j] >= len(og) || og[pos[j]].rootKey != ge.rootKey {
+				ok = false
+				break
+			}
+			counts[j+1] = og[pos[j]].count
+		}
+		if !ok {
+			continue
+		}
+		docLen := e.ix.SubtreeLenKey(ge.rootKey)
+		pw := e.prior.weight(ge.rootKey, docLen)
+		sum += pw * e.model.QueryProb(words, counts, docLen)
+		if e.cfg.ScoreMode == ScoreModeExact {
+			bgMatched += pw * e.model.BackgroundOnlyProb(words, docLen)
+		}
+		if matched == 0 {
+			witness = ge.rootKey
+		}
+		matched++
+	}
+	if matched == 0 {
+		return
+	}
+
+	norm := e.prior.normFor(resType)
+	if norm == 0 {
+		return
+	}
+	weight := 1.0
+	for i, idx := range choice {
+		weight *= kws[i].Variants[idx].Weight
+	}
+	before := acc.evictions
+	acc.add(string(buf), words, choice, resType, weight/norm, sum, bgMatched, matched, witness)
+	st.Evictions += acc.evictions - before
+}
+
+// finalize converts accumulators into ranked suggestions.
+func (e *Engine) finalize(kws []Keyword, acc *accumulators) []Suggestion {
+	var out []Suggestion
+	for _, a := range acc.all() {
+		norm := e.prior.normFor(a.resultType)
+		if norm == 0 {
+			continue
+		}
+		sum := a.sum
+		if e.cfg.ScoreMode == ScoreModeExact {
+			sum += e.backgroundMass(a.words, a.resultType) - a.bgMatched
+		}
+		pCT := sum / norm
+		weight := 1.0
+		dist := 0
+		for i, idx := range a.choice {
+			weight *= kws[i].Variants[idx].Weight
+			dist += kws[i].Variants[idx].Dist
+		}
+		if e.bigram != nil {
+			weight *= e.bigram.SequenceProb(a.words)
+		}
+		var witness xmltree.Dewey
+		if a.witness != "" {
+			witness = xmltree.DeweyFromKey(a.witness)
+		}
+		out = append(out, Suggestion{
+			Words:        a.words,
+			Score:        weight * pCT,
+			ResultType:   a.resultType,
+			Entities:     a.entities,
+			EditDistance: dist,
+			Witness:      witness,
+		})
+	}
+	sortSuggestions(out)
+	if k := e.cfg.k(); len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// sortSuggestions orders suggestions by descending score, breaking
+// ties by query text for determinism.
+func sortSuggestions(out []Suggestion) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Query() < out[j].Query()
+	})
+}
+
+// backgroundMass is Σ over all entities of type p of the prior-weighted
+// background-only product — the unmatched-entity contribution of the
+// exact scoring mode.
+func (e *Engine) backgroundMass(words []string, p xmltree.PathID) float64 {
+	var sum float64
+	if e.cfg.Prior == PriorUniform {
+		for _, l := range e.ix.SubtreeLensByPath(p) {
+			sum += e.model.BackgroundOnlyProb(words, l)
+		}
+		return sum
+	}
+	for _, key := range e.ix.RootsByPath(p) {
+		l := e.ix.SubtreeLenKey(key)
+		sum += e.prior.weight(key, l) * e.model.BackgroundOnlyProb(words, l)
+	}
+	return sum
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xclean/internal/fastss"
+)
+
+// TestErrorModelNormalizedQuick: for any variant set, the error-model
+// weights form a probability distribution over var_ε(q), weights are
+// non-increasing in edit distance, and a larger β concentrates more
+// mass on the closest variants (Eq. (4)).
+func TestErrorModelNormalizedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		matches := make([]fastss.Match, n)
+		for i := range matches {
+			matches[i] = fastss.Match{
+				Word: string(rune('a' + i)),
+				Dist: r.Intn(4),
+			}
+		}
+		beta := float64(1 + r.Intn(10))
+		kw := ErrorModel{Beta: beta}.Keyword("q", matches)
+
+		var sum float64
+		for _, v := range kw.Variants {
+			if v.Weight < 0 || v.Weight > 1 {
+				return false
+			}
+			sum += v.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		// Monotone: smaller distance never gets less weight.
+		for i := range kw.Variants {
+			for j := range kw.Variants {
+				if kw.Variants[i].Dist < kw.Variants[j].Dist &&
+					kw.Variants[i].Weight < kw.Variants[j].Weight-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorModelBetaConcentration(t *testing.T) {
+	matches := []fastss.Match{
+		{Word: "near", Dist: 0},
+		{Word: "far", Dist: 2},
+	}
+	low := ErrorModel{Beta: 1}.Keyword("q", matches)
+	high := ErrorModel{Beta: 8}.Keyword("q", matches)
+	if high.Variants[0].Weight <= low.Variants[0].Weight {
+		t.Errorf("β=8 mass on d=0 (%g) should exceed β=1 (%g)",
+			high.Variants[0].Weight, low.Variants[0].Weight)
+	}
+	zero := ErrorModel{Beta: -1}.Keyword("q", matches) // literal β=0
+	if math.Abs(zero.Variants[0].Weight-0.5) > 1e-12 {
+		t.Errorf("β=0 should be uniform, got %g", zero.Variants[0].Weight)
+	}
+}
+
+func TestErrorModelEmptyVariants(t *testing.T) {
+	kw := ErrorModel{}.Keyword("q", nil)
+	if len(kw.Variants) != 0 || kw.Raw != "q" {
+		t.Errorf("kw=%+v", kw)
+	}
+}

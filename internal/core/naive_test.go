@@ -1,0 +1,238 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/lm"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// naiveSuggest is an independent reference implementation of the
+// XClean scoring model, computed directly from the tree with no
+// inverted lists, no merged-list skipping, no anchor grouping, and no
+// pruning: it enumerates the full candidate space, scores every
+// candidate against every node of its best result type, and sorts.
+// Algorithm 1 (with unlimited γ) must produce exactly the same
+// ranking.
+func naiveSuggest(tr *xmltree.Tree, e *Engine, query string, beta float64, mu float64, r float64, minDepth int) []Suggestion {
+	kws := e.Keywords(query)
+	if len(kws) == 0 {
+		return nil
+	}
+	for _, kw := range kws {
+		if len(kw.Variants) == 0 {
+			return nil
+		}
+	}
+
+	// Gather, for every node, its subtree token counts.
+	type nodeInfo struct {
+		node   *xmltree.Node
+		counts map[string]int32
+		length int32
+	}
+	var infos []*nodeInfo
+	var collect func(n *xmltree.Node) *nodeInfo
+	collect = func(n *xmltree.Node) *nodeInfo {
+		in := &nodeInfo{node: n, counts: map[string]int32{}}
+		opts := tokenizer.Options{MinLength: 1}
+		for _, tok := range opts.Tokenize(n.Text) {
+			in.counts[tok]++
+			in.length++
+		}
+		for _, c := range n.Children {
+			ci := collect(c)
+			for w, k := range ci.counts {
+				in.counts[w] += k
+			}
+			in.length += ci.length
+		}
+		infos = append(infos, in)
+		return in
+	}
+	collect(tr.Root)
+
+	// Background model identical to the engine's.
+	model := lm.New(e.ix.Vocab, mu)
+
+	// f_p^w over the whole tree.
+	fpw := func(w string, p xmltree.PathID) float64 {
+		n := 0
+		for _, in := range infos {
+			if in.node.Path == p && in.counts[w] > 0 {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	pathsOf := func() []xmltree.PathID {
+		seen := map[xmltree.PathID]bool{}
+		var out []xmltree.PathID
+		for _, in := range infos {
+			if !seen[in.node.Path] {
+				seen[in.node.Path] = true
+				out = append(out, in.node.Path)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}()
+
+	var out []Suggestion
+	// Full Cartesian candidate space.
+	idx := make([]int, len(kws))
+	for {
+		words := make([]string, len(kws))
+		weight, dist := 1.0, 0
+		for i, j := range idx {
+			v := kws[i].Variants[j]
+			words[i] = v.Word
+			weight *= v.Weight
+			dist += v.Dist
+		}
+
+		// Best result type by direct evaluation of Eq. (7).
+		best := xmltree.InvalidPath
+		bestU := 0.0
+		for _, p := range pathsOf {
+			depth := tr.Paths.Depth(p)
+			if depth < minDepth {
+				continue
+			}
+			prod := 1.0
+			ok := true
+			for _, w := range words {
+				f := fpw(w, p)
+				if f == 0 {
+					ok = false
+					break
+				}
+				prod *= f
+			}
+			if !ok {
+				continue
+			}
+			u := math.Log(1+prod) * math.Pow(r, float64(depth))
+			if best == xmltree.InvalidPath || u > bestU || (u == bestU && p < best) {
+				best, bestU = p, u
+			}
+		}
+		if best != xmltree.InvalidPath {
+			// Score over all entities of the best type that contain
+			// every keyword.
+			var nEntities int32
+			sum := 0.0
+			matched := 0
+			for _, in := range infos {
+				if in.node.Path != best {
+					continue
+				}
+				nEntities++
+				all := true
+				for _, w := range words {
+					if in.counts[w] == 0 {
+						all = false
+						break
+					}
+				}
+				if !all {
+					continue
+				}
+				matched++
+				prob := 1.0
+				for _, w := range words {
+					prob *= model.Prob(w, in.counts[w], in.length)
+				}
+				sum += prob
+			}
+			if matched > 0 {
+				out = append(out, Suggestion{
+					Words:        words,
+					Score:        weight * sum / float64(nEntities),
+					ResultType:   best,
+					Entities:     matched,
+					EditDistance: dist,
+				})
+			}
+		}
+
+		// Next point of the product space.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(kws[i].Variants) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sortSuggestions(out)
+	return out
+}
+
+// randCorpus builds a random small labeled tree with words drawn from
+// a tight vocabulary (to force dense variant sets and frequent
+// co-occurrence).
+func randCorpus(rng *rand.Rand) *xmltree.Tree {
+	vocab := []string{"tree", "trees", "trie", "tred", "icde", "icdt",
+		"query", "quern", "clean", "cleans", "clear"}
+	labels := []string{"a", "b", "c"}
+	tr := xmltree.NewTree("root")
+	nArts := 2 + rng.Intn(5)
+	for i := 0; i < nArts; i++ {
+		art := tr.AddChild(tr.Root, labels[rng.Intn(len(labels))], "")
+		nFields := 1 + rng.Intn(3)
+		for j := 0; j < nFields; j++ {
+			nWords := 1 + rng.Intn(4)
+			var ws []string
+			for k := 0; k < nWords; k++ {
+				ws = append(ws, vocab[rng.Intn(len(vocab))])
+			}
+			tr.AddChild(art, labels[rng.Intn(len(labels))], strings.Join(ws, " "))
+		}
+	}
+	return tr
+}
+
+func TestAlgorithmMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	queries := []string{"tree icde", "trie", "quer clean", "tred icdt", "tree query clean"}
+	for trial := 0; trial < 150; trial++ {
+		tr := randCorpus(rng)
+		ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+		cfg := Config{
+			Epsilon:   1 + rng.Intn(2),
+			Gamma:     -1, // unlimited: pruning off for exact comparison
+			K:         100,
+			Tokenizer: tokenizer.Options{MinLength: 1},
+		}
+		e := NewEngine(ix, cfg)
+		for _, q := range queries {
+			got := e.Suggest(q)
+			want := naiveSuggest(tr, e, q, DefaultBeta, lm.DefaultMu, 0.8, 2)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %q: %d vs %d suggestions\n got=%v\nwant=%v",
+					trial, q, len(got), len(want), got, want)
+			}
+			for i := range got {
+				g, w := got[i], want[i]
+				if g.Query() != w.Query() || g.ResultType != w.ResultType ||
+					g.Entities != w.Entities || g.EditDistance != w.EditDistance {
+					t.Fatalf("trial %d query %q rank %d:\n got=%+v\nwant=%+v", trial, q, i, g, w)
+				}
+				if math.Abs(g.Score-w.Score) > 1e-12*math.Max(1, math.Abs(w.Score)) {
+					t.Fatalf("trial %d query %q rank %d: score %g vs %g", trial, q, i, g.Score, w.Score)
+				}
+			}
+		}
+	}
+}

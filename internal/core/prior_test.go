@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"xclean/internal/dataset"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// priorTree builds two same-type entities: e1 is short and matches
+// "alpha beta"; e2 is long, repeats "alpha betas" four times, and is
+// padded with filler. The unigram model's length normalization makes
+// e1's candidate win under the uniform prior, while the length prior's
+// linear weight on |D(e2)| flips the ranking.
+func priorTree() (*xmltree.Tree, xmltree.Dewey, xmltree.Dewey) {
+	tr := xmltree.NewTree("db")
+	e1 := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(e1, "f", "alpha beta")
+	e2 := tr.AddChild(tr.Root, "rec", "")
+	text := "alpha betas alpha betas alpha betas alpha betas"
+	for i := 0; i < 10; i++ {
+		text += " filler" + string(rune('a'+i))
+	}
+	tr.AddChild(e2, "f", text)
+	return tr, e1.Dewey, e2.Dewey
+}
+
+func topQuery(t *testing.T, e *Engine, q string) string {
+	t.Helper()
+	sugs := e.Suggest(q)
+	if len(sugs) == 0 {
+		t.Fatalf("no suggestions for %q", q)
+	}
+	return sugs[0].Query()
+}
+
+func TestPriorLengthFlipsRanking(t *testing.T) {
+	tr, _, _ := priorTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	// Small μ so document length matters; both corrections are at edit
+	// distance 1 from the dirty keyword.
+	q := "alpha betaz"
+
+	uni := NewEngine(ix, Config{Mu: 1})
+	if got := topQuery(t, uni, q); got != "alpha beta" {
+		t.Fatalf("uniform prior: top=%q want %q", got, "alpha beta")
+	}
+	long := NewEngine(ix, Config{Mu: 1, Prior: PriorLength})
+	if got := topQuery(t, long, q); got != "alpha betas" {
+		t.Fatalf("length prior: top=%q want %q", got, "alpha betas")
+	}
+}
+
+func TestPriorCustomBoostsEntity(t *testing.T) {
+	tr, _, e2 := priorTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	q := "alpha betaz"
+
+	uni := NewEngine(ix, Config{Mu: 1})
+	if got := topQuery(t, uni, q); got != "alpha beta" {
+		t.Fatalf("uniform prior: top=%q", got)
+	}
+	boosted := NewEngine(ix, Config{
+		Mu:          1,
+		Prior:       PriorCustom,
+		CustomPrior: map[string]float64{e2.Key(): 10000},
+	})
+	if got := topQuery(t, boosted, q); got != "alpha betas" {
+		t.Fatalf("custom prior: top=%q want %q", got, "alpha betas")
+	}
+}
+
+// TestPriorCustomUniformEquivalence: all-equal custom weights must
+// reproduce the uniform ranking exactly (the prior is normalized per
+// result type, so a constant cancels).
+func TestPriorCustomUniformEquivalence(t *testing.T) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 21, Articles: 300})
+	ix := invindex.Build(c.Tree, tokenizer.Options{})
+
+	flat := make(map[string]float64)
+	ix.Tokens(func(string) {}) // no-op; weights default to 1 when absent
+	uni := NewEngine(ix, Config{})
+	cus := NewEngine(ix, Config{Prior: PriorCustom, CustomPrior: flat})
+
+	for _, q := range c.SampleQueries(22, 10) {
+		a := uni.Suggest(q)
+		b := cus.Suggest(q)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d suggestions", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Query() != b[i].Query() {
+				t.Fatalf("query %q: rank %d diverges: %q vs %q", q, i, a[i].Query(), b[i].Query())
+			}
+			if diff := a[i].Score - b[i].Score; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("query %q: rank %d score %g vs %g", q, i, a[i].Score, b[i].Score)
+			}
+		}
+	}
+}
+
+// TestPriorNonEmptyGuaranteeHolds: non-uniform priors reweight
+// entities but must never admit a candidate without matching entities.
+func TestPriorNonEmptyGuaranteeHolds(t *testing.T) {
+	tr, _, _ := priorTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	for _, p := range []Prior{PriorUniform, PriorLength, PriorCustom} {
+		e := NewEngine(ix, Config{Prior: p})
+		for _, s := range e.Suggest("alpha betaz") {
+			if s.Entities < 1 {
+				t.Errorf("prior %d: suggestion %q has no entities", p, s.Query())
+			}
+		}
+	}
+}
+
+func TestEntityWeight(t *testing.T) {
+	key := xmltree.Dewey{1, 2}.Key()
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{Config{}, 1},
+		{Config{Prior: PriorLength}, 7},
+		{Config{Prior: PriorCustom}, 1},
+		{Config{Prior: PriorCustom, CustomPrior: map[string]float64{key: 4}}, 5},
+		{Config{Prior: PriorCustom, CustomPrior: map[string]float64{key: -3}}, 1},
+	}
+	for i, c := range cases {
+		if got := c.cfg.EntityWeight(key, 7); got != c.want {
+			t.Errorf("case %d: EntityWeight=%g want %g", i, got, c.want)
+		}
+	}
+}

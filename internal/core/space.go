@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"strings"
+
+	"xclean/internal/tokenizer"
+)
+
+// shape is one alternative tokenization of the query obtained by
+// inserting or deleting spaces (Section VI-A).
+type shape struct {
+	tokens  []string
+	changes int
+}
+
+// SuggestWithSpaces extends Suggest with the space-error model of
+// Section VI-A: up to τ (Config.MaxSpaceChanges) insertions or
+// deletions of spaces are explored, each validated against the
+// vocabulary, and every resulting candidate query competes in one
+// ranked list. Each space change is penalized like a single edit
+// error, exp(-β), on the final score.
+func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
+	raw := tokenizer.TokenizeRaw(query)
+	shapes := e.expandShapes(raw, e.cfg.tau())
+
+	beta := e.em.beta()
+	best := make(map[string]Suggestion)
+	for _, sh := range shapes {
+		kept := e.filterShape(sh.tokens)
+		if len(kept) == 0 {
+			continue
+		}
+		penalty := math.Exp(-beta * float64(sh.changes))
+		sugs, _ := e.suggestKeywords(e.keywordsFor(kept))
+		for _, s := range sugs {
+			s.Score *= penalty
+			s.EditDistance += sh.changes
+			q := s.Query()
+			if old, ok := best[q]; !ok || s.Score > old.Score {
+				best[q] = s
+			}
+		}
+	}
+
+	if len(best) == 0 {
+		return nil
+	}
+	out := make([]Suggestion, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	sortSuggestions(out)
+	if k := e.cfg.k(); len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// expandShapes enumerates tokenizations reachable with at most tau
+// space changes: merging two adjacent tokens (space deletion) when the
+// concatenation is a vocabulary term, and splitting one token into two
+// vocabulary terms (space insertion).
+func (e *Engine) expandShapes(tokens []string, tau int) []shape {
+	seen := map[string]bool{}
+	var out []shape
+	var queue []shape
+	push := func(s shape) {
+		key := strings.Join(s.tokens, "\x00")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, s)
+			queue = append(queue, s)
+		}
+	}
+	push(shape{tokens: tokens})
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.changes >= tau {
+			continue
+		}
+		// Space deletions: merge adjacent pairs.
+		for i := 0; i+1 < len(cur.tokens); i++ {
+			merged := cur.tokens[i] + cur.tokens[i+1]
+			if !e.ix.Vocab.Contains(merged) {
+				continue
+			}
+			next := make([]string, 0, len(cur.tokens)-1)
+			next = append(next, cur.tokens[:i]...)
+			next = append(next, merged)
+			next = append(next, cur.tokens[i+2:]...)
+			push(shape{tokens: next, changes: cur.changes + 1})
+		}
+		// Space insertions: split one token into two vocabulary terms.
+		for i, tok := range cur.tokens {
+			r := []rune(tok)
+			for cut := 1; cut < len(r); cut++ {
+				a, b := string(r[:cut]), string(r[cut:])
+				if !e.ix.Vocab.Contains(a) || !e.ix.Vocab.Contains(b) {
+					continue
+				}
+				next := make([]string, 0, len(cur.tokens)+1)
+				next = append(next, cur.tokens[:i]...)
+				next = append(next, a, b)
+				next = append(next, cur.tokens[i+1:]...)
+				push(shape{tokens: next, changes: cur.changes + 1})
+			}
+		}
+	}
+	return out
+}
+
+// filterShape applies the index token filters (stop words, numbers,
+// minimum length) to a shape's tokens.
+func (e *Engine) filterShape(tokens []string) []string {
+	var kept []string
+	for _, t := range tokens {
+		if ts := e.cfg.Tokenizer.Tokenize(t); len(ts) == 1 {
+			kept = append(kept, ts[0])
+		}
+	}
+	return kept
+}
+
+// keywordsFor builds keyword structures for already-tokenized input.
+func (e *Engine) keywordsFor(tokens []string) []Keyword {
+	kws := make([]Keyword, len(tokens))
+	for i, tok := range tokens {
+		kws[i] = e.em.Keyword(tok, e.variants(tok))
+	}
+	return kws
+}

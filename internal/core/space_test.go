@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// spaceTree has documents mentioning "powerpoint" (one token) and
+// "data base" (two tokens), exercising both space deletion and
+// insertion.
+func spaceTree() *xmltree.Tree {
+	t := xmltree.NewTree("docs")
+	d1 := t.AddChild(t.Root, "doc", "")
+	t.AddChild(d1, "title", "powerpoint presentation tips")
+	d2 := t.AddChild(t.Root, "doc", "")
+	t.AddChild(d2, "title", "data base systems overview")
+	d3 := t.AddChild(t.Root, "doc", "")
+	t.AddChild(d3, "title", "powerpoint slides data")
+	return t
+}
+
+func spaceEngine() *Engine {
+	tr := spaceTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	return NewEngine(ix, Config{})
+}
+
+func TestSpaceDeletion(t *testing.T) {
+	e := spaceEngine()
+	// "power point" only becomes matchable after merging the tokens.
+	sugs := e.SuggestWithSpaces("power point presentation")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "powerpoint presentation" {
+		t.Errorf("top=%q want 'powerpoint presentation'", sugs[0].Query())
+	}
+	// Plain Suggest cannot fix this error class.
+	if got := e.Suggest("power point presentation"); got != nil {
+		t.Errorf("plain Suggest unexpectedly matched: %v", got)
+	}
+}
+
+func TestSpaceInsertion(t *testing.T) {
+	e := spaceEngine()
+	sugs := e.SuggestWithSpaces("database systems")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "data base systems" {
+		t.Errorf("top=%q want 'data base systems'", sugs[0].Query())
+	}
+}
+
+func TestSpaceCleanQueryUnharmed(t *testing.T) {
+	e := spaceEngine()
+	sugs := e.SuggestWithSpaces("powerpoint slides")
+	if len(sugs) == 0 || sugs[0].Query() != "powerpoint slides" {
+		t.Fatalf("clean query displaced: %v", sugs)
+	}
+	if sugs[0].EditDistance != 0 {
+		t.Errorf("clean query edit distance=%d", sugs[0].EditDistance)
+	}
+}
+
+func TestSpacePenaltyOrdersShapes(t *testing.T) {
+	e := spaceEngine()
+	// "powerpoint data" is clean; the split shape "power point data"
+	// (not in vocabulary) must not outrank it.
+	sugs := e.SuggestWithSpaces("powerpoint data")
+	if len(sugs) == 0 || sugs[0].Query() != "powerpoint data" {
+		t.Fatalf("unexpected ranking: %v", sugs)
+	}
+}
+
+func TestExpandShapesTauBound(t *testing.T) {
+	e := spaceEngine()
+	shapes := e.expandShapes([]string{"power", "point", "data", "base"}, 2)
+	for _, sh := range shapes {
+		if sh.changes > 2 {
+			t.Errorf("shape %v exceeds tau", sh.tokens)
+		}
+	}
+	// τ=0 yields only the original shape.
+	shapes0 := e.expandShapes([]string{"power", "point"}, 0)
+	if len(shapes0) != 1 || shapes0[0].changes != 0 {
+		t.Errorf("tau=0 shapes: %v", shapes0)
+	}
+}
+
+func TestSpaceHopelessQuery(t *testing.T) {
+	e := spaceEngine()
+	if got := e.SuggestWithSpaces("zzz qqq"); got != nil {
+		t.Errorf("hopeless query -> %v", got)
+	}
+	if got := e.SuggestWithSpaces(""); got != nil {
+		t.Errorf("empty query -> %v", got)
+	}
+}

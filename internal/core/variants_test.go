@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// variantTree holds tokens that are phonetically but not
+// typographically close ("wright"/"write": edit distance 3, Soundex
+// W623/W630... use "smith"/"smyth" style pairs instead) plus synonym
+// targets.
+func variantTree() *xmltree.Tree {
+	t := xmltree.NewTree("db")
+	r1 := t.AddChild(t.Root, "rec", "")
+	t.AddChild(r1, "f", "naight compiler design") // 'naight' sounds like 'knight'... keep simple
+	r2 := t.AddChild(t.Root, "rec", "")
+	t.AddChild(r2, "f", "automobile engine repair")
+	r3 := t.AddChild(t.Root, "rec", "")
+	t.AddChild(r3, "f", "fisher quantum computing")
+	return t
+}
+
+func TestPhoneticVariants(t *testing.T) {
+	tr := variantTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+
+	// "fischer" is 1 insertion from "fisher", but "physher" is far in
+	// edit distance while phonetically close... use a cleaner case:
+	// query "fissher" (distance 1, covered by FastSS) and query
+	// "phisher" (distance 2 — Soundex F260 == fisher F260 via ph->f?
+	// Soundex('phisher')=P260 differs in first letter).
+	//
+	// Instead verify mechanics directly: with Phonetic on, a
+	// same-code word at edit distance > ε still becomes a variant.
+	eng := NewEngine(ix, Config{Epsilon: 1, Phonetic: true})
+	vs := eng.variants("fishar") // ed(fishar,fisher)=1 and same code
+	foundFisher := false
+	for _, v := range vs {
+		if v.Word == "fisher" {
+			foundFisher = true
+			if v.Dist != 1 {
+				t.Errorf("edit distance should win over phonetic distance: %+v", v)
+			}
+		}
+	}
+	if !foundFisher {
+		t.Fatalf("variants=%v", vs)
+	}
+
+	// "fusheir" is 2 edits from fisher (beyond ε=1) but Soundex-equal
+	// (F260), so it is reachable only phonetically.
+	plain := NewEngine(ix, Config{Epsilon: 1})
+	if vs := plain.variants("fusheir"); len(vs) != 0 {
+		t.Fatalf("plain engine should not match: %v", vs)
+	}
+	vs = eng.variants("fusheir")
+	if len(vs) != 1 || vs[0].Word != "fisher" || vs[0].Dist != 2 {
+		t.Fatalf("phonetic variants=%v", vs)
+	}
+
+	// End to end: the phonetic engine can clean the query.
+	sugs := eng.Suggest("fusheir quantum")
+	if len(sugs) == 0 || sugs[0].Query() != "fisher quantum" {
+		t.Errorf("sugs=%v", sugs)
+	}
+}
+
+func TestSynonymVariants(t *testing.T) {
+	tr := variantTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	eng := NewEngine(ix, Config{
+		Epsilon:  1,
+		Synonyms: map[string][]string{"car": {"automobile", "vehicle"}},
+	})
+
+	// "car" has no edit-distance variants in this vocabulary; the
+	// synonym "automobile" is in the corpus, "vehicle" is not.
+	vs := eng.variants("car")
+	if len(vs) != 1 || vs[0].Word != "automobile" || vs[0].Dist != 1 {
+		t.Fatalf("variants=%v", vs)
+	}
+
+	sugs := eng.Suggest("car engine")
+	if len(sugs) == 0 || sugs[0].Query() != "automobile engine" {
+		t.Errorf("sugs=%v", sugs)
+	}
+
+	// Without the thesaurus the query is hopeless.
+	plain := NewEngine(ix, Config{Epsilon: 1})
+	if got := plain.Suggest("car engine"); got != nil {
+		t.Errorf("plain engine matched: %v", got)
+	}
+}
+
+func TestSynonymSelfAndUnknownIgnored(t *testing.T) {
+	tr := variantTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	eng := NewEngine(ix, Config{
+		Epsilon:  1,
+		Synonyms: map[string][]string{"engine": {"engine", "motorizer"}},
+	})
+	vs := eng.variants("engine")
+	for _, v := range vs {
+		if v.Word == "motorizer" {
+			t.Error("out-of-vocabulary synonym admitted")
+		}
+		if v.Word == "engine" && v.Dist != 0 {
+			t.Error("self-synonym must not raise the distance")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+)
+
+func TestGenerateDBLPDeterministic(t *testing.T) {
+	a := GenerateDBLP(DBLPConfig{Seed: 1, Articles: 50})
+	b := GenerateDBLP(DBLPConfig{Seed: 1, Articles: 50})
+	if len(a.Articles) != 50 || len(b.Articles) != 50 {
+		t.Fatalf("article counts: %d %d", len(a.Articles), len(b.Articles))
+	}
+	for i := range a.Articles {
+		if strings.Join(a.Articles[i].Title, " ") != strings.Join(b.Articles[i].Title, " ") {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := GenerateDBLP(DBLPConfig{Seed: 2, Articles: 50})
+	same := true
+	for i := range a.Articles {
+		if strings.Join(a.Articles[i].Title, " ") != strings.Join(c.Articles[i].Title, " ") {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestDBLPStructure(t *testing.T) {
+	c := GenerateDBLP(DBLPConfig{Seed: 7, Articles: 100})
+	st := c.Tree.ComputeStats()
+	if st.MaxDepth != 3 {
+		t.Errorf("maxDepth=%d want 3 (data-centric shallow)", st.MaxDepth)
+	}
+	// 1 root + per article: 1 + authors(1..3) + title + year + venue.
+	if st.Nodes < 100*5 || st.Nodes > 1+100*7 {
+		t.Errorf("nodes=%d outside expected range", st.Nodes)
+	}
+	if c.Tree.Paths.Lookup("/dblp/article/title") < 0 {
+		t.Error("missing /dblp/article/title path")
+	}
+	// Titles indexed and answerable.
+	ix := invindex.Build(c.Tree, tokenizer.Options{})
+	a := c.Articles[0]
+	for _, w := range a.Title {
+		if len(w) >= 3 && !tokenizer.IsStopword(w) && ix.DocFreq(w) == 0 {
+			t.Errorf("title word %q not indexed", w)
+		}
+	}
+}
+
+func TestDBLPSampleQueriesAnswerable(t *testing.T) {
+	c := GenerateDBLP(DBLPConfig{Seed: 3, Articles: 500})
+	qs := c.SampleQueries(11, 20)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	ix := invindex.Build(c.Tree, tokenizer.Options{})
+	for _, q := range qs {
+		for _, w := range tokenizer.Tokenize(q) {
+			if ix.DocFreq(w) == 0 {
+				t.Errorf("query %q has unindexed token %q", q, w)
+			}
+		}
+	}
+	// Deterministic sampling.
+	qs2 := c.SampleQueries(11, 20)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestGenerateWikiStructure(t *testing.T) {
+	c := GenerateWiki(WikiConfig{Seed: 5, Articles: 50})
+	if len(c.Articles) != 50 {
+		t.Fatalf("articles=%d", len(c.Articles))
+	}
+	st := c.Tree.ComputeStats()
+	if st.MaxDepth < 5 {
+		t.Errorf("maxDepth=%d want >=5 (document-centric deep)", st.MaxDepth)
+	}
+	if c.Tree.Paths.Lookup("/wiki/article/body/section/p") < 0 {
+		t.Error("missing paragraph path")
+	}
+	// Document-centric: much more text per node than DBLP.
+	d := GenerateDBLP(DBLPConfig{Seed: 5, Articles: 50})
+	dst := d.Tree.ComputeStats()
+	wikiPerNode := float64(st.TextBytes) / float64(st.Nodes)
+	dblpPerNode := float64(dst.TextBytes) / float64(dst.Nodes)
+	if wikiPerNode <= dblpPerNode {
+		t.Errorf("wiki text/node %.1f not above dblp %.1f", wikiPerNode, dblpPerNode)
+	}
+}
+
+func TestWikiSampleQueriesAnswerable(t *testing.T) {
+	c := GenerateWiki(WikiConfig{Seed: 5, Articles: 200})
+	qs := c.SampleQueries(13, 20)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	ix := invindex.Build(c.Tree, tokenizer.Options{})
+	for _, q := range qs {
+		for _, w := range tokenizer.Tokenize(q) {
+			if ix.DocFreq(w) == 0 {
+				t.Errorf("query %q token %q unindexed", q, w)
+			}
+		}
+	}
+}
+
+func TestWordListsSane(t *testing.T) {
+	for name, list := range map[string][]string{
+		"GeneralWords": GeneralWords,
+		"CSWords":      CSWords,
+		"Surnames":     Surnames,
+		"GivenNames":   GivenNames,
+		"Venues":       Venues,
+		"WikiTopics":   WikiTopics,
+	} {
+		if len(list) < 30 {
+			t.Errorf("%s too small: %d", name, len(list))
+		}
+		seen := map[string]bool{}
+		for _, w := range list {
+			if len(w) < 2 {
+				t.Errorf("%s has tiny word %q", name, w)
+			}
+			if strings.ToLower(w) != w {
+				t.Errorf("%s has non-lowercase %q", name, w)
+			}
+			if seen[w] {
+				t.Errorf("%s has duplicate %q", name, w)
+			}
+			seen[w] = true
+		}
+	}
+	if len(GeneralWords) < 500 {
+		t.Errorf("GeneralWords=%d want >=500", len(GeneralWords))
+	}
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// DBLPConfig sizes the data-centric bibliography corpus.
+type DBLPConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Articles is the number of bibliography entries (0 = 20000).
+	Articles int
+}
+
+func (c DBLPConfig) articles() int {
+	if c.Articles <= 0 {
+		return 20000
+	}
+	return c.Articles
+}
+
+// Article records the generated metadata of one entry, used to sample
+// answerable clean queries.
+type Article struct {
+	Authors []string // "given surname"
+	Title   []string
+	Venue   string
+	Year    int
+}
+
+// DBLPCorpus is the generated data-centric corpus: shallow, highly
+// repetitive element types, short virtual documents — the structural
+// profile of the real DBLP snapshot in Table I.
+type DBLPCorpus struct {
+	Tree     *xmltree.Tree
+	Articles []Article
+}
+
+// GenerateDBLP builds the bibliography corpus.
+//
+// Author surnames follow a Zipf distribution (a few prolific authors,
+// a long tail), and title words mix the CS vocabulary with general
+// English, again Zipf-distributed, so df statistics resemble real
+// bibliographies.
+func GenerateDBLP(cfg DBLPConfig) *DBLPCorpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.articles()
+
+	surZipf := rand.NewZipf(rng, 1.4, 4, uint64(len(Surnames)-1))
+	givenZipf := rand.NewZipf(rng, 1.3, 4, uint64(len(GivenNames)-1))
+	// Inflected forms give the vocabulary the dense edit-distance
+	// neighborhoods of real text (tree/trees, index/indexing, ...).
+	titlePool := Inflect(append(append([]string{}, CSWords...), GeneralWords...))
+	titleZipf := rand.NewZipf(rng, 1.25, 8, uint64(len(titlePool)-1))
+	venueZipf := rand.NewZipf(rng, 1.2, 2, uint64(len(Venues)-1))
+
+	tree := xmltree.NewTree("dblp")
+	corpus := &DBLPCorpus{Tree: tree, Articles: make([]Article, 0, n)}
+
+	for i := 0; i < n; i++ {
+		var a Article
+		nAuthors := 1 + rng.Intn(3)
+		for j := 0; j < nAuthors; j++ {
+			a.Authors = append(a.Authors,
+				GivenNames[givenZipf.Uint64()]+" "+Surnames[surZipf.Uint64()])
+		}
+		tLen := 4 + rng.Intn(7)
+		seen := map[string]bool{}
+		for len(a.Title) < tLen {
+			w := titlePool[titleZipf.Uint64()]
+			if !seen[w] {
+				seen[w] = true
+				a.Title = append(a.Title, w)
+			}
+		}
+		a.Venue = Venues[venueZipf.Uint64()]
+		a.Year = 1985 + rng.Intn(25)
+
+		art := tree.AddChild(tree.Root, "article", "")
+		for _, au := range a.Authors {
+			tree.AddChild(art, "author", au)
+		}
+		tree.AddChild(art, "title", withNoise(rng, a.Title))
+		tree.AddChild(art, "year", fmt.Sprint(a.Year))
+		tree.AddChild(art, "booktitle", a.Venue)
+		corpus.Articles = append(corpus.Articles, a)
+	}
+	return corpus
+}
+
+// SampleQueries draws n answerable clean queries in the style of the
+// paper's DBLP query set: an author surname plus keywords from one of
+// that author's papers (e.g. "rose architecture fpga").
+func (c *DBLPCorpus) SampleQueries(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []string
+	for attempts := 0; len(out) < n && attempts < n*50; attempts++ {
+		a := c.Articles[rng.Intn(len(c.Articles))]
+		author := a.Authors[rng.Intn(len(a.Authors))]
+		surname := author[strings.LastIndex(author, " ")+1:]
+		nKw := 1 + rng.Intn(2)
+		words := []string{surname}
+		// Skip stop words: they are not indexed (Section VII-A), so a
+		// query containing one could never be suggested verbatim.
+		for _, j := range rng.Perm(len(a.Title)) {
+			if len(words) > nKw {
+				break
+			}
+			if w := a.Title[j]; !tokenizer.IsStopword(w) {
+				words = append(words, w)
+			}
+		}
+		if len(words) < 2 {
+			continue
+		}
+		q := strings.Join(words, " ")
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}

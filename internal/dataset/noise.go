@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// noiseRate is the chance (1 in noiseRate) that a corpus token gains a
+// misspelt duplicate. Real databases contain such dirty content — the
+// paper's Section I example is a paper title spelt "vverification" —
+// and those rare near-neighbor tokens are precisely what a
+// rare-token-biased scorer latches onto.
+const noiseRate = 120
+
+// withNoise renders a token slice as text, occasionally inserting a
+// corrupted duplicate of a token right after it. The clean tokens are
+// all preserved, so queries sampled from the clean metadata remain
+// answerable.
+func withNoise(rng *rand.Rand, tokens []string) string {
+	var b strings.Builder
+	for i, t := range tokens {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t)
+		if len(t) > 4 && rng.Intn(noiseRate) == 0 {
+			b.WriteByte(' ')
+			b.WriteString(corrupt(rng, t))
+		}
+	}
+	return b.String()
+}
+
+const noiseAlphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// corrupt applies one random edit operation to a token.
+func corrupt(rng *rand.Rand, t string) string {
+	r := []rune(t)
+	switch rng.Intn(3) {
+	case 0: // substitution
+		i := rng.Intn(len(r))
+		r[i] = rune(noiseAlphabet[rng.Intn(26)])
+		return string(r)
+	case 1: // deletion
+		i := rng.Intn(len(r))
+		return string(r[:i]) + string(r[i+1:])
+	default: // insertion
+		i := rng.Intn(len(r) + 1)
+		return string(r[:i]) + string(noiseAlphabet[rng.Intn(26)]) + string(r[i:])
+	}
+}

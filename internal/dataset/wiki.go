@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// WikiConfig sizes the document-centric corpus.
+type WikiConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Articles is the number of encyclopedia articles (0 = 2000).
+	Articles int
+}
+
+func (c WikiConfig) articles() int {
+	if c.Articles <= 0 {
+		return 2000
+	}
+	return c.Articles
+}
+
+// WikiArticle records a generated article's salient terms for query
+// sampling.
+type WikiArticle struct {
+	Title   []string
+	Salient []string // content words tied to this article
+}
+
+// WikiCorpus is the generated document-centric corpus: deeper nesting,
+// long mixed-vocabulary virtual documents, larger vocabulary — the
+// structural profile of the INEX 2008 Wikipedia collection in Table I.
+type WikiCorpus struct {
+	Tree     *xmltree.Tree
+	Articles []WikiArticle
+}
+
+// GenerateWiki builds the encyclopedia corpus. Every article has a
+// topical theme: a handful of topic words recur across its sections,
+// embedded in Zipf-distributed general prose (so co-occurrence inside
+// an article is much more likely than across articles).
+func GenerateWiki(cfg WikiConfig) *WikiCorpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.articles()
+
+	prosePool := Inflect(append(append([]string{}, GeneralWords...), WikiTopics...))
+	proseZipf := rand.NewZipf(rng, 1.2, 10, uint64(len(prosePool)-1))
+
+	tree := xmltree.NewTree("wiki")
+	corpus := &WikiCorpus{Tree: tree, Articles: make([]WikiArticle, 0, n)}
+
+	for i := 0; i < n; i++ {
+		// Theme: 2 topic words + 3-5 theme prose words that recur.
+		var wa WikiArticle
+		t1 := WikiTopics[rng.Intn(len(WikiTopics))]
+		t2 := WikiTopics[rng.Intn(len(WikiTopics))]
+		for t2 == t1 {
+			t2 = WikiTopics[rng.Intn(len(WikiTopics))]
+		}
+		wa.Title = []string{t1, t2}
+		theme := []string{t1, t2}
+		nTheme := 3 + rng.Intn(3)
+		for j := 0; j < nTheme; j++ {
+			w := prosePool[proseZipf.Uint64()]
+			theme = append(theme, w)
+			wa.Salient = append(wa.Salient, w)
+		}
+
+		sentence := func(min, max int) string {
+			k := min + rng.Intn(max-min+1)
+			words := make([]string, 0, k)
+			for j := 0; j < k; j++ {
+				// ~1 in 5 words comes from the article theme.
+				if rng.Intn(5) == 0 {
+					words = append(words, theme[rng.Intn(len(theme))])
+				} else {
+					words = append(words, prosePool[proseZipf.Uint64()])
+				}
+			}
+			return withNoise(rng, words)
+		}
+
+		art := tree.AddChild(tree.Root, "article", "")
+		tree.AddChild(art, "title", strings.Join(wa.Title, " "))
+		body := tree.AddChild(art, "body", "")
+		nSec := 1 + rng.Intn(4)
+		for s := 0; s < nSec; s++ {
+			sec := tree.AddChild(body, "section", "")
+			tree.AddChild(sec, "heading", sentence(2, 4))
+			nPar := 1 + rng.Intn(3)
+			for p := 0; p < nPar; p++ {
+				tree.AddChild(sec, "p", sentence(20, 60))
+			}
+			// Occasional subsections for extra depth, as in real
+			// Wikipedia markup.
+			if rng.Intn(3) == 0 {
+				sub := tree.AddChild(sec, "subsection", "")
+				tree.AddChild(sub, "heading", sentence(2, 4))
+				tree.AddChild(sub, "p", sentence(15, 40))
+			}
+		}
+		corpus.Articles = append(corpus.Articles, wa)
+	}
+	return corpus
+}
+
+// SampleQueries draws n answerable clean queries in the style of the
+// INEX topics: short phrases built from one article's title and
+// salient content words (e.g. "great barrier reef").
+func (c *WikiCorpus) SampleQueries(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []string
+	for attempts := 0; len(out) < n && attempts < n*50; attempts++ {
+		a := c.Articles[rng.Intn(len(c.Articles))]
+		words := append([]string{}, a.Title...)
+		if len(a.Salient) > 0 && rng.Intn(2) == 0 {
+			// Skip stop words: they are not indexed (Section VII-A).
+			if w := a.Salient[rng.Intn(len(a.Salient))]; !tokenizer.IsStopword(w) {
+				words = append(words, w)
+			}
+		}
+		q := strings.Join(dedupe(words), " ")
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func dedupe(words []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

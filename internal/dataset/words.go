@@ -1,0 +1,280 @@
+// Package dataset generates the two synthetic corpora that stand in
+// for the paper's DBLP and INEX/Wikipedia datasets (see DESIGN.md §3
+// for the substitution argument): a data-centric bibliography and a
+// document-centric article collection, both deterministic under a
+// seed, with Zipfian token usage so that term-frequency statistics
+// resemble real text.
+package dataset
+
+import "strings"
+
+func split(s string) []string { return strings.Fields(s) }
+
+// GeneralWords is the shared English vocabulary used by both corpora.
+// It deliberately includes the correct forms of the misspelling rule
+// list (internal/queryset), so RULE perturbation applies to generated
+// queries the way the Wikipedia misspelling list applied to INEX
+// topics.
+var GeneralWords = split(`
+	ability absence account accident achieve acquire address advance
+	adventure advice affect agency agreement amount analysis ancient
+	animal announce answer apparent appearance approach argument arrival
+	article artist aspect assembly assume atmosphere attempt attention
+	attitude audience author authority average balance barrier basic
+	battle beautiful because beginning behaviour belief believe benefit
+	better bicycle biology board border bottle bottom boundary branch
+	breath bridge brief brilliant broad brother budget building business
+	calendar camera campaign capable capacity capital captain carbon
+	career careful carriage category cattle caught causes celebrate
+	center central century ceremony certain chamber champion chance
+	change channel chapter character charge chief choice church circle
+	citizen classic climate closer clothes coast collect college colour
+	column combine comfortable coming command comment commercial
+	committee common community company compare complete concern
+	condition conference confidence connect conscious consider constant
+	contact contain content contest continue contract control convert
+	corner correct cotton council country couple courage course cousin
+	cover create creature credit crisis critic culture curious current
+	custom damage danger daughter debate decade decide decision declare
+	deep defense definitely degree deliver demand density department
+	describe desert design desire detail develop device diamond
+	difference different difficult dinner direct discipline discover
+	discuss disease distance district divide doctor document dollar
+	domain double doubt dozen dramatic dream dress drive early earth
+	eastern economy edition education effect effort eight either
+	election electric element eleven embarrass emergency emotion
+	emperor empire employ energy engine enough enter entire environment
+	equal equipment escape especially essay estate evening event
+	evidence exactly example excellent except exchange excite exercise
+	exist expect experience experiment expert explain express extend
+	extreme fabric factor factory familiar family famous farmer fashion
+	father feature federal feeling fellow female fiction field fifteen
+	fifth fifty fight figure final finance finger finish fire first
+	flight floor flower follow football foreign forest forget formal
+	format fortune forty forward foundation fourth frame freedom
+	frequent fresh friend front fruit function further future garden
+	gather general generation gentle glass global gold government
+	grammar grand great green ground group growth guarantee guard
+	guess guest guide habit handle happen harbor hardly health heart
+	heavy height herself highway himself history holiday honest horizon
+	horse hospital hotel house however human hundred hungry hunting idea
+	identify image imagine immediate impact important impossible improve
+	incident include income increase indeed independent indicate
+	industry influence inform initial injury inside instance instead
+	insurance intelligence interest international interview
+	introduce invasion involve island issue itself journal journey
+	judge judgment junior justice kingdom kitchen knife knowledge
+	labor ladder language large later laugh launch leader league
+	learn leather leave lecture legal length lesson letter level
+	liberty library license light likely limit listen literature little
+	local location longer lovely lower machine magazine maintain major
+	manage manner manufacture margin marine market marriage master
+	match material matter maximum maybe meaning measure mechanic
+	medical medicine medium member memory mention message metal method
+	middle might military million mineral minister minute mirror
+	mission mistake mixture model modern moment money monitor month
+	moral morning mother motion mountain mouth movement murder muscle
+	museum music mystery narrow nation native natural nature nearly
+	necessary needle neighbor neither nerve never night nobody noise
+	normal northern notice notion novel nuclear number object observe
+	obtain obvious occasion occur ocean offer office officer official
+	often opera operation opinion oppose option orange orchestra order
+	ordinary organize origin other outside owner oxygen package page
+	paint palace paper parent parliament particular partner party
+	passage passenger patient pattern payment peace people pepper
+	perfect perform perhaps period permanent person phrase physical
+	piano picture piece pilot pioneer place plain plan planet plant
+	plastic plate platform player pleasant please pleasure plenty
+	pocket poem point police policy politic popular population portion
+	position possess possible potato pound powder power powerful
+	practical practice prepare presence present president pressure
+	pretty prevent previous price pride priest primary prince princess
+	principle print prison private prize probable problem procedure
+	process produce product profession professor profit program
+	progress project promise property propose protect protest proud
+	prove provide public publish purpose quality quarter question quick
+	quiet radio railway raise range rapid rather reach reaction read
+	ready reason receive recent recognize recommend record reduce
+	refer reflect reform refuse region regular relation release
+	religion remain remark remember remove repeat replace report
+	represent request require research resource respect respond
+	response rest result return reveal review reward rhythm rich ride
+	right river road rocket rough round royal rubber rural safety
+	salary sample satisfy scale scene schedule scheme scholar school
+	science screen search season second secret section secure seed
+	seize senior sense sentence separate series serious servant serve
+	service settle seven several severe shadow shake shape share sharp
+	sheet shelter shine shirt shoot shore short shoulder shout show
+	sight signal silence silver similar simple since single sister
+	situation sixteen sixty skill sleep slight small smart smile smooth
+	social society soldier solid solution somebody somehow someone
+	source southern space speak special specific speech speed spend
+	spirit splendid sport spread spring square stable staff stage
+	stand standard start state station statue status steady steel step
+	still stock stomach stone store storm story straight strange
+	stream street strength stress stretch strike strong structure
+	struggle student studio study stuff style subject substance
+	succeed success sudden suffer sugar suggest summer supply support
+	suppose surface surprise surround survey survive sweet swim symbol
+	system table talent target teach teacher temperature temple tennis
+	term terrible territory theater theory there thick thing think
+	third thirty thousand threat three through throw ticket tight
+	tissue title today together tomorrow tongue tonight total touch
+	toward tower track trade tradition traffic train transfer
+	transport travel treasure treat treatment triangle trick trouble
+	truck trust truth twelve twenty twice type under understand union
+	unique unite universe university unless until upper urban useful
+	usual valley value variety various vehicle venture version very
+	vessel veteran victory view village violence visit vital voice
+	volume voyage wagon watch water wave wealth weapon wear weather
+	wedding weekend weight welcome western wheel where which while
+	white whole whose window winter wisdom wish within without witness
+	woman wonder wooden world worry worth would write writer wrong
+	yellow yesterday young`)
+
+// CSWords is the computer-science title vocabulary of the
+// bibliography corpus (the DBLP stand-in).
+var CSWords = split(`
+	abstraction adaptive aggregation algebra algorithm alignment
+	analysis annotation anomaly application approximation architecture
+	association asynchronous atomic attribute authentication automata
+	automatic autonomous bandwidth bayesian benchmark binary boolean
+	bounded branch broadcast buffer cache calculus cardinality
+	certification checkpoint circuit classification cluster clustering
+	coding cognitive collaborative compilation compiler complexity
+	component compression computation computing concurrency concurrent
+	consensus consistency constraint construction context cooperative
+	coordination corpus correctness correlation coverage crawling
+	cryptography database debugging decentralized decidability
+	decision declarative decomposition deduction deduplication
+	dependency deployment detection deterministic diagnosis dimension
+	discovery distributed duplicate dynamic efficient elastic
+	embedding empirical encoding encryption engineering entity
+	enumeration equivalence estimation evaluation execution expansion
+	exploration expression extraction failover fairness fault feature
+	federated feedback filtering formal fragment framework frequent
+	functional fusion garbage generation generic genetic granularity
+	graph graphical greedy grid hashing heuristic hierarchy
+	homomorphic hybrid hypertext identification incremental index
+	indexing inference information integration integrity interactive
+	interface interpolation invariant isolation iterative kernel
+	keyword labeling language latency lattice layered learning
+	lightweight linear linkage locality locking logic lossless
+	machine maintenance mapping matching materialized matrix
+	measurement membership memory metadata migration mining mobile
+	modeling modular monitoring multicast multimedia multiprocessor
+	network neural normalization notation numeric object online
+	ontology operator optimal optimization ordering orthogonal
+	overlay packet paging parallel parametric parsing partition
+	pattern performance persistence pipeline placement planning
+	polynomial portable precision predicate prediction prefetching
+	preprocessing privacy probabilistic profiling propagation
+	protocol provenance pruning quantum query queue random ranking
+	reachability reasoning recognition reconfigurable recovery
+	recursive redundancy refinement regression relational reliability
+	replication repository representation resilient resolution
+	retrieval rewriting robust routing runtime sampling scalable
+	scaling scheduling schema searching secure security segmentation
+	selectivity semantic semantics sensor sequence sequential
+	serializable similarity simulation skyline spatial specification
+	spectrum speculative statistical storage streaming structural
+	subgraph summarization supervised symbolic synchronization
+	synthesis temporal testing theorem throughput tolerant topology
+	tracing tracking transaction transformation translation traversal
+	twig unification unsupervised validation vectorization
+	verification versioning virtual visualization warehouse wavelet
+	workflow workload wrapper`)
+
+// Surnames is the author surname pool of the bibliography corpus.
+var Surnames = split(`
+	abiteboul agrawal anderson armstrong bailey baker barnes bell
+	bennett bernstein brewer brooks brown butler campbell carter chen
+	clark codd collins cooper crawford davis dewitt dietrich dixon
+	duncan edwards elliott evans ferguson fischer fisher fletcher
+	foster franklin fraser garcia gardner gibson gonzalez gordon
+	graham grant gray green griffin halevy hamilton harris harrison
+	hellerstein henderson hernandez howard hughes hunter jackson
+	jagadish jensen johnson jones jordan kemper kennedy knuth kossmann
+	kumar lamport lawrence lewis lindsay livny lomet madden marshall
+	martin mason matthews mcdonald miller mitchell mohan montgomery
+	morgan morris murphy murray naughton nelson newman nichols olston
+	ooi owens palmer parker patel paterson pearson perez peterson
+	phillips porter powell price quinn ramakrishnan reed reeves
+	reynolds richards richardson riley roberts robinson rogers rose
+	russell ryan sanders schmidt scott shapiro shaw silberschatz
+	simmons simpson smith snodgrass spencer stevens stewart
+	stonebraker sullivan taylor thomas thompson turner ullman valduriez
+	vance vianu wagner walker wallace walton warren watson weaver
+	webber weber wells whang wilkins williams willis wilson wong
+	woods wright young zaniolo zhang zhou`)
+
+// GivenNames is the author given-name pool.
+var GivenNames = split(`
+	adam alan albert alice andrew anna anthony barbara benjamin betty
+	brian carol charles christine christopher daniel david deborah
+	dennis diana donald dorothy douglas edward elizabeth emily eric
+	frank george hannah harold helen henry irene jacob james jane
+	jason jennifer jeremy jessica joan john jonathan joseph joshua
+	joyce judith julia karen katherine keith kenneth kevin laura
+	lawrence linda louis madeleine margaret maria marie mark martha
+	martin mary matthew michael michelle nancy nathan nicholas olivia
+	patricia patrick paul peter philip rachel raymond rebecca richard
+	robert roger ronald rose russell ruth samuel sandra sarah scott
+	sharon simon stephen steven susan teresa theodore thomas timothy
+	victor victoria vincent virginia walter wayne william`)
+
+// Venues is the publication venue pool (booktitle/journal names).
+var Venues = split(`
+	sigmod vldb icde edbt cikm sigir kdd icdm wsdm ecir cidr pods
+	icdt webdb dasfaa ssdbm tkde tods vldbj jacm sigkdd apweb waim
+	sosp osdi nsdi atc eurosys podc disc spaa ppopp isca micro asplos`)
+
+// WikiTopics is the article-subject vocabulary of the
+// document-centric corpus (the INEX/Wikipedia stand-in).
+var WikiTopics = split(`
+	amazon andes antarctica arctic atlantic australia austria bavaria
+	beijing berlin brazil britain brooklyn budapest byzantine cairo
+	california cambridge canada caribbean carthage chicago chile china
+	colonial columbia congo copenhagen cornwall croatia cuba cyprus
+	damascus danube denmark dublin dynasty ecuador egypt england
+	ethiopia europe everest finland florence france galaxy ganges
+	genoa georgia germany glacier granada greece greenland guatemala
+	hawaii himalaya holland hungary iberia iceland india indonesia
+	ireland istanbul italy jakarta jamaica japan jerusalem jordan
+	jupiter kenya kingston korea kremlin lagoon lisbon london madrid
+	malaysia manhattan mediterranean melbourne mexico milan mongolia
+	monsoon montreal morocco moscow mumbai munich naples nebula
+	netherlands nigeria normandy norway oceania orbit oregon ottoman
+	oxford pacific pakistan panama paris parthenon patagonia peking
+	persia peru phoenix poland portugal prague prussia pyramid quebec
+	renaissance rhine roman rome russia sahara saturn saxony
+	scandinavia scotland seattle serbia shanghai siberia sicily
+	singapore slovakia somalia spain sweden switzerland sydney syria
+	taiwan thailand tibet tokyo toronto tundra turkey tuscany ukraine
+	uruguay venice vienna vietnam virginia volcano wales warsaw
+	yangtze zealand zurich barrier reef skyscraper cathedral
+	monastery lighthouse aqueduct amphitheater citadel fortress`)
+
+// Inflect expands a word pool with inflected forms (plural, past,
+// gerund). Real corpora are full of such distance-1/2 neighbors
+// ("tree"/"trees"/"treed"), which is what makes variant sets dense and
+// spelling suggestion non-trivial; a pool without them would make
+// every system look perfect.
+func Inflect(words []string) []string {
+	out := make([]string, 0, len(words)*2)
+	for i, w := range words {
+		out = append(out, w)
+		if !strings.HasSuffix(w, "s") {
+			out = append(out, w+"s")
+		}
+		// Every third word also gets -ed / -ing style forms.
+		if i%3 == 0 {
+			if strings.HasSuffix(w, "e") {
+				out = append(out, w+"d")
+			} else {
+				out = append(out, w+"ing")
+			}
+		}
+	}
+	return out
+}

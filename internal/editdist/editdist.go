@@ -1,0 +1,129 @@
+// Package editdist implements Levenshtein edit distance over Unicode
+// code points, including a threshold-banded variant used to verify
+// FastSS candidates in O(ε·l) time (Section V-A of the paper).
+//
+// The edit operations are insertion, deletion, and substitution of a
+// single character, as in Section III.
+package editdist
+
+// Distance returns the Levenshtein distance between a and b.
+func Distance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// WithinK reports whether ed(a,b) ≤ k, and if so returns the exact
+// distance. It evaluates only a diagonal band of width 2k+1, so it runs
+// in O(k·min(|a|,|b|)) time, and exits early when every cell of a row
+// exceeds k.
+func WithinK(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > k {
+		return 0, false
+	}
+	if len(rb) == 0 {
+		return len(ra), len(ra) <= k
+	}
+
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		if j <= k {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		if lo > hi {
+			return 0, false
+		}
+		if lo == 1 {
+			if i <= k {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		if hi < len(rb) {
+			cur[hi+1] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if d := prev[j] + 1; d < v {
+				v = d
+			}
+			if d := cur[j-1] + 1; d < v {
+				v = d
+			}
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if rowMin > k {
+			return 0, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[len(rb)]
+	if d > k {
+		return 0, false
+	}
+	return d, true
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

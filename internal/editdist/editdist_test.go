@@ -1,0 +1,114 @@
+package editdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDistanceBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"tree", "tree", 0},
+		{"tree", "trees", 1},
+		{"tree", "trie", 1},
+		{"icdt", "icde", 1},
+		{"kitten", "sitting", 3},
+		{"insurance", "instance", 2},
+		{"schütze", "schuetze", 2},
+		{"power", "pover", 1},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%q,%q)=%d want %d", c.a, c.b, got, c.want)
+		}
+		if got := Distance(c.b, c.a); got != c.want {
+			t.Errorf("Distance(%q,%q)=%d want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestWithinKMatchesDistance(t *testing.T) {
+	words := []string{"", "a", "ab", "tree", "trees", "trie", "icde", "icdt",
+		"insurance", "instance", "health", "architecture", "archetecture",
+		"barrier", "reef", "gerat", "great", "schütze", "schuetze"}
+	for _, a := range words {
+		for _, b := range words {
+			d := Distance(a, b)
+			for k := 0; k <= 4; k++ {
+				got, ok := WithinK(a, b, k)
+				if (d <= k) != ok {
+					t.Fatalf("WithinK(%q,%q,%d): ok=%v but d=%d", a, b, k, ok, d)
+				}
+				if ok && got != d {
+					t.Fatalf("WithinK(%q,%q,%d)=%d want %d", a, b, k, got, d)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinKNegative(t *testing.T) {
+	if _, ok := WithinK("a", "a", -1); ok {
+		t.Error("negative k should never match")
+	}
+}
+
+// Randomized differential test of the banded verifier vs. the full DP.
+func TestWithinKRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune("abcdeü")
+	randWord := func(n int) string {
+		r := make([]rune, n)
+		for i := range r {
+			r[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(r)
+	}
+	for i := 0; i < 5000; i++ {
+		a := randWord(rng.Intn(10))
+		b := randWord(rng.Intn(10))
+		k := rng.Intn(4)
+		d := Distance(a, b)
+		got, ok := WithinK(a, b, k)
+		if (d <= k) != ok || (ok && got != d) {
+			t.Fatalf("mismatch a=%q b=%q k=%d d=%d got=%d ok=%v", a, b, k, d, got, ok)
+		}
+	}
+}
+
+// Property: triangle inequality on a random sample.
+func TestDistanceTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []rune("abc")
+	randWord := func() string {
+		n := rng.Intn(7)
+		r := make([]rune, n)
+		for i := range r {
+			r[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(r)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := randWord(), randWord(), randWord()
+		if Distance(a, c) > Distance(a, b)+Distance(b, c) {
+			t.Fatalf("triangle violated: %q %q %q", a, b, c)
+		}
+	}
+}
+
+func BenchmarkWithinK1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WithinK("architecture", "archetecture", 2)
+	}
+}
+
+func BenchmarkDistanceFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Distance("architecture", "archetecture")
+	}
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+// Comparison reports a paired-bootstrap comparison of two systems'
+// MRR over the same query set. The paper reports point estimates only;
+// at our query-set sizes (tens of queries, like the paper's 49–285) a
+// confidence interval distinguishes real effects from sampling noise.
+type Comparison struct {
+	// MRRA and MRRB are the point estimates of the two systems.
+	MRRA, MRRB float64
+	// Delta is MRRB − MRRA on the full set.
+	Delta float64
+	// CILow/CIHigh bound the central 95% of bootstrap deltas.
+	CILow, CIHigh float64
+	// PValue is the two-sided bootstrap probability of a delta at
+	// least as extreme as 0 (small = the difference is unlikely to be
+	// sampling noise).
+	PValue float64
+	// Wins/Losses/Ties count queries where B's reciprocal rank beats /
+	// trails / equals A's.
+	Wins, Losses, Ties int
+	// Queries is the paired-sample size.
+	Queries int
+}
+
+// Significant reports whether the 95% interval excludes zero.
+func (c Comparison) Significant() bool {
+	return c.CILow > 0 || c.CIHigh < 0
+}
+
+// Compare runs both systems over the query set and estimates the MRR
+// difference B−A with a seeded paired bootstrap (resampling queries
+// with replacement `samples` times; 0 = 2000).
+func Compare(a, b Suggester, queries []Pair, samples int, seed int64, opts tokenizer.Options) Comparison {
+	if samples <= 0 {
+		samples = 2000
+	}
+	n := len(queries)
+	c := Comparison{Queries: n}
+	if n == 0 {
+		return c
+	}
+
+	ra := make([]float64, n)
+	rb := make([]float64, n)
+	for i, q := range queries {
+		ra[i] = reciprocalRank(a.Suggest(q.Dirty), q.Truth, opts)
+		rb[i] = reciprocalRank(b.Suggest(q.Dirty), q.Truth, opts)
+		switch {
+		case rb[i] > ra[i]:
+			c.Wins++
+		case rb[i] < ra[i]:
+			c.Losses++
+		default:
+			c.Ties++
+		}
+		c.MRRA += ra[i]
+		c.MRRB += rb[i]
+	}
+	c.MRRA /= float64(n)
+	c.MRRB /= float64(n)
+	c.Delta = c.MRRB - c.MRRA
+
+	rng := rand.New(rand.NewSource(seed))
+	deltas := make([]float64, samples)
+	negOrZero, posOrZero := 0, 0
+	for s := range deltas {
+		var sum float64
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			sum += rb[j] - ra[j]
+		}
+		d := sum / float64(n)
+		deltas[s] = d
+		if d <= 0 {
+			negOrZero++
+		}
+		if d >= 0 {
+			posOrZero++
+		}
+	}
+	sort.Float64s(deltas)
+	c.CILow = deltas[int(0.025*float64(samples))]
+	c.CIHigh = deltas[min(samples-1, int(0.975*float64(samples)))]
+	p := float64(negOrZero) / float64(samples)
+	if q := float64(posOrZero) / float64(samples); q < p {
+		p = q
+	}
+	c.PValue = 2 * p
+	if c.PValue > 1 {
+		c.PValue = 1
+	}
+	return c
+}
+
+func reciprocalRank(sugs []core.Suggestion, truth string, opts tokenizer.Options) float64 {
+	if rank := Rank(sugs, truth, opts); rank > 0 {
+		return 1 / float64(rank)
+	}
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+// fixedSuggester returns the truth at a fixed rank per query index.
+func fixedSuggester(rank map[string]int) Suggester {
+	return SuggesterFunc(func(q string) []core.Suggestion {
+		r, ok := rank[q]
+		if !ok || r < 1 {
+			return nil
+		}
+		out := make([]core.Suggestion, r)
+		for i := 0; i < r-1; i++ {
+			out[i] = core.Suggestion{Words: []string{"filler", string(rune('a' + i))}}
+		}
+		out[r-1] = core.Suggestion{Words: []string{q}}
+		return out
+	})
+}
+
+func comparePairs(n int) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		q := "query" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		out[i] = Pair{Dirty: q, Truth: q}
+	}
+	return out
+}
+
+func TestCompareIdenticalSystems(t *testing.T) {
+	qs := comparePairs(30)
+	ranks := map[string]int{}
+	for i, q := range qs {
+		ranks[q.Dirty] = 1 + i%3
+	}
+	s := fixedSuggester(ranks)
+	c := Compare(s, s, qs, 500, 1, tokenizer.Options{})
+	if c.Delta != 0 || c.CILow != 0 || c.CIHigh != 0 {
+		t.Errorf("identical systems: %+v", c)
+	}
+	if c.Significant() {
+		t.Error("identical systems reported significant")
+	}
+	if c.Wins != 0 || c.Losses != 0 || c.Ties != len(qs) {
+		t.Errorf("w/l/t = %d/%d/%d", c.Wins, c.Losses, c.Ties)
+	}
+}
+
+func TestCompareDominantSystem(t *testing.T) {
+	qs := comparePairs(40)
+	always1, always3 := map[string]int{}, map[string]int{}
+	for _, q := range qs {
+		always1[q.Dirty] = 1
+		always3[q.Dirty] = 3
+	}
+	c := Compare(fixedSuggester(always3), fixedSuggester(always1), qs, 1000, 2, tokenizer.Options{})
+	wantDelta := 1.0 - 1.0/3.0
+	if diff := c.Delta - wantDelta; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("delta=%g want %g", c.Delta, wantDelta)
+	}
+	if !c.Significant() || c.CILow <= 0 {
+		t.Errorf("dominant improvement not significant: %+v", c)
+	}
+	if c.PValue > 0.05 {
+		t.Errorf("p=%g", c.PValue)
+	}
+	if c.Wins != len(qs) {
+		t.Errorf("wins=%d", c.Wins)
+	}
+}
+
+func TestCompareNoisyTie(t *testing.T) {
+	// A beats B on half the queries and loses on the other half by the
+	// same margin: the interval must straddle zero.
+	qs := comparePairs(40)
+	ra, rb := map[string]int{}, map[string]int{}
+	for i, q := range qs {
+		if i%2 == 0 {
+			ra[q.Dirty], rb[q.Dirty] = 1, 2
+		} else {
+			ra[q.Dirty], rb[q.Dirty] = 2, 1
+		}
+	}
+	c := Compare(fixedSuggester(ra), fixedSuggester(rb), qs, 1000, 3, tokenizer.Options{})
+	if c.Significant() {
+		t.Errorf("balanced systems reported significant: %+v", c)
+	}
+	if c.Delta != 0 {
+		t.Errorf("delta=%g", c.Delta)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	c := Compare(fixedSuggester(nil), fixedSuggester(nil), nil, 10, 4, tokenizer.Options{})
+	if c.Queries != 0 || c.Significant() {
+		t.Errorf("%+v", c)
+	}
+}
+
+// TestCompareRealSystems: XClean vs PY08 on the workbench — the paper's
+// headline claim should be statistically solid even at small n.
+func TestCompareRealSystems(t *testing.T) {
+	w := smallBench(t)
+	set := SetDBLPRand
+	c := Compare(w.PY08(set, nil), w.XClean(set, nil), w.Sets[set], 1000, 5, tokenizer.Options{})
+	if c.Delta <= 0 {
+		t.Fatalf("XClean does not beat PY08: %+v", c)
+	}
+	if !c.Significant() {
+		t.Errorf("headline improvement not significant at n=%d: %+v", c.Queries, c)
+	}
+}

@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+func sugs(queries ...string) []core.Suggestion {
+	out := make([]core.Suggestion, len(queries))
+	for i, q := range queries {
+		out[i] = core.Suggestion{Words: tokenizer.TokenizeRaw(q)}
+	}
+	return out
+}
+
+func TestRank(t *testing.T) {
+	opts := tokenizer.Options{}
+	s := sugs("alpha beta", "gamma delta", "epsilon zeta")
+	if got := Rank(s, "gamma delta", opts); got != 2 {
+		t.Errorf("rank=%d want 2", got)
+	}
+	if got := Rank(s, "missing words", opts); got != 0 {
+		t.Errorf("rank=%d want 0", got)
+	}
+	// Normalization: stop words and case do not matter.
+	if got := Rank(s, "The Alpha and the Beta", opts); got != 1 {
+		t.Errorf("normalized rank=%d want 1", got)
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	opts := tokenizer.Options{}
+	// A fake suggester: echoes fixed suggestions.
+	fixed := SuggesterFunc(func(q string) []core.Suggestion {
+		return sugs("right answer", "wrong answer")
+	})
+	queries := []Pair{
+		{Dirty: "rigt answer", Truth: "right answer"},  // rank 1
+		{Dirty: "wrng answer", Truth: "wrong answer"},  // rank 2
+		{Dirty: "misng answer", Truth: "never appear"}, // rank 0
+	}
+	res := Run(fixed, queries, 3, opts)
+	wantMRR := (1.0 + 0.5 + 0) / 3
+	if math.Abs(res.MRR-wantMRR) > 1e-12 {
+		t.Errorf("MRR=%g want %g", res.MRR, wantMRR)
+	}
+	wantP := []float64{1.0 / 3, 2.0 / 3, 2.0 / 3}
+	for i, p := range res.PrecisionAt {
+		if math.Abs(p-wantP[i]) > 1e-12 {
+			t.Errorf("P@%d=%g want %g", i+1, p, wantP[i])
+		}
+	}
+	if res.Queries != 3 {
+		t.Errorf("queries=%d", res.Queries)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res := Run(SuggesterFunc(func(string) []core.Suggestion { return nil }), nil, 5, tokenizer.Options{})
+	if res.MRR != 0 || res.Queries != 0 {
+		t.Errorf("empty run: %+v", res)
+	}
+}
+
+// Precision@N must be monotone non-decreasing in N.
+func TestPrecisionMonotone(t *testing.T) {
+	w := smallBench(t)
+	e := w.XClean(SetDBLPRand, nil)
+	res := Run(e, w.Sets[SetDBLPRand], 10, tokenizer.Options{})
+	for i := 1; i < len(res.PrecisionAt); i++ {
+		if res.PrecisionAt[i] < res.PrecisionAt[i-1] {
+			t.Fatalf("P@%d=%g < P@%d=%g", i+1, res.PrecisionAt[i], i, res.PrecisionAt[i-1])
+		}
+	}
+	if res.MRR > res.PrecisionAt[len(res.PrecisionAt)-1] {
+		t.Errorf("MRR %g exceeds P@max %g", res.MRR, res.PrecisionAt[len(res.PrecisionAt)-1])
+	}
+}
+
+var (
+	benchOnce sync.Once
+	benchW    *Workbench
+)
+
+// smallBench builds a small shared workbench for eval tests.
+func smallBench(t *testing.T) *Workbench {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchW = NewWorkbench(WorkbenchConfig{
+			Seed:          42,
+			DBLPArticles:  1500,
+			WikiArticles:  150,
+			QueriesPerSet: 15,
+		})
+	})
+	return benchW
+}
+
+func TestWorkbenchSets(t *testing.T) {
+	w := smallBench(t)
+	for _, name := range SetNames {
+		qs := w.Sets[name]
+		if len(qs) == 0 {
+			t.Errorf("set %s empty", name)
+			continue
+		}
+		for _, q := range qs {
+			if q.Truth == "" || q.Dirty == "" {
+				t.Errorf("set %s has empty query", name)
+			}
+			clean := name == SetDBLPClean || name == SetINEXClean
+			if clean && q.Dirty != q.Truth {
+				t.Errorf("clean set %s has dirty query %q", name, q.Dirty)
+			}
+			if !clean && q.Dirty == q.Truth {
+				t.Errorf("dirty set %s has clean query %q", name, q.Dirty)
+			}
+		}
+	}
+	if got := w.SortedSetNames(); len(got) != 6 {
+		t.Errorf("SortedSetNames=%v", got)
+	}
+}
+
+func TestWorkbenchHelpers(t *testing.T) {
+	w := smallBench(t)
+	if !IsDBLP(SetDBLPRule) || IsDBLP(SetINEXClean) {
+		t.Error("IsDBLP wrong")
+	}
+	if !IsRule(SetINEXRule) || IsRule(SetDBLPRand) {
+		t.Error("IsRule wrong")
+	}
+	if w.IndexFor(SetDBLPClean) != w.DBLPIndex || w.IndexFor(SetINEXClean) != w.WikiIndex {
+		t.Error("IndexFor wrong")
+	}
+	if w.EpsilonFor(SetDBLPRand) != 2 || w.EpsilonFor(SetDBLPRule) != 3 {
+		t.Error("EpsilonFor wrong")
+	}
+	// Shared FastSS per (corpus, eps).
+	if w.FastSS(SetDBLPRand) != w.FastSS(SetDBLPClean) {
+		t.Error("FastSS not shared across same-epsilon sets")
+	}
+	if w.FastSS(SetDBLPRand) == w.FastSS(SetDBLPRule) {
+		t.Error("FastSS wrongly shared across epsilons")
+	}
+}
+
+// The headline sanity check of Figure 3, at miniature scale: XClean
+// beats PY08 on every dirty set.
+func TestXCleanBeatsPY08(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallBench(t)
+	opts := tokenizer.Options{}
+	for _, set := range []string{SetDBLPRand, SetINEXRand} {
+		xc := Run(w.XClean(set, nil), w.Sets[set], 10, opts)
+		py := Run(w.PY08(set, nil), w.Sets[set], 10, opts)
+		if xc.MRR <= py.MRR {
+			t.Errorf("%s: XClean MRR %.3f not above PY08 %.3f", set, xc.MRR, py.MRR)
+		}
+		if xc.MRR < 0.5 {
+			t.Errorf("%s: XClean MRR %.3f unexpectedly low", set, xc.MRR)
+		}
+	}
+}
+
+func TestSEStandInsOnCleanSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := smallBench(t)
+	opts := tokenizer.Options{}
+	se1 := w.SE1()
+	for _, set := range []string{SetDBLPClean, SetINEXClean} {
+		res := Run(se1, w.Sets[set], 10, opts)
+		if res.MRR < 0.95 {
+			t.Errorf("%s: SE1 MRR on clean queries = %.3f, want ~1", set, res.MRR)
+		}
+	}
+	// SE1 (with rules) must beat SE2 (without) on RULE sets.
+	se2 := w.SE2()
+	r1 := Run(se1, w.Sets[SetDBLPRule], 10, opts)
+	r2 := Run(se2, w.Sets[SetDBLPRule], 10, opts)
+	if r1.MRR < r2.MRR {
+		t.Errorf("SE1 (%.3f) should be at least SE2 (%.3f) on RULE", r1.MRR, r2.MRR)
+	}
+}

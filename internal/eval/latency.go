@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyStats summarizes a per-query latency distribution. The
+// paper's Table VI reports only means; tail percentiles matter for the
+// online "Did you mean" deployment the introduction motivates, so the
+// harness records them too.
+// Durations marshal to JSON as integer nanoseconds.
+type LatencyStats struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"meanNs"`
+	Min   time.Duration `json:"minNs"`
+	Max   time.Duration `json:"maxNs"`
+	P50   time.Duration `json:"p50Ns"`
+	P95   time.Duration `json:"p95Ns"`
+	P99   time.Duration `json:"p99Ns"`
+}
+
+// String renders the stats in one line for the xbench tables.
+func (s LatencyStats) String() string {
+	return fmt.Sprintf("mean=%v p50=%v p95=%v p99=%v max=%v (n=%d)",
+		s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond), s.Count)
+}
+
+// LatencyRecorder accumulates samples; safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Stats computes the distribution summary of the samples so far.
+func (r *LatencyRecorder) Stats() LatencyStats {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return computeLatency(samples)
+}
+
+func computeLatency(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	return LatencyStats{
+		Count: len(samples),
+		Mean:  total / time.Duration(len(samples)),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		P50:   percentile(samples, 50),
+		P95:   percentile(samples, 95),
+		P99:   percentile(samples, 99),
+	}
+}
+
+// percentile is the nearest-rank percentile of a sorted sample set.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p·n/100), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

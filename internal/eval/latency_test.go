@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+func TestComputeLatency(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	samples := []time.Duration{ms(5), ms(1), ms(3), ms(2), ms(4)}
+	st := computeLatency(samples)
+	if st.Count != 5 {
+		t.Errorf("Count=%d", st.Count)
+	}
+	if st.Min != ms(1) || st.Max != ms(5) {
+		t.Errorf("min/max %v/%v", st.Min, st.Max)
+	}
+	if st.Mean != ms(3) {
+		t.Errorf("Mean=%v", st.Mean)
+	}
+	if st.P50 != ms(3) {
+		t.Errorf("P50=%v", st.P50)
+	}
+	if st.P99 != ms(5) {
+		t.Errorf("P99=%v", st.P99)
+	}
+}
+
+func TestComputeLatencyEmpty(t *testing.T) {
+	st := computeLatency(nil)
+	if st.Count != 0 || st.Mean != 0 || st.P99 != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Microsecond
+	}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{
+		{50, 50 * time.Microsecond},
+		{95, 95 * time.Microsecond},
+		{99, 99 * time.Microsecond},
+		{100, 100 * time.Microsecond},
+		{1, 1 * time.Microsecond},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("p%d=%v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	var r LatencyRecorder
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Count != 800 {
+		t.Errorf("Count=%d want 800", st.Count)
+	}
+}
+
+// TestRunParallelMatchesSerial: quality metrics must be identical
+// whatever the worker count.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	fixed := SuggesterFunc(func(q string) []core.Suggestion {
+		if q == "miss" {
+			return nil
+		}
+		return []core.Suggestion{
+			{Words: []string{"other"}},
+			{Words: []string{q}},
+		}
+	})
+	queries := []Pair{
+		{Dirty: "a", Truth: "a"},
+		{Dirty: "b", Truth: "b"},
+		{Dirty: "miss", Truth: "x"},
+		{Dirty: "c", Truth: "nope"},
+		{Dirty: "d", Truth: "d"},
+	}
+	serial := Run(fixed, queries, 5, tokenizer.Options{})
+	for _, workers := range []int{2, 4, 16} {
+		par := RunParallel(fixed, queries, 5, workers, tokenizer.Options{})
+		if par.MRR != serial.MRR {
+			t.Errorf("workers=%d: MRR %g vs %g", workers, par.MRR, serial.MRR)
+		}
+		for i := range serial.PrecisionAt {
+			if par.PrecisionAt[i] != serial.PrecisionAt[i] {
+				t.Errorf("workers=%d: P@%d %g vs %g",
+					workers, i+1, par.PrecisionAt[i], serial.PrecisionAt[i])
+			}
+		}
+		if par.Latency.Count != len(queries) {
+			t.Errorf("workers=%d: %d samples", workers, par.Latency.Count)
+		}
+	}
+}
+
+// TestRunParallelRealEngine exercises the XClean engine itself under
+// concurrent evaluation.
+func TestRunParallelRealEngine(t *testing.T) {
+	w := NewWorkbench(WorkbenchConfig{Seed: 7, DBLPArticles: 500, WikiArticles: 50, QueriesPerSet: 10})
+	e := w.XClean(SetDBLPRand, nil)
+	serial := Run(e, w.Sets[SetDBLPRand], 10, tokenizer.Options{})
+	par := RunParallel(e, w.Sets[SetDBLPRand], 10, 8, tokenizer.Options{})
+	if par.MRR != serial.MRR {
+		t.Errorf("MRR diverges under concurrency: %g vs %g", par.MRR, serial.MRR)
+	}
+}

@@ -1,0 +1,139 @@
+// Package eval implements the measurements of Section VII-B — Mean
+// Reciprocal Rank, Precision@N, and per-query running time — and the
+// experiment workbench that wires corpora, query sets, and systems
+// together for every table and figure of the paper.
+package eval
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+// Suggester is any system under evaluation: XClean, the SLCA variant,
+// PY08, or a log-based corrector.
+type Suggester interface {
+	Suggest(query string) []core.Suggestion
+}
+
+// SuggesterFunc adapts a function to the Suggester interface.
+type SuggesterFunc func(string) []core.Suggestion
+
+// Suggest calls f.
+func (f SuggesterFunc) Suggest(q string) []core.Suggestion { return f(q) }
+
+// Result aggregates one system's measurements over one query set.
+type Result struct {
+	// MRR is the mean reciprocal rank of the ground truth.
+	MRR float64
+	// PrecisionAt[n-1] is Precision@n: the fraction of queries whose
+	// top-n suggestions contain the truth.
+	PrecisionAt []float64
+	// AvgTime is the mean wall time per query.
+	AvgTime time.Duration
+	// Latency is the full per-query latency distribution.
+	Latency LatencyStats
+	// Queries is the number of evaluated queries.
+	Queries int
+}
+
+// Pair is one (dirty, truth) evaluation query, mirroring
+// queryset.Query without importing it (keeps eval usable with
+// hand-written sets too).
+type Pair struct {
+	Dirty string
+	Truth string
+}
+
+// normalize maps a query to its comparable form: the index tokens
+// joined by single spaces (so stop words, case, and punctuation do not
+// affect matching).
+func normalize(q string, opts tokenizer.Options) string {
+	return strings.Join(opts.Tokenize(q), " ")
+}
+
+// Rank returns the 1-based rank of truth within suggestions, or 0 if
+// absent.
+func Rank(sugs []core.Suggestion, truth string, opts tokenizer.Options) int {
+	want := normalize(truth, opts)
+	for i, s := range sugs {
+		if normalize(s.Query(), opts) == want {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Run evaluates a system over a query set, measuring MRR,
+// Precision@1..maxN, and the per-query latency distribution.
+func Run(s Suggester, queries []Pair, maxN int, opts tokenizer.Options) Result {
+	return RunParallel(s, queries, maxN, 1, opts)
+}
+
+// RunParallel is Run with queries dispatched to the given number of
+// worker goroutines. All shipped Suggesters are safe for concurrent
+// use (their index structures are read-only after construction), so
+// parallel evaluation measures the same quality while exercising the
+// engines under concurrency; latency percentiles then reflect
+// contended behaviour.
+func RunParallel(s Suggester, queries []Pair, maxN, workers int, opts tokenizer.Options) Result {
+	if maxN < 1 {
+		maxN = 10
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res := Result{PrecisionAt: make([]float64, maxN), Queries: len(queries)}
+	if len(queries) == 0 {
+		return res
+	}
+
+	type partial struct {
+		mrr       float64
+		precision []float64
+		samples   []time.Duration
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.precision = make([]float64, maxN)
+			for i := w; i < len(queries); i += workers {
+				q := queries[i]
+				start := time.Now()
+				sugs := s.Suggest(q.Dirty)
+				p.samples = append(p.samples, time.Since(start))
+				rank := Rank(sugs, q.Truth, opts)
+				if rank > 0 {
+					p.mrr += 1 / float64(rank)
+					for n := rank; n <= maxN; n++ {
+						p.precision[n-1]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var samples []time.Duration
+	for _, p := range parts {
+		res.MRR += p.mrr
+		for i, v := range p.precision {
+			res.PrecisionAt[i] += v
+		}
+		samples = append(samples, p.samples...)
+	}
+	res.MRR /= float64(len(queries))
+	for i := range res.PrecisionAt {
+		res.PrecisionAt[i] /= float64(len(queries))
+	}
+	res.Latency = computeLatency(samples)
+	res.AvgTime = res.Latency.Mean
+	return res
+}

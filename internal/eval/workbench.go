@@ -1,0 +1,306 @@
+package eval
+
+import (
+	"xclean/internal/baseline"
+	"xclean/internal/core"
+	"xclean/internal/dataset"
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/queryset"
+	"xclean/internal/slca"
+	"xclean/internal/tokenizer"
+)
+
+// Set names follow the paper's Table II. The document-centric corpus
+// keeps the paper's INEX label even though it is synthetic (see
+// DESIGN.md §3).
+const (
+	SetDBLPClean = "DBLP-CLEAN"
+	SetDBLPRand  = "DBLP-RAND"
+	SetDBLPRule  = "DBLP-RULE"
+	SetINEXClean = "INEX-CLEAN"
+	SetINEXRand  = "INEX-RAND"
+	SetINEXRule  = "INEX-RULE"
+)
+
+// SetNames lists all six query sets in the paper's reporting order.
+var SetNames = []string{
+	SetDBLPRand, SetDBLPRule, SetDBLPClean,
+	SetINEXRand, SetINEXRule, SetINEXClean,
+}
+
+// WorkbenchConfig sizes the experiment environment.
+type WorkbenchConfig struct {
+	Seed          int64
+	DBLPArticles  int // 0 = 20000
+	WikiArticles  int // 0 = 2000
+	QueriesPerSet int // 0 = 50
+	// EpsilonClean is the variant threshold for CLEAN and RAND sets
+	// (0 = 2); EpsilonRule for RULE sets (0 = 3), which need a larger
+	// space because human misspellings are more distant (Sec. VII-D).
+	EpsilonClean int
+	EpsilonRule  int
+}
+
+func (c WorkbenchConfig) queries() int {
+	if c.QueriesPerSet <= 0 {
+		return 50
+	}
+	return c.QueriesPerSet
+}
+
+func (c WorkbenchConfig) epsClean() int {
+	if c.EpsilonClean <= 0 {
+		return 2
+	}
+	return c.EpsilonClean
+}
+
+func (c WorkbenchConfig) epsRule() int {
+	if c.EpsilonRule <= 0 {
+		return 3
+	}
+	return c.EpsilonRule
+}
+
+// Workbench owns the two corpora, their indexes, the six query sets,
+// shared FastSS variant indexes, and the query log of the
+// search-engine stand-ins. Building one is expensive; share it across
+// experiments.
+type Workbench struct {
+	Cfg  WorkbenchConfig
+	DBLP *dataset.DBLPCorpus
+	Wiki *dataset.WikiCorpus
+
+	DBLPIndex *invindex.Index
+	WikiIndex *invindex.Index
+
+	// Sets maps a set name to its evaluation pairs.
+	Sets map[string][]Pair
+
+	// fss caches variant indexes per (corpus, epsilon).
+	fss map[fssKey]*fastss.Index
+	// compIdx caches compacted copies of the corpus indexes, keyed by
+	// IsDBLP.
+	compIdx map[bool]*invindex.Index
+
+	logFreq map[string]int64
+	rules   map[string]string
+}
+
+type fssKey struct {
+	dblp bool
+	eps  int
+}
+
+// NewWorkbench generates corpora, builds indexes, and samples all six
+// query sets, exactly as Section VII-A prescribes.
+func NewWorkbench(cfg WorkbenchConfig) *Workbench {
+	w := &Workbench{
+		Cfg:     cfg,
+		Sets:    make(map[string][]Pair),
+		fss:     make(map[fssKey]*fastss.Index),
+		compIdx: make(map[bool]*invindex.Index),
+		rules:   queryset.Rules(),
+	}
+	w.DBLP = dataset.GenerateDBLP(dataset.DBLPConfig{Seed: cfg.Seed, Articles: cfg.DBLPArticles})
+	w.Wiki = dataset.GenerateWiki(dataset.WikiConfig{Seed: cfg.Seed + 1, Articles: cfg.WikiArticles})
+	w.DBLPIndex = invindex.Build(w.DBLP.Tree, tokenizer.Options{})
+	w.WikiIndex = invindex.Build(w.Wiki.Tree, tokenizer.Options{})
+
+	n := cfg.queries()
+	dblpClean := w.DBLP.SampleQueries(cfg.Seed+2, n)
+	wikiClean := w.Wiki.SampleQueries(cfg.Seed+3, n)
+	// RULE sets need clean queries containing rule-covered words;
+	// sample a larger pool and let MakeRule filter.
+	dblpPool := w.DBLP.SampleQueries(cfg.Seed+4, n*20)
+	wikiPool := w.Wiki.SampleQueries(cfg.Seed+5, n*20)
+
+	dp := queryset.NewPerturber(cfg.Seed+6, w.DBLPIndex.Vocab)
+	wp := queryset.NewPerturber(cfg.Seed+7, w.WikiIndex.Vocab)
+
+	w.Sets[SetDBLPClean] = pairs(queryset.MakeClean(dblpClean))
+	w.Sets[SetDBLPRand] = pairs(dp.MakeRand(dblpClean))
+	w.Sets[SetDBLPRule] = capPairs(pairs(dp.MakeRule(dblpPool)), n)
+	w.Sets[SetINEXClean] = pairs(queryset.MakeClean(wikiClean))
+	w.Sets[SetINEXRand] = pairs(wp.MakeRand(wikiClean))
+	w.Sets[SetINEXRule] = capPairs(pairs(wp.MakeRule(wikiPool)), n)
+
+	// The SE stand-ins' query log: a *popular subset* of clean queries
+	// plus unrelated popular background queries. Real engine logs
+	// cover frequent queries well but miss the tail, which is what
+	// limits them on randomly-perturbed rare terms.
+	w.logFreq = make(map[string]int64)
+	evalQueries := append(append([]string{}, dblpClean...), wikiClean...)
+	for i, q := range evalQueries {
+		if i%2 == 0 { // only half of the evaluated intents are "popular"
+			w.logFreq[q] = int64(1 + 1000/(i+1))
+		}
+	}
+	for i, q := range append(w.DBLP.SampleQueries(cfg.Seed+8, n*4),
+		w.Wiki.SampleQueries(cfg.Seed+9, n*4)...) {
+		w.logFreq[q] += int64(1 + 2000/(i+1))
+	}
+	return w
+}
+
+func pairs(qs []queryset.Query) []Pair {
+	out := make([]Pair, len(qs))
+	for i, q := range qs {
+		out[i] = Pair{Dirty: q.Dirty, Truth: q.Truth}
+	}
+	return out
+}
+
+func capPairs(ps []Pair, n int) []Pair {
+	if len(ps) > n {
+		return ps[:n]
+	}
+	return ps
+}
+
+// IsDBLP reports whether a set name belongs to the data-centric
+// corpus.
+func IsDBLP(set string) bool { return set[0] == 'D' }
+
+// IsRule reports whether a set uses rule-based perturbation.
+func IsRule(set string) bool { return set[len(set)-4:] == "RULE" }
+
+// IndexFor returns the index a set runs against.
+func (w *Workbench) IndexFor(set string) *invindex.Index {
+	if IsDBLP(set) {
+		return w.DBLPIndex
+	}
+	return w.WikiIndex
+}
+
+// EpsilonFor returns the variant threshold used for a set.
+func (w *Workbench) EpsilonFor(set string) int {
+	if IsRule(set) {
+		return w.Cfg.epsRule()
+	}
+	return w.Cfg.epsClean()
+}
+
+// FastSS returns (building on first use) the shared variant index for
+// a set.
+func (w *Workbench) FastSS(set string) *fastss.Index {
+	key := fssKey{dblp: IsDBLP(set), eps: w.EpsilonFor(set)}
+	if ix, ok := w.fss[key]; ok {
+		return ix
+	}
+	ix := fastss.Build(w.IndexFor(set).VocabList(), fastss.Config{
+		MaxErrors:    key.eps,
+		PartitionLen: 12,
+	})
+	w.fss[key] = ix
+	return ix
+}
+
+// CompactIndexFor returns (building on first use) a block-compressed
+// copy of a set's index, for the compression ablation.
+func (w *Workbench) CompactIndexFor(set string) *invindex.Index {
+	key := IsDBLP(set)
+	if ix, ok := w.compIdx[key]; ok {
+		return ix
+	}
+	var ix *invindex.Index
+	if key {
+		ix = invindex.Build(w.DBLP.Tree, tokenizer.Options{})
+	} else {
+		ix = invindex.Build(w.Wiki.Tree, tokenizer.Options{})
+	}
+	ix.Compact()
+	w.compIdx[key] = ix
+	return ix
+}
+
+// XCleanCompact is XClean over the compacted copy of the set's index.
+func (w *Workbench) XCleanCompact(set string, mod func(*core.Config)) *core.Engine {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return core.NewEngineWithFastSS(w.CompactIndexFor(set), w.FastSS(set), cfg)
+}
+
+// XClean builds the XClean engine for a set. mod, if non-nil, tweaks
+// the configuration (used by the β and γ sweeps and the ablations).
+func (w *Workbench) XClean(set string, mod func(*core.Config)) *core.Engine {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return core.NewEngineWithFastSS(w.IndexFor(set), w.FastSS(set), cfg)
+}
+
+// SLCA builds the SLCA-semantics engine for a set.
+func (w *Workbench) SLCA(set string, mod func(*core.Config)) *slca.Engine {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return slca.NewEngineWithFastSS(w.IndexFor(set), w.FastSS(set), cfg)
+}
+
+// ELCA builds the ELCA-semantics engine for a set.
+func (w *Workbench) ELCA(set string, mod func(*core.Config)) *slca.Engine {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return slca.NewELCAEngineWithFastSS(w.IndexFor(set), w.FastSS(set), cfg)
+}
+
+// HMM builds the Hidden-Markov-Model baseline (Pu [7]) for a set.
+func (w *Workbench) HMM(set string, mod func(*core.Config)) *baseline.HMM {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return baseline.NewHMMWithFastSS(w.IndexFor(set), w.FastSS(set), cfg)
+}
+
+// PY08 builds the baseline for a set.
+func (w *Workbench) PY08(set string, mod func(*core.Config)) *baseline.PY08 {
+	cfg := core.Config{Epsilon: w.EpsilonFor(set)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	return baseline.NewPY08WithFastSS(w.IndexFor(set), w.FastSS(set), cfg)
+}
+
+// combinedVocab trusts tokens indexed in either corpus (the site: the
+// engine searches).
+type combinedVocab struct{ w *Workbench }
+
+func (v combinedVocab) Contains(t string) bool {
+	return v.w.DBLPIndex.Vocab.Contains(t) || v.w.WikiIndex.Vocab.Contains(t)
+}
+
+// SE1 is the stronger search-engine stand-in: query log, site
+// vocabulary, plus the human-misspelling rules (mirroring engines that
+// learn corrections from logs).
+func (w *Workbench) SE1() *baseline.LogCorrector {
+	return baseline.NewLogCorrector(w.logFreq, w.rules,
+		baseline.LogConfig{KnownWords: combinedVocab{w}})
+}
+
+// SE2 is the weaker stand-in: query log and site vocabulary only, no
+// misspelling rules.
+func (w *Workbench) SE2() *baseline.LogCorrector {
+	return baseline.NewLogCorrector(w.logFreq, nil,
+		baseline.LogConfig{KnownWords: combinedVocab{w}})
+}
+
+// SortedSetNames returns the configured sets present on this
+// workbench, in reporting order.
+func (w *Workbench) SortedSetNames() []string {
+	out := make([]string, 0, len(w.Sets))
+	for _, name := range SetNames {
+		if _, ok := w.Sets[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}

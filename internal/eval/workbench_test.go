@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/tokenizer"
+)
+
+// bench reuses eval_test.go's shared workbench.
+func bench(t *testing.T) *Workbench { return smallBench(t) }
+
+func TestWorkbenchSetsComplete(t *testing.T) {
+	w := bench(t)
+	for _, set := range SetNames {
+		if len(w.Sets[set]) == 0 {
+			t.Errorf("set %s empty", set)
+		}
+	}
+	if got := w.SortedSetNames(); len(got) != len(SetNames) {
+		t.Errorf("SortedSetNames=%v", got)
+	}
+}
+
+func TestWorkbenchEngines(t *testing.T) {
+	w := bench(t)
+	q := w.Sets[SetDBLPRand][0]
+	type sys struct {
+		name string
+		s    Suggester
+	}
+	systems := []sys{
+		{"xclean", w.XClean(SetDBLPRand, nil)},
+		{"xclean-compact", w.XCleanCompact(SetDBLPRand, nil)},
+		{"slca", w.SLCA(SetDBLPRand, nil)},
+		{"elca", w.ELCA(SetDBLPRand, nil)},
+		{"py08", w.PY08(SetDBLPRand, nil)},
+		{"hmm", w.HMM(SetDBLPRand, nil)},
+		{"se1", w.SE1()},
+		{"se2", w.SE2()},
+	}
+	for _, sy := range systems {
+		// Every system must produce *something* for a perturbed query
+		// whose truth exists in the corpus (quality differs; liveness
+		// must not).
+		if got := sy.s.Suggest(q.Dirty); len(got) == 0 {
+			t.Errorf("%s: no suggestions for %q (truth %q)", sy.name, q.Dirty, q.Truth)
+		}
+	}
+}
+
+func TestWorkbenchCompactSameAnswers(t *testing.T) {
+	w := bench(t)
+	plain := w.XClean(SetDBLPRand, nil)
+	comp := w.XCleanCompact(SetDBLPRand, nil)
+	for _, q := range w.Sets[SetDBLPRand] {
+		a := plain.Suggest(q.Dirty)
+		b := comp.Suggest(q.Dirty)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d suggestions", q.Dirty, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Query() != b[i].Query() {
+				t.Fatalf("query %q rank %d: %q vs %q", q.Dirty, i, a[i].Query(), b[i].Query())
+			}
+		}
+	}
+	// The cache must hand back the same index on the second call.
+	if w.CompactIndexFor(SetDBLPRand) != w.CompactIndexFor(SetDBLPRand) {
+		t.Error("CompactIndexFor not cached")
+	}
+}
+
+func TestWorkbenchConfigDefaults(t *testing.T) {
+	var c WorkbenchConfig
+	if c.queries() != 50 || c.epsClean() != 2 || c.epsRule() != 3 {
+		t.Errorf("defaults: %d %d %d", c.queries(), c.epsClean(), c.epsRule())
+	}
+	c = WorkbenchConfig{QueriesPerSet: 5, EpsilonClean: 1, EpsilonRule: 2}
+	if c.queries() != 5 || c.epsClean() != 1 || c.epsRule() != 2 {
+		t.Error("explicit values ignored")
+	}
+}
+
+func TestEpsilonFor(t *testing.T) {
+	w := bench(t)
+	if w.EpsilonFor(SetDBLPRule) <= w.EpsilonFor(SetDBLPRand) {
+		t.Error("RULE sets need a larger variant threshold")
+	}
+}
+
+func TestWorkbenchModHook(t *testing.T) {
+	w := bench(t)
+	e := w.XClean(SetDBLPRand, func(c *core.Config) { c.K = 1 })
+	q := w.Sets[SetDBLPRand][0]
+	if got := e.Suggest(q.Dirty); len(got) > 1 {
+		t.Errorf("mod hook ignored: %d suggestions", len(got))
+	}
+}
+
+func TestLatencyStatsString(t *testing.T) {
+	var r LatencyRecorder
+	r.Record(1000)
+	r.Record(2000)
+	s := r.Stats().String()
+	for _, want := range []string{"mean=", "p95=", "n=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String()=%q missing %q", s, want)
+		}
+	}
+}
+
+func TestRankNormalization(t *testing.T) {
+	opts := tokenizer.Options{}
+	sugs := []core.Suggestion{
+		{Words: []string{"great", "barrier", "reef"}},
+	}
+	// Case and punctuation differences must not break matching.
+	if got := Rank(sugs, "Great Barrier, Reef", opts); got != 1 {
+		t.Errorf("rank=%d want 1", got)
+	}
+	if got := Rank(sugs, "something else entirely", opts); got != 0 {
+		t.Errorf("rank=%d want 0", got)
+	}
+	if got := Rank(nil, "x", opts); got != 0 {
+		t.Errorf("rank=%d want 0 for empty suggestions", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package fastss implements the FastSS approximate string matching
+// index used by XClean to generate the ε-variant sets var_ε(q) of query
+// keywords (Section V-A of the paper).
+//
+// The idea: if ed(s,t) ≤ ε, then deleting at most ε characters from
+// each of s and t can produce a common string, so the ε-deletion
+// neighborhoods of s and t intersect. The index maps every deletion
+// variant of every vocabulary word to the words that produce it; a
+// query generates its own deletion neighborhood, probes the index, and
+// verifies candidates with a banded edit-distance computation.
+//
+// For long tokens the deletion neighborhood grows as C(l,ε), so the
+// index optionally partitions long words into two halves and indexes
+// each half with an error budget of ⌊ε/2⌋ (pigeonhole: if the word is
+// within ε errors, one half is within ⌊ε/2⌋ errors of the aligned
+// query prefix/suffix). The paper calls this the "partitioned version"
+// with tuning parameter l_p.
+package fastss
+
+import (
+	"sort"
+
+	"xclean/internal/editdist"
+)
+
+// Config tunes index construction.
+type Config struct {
+	// MaxErrors is ε, the maximum edit distance matched. Must be ≥ 0.
+	MaxErrors int
+	// PartitionLen is l_p: words strictly longer than this are indexed
+	// in partitioned form. 0 disables partitioning.
+	PartitionLen int
+}
+
+// Match is one vocabulary word within the error threshold of a query.
+type Match struct {
+	Word string
+	Dist int
+}
+
+type bucketKey struct {
+	part    int8 // 0 = whole word, 1 = first half, 2 = second half
+	variant string
+}
+
+// Index is an ε-deletion-neighborhood index over a vocabulary. Words
+// can be added at any time (incremental vocabulary growth); Add is not
+// safe to call concurrently with Search.
+type Index struct {
+	cfg     Config
+	words   []string
+	ids     map[string]int32
+	buckets map[bucketKey][]int32
+	// halfLens[i] is the rune length of the first half of partitioned
+	// word i, or 0 if word i is indexed whole.
+	halfLens []int32
+}
+
+// New returns an empty index with the given configuration.
+func New(cfg Config) *Index {
+	if cfg.MaxErrors < 0 {
+		cfg.MaxErrors = 0
+	}
+	return &Index{
+		cfg:     cfg,
+		ids:     make(map[string]int32),
+		buckets: make(map[bucketKey][]int32),
+	}
+}
+
+// Build constructs an index over words. Duplicate words are indexed
+// once.
+func Build(words []string, cfg Config) *Index {
+	ix := New(cfg)
+	for _, w := range words {
+		ix.Add(w)
+	}
+	return ix
+}
+
+// Add indexes one vocabulary word; already-indexed words are ignored.
+func (ix *Index) Add(word string) {
+	if _, ok := ix.ids[word]; ok {
+		return
+	}
+	id := int32(len(ix.words))
+	ix.ids[word] = id
+	ix.words = append(ix.words, word)
+	runes := []rune(word)
+	if ix.cfg.PartitionLen > 0 && len(runes) > ix.cfg.PartitionLen && ix.cfg.MaxErrors > 0 {
+		h := (len(runes) + 1) / 2
+		ix.halfLens = append(ix.halfLens, int32(h))
+		halfErr := ix.cfg.MaxErrors / 2
+		ix.addVariants(1, string(runes[:h]), halfErr, id)
+		ix.addVariants(2, string(runes[h:]), halfErr, id)
+		return
+	}
+	ix.halfLens = append(ix.halfLens, 0)
+	ix.addVariants(0, word, ix.cfg.MaxErrors, id)
+}
+
+func (ix *Index) addVariants(part int8, s string, maxDel int, id int32) {
+	for v := range deletionNeighborhood(s, maxDel) {
+		key := bucketKey{part, v}
+		lst := ix.buckets[key]
+		if n := len(lst); n > 0 && lst[n-1] == id {
+			continue // same word, another variant path
+		}
+		ix.buckets[key] = append(lst, id)
+	}
+}
+
+// deletionNeighborhood returns the set of strings obtainable from s by
+// deleting at most maxDel runes (including s itself).
+func deletionNeighborhood(s string, maxDel int) map[string]struct{} {
+	out := make(map[string]struct{})
+	var rec func(r []rune, dels int)
+	rec = func(r []rune, dels int) {
+		key := string(r)
+		if _, ok := out[key]; ok {
+			return
+		}
+		out[key] = struct{}{}
+		if dels == 0 || len(r) == 0 {
+			return
+		}
+		buf := make([]rune, len(r)-1)
+		for i := range r {
+			copy(buf, r[:i])
+			copy(buf[i:], r[i+1:])
+			rec(buf, dels-1)
+		}
+	}
+	rec([]rune(s), maxDel)
+	return out
+}
+
+// Search returns every vocabulary word within ε edit errors of q,
+// sorted by (distance, word). This is var_ε(q) of the paper; note it
+// includes q itself when q is a vocabulary term.
+func (ix *Index) Search(q string) []Match {
+	eps := ix.cfg.MaxErrors
+	cand := make(map[int32]struct{})
+
+	// Whole-word probes.
+	for v := range deletionNeighborhood(q, eps) {
+		for _, id := range ix.buckets[bucketKey{0, v}] {
+			cand[id] = struct{}{}
+		}
+	}
+
+	// Partitioned probes: enumerate prefixes (for first halves) and
+	// suffixes (for second halves) of q in the alignment window, then
+	// their ⌊ε/2⌋-deletion variants.
+	if ix.cfg.PartitionLen > 0 && eps > 0 {
+		halfErr := eps / 2
+		runes := []rune(q)
+		probe := func(part int8, piece string) {
+			for v := range deletionNeighborhood(piece, halfErr) {
+				for _, id := range ix.buckets[bucketKey{part, v}] {
+					cand[id] = struct{}{}
+				}
+			}
+		}
+		// Any indexed word w has |w| ∈ [|q|-ε, |q|+ε] if it matches, and
+		// first-half length h = ⌈|w|/2⌉. The aligned query prefix has
+		// length within ⌊ε/2⌋ of h. Enumerate that window of prefix
+		// lengths (and symmetrically suffix lengths).
+		minH := (len(runes)-eps+1)/2 - halfErr
+		maxH := (len(runes)+eps+1)/2 + halfErr
+		if minH < 0 {
+			minH = 0
+		}
+		for p := minH; p <= maxH && p <= len(runes); p++ {
+			probe(1, string(runes[:p]))
+		}
+		// Second halves have length |w| - ⌈|w|/2⌉ = ⌊|w|/2⌋.
+		minS := (len(runes)-eps)/2 - halfErr
+		maxS := (len(runes)+eps)/2 + halfErr
+		if minS < 0 {
+			minS = 0
+		}
+		for s := minS; s <= maxS && s <= len(runes); s++ {
+			probe(2, string(runes[len(runes)-s:]))
+		}
+	}
+
+	var matches []Match
+	for id := range cand {
+		w := ix.words[id]
+		if d, ok := editdist.WithinK(q, w, eps); ok {
+			matches = append(matches, Match{Word: w, Dist: d})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Dist != matches[j].Dist {
+			return matches[i].Dist < matches[j].Dist
+		}
+		return matches[i].Word < matches[j].Word
+	})
+	return matches
+}
+
+// BruteForce scans the whole vocabulary with the banded verifier. It is
+// the reference implementation used in tests and the variant-generation
+// ablation benchmark.
+func BruteForce(words []string, q string, eps int) []Match {
+	var matches []Match
+	seen := make(map[string]bool)
+	for _, w := range words {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		if d, ok := editdist.WithinK(q, w, eps); ok {
+			matches = append(matches, Match{Word: w, Dist: d})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Dist != matches[j].Dist {
+			return matches[i].Dist < matches[j].Dist
+		}
+		return matches[i].Word < matches[j].Word
+	})
+	return matches
+}
+
+// Size is the number of indexed words.
+func (ix *Index) Size() int { return len(ix.words) }
+
+// Buckets is the number of deletion-variant buckets (an index-size
+// diagnostic; the paper discusses the space/time trade-off of l_p).
+func (ix *Index) Buckets() int { return len(ix.buckets) }

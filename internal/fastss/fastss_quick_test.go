@@ -1,0 +1,83 @@
+package fastss
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomVocab builds a vocabulary of lowercase words of varied length.
+func randomVocab(rng *rand.Rand, n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		l := 3 + rng.Intn(12)
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6)) // small alphabet: many near-misses
+		}
+		w := string(b)
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSearchMatchesBruteForceQuick: for random vocabularies and random
+// queries, the FastSS index must return exactly the brute-force
+// edit-distance neighborhood, for both plain and partitioned indexes.
+func TestSearchMatchesBruteForceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vocab := randomVocab(r, 60)
+		eps := 1 + r.Intn(2)
+		for _, lp := range []int{0, 6} {
+			ix := Build(vocab, Config{MaxErrors: eps, PartitionLen: lp})
+			for trial := 0; trial < 5; trial++ {
+				// Query: a perturbed vocabulary word or a random string.
+				var q string
+				if r.Intn(2) == 0 {
+					q = vocab[r.Intn(len(vocab))]
+					if len(q) > 4 {
+						i := r.Intn(len(q))
+						q = q[:i] + string(rune('a'+r.Intn(8))) + q[i+1:]
+					}
+				} else {
+					q = randomVocab(r, 1)[0]
+				}
+				got := ix.Search(q)
+				want := BruteForce(vocab, q, eps)
+				if !matchesEqual(got, want) {
+					t.Logf("vocab=%v eps=%d lp=%d q=%q\ngot:  %v\nwant: %v",
+						vocab, eps, lp, q, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func matchesEqual(a, b []Match) bool {
+	key := func(ms []Match) []Match {
+		out := append([]Match(nil), ms...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Word != out[j].Word {
+				return out[i].Word < out[j].Word
+			}
+			return out[i].Dist < out[j].Dist
+		})
+		return out
+	}
+	return reflect.DeepEqual(key(a), key(b))
+}

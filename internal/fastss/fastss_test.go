@@ -1,0 +1,151 @@
+package fastss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+var sampleVocab = []string{
+	"tree", "trees", "trie", "icde", "icdt", "insurance", "instance",
+	"health", "architecture", "barrier", "reef", "great", "fpga",
+	"keyword", "query", "queries", "cleaning", "clean", "xml",
+	"probabilistic", "probability", "verification", "vverification",
+}
+
+func TestSearchBasic(t *testing.T) {
+	ix := Build(sampleVocab, Config{MaxErrors: 1})
+	got := ix.Search("tree")
+	want := []Match{{"tree", 0}, {"trees", 1}, {"trie", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Search(tree)=%v want %v", got, want)
+	}
+}
+
+func TestSearchMissingWord(t *testing.T) {
+	ix := Build(sampleVocab, Config{MaxErrors: 1})
+	got := ix.Search("icdx")
+	want := []Match{{"icde", 1}, {"icdt", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Search(icdx)=%v want %v", got, want)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := Build(sampleVocab, Config{MaxErrors: 1})
+	if got := ix.Search("zzzzzzz"); len(got) != 0 {
+		t.Errorf("Search(zzzzzzz)=%v", got)
+	}
+}
+
+func TestSearchEps2(t *testing.T) {
+	ix := Build(sampleVocab, Config{MaxErrors: 2})
+	got := ix.Search("insurance")
+	// instance is within 2 edits of insurance.
+	found := false
+	for _, m := range got {
+		if m.Word == "instance" && m.Dist == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Search(insurance) missing instance: %v", got)
+	}
+}
+
+func TestDuplicatesIndexedOnce(t *testing.T) {
+	ix := Build([]string{"tree", "tree", "tree"}, Config{MaxErrors: 1})
+	if ix.Size() != 1 {
+		t.Errorf("Size=%d want 1", ix.Size())
+	}
+	if got := ix.Search("tree"); len(got) != 1 {
+		t.Errorf("Search=%v", got)
+	}
+}
+
+func TestDeletionNeighborhood(t *testing.T) {
+	nb := deletionNeighborhood("abc", 1)
+	want := []string{"abc", "bc", "ac", "ab"}
+	if len(nb) != len(want) {
+		t.Fatalf("neighborhood=%v", nb)
+	}
+	for _, w := range want {
+		if _, ok := nb[w]; !ok {
+			t.Errorf("missing %q", w)
+		}
+	}
+	nb0 := deletionNeighborhood("abc", 0)
+	if len(nb0) != 1 {
+		t.Errorf("0-deletion neighborhood=%v", nb0)
+	}
+}
+
+// Differential test: FastSS (plain and partitioned) must return exactly
+// what brute force returns, over random vocabularies and queries.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []rune("abcdef")
+	randWord := func(min, max int) string {
+		n := min + rng.Intn(max-min+1)
+		r := make([]rune, n)
+		for i := range r {
+			r[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(r)
+	}
+	for _, cfg := range []Config{
+		{MaxErrors: 1},
+		{MaxErrors: 2},
+		{MaxErrors: 3},
+		{MaxErrors: 1, PartitionLen: 6},
+		{MaxErrors: 2, PartitionLen: 6},
+		{MaxErrors: 2, PartitionLen: 4},
+		{MaxErrors: 3, PartitionLen: 8},
+	} {
+		vocab := make([]string, 300)
+		for i := range vocab {
+			vocab[i] = randWord(3, 12)
+		}
+		ix := Build(vocab, cfg)
+		for i := 0; i < 60; i++ {
+			q := randWord(2, 13)
+			got := ix.Search(q)
+			want := BruteForce(vocab, q, cfg.MaxErrors)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg=%+v q=%q got=%v want=%v", cfg, q, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitioningShrinksIndex(t *testing.T) {
+	long := []string{"verification", "architecture", "probabilistic", "understanding"}
+	plain := Build(long, Config{MaxErrors: 2})
+	part := Build(long, Config{MaxErrors: 2, PartitionLen: 6})
+	if part.Buckets() >= plain.Buckets() {
+		t.Errorf("partitioned buckets %d not smaller than plain %d", part.Buckets(), plain.Buckets())
+	}
+}
+
+func TestNegativeMaxErrors(t *testing.T) {
+	ix := New(Config{MaxErrors: -3})
+	ix.Add("tree")
+	got := ix.Search("tree")
+	if len(got) != 1 || got[0].Dist != 0 {
+		t.Errorf("Search=%v", got)
+	}
+}
+
+func BenchmarkFastSSSearch(b *testing.B) {
+	ix := Build(sampleVocab, Config{MaxErrors: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("architecure")
+	}
+}
+
+func BenchmarkBruteForceSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BruteForce(sampleVocab, "architecure", 2)
+	}
+}

@@ -1,0 +1,159 @@
+package invindex
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// compactTree builds a moderately bushy tree with repeated tokens so
+// posting lists span multiple compression blocks.
+func compactTree(seed int64, articles int) *xmltree.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"query", "index", "search", "ranking", "xml", "keyword",
+		"cleaning", "spelling", "probabilistic", "model"}
+	tr := xmltree.NewTree("db")
+	for i := 0; i < articles; i++ {
+		art := tr.AddChild(tr.Root, "article", "")
+		title := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		tr.AddChild(art, "title", title)
+		tr.AddChild(art, "abstract", words[rng.Intn(len(words))]+" "+
+			words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))])
+	}
+	return tr
+}
+
+func TestCompactPreservesPostings(t *testing.T) {
+	tr := compactTree(1, 400)
+	raw := Build(tr, tokenizer.Options{})
+	comp := Build(tr, tokenizer.Options{})
+	comp.Compact()
+
+	if !comp.Compacted() || raw.Compacted() {
+		t.Fatal("Compacted() flags wrong")
+	}
+	for _, tok := range raw.VocabList() {
+		want := raw.Postings(tok)
+		got := comp.Postings(tok)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("token %q: postings diverge after Compact", tok)
+		}
+		if raw.DocFreq(tok) != comp.DocFreq(tok) {
+			t.Fatalf("token %q: DocFreq diverges", tok)
+		}
+	}
+	if !reflect.DeepEqual(raw.VocabList(), comp.VocabList()) {
+		t.Fatal("VocabList diverges")
+	}
+}
+
+func TestCompactShrinksFootprint(t *testing.T) {
+	tr := compactTree(2, 800)
+	ix := Build(tr, tokenizer.Options{})
+	before := ix.PostingsBytes()
+	ix.Compact()
+	after := ix.PostingsBytes()
+	if after >= before {
+		t.Fatalf("Compact grew footprint: %d -> %d bytes", before, after)
+	}
+	t.Logf("postings footprint %d -> %d bytes (%.1fx)", before, after,
+		float64(before)/float64(after))
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	tr := compactTree(3, 50)
+	ix := Build(tr, tokenizer.Options{})
+	ix.Compact()
+	size := ix.PostingsBytes()
+	ix.Compact() // second call must be a no-op
+	if ix.PostingsBytes() != size {
+		t.Fatal("second Compact changed the index")
+	}
+}
+
+// TestMergedListForCompressedDifferential drains MergedListFor over a
+// compacted index and over the raw index through mixed Next/SkipTo/
+// CollectSubtree traffic; both must yield identical entry streams.
+func TestMergedListForCompressedDifferential(t *testing.T) {
+	tr := compactTree(4, 600)
+	raw := Build(tr, tokenizer.Options{})
+	comp := Build(tr, tokenizer.Options{})
+	comp.Compact()
+
+	tokens := []string{"query", "index", "nonexistent", "xml"}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		mr := raw.MergedListFor(tokens)
+		mc := comp.MergedListFor(tokens)
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				er, okr := mr.Next()
+				ec, okc := mc.Next()
+				if okr != okc {
+					t.Fatalf("trial %d step %d: Next ok %v vs %v", trial, step, okr, okc)
+				}
+				if okr && (er.Dewey.Compare(ec.Dewey) != 0 || er.Token != ec.Token || er.TF != ec.TF) {
+					t.Fatalf("trial %d step %d: Next %v/%s vs %v/%s",
+						trial, step, er.Dewey, er.Token, ec.Dewey, ec.Token)
+				}
+			case 1:
+				cur, ok := mr.CurPos()
+				if !ok {
+					continue
+				}
+				target := cur.Dewey.Clone()
+				target[len(target)-1] += uint32(rng.Intn(3))
+				er, okr := mr.SkipTo(target)
+				ec, okc := mc.SkipTo(target)
+				if okr != okc || (okr && er.Dewey.Compare(ec.Dewey) != 0) {
+					t.Fatalf("trial %d step %d: SkipTo diverges", trial, step)
+				}
+			default:
+				cur, ok := mr.CurPos()
+				if !ok {
+					continue
+				}
+				g := cur.Dewey.Truncate(2).Clone()
+				var gotR, gotC []string
+				mr.CollectSubtree(g, func(e Entry) {
+					gotR = append(gotR, e.Dewey.String()+"/"+e.Token)
+				})
+				mc.CollectSubtree(g, func(e Entry) {
+					gotC = append(gotC, e.Dewey.String()+"/"+e.Token)
+				})
+				if !reflect.DeepEqual(gotR, gotC) {
+					t.Fatalf("trial %d step %d: CollectSubtree diverges\nraw:  %v\ncomp: %v",
+						trial, step, gotR, gotC)
+				}
+			}
+			if mr.Exhausted() {
+				break
+			}
+		}
+	}
+}
+
+func TestSaveLoadCompacted(t *testing.T) {
+	tr := compactTree(6, 200)
+	ix := Build(tr, tokenizer.Options{})
+	ix.Compact()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Build(tr, tokenizer.Options{})
+	for _, tok := range want.VocabList() {
+		if !reflect.DeepEqual(got.Postings(tok), want.Postings(tok)) {
+			t.Fatalf("token %q: postings diverge after save/load of compacted index", tok)
+		}
+	}
+}

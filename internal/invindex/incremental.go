@@ -1,0 +1,184 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xclean/internal/xmltree"
+)
+
+// AddDocument grafts doc's root as the next child of the indexed tree's
+// root and updates every index structure incrementally — postings (the
+// new subtree follows all existing nodes in document order, so lists
+// grow by appending), type lists, subtree lengths, path statistics,
+// vocabulary, bigrams, and stored text. The result is identical to
+// rebuilding the index over the enlarged tree, at cost proportional to
+// the added document.
+//
+// This mirrors how the paper's corpora actually grow — DBLP gains
+// articles, Wikipedia gains pages — without the multi-minute rebuild
+// the paper's offline indexing assumes.
+//
+// Engines hold derived structures (variant index, cached priors);
+// rebuild them after adding documents. AddDocument is not safe to call
+// concurrently with queries, and a compacted index is immutable.
+func (ix *Index) AddDocument(doc *xmltree.Tree) error {
+	if ix.comp != nil {
+		return fmt.Errorf("invindex: AddDocument: compacted index is immutable")
+	}
+	if doc == nil || doc.Root == nil {
+		return fmt.Errorf("invindex: AddDocument: empty document")
+	}
+
+	rootPath, err := ix.rootPathID()
+	if err != nil {
+		return err
+	}
+	root := xmltree.Dewey{1}
+	if ix.nextRootChild == 0 {
+		ix.nextRootChild = ix.maxRootChildOrdinal(root) + 1
+	}
+	ordinal := ix.nextRootChild
+	ix.nextRootChild++
+
+	// Index the grafted subtree, collecting the tokens it introduces.
+	newPostings := make(map[string][]Posting)
+	added := ix.indexGrafted(doc.Root, root.Child(ordinal), rootPath, newPostings)
+
+	// The root's virtual document grew.
+	rootKey := root.Key()
+	ix.subtreeLen[rootKey] += added
+	if lens := ix.pathLens[rootPath]; len(lens) == 1 {
+		lens[0] += added
+	}
+
+	// Merge type-list deltas. Ancestors at depth ≥ 2 lie inside the
+	// grafted subtree, so every (token, ancestor) pair there is new;
+	// the root (depth 1) was already counted for any token that existed
+	// before this call.
+	for tok, plist := range newPostings {
+		counts := make(map[xmltree.PathID]int32)
+		var prev xmltree.Dewey
+		for _, p := range plist {
+			div := divergeDepth(prev, p.Dewey)
+			if div < 2 {
+				div = 1 // never re-count depth-1 here
+			}
+			for k := div + 1; k <= p.Dewey.Depth(); k++ {
+				counts[ix.Paths.Ancestor(p.Path, k)]++
+			}
+			prev = p.Dewey
+		}
+		if len(ix.postings[tok]) == len(plist) {
+			// Brand-new token: the root now counts for it too.
+			counts[rootPath]++
+		}
+		ix.mergeTypeCounts(tok, counts)
+	}
+	return nil
+}
+
+// rootPathID finds the label path of the tree root (the unique
+// depth-1 path).
+func (ix *Index) rootPathID() (xmltree.PathID, error) {
+	for id := xmltree.PathID(0); int(id) < ix.Paths.Len(); id++ {
+		if ix.Paths.Parent(id) == xmltree.InvalidPath {
+			return id, nil
+		}
+	}
+	return xmltree.InvalidPath, fmt.Errorf("invindex: AddDocument: index has no root path")
+}
+
+// maxRootChildOrdinal scans the subtree-length table for the largest
+// sibling ordinal directly under root.
+func (ix *Index) maxRootChildOrdinal(root xmltree.Dewey) uint32 {
+	rk := root.Key()
+	var max uint32
+	for key := range ix.subtreeLen {
+		if len(key) != len(rk)+4 || key[:len(rk)] != rk {
+			continue
+		}
+		d := xmltree.DeweyFromKey(key)
+		if o := d[len(d)-1]; o > max {
+			max = o
+		}
+	}
+	return max
+}
+
+// indexGrafted indexes src (a node from a foreign tree) at the given
+// position, re-interning paths, and returns the subtree's token count.
+// New postings are also collected per token for the type-list merge.
+func (ix *Index) indexGrafted(
+	src *xmltree.Node,
+	dewey xmltree.Dewey,
+	parentPath xmltree.PathID,
+	newPostings map[string][]Posting,
+) int32 {
+	path := ix.Paths.Intern(parentPath, src.Label)
+	ix.nodeCount++
+	ix.pathNodes[path]++
+	if d := dewey.Depth(); d > ix.maxDepth {
+		ix.maxDepth = d
+	}
+
+	key := dewey.Key()
+	if ix.storedText != nil && src.Text != "" {
+		ix.storedText[key] = src.Text
+		ix.storedKeys = append(ix.storedKeys, key)
+	}
+
+	var direct int32
+	if src.Text != "" {
+		toks := ix.opts.Tokenize(src.Text)
+		direct = int32(len(toks))
+		if direct > 0 {
+			tf := make(map[string]int32, len(toks))
+			order := make([]string, 0, len(toks))
+			for _, tok := range toks {
+				if tf[tok] == 0 {
+					order = append(order, tok)
+				}
+				tf[tok]++
+			}
+			for _, tok := range order {
+				p := Posting{Dewey: dewey, Path: path, TF: tf[tok], NodeLen: direct}
+				ix.postings[tok] = append(ix.postings[tok], p)
+				newPostings[tok] = append(newPostings[tok], p)
+				ix.Vocab.Add(tok, int64(tf[tok]))
+			}
+			for i := 1; i < len(toks); i++ {
+				ix.bigrams[toks[i-1]+"\x00"+toks[i]]++
+			}
+			ix.totalTok += int64(direct)
+		}
+	}
+
+	total := direct
+	for i, c := range src.Children {
+		total += ix.indexGrafted(c, dewey.Child(uint32(i+1)), path, newPostings)
+	}
+	ix.subtreeLen[key] = total
+	ix.pathLens[path] = append(ix.pathLens[path], total)
+	ix.pathRoots[path] = append(ix.pathRoots[path], key)
+	return total
+}
+
+// mergeTypeCounts adds per-path deltas into tok's sorted type list.
+func (ix *Index) mergeTypeCounts(tok string, counts map[xmltree.PathID]int32) {
+	if len(counts) == 0 {
+		return
+	}
+	tl := ix.typeLists[tok]
+	for path, f := range counts {
+		i := sort.Search(len(tl), func(j int) bool { return tl[j].Path >= path })
+		if i < len(tl) && tl[i].Path == path {
+			tl[i].F += f
+			continue
+		}
+		tl = append(tl, TypeCount{})
+		copy(tl[i+1:], tl[i:])
+		tl[i] = TypeCount{Path: path, F: f}
+	}
+	ix.typeLists[tok] = tl
+}

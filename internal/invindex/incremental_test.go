@@ -1,0 +1,188 @@
+package invindex
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// article builds a standalone document tree (to be grafted) with an
+// author and title.
+func article(author, title string) *xmltree.Tree {
+	t := xmltree.NewTree("article")
+	t.AddChild(t.Root, "author", author)
+	t.AddChild(t.Root, "title", title)
+	return t
+}
+
+// fullTree builds the equivalent corpus in one piece.
+func fullTree(rows [][2]string) *xmltree.Tree {
+	t := xmltree.NewTree("dblp")
+	for _, r := range rows {
+		art := t.AddChild(t.Root, "article", "")
+		t.AddChild(art, "author", r[0])
+		t.AddChild(art, "title", r[1])
+	}
+	return t
+}
+
+var incRows = [][2]string{
+	{"rose", "fpga architecture synthesis"},
+	{"rose", "reconfigurable fpga design"},
+	{"smith", "database indexing methods"},
+	{"jones", "xml keyword search ranking"},
+	{"chen", "novel probabilistic cleaning"},
+}
+
+// assertIndexEqual compares every observable index structure.
+func assertIndexEqual(t *testing.T, want, got *Index) {
+	t.Helper()
+	wantVocab := want.VocabList()
+	if !reflect.DeepEqual(wantVocab, got.VocabList()) {
+		t.Fatalf("vocab diverges:\nwant %v\ngot  %v", wantVocab, got.VocabList())
+	}
+	for _, tok := range wantVocab {
+		if !reflect.DeepEqual(want.Postings(tok), got.Postings(tok)) {
+			t.Fatalf("postings diverge for %q:\nwant %v\ngot  %v",
+				tok, want.Postings(tok), got.Postings(tok))
+		}
+		if !reflect.DeepEqual(want.TypeList(tok), got.TypeList(tok)) {
+			t.Fatalf("type lists diverge for %q:\nwant %v\ngot  %v",
+				tok, want.TypeList(tok), got.TypeList(tok))
+		}
+		if want.Vocab.Count(tok) != got.Vocab.Count(tok) {
+			t.Fatalf("vocab count diverges for %q", tok)
+		}
+	}
+	if want.NodeCount() != got.NodeCount() || want.MaxDepth() != got.MaxDepth() ||
+		want.TotalTokens() != got.TotalTokens() {
+		t.Fatalf("stats diverge: want (%d,%d,%d) got (%d,%d,%d)",
+			want.NodeCount(), want.MaxDepth(), want.TotalTokens(),
+			got.NodeCount(), got.MaxDepth(), got.TotalTokens())
+	}
+	// Path-level structures, via the path table's string forms.
+	for id := xmltree.PathID(0); int(id) < want.Paths.Len(); id++ {
+		ps := want.Paths.String(id)
+		gid := got.Paths.Lookup(ps)
+		if gid == xmltree.InvalidPath {
+			t.Fatalf("path %s missing", ps)
+		}
+		if want.NodesWithPath(id) != got.NodesWithPath(gid) {
+			t.Fatalf("path %s: node counts diverge", ps)
+		}
+		wl := append([]int32(nil), want.SubtreeLensByPath(id)...)
+		gl := append([]int32(nil), got.SubtreeLensByPath(gid)...)
+		sortInt32(wl)
+		sortInt32(gl)
+		if !reflect.DeepEqual(wl, gl) {
+			t.Fatalf("path %s: subtree lens diverge: %v vs %v", ps, wl, gl)
+		}
+	}
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestAddDocumentEquivalence: building incrementally must equal the
+// full rebuild, whatever the split point.
+func TestAddDocumentEquivalence(t *testing.T) {
+	want := Build(fullTree(incRows), tokenizer.Options{})
+	for split := 0; split <= len(incRows); split++ {
+		got := Build(fullTree(incRows[:split]), tokenizer.Options{})
+		for _, r := range incRows[split:] {
+			if err := got.AddDocument(article(r[0], r[1])); err != nil {
+				t.Fatalf("split %d: %v", split, err)
+			}
+		}
+		assertIndexEqual(t, want, got)
+	}
+}
+
+// TestAddDocumentStoredText: stored text grows with the graft.
+func TestAddDocumentStoredText(t *testing.T) {
+	ix := BuildStored(fullTree(incRows[:2]), tokenizer.Options{})
+	if err := ix.AddDocument(article("chen", "novel probabilistic cleaning")); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := xmltree.ParseDewey("1.3")
+	got := ix.SubtreeText(d, 0)
+	if !strings.Contains(got, "probabilistic cleaning") || !strings.Contains(got, "chen") {
+		t.Errorf("grafted text %q", got)
+	}
+}
+
+func TestAddDocumentErrors(t *testing.T) {
+	ix := Build(fullTree(incRows[:1]), tokenizer.Options{})
+	if err := ix.AddDocument(nil); err == nil {
+		t.Error("nil document accepted")
+	}
+	ix.Compact()
+	if err := ix.AddDocument(article("a", "b")); err == nil {
+		t.Error("compacted index mutated")
+	}
+}
+
+// TestAddDocumentNewVocabulary: queries over tokens that only exist in
+// the grafted document must work (via a fresh engine; checked here at
+// the index level through postings and type lists).
+func TestAddDocumentNewVocabulary(t *testing.T) {
+	ix := Build(fullTree(incRows[:2]), tokenizer.Options{})
+	if ix.DocFreq("quantum") != 0 {
+		t.Fatal("unexpected token")
+	}
+	if err := ix.AddDocument(article("zhang", "quantum query processing")); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DocFreq("quantum") != 1 {
+		t.Errorf("DocFreq(quantum)=%d", ix.DocFreq("quantum"))
+	}
+	// The new token's type list counts the root exactly once.
+	tl := ix.TypeList("quantum")
+	rootPath := ix.Paths.Lookup("/dblp")
+	found := false
+	for _, tc := range tl {
+		if tc.Path == rootPath {
+			found = true
+			if tc.F != 1 {
+				t.Errorf("root f=%d want 1", tc.F)
+			}
+		}
+	}
+	if !found {
+		t.Error("root missing from new token's type list")
+	}
+}
+
+// TestAddDocumentPersistRoundtrip: an incrementally grown index
+// survives save/load and further growth.
+func TestAddDocumentPersistRoundtrip(t *testing.T) {
+	ix := Build(fullTree(incRows[:3]), tokenizer.Options{})
+	if err := ix.AddDocument(article(incRows[3][0], incRows[3][1])); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ix.Save(&stringsWriter{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.AddDocument(article(incRows[4][0], incRows[4][1])); err != nil {
+		t.Fatal(err)
+	}
+	want := Build(fullTree(incRows), tokenizer.Options{})
+	assertIndexEqual(t, want, loaded)
+}
+
+type stringsWriter struct{ b *strings.Builder }
+
+func (w *stringsWriter) Write(p []byte) (int, error) { return w.b.Write(p) }

@@ -1,0 +1,158 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// randomTextTree builds a random tree whose nodes carry random short
+// texts from a small word pool (so tokens repeat across nodes).
+func randomTextTree(rng *rand.Rand, nodes int) *xmltree.Tree {
+	pool := []string{"query", "index", "search", "ranking", "xml", "tree",
+		"cleaning", "model", "entity", "probabilistic"}
+	labels := []string{"sec", "para", "item"}
+	tr := xmltree.NewTree("doc")
+	all := []*xmltree.Node{tr.Root}
+	for i := 1; i < nodes; i++ {
+		parent := all[rng.Intn(len(all))]
+		if parent.Dewey.Depth() >= 6 {
+			continue
+		}
+		text := ""
+		for w := rng.Intn(4); w > 0; w-- {
+			if text != "" {
+				text += " "
+			}
+			text += pool[rng.Intn(len(pool))]
+		}
+		all = append(all, tr.AddChild(parent, labels[rng.Intn(len(labels))], text))
+	}
+	return tr
+}
+
+// TestIndexInvariantsOnRandomTrees verifies the index against
+// brute-force recomputation from the tree, for every structure the
+// scoring path reads: postings (frequency, order, node length), type
+// lists f_p^w, subtree lengths, per-path node counts, and totals.
+func TestIndexInvariantsOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	opts := tokenizer.Options{}
+	for trial := 0; trial < 40; trial++ {
+		tr := randomTextTree(rng, 10+rng.Intn(40))
+		ix := Build(tr, opts)
+
+		// Ground truth from a direct tree walk.
+		type nodeInfo struct {
+			n    *xmltree.Node
+			toks []string
+		}
+		var infos []nodeInfo
+		tr.Walk(func(n *xmltree.Node) bool {
+			infos = append(infos, nodeInfo{n, opts.Tokenize(n.Text)})
+			return true
+		})
+
+		// Subtree lengths.
+		var totalTok int64
+		for _, in := range infos {
+			want := int32(0)
+			for _, other := range infos {
+				if in.n.Dewey.AncestorOrSelf(other.n.Dewey) {
+					want += int32(len(other.toks))
+				}
+			}
+			if got := ix.SubtreeLen(in.n.Dewey); got != want {
+				t.Fatalf("trial %d: SubtreeLen(%s)=%d want %d", trial, in.n.Dewey, got, want)
+			}
+			totalTok += int64(len(in.toks))
+		}
+		if ix.TotalTokens() != totalTok {
+			t.Fatalf("trial %d: TotalTokens=%d want %d", trial, ix.TotalTokens(), totalTok)
+		}
+		if ix.NodeCount() != len(infos) {
+			t.Fatalf("trial %d: NodeCount=%d want %d", trial, ix.NodeCount(), len(infos))
+		}
+
+		// Postings: per (token, node) frequency and document order.
+		ix.Tokens(func(tok string) {
+			pl := ix.Postings(tok)
+			for i := 1; i < len(pl); i++ {
+				if pl[i-1].Dewey.Compare(pl[i].Dewey) >= 0 {
+					t.Fatalf("trial %d: postings of %q out of order", trial, tok)
+				}
+			}
+			for _, p := range pl {
+				var node *nodeInfo
+				for i := range infos {
+					if infos[i].n.Dewey.Compare(p.Dewey) == 0 {
+						node = &infos[i]
+						break
+					}
+				}
+				if node == nil {
+					t.Fatalf("trial %d: posting at unknown node %s", trial, p.Dewey)
+				}
+				tf := int32(0)
+				for _, w := range node.toks {
+					if w == tok {
+						tf++
+					}
+				}
+				if p.TF != tf || p.NodeLen != int32(len(node.toks)) {
+					t.Fatalf("trial %d: %q@%s tf=%d/%d len=%d/%d",
+						trial, tok, p.Dewey, p.TF, tf, p.NodeLen, len(node.toks))
+				}
+			}
+
+			// Type list: f_p^w = number of nodes of path p whose subtree
+			// contains tok.
+			wantF := map[xmltree.PathID]int32{}
+			for _, in := range infos {
+				contains := false
+				for _, other := range infos {
+					if !in.n.Dewey.AncestorOrSelf(other.n.Dewey) {
+						continue
+					}
+					for _, w := range other.toks {
+						if w == tok {
+							contains = true
+							break
+						}
+					}
+					if contains {
+						break
+					}
+				}
+				if contains {
+					wantF[in.n.Path]++
+				}
+			}
+			tl := ix.TypeList(tok)
+			if len(tl) != len(wantF) {
+				t.Fatalf("trial %d: %q type list has %d paths want %d",
+					trial, tok, len(tl), len(wantF))
+			}
+			for _, tc := range tl {
+				if tc.F != wantF[tc.Path] {
+					t.Fatalf("trial %d: %q f_%s=%d want %d",
+						trial, tok, ix.Paths.String(tc.Path), tc.F, wantF[tc.Path])
+				}
+			}
+		})
+
+		// Per-path node counts.
+		wantNodes := map[xmltree.PathID]int32{}
+		for _, in := range infos {
+			wantNodes[in.n.Path]++
+		}
+		for p, want := range wantNodes {
+			if got := ix.NodesWithPath(p); got != want {
+				t.Fatalf("trial %d: NodesWithPath(%s)=%d want %d",
+					trial, ix.Paths.String(p), got, want)
+			}
+		}
+	}
+}

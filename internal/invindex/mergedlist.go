@@ -1,0 +1,279 @@
+package invindex
+
+import (
+	"container/heap"
+	"sort"
+
+	"xclean/internal/postings"
+	"xclean/internal/xmltree"
+)
+
+// Entry is one element surfaced by a MergedList: a posting together
+// with the variant token it belongs to.
+type Entry struct {
+	Posting
+	Token string
+	// TokenIdx is the position of Token in the variant list the
+	// MergedList was built from.
+	TokenIdx int
+}
+
+// listCursor walks one member inverted list. Implementations exist for
+// raw posting slices and for compressed lists (streaming decode with
+// block skipping).
+type listCursor interface {
+	exhausted() bool
+	// head returns the current posting; only valid while !exhausted().
+	// The returned pointer (and its Dewey) is valid until the next
+	// advance/skipTo call; MergedList copies before yielding.
+	head() *Posting
+	advance()
+	// skipTo advances to the first posting ≥ d in document order.
+	// linear selects the scanning ablation mode where supported.
+	skipTo(d xmltree.Dewey, linear bool)
+}
+
+// sliceCursor walks a raw in-memory posting slice.
+type sliceCursor struct {
+	list []Posting
+	pos  int
+}
+
+func (c *sliceCursor) exhausted() bool { return c.pos >= len(c.list) }
+
+func (c *sliceCursor) head() *Posting { return &c.list[c.pos] }
+
+func (c *sliceCursor) advance() { c.pos++ }
+
+// skipTo advances the cursor to the first posting whose Dewey code is
+// ≥ d. With linear=false it uses exponential (galloping) search
+// followed by binary search, giving O(log gap); with linear=true it
+// scans, which is the ablation baseline.
+func (c *sliceCursor) skipTo(d xmltree.Dewey, linear bool) {
+	if linear {
+		for !c.exhausted() && c.head().Dewey.Compare(d) < 0 {
+			c.pos++
+		}
+		return
+	}
+	if c.exhausted() || c.head().Dewey.Compare(d) >= 0 {
+		return
+	}
+	// Exponential search for an upper bound.
+	step := 1
+	lo := c.pos
+	hi := c.pos + step
+	for hi < len(c.list) && c.list[hi].Dewey.Compare(d) < 0 {
+		lo = hi
+		step *= 2
+		hi = c.pos + step
+	}
+	if hi > len(c.list) {
+		hi = len(c.list)
+	}
+	// Binary search within (lo, hi].
+	c.pos = lo + sort.Search(hi-lo, func(i int) bool {
+		return c.list[lo+i].Dewey.Compare(d) >= 0
+	})
+}
+
+// compCursor streams a compressed posting list. Skipping uses the
+// codec's block skip table; the linear flag is ignored because blocks
+// must be decoded sequentially regardless.
+type compCursor struct {
+	it  *postings.Iterator
+	cur Posting
+	ok  bool
+}
+
+func newCompCursor(l *postings.List) *compCursor {
+	c := &compCursor{it: l.Iter()}
+	c.refresh()
+	return c
+}
+
+// refresh copies the iterator head, cloning the Dewey code out of the
+// iterator's reused buffer so consumers may retain it.
+func (c *compCursor) refresh() {
+	p, ok := c.it.Head()
+	if ok {
+		p.Dewey = p.Dewey.Clone()
+	}
+	c.cur, c.ok = p, ok
+}
+
+func (c *compCursor) exhausted() bool { return !c.ok }
+
+func (c *compCursor) head() *Posting { return &c.cur }
+
+func (c *compCursor) advance() {
+	c.it.Advance()
+	c.refresh()
+}
+
+func (c *compCursor) skipTo(d xmltree.Dewey, linear bool) {
+	if c.ok && c.cur.Dewey.Compare(d) < 0 {
+		c.it.SkipTo(d)
+		c.refresh()
+	}
+}
+
+// member pairs a cursor with its variant identity inside a MergedList.
+type member struct {
+	listCursor
+	token    string
+	tokenIdx int
+}
+
+// MergedList presents the inverted lists of all variants of one query
+// keyword as a single list sorted in document order (Section V-C). It
+// is implemented as a min-heap over the member list heads.
+type MergedList struct {
+	h          cursorHeap
+	linearSkip bool
+}
+
+// NewMergedList builds a merged list over the postings of the given
+// variant tokens. lists[i] must be the inverted list of tokens[i], in
+// document order.
+func NewMergedList(tokens []string, lists [][]Posting) *MergedList {
+	m := &MergedList{}
+	for i, l := range lists {
+		if len(l) == 0 {
+			continue
+		}
+		m.h = append(m.h, &member{
+			listCursor: &sliceCursor{list: l},
+			token:      tokens[i],
+			tokenIdx:   i,
+		})
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// MergedListFor builds the merged list for the given variant tokens
+// directly from the index storage: raw slices normally, streaming
+// compressed cursors on a compacted index (no per-query decode of whole
+// lists).
+func (ix *Index) MergedListFor(tokens []string) *MergedList {
+	m := &MergedList{}
+	for i, tok := range tokens {
+		var c listCursor
+		if ix.comp != nil {
+			l, ok := ix.comp[tok]
+			if !ok || l.Len() == 0 {
+				continue
+			}
+			c = newCompCursor(l)
+		} else {
+			pl := ix.postings[tok]
+			if len(pl) == 0 {
+				continue
+			}
+			c = &sliceCursor{list: pl}
+		}
+		m.h = append(m.h, &member{listCursor: c, token: tok, tokenIdx: i})
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// SetLinearSkip switches SkipTo to linear scanning (for the skipping
+// ablation benchmark). It affects raw-slice cursors only.
+func (m *MergedList) SetLinearSkip(v bool) { m.linearSkip = v }
+
+// CurPos returns the head of the merged list without consuming it.
+func (m *MergedList) CurPos() (Entry, bool) {
+	if len(m.h) == 0 {
+		return Entry{}, false
+	}
+	c := m.h[0]
+	return Entry{Posting: *c.head(), Token: c.token, TokenIdx: c.tokenIdx}, true
+}
+
+// Next returns the head and removes it from the merged list.
+func (m *MergedList) Next() (Entry, bool) {
+	if len(m.h) == 0 {
+		return Entry{}, false
+	}
+	c := m.h[0]
+	e := Entry{Posting: *c.head(), Token: c.token, TokenIdx: c.tokenIdx}
+	c.advance()
+	if c.exhausted() {
+		heap.Pop(&m.h)
+	} else {
+		heap.Fix(&m.h, 0)
+	}
+	return e, true
+}
+
+// SkipTo discards every entry whose Dewey code is smaller than d and
+// returns the new head (the first entry ≥ d), if any.
+func (m *MergedList) SkipTo(d xmltree.Dewey) (Entry, bool) {
+	// Advance each member list independently, dropping exhausted ones,
+	// then rebuild the heap, as described in Section V-C.
+	kept := m.h[:0]
+	for _, c := range m.h {
+		c.skipTo(d, m.linearSkip)
+		if !c.exhausted() {
+			kept = append(kept, c)
+		}
+	}
+	m.h = kept
+	heap.Init(&m.h)
+	return m.CurPos()
+}
+
+// CollectSubtree discards every entry before g, then consumes all
+// entries inside the subtree rooted at g (g itself included), calling
+// fn for each. Entries are delivered grouped by member list, in
+// document order within each list.
+//
+// Only cursors whose heads lie before or inside the subtree are
+// touched: the min-heap root is repeatedly skipped or drained in bulk,
+// so member lists already positioned beyond the subtree cost nothing —
+// the skipping behaviour Section V-C relies on.
+func (m *MergedList) CollectSubtree(g xmltree.Dewey, fn func(Entry)) {
+	for len(m.h) > 0 {
+		c := m.h[0]
+		head := c.head().Dewey
+		switch {
+		case head.Compare(g) < 0:
+			c.skipTo(g, m.linearSkip)
+		case g.AncestorOrSelf(head):
+			for !c.exhausted() && g.AncestorOrSelf(c.head().Dewey) {
+				fn(Entry{Posting: *c.head(), Token: c.token, TokenIdx: c.tokenIdx})
+				c.advance()
+			}
+		default:
+			// The earliest head is already past the subtree; so is
+			// everything else.
+			return
+		}
+		if c.exhausted() {
+			heap.Pop(&m.h)
+		} else {
+			heap.Fix(&m.h, 0)
+		}
+	}
+}
+
+// Exhausted reports whether the merged list is empty.
+func (m *MergedList) Exhausted() bool { return len(m.h) == 0 }
+
+type cursorHeap []*member
+
+func (h cursorHeap) Len() int { return len(h) }
+func (h cursorHeap) Less(i, j int) bool {
+	return h[i].head().Dewey.Compare(h[j].head().Dewey) < 0
+}
+func (h cursorHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x interface{}) { *h = append(*h, x.(*member)) }
+func (h *cursorHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

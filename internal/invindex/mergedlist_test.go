@@ -1,0 +1,242 @@
+package invindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xclean/internal/xmltree"
+)
+
+func mkList(t *testing.T, deweys ...string) []Posting {
+	t.Helper()
+	out := make([]Posting, len(deweys))
+	for i, s := range deweys {
+		d, err := xmltree.ParseDewey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = Posting{Dewey: d, TF: 1}
+	}
+	return out
+}
+
+func TestMergedListOrder(t *testing.T) {
+	a := mkList(t, "1.1.1", "1.3.1")
+	b := mkList(t, "1.2.1")
+	c := mkList(t, "1.1.2", "1.4")
+	m := NewMergedList([]string{"a", "b", "c"}, [][]Posting{a, b, c})
+
+	var got []string
+	var toks []string
+	for {
+		e, ok := m.Next()
+		if !ok {
+			break
+		}
+		got = append(got, e.Dewey.String())
+		toks = append(toks, e.Token)
+	}
+	want := []string{"1.1.1", "1.1.2", "1.2.1", "1.3.1", "1.4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order got %v want %v", got, want)
+		}
+	}
+	if toks[0] != "a" || toks[1] != "c" || toks[2] != "b" {
+		t.Errorf("tokens=%v", toks)
+	}
+	if !m.Exhausted() {
+		t.Error("should be exhausted")
+	}
+	if _, ok := m.Next(); ok {
+		t.Error("Next on exhausted list should fail")
+	}
+	if _, ok := m.CurPos(); ok {
+		t.Error("CurPos on exhausted list should fail")
+	}
+}
+
+func TestMergedListCurPos(t *testing.T) {
+	m := NewMergedList([]string{"a"}, [][]Posting{mkList(t, "1.1", "1.2")})
+	e, ok := m.CurPos()
+	if !ok || e.Dewey.String() != "1.1" {
+		t.Fatalf("CurPos=%v %v", e, ok)
+	}
+	// CurPos must not consume.
+	e2, _ := m.CurPos()
+	if e2.Dewey.String() != "1.1" {
+		t.Error("CurPos consumed the head")
+	}
+}
+
+func TestMergedListSkipTo(t *testing.T) {
+	a := mkList(t, "1.1.1", "1.2.2", "1.5.1")
+	b := mkList(t, "1.1.2", "1.3.1")
+	m := NewMergedList([]string{"a", "b"}, [][]Posting{a, b})
+
+	target, _ := xmltree.ParseDewey("1.2")
+	e, ok := m.SkipTo(target)
+	if !ok || e.Dewey.String() != "1.2.2" {
+		t.Fatalf("SkipTo(1.2)=%v ok=%v", e.Dewey, ok)
+	}
+	target, _ = xmltree.ParseDewey("1.4")
+	e, ok = m.SkipTo(target)
+	if !ok || e.Dewey.String() != "1.5.1" {
+		t.Fatalf("SkipTo(1.4)=%v ok=%v", e.Dewey, ok)
+	}
+	target, _ = xmltree.ParseDewey("1.9")
+	if _, ok := m.SkipTo(target); ok {
+		t.Error("SkipTo past the end should exhaust")
+	}
+}
+
+func TestMergedListEmptyLists(t *testing.T) {
+	m := NewMergedList([]string{"a", "b"}, [][]Posting{nil, {}})
+	if !m.Exhausted() {
+		t.Error("merged list of empty lists should be exhausted")
+	}
+}
+
+// Differential test: galloping SkipTo must behave exactly like linear
+// SkipTo under a random sequence of operations.
+func TestMergedListSkipToEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randDewey := func() xmltree.Dewey {
+		n := 1 + rng.Intn(4)
+		d := make(xmltree.Dewey, n)
+		d[0] = 1
+		for i := 1; i < n; i++ {
+			d[i] = uint32(1 + rng.Intn(8))
+		}
+		return d
+	}
+	for trial := 0; trial < 200; trial++ {
+		var lists [][]Posting
+		var tokens []string
+		nl := 1 + rng.Intn(4)
+		for i := 0; i < nl; i++ {
+			n := rng.Intn(30)
+			set := map[string]xmltree.Dewey{}
+			for j := 0; j < n; j++ {
+				d := randDewey()
+				set[d.Key()] = d
+			}
+			var pl []Posting
+			for _, d := range set {
+				pl = append(pl, Posting{Dewey: d})
+			}
+			sort.Slice(pl, func(a, b int) bool { return pl[a].Dewey.Compare(pl[b].Dewey) < 0 })
+			lists = append(lists, pl)
+			tokens = append(tokens, string(rune('a'+i)))
+		}
+		copyLists := func() [][]Posting {
+			out := make([][]Posting, len(lists))
+			for i := range lists {
+				out[i] = append([]Posting(nil), lists[i]...)
+			}
+			return out
+		}
+		m1 := NewMergedList(tokens, copyLists())
+		m2 := NewMergedList(tokens, copyLists())
+		m2.SetLinearSkip(true)
+
+		for step := 0; step < 40; step++ {
+			if rng.Intn(2) == 0 {
+				e1, ok1 := m1.Next()
+				e2, ok2 := m2.Next()
+				if ok1 != ok2 || (ok1 && (e1.Dewey.Compare(e2.Dewey) != 0 || e1.Token != e2.Token)) {
+					t.Fatalf("Next mismatch: %v/%v vs %v/%v", e1, ok1, e2, ok2)
+				}
+			} else {
+				d := randDewey()
+				e1, ok1 := m1.SkipTo(d)
+				e2, ok2 := m2.SkipTo(d)
+				if ok1 != ok2 || (ok1 && e1.Dewey.Compare(e2.Dewey) != 0) {
+					t.Fatalf("SkipTo(%v) mismatch: %v/%v vs %v/%v", d, e1.Dewey, ok1, e2.Dewey, ok2)
+				}
+			}
+			if m1.Exhausted() {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkMergedListSkipTo(b *testing.B) {
+	var pl []Posting
+	for i := 1; i <= 100000; i++ {
+		pl = append(pl, Posting{Dewey: xmltree.Dewey{1, uint32(i), 1}})
+	}
+	m := NewMergedList([]string{"w"}, [][]Posting{pl})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := xmltree.Dewey{1, uint32(i%100000 + 1)}
+		m.SkipTo(target)
+	}
+}
+
+// CollectSubtree must deliver exactly the postings inside the subtree
+// (per variant, in document order) and position the list past it.
+func TestCollectSubtreeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	randDewey := func() xmltree.Dewey {
+		n := 1 + rng.Intn(4)
+		d := make(xmltree.Dewey, n)
+		d[0] = 1
+		for i := 1; i < n; i++ {
+			d[i] = uint32(1 + rng.Intn(6))
+		}
+		return d
+	}
+	for trial := 0; trial < 300; trial++ {
+		nl := 1 + rng.Intn(3)
+		var lists [][]Posting
+		var tokens []string
+		for i := 0; i < nl; i++ {
+			set := map[string]xmltree.Dewey{}
+			for j := 0; j < rng.Intn(25); j++ {
+				d := randDewey()
+				set[d.Key()] = d
+			}
+			var pl []Posting
+			for _, d := range set {
+				pl = append(pl, Posting{Dewey: d})
+			}
+			sort.Slice(pl, func(a, b int) bool { return pl[a].Dewey.Compare(pl[b].Dewey) < 0 })
+			lists = append(lists, pl)
+			tokens = append(tokens, string(rune('a'+i)))
+		}
+		m := NewMergedList(tokens, lists)
+		g := randDewey().Truncate(1 + rng.Intn(2))
+
+		got := map[string][]string{}
+		m.CollectSubtree(g, func(e Entry) {
+			got[e.Token] = append(got[e.Token], e.Dewey.String())
+		})
+		// Reference: filter each list directly.
+		for i, pl := range lists {
+			var want []string
+			for _, p := range pl {
+				if g.AncestorOrSelf(p.Dewey) {
+					want = append(want, p.Dewey.String())
+				}
+			}
+			tok := tokens[i]
+			if len(want) != len(got[tok]) {
+				t.Fatalf("trial %d g=%v token %s: got %v want %v", trial, g, tok, got[tok], want)
+			}
+			for j := range want {
+				if got[tok][j] != want[j] {
+					t.Fatalf("trial %d order mismatch: got %v want %v", trial, got[tok], want)
+				}
+			}
+		}
+		// Remaining head must be past the subtree.
+		if e, ok := m.CurPos(); ok {
+			if g.AncestorOrSelf(e.Dewey) || e.Dewey.Compare(g) < 0 {
+				t.Fatalf("head %v not past subtree %v", e.Dewey, g)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package invindex
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"xclean/internal/postings"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// Index persistence: a magic string, a format version, and one gob
+// blob. Indexing a multi-hundred-megabyte document takes far longer
+// than loading its index, so tools save the index once and reopen it
+// per session (cmd/xclean's -index flag).
+//
+// Since version 2, posting lists are stored with the block-compressed
+// postings codec (delta-encoded Dewey codes, varint fields), which
+// shrinks index files several-fold relative to the naive version-1
+// encoding.
+
+const (
+	persistMagic   = "XCLEANIDX"
+	persistVersion = 2
+)
+
+// persistedIndex is the exported on-disk shape of an Index.
+type persistedIndex struct {
+	PathParents []int32
+	PathLabels  []string
+
+	VocabWords  []string
+	VocabCounts []int64
+
+	Tokens []string
+	// PostingBlobs[i] is Tokens[i]'s list in the postings wire format.
+	PostingBlobs [][]byte
+	TypeLists    [][]TypeCount
+
+	SubtreeKeys []string
+	SubtreeLens []int32
+
+	// StoredKeys/StoredTexts carry BuildStored's preview text (both
+	// empty on indexes built without stored text).
+	StoredKeys  []string
+	StoredTexts []string
+
+	PathNodes map[xmltree.PathID]int32
+	PathLens  map[xmltree.PathID][]int32
+	PathRoots map[xmltree.PathID][]string
+	Bigrams   map[string]int64
+
+	NodeCount int
+	MaxDepth  int
+	TotalTok  int64
+	Opts      tokenizer.Options
+}
+
+// Save writes the index to w. The format is versioned; Load rejects
+// mismatches.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	if err := bw.WriteByte(persistVersion); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+
+	p := persistedIndex{
+		PathNodes: ix.pathNodes,
+		PathLens:  ix.pathLens,
+		PathRoots: ix.pathRoots,
+		Bigrams:   ix.bigrams,
+		NodeCount: ix.nodeCount,
+		MaxDepth:  ix.maxDepth,
+		TotalTok:  ix.totalTok,
+		Opts:      ix.opts,
+	}
+	p.PathParents, p.PathLabels = ix.Paths.Export()
+
+	p.Tokens = ix.VocabList()
+	p.PostingBlobs = make([][]byte, len(p.Tokens))
+	p.TypeLists = make([][]TypeCount, len(p.Tokens))
+	p.VocabWords = p.Tokens
+	p.VocabCounts = make([]int64, len(p.Tokens))
+	for i, tok := range p.Tokens {
+		if ix.comp != nil {
+			p.PostingBlobs[i] = ix.comp[tok].AppendTo(nil)
+		} else {
+			p.PostingBlobs[i] = postings.Encode(ix.postings[tok]).AppendTo(nil)
+		}
+		p.TypeLists[i] = ix.typeLists[tok]
+		p.VocabCounts[i] = ix.Vocab.Count(tok)
+	}
+
+	if ix.storedText != nil {
+		p.StoredKeys = ix.storedKeys
+		p.StoredTexts = make([]string, len(ix.storedKeys))
+		for i, k := range ix.storedKeys {
+			p.StoredTexts[i] = ix.storedText[k]
+		}
+	}
+
+	p.SubtreeKeys = make([]string, 0, len(ix.subtreeLen))
+	for k := range ix.subtreeLen {
+		p.SubtreeKeys = append(p.SubtreeKeys, k)
+	}
+	sort.Strings(p.SubtreeKeys)
+	p.SubtreeLens = make([]int32, len(p.SubtreeKeys))
+	for i, k := range p.SubtreeKeys {
+		p.SubtreeLens[i] = ix.subtreeLen[k]
+	}
+
+	if err := gob.NewEncoder(bw).Encode(&p); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("invindex: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("invindex: load: not an xclean index (bad magic %q)", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	if ver != persistVersion {
+		return nil, fmt.Errorf("invindex: load: unsupported index version %d (want %d)", ver, persistVersion)
+	}
+
+	var p persistedIndex
+	if err := gob.NewDecoder(br).Decode(&p); err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	if len(p.PostingBlobs) != len(p.Tokens) || len(p.TypeLists) != len(p.Tokens) ||
+		len(p.VocabCounts) != len(p.Tokens) || len(p.SubtreeLens) != len(p.SubtreeKeys) {
+		return nil, fmt.Errorf("invindex: load: inconsistent index tables")
+	}
+
+	paths, err := xmltree.ImportPathTable(p.PathParents, p.PathLabels)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: load: %w", err)
+	}
+	ix := &Index{
+		Paths:      paths,
+		Vocab:      tokenizer.NewVocabulary(),
+		postings:   make(map[string][]Posting, len(p.Tokens)),
+		typeLists:  make(map[string][]TypeCount, len(p.Tokens)),
+		subtreeLen: make(map[string]int32, len(p.SubtreeKeys)),
+		pathNodes:  p.PathNodes,
+		pathLens:   p.PathLens,
+		pathRoots:  p.PathRoots,
+		bigrams:    p.Bigrams,
+		nodeCount:  p.NodeCount,
+		maxDepth:   p.MaxDepth,
+		totalTok:   p.TotalTok,
+		opts:       p.Opts,
+	}
+	if ix.pathNodes == nil {
+		ix.pathNodes = make(map[xmltree.PathID]int32)
+	}
+	if ix.pathLens == nil {
+		ix.pathLens = make(map[xmltree.PathID][]int32)
+	}
+	if ix.pathRoots == nil {
+		ix.pathRoots = make(map[xmltree.PathID][]string)
+	}
+	if ix.bigrams == nil {
+		ix.bigrams = make(map[string]int64)
+	}
+	for i, tok := range p.Tokens {
+		l, used, err := postings.DecodeList(p.PostingBlobs[i])
+		if err != nil {
+			return nil, fmt.Errorf("invindex: load: token %q: %w", tok, err)
+		}
+		if used != len(p.PostingBlobs[i]) {
+			return nil, fmt.Errorf("invindex: load: token %q: %d trailing bytes",
+				tok, len(p.PostingBlobs[i])-used)
+		}
+		ix.postings[tok] = l.Decode()
+		ix.typeLists[tok] = p.TypeLists[i]
+		ix.Vocab.Add(tok, p.VocabCounts[i])
+	}
+	for i, k := range p.SubtreeKeys {
+		ix.subtreeLen[k] = p.SubtreeLens[i]
+	}
+	if p.StoredKeys != nil {
+		if len(p.StoredTexts) != len(p.StoredKeys) {
+			return nil, fmt.Errorf("invindex: load: mismatched stored-text tables")
+		}
+		ix.storedKeys = p.StoredKeys
+		ix.storedText = make(map[string]string, len(p.StoredKeys))
+		for i, k := range p.StoredKeys {
+			ix.storedText[k] = p.StoredTexts[i]
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,114 @@
+package invindex
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := buildSample()
+	orig := Build(tr, tokenizer.Options{})
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NodeCount() != orig.NodeCount() ||
+		loaded.MaxDepth() != orig.MaxDepth() ||
+		loaded.TotalTokens() != orig.TotalTokens() {
+		t.Errorf("scalar stats differ")
+	}
+	if !reflect.DeepEqual(loaded.VocabList(), orig.VocabList()) {
+		t.Errorf("vocab differs")
+	}
+	orig.Tokens(func(tok string) {
+		if !reflect.DeepEqual(loaded.Postings(tok), orig.Postings(tok)) {
+			t.Errorf("postings of %q differ", tok)
+		}
+		if !reflect.DeepEqual(loaded.TypeList(tok), orig.TypeList(tok)) {
+			t.Errorf("type list of %q differ", tok)
+		}
+		if loaded.Vocab.Count(tok) != orig.Vocab.Count(tok) {
+			t.Errorf("vocab count of %q differs", tok)
+		}
+	})
+	// Subtree lengths and path statistics.
+	for _, s := range []string{"1", "1.1", "1.1.1", "1.2.1"} {
+		d, _ := xmltree.ParseDewey(s)
+		if loaded.SubtreeLen(d) != orig.SubtreeLen(d) {
+			t.Errorf("subtree len of %s differs", s)
+		}
+	}
+	cx := orig.Paths.Lookup("/a/c/x")
+	if loaded.Paths.Lookup("/a/c/x") != cx {
+		t.Errorf("path IDs differ after reload")
+	}
+	if loaded.NodesWithPath(cx) != orig.NodesWithPath(cx) {
+		t.Errorf("path node counts differ")
+	}
+	if !reflect.DeepEqual(loaded.SubtreeLensByPath(cx), orig.SubtreeLensByPath(cx)) {
+		t.Errorf("path lens differ")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOTANINDEXxxxxxxxxxxxxx",
+		"truncated": "XCLEANIDX\x01partial",
+	}
+	for name, data := range cases {
+		if _, err := Load(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Wrong version byte.
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := Build(tr, tokenizer.Options{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len("XCLEANIDX")] = 99
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("wrong version: want error")
+	}
+}
+
+func TestLoadRejectsBitrot(t *testing.T) {
+	tr := buildSample()
+	var buf bytes.Buffer
+	if err := Build(tr, tokenizer.Options{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the gob payload mid-stream.
+	b := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Error("truncated payload: want error")
+	}
+}
+
+func TestSaveLoadEmptyIndex(t *testing.T) {
+	tr := xmltree.NewTree("a")
+	var buf bytes.Buffer
+	if err := Build(tr, tokenizer.Options{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NodeCount() != 1 || loaded.Vocab.Size() != 0 {
+		t.Errorf("empty index mangled: %d nodes, %d terms", loaded.NodeCount(), loaded.Vocab.Size())
+	}
+}

@@ -1,0 +1,219 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xclean/internal/xmltree"
+)
+
+// RemoveDocument detaches the subtree rooted at the given direct child
+// of the indexed root, reversing AddDocument: postings, type lists,
+// subtree lengths, path statistics, vocabulary, bigram counts, and
+// stored text all shrink as if the document had never been indexed.
+// Sibling ordinals of the remaining documents are untouched, so all
+// surviving Dewey codes stay valid.
+//
+// Removal requires an index built with BuildStored: the stored node
+// text is what lets the removed document's tokens and bigrams be
+// re-derived. Compacted indexes are immutable. Cost is proportional to
+// the whole index (one scan to enumerate the subtree) plus the removed
+// document's postings.
+//
+// Engines hold derived structures; rebuild or Refresh them afterwards.
+// The variant index may retain words whose postings are now empty —
+// such variants can never produce entities, so suggestions stay valid.
+func (ix *Index) RemoveDocument(root xmltree.Dewey) error {
+	if ix.comp != nil {
+		return fmt.Errorf("invindex: RemoveDocument: compacted index is immutable")
+	}
+	if ix.storedText == nil {
+		return fmt.Errorf("invindex: RemoveDocument: requires an index built with BuildStored")
+	}
+	if root.Depth() != 2 {
+		return fmt.Errorf("invindex: RemoveDocument: %s is not a direct child of the root", root)
+	}
+	rootKey := root.Key()
+	removedTotal, ok := ix.subtreeLen[rootKey]
+	if !ok {
+		return fmt.Errorf("invindex: RemoveDocument: no document at %s", root)
+	}
+	docRootPath, err := ix.rootPathID()
+	if err != nil {
+		return err
+	}
+
+	// Enumerate every node of the subtree, with its label path (via the
+	// path-root lists) and subtree length.
+	type removedNode struct {
+		key  string
+		path xmltree.PathID
+		len  int32
+	}
+	var nodes []removedNode
+	pathOf := make(map[string]xmltree.PathID)
+	for path, keys := range ix.pathRoots {
+		kept := keys[:0]
+		for _, k := range keys {
+			if isUnder(k, rootKey) {
+				nodes = append(nodes, removedNode{key: k, path: path, len: ix.subtreeLen[k]})
+				pathOf[k] = path
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		if len(kept) == 0 {
+			delete(ix.pathRoots, path)
+		} else {
+			ix.pathRoots[path] = kept
+		}
+	}
+
+	// Per-node structural bookkeeping.
+	for _, n := range nodes {
+		ix.nodeCount--
+		if ix.pathNodes[n.path]--; ix.pathNodes[n.path] == 0 {
+			delete(ix.pathNodes, n.path)
+		}
+		removeOneLen(ix.pathLens, n.path, n.len)
+		delete(ix.subtreeLen, n.key)
+	}
+
+	// Token-level bookkeeping, re-derived from the stored text. The
+	// removed postings per token are reconstructed in document order so
+	// the type-list delta can be computed exactly as AddDocument did.
+	lo := sort.SearchStrings(ix.storedKeys, rootKey)
+	hi := lo
+	removedPostings := make(map[string][]Posting)
+	for hi < len(ix.storedKeys) && isUnder(ix.storedKeys[hi], rootKey) {
+		key := ix.storedKeys[hi]
+		text := ix.storedText[key]
+		toks := ix.opts.Tokenize(text)
+		if len(toks) > 0 {
+			dewey := xmltree.DeweyFromKey(key)
+			path := pathOf[key]
+			tf := make(map[string]int32, len(toks))
+			order := make([]string, 0, len(toks))
+			for _, tok := range toks {
+				if tf[tok] == 0 {
+					order = append(order, tok)
+				}
+				tf[tok]++
+			}
+			for _, tok := range order {
+				removedPostings[tok] = append(removedPostings[tok], Posting{
+					Dewey: dewey, Path: path, TF: tf[tok],
+				})
+				ix.Vocab.Sub(tok, int64(tf[tok]))
+			}
+			for i := 1; i < len(toks); i++ {
+				k := toks[i-1] + "\x00" + toks[i]
+				if ix.bigrams[k]--; ix.bigrams[k] <= 0 {
+					delete(ix.bigrams, k)
+				}
+			}
+			ix.totalTok -= int64(len(toks))
+		}
+		delete(ix.storedText, key)
+		hi++
+	}
+	ix.storedKeys = append(ix.storedKeys[:lo], ix.storedKeys[hi:]...)
+
+	for tok, plist := range removedPostings {
+		// Cut the removed range out of the posting list (contiguous:
+		// lists are in document order and the subtree is one interval).
+		full := ix.postings[tok]
+		start := sort.Search(len(full), func(i int) bool {
+			return full[i].Dewey.Compare(root) >= 0
+		})
+		end := start
+		for end < len(full) && root.AncestorOrSelf(full[end].Dewey) {
+			end++
+		}
+		if end-start != len(plist) {
+			return fmt.Errorf("invindex: RemoveDocument: postings for %q diverge from stored text (%d vs %d); index corrupt",
+				tok, end-start, len(plist))
+		}
+		if len(full) == end-start {
+			delete(ix.postings, tok)
+		} else {
+			ix.postings[tok] = append(full[:start], full[end:]...)
+		}
+
+		// Reverse the type-list delta.
+		counts := make(map[xmltree.PathID]int32)
+		var prev xmltree.Dewey
+		for _, p := range plist {
+			div := divergeDepth(prev, p.Dewey)
+			if div < 2 {
+				div = 1
+			}
+			for k := div + 1; k <= p.Dewey.Depth(); k++ {
+				counts[ix.Paths.Ancestor(p.Path, k)]++
+			}
+			prev = p.Dewey
+		}
+		if len(ix.postings[tok]) == 0 {
+			counts[docRootPath]++ // the root no longer counts for tok
+		}
+		ix.subtractTypeCounts(tok, counts)
+	}
+
+	// The root's virtual document shrank.
+	ix.subtreeLen[xmltree.Dewey{1}.Key()] -= removedTotal
+	if lens := ix.pathLens[docRootPath]; len(lens) == 1 {
+		lens[0] -= removedTotal
+	}
+
+	// maxDepth may have shrunk; recompute from the surviving nodes.
+	ix.maxDepth = 0
+	for key := range ix.subtreeLen {
+		if d := len(key) / 4; d > ix.maxDepth {
+			ix.maxDepth = d
+		}
+	}
+	return nil
+}
+
+// isUnder reports whether a Dewey key lies in the subtree of the node
+// with key rootKey (keys are fixed-width, so a 4-byte-aligned prefix
+// test is the ancestor-or-self relation).
+func isUnder(key, rootKey string) bool {
+	return len(key) >= len(rootKey) && key[:len(rootKey)] == rootKey
+}
+
+// removeOneLen deletes one occurrence of val from m[path], dropping
+// the slice when it empties.
+func removeOneLen(m map[xmltree.PathID][]int32, path xmltree.PathID, val int32) {
+	lens := m[path]
+	for i, l := range lens {
+		if l == val {
+			lens[i] = lens[len(lens)-1]
+			lens = lens[:len(lens)-1]
+			if len(lens) == 0 {
+				delete(m, path)
+			} else {
+				m[path] = lens
+			}
+			return
+		}
+	}
+}
+
+// subtractTypeCounts removes per-path deltas from tok's type list,
+// dropping entries that reach zero and the list itself when empty.
+func (ix *Index) subtractTypeCounts(tok string, counts map[xmltree.PathID]int32) {
+	tl := ix.typeLists[tok]
+	out := tl[:0]
+	for _, tc := range tl {
+		tc.F -= counts[tc.Path]
+		if tc.F > 0 {
+			out = append(out, tc)
+		}
+	}
+	if len(out) == 0 {
+		delete(ix.typeLists, tok)
+	} else {
+		ix.typeLists[tok] = out
+	}
+}

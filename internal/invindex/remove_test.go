@@ -1,0 +1,123 @@
+package invindex
+
+import (
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func storedFullTree(rows [][2]string) *xmltree.Tree {
+	return fullTree(rows)
+}
+
+// TestRemoveDocumentRoundtrip: adding documents and removing them again
+// must restore the index to exactly the state of a fresh build.
+func TestRemoveDocumentRoundtrip(t *testing.T) {
+	base := incRows[:3]
+	want := BuildStored(storedFullTree(base), tokenizer.Options{})
+
+	got := BuildStored(storedFullTree(base), tokenizer.Options{})
+	for _, r := range incRows[3:] {
+		if err := got.AddDocument(article(r[0], r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove in reverse order (5 then 4).
+	for i := len(incRows) - 1; i >= 3; i-- {
+		d := xmltree.Dewey{1, uint32(i + 1)}
+		if err := got.RemoveDocument(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertIndexEqual(t, want, got)
+	// Stored text must match too.
+	for _, k := range want.storedKeys {
+		d := xmltree.DeweyFromKey(k)
+		if want.SubtreeText(d, 0) != got.SubtreeText(d, 0) {
+			t.Fatalf("stored text diverges at %s", d)
+		}
+	}
+	if len(got.storedKeys) != len(want.storedKeys) {
+		t.Fatalf("stored keys: %d vs %d", len(got.storedKeys), len(want.storedKeys))
+	}
+}
+
+// TestRemoveMiddleDocument: removing a middle document keeps the
+// remaining documents' Dewey codes and answers intact.
+func TestRemoveMiddleDocument(t *testing.T) {
+	ix := BuildStored(storedFullTree(incRows), tokenizer.Options{})
+	// Remove the third document ("smith", "database indexing methods").
+	if err := ix.RemoveDocument(xmltree.Dewey{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DocFreq("indexing") != 0 || ix.Vocab.Contains("smith") {
+		t.Error("removed document's unique tokens survive")
+	}
+	// Shared tokens lose only the removed occurrences.
+	if ix.DocFreq("fpga") != 2 {
+		t.Errorf("DocFreq(fpga)=%d want 2", ix.DocFreq("fpga"))
+	}
+	// Later documents keep their codes.
+	if got := ix.SubtreeLen(xmltree.Dewey{1, 4}); got == 0 {
+		t.Error("document 4 lost its subtree length")
+	}
+	// Node count: 17 original (1 root + 4×... ) minus 3 for the doc.
+	want := 1 + 5*3 - 3
+	if ix.NodeCount() != want {
+		t.Errorf("NodeCount=%d want %d", ix.NodeCount(), want)
+	}
+}
+
+func TestRemoveDocumentErrors(t *testing.T) {
+	stored := BuildStored(storedFullTree(incRows[:2]), tokenizer.Options{})
+	cases := []struct {
+		name string
+		d    xmltree.Dewey
+	}{
+		{"not-child-of-root", xmltree.Dewey{1, 1, 1}},
+		{"root-itself", xmltree.Dewey{1}},
+		{"absent", xmltree.Dewey{1, 9}},
+	}
+	for _, c := range cases {
+		if err := stored.RemoveDocument(c.d); err == nil {
+			t.Errorf("%s: removal accepted", c.name)
+		}
+	}
+
+	plain := Build(storedFullTree(incRows[:2]), tokenizer.Options{})
+	if err := plain.RemoveDocument(xmltree.Dewey{1, 1}); err == nil {
+		t.Error("unstored index accepted removal")
+	}
+
+	stored.Compact()
+	if err := stored.RemoveDocument(xmltree.Dewey{1, 1}); err == nil {
+		t.Error("compacted index accepted removal")
+	}
+}
+
+// TestRemoveAllDocuments empties the corpus document by document.
+func TestRemoveAllDocuments(t *testing.T) {
+	ix := BuildStored(storedFullTree(incRows), tokenizer.Options{})
+	for i := range incRows {
+		if err := ix.RemoveDocument(xmltree.Dewey{1, uint32(i + 1)}); err != nil {
+			t.Fatalf("doc %d: %v", i+1, err)
+		}
+	}
+	if ix.TotalTokens() != 0 || ix.Vocab.Size() != 0 {
+		t.Errorf("tokens=%d vocab=%d after emptying", ix.TotalTokens(), ix.Vocab.Size())
+	}
+	if ix.NodeCount() != 1 { // the root survives
+		t.Errorf("NodeCount=%d want 1", ix.NodeCount())
+	}
+	if ix.MaxDepth() != 1 {
+		t.Errorf("MaxDepth=%d want 1", ix.MaxDepth())
+	}
+	// The emptied index accepts new documents again.
+	if err := ix.AddDocument(article("new", "fresh start content")); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DocFreq("fresh") != 1 {
+		t.Error("re-add after emptying failed")
+	}
+}

@@ -1,0 +1,105 @@
+package invindex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func storedTree() *xmltree.Tree {
+	tr := xmltree.NewTree("bib")
+	a := tr.AddChild(tr.Root, "paper", "")
+	tr.AddChild(a, "title", "probabilistic query cleaning")
+	tr.AddChild(a, "abstract", "we study spelling suggestions")
+	b := tr.AddChild(tr.Root, "paper", "")
+	tr.AddChild(b, "title", "unrelated work")
+	return tr
+}
+
+func TestSubtreeText(t *testing.T) {
+	ix := BuildStored(storedTree(), tokenizer.Options{})
+	if !ix.HasStoredText() {
+		t.Fatal("HasStoredText false after BuildStored")
+	}
+	first, _ := xmltree.ParseDewey("1.1")
+	got := ix.SubtreeText(first, 0)
+	want := "probabilistic query cleaning we study spelling suggestions"
+	if got != want {
+		t.Errorf("SubtreeText=%q want %q", got, want)
+	}
+	// Second paper's subtree excludes the first's text.
+	second, _ := xmltree.ParseDewey("1.2")
+	if got := ix.SubtreeText(second, 0); got != "unrelated work" {
+		t.Errorf("SubtreeText=%q", got)
+	}
+	// Whole document from the root.
+	root, _ := xmltree.ParseDewey("1")
+	if got := ix.SubtreeText(root, 0); !strings.Contains(got, "unrelated work") ||
+		!strings.Contains(got, "probabilistic") {
+		t.Errorf("root SubtreeText=%q", got)
+	}
+}
+
+func TestSubtreeTextTruncation(t *testing.T) {
+	ix := BuildStored(storedTree(), tokenizer.Options{})
+	first, _ := xmltree.ParseDewey("1.1")
+	got := ix.SubtreeText(first, 13)
+	if got != "probabilistic…" {
+		t.Errorf("truncated=%q", got)
+	}
+}
+
+func TestSubtreeTextWithoutStore(t *testing.T) {
+	ix := Build(storedTree(), tokenizer.Options{})
+	if ix.HasStoredText() {
+		t.Fatal("plain Build claims stored text")
+	}
+	root, _ := xmltree.ParseDewey("1")
+	if got := ix.SubtreeText(root, 0); got != "" {
+		t.Errorf("SubtreeText=%q on unstored index", got)
+	}
+}
+
+func TestSubtreeTextMissingSubtree(t *testing.T) {
+	ix := BuildStored(storedTree(), tokenizer.Options{})
+	absent, _ := xmltree.ParseDewey("1.9.9")
+	if got := ix.SubtreeText(absent, 0); got != "" {
+		t.Errorf("SubtreeText=%q for absent subtree", got)
+	}
+}
+
+func TestStoredTextPersistRoundtrip(t *testing.T) {
+	ix := BuildStored(storedTree(), tokenizer.Options{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasStoredText() {
+		t.Fatal("stored text lost on save/load")
+	}
+	first, _ := xmltree.ParseDewey("1.1")
+	if a, b := ix.SubtreeText(first, 0), got.SubtreeText(first, 0); a != b {
+		t.Errorf("stored text diverges: %q vs %q", a, b)
+	}
+
+	// Unstored indexes stay unstored through persistence.
+	plain := Build(storedTree(), tokenizer.Options{})
+	buf.Reset()
+	if err := plain.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasStoredText() {
+		t.Error("unstored index gained stored text")
+	}
+}

@@ -1,0 +1,214 @@
+package invindex
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// BuildFromReader indexes one XML document directly from its byte
+// stream, never materializing an xmltree.Tree. Peak memory is the
+// index itself plus one root-to-leaf stack, which is what makes
+// corpora like the paper's 5.8 GB INEX collection indexable on a
+// laptop. The resulting index is identical to
+// Build(xmltree.Parse(r), opts).
+//
+// Attributes become child nodes and character data attaches to the
+// containing element, exactly as xmltree.Parse does.
+func BuildFromReader(r io.Reader, opts tokenizer.Options) (*Index, error) {
+	return buildFromReader(r, opts, false)
+}
+
+// BuildStoredFromReader is BuildFromReader plus stored node text.
+func BuildStoredFromReader(r io.Reader, opts tokenizer.Options) (*Index, error) {
+	return buildFromReader(r, opts, true)
+}
+
+// streamFrame is one open element on the parse stack.
+type streamFrame struct {
+	dewey    xmltree.Dewey
+	path     xmltree.PathID
+	children uint32
+	// text accumulates the element's character data.
+	text strings.Builder
+	// subtree counts the kept tokens under the element so far
+	// (descendants only; the element's own text is added on close).
+	subtree int32
+}
+
+func buildFromReader(r io.Reader, opts tokenizer.Options, store bool) (*Index, error) {
+	ix := &Index{
+		Paths:      xmltree.NewPathTable(),
+		Vocab:      tokenizer.NewVocabulary(),
+		postings:   make(map[string][]Posting),
+		typeLists:  make(map[string][]TypeCount),
+		subtreeLen: make(map[string]int32),
+		pathNodes:  make(map[xmltree.PathID]int32),
+		pathLens:   make(map[xmltree.PathID][]int32),
+		pathRoots:  make(map[xmltree.PathID][]string),
+		bigrams:    make(map[string]int64),
+		opts:       opts,
+	}
+	if store {
+		ix.storedText = make(map[string]string)
+	}
+
+	dec := xml.NewDecoder(r)
+	var stack []*streamFrame
+	rootSeen := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("invindex: stream: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			var frame *streamFrame
+			if len(stack) == 0 {
+				if rootSeen {
+					return nil, fmt.Errorf("invindex: stream: multiple root elements")
+				}
+				rootSeen = true
+				frame = &streamFrame{
+					dewey: xmltree.Dewey{1},
+					path:  ix.Paths.Intern(xmltree.InvalidPath, el.Name.Local),
+				}
+			} else {
+				parent := stack[len(stack)-1]
+				parent.children++
+				frame = &streamFrame{
+					dewey: parent.dewey.Child(parent.children),
+					path:  ix.Paths.Intern(parent.path, el.Name.Local),
+				}
+			}
+			ix.openNode(frame)
+			stack = append(stack, frame)
+			// Attributes are leaf children, opened and closed here.
+			for _, a := range el.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				frame.children++
+				attr := &streamFrame{
+					dewey: frame.dewey.Child(frame.children),
+					path:  ix.Paths.Intern(frame.path, a.Name.Local),
+				}
+				attr.text.WriteString(a.Value)
+				ix.openNode(attr)
+				frame.subtree += ix.closeNode(attr)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("invindex: stream: unbalanced end element %q", el.Name.Local)
+			}
+			frame := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			total := ix.closeNode(frame)
+			if len(stack) > 0 {
+				stack[len(stack)-1].subtree += total
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(el))
+				if text != "" {
+					top := stack[len(stack)-1]
+					if top.text.Len() > 0 {
+						top.text.WriteByte(' ')
+					}
+					top.text.WriteString(text)
+				}
+			}
+		}
+	}
+	if !rootSeen {
+		return nil, fmt.Errorf("invindex: stream: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("invindex: stream: unexpected EOF inside element")
+	}
+	ix.buildTypeLists()
+	return ix, nil
+}
+
+// openNode records the structural facts available at element start.
+func (ix *Index) openNode(f *streamFrame) {
+	ix.nodeCount++
+	ix.pathNodes[f.path]++
+	if d := f.dewey.Depth(); d > ix.maxDepth {
+		ix.maxDepth = d
+	}
+}
+
+// closeNode tokenizes the element's accumulated text, emits postings,
+// and finalizes subtree statistics. It returns the subtree token count.
+//
+// Postings are emitted at element close rather than open, so within
+// one token's list a parent follows the children that closed before
+// it; a document-order sort per list fixes this afterwards... except
+// that would cost O(n log n). Instead, note that a node's text is
+// known only at close, but its Dewey code is smaller than every
+// descendant's. The lists are therefore repaired with a bounded
+// insertion pass: each emitted posting sinks past the (rare, shallow)
+// descendants already present.
+func (ix *Index) closeNode(f *streamFrame) int32 {
+	key := f.dewey.Key()
+	text := f.text.String()
+	if ix.storedText != nil && text != "" {
+		// Stored keys are sorted on demand here (insertion like the
+		// postings repair below).
+		ix.storedKeys = append(ix.storedKeys, key)
+		for i := len(ix.storedKeys) - 1; i > 0 && ix.storedKeys[i] < ix.storedKeys[i-1]; i-- {
+			ix.storedKeys[i], ix.storedKeys[i-1] = ix.storedKeys[i-1], ix.storedKeys[i]
+		}
+		ix.storedText[key] = text
+	}
+
+	var direct int32
+	if text != "" {
+		toks := ix.opts.Tokenize(text)
+		direct = int32(len(toks))
+		if direct > 0 {
+			tf := make(map[string]int32, len(toks))
+			order := make([]string, 0, len(toks))
+			for _, tok := range toks {
+				if tf[tok] == 0 {
+					order = append(order, tok)
+				}
+				tf[tok]++
+			}
+			for _, tok := range order {
+				pl := append(ix.postings[tok], Posting{
+					Dewey:   f.dewey,
+					Path:    f.path,
+					TF:      tf[tok],
+					NodeLen: direct,
+				})
+				// Sink into document order past already-closed
+				// descendants (ancestors precede descendants in doc
+				// order, but close after them).
+				for i := len(pl) - 1; i > 0 && pl[i].Dewey.Compare(pl[i-1].Dewey) < 0; i-- {
+					pl[i], pl[i-1] = pl[i-1], pl[i]
+				}
+				ix.postings[tok] = pl
+				ix.Vocab.Add(tok, int64(tf[tok]))
+			}
+			for i := 1; i < len(toks); i++ {
+				ix.bigrams[toks[i-1]+"\x00"+toks[i]]++
+			}
+			ix.totalTok += int64(direct)
+		}
+	}
+
+	total := f.subtree + direct
+	ix.subtreeLen[key] = total
+	ix.pathLens[f.path] = append(ix.pathLens[f.path], total)
+	ix.pathRoots[f.path] = append(ix.pathRoots[f.path], key)
+	return total
+}

@@ -1,0 +1,92 @@
+package lm
+
+import (
+	"math"
+	"testing"
+
+	"xclean/internal/tokenizer"
+)
+
+// mapBigrams is a test BigramSource.
+type mapBigrams map[string]int64
+
+func (m mapBigrams) BigramCount(w1, w2 string) int64 { return m[w1+" "+w2] }
+
+func testVocab(counts map[string]int64) *tokenizer.Vocabulary {
+	v := tokenizer.NewVocabulary()
+	for w, c := range counts {
+		v.Add(w, c)
+	}
+	return v
+}
+
+func TestCondProb(t *testing.T) {
+	vocab := testVocab(map[string]int64{
+		"health": 10, "insurance": 8, "instance": 2,
+	})
+	bi := mapBigrams{"health insurance": 6}
+	m := NewBigram(bi, vocab, 0.5)
+
+	// P(insurance|health) = 0.5·6/10 + 0.5·P(insurance|B)
+	want := 0.5*0.6 + 0.5*vocab.Prob("insurance")
+	if got := m.CondProb("insurance", "health"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CondProb(insurance|health)=%g want %g", got, want)
+	}
+	// Unattested pair: only the background term survives.
+	want = 0.5 * vocab.Prob("instance")
+	if got := m.CondProb("instance", "health"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CondProb(instance|health)=%g want %g", got, want)
+	}
+}
+
+func TestCondProbUnknownHistory(t *testing.T) {
+	vocab := testVocab(map[string]int64{"a": 5})
+	m := NewBigram(mapBigrams{}, vocab, 0.7)
+	// Unknown w1: ML term is 0 (no division by zero), background only.
+	want := 0.3 * 1.0 // P(a|B)=5/5=1
+	if got := m.CondProb("a", "neverseen"); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CondProb=%g want %g", got, want)
+	}
+}
+
+func TestSequenceProb(t *testing.T) {
+	vocab := testVocab(map[string]int64{"a": 4, "b": 4, "c": 2})
+	bi := mapBigrams{"a b": 4, "b c": 2}
+	m := NewBigram(bi, vocab, 1) // λ=1: pure ML (valid upper bound of range)
+
+	if got := m.SequenceProb([]string{"a"}); got != 1 {
+		t.Errorf("single word: %g want 1", got)
+	}
+	if got := m.SequenceProb(nil); got != 1 {
+		t.Errorf("empty: %g want 1", got)
+	}
+	// P(b|a)·P(c|b) = (4/4)·(2/4) = 0.5
+	if got := m.SequenceProb([]string{"a", "b", "c"}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sequence: %g want 0.5", got)
+	}
+}
+
+func TestSequenceOrderSensitivity(t *testing.T) {
+	vocab := testVocab(map[string]int64{"health": 10, "insurance": 10})
+	bi := mapBigrams{"health insurance": 9}
+	m := NewBigram(bi, vocab, 0.9)
+	fwd := m.SequenceProb([]string{"health", "insurance"})
+	rev := m.SequenceProb([]string{"insurance", "health"})
+	if fwd <= rev {
+		t.Errorf("attested order %g should outscore reverse %g", fwd, rev)
+	}
+}
+
+func TestLambdaDefaults(t *testing.T) {
+	m := &BigramModel{}
+	for _, bad := range []float64{0, -1, 1.5} {
+		m.Lambda = bad
+		if got := m.lambda(); got != DefaultLambda {
+			t.Errorf("Lambda=%g: lambda()=%g want default %g", bad, got, DefaultLambda)
+		}
+	}
+	m.Lambda = 1
+	if m.lambda() != 1 {
+		t.Error("λ=1 should be accepted")
+	}
+}

@@ -1,0 +1,77 @@
+// Package lm implements the unigram language model with Dirichlet
+// smoothing used as the query generation model of the XClean framework
+// (Eq. (9) of the paper):
+//
+//	p(w|D) = (count(w,D) + μ·p(w|B)) / (|D| + μ)
+//
+// where B is the background model over the whole collection and μ is
+// the smoothing parameter. The model is evaluated over "virtual
+// documents": the concatenated text of an entity subtree.
+package lm
+
+import (
+	"math"
+
+	"xclean/internal/tokenizer"
+)
+
+// DefaultMu is the Dirichlet smoothing parameter used when Model.Mu is
+// zero. μ≈2000 is the standard recommendation from the language
+// modeling literature the paper cites.
+const DefaultMu = 2000
+
+// Model scores tokens against virtual documents with Dirichlet
+// smoothing over a background vocabulary.
+type Model struct {
+	// Background supplies p(w|B).
+	Background *tokenizer.Vocabulary
+	// Mu is the Dirichlet smoothing parameter; 0 means DefaultMu.
+	Mu float64
+}
+
+// New returns a model over the given background with the given μ
+// (0 = DefaultMu).
+func New(bg *tokenizer.Vocabulary, mu float64) *Model {
+	return &Model{Background: bg, Mu: mu}
+}
+
+func (m *Model) mu() float64 {
+	if m.Mu <= 0 {
+		return DefaultMu
+	}
+	return m.Mu
+}
+
+// Prob is p(w|D) for a document with the given token count of w and
+// total length.
+func (m *Model) Prob(w string, count int32, docLen int32) float64 {
+	mu := m.mu()
+	return (float64(count) + mu*m.Background.Prob(w)) / (float64(docLen) + mu)
+}
+
+// LogProb is log p(w|D).
+func (m *Model) LogProb(w string, count, docLen int32) float64 {
+	return math.Log(m.Prob(w, count, docLen))
+}
+
+// QueryProb is p(Q|D) = Π_w p(w|D) for a bag of words with counts
+// against one document (Eq. (9)). counts[i] is the count of words[i]
+// in the document.
+func (m *Model) QueryProb(words []string, counts []int32, docLen int32) float64 {
+	p := 1.0
+	for i, w := range words {
+		p *= m.Prob(w, counts[i], docLen)
+	}
+	return p
+}
+
+// BackgroundOnlyProb is Π_w p(w|D) for a document of the given length
+// containing none of the words — the contribution of an unmatched
+// entity in the exact-scoring mode.
+func (m *Model) BackgroundOnlyProb(words []string, docLen int32) float64 {
+	p := 1.0
+	for _, w := range words {
+		p *= m.Prob(w, 0, docLen)
+	}
+	return p
+}

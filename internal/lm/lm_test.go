@@ -1,0 +1,100 @@
+package lm
+
+import (
+	"math"
+	"testing"
+
+	"xclean/internal/tokenizer"
+)
+
+func bg() *tokenizer.Vocabulary {
+	v := tokenizer.NewVocabulary()
+	v.Add("tree", 50)
+	v.Add("icde", 10)
+	v.Add("rare", 1)
+	return v
+}
+
+func TestProbSmoothing(t *testing.T) {
+	m := New(bg(), 100)
+
+	// A token absent from the document still has positive probability.
+	if p := m.Prob("icde", 0, 20); p <= 0 {
+		t.Errorf("smoothed prob should be positive, got %g", p)
+	}
+	// More occurrences => higher probability.
+	p1 := m.Prob("tree", 1, 20)
+	p2 := m.Prob("tree", 5, 20)
+	if p2 <= p1 {
+		t.Errorf("prob should grow with count: %g vs %g", p1, p2)
+	}
+	// Longer document with same count => lower probability.
+	pShort := m.Prob("tree", 2, 10)
+	pLong := m.Prob("tree", 2, 1000)
+	if pLong >= pShort {
+		t.Errorf("prob should shrink with doc length: %g vs %g", pShort, pLong)
+	}
+	// Exact Dirichlet formula.
+	want := (2.0 + 100*bg().Prob("tree")) / (10.0 + 100)
+	if got := m.Prob("tree", 2, 10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob=%g want %g", got, want)
+	}
+}
+
+func TestDefaultMu(t *testing.T) {
+	m := New(bg(), 0)
+	want := (1.0 + DefaultMu*bg().Prob("tree")) / (5.0 + DefaultMu)
+	if got := m.Prob("tree", 1, 5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("default mu not applied: %g want %g", got, want)
+	}
+}
+
+func TestLogProb(t *testing.T) {
+	m := New(bg(), 100)
+	p := m.Prob("tree", 3, 30)
+	if got := m.LogProb("tree", 3, 30); math.Abs(got-math.Log(p)) > 1e-12 {
+		t.Errorf("LogProb mismatch")
+	}
+}
+
+func TestQueryProb(t *testing.T) {
+	m := New(bg(), 100)
+	words := []string{"tree", "icde"}
+	counts := []int32{2, 1}
+	want := m.Prob("tree", 2, 30) * m.Prob("icde", 1, 30)
+	if got := m.QueryProb(words, counts, 30); math.Abs(got-want) > 1e-15 {
+		t.Errorf("QueryProb=%g want %g", got, want)
+	}
+	if got := m.QueryProb(nil, nil, 30); got != 1 {
+		t.Errorf("empty query prob=%g want 1", got)
+	}
+}
+
+func TestBackgroundOnlyProb(t *testing.T) {
+	m := New(bg(), 100)
+	words := []string{"tree", "icde"}
+	want := m.Prob("tree", 0, 30) * m.Prob("icde", 0, 30)
+	if got := m.BackgroundOnlyProb(words, 30); math.Abs(got-want) > 1e-15 {
+		t.Errorf("BackgroundOnlyProb=%g want %g", got, want)
+	}
+	// Matched prob always dominates background-only prob.
+	if m.QueryProb(words, []int32{1, 1}, 30) <= m.BackgroundOnlyProb(words, 30) {
+		t.Error("matched prob should exceed background-only prob")
+	}
+}
+
+// Probabilities are bounded in (0, 1] for sane inputs.
+func TestProbBounds(t *testing.T) {
+	m := New(bg(), 50)
+	for _, count := range []int32{0, 1, 10, 100} {
+		for _, dl := range []int32{int32(count), 100, 10000} {
+			if dl < count {
+				continue
+			}
+			p := m.Prob("tree", count, dl)
+			if p <= 0 || p > 1 {
+				t.Errorf("Prob(count=%d,len=%d)=%g out of bounds", count, dl, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package load implements a concurrent HTTP load generator for the
+// suggestion service: Zipf-distributed queries (the shape of real
+// "Did you mean" traffic, which is what makes the server's LRU cache
+// effective), bounded worker concurrency, and a latency/throughput
+// report. cmd/xload is the CLI wrapper.
+package load
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xclean/internal/eval"
+)
+
+// Config tunes a load run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Queries is the query pool drawn from on every request.
+	Queries []string
+	// Requests is the total number of requests (0 = 1000).
+	Requests int
+	// Workers is the concurrency (0 = 8).
+	Workers int
+	// ZipfS skews query popularity; values ≤ 1 mean uniform. Typical
+	// web query logs fit s ≈ 1.1–1.3.
+	ZipfS float64
+	// Seed makes the traffic reproducible.
+	Seed int64
+	// Client overrides the HTTP client (tests); nil = default with a
+	// 10s timeout.
+	Client *http.Client
+}
+
+func (c Config) requests() int {
+	if c.Requests <= 0 {
+		return 1000
+	}
+	return c.Requests
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 8
+	}
+	return c.Workers
+}
+
+func (c Config) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Requests   int
+	Errors     int           // transport failures
+	Non200     int           // HTTP status ≠ 200
+	Elapsed    time.Duration // wall clock of the whole run
+	Throughput float64       // successful requests per second
+	Latency    eval.LatencyStats
+}
+
+// String renders the result in one paragraph.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"%d requests in %v (%.0f req/s), %d errors, %d non-200\nlatency: %s",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.Errors, r.Non200, r.Latency)
+}
+
+// picker draws query indices, optionally Zipf-skewed. Each worker owns
+// one (rand sources are not concurrency-safe).
+type picker struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newPicker(seed int64, n int, s float64) *picker {
+	p := &picker{rng: rand.New(rand.NewSource(seed)), n: n}
+	if s > 1 && n > 1 {
+		p.zipf = rand.NewZipf(p.rng, s, 1, uint64(n-1))
+	}
+	return p
+}
+
+func (p *picker) pick() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// Run fires the configured traffic and reports aggregate results.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Queries) == 0 {
+		return Result{}, fmt.Errorf("load: no queries")
+	}
+	if cfg.BaseURL == "" {
+		return Result{}, fmt.Errorf("load: no base URL")
+	}
+	total := cfg.requests()
+	workers := cfg.workers()
+	client := cfg.client()
+
+	var (
+		rec    eval.LatencyRecorder
+		errs   int64
+		non200 int64
+		next   int64
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := newPicker(cfg.Seed+int64(w)*7919, len(cfg.Queries), cfg.ZipfS)
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i > int64(total) {
+					return
+				}
+				q := cfg.Queries[p.pick()]
+				t0 := time.Now()
+				resp, err := client.Get(cfg.BaseURL + "/suggest?q=" + url.QueryEscape(q))
+				if err != nil {
+					atomic.AddInt64(&errs, 1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				rec.Record(time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					atomic.AddInt64(&non200, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{
+		Requests: total,
+		Errors:   int(errs),
+		Non200:   int(non200),
+		Elapsed:  time.Since(start),
+		Latency:  rec.Stats(),
+	}
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(total-res.Errors) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package load
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xclean"
+	"xclean/internal/server"
+)
+
+func loadTarget(t *testing.T) (*httptest.Server, *int64) {
+	t.Helper()
+	doc := `<dblp>
+	  <article><author>rose</author><title>fpga architecture synthesis</title></article>
+	  <article><author>smith</author><title>database indexing methods</title></article>
+	</dblp>`
+	eng, err := xclean.Open(strings.NewReader(doc), xclean.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served int64
+	inner := server.New(eng, server.Config{CacheSize: 16}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&served, 1)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+func TestRunBasic(t *testing.T) {
+	ts, served := loadTarget(t)
+	res, err := Run(Config{
+		BaseURL:  ts.URL,
+		Queries:  []string{"rose fpga", "databse indexing", "smith methods"},
+		Requests: 60,
+		Workers:  4,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 60 || res.Errors != 0 || res.Non200 != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if atomic.LoadInt64(served) != 60 {
+		t.Errorf("server saw %d requests", *served)
+	}
+	if res.Latency.Count != 60 || res.Throughput <= 0 {
+		t.Errorf("latency/throughput: %+v", res)
+	}
+	if !strings.Contains(res.String(), "60 requests") {
+		t.Errorf("String()=%q", res.String())
+	}
+}
+
+func TestRunZipfSkew(t *testing.T) {
+	// With heavy skew, the most popular query must dominate the draw.
+	p := newPicker(42, 100, 1.5)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[p.pick()]++
+	}
+	if counts[0] < counts[50]*5 {
+		t.Errorf("zipf head %d not dominant over tail %d", counts[0], counts[50])
+	}
+	// Uniform mode spreads out.
+	u := newPicker(42, 100, 0)
+	counts = make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[u.pick()]++
+	}
+	if counts[0] > 300 {
+		t.Errorf("uniform head too heavy: %d", counts[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://x"}); err == nil {
+		t.Error("no queries accepted")
+	}
+	if _, err := Run(Config{Queries: []string{"a"}}); err == nil {
+		t.Error("no URL accepted")
+	}
+	// Unreachable server: transport errors counted, not fatal.
+	res, err := Run(Config{
+		BaseURL:  "http://127.0.0.1:1",
+		Queries:  []string{"a"},
+		Requests: 5,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 5 {
+		t.Errorf("errors=%d want 5", res.Errors)
+	}
+}
+
+func TestRunConcurrencyExactCount(t *testing.T) {
+	ts, served := loadTarget(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := Run(Config{
+			BaseURL:  ts.URL,
+			Queries:  []string{"rose fpga"},
+			Requests: 97, // not divisible by workers
+			Workers:  8,
+			ZipfS:    1.2,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Latency.Count != 97 {
+			t.Errorf("latency samples=%d want 97", res.Latency.Count)
+		}
+	}()
+	wg.Wait()
+	if got := atomic.LoadInt64(served); got != 97 {
+		t.Errorf("server saw %d requests want 97", got)
+	}
+}

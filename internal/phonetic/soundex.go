@@ -1,0 +1,121 @@
+// Package phonetic implements American Soundex and a code-bucketed
+// vocabulary index. Section VI-A of the XClean paper notes the
+// framework "can be easily extended to include cognitive errors by
+// properly defining the variant set var(q) and the probability P(q|w)
+// (e.g., soundex, ...)"; this package supplies that variant source:
+// words sounding like a query keyword join its candidate set with a
+// fixed phonetic edit penalty.
+package phonetic
+
+import "strings"
+
+// Soundex returns the 4-character American Soundex code of word, or ""
+// for words without a leading letter. Standard rules: keep the first
+// letter; map consonants to digit classes; collapse adjacent equal
+// codes; vowels (a e i o u y) break runs; h and w are transparent.
+func Soundex(word string) string {
+	word = strings.ToLower(word)
+	// Find the first ASCII letter.
+	start := -1
+	for i := 0; i < len(word); i++ {
+		if word[i] >= 'a' && word[i] <= 'z' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+
+	first := word[start]
+	code := [4]byte{first - 'a' + 'A', '0', '0', '0'}
+	n := 1
+	prev := soundexClass(first)
+	for i := start + 1; i < len(word) && n < 4; i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			prev = 0
+			continue
+		}
+		cls := soundexClass(c)
+		switch {
+		case cls == 0: // vowel or y: breaks runs
+			prev = 0
+		case cls == transparent: // h, w: invisible, run continues
+		case cls != prev:
+			code[n] = '0' + cls
+			n++
+			prev = cls
+		}
+	}
+	return string(code[:])
+}
+
+const transparent = 9
+
+// soundexClass maps a lowercase letter to its Soundex digit class,
+// 0 for vowels and y, transparent for h and w.
+func soundexClass(c byte) byte {
+	switch c {
+	case 'b', 'f', 'p', 'v':
+		return 1
+	case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+		return 2
+	case 'd', 't':
+		return 3
+	case 'l':
+		return 4
+	case 'm', 'n':
+		return 5
+	case 'r':
+		return 6
+	case 'h', 'w':
+		return transparent
+	default:
+		return 0
+	}
+}
+
+// Index buckets a vocabulary by Soundex code.
+type Index struct {
+	buckets map[string][]string
+}
+
+// Build indexes the vocabulary (duplicates are stored once; words that
+// produce no code are skipped).
+func Build(words []string) *Index {
+	ix := &Index{buckets: make(map[string][]string)}
+	seen := make(map[string]bool, len(words))
+	for _, w := range words {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		code := Soundex(w)
+		if code == "" {
+			continue
+		}
+		ix.buckets[code] = append(ix.buckets[code], w)
+	}
+	return ix
+}
+
+// Search returns the vocabulary words sharing q's Soundex code,
+// excluding q itself. Callers must not mutate the result.
+func (ix *Index) Search(q string) []string {
+	code := Soundex(q)
+	if code == "" {
+		return nil
+	}
+	bucket := ix.buckets[code]
+	out := make([]string, 0, len(bucket))
+	for _, w := range bucket {
+		if w != q {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Size is the number of distinct codes.
+func (ix *Index) Size() int { return len(ix.buckets) }

@@ -1,0 +1,102 @@
+package phonetic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Canonical Soundex examples (US National Archives rules).
+func TestSoundexCanonical(t *testing.T) {
+	cases := map[string]string{
+		"Robert":   "R163",
+		"Rupert":   "R163",
+		"Ashcraft": "A261", // h is transparent: s and c merge
+		"Ashcroft": "A261",
+		"Tymczak":  "T522",
+		"Pfister":  "P236",
+		"Honeyman": "H555",
+		"Jackson":  "J250",
+		"a":        "A000",
+		"hw":       "H000",
+	}
+	for word, want := range cases {
+		if got := Soundex(word); got != want {
+			t.Errorf("Soundex(%q)=%q want %q", word, got, want)
+		}
+	}
+}
+
+func TestSoundexEquivalents(t *testing.T) {
+	pairs := [][2]string{
+		{"smith", "smyth"},
+		{"catherine", "kathryn"}, // different first letter: NOT equal
+	}
+	if Soundex(pairs[0][0]) != Soundex(pairs[0][1]) {
+		t.Errorf("smith/smyth should share a code")
+	}
+	if Soundex(pairs[1][0]) == Soundex(pairs[1][1]) {
+		t.Errorf("catherine/kathryn must differ (first letter)")
+	}
+}
+
+func TestSoundexEdgeCases(t *testing.T) {
+	if Soundex("") != "" {
+		t.Error("empty word should have empty code")
+	}
+	if Soundex("123") != "" {
+		t.Error("non-letter word should have empty code")
+	}
+	if got := Soundex("  42x"); got != "X000" {
+		t.Errorf("leading junk: %q", got)
+	}
+	if got := Soundex("schütze"); len(got) != 4 {
+		t.Errorf("unicode interior: %q", got)
+	}
+}
+
+// Properties: codes are 4 chars, uppercase letter + 3 digits; case
+// insensitive.
+func TestSoundexProperties(t *testing.T) {
+	f := func(s string) bool {
+		code := Soundex(s)
+		if code == "" {
+			return true
+		}
+		if len(code) != 4 || code[0] < 'A' || code[0] > 'Z' {
+			return false
+		}
+		for i := 1; i < 4; i++ {
+			if code[i] < '0' || code[i] > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexSearch(t *testing.T) {
+	ix := Build([]string{"smith", "smyth", "schmidt", "jones", "smith"})
+	got := ix.Search("smith")
+	// smith, smyth, and schmidt all code to S530.
+	if len(got) != 2 || got[0] != "smyth" || got[1] != "schmidt" {
+		t.Errorf("Search(smith)=%v", got)
+	}
+	// The query itself is excluded even if absent from the vocabulary.
+	got = ix.Search("smithe")
+	found := map[string]bool{}
+	for _, w := range got {
+		found[w] = true
+	}
+	if !found["smith"] || !found["smyth"] {
+		t.Errorf("Search(smithe)=%v", got)
+	}
+	if ix.Search("") != nil {
+		t.Error("empty query should match nothing")
+	}
+	if ix.Size() == 0 {
+		t.Error("index has no buckets")
+	}
+}

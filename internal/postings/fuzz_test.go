@@ -1,0 +1,41 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeList: arbitrary bytes never panic the decoder, and
+// whatever it accepts must decode without panicking too.
+func FuzzDecodeList(f *testing.F) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 1, 130, 400} {
+		f.Add(Encode(randomList(rng, n)).AppendTo(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, used, err := DecodeList(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("used %d > input %d", used, len(data))
+		}
+		// Decoding must not panic; it may legitimately produce any
+		// postings (the wire format carries no checksum).
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on accepted input: %v", r)
+			}
+		}()
+		l.Decode()
+		it := l.Iter()
+		for i := 0; i < 10; i++ {
+			if _, ok := it.Head(); !ok {
+				break
+			}
+			it.Advance()
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xclean/internal/xmltree"
+)
+
+// randomList builds a sorted, document-ordered posting list of n
+// entries with random tree positions.
+func randomList(rng *rand.Rand, n int) []Posting {
+	if n == 0 {
+		return nil
+	}
+	type nodeGen struct{ d xmltree.Dewey }
+	nodes := []nodeGen{{xmltree.Dewey{1}}}
+	for len(nodes) < n {
+		p := nodes[rng.Intn(len(nodes))]
+		if len(p.d) >= 8 {
+			continue
+		}
+		nodes = append(nodes, nodeGen{p.d.Child(uint32(1 + rng.Intn(5)))})
+	}
+	seen := map[string]bool{}
+	var out []Posting
+	for _, nd := range nodes {
+		if seen[nd.d.Key()] {
+			continue
+		}
+		seen[nd.d.Key()] = true
+		out = append(out, Posting{
+			Dewey:   nd.d,
+			Path:    xmltree.PathID(rng.Intn(100)),
+			TF:      int32(1 + rng.Intn(9)),
+			NodeLen: int32(1 + rng.Intn(50)),
+		})
+	}
+	sortPostings(out)
+	return out
+}
+
+func sortPostings(ps []Posting) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Dewey.Compare(ps[j-1].Dewey) < 0; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func clonePostings(ps []Posting) []Posting {
+	out := make([]Posting, len(ps))
+	for i, p := range ps {
+		out[i] = p
+		out[i].Dewey = p.Dewey.Clone()
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 127, 128, 129, 400, 1000} {
+		ps := randomList(rng, n)
+		l := Encode(ps)
+		if l.Len() != len(ps) {
+			t.Fatalf("n=%d: Len=%d want %d", n, l.Len(), len(ps))
+		}
+		got := l.Decode()
+		if !reflect.DeepEqual(got, ps) {
+			if len(got) != 0 || len(ps) != 0 {
+				t.Fatalf("n=%d: roundtrip mismatch", n)
+			}
+		}
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64, size uint8) bool {
+		_ = seed
+		ps := randomList(rng, int(size))
+		got := Encode(ps).Decode()
+		if len(ps) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 128, 300} {
+		ps := randomList(rng, n)
+		buf := Encode(ps).AppendTo(nil)
+		// Append trailing garbage: DecodeList must report exact usage.
+		buf = append(buf, 0xde, 0xad)
+		l, used, err := DecodeList(buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if used != len(buf)-2 {
+			t.Fatalf("n=%d: used %d want %d", n, used, len(buf)-2)
+		}
+		got := l.Decode()
+		if len(ps) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("n=%d: decoded %d postings from empty", n, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ps) {
+			t.Fatalf("n=%d: serialize roundtrip mismatch", n)
+		}
+	}
+}
+
+func TestDecodeListCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	good := Encode(randomList(rng, 200)).AppendTo(nil)
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)/2],
+		"bad-count": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x01},
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeList(buf); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestIteratorSkipTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := randomList(rng, 700)
+	l := Encode(ps)
+	// Differential: SkipTo must land exactly where a linear scan lands.
+	for trial := 0; trial < 300; trial++ {
+		target := ps[rng.Intn(len(ps))].Dewey
+		if rng.Intn(2) == 0 {
+			// Also try codes not in the list.
+			target = target.Child(uint32(rng.Intn(3)))
+		}
+		it := l.Iter()
+		// Optionally advance a random amount first (SkipTo never goes
+		// backward).
+		start := rng.Intn(len(ps))
+		for i := 0; i < start; i++ {
+			it.Advance()
+		}
+		got, ok := it.SkipTo(target)
+		var want *Posting
+		for i := start; i < len(ps); i++ {
+			if ps[i].Dewey.Compare(target) >= 0 {
+				want = &ps[i]
+				break
+			}
+		}
+		if want == nil {
+			if ok {
+				t.Fatalf("trial %d: SkipTo(%s) returned %v, want exhausted", trial, target, got.Dewey)
+			}
+			continue
+		}
+		if !ok || got.Dewey.Compare(want.Dewey) != 0 || got.TF != want.TF {
+			t.Fatalf("trial %d: SkipTo(%s) = %v/%v, want %v", trial, target, got.Dewey, ok, want.Dewey)
+		}
+	}
+}
+
+func TestIteratorSkipToMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps := randomList(rng, 500)
+	l := Encode(ps)
+	it := l.Iter()
+	// SkipTo with an earlier target must not move the iterator.
+	for i := 0; i < 100; i++ {
+		it.Advance()
+	}
+	cur, _ := it.Head()
+	curCopy := cur.Dewey.Clone()
+	got, ok := it.SkipTo(xmltree.Dewey{1})
+	if !ok || got.Dewey.Compare(curCopy) != 0 {
+		t.Fatalf("SkipTo moved backward: %v -> %v", curCopy, got.Dewey)
+	}
+}
+
+func TestIteratorHeadAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := randomList(rng, 10)
+	it := Encode(ps).Iter()
+	p1, _ := it.Head()
+	saved := p1.Dewey.Clone()
+	it.Advance()
+	// The documented contract: Head's Dewey aliases an internal buffer.
+	// Cloned copies must stay valid.
+	if saved.Compare(ps[0].Dewey) != 0 {
+		t.Fatalf("cloned head changed: %v vs %v", saved, ps[0].Dewey)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := randomList(rng, 2000)
+	raw := 0
+	for _, p := range ps {
+		raw += 4*len(p.Dewey) + 12
+	}
+	l := Encode(ps)
+	if l.SizeBytes() >= raw {
+		t.Errorf("compressed %d ≥ raw %d bytes", l.SizeBytes(), raw)
+	}
+	t.Logf("raw=%dB compressed=%dB ratio=%.2f", raw, l.SizeBytes(),
+		float64(raw)/float64(l.SizeBytes()))
+}
+
+func TestEmptyIterator(t *testing.T) {
+	it := Encode(nil).Iter()
+	if _, ok := it.Head(); ok {
+		t.Error("empty list has a head")
+	}
+	if _, ok := it.SkipTo(xmltree.Dewey{1}); ok {
+		t.Error("empty list SkipTo succeeded")
+	}
+	it.Advance() // must not panic
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ps := randomList(rng, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(ps)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	l := Encode(randomList(rng, 5000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Decode()
+	}
+}
+
+func BenchmarkSkipTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	ps := randomList(rng, 5000)
+	l := Encode(ps)
+	targets := make([]xmltree.Dewey, 64)
+	for i := range targets {
+		targets[i] = ps[rng.Intn(len(ps))].Dewey
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := l.Iter()
+		for _, t := range targets {
+			it.SkipTo(t)
+		}
+	}
+}

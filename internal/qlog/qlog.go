@@ -1,0 +1,221 @@
+// Package qlog records query activity and derives the data-driven
+// signals the XClean framework can consume but the paper leaves to
+// "additional data or domain knowledge":
+//
+//   - query popularity, which powers log-based correction (the
+//     behaviour of the commercial search engines of Section VII, stood
+//     in for by baseline.LogCorrector);
+//   - entity click counts, which become the non-uniform entity prior
+//     P(r_j|T) of Eq. (8) via core.Config.CustomPrior.
+//
+// A Log is safe for concurrent use and persists as a line-oriented
+// text format (easy to inspect, diff, and truncate).
+package qlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// Log accumulates query and click counts.
+type Log struct {
+	mu      sync.Mutex
+	queries map[string]int64 // normalized query -> count
+	clicks  map[string]int64 // entity Dewey key -> count
+	opts    tokenizer.Options
+}
+
+// New returns an empty log whose queries are normalized with the given
+// tokenizer options (use the options of the index the queries run
+// against, so log lookups survive case and punctuation differences).
+func New(opts tokenizer.Options) *Log {
+	return &Log{
+		queries: make(map[string]int64),
+		clicks:  make(map[string]int64),
+		opts:    opts,
+	}
+}
+
+// normalize maps a query to its canonical logged form.
+func (l *Log) normalize(q string) string {
+	return strings.Join(l.opts.Tokenize(q), " ")
+}
+
+// RecordQuery counts one submission of q. Queries that normalize to
+// nothing (stop words only) are dropped.
+func (l *Log) RecordQuery(q string) {
+	n := l.normalize(q)
+	if n == "" {
+		return
+	}
+	l.mu.Lock()
+	l.queries[n]++
+	l.mu.Unlock()
+}
+
+// RecordClick counts one click on (selection of) the entity rooted at
+// d — evidence that users care about that entity.
+func (l *Log) RecordClick(d xmltree.Dewey) {
+	if len(d) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.clicks[d.Key()]++
+	l.mu.Unlock()
+}
+
+// QueryCount returns how often q (after normalization) was recorded.
+func (l *Log) QueryCount(q string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queries[l.normalize(q)]
+}
+
+// Queries snapshots the query-frequency table, in the shape
+// baseline.NewLogCorrector consumes.
+func (l *Log) Queries() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.queries))
+	for q, c := range l.queries {
+		out[q] = c
+	}
+	return out
+}
+
+// EntityPriors snapshots the click counts as unnormalized entity
+// weights, in the shape core.Config.CustomPrior consumes (keys are
+// Dewey keys; the engine smooths absent entities to weight 1).
+func (l *Log) EntityPriors() map[string]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]float64, len(l.clicks))
+	for k, c := range l.clicks {
+		out[k] = float64(c)
+	}
+	return out
+}
+
+// QueryFreq is one row of TopQueries.
+type QueryFreq struct {
+	Query string
+	Count int64
+}
+
+// TopQueries returns the n most frequent queries, ties broken by query
+// text for determinism.
+func (l *Log) TopQueries(n int) []QueryFreq {
+	l.mu.Lock()
+	rows := make([]QueryFreq, 0, len(l.queries))
+	for q, c := range l.queries {
+		rows = append(rows, QueryFreq{Query: q, Count: c})
+	}
+	l.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Query < rows[j].Query
+	})
+	if n >= 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Len returns the number of distinct logged queries and clicked
+// entities.
+func (l *Log) Len() (queries, entities int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queries), len(l.clicks)
+}
+
+// Save writes the log as text, one record per line:
+//
+//	q <count> <query text>
+//	c <count> <dot-form dewey>
+func (l *Log) Save(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	// Deterministic order: sorted keys.
+	qs := make([]string, 0, len(l.queries))
+	for q := range l.queries {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	for _, q := range qs {
+		if _, err := fmt.Fprintf(bw, "q %d %s\n", l.queries[q], q); err != nil {
+			return fmt.Errorf("qlog: save: %w", err)
+		}
+	}
+	ks := make([]string, 0, len(l.clicks))
+	for k := range l.clicks {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		if _, err := fmt.Fprintf(bw, "c %d %s\n", l.clicks[k], xmltree.DeweyFromKey(k)); err != nil {
+			return fmt.Errorf("qlog: save: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("qlog: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads records previously written by Save, merging counts into
+// the log (so several log files can be combined).
+func (l *Log) Load(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("qlog: load: line %d: malformed record %q", lineNo, line)
+		}
+		count, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || count < 0 {
+			return fmt.Errorf("qlog: load: line %d: bad count %q", lineNo, parts[1])
+		}
+		switch parts[0] {
+		case "q":
+			n := l.normalize(parts[2])
+			if n == "" {
+				continue
+			}
+			l.mu.Lock()
+			l.queries[n] += count
+			l.mu.Unlock()
+		case "c":
+			d, err := xmltree.ParseDewey(parts[2])
+			if err != nil {
+				return fmt.Errorf("qlog: load: line %d: %v", lineNo, err)
+			}
+			l.mu.Lock()
+			l.clicks[d.Key()] += count
+			l.mu.Unlock()
+		default:
+			return fmt.Errorf("qlog: load: line %d: unknown record type %q", lineNo, parts[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("qlog: load: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package qlog
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func TestRecordAndCount(t *testing.T) {
+	l := New(tokenizer.Options{})
+	l.RecordQuery("Great Barrier Reef")
+	l.RecordQuery("great barrier reef")
+	l.RecordQuery("great  barrier,  reef") // normalization collapses these
+	if got := l.QueryCount("GREAT barrier reef"); got != 3 {
+		t.Errorf("count=%d want 3", got)
+	}
+	l.RecordQuery("the of") // stop words only: dropped
+	if q, _ := l.Len(); q != 1 {
+		t.Errorf("distinct queries=%d want 1", q)
+	}
+}
+
+func TestRecordClick(t *testing.T) {
+	l := New(tokenizer.Options{})
+	d := xmltree.Dewey{1, 4, 2}
+	l.RecordClick(d)
+	l.RecordClick(d)
+	l.RecordClick(nil) // ignored
+	priors := l.EntityPriors()
+	if priors[d.Key()] != 2 {
+		t.Errorf("priors=%v", priors)
+	}
+	if len(priors) != 1 {
+		t.Errorf("spurious entries: %v", priors)
+	}
+}
+
+func TestTopQueries(t *testing.T) {
+	l := New(tokenizer.Options{})
+	for i := 0; i < 5; i++ {
+		l.RecordQuery("popular query terms")
+	}
+	for i := 0; i < 2; i++ {
+		l.RecordQuery("rare query terms")
+	}
+	l.RecordQuery("single query terms")
+	top := l.TopQueries(2)
+	if len(top) != 2 || top[0].Query != "popular query terms" || top[0].Count != 5 {
+		t.Errorf("top=%v", top)
+	}
+	if all := l.TopQueries(-1); len(all) != 3 {
+		t.Errorf("TopQueries(-1)=%v", all)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	l := New(tokenizer.Options{})
+	l.RecordQuery("barrier reef diving")
+	l.RecordQuery("barrier reef diving")
+	l.RecordQuery("coral biology")
+	l.RecordClick(xmltree.Dewey{1, 2})
+	l.RecordClick(xmltree.Dewey{1, 3, 1})
+
+	var sb strings.Builder
+	if err := l.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := New(tokenizer.Options{})
+	if err := got.Load(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Queries(), l.Queries()) {
+		t.Errorf("queries diverge: %v vs %v", got.Queries(), l.Queries())
+	}
+	if !reflect.DeepEqual(got.EntityPriors(), l.EntityPriors()) {
+		t.Errorf("priors diverge")
+	}
+
+	// Loading twice merges counts.
+	if err := got.Load(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if got.QueryCount("barrier reef diving") != 4 {
+		t.Errorf("merge failed: %d", got.QueryCount("barrier reef diving"))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed": "q 1\n",
+		"bad-count": "q x barrier reef\n",
+		"neg-count": "q -2 barrier reef\n",
+		"bad-type":  "z 1 thing\n",
+		"bad-dewey": "c 1 1.x.2\n",
+	}
+	for name, in := range cases {
+		l := New(tokenizer.Options{})
+		if err := l.Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// Comments and blank lines are fine.
+	l := New(tokenizer.Options{})
+	if err := l.Load(strings.NewReader("# header\n\nq 1 coral biology\n")); err != nil {
+		t.Errorf("comment/blank rejected: %v", err)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := New(tokenizer.Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.RecordQuery("stress test query")
+				l.RecordClick(xmltree.Dewey{1, uint32(i % 4)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.QueryCount("stress test query"); got != 1600 {
+		t.Errorf("count=%d want 1600", got)
+	}
+}
+
+// TestClickPriorsImproveRanking closes the loop: clicks recorded in a
+// qlog become the custom entity prior and change the engine's ranking
+// toward the clicked entity, exactly the generalization Eq. (8)
+// promises.
+func TestClickPriorsImproveRanking(t *testing.T) {
+	tr := xmltree.NewTree("db")
+	e1 := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(e1, "f", "alpha beta")
+	e2 := tr.AddChild(tr.Root, "rec", "")
+	tr.AddChild(e2, "f", "alpha betas")
+	ix := invindex.Build(tr, tokenizer.Options{})
+
+	// Without clicks the two symmetric candidates tie; text order wins.
+	plain := core.NewEngine(ix, core.Config{Mu: 1})
+	sugs := plain.Suggest("alpha betaz")
+	if len(sugs) == 0 || sugs[0].Query() != "alpha beta" {
+		t.Fatalf("baseline top: %v", sugs)
+	}
+
+	// Users keep clicking the second entity.
+	l := New(tokenizer.Options{})
+	for i := 0; i < 50; i++ {
+		l.RecordClick(e2.Dewey)
+	}
+	boosted := core.NewEngine(ix, core.Config{
+		Mu:          1,
+		Prior:       core.PriorCustom,
+		CustomPrior: l.EntityPriors(),
+	})
+	sugs = boosted.Suggest("alpha betaz")
+	if len(sugs) == 0 || sugs[0].Query() != "alpha betas" {
+		t.Fatalf("click-informed top: %v", sugs)
+	}
+}

@@ -1,0 +1,144 @@
+package queryset
+
+import (
+	"math/rand"
+	"strings"
+
+	"xclean/internal/tokenizer"
+)
+
+// Query pairs a dirty query with its ground-truth clean form. For
+// CLEAN sets Dirty == Truth.
+type Query struct {
+	Dirty string
+	Truth string
+}
+
+// Perturber injects spelling errors into clean queries following the
+// two protocols of Section VII-A.
+type Perturber struct {
+	rng *rand.Rand
+	// vocab decides whether a perturbed token is still a real word
+	// (RAND must produce out-of-vocabulary tokens).
+	vocab interface{ Contains(string) bool }
+	rev   map[string][]string
+}
+
+// NewPerturber builds a perturber over the corpus vocabulary.
+func NewPerturber(seed int64, vocab *tokenizer.Vocabulary) *Perturber {
+	return &Perturber{
+		rng:   rand.New(rand.NewSource(seed)),
+		vocab: vocab,
+		rev:   ReverseRules(),
+	}
+}
+
+const alphabet = "abcdefghijklmnopqrstuvwxyz"
+
+// Rand applies one random edit operation (insertion, deletion, or
+// substitution) to each keyword of the query, subject to the two rules
+// of Section VII-A: (1) the perturbed token must not fall back into
+// the vocabulary, and (2) tokens of length ≤ 4 are left intact so
+// enough signal remains. It returns ok=false when no token could be
+// perturbed.
+func (p *Perturber) Rand(clean string) (string, bool) {
+	toks := strings.Fields(clean)
+	changed := false
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		if len(t) <= 4 {
+			out[i] = t
+			continue
+		}
+		if d, ok := p.randEdit(t); ok {
+			out[i] = d
+			changed = true
+		} else {
+			out[i] = t
+		}
+	}
+	return strings.Join(out, " "), changed
+}
+
+// randEdit tries up to 30 random single edits until one leaves the
+// vocabulary.
+func (p *Perturber) randEdit(t string) (string, bool) {
+	r := []rune(t)
+	for attempt := 0; attempt < 30; attempt++ {
+		var cand []rune
+		switch p.rng.Intn(3) {
+		case 0: // substitution
+			i := p.rng.Intn(len(r))
+			c := rune(alphabet[p.rng.Intn(26)])
+			if c == r[i] {
+				continue
+			}
+			cand = append([]rune{}, r...)
+			cand[i] = c
+		case 1: // deletion
+			i := p.rng.Intn(len(r))
+			cand = append(append([]rune{}, r[:i]...), r[i+1:]...)
+		default: // insertion
+			i := p.rng.Intn(len(r) + 1)
+			c := rune(alphabet[p.rng.Intn(26)])
+			cand = append(append(append([]rune{}, r[:i]...), c), r[i:]...)
+		}
+		s := string(cand)
+		if s != t && !p.vocab.Contains(s) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Rule replaces every token that appears in the common-misspelling
+// rule list with one of its misspelt forms. ok=false when no token is
+// covered by a rule (such queries are excluded from the RULE sets, as
+// the paper's lookup procedure implies).
+func (p *Perturber) Rule(clean string) (string, bool) {
+	toks := strings.Fields(clean)
+	changed := false
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		if forms := p.rev[t]; len(forms) > 0 {
+			out[i] = forms[p.rng.Intn(len(forms))]
+			changed = true
+		} else {
+			out[i] = t
+		}
+	}
+	return strings.Join(out, " "), changed
+}
+
+// MakeClean wraps clean queries as a CLEAN query set.
+func MakeClean(clean []string) []Query {
+	out := make([]Query, len(clean))
+	for i, q := range clean {
+		out[i] = Query{Dirty: q, Truth: q}
+	}
+	return out
+}
+
+// MakeRand builds a RAND query set, dropping queries that could not be
+// perturbed.
+func (p *Perturber) MakeRand(clean []string) []Query {
+	var out []Query
+	for _, q := range clean {
+		if d, ok := p.Rand(q); ok {
+			out = append(out, Query{Dirty: d, Truth: q})
+		}
+	}
+	return out
+}
+
+// MakeRule builds a RULE query set from the queries covered by at
+// least one misspelling rule.
+func (p *Perturber) MakeRule(clean []string) []Query {
+	var out []Query
+	for _, q := range clean {
+		if d, ok := p.Rule(q); ok {
+			out = append(out, Query{Dirty: d, Truth: q})
+		}
+	}
+	return out
+}

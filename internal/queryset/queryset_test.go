@@ -1,0 +1,175 @@
+package queryset
+
+import (
+	"strings"
+	"testing"
+
+	"xclean/internal/editdist"
+	"xclean/internal/tokenizer"
+)
+
+func testVocab() *tokenizer.Vocabulary {
+	v := tokenizer.NewVocabulary()
+	for _, w := range []string{"great", "barrier", "reef", "architecture",
+		"database", "rose", "fpga", "government", "separate"} {
+		v.Add(w, 10)
+	}
+	return v
+}
+
+func TestRulesWellFormed(t *testing.T) {
+	rules := Rules()
+	if len(rules) < 140 {
+		t.Errorf("rule list too small: %d", len(rules))
+	}
+	for miss, corr := range rules {
+		if miss == corr {
+			t.Errorf("identity rule %q", miss)
+		}
+		if d := editdist.Distance(miss, corr); d == 0 || d > 4 {
+			t.Errorf("rule %q->%q has distance %d", miss, corr, d)
+		}
+		if strings.ToLower(miss) != miss || strings.ToLower(corr) != corr {
+			t.Errorf("rule %q->%q not lowercase", miss, corr)
+		}
+	}
+}
+
+func TestRuleDistancesExceedOne(t *testing.T) {
+	// Section VII-D: common misspellings tend to have larger edit
+	// distances than single random edits; a good share must be >= 2.
+	rules := Rules()
+	multi := 0
+	for miss, corr := range rules {
+		if editdist.Distance(miss, corr) >= 2 {
+			multi++
+		}
+	}
+	if multi < 30 {
+		t.Errorf("only %d/%d rules have distance >=2", multi, len(rules))
+	}
+}
+
+func TestReverseRules(t *testing.T) {
+	rev := ReverseRules()
+	found := false
+	for _, m := range rev["believe"] {
+		if m == "beleive" || m == "belive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reverse rules missing believe misspellings")
+	}
+	if len(rev["believe"]) < 2 {
+		t.Errorf("believe should have >=2 misspellings: %v", rev["believe"])
+	}
+	targets := RuleTargets()
+	if len(targets) < 100 {
+		t.Errorf("targets=%d", len(targets))
+	}
+}
+
+func TestPerturberRand(t *testing.T) {
+	p := NewPerturber(42, testVocab())
+	dirty, ok := p.Rand("great barrier architecture")
+	if !ok {
+		t.Fatal("no perturbation")
+	}
+	dt := strings.Fields(dirty)
+	ct := []string{"great", "barrier", "architecture"}
+	if len(dt) != 3 {
+		t.Fatalf("token count changed: %q", dirty)
+	}
+	v := testVocab()
+	for i, d := range dt {
+		c := ct[i]
+		if len(c) <= 4 {
+			if d != c {
+				t.Errorf("short token %q perturbed to %q", c, d)
+			}
+			continue
+		}
+		if dist := editdist.Distance(d, c); dist != 1 {
+			t.Errorf("token %q->%q distance %d want 1", c, d, dist)
+		}
+		if v.Contains(d) {
+			t.Errorf("perturbed token %q is still in vocabulary", d)
+		}
+	}
+}
+
+func TestPerturberRandShortOnly(t *testing.T) {
+	p := NewPerturber(42, testVocab())
+	if _, ok := p.Rand("rose fpga"); ok {
+		t.Error("all-short query should not be perturbable")
+	}
+}
+
+func TestPerturberRule(t *testing.T) {
+	p := NewPerturber(42, testVocab())
+	dirty, ok := p.Rule("great government database")
+	if !ok {
+		t.Fatal("rule perturbation failed")
+	}
+	dt := strings.Fields(dirty)
+	rules := Rules()
+	changedCount := 0
+	for i, d := range dt {
+		c := []string{"great", "government", "database"}[i]
+		if d != c {
+			changedCount++
+			if rules[d] != c {
+				t.Errorf("%q is not a known misspelling of %q", d, c)
+			}
+		}
+	}
+	if changedCount == 0 {
+		t.Error("no token changed")
+	}
+
+	if _, ok := p.Rule("barrier reef"); ok {
+		t.Error("query without rule targets should be rejected")
+	}
+}
+
+func TestMakeSets(t *testing.T) {
+	p := NewPerturber(7, testVocab())
+	clean := []string{"great barrier reef", "separate database architecture", "rose fpga"}
+
+	cs := MakeClean(clean)
+	if len(cs) != 3 || cs[0].Dirty != cs[0].Truth {
+		t.Errorf("clean set wrong: %v", cs)
+	}
+
+	rs := p.MakeRand(clean)
+	for _, q := range rs {
+		if q.Dirty == q.Truth {
+			t.Errorf("RAND query unchanged: %v", q)
+		}
+	}
+	if len(rs) == 0 {
+		t.Error("RAND set empty")
+	}
+
+	us := p.MakeRule(clean)
+	if len(us) == 0 {
+		t.Error("RULE set empty")
+	}
+	for _, q := range us {
+		if q.Dirty == q.Truth {
+			t.Errorf("RULE query unchanged: %v", q)
+		}
+	}
+}
+
+func TestPerturberDeterministic(t *testing.T) {
+	clean := []string{"great barrier reef", "separate database architecture"}
+	a := NewPerturber(9, testVocab()).MakeRand(clean)
+	b := NewPerturber(9, testVocab()).MakeRand(clean)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("perturbation not deterministic")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package queryset builds the six experimental query sets of Section
+// VII-A: {DBLP,INEX} × {CLEAN,RAND,RULE}. CLEAN queries are sampled
+// from the corpus so they are answerable; RAND queries inject random
+// edit errors; RULE queries substitute real common human misspellings,
+// standing in for the Wikipedia/Aspell list the paper uses.
+package queryset
+
+// rulePairs lists real common English misspellings as
+// (misspelling, correct) pairs, drawn from the well-known Wikipedia
+// "list of common misspellings" that Aspell also uses. Note several
+// entries are 2–3 edits from their corrections — the property that
+// makes the RULE sets harder and slower than the RAND sets (Section
+// VII-D).
+var rulePairs = [][2]string{
+	{"abscence", "absence"}, {"accomodate", "accommodate"},
+	{"acheive", "achieve"}, {"accross", "across"},
+	{"agressive", "aggressive"}, {"apparant", "apparent"},
+	{"appearence", "appearance"}, {"arguement", "argument"},
+	{"assasination", "assassination"}, {"basicly", "basically"},
+	{"becuase", "because"}, {"begining", "beginning"},
+	{"beleive", "believe"}, {"belive", "believe"},
+	{"benifit", "benefit"}, {"buisness", "business"},
+	{"calender", "calendar"}, {"catagory", "category"},
+	{"cemetary", "cemetery"}, {"charachter", "character"},
+	{"collegue", "colleague"}, {"comming", "coming"},
+	{"commitee", "committee"}, {"completly", "completely"},
+	{"concious", "conscious"}, {"condidtion", "condition"},
+	{"conferance", "conference"}, {"critisism", "criticism"},
+	{"definately", "definitely"}, {"diffrence", "difference"},
+	{"dissapear", "disappear"}, {"dissapoint", "disappoint"},
+	{"ecstacy", "ecstasy"}, {"embarras", "embarrass"},
+	{"enviroment", "environment"}, {"existance", "existence"},
+	{"experiance", "experience"}, {"familar", "familiar"},
+	{"finaly", "finally"}, {"foriegn", "foreign"},
+	{"fourty", "forty"}, {"foward", "forward"},
+	{"freind", "friend"}, {"futher", "further"},
+	{"gaurd", "guard"}, {"goverment", "government"},
+	{"grammer", "grammar"}, {"gerat", "great"},
+	{"happend", "happened"}, {"harrass", "harass"},
+	{"heigth", "height"}, {"heirarchy", "hierarchy"},
+	{"humerous", "humorous"}, {"hygene", "hygiene"},
+	{"idenity", "identity"}, {"immediatly", "immediately"},
+	{"independant", "independent"}, {"inteligence", "intelligence"},
+	{"intresting", "interesting"}, {"knowlege", "knowledge"},
+	{"labratory", "laboratory"}, {"liason", "liaison"},
+	{"libary", "library"}, {"lisence", "license"},
+	{"litrature", "literature"}, {"maintainance", "maintenance"},
+	{"managment", "management"}, {"medcine", "medicine"},
+	{"millenium", "millennium"}, {"miniture", "miniature"},
+	{"mischevous", "mischievous"}, {"mispell", "misspell"},
+	{"neccessary", "necessary"}, {"nessecary", "necessary"},
+	{"nieghbor", "neighbor"}, {"noticable", "noticeable"},
+	{"occassion", "occasion"}, {"occured", "occurred"},
+	{"occurence", "occurrence"}, {"offical", "official"},
+	{"oppurtunity", "opportunity"}, {"orignal", "original"},
+	{"paralel", "parallel"}, {"parliment", "parliament"},
+	{"particurly", "particularly"}, {"peice", "piece"},
+	{"perfomance", "performance"}, {"persistant", "persistent"},
+	{"personel", "personnel"}, {"persue", "pursue"},
+	{"posession", "possession"}, {"potatoe", "potato"},
+	{"practicle", "practical"}, {"preceed", "precede"},
+	{"prefered", "preferred"}, {"presance", "presence"},
+	{"privelege", "privilege"}, {"probaly", "probably"},
+	{"proccess", "process"}, {"profesional", "professional"},
+	{"promiss", "promise"}, {"pronounciation", "pronunciation"},
+	{"prufe", "proof"}, {"psuedo", "pseudo"},
+	{"publically", "publicly"}, {"quizes", "quizzes"},
+	{"reccomend", "recommend"}, {"recieve", "receive"},
+	{"refered", "referred"}, {"religous", "religious"},
+	{"repitition", "repetition"}, {"resistence", "resistance"},
+	{"responce", "response"}, {"restarant", "restaurant"},
+	{"rythm", "rhythm"}, {"saftey", "safety"},
+	{"secratary", "secretary"}, {"sieze", "seize"},
+	{"seperate", "separate"}, {"shedule", "schedule"},
+	{"similer", "similar"}, {"sincerly", "sincerely"},
+	{"speach", "speech"}, {"stategy", "strategy"},
+	{"stlye", "style"}, {"succesful", "successful"},
+	{"supercede", "supersede"}, {"suprise", "surprise"},
+	{"temperture", "temperature"}, {"tommorow", "tomorrow"},
+	{"tounge", "tongue"}, {"truely", "truly"},
+	{"twelth", "twelfth"}, {"tyrany", "tyranny"},
+	{"underate", "underrate"}, {"untill", "until"},
+	{"unuseual", "unusual"}, {"vaccuum", "vacuum"},
+	{"vegatarian", "vegetarian"}, {"vehical", "vehicle"},
+	{"visable", "visible"}, {"wether", "whether"},
+	{"wierd", "weird"}, {"wich", "which"},
+	{"withold", "withhold"}, {"writting", "writing"},
+	// Domain-flavoured entries mirroring the paper's own examples
+	// (vverification, archetecture, geo-taging).
+	{"vverification", "verification"}, {"archetecture", "architecture"},
+	{"databse", "database"}, {"datbase", "database"},
+	{"alogrithm", "algorithm"}, {"algoritm", "algorithm"},
+	{"anaylsis", "analysis"}, {"optmization", "optimization"},
+	{"paralell", "parallel"}, {"retreival", "retrieval"},
+	{"similiarity", "similarity"}, {"transacton", "transaction"},
+	{"schemma", "schema"}, {"qurey", "query"},
+	{"indexng", "indexing"}, {"clasification", "classification"},
+	{"clustring", "clustering"}, {"streeming", "streaming"},
+	{"sematic", "semantic"}, {"performence", "performance"},
+}
+
+// Rules returns the misspelling → correction map (for log-based
+// correctors and spell checkers).
+func Rules() map[string]string {
+	m := make(map[string]string, len(rulePairs))
+	for _, p := range rulePairs {
+		m[p[0]] = p[1]
+	}
+	return m
+}
+
+// ReverseRules returns correction → misspellings (for RULE
+// perturbation).
+func ReverseRules() map[string][]string {
+	m := make(map[string][]string)
+	for _, p := range rulePairs {
+		m[p[1]] = append(m[p[1]], p[0])
+	}
+	return m
+}
+
+// RuleTargets returns the set of correct words covered by at least one
+// misspelling rule, sorted order not guaranteed.
+func RuleTargets() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range rulePairs {
+		if !seen[p[1]] {
+			seen[p[1]] = true
+			out = append(out, p[1])
+		}
+	}
+	return out
+}

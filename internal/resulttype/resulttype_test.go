@@ -1,0 +1,140 @@
+package resulttype
+
+import (
+	"math"
+	"testing"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// example3Tree reproduces the counts of Example 3 of the paper for the
+// candidate query "trie icde":
+//
+//	f_{/a/c}^trie = 2, f_{/a/c/x}^trie = 3,
+//	f_{/a/d}^trie = 2, f_{/a/d/x}^trie = 2,
+//	f_{/a/c}^icde = 1, f_{/a/c/x}^icde = 1,
+//	f_{/a/d}^icde = 2, f_{/a/d/x}^icde = 2.
+func example3Tree() *xmltree.Tree {
+	t := xmltree.NewTree("a")
+	c1 := t.AddChild(t.Root, "c", "")
+	t.AddChild(c1, "x", "trie icde")
+	t.AddChild(c1, "x", "trie")
+	c2 := t.AddChild(t.Root, "c", "")
+	t.AddChild(c2, "x", "trie")
+	d1 := t.AddChild(t.Root, "d", "")
+	t.AddChild(d1, "x", "trie icde")
+	d2 := t.AddChild(t.Root, "d", "")
+	t.AddChild(d2, "x", "trie icde")
+	return t
+}
+
+func TestUtilityMatchesExample3(t *testing.T) {
+	tr := example3Tree()
+	ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+	in := &Inferrer{Index: ix, R: 0.8}
+	paths := tr.Paths
+
+	C := []string{"trie", "icde"}
+	r := 0.8
+	cases := []struct {
+		path string
+		prod float64
+	}{
+		{"/a/c", 2 * 1},
+		{"/a/c/x", 3 * 1},
+		{"/a/d", 2 * 2},
+		{"/a/d/x", 2 * 2},
+	}
+	for _, c := range cases {
+		id := paths.Lookup(c.path)
+		want := math.Log(1+c.prod) * math.Pow(r, float64(paths.Depth(id)))
+		if got := in.Utility(C, id); math.Abs(got-want) > 1e-12 {
+			t.Errorf("U(C,%s)=%g want %g", c.path, got, want)
+		}
+	}
+
+	// Example 3: with r=0.8, /a/d is the best result type.
+	best, _, ok := in.Best(C)
+	if !ok {
+		t.Fatal("no best type found")
+	}
+	if got := paths.String(best); got != "/a/d" {
+		t.Errorf("best type=%s want /a/d", got)
+	}
+}
+
+func TestBestRespectesMinDepth(t *testing.T) {
+	tr := example3Tree()
+	ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+	in := &Inferrer{Index: ix, R: 0.8, MinDepth: 3}
+	best, _, ok := in.Best([]string{"trie", "icde"})
+	if !ok {
+		t.Fatal("no best type")
+	}
+	if got := tr.Paths.String(best); got != "/a/d/x" && got != "/a/c/x" {
+		t.Errorf("best at depth>=3 = %s", got)
+	}
+	if tr.Paths.Depth(best) < 3 {
+		t.Errorf("MinDepth violated: depth=%d", tr.Paths.Depth(best))
+	}
+}
+
+func TestBestDisconnectedTokens(t *testing.T) {
+	tr := xmltree.NewTree("a")
+	b := tr.AddChild(tr.Root, "b", "alpha")
+	_ = b
+	c := tr.AddChild(tr.Root, "c", "beta")
+	_ = c
+	ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+	in := &Inferrer{Index: ix, MinDepth: 2}
+
+	// alpha and beta only share the root (/a), which MinDepth=2 bans.
+	if _, _, ok := in.Best([]string{"alpha", "beta"}); ok {
+		t.Error("tokens connected only at the root should have no type at depth>=2")
+	}
+	// Without the depth limit the root qualifies.
+	in.MinDepth = 0
+	best, _, ok := in.Best([]string{"alpha", "beta"})
+	if !ok || tr.Paths.String(best) != "/a" {
+		t.Errorf("best=%v ok=%v", best, ok)
+	}
+}
+
+func TestBestUnknownToken(t *testing.T) {
+	tr := example3Tree()
+	ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+	in := &Inferrer{Index: ix}
+	if _, _, ok := in.Best([]string{"trie", "nosuchtoken"}); ok {
+		t.Error("unknown token should yield no type")
+	}
+	if _, _, ok := in.Best(nil); ok {
+		t.Error("empty candidate should yield no type")
+	}
+}
+
+func TestUtilityZeroForAbsentPath(t *testing.T) {
+	tr := example3Tree()
+	ix := invindex.Build(tr, tokenizer.Options{MinLength: 1})
+	in := &Inferrer{Index: ix}
+	// icde never occurs under /a/c's second instance... pick a path
+	// that lacks one token entirely: none here, so use an absent pair.
+	p := tr.Paths.Lookup("/a/c/x")
+	if u := in.Utility([]string{"absent"}, p); u != 0 {
+		t.Errorf("U=%g want 0", u)
+	}
+}
+
+func TestLookupBinarySearch(t *testing.T) {
+	l := []invindex.TypeCount{{Path: 1, F: 10}, {Path: 5, F: 20}, {Path: 9, F: 30}}
+	if lookup(l, 5) != 20 || lookup(l, 1) != 10 || lookup(l, 9) != 30 {
+		t.Error("lookup hit wrong")
+	}
+	if lookup(l, 2) != 0 || lookup(l, 0) != 0 || lookup(l, 99) != 0 {
+		t.Error("lookup miss wrong")
+	}
+	if lookup(nil, 1) != 0 {
+		t.Error("lookup empty wrong")
+	}
+}

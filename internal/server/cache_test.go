@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func testServerCached(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(testEngine(t), Config{CacheSize: 8}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCachedSuggestIdenticalResponses(t *testing.T) {
+	ts := testServerCached(t)
+	url := ts.URL + "/suggest?q=rose+fpga+architecure"
+	var first, second SuggestResponse
+	_, body := get(t, url)
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, url)
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Suggestions, second.Suggestions) {
+		t.Errorf("cached response diverges:\n%v\n%v", first.Suggestions, second.Suggestions)
+	}
+}
+
+func TestCachedSuggestRespectsK(t *testing.T) {
+	ts := testServerCached(t)
+	// Warm the cache with the full list, then request k=1: truncation
+	// happens after the cache, so k must still apply.
+	_, _ = get(t, ts.URL+"/suggest?q=fpga+desing")
+	_, body := get(t, ts.URL+"/suggest?q=fpga+desing&k=1")
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Suggestions) > 1 {
+		t.Errorf("k=1 ignored on cache hit: %d suggestions", len(sr.Suggestions))
+	}
+}
+
+func TestCacheSeparatesSpacesMode(t *testing.T) {
+	ts := testServerCached(t)
+	var plain, spaced SuggestResponse
+	_, body := get(t, ts.URL+"/suggest?q=power+point")
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts.URL+"/suggest?q=power+point&spaces=1")
+	if err := json.Unmarshal(body, &spaced); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range spaced.Suggestions {
+		if s.Query == "powerpoint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("spaces=1 served the plain cached result")
+	}
+}
+
+func TestMetricz(t *testing.T) {
+	ts := testServerCached(t)
+	for i := 0; i < 3; i++ {
+		resp, _ := http.Get(ts.URL + "/suggest?q=rose+fpga")
+		resp.Body.Close()
+	}
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SuggestRequests != 3 {
+		t.Errorf("requests=%d want 3", m.SuggestRequests)
+	}
+	if m.CacheHits != 2 || m.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d want 2/1", m.CacheHits, m.CacheMisses)
+	}
+	if m.CacheEntries != 1 {
+		t.Errorf("entries=%d", m.CacheEntries)
+	}
+	if m.Latency.P95 <= 0 {
+		t.Errorf("latency=%+v", m.Latency)
+	}
+}
+
+func TestMetriczWithoutCache(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := http.Get(ts.URL + "/suggest?q=rose")
+	resp.Body.Close()
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SuggestRequests != 1 || m.CacheHits != 0 || m.CacheEntries != 0 {
+		t.Errorf("%+v", m)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xclean/internal/qlog"
+	"xclean/internal/tokenizer"
+)
+
+func testServerWithLog(t *testing.T) (*httptest.Server, *qlog.Log) {
+	t.Helper()
+	l := qlog.New(tokenizer.Options{})
+	ts := httptest.NewServer(New(testEngine(t), Config{QueryLog: l}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, l
+}
+
+func TestSuggestRecordsQuery(t *testing.T) {
+	ts, l := testServerWithLog(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/suggest?q=rose+fpga")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := l.QueryCount("rose fpga"); got != 3 {
+		t.Errorf("logged count=%d want 3", got)
+	}
+}
+
+func TestClickEndpoint(t *testing.T) {
+	ts, l := testServerWithLog(t)
+	resp, err := http.Post(ts.URL+"/click?entity=1.2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	priors := l.EntityPriors()
+	if len(priors) != 1 {
+		t.Errorf("priors=%v", priors)
+	}
+
+	// Errors: GET, malformed dewey, missing entity.
+	resp, _ = http.Get(ts.URL + "/click?entity=1.2")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /click: status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/click?entity=bogus", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad dewey: status %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/click", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing entity: status %d", resp.StatusCode)
+	}
+}
+
+func TestTopQueriesEndpoint(t *testing.T) {
+	ts, _ := testServerWithLog(t)
+	for i := 0; i < 2; i++ {
+		resp, _ := http.Get(ts.URL + "/suggest?q=fpga+design")
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/topqueries?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rows []qlog.QueryFreq
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Query != "fpga design" || rows[0].Count != 2 {
+		t.Errorf("rows=%v", rows)
+	}
+}
+
+func TestQlogEndpointsWithoutLog(t *testing.T) {
+	ts := testServer(t) // no QueryLog
+	resp, _ := http.Post(ts.URL+"/click?entity=1.2", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("/click without log: %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/topqueries")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("/topqueries without log: %d", resp.StatusCode)
+	}
+}
+
+func TestTopQueriesBadN(t *testing.T) {
+	ts, _ := testServerWithLog(t)
+	for _, bad := range []string{"0", "-1", "x"} {
+		resp, _ := http.Get(ts.URL + "/topqueries?n=" + bad)
+		body := readAll(t, resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "positive") {
+			t.Errorf("n=%s: status %d body %q", bad, resp.StatusCode, body)
+		}
+	}
+}

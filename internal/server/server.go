@@ -1,0 +1,382 @@
+// Package server exposes an xclean.Engine over HTTP with a small JSON
+// API, turning the library into the "Did you mean" service the paper's
+// introduction motivates:
+//
+//	GET  /suggest?q=<query>[&k=N][&spaces=1][&preview=1]  → ranked suggestions
+//	GET  /stats                                → indexed-document statistics
+//	GET  /metricz                              → service metrics (requests, cache, latency)
+//	GET  /healthz                              → liveness probe
+//	POST /click?entity=<dewey>                 → record entity feedback (query log)
+//	GET  /topqueries?n=N                       → most frequent logged queries
+//
+// With a query log configured, every /suggest query and /click is
+// recorded; the accumulated log yields the entity priors and query
+// popularity the paper's Eq. (8) generalization consumes.
+//
+// The handler is safe for concurrent use (the engine's index structures
+// are read-only after construction) and supports graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xclean"
+	"xclean/internal/cache"
+	"xclean/internal/eval"
+	"xclean/internal/qlog"
+	"xclean/internal/xmltree"
+)
+
+// Engine is the part of xclean.Engine the server needs; the indirection
+// lets tests plug in fakes.
+type Engine interface {
+	Suggest(query string) []xclean.Suggestion
+	SuggestWithSpaces(query string) []xclean.Suggestion
+	Stats() xclean.IndexStats
+	// Preview renders the witness entity of a suggestion (empty unless
+	// the engine stores text).
+	Preview(s xclean.Suggestion, maxLen int) string
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Logger receives one line per request; nil disables logging.
+	Logger *log.Logger
+	// MaxQueryLen rejects oversized queries (0 = 1024 bytes).
+	MaxQueryLen int
+	// ReadTimeout and WriteTimeout bound request handling
+	// (0 = 5s / 30s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// QueryLog, when non-nil, records every suggested query and every
+	// /click, enabling the log-driven entity priors of Eq. (8).
+	QueryLog *qlog.Log
+	// CacheSize enables an LRU over suggestion lists keyed by query
+	// text (0 = disabled). Useful because "Did you mean" traffic is
+	// Zipfian. The server does not mutate the engine; callers that do
+	// must restart it.
+	CacheSize int
+}
+
+func (c Config) addr() string {
+	if c.Addr == "" {
+		return ":8080"
+	}
+	return c.Addr
+}
+
+func (c Config) maxQueryLen() int {
+	if c.MaxQueryLen <= 0 {
+		return 1024
+	}
+	return c.MaxQueryLen
+}
+
+func (c Config) readTimeout() time.Duration {
+	if c.ReadTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.ReadTimeout
+}
+
+func (c Config) writeTimeout() time.Duration {
+	if c.WriteTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.WriteTimeout
+}
+
+// Server serves suggestion requests for one engine.
+type Server struct {
+	eng     Engine
+	cfg     Config
+	mux     *http.ServeMux
+	http    *http.Server
+	cache   *cache.LRU[[]xclean.Suggestion] // nil when disabled
+	latency eval.LatencyRecorder
+}
+
+// New builds a server around an engine.
+func New(eng Engine, cfg Config) *Server {
+	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.CacheSize > 0 {
+		s.cache = cache.New[[]xclean.Suggestion](cfg.CacheSize)
+	}
+	s.mux.HandleFunc("/suggest", s.handleSuggest)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/click", s.handleClick)
+	s.mux.HandleFunc("/topqueries", s.handleTopQueries)
+	s.http = &http.Server{
+		Addr:         cfg.addr(),
+		Handler:      s.Handler(),
+		ReadTimeout:  cfg.readTimeout(),
+		WriteTimeout: cfg.writeTimeout(),
+	}
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.logWrap(s.mux) }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully (draining in-flight requests for up to 5 seconds).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.addr())
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.http.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		<-errc // http.ErrServerClosed
+		return nil
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return fmt.Errorf("server: %w", err)
+	}
+}
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.addr() }
+
+// SuggestionJSON is the wire form of one suggestion.
+type SuggestionJSON struct {
+	Query        string   `json:"query"`
+	Words        []string `json:"words"`
+	Score        float64  `json:"score"`
+	ResultType   string   `json:"resultType,omitempty"`
+	Entities     int      `json:"entities"`
+	EditDistance int      `json:"editDistance"`
+	Witness      string   `json:"witness,omitempty"`
+	Preview      string   `json:"preview,omitempty"`
+}
+
+// previewLen caps the preview text returned per suggestion.
+const previewLen = 240
+
+// SuggestResponse is the body of GET /suggest.
+type SuggestResponse struct {
+	Query       string           `json:"query"`
+	Suggestions []SuggestionJSON `json:"suggestions"`
+	TookMillis  float64          `json:"tookMillis"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	if len(q) > s.cfg.maxQueryLen() {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("query longer than %d bytes", s.cfg.maxQueryLen()))
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = v
+	}
+
+	if s.cfg.QueryLog != nil {
+		s.cfg.QueryLog.RecordQuery(q)
+	}
+
+	spaces := r.URL.Query().Get("spaces") == "1"
+	start := time.Now()
+	var sugs []xclean.Suggestion
+	cacheKey := ""
+	cached := false
+	if s.cache != nil {
+		cacheKey = q
+		if spaces {
+			cacheKey = "s\x00" + q
+		}
+		sugs, cached = s.cache.Get(cacheKey)
+	}
+	if !cached {
+		if spaces {
+			sugs = s.eng.SuggestWithSpaces(q)
+		} else {
+			sugs = s.eng.Suggest(q)
+		}
+		if s.cache != nil {
+			s.cache.Put(cacheKey, sugs)
+		}
+	}
+	s.latency.Record(time.Since(start))
+	if k > 0 && len(sugs) > k {
+		sugs = sugs[:k]
+	}
+
+	resp := SuggestResponse{
+		Query:       q,
+		Suggestions: make([]SuggestionJSON, len(sugs)),
+		TookMillis:  float64(time.Since(start).Microseconds()) / 1000,
+	}
+	withPreview := r.URL.Query().Get("preview") == "1"
+	for i, sg := range sugs {
+		resp.Suggestions[i] = SuggestionJSON{
+			Query:        sg.Query,
+			Words:        sg.Words,
+			Score:        sg.Score,
+			ResultType:   sg.ResultType,
+			Entities:     sg.Entities,
+			EditDistance: sg.EditDistance,
+			Witness:      sg.Witness,
+		}
+		if withPreview {
+			resp.Suggestions[i].Preview = s.eng.Preview(sg, previewLen)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// Metrics is the body of GET /metricz.
+type Metrics struct {
+	SuggestRequests int               `json:"suggestRequests"`
+	CacheHits       int64             `json:"cacheHits"`
+	CacheMisses     int64             `json:"cacheMisses"`
+	CacheEntries    int               `json:"cacheEntries"`
+	Latency         eval.LatencyStats `json:"latency"`
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.latency.Stats()
+	m := Metrics{SuggestRequests: st.Count, Latency: st}
+	if s.cache != nil {
+		m.CacheHits, m.CacheMisses = s.cache.Stats()
+		m.CacheEntries = s.cache.Len()
+	}
+	s.writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cfg.QueryLog == nil {
+		s.writeError(w, http.StatusNotImplemented, "no query log configured")
+		return
+	}
+	d, err := xmltree.ParseDewey(r.URL.Query().Get("entity"))
+	if err != nil || len(d) == 0 {
+		s.writeError(w, http.StatusBadRequest, "entity must be a dot-form dewey code")
+		return
+	}
+	s.cfg.QueryLog.RecordClick(d)
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleTopQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.QueryLog == nil {
+		s.writeError(w, http.StatusNotImplemented, "no query log configured")
+		return
+	}
+	n := 10
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	s.writeJSON(w, http.StatusOK, s.cfg.QueryLog.TopQueries(n))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("encode response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// logWrap logs one line per request when a logger is configured.
+func (s *Server) logWrap(next http.Handler) http.Handler {
+	if s.cfg.Logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(),
+			sw.status, time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestListenAndServeBadAddr(t *testing.T) {
+	s := New(testEngine(t), Config{Addr: "256.256.256.256:99999"})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.ListenAndServe(ctx); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := log.New(&buf, "", 0)
+	ts := httptest.NewServer(New(testEngine(t), Config{Logger: logger}).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/suggest?q=rose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	line := buf.String()
+	if !strings.Contains(line, "GET /suggest?q=rose 200") {
+		t.Errorf("log line %q", line)
+	}
+
+	// Error statuses are logged with their code.
+	buf.Reset()
+	resp, err = http.Get(ts.URL + "/suggest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "400") {
+		t.Errorf("log line %q", buf.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.addr() != ":8080" || c.maxQueryLen() != 1024 {
+		t.Errorf("defaults: %q %d", c.addr(), c.maxQueryLen())
+	}
+	if c.readTimeout() != 5*time.Second || c.writeTimeout() != 30*time.Second {
+		t.Errorf("timeout defaults: %v %v", c.readTimeout(), c.writeTimeout())
+	}
+	if s := New(testEngine(t), Config{Addr: ":9999"}); s.Addr() != ":9999" {
+		t.Errorf("Addr()=%q", s.Addr())
+	}
+}

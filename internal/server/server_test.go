@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xclean"
+)
+
+func testEngine(t *testing.T) *xclean.Engine {
+	t.Helper()
+	doc := `<dblp>
+	  <article><author>rose</author><title>fpga architecture synthesis</title></article>
+	  <article><author>rose</author><title>reconfigurable fpga design</title></article>
+	  <article><author>smith</author><title>database indexing methods</title></article>
+	  <article><author>jones</author><title>xml keyword search powerpoint</title></article>
+	</dblp>`
+	eng, err := xclean.Open(strings.NewReader(doc), xclean.Options{StoreText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSuggestPreview(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/suggest?q=rose+fpga+architecure&preview=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := sr.Suggestions[0]
+	if top.Witness == "" {
+		t.Error("missing witness")
+	}
+	if !strings.Contains(top.Preview, "fpga") {
+		t.Errorf("preview %q", top.Preview)
+	}
+
+	// Without preview=1 the field is omitted.
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga+architecure")
+	if strings.Contains(string(body), `"preview"`) {
+		t.Errorf("preview leaked: %s", body)
+	}
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		sb.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestSuggestEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/suggest?q=rose+fpga+architecure")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad JSON: %v in %s", err, body)
+	}
+	if len(sr.Suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := sr.Suggestions[0]
+	if top.Query != "rose fpga architecture" {
+		t.Errorf("top=%q", top.Query)
+	}
+	if top.Entities < 1 {
+		t.Error("entities < 1")
+	}
+	if top.ResultType == "" {
+		t.Error("missing result type")
+	}
+	if sr.TookMillis < 0 {
+		t.Error("negative timing")
+	}
+}
+
+func TestSuggestK(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/suggest?q=fpga+desing&k=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Suggestions) > 1 {
+		t.Errorf("k=1 violated: %d suggestions", len(sr.Suggestions))
+	}
+}
+
+func TestSuggestSpaces(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/suggest?q=power+point&spaces=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sr.Suggestions {
+		if s.Query == "powerpoint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("space-merge suggestion missing: %+v", sr.Suggestions)
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/suggest", http.StatusBadRequest},                                // missing q
+		{"/suggest?q=a&k=0", http.StatusBadRequest},                        // bad k
+		{"/suggest?q=a&k=x", http.StatusBadRequest},                        // non-numeric k
+		{"/suggest?q=" + strings.Repeat("a", 2000), http.StatusBadRequest}, // oversized
+	}
+	for _, c := range cases {
+		resp, body := get(t, ts.URL+c.path)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d want %d", c.path, resp.StatusCode, c.want)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q", c.path, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/suggest?q=a", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /suggest: status %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st xclean.IndexStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes == 0 || st.DistinctTerms == 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := get(t, ts.URL+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d want 404", resp.StatusCode)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	queries := []string{"rose fpga", "databse indexing", "xml keyward", "fpga desing"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		q := queries[i%len(queries)]
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/suggest?q=" + strings.ReplaceAll(q, " ", "+"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d for %q", resp.StatusCode, q)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(testEngine(t), Config{Addr: ln.Addr().String()})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	// The server must answer while running...
+	url := "http://" + ln.Addr().String() + "/healthz"
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// ...and stop cleanly on cancel.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown timed out")
+	}
+}

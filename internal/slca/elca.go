@@ -1,0 +1,128 @@
+// ELCA (Exclusive Lowest Common Ancestor) semantics, the XRank-style
+// entity decomposition. The paper's framework (Section IV-B2) accepts
+// any decomposition of the tree into entities; Section VI-B works out
+// the SLCA instance, and this file extends the same engine with the
+// ELCA instance, the other widely used LCA-family result semantics.
+//
+// A node v is an ELCA of occurrence sets S_1..S_l if v's subtree
+// contains at least one occurrence of every keyword even after
+// excluding the subtrees of v's proper descendants that themselves
+// contain all keywords. Every SLCA is an ELCA, so ELCA entities are a
+// superset: they additionally keep ancestors that have independent
+// ("exclusive") keyword evidence of their own.
+package slca
+
+import (
+	"xclean/internal/core"
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/xmltree"
+)
+
+// elcaOfSets computes the ELCA set of the per-keyword occurrence
+// lists, restricted to nodes at depth ≥ minDepth (the paper's minimal
+// depth threshold, which rules out entities connected only through
+// near-root nodes). Occurrence lists must be in document order.
+//
+// The algorithm runs in three steps, O(total occurrences · depth):
+//
+//  1. SLCAs via slcaOfSets; the set of all-keyword-containing nodes is
+//     exactly the ancestors-or-self of the SLCAs (containment is
+//     upward closed, and every containing node has a minimal
+//     containing node — an SLCA — below or equal to it).
+//  2. For every occurrence, find its lowest containing ancestor.
+//  3. v is an ELCA iff every keyword has a witness occurrence whose
+//     lowest containing ancestor is v itself: such an occurrence lies
+//     under v but under none of v's containing proper descendants.
+func elcaOfSets(occ [][]invindex.Posting, minDepth int) []xmltree.Dewey {
+	slcas := slcaOfSets(occ)
+	if len(slcas) == 0 {
+		return nil
+	}
+
+	// Step 1: containing nodes = ancestors (depth ≥ minDepth) of SLCAs.
+	containing := make(map[string]xmltree.Dewey)
+	for _, s := range slcas {
+		for depth := s.Depth(); depth >= minDepth; depth-- {
+			trunc := s.Truncate(depth)
+			key := trunc.Key()
+			if _, ok := containing[key]; ok {
+				// Ancestors of an already-seen node are present too.
+				break
+			}
+			containing[key] = trunc.Clone()
+		}
+	}
+
+	// Steps 2+3: per-keyword witnesses at each containing node.
+	witness := make(map[string][]bool, len(containing))
+	for i, list := range occ {
+		for _, p := range list {
+			key, ok := lowestContaining(p.Dewey, containing, minDepth)
+			if !ok {
+				continue
+			}
+			w := witness[key]
+			if w == nil {
+				w = make([]bool, len(occ))
+				witness[key] = w
+			}
+			w[i] = true
+		}
+	}
+
+	var out []xmltree.Dewey
+	for key, w := range witness {
+		all := true
+		for _, seen := range w {
+			if !seen {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, containing[key])
+		}
+	}
+	sortDeweys(out)
+	return out
+}
+
+// lowestContaining returns the Key of the deepest containing node that
+// is an ancestor-or-self of d, or ok=false when d has none at depth ≥
+// minDepth.
+func lowestContaining(d xmltree.Dewey, containing map[string]xmltree.Dewey, minDepth int) (string, bool) {
+	for depth := d.Depth(); depth >= minDepth; depth-- {
+		key := d.Truncate(depth).Key()
+		if _, ok := containing[key]; ok {
+			return key, true
+		}
+	}
+	return "", false
+}
+
+func sortDeweys(ds []xmltree.Dewey) {
+	// Insertion sort: ELCA sets per subtree are small, and the helper
+	// keeps package sort out of this file's hot path.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Compare(ds[j-1]) < 0; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// NewELCAEngine builds an engine identical to NewEngine except that
+// candidate entities are ELCA nodes instead of SLCA nodes.
+func NewELCAEngine(ix *invindex.Index, cfg core.Config) *Engine {
+	e := NewEngine(ix, cfg)
+	e.elca = true
+	return e
+}
+
+// NewELCAEngineWithFastSS is NewELCAEngine reusing a prebuilt variant
+// index.
+func NewELCAEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg core.Config) *Engine {
+	e := NewEngineWithFastSS(ix, fss, cfg)
+	e.elca = true
+	return e
+}

@@ -1,0 +1,307 @@
+package slca
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func postingsAt(t *testing.T, ss ...string) []invindex.Posting {
+	t.Helper()
+	out := make([]invindex.Posting, len(ss))
+	for i, s := range ss {
+		d, err := xmltree.ParseDewey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = invindex.Posting{Dewey: d, TF: 1}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dewey.Compare(out[b].Dewey) < 0 })
+	return out
+}
+
+// TestElcaSupersetOfSlca: the canonical XRank scenario. With keyword A
+// at {1.1.1, 1.2} and keyword B at {1.1.2, 1.3}, node 1.1 is the SLCA;
+// node 1 is additionally an ELCA because the occurrences 1.2 and 1.3
+// are not inside any containing descendant of 1.
+func TestElcaSupersetOfSlca(t *testing.T) {
+	occ := [][]invindex.Posting{
+		postingsAt(t, "1.1.1", "1.2"),
+		postingsAt(t, "1.1.2", "1.3"),
+	}
+	slcas := deweyStrings(slcaOfSets(occ))
+	if want := []string{"1.1"}; !reflect.DeepEqual(slcas, want) {
+		t.Fatalf("slca got %v want %v", slcas, want)
+	}
+	elcas := deweyStrings(elcaOfSets(occ, 1))
+	if want := []string{"1", "1.1"}; !reflect.DeepEqual(elcas, want) {
+		t.Fatalf("elca got %v want %v", elcas, want)
+	}
+}
+
+// TestElcaExclusivity: when the extra occurrences all live inside the
+// containing descendant, the ancestor is NOT an ELCA.
+func TestElcaExclusivity(t *testing.T) {
+	occ := [][]invindex.Posting{
+		postingsAt(t, "1.1.1", "1.1.3"),
+		postingsAt(t, "1.1.2"),
+	}
+	// 1.1 contains everything; 1 has no exclusive witness for keyword 2.
+	elcas := deweyStrings(elcaOfSets(occ, 1))
+	if want := []string{"1.1"}; !reflect.DeepEqual(elcas, want) {
+		t.Fatalf("elca got %v want %v", elcas, want)
+	}
+}
+
+// TestElcaMinDepth: entities shallower than minDepth are excluded even
+// when exclusivity holds.
+func TestElcaMinDepth(t *testing.T) {
+	occ := [][]invindex.Posting{
+		postingsAt(t, "1.1.1", "1.2"),
+		postingsAt(t, "1.1.2", "1.3"),
+	}
+	elcas := deweyStrings(elcaOfSets(occ, 2))
+	if want := []string{"1.1"}; !reflect.DeepEqual(elcas, want) {
+		t.Fatalf("elca got %v want %v", elcas, want)
+	}
+}
+
+func TestElcaEmpty(t *testing.T) {
+	occ := [][]invindex.Posting{
+		postingsAt(t, "1.1.1"),
+		nil,
+	}
+	if got := elcaOfSets(occ, 1); got != nil {
+		t.Fatalf("elca over empty set: %v", got)
+	}
+}
+
+// bruteELCA checks the XRank definition directly: v is an ELCA iff for
+// every keyword some occurrence under v lies outside every containing
+// proper descendant of v.
+func bruteELCA(tr *xmltree.Tree, keywordOccs [][]xmltree.Dewey, minDepth int) []string {
+	contains := func(v xmltree.Dewey) bool {
+		for _, occs := range keywordOccs {
+			found := false
+			for _, d := range occs {
+				if v.AncestorOrSelf(d) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	var containing []xmltree.Dewey
+	tr.Walk(func(n *xmltree.Node) bool {
+		if contains(n.Dewey) {
+			containing = append(containing, n.Dewey)
+		}
+		return true
+	})
+	var out []string
+	for _, v := range containing {
+		if v.Depth() < minDepth {
+			continue
+		}
+		ok := true
+		for _, occs := range keywordOccs {
+			witness := false
+			for _, x := range occs {
+				if !v.AncestorOrSelf(x) {
+					continue
+				}
+				inside := false
+				for _, c := range containing {
+					if v.AncestorOf(c) && c.AncestorOrSelf(x) {
+						inside = true
+						break
+					}
+				}
+				if !inside {
+					witness = true
+					break
+				}
+			}
+			if !witness {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestElcaOfSetsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 500; trial++ {
+		tr := xmltree.NewTree("r")
+		nodes := []*xmltree.Node{tr.Root}
+		for i := 0; i < 19; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			if parent.Dewey.Depth() >= 5 {
+				continue
+			}
+			nodes = append(nodes, tr.AddChild(parent, "n", ""))
+		}
+		l := 2 + rng.Intn(2)
+		occ := make([][]invindex.Posting, l)
+		kocc := make([][]xmltree.Dewey, l)
+		empty := false
+		for i := 0; i < l; i++ {
+			n := 1 + rng.Intn(4)
+			seen := map[string]bool{}
+			var ds []xmltree.Dewey
+			for j := 0; j < n; j++ {
+				d := nodes[rng.Intn(len(nodes))].Dewey
+				if !seen[d.Key()] {
+					seen[d.Key()] = true
+					ds = append(ds, d)
+				}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].Compare(ds[b]) < 0 })
+			kocc[i] = ds
+			for _, d := range ds {
+				occ[i] = append(occ[i], invindex.Posting{Dewey: d, TF: 1})
+			}
+			if len(ds) == 0 {
+				empty = true
+			}
+		}
+		if empty {
+			continue
+		}
+		minDepth := 1 + rng.Intn(2)
+		got := deweyStrings(elcaOfSets(occ, minDepth))
+		sort.Strings(got)
+		want := bruteELCA(tr, kocc, minDepth)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (d=%d): got %v want %v (occ=%v)", trial, minDepth, got, want, kocc)
+		}
+	}
+}
+
+// TestElcaContainsSlcaProperty: every SLCA must appear in the ELCA set
+// (at minDepth 1) — ELCA is a superset semantics.
+func TestElcaContainsSlcaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		tr := xmltree.NewTree("r")
+		nodes := []*xmltree.Node{tr.Root}
+		for i := 0; i < 24; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			if parent.Dewey.Depth() >= 6 {
+				continue
+			}
+			nodes = append(nodes, tr.AddChild(parent, "n", ""))
+		}
+		l := 2 + rng.Intn(3)
+		occ := make([][]invindex.Posting, l)
+		for i := 0; i < l; i++ {
+			n := 1 + rng.Intn(5)
+			seen := map[string]bool{}
+			var ds []xmltree.Dewey
+			for j := 0; j < n; j++ {
+				d := nodes[rng.Intn(len(nodes))].Dewey
+				if !seen[d.Key()] {
+					seen[d.Key()] = true
+					ds = append(ds, d)
+				}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].Compare(ds[b]) < 0 })
+			for _, d := range ds {
+				occ[i] = append(occ[i], invindex.Posting{Dewey: d, TF: 1})
+			}
+		}
+		skip := false
+		for i := range occ {
+			if len(occ[i]) == 0 {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		slcas := deweyStrings(slcaOfSets(occ))
+		elcas := map[string]bool{}
+		for _, d := range elcaOfSets(occ, 1) {
+			elcas[d.String()] = true
+		}
+		for _, s := range slcas {
+			if !elcas[s] {
+				t.Fatalf("trial %d: slca %s missing from elca set %v", trial, s, elcas)
+			}
+		}
+	}
+}
+
+func TestELCAEngineSuggest(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewELCAEngine(ix, core.Config{})
+	sugs := e.Suggest("rose fpga architecure")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "rose fpga architecture" {
+		t.Errorf("top=%q", sugs[0].Query())
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty guarantee violated")
+	}
+}
+
+// TestELCAEngineMoreEntities: on a tree where an article element has
+// exclusive evidence beyond its child-level matches, the ELCA engine
+// must report at least as many entities as the SLCA engine.
+func TestELCAEngineMoreEntities(t *testing.T) {
+	tr := xmltree.NewTree("dblp")
+	art := tr.AddChild(tr.Root, "article", "")
+	sec := tr.AddChild(art, "section", "")
+	tr.AddChild(sec, "p", "fpga architecture")
+	tr.AddChild(art, "title", "fpga survey")
+	tr.AddChild(art, "note", "architecture notes")
+	ix := invindex.Build(tr, tokenizer.Options{})
+
+	s := NewEngine(ix, core.Config{}).Suggest("fpga architecture")
+	e := NewELCAEngine(ix, core.Config{}).Suggest("fpga architecture")
+	if len(s) == 0 || len(e) == 0 {
+		t.Fatalf("missing suggestions: slca=%v elca=%v", s, e)
+	}
+	if e[0].Entities < s[0].Entities {
+		t.Errorf("elca entities %d < slca entities %d", e[0].Entities, s[0].Entities)
+	}
+	// The <section> node (depth 3) is the SLCA; <article> additionally
+	// qualifies as an ELCA through its title/note evidence.
+	if e[0].Entities != s[0].Entities+1 {
+		t.Errorf("expected exactly one extra ELCA entity: slca=%d elca=%d",
+			s[0].Entities, e[0].Entities)
+	}
+}
+
+func TestELCAEngineRootOnlyConnection(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewELCAEngine(ix, core.Config{})
+	// rose and database meet only at the dblp root (depth 1 < d=2) —
+	// must not be suggested.
+	if got := e.Suggest("rose database"); got != nil {
+		t.Errorf("root-only pair suggested: %v", got)
+	}
+}

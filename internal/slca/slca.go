@@ -1,0 +1,373 @@
+// Package slca implements the SLCA-semantics variant of the XClean
+// framework (Section VI-B of the paper): each candidate query's
+// entities are its Smallest Lowest Common Ancestor nodes, and Eq. (8)
+// is evaluated over that per-candidate entity set.
+//
+// The engine follows the same one-pass structure as Algorithm 1 —
+// merged variant lists, anchor nodes, subtree grouping at the minimal
+// depth d — and computes SLCAs inside each group with the classic
+// pairwise slca merge of Xu & Papakonstantinou (the "multi-way SLCA"
+// algorithm the paper adapts), so every inverted list is still read
+// only once.
+package slca
+
+import (
+	"sort"
+	"strings"
+
+	"xclean/internal/core"
+	"xclean/internal/fastss"
+	"xclean/internal/invindex"
+	"xclean/internal/lm"
+	"xclean/internal/xmltree"
+)
+
+// Engine answers top-k cleaning requests under the SLCA semantics, or
+// under the ELCA semantics when built by NewELCAEngine.
+type Engine struct {
+	ix    *invindex.Index
+	fss   *fastss.Index
+	model *lm.Model
+	em    core.ErrorModel
+	cfg   core.Config
+	// elca switches the entity decomposition from SLCA to ELCA nodes.
+	elca bool
+}
+
+// NewEngine builds an SLCA engine over an index with the same Config
+// knobs as the core engine. The ResultType of returned suggestions is
+// always InvalidPath: SLCA entities have no single type.
+func NewEngine(ix *invindex.Index, cfg core.Config) *Engine {
+	fss := fastss.Build(ix.VocabList(), fastss.Config{
+		MaxErrors:    maxErrors(cfg),
+		PartitionLen: partitionLen(cfg),
+	})
+	return NewEngineWithFastSS(ix, fss, cfg)
+}
+
+// NewEngineWithFastSS builds an SLCA engine reusing a prebuilt variant
+// index.
+func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg core.Config) *Engine {
+	return &Engine{
+		ix:    ix,
+		fss:   fss,
+		model: lm.New(ix.Vocab, cfg.Mu),
+		em:    core.ErrorModel{Beta: cfg.Beta},
+		cfg:   cfg,
+	}
+}
+
+// Refresh rebuilds derived structures after an incremental index
+// mutation, adding the given words to the shared variant index (known
+// words are ignored). Queries must go to the returned engine.
+func (e *Engine) Refresh(newWords []string) *Engine {
+	for _, w := range newWords {
+		e.fss.Add(w)
+	}
+	ne := NewEngineWithFastSS(e.ix, e.fss, e.cfg)
+	ne.elca = e.elca
+	return ne
+}
+
+func maxErrors(cfg core.Config) int {
+	if cfg.Epsilon <= 0 {
+		return 1
+	}
+	return cfg.Epsilon
+}
+
+func partitionLen(cfg core.Config) int {
+	if cfg.PartitionLen <= 0 {
+		return 12
+	}
+	return cfg.PartitionLen
+}
+
+func (e *Engine) minDepth() int {
+	if e.cfg.MinDepth <= 0 {
+		return 2
+	}
+	return e.cfg.MinDepth
+}
+
+func (e *Engine) k() int {
+	if e.cfg.K <= 0 {
+		return 10
+	}
+	return e.cfg.K
+}
+
+// candAgg accumulates one candidate's entity sum across subtrees.
+type candAgg struct {
+	words    []string
+	weight   float64
+	sum      float64
+	norm     float64 // Σ prior weights over this candidate's entities
+	entities int
+	dist     int
+	witness  xmltree.Dewey // first entity root
+}
+
+// Suggest returns the top-k alternative queries under the SLCA
+// semantics.
+func (e *Engine) Suggest(query string) []core.Suggestion {
+	toks := e.cfg.Tokenizer.Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	kws := make([]core.Keyword, len(toks))
+	for i, tok := range toks {
+		kws[i] = e.em.Keyword(tok, e.fss.Search(tok))
+		if len(kws[i].Variants) == 0 {
+			return nil
+		}
+	}
+
+	d := e.minDepth()
+	lists := make([]*invindex.MergedList, len(kws))
+	for i, kw := range kws {
+		tokens := make([]string, len(kw.Variants))
+		for j, v := range kw.Variants {
+			tokens[j] = v.Word
+		}
+		lists[i] = e.ix.MergedListFor(tokens)
+		lists[i].SetLinearSkip(e.cfg.LinearSkip)
+	}
+
+	aggs := make(map[string]*candAgg)
+	occ := make([]map[int][]invindex.Posting, len(kws))
+	for i := range occ {
+		occ[i] = make(map[int][]invindex.Posting)
+	}
+
+	anchor, ok := maxHead(lists)
+	for ok {
+		g := anchor.Truncate(d)
+		for i := range occ {
+			for k := range occ[i] {
+				delete(occ[i], k)
+			}
+		}
+		complete := true
+		for i, l := range lists {
+			found := false
+			l.CollectSubtree(g, func(entry invindex.Entry) {
+				occ[i][entry.TokenIdx] = append(occ[i][entry.TokenIdx], entry.Posting)
+				found = true
+			})
+			if !found {
+				complete = false
+			}
+		}
+		if complete {
+			e.enumerate(kws, occ, aggs)
+		}
+		anchor, ok = maxHead(lists)
+	}
+
+	var out []core.Suggestion
+	for _, a := range aggs {
+		if a.entities == 0 || a.norm == 0 {
+			continue
+		}
+		out = append(out, core.Suggestion{
+			Words:        a.words,
+			Score:        a.weight * a.sum / a.norm,
+			ResultType:   xmltree.InvalidPath,
+			Entities:     a.entities,
+			EditDistance: a.dist,
+			Witness:      a.witness,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Query() < out[j].Query()
+	})
+	if k := e.k(); len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func maxHead(lists []*invindex.MergedList) (xmltree.Dewey, bool) {
+	var max xmltree.Dewey
+	for _, l := range lists {
+		entry, ok := l.CurPos()
+		if !ok {
+			return nil, false
+		}
+		if max == nil || entry.Dewey.Compare(max) > 0 {
+			max = entry.Dewey
+		}
+	}
+	return max, max != nil
+}
+
+// enumerate walks the candidate space present in the current subtree
+// and scores each candidate's SLCA entities.
+func (e *Engine) enumerate(kws []core.Keyword, occ []map[int][]invindex.Posting, aggs map[string]*candAgg) {
+	present := make([][]int, len(kws))
+	for i := range kws {
+		if len(occ[i]) == 0 {
+			return
+		}
+		for idx := range occ[i] {
+			present[i] = append(present[i], idx)
+		}
+		sort.Ints(present[i])
+	}
+	choice := make([]int, len(kws))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(kws) {
+			e.scoreCandidate(kws, choice, occ, aggs)
+			return
+		}
+		for _, idx := range present[i] {
+			choice[i] = idx
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func (e *Engine) scoreCandidate(kws []core.Keyword, choice []int, occ []map[int][]invindex.Posting, aggs map[string]*candAgg) {
+	words := make([]string, len(kws))
+	occSets := make([][]invindex.Posting, len(kws))
+	for i, idx := range choice {
+		words[i] = kws[i].Variants[idx].Word
+		occSets[i] = occ[i][idx]
+		if len(occSets[i]) == 0 {
+			return
+		}
+	}
+
+	d := e.minDepth()
+	var entities []xmltree.Dewey
+	if e.elca {
+		entities = elcaOfSets(occSets, d)
+	} else {
+		entities = slcaOfSets(occSets)
+	}
+	if len(entities) == 0 {
+		return
+	}
+
+	key := strings.Join(words, "\x00")
+	a := aggs[key]
+	for _, root := range entities {
+		if root.Depth() < d {
+			continue
+		}
+		counts := make([]int32, len(kws))
+		for i := range kws {
+			for _, p := range occSets[i] {
+				if root.AncestorOrSelf(p.Dewey) {
+					counts[i] += p.TF
+				}
+			}
+		}
+		docLen := e.ix.SubtreeLen(root)
+		pw := e.cfg.EntityWeight(root.Key(), docLen)
+		prob := e.model.QueryProb(words, counts, docLen)
+		if a == nil {
+			a = &candAgg{words: append([]string(nil), words...)}
+			a.weight = 1
+			for i, idx := range choice {
+				a.weight *= kws[i].Variants[idx].Weight
+				a.dist += kws[i].Variants[idx].Dist
+			}
+			aggs[key] = a
+		}
+		a.sum += pw * prob
+		a.norm += pw
+		if a.entities == 0 {
+			a.witness = root.Clone()
+		}
+		a.entities++
+	}
+}
+
+// slcaOfSets computes the SLCA set of l Dewey sets by repeated
+// pairwise merging: slca(S1,...,Sl) = slca(slca(S1,...,S_{l-1}), Sl).
+func slcaOfSets(occ [][]invindex.Posting) []xmltree.Dewey {
+	cur := deweys(occ[0])
+	cur = removeAncestors(cur)
+	for i := 1; i < len(occ); i++ {
+		cur = slcaPair(cur, deweys(occ[i]))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func deweys(pl []invindex.Posting) []xmltree.Dewey {
+	out := make([]xmltree.Dewey, len(pl))
+	for i, p := range pl {
+		out[i] = p.Dewey
+	}
+	return out
+}
+
+// slcaPair computes slca(A, B) for doc-ordered Dewey sets: for each
+// a∈A, the deeper of lca(a, pred_B(a)) and lca(a, succ_B(a)), with
+// ancestors removed.
+func slcaPair(a, b []xmltree.Dewey) []xmltree.Dewey {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	var res []xmltree.Dewey
+	for _, x := range a {
+		// succ: first element of b ≥ x.
+		i := sort.Search(len(b), func(j int) bool { return b[j].Compare(x) >= 0 })
+		var best xmltree.Dewey
+		if i < len(b) {
+			best = lca(x, b[i])
+		}
+		if i > 0 {
+			if l := lca(x, b[i-1]); best == nil || l.Depth() > best.Depth() {
+				best = l
+			}
+		}
+		if best != nil && best.Depth() > 0 {
+			res = append(res, best)
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i].Compare(res[j]) < 0 })
+	return removeAncestors(res)
+}
+
+// lca returns the longest common prefix of two Dewey codes.
+func lca(a, b xmltree.Dewey) xmltree.Dewey {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+// removeAncestors drops every element that is an ancestor of (or equal
+// to) another element, leaving a doc-ordered antichain. Input must be
+// sorted in document order.
+func removeAncestors(in []xmltree.Dewey) []xmltree.Dewey {
+	var out []xmltree.Dewey
+	for _, d := range in {
+		// Drop previous results that are ancestors of d; skip d if it
+		// equals the previous result.
+		for len(out) > 0 && out[len(out)-1].AncestorOf(d) {
+			out = out[:len(out)-1]
+		}
+		if len(out) > 0 && out[len(out)-1].Compare(d) == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

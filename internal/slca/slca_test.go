@@ -1,0 +1,245 @@
+package slca
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+func mkDeweys(t *testing.T, ss ...string) []xmltree.Dewey {
+	t.Helper()
+	out := make([]xmltree.Dewey, len(ss))
+	for i, s := range ss {
+		d, err := xmltree.ParseDewey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func deweyStrings(ds []xmltree.Dewey) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func TestLCA(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"1.2.3", "1.2.4", "1.2"},
+		{"1.2.3", "1.2.3.4", "1.2.3"},
+		{"1.2", "1.3", "1"},
+		{"1", "1", "1"},
+	}
+	for _, c := range cases {
+		a, _ := xmltree.ParseDewey(c.a)
+		b, _ := xmltree.ParseDewey(c.b)
+		if got := lca(a, b).String(); got != c.want {
+			t.Errorf("lca(%s,%s)=%s want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRemoveAncestors(t *testing.T) {
+	in := mkDeweys(t, "1", "1.2", "1.2.3", "1.3", "1.3", "1.4.1")
+	got := deweyStrings(removeAncestors(in))
+	want := []string{"1.2.3", "1.3", "1.4.1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if removeAncestors(nil) != nil {
+		t.Error("empty input should stay empty")
+	}
+}
+
+func TestSlcaPair(t *testing.T) {
+	a := mkDeweys(t, "1.1.1", "1.2.1")
+	b := mkDeweys(t, "1.1.2", "1.3.1")
+	got := deweyStrings(slcaPair(a, b))
+	// lca(1.1.1, 1.1.2)=1.1 ; lca(1.2.1, {1.1.2 or 1.3.1})=1. 1 is an
+	// ancestor of 1.1 so only 1.1 survives... but 1 appears after
+	// removal? removeAncestors keeps the deepest: {1.1}.
+	want := []string{"1.1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// brute-force SLCA over an explicit tree for differential testing.
+func bruteSLCA(tr *xmltree.Tree, keywordOccs [][]xmltree.Dewey) []string {
+	// Common ancestors: nodes whose subtree contains at least one
+	// occurrence of every keyword.
+	var cas []xmltree.Dewey
+	tr.Walk(func(n *xmltree.Node) bool {
+		all := true
+		for _, occs := range keywordOccs {
+			found := false
+			for _, d := range occs {
+				if n.Dewey.AncestorOrSelf(d) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			cas = append(cas, n.Dewey)
+		}
+		return true
+	})
+	// Keep only CAs with no descendant CA.
+	var out []string
+	for _, c := range cas {
+		minimal := true
+		for _, d := range cas {
+			if c.AncestorOf(d) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, c.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSlcaOfSetsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		// Random tree of ~20 nodes, depth up to 5.
+		tr := xmltree.NewTree("r")
+		nodes := []*xmltree.Node{tr.Root}
+		for i := 0; i < 19; i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			if parent.Dewey.Depth() >= 5 {
+				continue
+			}
+			nodes = append(nodes, tr.AddChild(parent, "n", ""))
+		}
+		// 2-3 keywords, each with occurrences at random nodes.
+		l := 2 + rng.Intn(2)
+		occ := make([][]invindex.Posting, l)
+		kocc := make([][]xmltree.Dewey, l)
+		okSets := true
+		for i := 0; i < l; i++ {
+			n := 1 + rng.Intn(4)
+			seen := map[string]bool{}
+			var ds []xmltree.Dewey
+			for j := 0; j < n; j++ {
+				d := nodes[rng.Intn(len(nodes))].Dewey
+				if !seen[d.Key()] {
+					seen[d.Key()] = true
+					ds = append(ds, d)
+				}
+			}
+			sort.Slice(ds, func(a, b int) bool { return ds[a].Compare(ds[b]) < 0 })
+			kocc[i] = ds
+			for _, d := range ds {
+				occ[i] = append(occ[i], invindex.Posting{Dewey: d, TF: 1})
+			}
+			if len(ds) == 0 {
+				okSets = false
+			}
+		}
+		if !okSets {
+			continue
+		}
+		got := deweyStrings(slcaOfSets(occ))
+		sort.Strings(got)
+		want := bruteSLCA(tr, kocc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: got %v want %v (occ=%v)", trial, got, want, kocc)
+		}
+	}
+}
+
+// slcaTree: a data-centric corpus to exercise end-to-end SLCA
+// suggestion.
+func slcaTree() *xmltree.Tree {
+	t := xmltree.NewTree("dblp")
+	add := func(author, title string) {
+		art := t.AddChild(t.Root, "article", "")
+		t.AddChild(art, "author", author)
+		t.AddChild(art, "title", title)
+	}
+	add("rose", "fpga architecture synthesis")
+	add("rose", "reconfigurable fpga design")
+	add("smith", "database indexing methods")
+	add("jones", "xml keyword search ranking")
+	return t
+}
+
+func TestSLCAEngineSuggest(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+
+	sugs := e.Suggest("rose fpga architecure")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query() != "rose fpga architecture" {
+		t.Errorf("top=%q", sugs[0].Query())
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty guarantee violated")
+	}
+	if sugs[0].ResultType != xmltree.InvalidPath {
+		t.Error("SLCA suggestions should have no result type")
+	}
+}
+
+func TestSLCAEngineCleanQuery(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+	sugs := e.Suggest("database indexing")
+	if len(sugs) == 0 || sugs[0].Query() != "database indexing" {
+		t.Fatalf("clean query displaced: %v", sugs)
+	}
+}
+
+func TestSLCAEngineRootOnlyConnection(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+	// rose and database never co-occur below the root.
+	if got := e.Suggest("rose database"); got != nil {
+		t.Errorf("root-only pair suggested: %v", got)
+	}
+}
+
+func TestSLCAEngineEmptyQueries(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+	if got := e.Suggest(""); got != nil {
+		t.Errorf("empty -> %v", got)
+	}
+	if got := e.Suggest("zzzzz"); got != nil {
+		t.Errorf("hopeless -> %v", got)
+	}
+}
+
+func TestSLCAEngineTopK(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{K: 1})
+	if got := e.Suggest("fpga desing"); len(got) > 1 {
+		t.Errorf("K=1 violated: %v", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Package tokenizer splits XML text contents and keyword queries into
+// index tokens. Following Section VII-A of the XClean paper, text is
+// split on whitespace and punctuation, lowercased, and stop words,
+// pure numbers, and tokens shorter than three characters are dropped
+// from the indexable stream.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Options controls tokenization. The zero value applies the paper's
+// settings (MinLength 3, stop words and numbers dropped).
+type Options struct {
+	// MinLength is the minimum token length kept; values < 1 mean the
+	// default of 3.
+	MinLength int
+	// KeepNumbers retains purely numeric tokens.
+	KeepNumbers bool
+	// KeepStopwords retains stop words.
+	KeepStopwords bool
+}
+
+func (o Options) minLen() int {
+	if o.MinLength < 1 {
+		return 3
+	}
+	return o.MinLength
+}
+
+// Default are the paper's indexing options.
+var Default Options
+
+// stopwords is a compact English stop word list. Stop words are not
+// indexed and are silently dropped from queries.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+		a an and are as at be but by for from has have had he her his i
+		if in into is it its not of on or she that the their them they
+		this to was were will with you your we our us out up so than
+		then there these those what when where which who whom why how
+		all any both each few more most other some such no nor only own
+		same too very can just don should now did do does doing would
+		could about after again against because been before being below
+		between during further here once over under while also may might
+		must shall am itself himself herself themselves myself yourself`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether w (already lowercased) is a stop word.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// Tokenize splits text into kept tokens using the default options.
+func Tokenize(text string) []string { return Default.Tokenize(text) }
+
+// Tokenize splits text into kept tokens.
+func (o Options) Tokenize(text string) []string {
+	var out []string
+	o.tokenize(text, func(tok string) { out = append(out, tok) })
+	return out
+}
+
+// TokenizeRaw splits text into lowercase word tokens without applying
+// the stop word, number, or length filters. Query parsing uses this so
+// that a user's short or misspelt-to-short keyword still reaches the
+// variant generator.
+func TokenizeRaw(text string) []string {
+	var out []string
+	eachWord(text, func(tok string) { out = append(out, tok) })
+	return out
+}
+
+func (o Options) tokenize(text string, emit func(string)) {
+	min := o.minLen()
+	eachWord(text, func(tok string) {
+		if len(tok) < min {
+			return
+		}
+		if !o.KeepStopwords && stopwords[tok] {
+			return
+		}
+		if !o.KeepNumbers && isNumber(tok) {
+			return
+		}
+		emit(tok)
+	})
+}
+
+// eachWord calls emit for each maximal run of letters/digits in text,
+// lowercased. Unicode letters are kept (so "schütze" is one token).
+func eachWord(text string, emit func(string)) {
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			emit(strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+}
+
+func isNumber(tok string) bool {
+	for _, r := range tok {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// Vocabulary is the set of index tokens of a corpus with collection
+// frequencies, used for variant validation and the background language
+// model.
+type Vocabulary struct {
+	counts map[string]int64
+	total  int64
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{counts: make(map[string]int64)}
+}
+
+// Add records n occurrences of token w.
+func (v *Vocabulary) Add(w string, n int64) {
+	v.counts[w] += n
+	v.total += n
+}
+
+// Sub removes n occurrences of token w, deleting the term entirely
+// when its count reaches zero (so Size and the smoothing denominator
+// shrink with the corpus).
+func (v *Vocabulary) Sub(w string, n int64) {
+	c, ok := v.counts[w]
+	if !ok {
+		return
+	}
+	if n > c {
+		n = c
+	}
+	v.total -= n
+	if c == n {
+		delete(v.counts, w)
+	} else {
+		v.counts[w] = c - n
+	}
+}
+
+// Contains reports whether w is a vocabulary term.
+func (v *Vocabulary) Contains(w string) bool {
+	_, ok := v.counts[w]
+	return ok
+}
+
+// Count is the collection frequency of w.
+func (v *Vocabulary) Count(w string) int64 { return v.counts[w] }
+
+// Total is the collection length (sum of all counts).
+func (v *Vocabulary) Total() int64 { return v.total }
+
+// Size is the number of distinct terms.
+func (v *Vocabulary) Size() int { return len(v.counts) }
+
+// Prob is the background unigram probability p(w|B). Unknown terms get
+// a small positive epsilon probability (1 / (total + size)) so that
+// smoothed models never hit exact zero.
+func (v *Vocabulary) Prob(w string) float64 {
+	denom := float64(v.total) + float64(len(v.counts))
+	if denom == 0 {
+		return 0
+	}
+	c, ok := v.counts[w]
+	if !ok {
+		return 1 / denom
+	}
+	return (float64(c) + 1) / denom
+}
+
+// Terms calls fn for every term; iteration order is unspecified.
+func (v *Vocabulary) Terms(fn func(w string, count int64)) {
+	for w, c := range v.counts {
+		fn(w, c)
+	}
+}

@@ -1,0 +1,180 @@
+package tokenizer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("Keyword Search on XML-data, 2011 edition!")
+	want := []string{"keyword", "search", "xml", "data", "edition"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsShortStopNumeric(t *testing.T) {
+	got := Tokenize("a an the 42 ab go trees 007")
+	want := []string{"trees"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Hinrich Schütze geo-tagging")
+	want := []string{"hinrich", "schütze", "geo", "tagging"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeOptions(t *testing.T) {
+	o := Options{MinLength: 1, KeepNumbers: true, KeepStopwords: true}
+	got := o.Tokenize("a 42 the ok")
+	want := []string{"a", "42", "the", "ok"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeRaw(t *testing.T) {
+	got := TokenizeRaw("The TREE, a icdt!")
+	want := []string{"the", "tree", "a", "icdt"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("empty input -> %v", got)
+	}
+	if got := Tokenize("  ,.;:!  "); len(got) != 0 {
+		t.Errorf("punctuation-only input -> %v", got)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || IsStopword("tree") {
+		t.Error("stopword classification wrong")
+	}
+}
+
+// Property: every kept token is lowercase, ≥3 bytes, not a stop word,
+// and not numeric.
+func TestTokenizeInvariants(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < 3 || stopwords[tok] || isNumber(tok) {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing is idempotent — re-tokenizing the joined output
+// reproduces it.
+func TestTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		first := Tokenize(s)
+		joined := ""
+		for _, tok := range first {
+			joined += tok + " "
+		}
+		second := Tokenize(joined)
+		return reflect.DeepEqual(first, second) || (len(first) == 0 && len(second) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	v.Add("tree", 3)
+	v.Add("icde", 1)
+	v.Add("tree", 2)
+
+	if !v.Contains("tree") || v.Contains("trie") {
+		t.Error("Contains wrong")
+	}
+	if v.Count("tree") != 5 || v.Count("icde") != 1 || v.Count("none") != 0 {
+		t.Error("Count wrong")
+	}
+	if v.Total() != 6 || v.Size() != 2 {
+		t.Errorf("Total=%d Size=%d", v.Total(), v.Size())
+	}
+
+	pTree, pIcde, pUnk := v.Prob("tree"), v.Prob("icde"), v.Prob("zzz")
+	if !(pTree > pIcde && pIcde > pUnk && pUnk > 0) {
+		t.Errorf("prob ordering wrong: %f %f %f", pTree, pIcde, pUnk)
+	}
+
+	seen := map[string]int64{}
+	v.Terms(func(w string, c int64) { seen[w] = c })
+	if seen["tree"] != 5 || seen["icde"] != 1 {
+		t.Errorf("Terms iteration wrong: %v", seen)
+	}
+}
+
+func TestVocabularyEmptyProb(t *testing.T) {
+	v := NewVocabulary()
+	if v.Prob("x") != 0 {
+		t.Error("empty vocabulary should have zero prob")
+	}
+}
+
+// Property: probabilities of observed terms sum to (roughly) ≤ 1 given
+// add-one smoothing mass is shared with unknowns.
+func TestVocabularyProbMass(t *testing.T) {
+	v := NewVocabulary()
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for i, w := range words {
+		v.Add(w, int64(i+1))
+	}
+	sum := 0.0
+	for _, w := range words {
+		sum += v.Prob(w)
+	}
+	if sum <= 0 || sum > 1.0000001 {
+		t.Errorf("probability mass of observed terms = %f", sum)
+	}
+}
+
+func TestVocabularySub(t *testing.T) {
+	v := NewVocabulary()
+	v.Add("alpha", 5)
+	v.Add("beta", 2)
+
+	v.Sub("alpha", 3)
+	if v.Count("alpha") != 2 || v.Total() != 4 {
+		t.Errorf("after partial sub: count=%d total=%d", v.Count("alpha"), v.Total())
+	}
+	// Subtracting to (or past) zero deletes the term and caps at the
+	// available count.
+	v.Sub("alpha", 10)
+	if v.Contains("alpha") || v.Total() != 2 || v.Size() != 1 {
+		t.Errorf("after over-sub: contains=%v total=%d size=%d",
+			v.Contains("alpha"), v.Total(), v.Size())
+	}
+	// Unknown terms are a no-op.
+	v.Sub("gamma", 1)
+	if v.Total() != 2 {
+		t.Errorf("unknown sub changed total: %d", v.Total())
+	}
+	v.Sub("beta", 2)
+	if v.Size() != 0 || v.Total() != 0 {
+		t.Errorf("emptied vocab: size=%d total=%d", v.Size(), v.Total())
+	}
+}

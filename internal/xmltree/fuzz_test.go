@@ -1,0 +1,114 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParse asserts two properties on arbitrary input: Parse never
+// panics, and any accepted document survives a serialize→reparse
+// roundtrip with identical structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a><b>x</b></a>",
+		`<a attr="v"><b/>text</a>`,
+		"<a>&amp;&lt;&gt;</a>",
+		"<a><![CDATA[raw < cdata]]></a>",
+		`<?xml version="1.0"?><r xmlns:x="u"><x:e/></r>`,
+		"<a><b>unclosed",
+		"</stray>",
+		"<a>日本語 schütze</a>",
+		"<deep><deep><deep><deep>x</deep></deep></deep></deep>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Go's decoder is lenient about the local part of namespaced
+		// names (it accepts <A:0/>, local name "0"), but such labels
+		// cannot be re-serialized as standalone element names. The
+		// roundtrip property only applies to serializable labels; the
+		// no-panic property above applies to everything.
+		serializable := true
+		tr.Walk(func(n *Node) bool {
+			if !validXMLName(n.Label) {
+				serializable = false
+			}
+			return serializable
+		})
+		if !serializable {
+			return
+		}
+		var sb strings.Builder
+		if _, err := tr.WriteXML(&sb); err != nil {
+			t.Fatalf("serialize accepted doc: %v", err)
+		}
+		tr2, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse own output: %v\noutput: %q", err, sb.String())
+		}
+		var eq func(a, b *Node) bool
+		eq = func(a, b *Node) bool {
+			if a.Label != b.Label || a.Text != b.Text || len(a.Children) != len(b.Children) {
+				return false
+			}
+			for i := range a.Children {
+				if !eq(a.Children[i], b.Children[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if !eq(tr.Root, tr2.Root) {
+			t.Fatalf("roundtrip changed the tree for %q", doc)
+		}
+	})
+}
+
+// validXMLName is a conservative XML-name check: names that pass are
+// definitely serializable; rejecting some exotic-but-legal names only
+// narrows the roundtrip property, never weakens it.
+func validXMLName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || unicode.IsLetter(r)
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !unicode.IsDigit(r) && r != '-' && r != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseDewey: ParseDewey never panics, and accepted codes
+// roundtrip through String and Key.
+func FuzzParseDewey(f *testing.F) {
+	for _, s := range []string{"", "1", "1.2.3", "0", "4294967295", "1..2", "x", "1.2."} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDewey(s)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			return
+		}
+		back, err := ParseDewey(d.String())
+		if err != nil || back.Compare(d) != 0 {
+			t.Fatalf("string roundtrip of %q failed: %v %v", s, back, err)
+		}
+		if DeweyFromKey(d.Key()).Compare(d) != 0 {
+			t.Fatalf("key roundtrip of %q failed", s)
+		}
+	})
+}

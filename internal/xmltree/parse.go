@@ -1,0 +1,101 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a single XML document from r and builds its tree.
+// Attributes become child nodes labeled with the attribute name;
+// character data is accumulated into the Text of the containing
+// element. Comments, processing instructions, and directives are
+// ignored, per Section III.
+func Parse(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+
+	var tree *Tree
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			if tree == nil {
+				tree = NewTree(el.Name.Local)
+				stack = append(stack, tree.Root)
+				addAttrs(tree, tree.Root, el.Attr)
+				continue
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: multiple root elements; use ParseCollection")
+			}
+			n := tree.AddChild(stack[len(stack)-1], el.Name.Local, "")
+			addAttrs(tree, n, el.Attr)
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(el))
+				if text != "" {
+					top := stack[len(stack)-1]
+					if top.Text != "" {
+						top.Text += " "
+					}
+					top.Text += text
+				}
+			}
+		}
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unexpected EOF inside element %q", stack[len(stack)-1].Label)
+	}
+	return tree, nil
+}
+
+func addAttrs(t *Tree, n *Node, attrs []xml.Attr) {
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		t.AddChild(n, a.Name.Local, a.Value)
+	}
+}
+
+// ParseCollection parses several XML documents and joins them under a
+// virtual root with the given label, as the paper does for the INEX
+// collection ("we form a single XML document by adding a virtual
+// root").
+func ParseCollection(rootLabel string, readers ...io.Reader) (*Tree, error) {
+	coll := NewTree(rootLabel)
+	for i, r := range readers {
+		doc, err := Parse(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: document %d: %w", i, err)
+		}
+		graft(coll, coll.Root, doc.Root)
+	}
+	return coll, nil
+}
+
+// graft copies src (from another tree) as a new child of parent in dst,
+// re-interning paths and re-assigning Dewey codes.
+func graft(dst *Tree, parent, src *Node) {
+	n := dst.AddChild(parent, src.Label, src.Text)
+	for _, c := range src.Children {
+		graft(dst, n, c)
+	}
+}

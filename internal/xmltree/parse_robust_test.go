@@ -1,0 +1,130 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMalformedInputs: every malformed document must produce an
+// error, never a panic or a silently-wrong tree.
+func TestParseMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"whitespace":         "   \n\t  ",
+		"truncated-open":     "<a><b>",
+		"truncated-text":     "<a>hello",
+		"mismatched":         "<a><b></a></b>",
+		"stray-close":        "</a>",
+		"double-root":        "<a></a><b></b>",
+		"bare-text":          "just text, no markup",
+		"bad-entity":         "<a>&unknown;</a>",
+		"unclosed-attr":      `<a attr="oops></a>`,
+		"nul-in-tag":         "<a\x00b></a\x00b>",
+		"angle-soup":         "<<a>>",
+		"comment-only":       "<!-- nothing here -->",
+		"directive-only":     "<!DOCTYPE html>",
+		"pi-only":            `<?xml version="1.0"?>`,
+		"cdata-unterminated": "<a><![CDATA[oops</a>",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: malformed document %q accepted", name, doc)
+		}
+	}
+}
+
+// TestParseToleratedOddities: valid-but-odd XML must parse without
+// error and with the expected structure.
+func TestParseToleratedOddities(t *testing.T) {
+	// Comments, PIs, and directives are ignored.
+	tr, err := Parse(strings.NewReader(
+		`<?xml version="1.0"?><!-- c --><a><!-- inner --><b>x</b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 1 || tr.Root.Children[0].Text != "x" {
+		t.Errorf("tree: %+v", tr.Root)
+	}
+
+	// CDATA becomes text.
+	tr, err = Parse(strings.NewReader("<a><![CDATA[1 < 2 & 3]]></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Text != "1 < 2 & 3" {
+		t.Errorf("cdata text %q", tr.Root.Text)
+	}
+
+	// Mixed content is accumulated with single-space joins.
+	tr, err = Parse(strings.NewReader("<a>one<b/>two</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Text != "one two" {
+		t.Errorf("mixed text %q", tr.Root.Text)
+	}
+
+	// Namespaces: local names are kept, xmlns declarations dropped.
+	tr, err = Parse(strings.NewReader(
+		`<a xmlns="urn:x" xmlns:y="urn:y"><y:b attr="v">t</y:b></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 1 {
+		t.Fatalf("children: %d", len(tr.Root.Children))
+	}
+	b := tr.Root.Children[0]
+	if b.Label != "b" || len(b.Children) != 1 || b.Children[0].Label != "attr" {
+		t.Errorf("namespace handling: %+v", b)
+	}
+
+	// Deep nesting must not blow up.
+	var sb strings.Builder
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<d>")
+	}
+	sb.WriteString("leaf")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	tr, err = Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.ComputeStats(); st.MaxDepth != depth {
+		t.Errorf("depth=%d want %d", st.MaxDepth, depth)
+	}
+}
+
+func TestParseCollectionErrors(t *testing.T) {
+	_, err := ParseCollection("root",
+		strings.NewReader("<a>ok</a>"),
+		strings.NewReader("<broken>"))
+	if err == nil {
+		t.Error("collection with broken member accepted")
+	}
+	if !strings.Contains(err.Error(), "document 1") {
+		t.Errorf("error %q should name the failing document", err)
+	}
+	// Empty collections are a valid (if useless) tree.
+	tr, err := ParseCollection("root")
+	if err != nil || len(tr.Root.Children) != 0 {
+		t.Errorf("empty collection: %v %v", tr, err)
+	}
+}
+
+// TestParseUnicode: multi-byte runes survive parsing, tokenization
+// boundaries aside.
+func TestParseUnicode(t *testing.T) {
+	tr, err := Parse(strings.NewReader("<a><author>hinrich schütze</author><t>日本語 text</t></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Children[0].Text != "hinrich schütze" {
+		t.Errorf("text %q", tr.Root.Children[0].Text)
+	}
+	if tr.Root.Children[1].Text != "日本語 text" {
+		t.Errorf("text %q", tr.Root.Children[1].Text)
+	}
+}

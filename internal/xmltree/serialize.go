@@ -1,0 +1,65 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/xml"
+	"io"
+)
+
+// WriteXML serializes the tree as an XML document. Attribute nodes
+// were folded into elements at parse time, so every node is written as
+// an element; text precedes child elements. It returns the number of
+// bytes written.
+func (t *Tree) WriteXML(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if t.Root != nil {
+		if err := writeNode(cw, t.Root); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := cw.w.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// SerializedSize returns the size in bytes of the XML serialization
+// (Table I's dataset-size column) without materializing it.
+func (t *Tree) SerializedSize() int64 {
+	n, _ := t.WriteXML(io.Discard)
+	return n
+}
+
+func writeNode(cw *countingWriter, n *Node) error {
+	if err := cw.writeString("<" + n.Label + ">"); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if err := xml.EscapeText(cw, []byte(n.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := writeNode(cw, c); err != nil {
+			return err
+		}
+	}
+	return cw.writeString("</" + n.Label + ">")
+}
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) writeString(s string) error {
+	n, err := c.w.WriteString(s)
+	c.n += int64(n)
+	return err
+}

@@ -1,0 +1,44 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	src := `<a><c><x>tree escape &amp; more</x></c><d><x>icde</x></d></a>`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v (xml=%s)", err, buf.String())
+	}
+	a, b := tr.ComputeStats(), back.ComputeStats()
+	if a != b {
+		t.Errorf("round trip stats differ: %+v vs %+v", a, b)
+	}
+	if back.Root.Children[0].Children[0].Text != "tree escape & more" {
+		t.Errorf("text lost: %q", back.Root.Children[0].Children[0].Text)
+	}
+}
+
+func TestSerializedSize(t *testing.T) {
+	tr := NewTree("a")
+	tr.AddChild(tr.Root, "b", "hello")
+	var buf bytes.Buffer
+	tr.WriteXML(&buf)
+	if got := tr.SerializedSize(); got != int64(buf.Len()) {
+		t.Errorf("SerializedSize=%d buffer=%d", got, buf.Len())
+	}
+}

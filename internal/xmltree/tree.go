@@ -1,0 +1,116 @@
+package xmltree
+
+// Node is one element (or attribute) of the parsed tree. Attribute
+// nodes are represented as ordinary child elements labeled with the
+// attribute name, and character data is attached as Text to the element
+// that directly contains it, per Section III of the paper.
+type Node struct {
+	Label    string
+	Path     PathID
+	Dewey    Dewey
+	Text     string
+	Children []*Node
+}
+
+// IsLeaf reports whether the node has no element children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a parsed XML document (or a collection of documents joined
+// under one virtual root).
+type Tree struct {
+	Paths *PathTable
+	Root  *Node
+}
+
+// NewTree creates a tree consisting of a single root node with the
+// given label (Dewey code "1").
+func NewTree(rootLabel string) *Tree {
+	paths := NewPathTable()
+	root := &Node{
+		Label: rootLabel,
+		Path:  paths.Intern(InvalidPath, rootLabel),
+		Dewey: Dewey{1},
+	}
+	return &Tree{Paths: paths, Root: root}
+}
+
+// AddChild appends a new child element under parent, assigning the next
+// sibling ordinal and interning its label path. The new node is
+// returned.
+func (t *Tree) AddChild(parent *Node, label, text string) *Node {
+	child := &Node{
+		Label: label,
+		Path:  t.Paths.Intern(parent.Path, label),
+		Dewey: parent.Dewey.Child(uint32(len(parent.Children) + 1)),
+		Text:  text,
+	}
+	parent.Children = append(parent.Children, child)
+	return child
+}
+
+// Walk visits every node in document (pre-)order, stopping early if fn
+// returns false for a node's subtree (the node's children are skipped
+// but its following siblings are still visited).
+func (t *Tree) Walk(fn func(*Node) bool) {
+	if t.Root == nil {
+		return
+	}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Find returns the node with the given Dewey code, or nil.
+func (t *Tree) Find(d Dewey) *Node {
+	if t.Root == nil || len(d) == 0 || d[0] != t.Root.Dewey[0] {
+		return nil
+	}
+	n := t.Root
+	for _, ord := range d[1:] {
+		if int(ord) < 1 || int(ord) > len(n.Children) {
+			return nil
+		}
+		n = n.Children[ord-1]
+	}
+	return n
+}
+
+// Stats summarizes the structural statistics the paper reports in
+// Table I.
+type Stats struct {
+	Nodes     int
+	MaxDepth  int
+	SumDepth  int64
+	TextBytes int64
+}
+
+// AvgDepth is the mean node depth.
+func (s Stats) AvgDepth() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.SumDepth) / float64(s.Nodes)
+}
+
+// ComputeStats walks the tree once and gathers Table-I style statistics.
+func (t *Tree) ComputeStats() Stats {
+	var s Stats
+	t.Walk(func(n *Node) bool {
+		s.Nodes++
+		d := n.Dewey.Depth()
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		s.SumDepth += int64(d)
+		s.TextBytes += int64(len(n.Text))
+		return true
+	})
+	return s
+}

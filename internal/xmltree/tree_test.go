@@ -1,0 +1,196 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPathTableIntern(t *testing.T) {
+	pt := NewPathTable()
+	a := pt.InternPath("/a")
+	ab := pt.InternPath("/a/b")
+	ab2 := pt.InternPath("/a/b")
+	ac := pt.InternPath("/a/c")
+	abc := pt.InternPath("/a/b/c")
+
+	if ab != ab2 {
+		t.Error("identical paths should share an ID")
+	}
+	if ab == ac {
+		t.Error("distinct paths should have distinct IDs")
+	}
+	if pt.Depth(a) != 1 || pt.Depth(ab) != 2 || pt.Depth(abc) != 3 {
+		t.Errorf("depths: %d %d %d", pt.Depth(a), pt.Depth(ab), pt.Depth(abc))
+	}
+	if pt.String(abc) != "/a/b/c" {
+		t.Errorf("String=%s", pt.String(abc))
+	}
+	if pt.Parent(abc) != ab || pt.Parent(a) != InvalidPath {
+		t.Error("parent links wrong")
+	}
+	if pt.Lookup("/a/b/c") != abc {
+		t.Error("Lookup failed")
+	}
+	if pt.Lookup("/a/x") != InvalidPath {
+		t.Error("Lookup of unknown path should be InvalidPath")
+	}
+	if pt.Ancestor(abc, 2) != ab || pt.Ancestor(abc, 1) != a {
+		t.Error("Ancestor walk wrong")
+	}
+	if pt.Ancestor(abc, 3) != abc {
+		t.Error("Ancestor at own depth should be identity")
+	}
+	if pt.Ancestor(abc, 0) != InvalidPath {
+		t.Error("Ancestor at depth 0 should be InvalidPath")
+	}
+	if pt.Len() != 4 {
+		t.Errorf("Len=%d want 4", pt.Len())
+	}
+	if pt.Label(abc) != "c" {
+		t.Errorf("Label=%s", pt.Label(abc))
+	}
+}
+
+func TestTreeBuildAndFind(t *testing.T) {
+	tr := NewTree("a")
+	c := tr.AddChild(tr.Root, "c", "")
+	x1 := tr.AddChild(c, "x", "tree")
+	d := tr.AddChild(tr.Root, "d", "")
+	x2 := tr.AddChild(d, "x", "icde")
+
+	if c.Dewey.String() != "1.1" || x1.Dewey.String() != "1.1.1" {
+		t.Errorf("dewey codes: %s %s", c.Dewey, x1.Dewey)
+	}
+	if d.Dewey.String() != "1.2" || x2.Dewey.String() != "1.2.1" {
+		t.Errorf("dewey codes: %s %s", d.Dewey, x2.Dewey)
+	}
+	if x1.Path != x2.Path {
+		// /a/c/x vs /a/d/x must differ
+	} else {
+		t.Error("paths under different parents must differ")
+	}
+	if got := tr.Find(x2.Dewey); got != x2 {
+		t.Errorf("Find(%s)=%v", x2.Dewey, got)
+	}
+	if tr.Find(Dewey{1, 9}) != nil {
+		t.Error("Find of absent node should be nil")
+	}
+	if tr.Find(Dewey{2}) != nil {
+		t.Error("Find with wrong root should be nil")
+	}
+}
+
+func TestTreeWalkOrder(t *testing.T) {
+	tr := NewTree("a")
+	b := tr.AddChild(tr.Root, "b", "")
+	tr.AddChild(b, "c", "")
+	tr.AddChild(tr.Root, "d", "")
+
+	var order []string
+	tr.Walk(func(n *Node) bool {
+		order = append(order, n.Dewey.String())
+		return true
+	})
+	want := []string{"1", "1.1", "1.1.1", "1.2"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("walk order %v want %v", order, want)
+	}
+
+	// Pruned walk: skip b's subtree.
+	order = nil
+	tr.Walk(func(n *Node) bool {
+		order = append(order, n.Dewey.String())
+		return n.Label != "b"
+	})
+	want = []string{"1", "1.1", "1.2"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("pruned walk %v want %v", order, want)
+	}
+}
+
+func TestParseSimple(t *testing.T) {
+	src := `<a><c><x>tree</x></c><d year="2011"><x>icde</x></d></a>`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	// a, c, x, d, year(attr), x = 6 nodes
+	if st.Nodes != 6 {
+		t.Errorf("nodes=%d want 6", st.Nodes)
+	}
+	if st.MaxDepth != 3 {
+		t.Errorf("maxDepth=%d want 3", st.MaxDepth)
+	}
+	d := tr.Root.Children[1]
+	if d.Label != "d" || len(d.Children) != 2 {
+		t.Fatalf("bad d node: %+v", d)
+	}
+	if d.Children[0].Label != "year" || d.Children[0].Text != "2011" {
+		t.Errorf("attribute node wrong: %+v", d.Children[0])
+	}
+	if tr.Paths.Lookup("/a/d/x") == InvalidPath {
+		t.Error("path /a/d/x not interned")
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	src := `<p>hello <b>bold</b> world</p>`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Text != "hello world" {
+		t.Errorf("mixed text=%q", tr.Root.Text)
+	}
+	if tr.Root.Children[0].Text != "bold" {
+		t.Errorf("inner text=%q", tr.Root.Children[0].Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "<a><b></a>", "<a></a><b></b>"} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestParseCollection(t *testing.T) {
+	tr, err := ParseCollection("root",
+		strings.NewReader(`<doc><t>alpha</t></doc>`),
+		strings.NewReader(`<doc><t>beta</t></doc>`),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Root.Children) != 2 {
+		t.Fatalf("children=%d", len(tr.Root.Children))
+	}
+	d2 := tr.Root.Children[1]
+	if d2.Dewey.String() != "1.2" {
+		t.Errorf("second doc dewey=%s", d2.Dewey)
+	}
+	if d2.Children[0].Text != "beta" {
+		t.Errorf("second doc text=%q", d2.Children[0].Text)
+	}
+	if tr.Paths.Lookup("/root/doc/t") == InvalidPath {
+		t.Error("grafted path not interned")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := NewTree("a")
+	b := tr.AddChild(tr.Root, "b", "xx")
+	tr.AddChild(b, "c", "yyy")
+	st := tr.ComputeStats()
+	if st.Nodes != 3 || st.MaxDepth != 3 || st.TextBytes != 5 {
+		t.Errorf("stats=%+v", st)
+	}
+	if got := st.AvgDepth(); got != 2.0 {
+		t.Errorf("avgDepth=%f", got)
+	}
+	if (Stats{}).AvgDepth() != 0 {
+		t.Error("empty AvgDepth should be 0")
+	}
+}

@@ -1,0 +1,445 @@
+// Package xclean provides valid spelling suggestions for XML keyword
+// queries, implementing the XClean framework of Lu, Wang, Li, and Liu
+// ("XClean: Providing Valid Spelling Suggestions for XML Keyword
+// Queries", ICDE 2011).
+//
+// Given an XML document and a possibly-misspelt keyword query, an
+// Engine returns the top-k alternative queries ranked by the
+// probability P(C|Q,T) that the user intended candidate C — the
+// product of an exponential edit-error model and a query generation
+// model: a Dirichlet-smoothed unigram language model evaluated over
+// the document's entities (subtrees of the query's inferred result
+// type, or per-query SLCA subtrees). Every suggestion is guaranteed to
+// have at least one matching entity, i.e. a non-empty query result.
+//
+// Basic use:
+//
+//	f, _ := os.Open("corpus.xml")
+//	eng, err := xclean.Open(f, xclean.Options{})
+//	if err != nil { ... }
+//	for _, s := range eng.Suggest("hinrich schutze geo-taging") {
+//	    fmt.Println(s.Query, s.Score)
+//	}
+package xclean
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/slca"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// Semantics selects how the XML tree is decomposed into entities.
+type Semantics int
+
+const (
+	// SemanticsResultType infers the most probable result node type
+	// per candidate query and treats nodes of that type as entities
+	// (the paper's primary semantics, from XReal).
+	SemanticsResultType Semantics = iota
+	// SemanticsSLCA uses each candidate's Smallest Lowest Common
+	// Ancestor nodes as its entities (Section VI-B).
+	SemanticsSLCA
+	// SemanticsELCA uses each candidate's Exclusive Lowest Common
+	// Ancestor nodes (the XRank semantics) as its entities — a superset
+	// of the SLCA set that also keeps ancestors with independent
+	// keyword evidence. An extension beyond the paper, demonstrating
+	// the framework's claim of accommodating other query semantics.
+	SemanticsELCA
+)
+
+// Prior selects the entity prior P(r_j|T) of Eq. (8). The paper uses
+// a uniform prior and notes the generalization to non-uniform priors;
+// these implement it.
+type Prior int
+
+const (
+	// PriorUniform is the paper's default: every entity equally likely.
+	PriorUniform Prior = iota
+	// PriorLength weights entities by their virtual-document length.
+	PriorLength
+	// PriorCustom weights entities by Options.EntityWeights (e.g.
+	// click counts from a query log); unlisted entities weigh 1.
+	PriorCustom
+)
+
+// Options tunes an Engine. The zero value reproduces the paper's
+// defaults: ε=1, β=5, μ=2000, r=0.8, d=2, γ=1000, k=10.
+type Options struct {
+	// MaxErrors is ε, the maximum edit errors per keyword (0 = 1).
+	MaxErrors int
+	// ErrorPenalty is β in P(q|w) ∝ exp(-β·ed). 0 means the default 5;
+	// negative values mean a literal 0 (no penalty).
+	ErrorPenalty float64
+	// Smoothing is the Dirichlet μ of the language model (0 = 2000).
+	Smoothing float64
+	// DepthReduction is the r of the result-type utility (0 = 0.8).
+	DepthReduction float64
+	// MinDepth is the minimal entity depth d (0 = 2). Entities may not
+	// be shallower; in particular the document root never qualifies,
+	// which prevents suggesting keyword combinations that are
+	// connected only through the root.
+	MinDepth int
+	// Accumulators is γ, the cap on in-memory candidate score
+	// accumulators (0 = 1000; negative = unlimited).
+	Accumulators int
+	// TopK is the number of suggestions returned (0 = 10).
+	TopK int
+	// Semantics selects the entity decomposition.
+	Semantics Semantics
+	// MaxSpaceChanges is τ for SuggestWithSpaces (0 = 1).
+	MaxSpaceChanges int
+	// MinTokenLength is the shortest indexed token (0 = 3, the paper's
+	// setting; shorter tokens and stop words are not indexed).
+	MinTokenLength int
+	// PhoneticMatching additionally admits Soundex-equivalent
+	// vocabulary words as keyword variants (the cognitive-error
+	// extension of Section VI-A).
+	PhoneticMatching bool
+	// CompactPostings stores posting lists block-compressed in memory
+	// (delta-encoded Dewey codes). Suggestions are identical; the index
+	// is several-fold smaller and queries stream-decode the lists.
+	CompactPostings bool
+	// Synonyms maps keywords to alternative terms (thesaurus /
+	// ontology); in-vocabulary synonyms join the variant set.
+	Synonyms map[string][]string
+	// BigramCoherence multiplies every candidate's score by the
+	// interpolated bigram probability of its keyword sequence — the
+	// language-model extension beyond the paper's unigram Eq. (9). It
+	// penalizes candidates that combine individually-frequent but
+	// never-adjacent words.
+	BigramCoherence bool
+	// BigramLambda is the interpolation weight λ of the bigram model
+	// (0 = 0.7).
+	BigramLambda float64
+	// EntityPrior selects P(r_j|T); the zero value is the paper's
+	// uniform prior.
+	EntityPrior Prior
+	// EntityWeights maps entity root Dewey codes in dot form (such as
+	// "1.17.2") to unnormalized prior weights, consulted under
+	// PriorCustom. Malformed codes are ignored.
+	EntityWeights map[string]float64
+	// StoreText keeps a copy of the document text in the index so that
+	// Preview can render the witness entity of each suggestion.
+	StoreText bool
+}
+
+func (o Options) coreConfig() core.Config {
+	var custom map[string]float64
+	if len(o.EntityWeights) > 0 {
+		custom = make(map[string]float64, len(o.EntityWeights))
+		for code, w := range o.EntityWeights {
+			d, err := xmltree.ParseDewey(code)
+			if err != nil {
+				continue
+			}
+			custom[d.Key()] = w
+		}
+	}
+	return core.Config{
+		Prior:           core.Prior(o.EntityPrior),
+		CustomPrior:     custom,
+		Bigram:          o.BigramCoherence,
+		BigramLambda:    o.BigramLambda,
+		Epsilon:         o.MaxErrors,
+		Beta:            o.ErrorPenalty,
+		Mu:              o.Smoothing,
+		R:               o.DepthReduction,
+		MinDepth:        o.MinDepth,
+		Gamma:           o.Accumulators,
+		K:               o.TopK,
+		MaxSpaceChanges: o.MaxSpaceChanges,
+		Phonetic:        o.PhoneticMatching,
+		Synonyms:        o.Synonyms,
+		Tokenizer:       o.tokenizerOptions(),
+	}
+}
+
+func (o Options) tokenizerOptions() tokenizer.Options {
+	return tokenizer.Options{MinLength: o.MinTokenLength}
+}
+
+// Suggestion is one alternative query.
+type Suggestion struct {
+	// Query is the suggested query string.
+	Query string
+	// Words are its keywords.
+	Words []string
+	// Score is proportional to P(C|Q,T); comparable within one call.
+	Score float64
+	// ResultType is the inferred result node type as a label path such
+	// as "/dblp/article" (empty under SLCA semantics).
+	ResultType string
+	// Entities is the number of entities matching every keyword; it is
+	// always ≥ 1 — suggested queries are guaranteed non-empty results.
+	Entities int
+	// EditDistance is the total edit distance from the input query.
+	EditDistance int
+	// Witness is the Dewey code (dot form, e.g. "1.17") of the first
+	// entity that matched every keyword — the concrete exhibit of the
+	// non-empty-result guarantee. Pass the suggestion to Preview to
+	// render its text (requires Options.StoreText).
+	Witness string
+}
+
+// IndexStats summarizes the indexed document.
+type IndexStats struct {
+	Nodes         int
+	MaxDepth      int
+	Tokens        int64
+	DistinctTerms int
+	LabelPaths    int
+}
+
+// Engine answers suggestion queries over one indexed XML document.
+type Engine struct {
+	opts Options
+	ix   *invindex.Index
+	core *core.Engine
+	slca *slca.Engine
+}
+
+// Open parses one XML document from r and builds a suggestion engine.
+func Open(r io.Reader, opts Options) (*Engine, error) {
+	tree, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	return FromTree(tree, opts), nil
+}
+
+// OpenStreaming indexes one XML document directly from its byte
+// stream without materializing the parsed tree, so peak memory is the
+// index plus one root-to-leaf stack. Use it for documents much larger
+// than RAM headroom (the paper's INEX collection is 5.8 GB); results
+// are identical to Open.
+func OpenStreaming(r io.Reader, opts Options) (*Engine, error) {
+	var (
+		ix  *invindex.Index
+		err error
+	)
+	if opts.StoreText {
+		ix, err = invindex.BuildStoredFromReader(r, opts.tokenizerOptions())
+	} else {
+		ix, err = invindex.BuildFromReader(r, opts.tokenizerOptions())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	if opts.CompactPostings {
+		ix.Compact()
+	}
+	return FromIndex(ix, opts), nil
+}
+
+// OpenFile is Open over a file path.
+func OpenFile(path string, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	defer f.Close()
+	return Open(f, opts)
+}
+
+// OpenCollection parses several XML documents and joins them under a
+// virtual root, as the paper does for the INEX collection.
+func OpenCollection(rootLabel string, opts Options, readers ...io.Reader) (*Engine, error) {
+	tree, err := xmltree.ParseCollection(rootLabel, readers...)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	return FromTree(tree, opts), nil
+}
+
+// FromTree builds an engine over an already-parsed tree. It is the
+// entry point used by the synthetic-corpus generators.
+func FromTree(tree *xmltree.Tree, opts Options) *Engine {
+	var ix *invindex.Index
+	if opts.StoreText {
+		ix = invindex.BuildStored(tree, opts.tokenizerOptions())
+	} else {
+		ix = invindex.Build(tree, opts.tokenizerOptions())
+	}
+	if opts.CompactPostings {
+		ix.Compact()
+	}
+	return FromIndex(ix, opts)
+}
+
+// OpenIndex loads an index previously written by SaveIndex and builds
+// an engine over it — much faster than re-indexing the document. The
+// stored tokenization settings override Options.MinTokenLength.
+func OpenIndex(r io.Reader, opts Options) (*Engine, error) {
+	ix, err := invindex.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	opts.MinTokenLength = ix.TokenizerOptions().MinLength
+	return FromIndex(ix, opts), nil
+}
+
+// OpenIndexFile is OpenIndex over a file path.
+func OpenIndexFile(path string, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	defer f.Close()
+	return OpenIndex(f, opts)
+}
+
+// SaveIndex writes the engine's index so that OpenIndex can restore it
+// without reparsing the document.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	if err := e.ix.Save(w); err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	return nil
+}
+
+// FromIndex builds an engine over a prebuilt index (shared across
+// engines with different scoring options).
+func FromIndex(ix *invindex.Index, opts Options) *Engine {
+	e := &Engine{opts: opts, ix: ix}
+	switch opts.Semantics {
+	case SemanticsSLCA:
+		e.slca = slca.NewEngine(ix, opts.coreConfig())
+	case SemanticsELCA:
+		e.slca = slca.NewELCAEngine(ix, opts.coreConfig())
+	default:
+		e.core = core.NewEngine(ix, opts.coreConfig())
+	}
+	return e
+}
+
+// Suggest returns the top-k alternative queries for query, best first.
+// A nil result means no candidate query has any connected, non-empty
+// result.
+func (e *Engine) Suggest(query string) []Suggestion {
+	if e.slca != nil {
+		return e.convert(e.slca.Suggest(query))
+	}
+	return e.convert(e.core.Suggest(query))
+}
+
+// SuggestWithSpaces additionally explores insertions and deletions of
+// spaces (e.g. "power point" → "powerpoint"), per Section VI-A. Only
+// available under the result-type semantics.
+func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
+	if e.slca != nil {
+		return e.convert(e.slca.Suggest(query))
+	}
+	return e.convert(e.core.SuggestWithSpaces(query))
+}
+
+// AddDocument parses one XML document from r and grafts it under the
+// indexed root, updating the index incrementally (equivalent to
+// re-indexing the enlarged corpus, at cost proportional to the added
+// document) and rebuilding the engine's derived structures, including
+// the variant index over the possibly-enlarged vocabulary.
+//
+// AddDocument is not safe to call concurrently with Suggest; callers
+// serving live traffic should quiesce queries around it. Engines with
+// CompactPostings are immutable.
+func (e *Engine) AddDocument(r io.Reader) error {
+	tree, err := xmltree.Parse(r)
+	if err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	if err := e.ix.AddDocument(tree); err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	// Extend the shared variant index with the document's tokens (known
+	// words are ignored) rather than rebuilding it over the vocabulary.
+	tokOpts := e.opts.tokenizerOptions()
+	var words []string
+	tree.Walk(func(n *xmltree.Node) bool {
+		if n.Text != "" {
+			words = append(words, tokOpts.Tokenize(n.Text)...)
+		}
+		return true
+	})
+	if e.slca != nil {
+		e.slca = e.slca.Refresh(words)
+	} else {
+		e.core = e.core.Refresh(words)
+	}
+	return nil
+}
+
+// RemoveDocument detaches the document rooted at the given Dewey code
+// (dot form, e.g. "1.17" — a direct child of the root, as reported by
+// Suggestion.Witness truncated to depth 2 or by the document's position
+// in the collection) and updates the index as if it had never been
+// indexed. Requires Options.StoreText; see invindex.RemoveDocument for
+// the full contract. Like AddDocument, it must not race with Suggest.
+func (e *Engine) RemoveDocument(code string) error {
+	d, err := xmltree.ParseDewey(code)
+	if err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	if err := e.ix.RemoveDocument(d); err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	if e.slca != nil {
+		e.slca = e.slca.Refresh(nil)
+	} else {
+		e.core = e.core.Refresh(nil)
+	}
+	return nil
+}
+
+// Preview renders up to maxLen runes of the suggestion's witness
+// entity — a sample of the query result the suggestion guarantees. It
+// returns "" when the engine was built without Options.StoreText or
+// the suggestion carries no witness.
+func (e *Engine) Preview(s Suggestion, maxLen int) string {
+	if s.Witness == "" {
+		return ""
+	}
+	d, err := xmltree.ParseDewey(s.Witness)
+	if err != nil {
+		return ""
+	}
+	return e.ix.SubtreeText(d, maxLen)
+}
+
+// Stats describes the indexed document.
+func (e *Engine) Stats() IndexStats {
+	return IndexStats{
+		Nodes:         e.ix.NodeCount(),
+		MaxDepth:      e.ix.MaxDepth(),
+		Tokens:        e.ix.TotalTokens(),
+		DistinctTerms: e.ix.Vocab.Size(),
+		LabelPaths:    e.ix.Paths.Len(),
+	}
+}
+
+func (e *Engine) convert(in []core.Suggestion) []Suggestion {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Suggestion, len(in))
+	for i, s := range in {
+		rt := ""
+		if s.ResultType != xmltree.InvalidPath {
+			rt = e.ix.Paths.String(s.ResultType)
+		}
+		out[i] = Suggestion{
+			Query:        s.Query(),
+			Words:        s.Words,
+			Score:        s.Score,
+			ResultType:   rt,
+			Entities:     s.Entities,
+			EditDistance: s.EditDistance,
+			Witness:      s.Witness.String(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package xclean
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestELCASemantics(t *testing.T) {
+	e := openSample(t, Options{Semantics: SemanticsELCA})
+	sugs := e.Suggest("rose architecure")
+	if len(sugs) == 0 || sugs[0].Query != "rose architecture" {
+		t.Fatalf("sugs=%v", sugs)
+	}
+	if sugs[0].ResultType != "" {
+		t.Errorf("ELCA result type should be empty, got %q", sugs[0].ResultType)
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty guarantee violated")
+	}
+}
+
+// TestELCAAtLeastSLCAEntities: ELCA entities are a superset of SLCA
+// entities for every suggestion on the shared corpus.
+func TestELCAAtLeastSLCAEntities(t *testing.T) {
+	slca := openSample(t, Options{Semantics: SemanticsSLCA})
+	elca := openSample(t, Options{Semantics: SemanticsELCA})
+	for _, q := range []string{"rose fpga", "databse indexing", "keyword serch"} {
+		s := slca.Suggest(q)
+		e := elca.Suggest(q)
+		if len(s) == 0 || len(e) == 0 {
+			continue
+		}
+		if e[0].Entities < s[0].Entities {
+			t.Errorf("query %q: elca entities %d < slca %d", q, e[0].Entities, s[0].Entities)
+		}
+	}
+}
+
+func TestCompactPostingsEquivalence(t *testing.T) {
+	plain := openSample(t, Options{MaxErrors: 2})
+	compact := openSample(t, Options{MaxErrors: 2, CompactPostings: true})
+	for _, q := range []string{"rose architecure fpga", "databse indexing", "", "zzzz"} {
+		a := plain.Suggest(q)
+		b := compact.Suggest(q)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("query %q: compact differs\nplain:   %v\ncompact: %v", q, a, b)
+		}
+	}
+}
+
+func TestBigramCoherenceOption(t *testing.T) {
+	e := openSample(t, Options{BigramCoherence: true, BigramLambda: 0.8})
+	sugs := e.Suggest("rose architecure fpga")
+	if len(sugs) == 0 || sugs[0].Query != "rose architecture fpga" {
+		t.Fatalf("sugs=%v", sugs)
+	}
+}
+
+func TestEntityPriorOptions(t *testing.T) {
+	for _, p := range []Prior{PriorUniform, PriorLength} {
+		e := openSample(t, Options{EntityPrior: p})
+		sugs := e.Suggest("rose architecure fpga")
+		if len(sugs) == 0 || sugs[0].Query != "rose architecture fpga" {
+			t.Errorf("prior %d: sugs=%v", p, sugs)
+		}
+	}
+}
+
+func TestEntityWeightsCustomPrior(t *testing.T) {
+	// Weight the second article ("reconfigurable fpga routing",
+	// Dewey 1.2) very highly; a query torn between "routing" and
+	// "rose" contexts must follow the boost without losing validity.
+	e := openSample(t, Options{
+		EntityPrior: PriorCustom,
+		EntityWeights: map[string]float64{
+			"1.2":          1000,
+			"not a dewey!": 5, // malformed: must be ignored, not crash
+		},
+	})
+	sugs := e.Suggest("fpga routng")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query != "fpga routing" {
+		t.Errorf("top=%q", sugs[0].Query)
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty guarantee violated")
+	}
+}
+
+func TestCompactPostingsSaveIndex(t *testing.T) {
+	compact := openSample(t, Options{CompactPostings: true})
+	var sb strings.Builder
+	if err := compact.SaveIndex(&nopWriter{&sb}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenIndex(strings.NewReader(sb.String()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "rose architecure fpga"
+	if !reflect.DeepEqual(compact.Suggest(q), loaded.Suggest(q)) {
+		t.Error("reloaded compacted index differs")
+	}
+}
+
+// nopWriter adapts a strings.Builder to io.Writer (Builder already is
+// one; the wrapper exists to keep the byte-for-byte copy explicit).
+type nopWriter struct{ b *strings.Builder }
+
+func (w *nopWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestOptionsZeroValueDefaults(t *testing.T) {
+	// The zero Options must reproduce the paper's defaults and work
+	// end to end — this is the quickstart path.
+	e := openSample(t, Options{})
+	if got := e.Suggest("rose architecure fpga"); len(got) == 0 {
+		t.Fatal("zero options broke the quickstart path")
+	}
+}
+
+func TestUnicodeQueries(t *testing.T) {
+	doc := `<bib><paper><author>hinrich schütze</author><title>geo-tagging survey</title></paper></bib>`
+	e, err := Open(strings.NewReader(doc), Options{MaxErrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The introduction's motivating example: ü typed as u. Punctuation
+	// splits tokens (Section III), so the suggestion renders
+	// space-separated.
+	sugs := e.Suggest("schutze geo-taging")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions for the paper's own example")
+	}
+	if sugs[0].Query != "schütze geo tagging" {
+		t.Errorf("top=%q want %q", sugs[0].Query, "schütze geo tagging")
+	}
+}
+
+func TestOpenStreamingEquivalence(t *testing.T) {
+	tree, err := Open(strings.NewReader(sampleXML), Options{MaxErrors: 2, StoreText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := OpenStreaming(strings.NewReader(sampleXML), Options{MaxErrors: 2, StoreText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"rose architecure fpga", "databse indexing", "keyward search"} {
+		a := tree.Suggest(q)
+		b := stream.Suggest(q)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("query %q: streaming engine diverges\ntree:   %v\nstream: %v", q, a, b)
+		}
+		if len(a) > 0 {
+			if pa, pb := tree.Preview(a[0], 100), stream.Preview(b[0], 100); pa != pb {
+				t.Errorf("query %q: previews diverge: %q vs %q", q, pa, pb)
+			}
+		}
+	}
+	if _, err := OpenStreaming(strings.NewReader("<broken>"), Options{}); err == nil {
+		t.Error("malformed stream accepted")
+	}
+}
+
+func TestStopwordOnlyQuery(t *testing.T) {
+	e := openSample(t, Options{})
+	// Pure stop words tokenize to nothing; must not panic or suggest.
+	if got := e.Suggest("the of and"); got != nil {
+		t.Errorf("stopword query suggested %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package xclean
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineAddDocument(t *testing.T) {
+	e := openSample(t, Options{})
+	// A token that does not exist yet.
+	if got := e.Suggest("quantum processing"); got != nil {
+		t.Fatalf("premature suggestions: %v", got)
+	}
+	err := e.AddDocument(strings.NewReader(
+		`<article><author>zhang</author><title>quantum query processing</title></article>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new vocabulary is immediately searchable, including through
+	// the rebuilt variant index.
+	sugs := e.Suggest("quantim processing")
+	if len(sugs) == 0 || sugs[0].Query != "quantum processing" {
+		t.Fatalf("after add: %v", sugs)
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty guarantee violated")
+	}
+	// Old content still answers.
+	if got := e.Suggest("rose architecure fpga"); len(got) == 0 {
+		t.Error("old content lost")
+	}
+	// Stats reflect the growth (17 original + 3 new nodes).
+	if st := e.Stats(); st.Nodes != 20 {
+		t.Errorf("nodes=%d want 20", st.Nodes)
+	}
+}
+
+func TestEngineAddDocumentErrors(t *testing.T) {
+	e := openSample(t, Options{})
+	if err := e.AddDocument(strings.NewReader("<broken>")); err == nil {
+		t.Error("malformed document accepted")
+	}
+	compact := openSample(t, Options{CompactPostings: true})
+	if err := compact.AddDocument(strings.NewReader("<a><b>x</b></a>")); err == nil {
+		t.Error("compacted engine mutated")
+	}
+}
+
+func TestEngineRemoveDocument(t *testing.T) {
+	e := openSample(t, Options{StoreText: true})
+	// "indexing" lives only in article 1.3 ("mary smith").
+	if got := e.Suggest("databse indexing"); len(got) == 0 {
+		t.Fatal("expected suggestions before removal")
+	}
+	if err := e.RemoveDocument("1.3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Suggest("databse indexing"); got != nil {
+		t.Errorf("removed content still suggested: %v", got)
+	}
+	// Other documents unaffected.
+	if got := e.Suggest("rose architecure fpga"); len(got) == 0 {
+		t.Error("surviving content lost")
+	}
+	// Errors surface.
+	if err := e.RemoveDocument("not a dewey"); err == nil {
+		t.Error("malformed code accepted")
+	}
+	if err := e.RemoveDocument("1.99"); err == nil {
+		t.Error("absent document accepted")
+	}
+	plain := openSample(t, Options{})
+	if err := plain.RemoveDocument("1.1"); err == nil {
+		t.Error("removal without StoreText accepted")
+	}
+}
+
+func TestEngineAddRemoveCycle(t *testing.T) {
+	e := openSample(t, Options{StoreText: true})
+	doc := `<article><author>zhang</author><title>quantum query processing</title></article>`
+	if err := e.AddDocument(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Suggest("quantum processing"); len(got) == 0 {
+		t.Fatal("added content not searchable")
+	}
+	// The added document is the fifth child.
+	if err := e.RemoveDocument("1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Suggest("quantum processing"); got != nil {
+		t.Errorf("removed content still suggested: %v", got)
+	}
+}
+
+func TestEngineAddDocumentSLCA(t *testing.T) {
+	e := openSample(t, Options{Semantics: SemanticsSLCA})
+	err := e.AddDocument(strings.NewReader(
+		`<article><author>zhang</author><title>quantum query processing</title></article>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sugs := e.Suggest("zhang quantum"); len(sugs) == 0 {
+		t.Error("SLCA engine missed the added document")
+	}
+}

@@ -1,0 +1,64 @@
+package xclean
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWitnessAndPreview(t *testing.T) {
+	e := openSample(t, Options{StoreText: true})
+	sugs := e.Suggest("rose architecure fpga")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	top := sugs[0]
+	if top.Witness == "" {
+		t.Fatal("missing witness")
+	}
+	preview := e.Preview(top, 200)
+	// The witness entity must actually contain the suggested keywords —
+	// the non-empty-result guarantee made visible.
+	for _, w := range []string{"rose", "architecture", "fpga"} {
+		if !strings.Contains(preview, w) {
+			t.Errorf("preview %q missing %q", preview, w)
+		}
+	}
+	// Truncation.
+	short := e.Preview(top, 5)
+	if len([]rune(strings.TrimSuffix(short, "…"))) > 5 {
+		t.Errorf("truncated preview too long: %q", short)
+	}
+}
+
+func TestPreviewWithoutStoreText(t *testing.T) {
+	e := openSample(t, Options{})
+	sugs := e.Suggest("rose architecure fpga")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if got := e.Preview(sugs[0], 100); got != "" {
+		t.Errorf("preview %q without StoreText", got)
+	}
+	if got := e.Preview(Suggestion{}, 100); got != "" {
+		t.Errorf("preview %q for empty suggestion", got)
+	}
+	if got := e.Preview(Suggestion{Witness: "not-a-dewey"}, 100); got != "" {
+		t.Errorf("preview %q for bad witness", got)
+	}
+}
+
+func TestWitnessUnderAllSemantics(t *testing.T) {
+	for _, sem := range []Semantics{SemanticsResultType, SemanticsSLCA, SemanticsELCA} {
+		e := openSample(t, Options{Semantics: sem, StoreText: true})
+		sugs := e.Suggest("rose architecure")
+		if len(sugs) == 0 {
+			t.Fatalf("semantics %d: no suggestions", sem)
+		}
+		if sugs[0].Witness == "" {
+			t.Errorf("semantics %d: missing witness", sem)
+		}
+		if p := e.Preview(sugs[0], 100); p == "" {
+			t.Errorf("semantics %d: empty preview", sem)
+		}
+	}
+}

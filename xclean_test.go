@@ -1,0 +1,190 @@
+package xclean
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xclean/internal/dataset"
+)
+
+const sampleXML = `<dblp>
+  <article><author>jonathan rose</author><title>fpga architecture synthesis</title><year>2001</year></article>
+  <article><author>jonathan rose</author><title>reconfigurable fpga routing</title><year>2003</year></article>
+  <article><author>mary smith</author><title>database indexing structures</title><year>2005</year></article>
+  <article><author>alan jones</author><title>keyword search over databases</title><year>2007</year></article>
+</dblp>`
+
+func openSample(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := Open(strings.NewReader(sampleXML), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestOpenAndSuggest(t *testing.T) {
+	e := openSample(t, Options{})
+	sugs := e.Suggest("rose architecure fpga")
+	if len(sugs) == 0 {
+		t.Fatal("no suggestions")
+	}
+	if sugs[0].Query != "rose architecture fpga" {
+		t.Errorf("top=%q", sugs[0].Query)
+	}
+	if sugs[0].Entities < 1 {
+		t.Error("non-empty result guarantee violated")
+	}
+	if sugs[0].ResultType != "/dblp/article" {
+		t.Errorf("result type=%q want /dblp/article", sugs[0].ResultType)
+	}
+	if sugs[0].EditDistance != 1 {
+		t.Errorf("edit distance=%d want 1", sugs[0].EditDistance)
+	}
+	if len(sugs[0].Words) != 3 {
+		t.Errorf("words=%v", sugs[0].Words)
+	}
+}
+
+func TestOpenParseError(t *testing.T) {
+	if _, err := Open(strings.NewReader("<broken>"), Options{}); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := OpenFile("/nonexistent/file.xml", Options{}); err == nil {
+		t.Error("want file error")
+	}
+}
+
+func TestOpenCollection(t *testing.T) {
+	e, err := OpenCollection("root", Options{},
+		strings.NewReader(`<doc><t>barrier reef diving</t></doc>`),
+		strings.NewReader(`<doc><t>coral reef biology</t></doc>`),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sugs := e.Suggest("coral reff")
+	if len(sugs) == 0 || sugs[0].Query != "coral reef" {
+		t.Errorf("sugs=%v", sugs)
+	}
+}
+
+func TestSLCASemantics(t *testing.T) {
+	e := openSample(t, Options{Semantics: SemanticsSLCA})
+	sugs := e.Suggest("rose architecure")
+	if len(sugs) == 0 || sugs[0].Query != "rose architecture" {
+		t.Fatalf("sugs=%v", sugs)
+	}
+	if sugs[0].ResultType != "" {
+		t.Errorf("SLCA result type should be empty, got %q", sugs[0].ResultType)
+	}
+	// SuggestWithSpaces falls back to plain SLCA suggest.
+	if got := e.SuggestWithSpaces("rose architecure"); len(got) == 0 {
+		t.Error("SLCA SuggestWithSpaces failed")
+	}
+}
+
+func TestSuggestWithSpaces(t *testing.T) {
+	e := openSample(t, Options{})
+	sugs := e.SuggestWithSpaces("data base indexing")
+	if len(sugs) == 0 || sugs[0].Query != "database indexing" {
+		t.Errorf("sugs=%v", sugs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := openSample(t, Options{})
+	st := e.Stats()
+	// 1 root + 4 articles × 4 nodes (article, author, title, year).
+	if st.Nodes != 17 {
+		t.Errorf("nodes=%d want 17", st.Nodes)
+	}
+	if st.MaxDepth != 3 || st.LabelPaths != 5 {
+		t.Errorf("stats=%+v", st)
+	}
+	if st.DistinctTerms == 0 || st.Tokens == 0 {
+		t.Errorf("empty vocab: %+v", st)
+	}
+}
+
+func TestTopKOption(t *testing.T) {
+	e := openSample(t, Options{TopK: 1, MaxErrors: 2})
+	if got := e.Suggest("fpga routng"); len(got) > 1 {
+		t.Errorf("TopK=1 violated: %v", got)
+	}
+}
+
+func TestFromTreeWithGeneratedCorpus(t *testing.T) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 1, Articles: 300})
+	e := FromTree(c.Tree, Options{})
+	qs := c.SampleQueries(2, 5)
+	for _, q := range qs {
+		sugs := e.Suggest(q)
+		if len(sugs) == 0 {
+			t.Errorf("clean query %q got no suggestions", q)
+			continue
+		}
+		if sugs[0].Query != q {
+			t.Logf("clean query %q ranked below %q (acceptable but rare)", q, sugs[0].Query)
+		}
+	}
+}
+
+func TestNoSuggestionForHopelessQuery(t *testing.T) {
+	e := openSample(t, Options{})
+	if got := e.Suggest("zzzzz xxxxx"); got != nil {
+		t.Errorf("got %v", got)
+	}
+	if got := e.Suggest(""); got != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPhoneticOption(t *testing.T) {
+	e := openSample(t, Options{PhoneticMatching: true})
+	// "reise" is 2 edits from "rose" (beyond the default ε=1) but
+	// Soundex-equal (R200), so only the phonetic engine resolves it.
+	sugs := e.Suggest("reise fpga")
+	if len(sugs) == 0 || sugs[0].Query != "rose fpga" {
+		t.Errorf("phonetic sugs=%v", sugs)
+	}
+	plain := openSample(t, Options{})
+	if got := plain.Suggest("reise fpga"); got != nil {
+		t.Errorf("plain engine matched: %v", got)
+	}
+}
+
+func TestSynonymOption(t *testing.T) {
+	e := openSample(t, Options{
+		Synonyms: map[string][]string{"hardware": {"fpga"}},
+	})
+	sugs := e.Suggest("rose hardware")
+	if len(sugs) == 0 || sugs[0].Query != "rose fpga" {
+		t.Errorf("synonym sugs=%v", sugs)
+	}
+}
+
+func TestSaveAndOpenIndex(t *testing.T) {
+	orig := openSample(t, Options{})
+	var buf bytes.Buffer
+	if err := orig.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenIndex(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "rose architecure fpga"
+	a, b := orig.Suggest(q), loaded.Suggest(q)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("reloaded engine differs:\n%v\n%v", a, b)
+	}
+	if _, err := OpenIndex(strings.NewReader("junk"), Options{}); err == nil {
+		t.Error("junk index accepted")
+	}
+	if _, err := OpenIndexFile("/nonexistent.idx", Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
