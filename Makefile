@@ -1,0 +1,21 @@
+.PHONY: check build vet test race bench
+
+# The full pre-merge gate: build everything, vet, and run the test
+# suite under the race detector (the parallel scan and copy-on-write
+# Refresh are exercised concurrently in the tests).
+check: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -11,6 +11,7 @@ package xclean
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -573,6 +574,41 @@ func BenchmarkIncrementalAdd(b *testing.B) {
 			FromTree(c.Tree, Options{})
 		}
 	})
+}
+
+// BenchmarkParallelWorkers measures the sharded anchor-subtree scan of
+// Algorithm 1 at increasing worker counts, on the longest dirty query
+// of the DBLP RAND set (more keywords → more per-subtree enumeration
+// work to spread across shards). Workers=1 is the exact sequential
+// path; the differential tests in internal/core pin that every worker
+// count returns the same suggestions.
+func BenchmarkParallelWorkers(b *testing.B) {
+	w := benchWorkbench(b)
+	set := eval.SetDBLPRand
+	qs := w.Sets[set]
+	if len(qs) == 0 {
+		b.Skip("empty query set")
+	}
+	query := qs[0].Dirty
+	for _, q := range qs {
+		if len(strings.Fields(q.Dirty)) > len(strings.Fields(query)) {
+			query = q.Dirty
+		}
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+	for _, n := range counts {
+		nw := n
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			e := w.XClean(set, func(c *core.Config) { c.Workers = nw })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Suggest(query)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationVariantGen compares FastSS against brute-force

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -23,15 +24,32 @@ import (
 	"xclean/internal/tokenizer"
 )
 
+// workers is the -workers flag: Config.Workers applied to every XClean
+// engine the experiments build (0 = GOMAXPROCS, 1 = sequential).
+var workers int
+
+// xc builds an XClean engine for a set, applying the experiment's mod
+// and then the global -workers flag.
+func xc(w *eval.Workbench, set string, mod func(*core.Config)) *core.Engine {
+	return xc(w, set, func(c *core.Config) {
+		if mod != nil {
+			mod(c)
+		}
+		c.Workers = workers
+	})
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|table6|fig1|fig3|fig4|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|table6|fig1|fig3|fig4|ablations|extensions|workers|all")
 		seed    = flag.Int64("seed", 42, "generation seed")
 		dblp    = flag.Int("dblp", 20000, "articles in the DBLP-like corpus")
 		wiki    = flag.Int("wiki", 2000, "articles in the INEX-like corpus")
 		queries = flag.Int("queries", 50, "clean queries per set")
+		nw      = flag.Int("workers", 0, "goroutines per suggestion call (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	workers = *nw
 
 	fmt.Fprintf(os.Stderr, "building workbench (dblp=%d wiki=%d queries=%d seed=%d)...\n",
 		*dblp, *wiki, *queries, *seed)
@@ -56,10 +74,11 @@ func main() {
 		"fig4":       fig4,
 		"ablations":  ablations,
 		"extensions": extensions,
+		"workers":    workersSweep,
 	}
 	names := strings.Split(*exp, ",")
 	if *exp == "all" {
-		names = []string{"table1", "table2", "fig1", "table3", "fig3", "fig4", "table4", "table5", "table6", "ablations", "extensions"}
+		names = []string{"table1", "table2", "fig1", "table3", "fig3", "fig4", "table4", "table5", "table6", "ablations", "extensions", "workers"}
 	}
 	for _, name := range names {
 		run, ok := runners[strings.TrimSpace(name)]
@@ -118,7 +137,7 @@ func table2(w *eval.Workbench) {
 func fig1(w *eval.Workbench) {
 	header("Figure 1: scoring bias (PY08 vs XClean)")
 	set := eval.SetDBLPRand
-	xc := w.XClean(set, nil)
+	xc := xc(w, set, nil)
 	py := w.PY08(set, nil)
 	shown := 0
 	for _, q := range w.Sets[set] {
@@ -156,7 +175,7 @@ func table3(w *eval.Workbench) {
 	fmt.Printf("query: %s   (truth: %s)\n", q.Dirty, q.Truth)
 	tw := tab()
 	fmt.Fprintln(tw, "rank\tXClean\tPY08")
-	x := w.XClean(set, nil).Suggest(q.Dirty)
+	x := xc(w, set, nil).Suggest(q.Dirty)
 	p := w.PY08(set, nil).Suggest(q.Dirty)
 	for i := 0; i < 5; i++ {
 		xs, ps := "-", "-"
@@ -180,7 +199,7 @@ func fig3(w *eval.Workbench) {
 	fmt.Fprintln(tw, "Query Set\tXClean\tPY08\tSE1\tSE2")
 	for _, set := range w.SortedSetNames() {
 		qs := w.Sets[set]
-		x := eval.Run(w.XClean(set, nil), qs, 10, opts)
+		x := eval.Run(xc(w, set, nil), qs, 10, opts)
 		p := eval.Run(w.PY08(set, nil), qs, 10, opts)
 		s1 := eval.Run(se1, qs, 1, opts)
 		s2 := eval.Run(se2, qs, 1, opts)
@@ -195,7 +214,7 @@ func fig3(w *eval.Workbench) {
 	tw = tab()
 	fmt.Fprintln(tw, "Query Set\tΔMRR\t95% CI\tsignificant")
 	for _, set := range w.SortedSetNames() {
-		c := eval.Compare(w.PY08(set, nil), w.XClean(set, nil),
+		c := eval.Compare(w.PY08(set, nil), xc(w, set, nil),
 			w.Sets[set], 2000, 11, opts)
 		fmt.Fprintf(tw, "%s\t%+.2f\t[%+.2f, %+.2f]\t%v\n",
 			set, c.Delta, c.CILow, c.CIHigh, c.Significant())
@@ -209,7 +228,7 @@ func fig4(w *eval.Workbench) {
 	opts := tokenizer.Options{}
 	for _, set := range w.SortedSetNames() {
 		qs := w.Sets[set]
-		x := eval.Run(w.XClean(set, nil), qs, 10, opts)
+		x := eval.Run(xc(w, set, nil), qs, 10, opts)
 		p := eval.Run(w.PY08(set, nil), qs, 10, opts)
 		fmt.Printf("%s (n=%d)\n", set, len(qs))
 		tw := tab()
@@ -250,7 +269,7 @@ func table4(w *eval.Workbench) {
 		fmt.Fprintf(tw, "%s\t", set)
 		for _, b := range betas {
 			beta := b
-			e := w.XClean(set, func(c *core.Config) { c.Beta = beta })
+			e := xc(w, set, func(c *core.Config) { c.Beta = beta })
 			res := eval.Run(e, w.Sets[set], 10, opts)
 			fmt.Fprintf(tw, "%.2f\t", res.MRR)
 		}
@@ -277,7 +296,7 @@ func table5(w *eval.Workbench) {
 				gamma := g
 				var s eval.Suggester
 				if system == "XClean" {
-					s = w.XClean(set, func(c *core.Config) { c.Gamma = gamma })
+					s = xc(w, set, func(c *core.Config) { c.Gamma = gamma })
 				} else {
 					s = w.PY08(set, func(c *core.Config) { c.Gamma = gamma })
 				}
@@ -299,7 +318,7 @@ func table6(w *eval.Workbench) {
 	fmt.Fprintln(tw, "Query Set\tXClean mean\tXClean p95\tPY08 mean\tPY08 p95\tratio")
 	for _, set := range w.SortedSetNames() {
 		qs := w.Sets[set]
-		x := eval.Run(w.XClean(set, nil), qs, 10, opts)
+		x := eval.Run(xc(w, set, nil), qs, 10, opts)
 		p := eval.Run(w.PY08(set, nil), qs, 10, opts)
 		ratio := float64(p.AvgTime) / float64(x.AvgTime)
 		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%.1fx\n", set,
@@ -320,13 +339,13 @@ func ablations(w *eval.Workbench) {
 		name string
 		s    eval.Suggester
 	}{
-		{"default (matched-only, galloping, lowest-estimate)", w.XClean(set, nil)},
-		{"exact scoring", w.XClean(set, func(c *core.Config) { c.ScoreMode = core.ScoreModeExact })},
-		{"linear skip", w.XClean(set, func(c *core.Config) { c.LinearSkip = true })},
-		{"FIFO eviction, γ=50", w.XClean(set, func(c *core.Config) { c.Eviction = core.EvictFIFO; c.Gamma = 50 })},
-		{"lowest-estimate eviction, γ=50", w.XClean(set, func(c *core.Config) { c.Gamma = 50 })},
-		{"min depth d=1", w.XClean(set, func(c *core.Config) { c.MinDepth = 1 })},
-		{"min depth d=3", w.XClean(set, func(c *core.Config) { c.MinDepth = 3 })},
+		{"default (matched-only, galloping, lowest-estimate)", xc(w, set, nil)},
+		{"exact scoring", xc(w, set, func(c *core.Config) { c.ScoreMode = core.ScoreModeExact })},
+		{"linear skip", xc(w, set, func(c *core.Config) { c.LinearSkip = true })},
+		{"FIFO eviction, γ=50", xc(w, set, func(c *core.Config) { c.Eviction = core.EvictFIFO; c.Gamma = 50 })},
+		{"lowest-estimate eviction, γ=50", xc(w, set, func(c *core.Config) { c.Gamma = 50 })},
+		{"min depth d=1", xc(w, set, func(c *core.Config) { c.MinDepth = 1 })},
+		{"min depth d=3", xc(w, set, func(c *core.Config) { c.MinDepth = 3 })},
 		{"SLCA semantics", w.SLCA(set, nil)},
 	}
 	tw := tab()
@@ -344,7 +363,7 @@ func ablations(w *eval.Workbench) {
 	tw = tab()
 	fmt.Fprintln(tw, "Query Set\tresult-type\tSLCA\tELCA")
 	for _, s := range []string{eval.SetDBLPRand, eval.SetINEXRand} {
-		rt := eval.Run(w.XClean(s, nil), w.Sets[s], 10, opts)
+		rt := eval.Run(xc(w, s, nil), w.Sets[s], 10, opts)
 		sl := eval.Run(w.SLCA(s, nil), w.Sets[s], 10, opts)
 		el := eval.Run(w.ELCA(s, nil), w.Sets[s], 10, opts)
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", s, rt.MRR, sl.MRR, el.MRR)
@@ -364,7 +383,7 @@ func extensions(w *eval.Workbench) {
 	fmt.Fprintln(tw, "Query Set\tXClean MRR\tHMM MRR\tXClean mean\tHMM mean")
 	for _, set := range []string{eval.SetDBLPRand, eval.SetINEXRand} {
 		qs := w.Sets[set]
-		x := eval.Run(w.XClean(set, nil), qs, 10, opts)
+		x := eval.Run(xc(w, set, nil), qs, 10, opts)
 		h := eval.Run(w.HMM(set, nil), qs, 10, opts)
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%v\t%v\n", set, x.MRR, h.MRR,
 			x.AvgTime.Round(time.Microsecond), h.AvgTime.Round(time.Microsecond))
@@ -378,9 +397,9 @@ func extensions(w *eval.Workbench) {
 		name string
 		s    eval.Suggester
 	}{
-		{"uniform prior (paper)", w.XClean(set, nil)},
-		{"length prior", w.XClean(set, func(c *core.Config) { c.Prior = core.PriorLength })},
-		{"bigram coherence", w.XClean(set, func(c *core.Config) { c.Bigram = true })},
+		{"uniform prior (paper)", xc(w, set, nil)},
+		{"length prior", xc(w, set, func(c *core.Config) { c.Prior = core.PriorLength })},
+		{"bigram coherence", xc(w, set, func(c *core.Config) { c.Bigram = true })},
 	}
 	tw = tab()
 	fmt.Fprintln(tw, "Variant\tMRR\tmean time")
@@ -391,8 +410,8 @@ func extensions(w *eval.Workbench) {
 	tw.Flush()
 
 	fmt.Println("\nCompressed posting storage, DBLP-RAND:")
-	raw := eval.Run(w.XClean(set, nil), qs, 10, opts)
-	comp := eval.Run(w.XCleanCompact(set, nil), qs, 10, opts)
+	raw := eval.Run(xc(w, set, nil), qs, 10, opts)
+	comp := eval.Run(w.XCleanCompact(set, func(c *core.Config) { c.Workers = workers }), qs, 10, opts)
 	tw = tab()
 	fmt.Fprintln(tw, "Storage\tMRR\tmean time\tpostings bytes")
 	fmt.Fprintf(tw, "raw\t%.2f\t%v\t%d\n", raw.MRR,
@@ -400,4 +419,37 @@ func extensions(w *eval.Workbench) {
 	fmt.Fprintf(tw, "compressed\t%.2f\t%v\t%d\n", comp.MRR,
 		comp.AvgTime.Round(time.Microsecond), w.CompactIndexFor(set).PostingsBytes())
 	tw.Flush()
+}
+
+// workersSweep measures the parallel anchor-subtree scan: per-query
+// latency and MRR at increasing worker counts over DBLP-RAND. MRR must
+// not move (the differential tests pin result equality); the time
+// columns show what sharding Algorithm 1 buys on this machine.
+func workersSweep(w *eval.Workbench) {
+	header("Workers sweep: latency vs Config.Workers (DBLP-RAND)")
+	opts := tokenizer.Options{}
+	set := eval.SetDBLPRand
+	qs := w.Sets[set]
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > counts[len(counts)-1] {
+		counts = append(counts, n)
+	}
+	tw := tab()
+	fmt.Fprintln(tw, "Workers\tMRR\tmean time\tp95\tspeedup")
+	var base time.Duration
+	for _, n := range counts {
+		nw := n
+		e := w.XClean(set, func(c *core.Config) { c.Workers = nw })
+		res := eval.Run(e, qs, 10, opts)
+		if nw == 1 {
+			base = res.AvgTime
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%v\t%v\t%.2fx\n", nw, res.MRR,
+			res.AvgTime.Round(time.Microsecond), res.Latency.P95.Round(time.Microsecond),
+			float64(base)/float64(res.AvgTime))
+	}
+	tw.Flush()
+	fmt.Printf("(GOMAXPROCS=%d; single-keyword queries see little gain — the scan\n"+
+		" is sharded per query, so wins come from multi-keyword candidates)\n",
+		runtime.GOMAXPROCS(0))
 }

@@ -42,6 +42,7 @@ func main() {
 		store     = flag.Bool("store-text", false, "store document text for ?preview=1 responses")
 		qlogPath  = flag.String("qlog", "", "query-log file: loaded at startup (entity priors), appended on shutdown")
 		cacheSize = flag.Int("cache", 1024, "suggestion LRU cache entries (0 disables)")
+		workers   = flag.Int("workers", 0, "goroutines per suggestion call (0 = GOMAXPROCS, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "disable request logging")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		BigramCoherence: *bigram,
 		CompactPostings: *compact,
 		StoreText:       *store,
+		Workers:         *workers,
 	}
 
 	var queryLog *qlog.Log

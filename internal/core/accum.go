@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"sort"
 
 	"xclean/internal/xmltree"
 )
@@ -183,6 +184,55 @@ func (t *accumulators) victim() *accum {
 		return a
 	}
 	return nil
+}
+
+// mergeAccumulators folds per-worker accumulator tables into one.
+// Per-candidate partial sums are added in worker order — each key
+// occurs at most once per part, so the result is deterministic even
+// though map iteration is not — and the witness becomes the earliest
+// entity root in document order (Dewey keys compare lexicographically
+// in document order). Afterwards the global γ bound is re-applied:
+// if the merged table exceeds limit, the lowest-estimate candidates
+// are dropped, mirroring the probabilistic eviction rule. The second
+// return value is the number of candidates dropped at merge time.
+//
+// The parts are consumed: their accumulators are rehomed into the
+// merged table and must not be used afterwards.
+func mergeAccumulators(parts []*accumulators, limit int) (*accumulators, int) {
+	merged := newAccumulators(0, EvictLowestEstimate)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for key, a := range p.m {
+			t, ok := merged.m[key]
+			if !ok {
+				merged.m[key] = a
+				continue
+			}
+			t.sum += a.sum
+			t.bgMatched += a.bgMatched
+			t.entities += a.entities
+			if t.witness == "" || (a.witness != "" && a.witness < t.witness) {
+				t.witness = a.witness
+			}
+		}
+	}
+	if limit <= 0 || len(merged.m) <= limit {
+		return merged, 0
+	}
+	all := merged.all()
+	sort.Slice(all, func(i, j int) bool {
+		ei, ej := all[i].estimate(), all[j].estimate()
+		if ei != ej {
+			return ei > ej
+		}
+		return all[i].key < all[j].key
+	})
+	for _, a := range all[limit:] {
+		delete(merged.m, a.key)
+	}
+	return merged, len(all) - limit
 }
 
 // all returns the live accumulators in unspecified order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -56,7 +57,9 @@ type Config struct {
 	// MinDepth is the minimal depth threshold d (0 = 2).
 	MinDepth int
 	// Gamma is the maximum number of in-memory score accumulators
-	// (0 = 1000). Negative means unlimited.
+	// (0 = 1000). Negative means unlimited. Under parallel execution
+	// (Workers ≠ 1) the bound applies per worker during the scan and is
+	// re-applied globally when the per-worker tables are merged.
 	Gamma int
 	// K is the number of suggestions returned (0 = 10).
 	K int
@@ -103,6 +106,14 @@ type Config struct {
 	BigramLambda float64
 	// Tokenizer overrides the indexing tokenizer options for queries.
 	Tokenizer tokenizer.Options
+	// Workers bounds the parallelism of one suggestion call: the
+	// anchor-subtree scan of Algorithm 1 is sharded across this many
+	// goroutines by top-level child, and SuggestWithSpaces runs up to
+	// this many shapes concurrently. 0 = GOMAXPROCS; 1 = the exact
+	// sequential path of Algorithm 1; n > 1 = n workers. Negative
+	// values mean 1. Results are identical for every setting, up to
+	// floating-point summation order.
+	Workers int
 }
 
 func (c Config) epsilon() int {
@@ -145,6 +156,16 @@ func (c Config) tau() int {
 		return 1
 	}
 	return c.MaxSpaceChanges
+}
+
+func (c Config) workers() int {
+	if c.Workers < 0 || c.Workers == 1 {
+		return 1
+	}
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 func (c Config) phoneticDistance() int {
@@ -208,7 +229,14 @@ type Engine struct {
 }
 
 // Stats reports work counters of the last Suggest call, used by the
-// efficiency experiments.
+// efficiency experiments. Under parallel execution (Config.Workers)
+// the counters are summed across workers; SuggestWithSpaces sums them
+// across every explored shape. TypeComputations may exceed the
+// sequential count because each worker keeps its own type cache.
+// Subtrees and PostingsRead may be lower than the sequential count:
+// a worker's galloping skip over other shards' children can exhaust a
+// list early, so trailing incomplete anchor groups — which contribute
+// no candidates — are never visited at all.
 type Stats struct {
 	// PostingsRead is the number of merged-list entries consumed.
 	PostingsRead int
@@ -220,8 +248,19 @@ type Stats struct {
 	// TypeComputations counts FindResultType invocations (cache
 	// misses).
 	TypeComputations int
-	// Evictions counts accumulator evictions.
+	// Evictions counts accumulator evictions, including candidates
+	// dropped when per-worker tables are re-pruned to γ at merge time.
 	Evictions int
+}
+
+// add accumulates another run's counters into s (per-worker shards,
+// per-shape runs).
+func (s *Stats) add(o Stats) {
+	s.PostingsRead += o.PostingsRead
+	s.Subtrees += o.Subtrees
+	s.CandidatesSeen += o.CandidatesSeen
+	s.TypeComputations += o.TypeComputations
+	s.Evictions += o.Evictions
 }
 
 // NewEngine builds an engine over an existing index. The FastSS
@@ -263,14 +302,30 @@ func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg Config) *Eng
 // Refresh rebuilds the structures derived from the index after an
 // incremental index mutation (invindex.Index.AddDocument): the given
 // words — typically every token of the added document; known words are
-// ignored — join the shared variant index, and prior caches, the
-// phonetic index, and the language models are rebuilt. The receiver
-// must not be used afterwards; queries go to the returned engine.
+// ignored — join the variant index, and prior caches, the phonetic
+// index, and the language models are rebuilt. Queries go to the
+// returned engine.
+//
+// Refresh is copy-on-write: when words are added, the shared variant
+// index is cloned before being extended, so the receiver and any
+// sibling engines sharing the same FastSS index may keep serving
+// Suggest traffic concurrently with the Refresh.
 func (e *Engine) Refresh(newWords []string) *Engine {
-	for _, w := range newWords {
-		e.fss.Add(w)
+	fss := e.fss
+	if len(newWords) > 0 {
+		fss = fss.Clone()
+		for _, w := range newWords {
+			fss.Add(w)
+		}
 	}
-	return NewEngineWithFastSS(e.ix, e.fss, e.cfg)
+	return NewEngineWithFastSS(e.ix, fss, e.cfg)
+}
+
+// setLastStats records the diagnostics of a completed call.
+func (e *Engine) setLastStats(st Stats) {
+	e.mu.Lock()
+	e.lastStats = st
+	e.mu.Unlock()
 }
 
 // Stats returns the work counters of the most recent Suggest call.
@@ -349,17 +404,22 @@ func (e *Engine) Suggest(query string) []Suggestion {
 
 // SuggestDetailed is Suggest plus the work counters of this call.
 func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
-	return e.suggestKeywords(e.Keywords(query))
+	out, st := e.suggestKeywords(e.Keywords(query))
+	e.setLastStats(st)
+	return out, st
 }
 
-// suggestKeywords runs Algorithm 1 over a prepared keyword list.
+// suggestKeywords runs Algorithm 1 over a prepared keyword list,
+// sharding the anchor-subtree scan across Config.Workers goroutines.
+// Each worker owns the top-level children whose ordinal is congruent
+// to its shard index and skips the rest with one galloping SkipTo per
+// foreign child, so every posting is still read at most once, by
+// exactly one worker. Per-worker accumulator tables are merged (and
+// re-pruned to γ) before finalize. It does not touch lastStats —
+// callers that own a whole user call (SuggestDetailed,
+// SuggestWithSpacesDetailed) record the aggregate.
 func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
 	var st Stats
-	defer func() {
-		e.mu.Lock()
-		e.lastStats = st
-		e.mu.Unlock()
-	}()
 	if len(kws) == 0 {
 		return nil, st
 	}
@@ -369,6 +429,37 @@ func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
 		}
 	}
 
+	n := e.cfg.workers()
+	if n <= 1 {
+		acc, st := e.scanShard(kws, 0, 1)
+		return e.finalize(kws, acc), st
+	}
+
+	parts := make([]*accumulators, n)
+	stats := make([]Stats, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], stats[i] = e.scanShard(kws, i, n)
+		}(i)
+	}
+	wg.Wait()
+	for _, s := range stats {
+		st.add(s)
+	}
+	acc, dropped := mergeAccumulators(parts, e.cfg.gamma())
+	st.Evictions += dropped
+	return e.finalize(kws, acc), st
+}
+
+// scanShard is the scan loop of Algorithm 1 restricted to one shard of
+// the anchor subtrees. With nShards == 1 it is exactly the sequential
+// algorithm. Each shard reads the merged lists through its own
+// cursors, so shards share only the immutable index.
+func (e *Engine) scanShard(kws []Keyword, shard, nShards int) (*accumulators, Stats) {
+	var st Stats
 	d := e.cfg.minDepth()
 	lists := make([]*invindex.MergedList, len(kws))
 	for i, kw := range kws {
@@ -392,6 +483,31 @@ func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
 	anchor, ok := e.maxHead(lists)
 	for ok {
 		g := anchor.Truncate(d)
+		if nShards > 1 {
+			if len(g) < 2 {
+				// An anchor directly under the root has no top-level
+				// child ordinal; shard 0 owns it, the others drain the
+				// group without recording anything.
+				if shard != 0 {
+					for _, l := range lists {
+						l.CollectSubtree(g, func(invindex.Entry) {})
+					}
+					anchor, ok = e.maxHead(lists)
+					continue
+				}
+			} else if c := int(g[1]) % nShards; c != shard {
+				// Foreign child: gallop every list to this shard's next
+				// top-level child, skipping the intervening postings
+				// without reading them.
+				next := g[1] + uint32((shard-c+nShards)%nShards)
+				target := xmltree.Dewey{g[0], next}
+				for _, l := range lists {
+					l.SkipTo(target)
+				}
+				anchor, ok = e.maxHead(lists)
+				continue
+			}
+		}
 		st.Subtrees++
 
 		// Align every list to g and collect the subtree occurrences.
@@ -419,7 +535,7 @@ func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
 		anchor, ok = e.maxHead(lists)
 	}
 
-	return e.finalize(kws, acc), st
+	return acc, st
 }
 
 // maxHead returns the anchor: the largest Dewey code among the current

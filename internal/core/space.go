@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"strings"
+	"sync"
 
 	"xclean/internal/tokenizer"
 )
@@ -21,19 +22,61 @@ type shape struct {
 // ranked list. Each space change is penalized like a single edit
 // error, exp(-β), on the final score.
 func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
+	out, _ := e.SuggestWithSpacesDetailed(query)
+	return out
+}
+
+// SuggestWithSpacesDetailed is SuggestWithSpaces plus the work
+// counters of this call, summed over every explored shape (the same
+// aggregate Engine.Stats reports after the call).
+//
+// Shapes are independent Algorithm 1 runs over the same index, so they
+// are embarrassingly parallel: up to Config.Workers shapes run
+// concurrently, and their results are merged in deterministic shape
+// order.
+func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 	raw := tokenizer.TokenizeRaw(query)
 	shapes := e.expandShapes(raw, e.cfg.tau())
 
+	type shapeResult struct {
+		sugs []Suggestion
+		st   Stats
+	}
+	results := make([]shapeResult, len(shapes))
+	run := func(i int) {
+		kept := e.filterShape(shapes[i].tokens)
+		if len(kept) == 0 {
+			return
+		}
+		sugs, st := e.suggestKeywords(e.keywordsFor(kept))
+		results[i] = shapeResult{sugs: sugs, st: st}
+	}
+	if w := e.cfg.workers(); w > 1 && len(shapes) > 1 {
+		sem := make(chan struct{}, w)
+		var wg sync.WaitGroup
+		for i := range shapes {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range shapes {
+			run(i)
+		}
+	}
+
+	var total Stats
 	beta := e.em.beta()
 	best := make(map[string]Suggestion)
-	for _, sh := range shapes {
-		kept := e.filterShape(sh.tokens)
-		if len(kept) == 0 {
-			continue
-		}
+	for i, sh := range shapes {
+		total.add(results[i].st)
 		penalty := math.Exp(-beta * float64(sh.changes))
-		sugs, _ := e.suggestKeywords(e.keywordsFor(kept))
-		for _, s := range sugs {
+		for _, s := range results[i].sugs {
 			s.Score *= penalty
 			s.EditDistance += sh.changes
 			q := s.Query()
@@ -42,9 +85,10 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 			}
 		}
 	}
+	e.setLastStats(total)
 
 	if len(best) == 0 {
-		return nil
+		return nil, total
 	}
 	out := make([]Suggestion, 0, len(best))
 	for _, s := range best {
@@ -54,7 +98,7 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 	if k := e.cfg.k(); len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, total
 }
 
 // expandShapes enumerates tokenizations reachable with at most tau

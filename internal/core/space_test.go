@@ -91,6 +91,45 @@ func TestExpandShapesTauBound(t *testing.T) {
 	}
 }
 
+// SuggestWithSpaces must report the work of every explored shape, not
+// just the last one (the Stats-clobbering regression: each shape's run
+// used to overwrite lastStats).
+func TestSuggestWithSpacesAggregatesStats(t *testing.T) {
+	// Corpus where both the joined and the split forms are indexed, so
+	// at least two shapes do real scanning work.
+	tr := xmltree.NewTree("docs")
+	d1 := tr.AddChild(tr.Root, "doc", "")
+	tr.AddChild(d1, "title", "notebook computing")
+	d2 := tr.AddChild(tr.Root, "doc", "")
+	tr.AddChild(d2, "title", "note book binding")
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, Config{})
+
+	query := "note book"
+	raw := tokenizer.TokenizeRaw(query)
+	var want Stats
+	productive := 0
+	for _, sh := range e.expandShapes(raw, e.cfg.tau()) {
+		kept := e.filterShape(sh.tokens)
+		if len(kept) == 0 {
+			continue
+		}
+		_, st := e.suggestKeywords(e.keywordsFor(kept))
+		if st.Subtrees > 0 {
+			productive++
+		}
+		want.add(st)
+	}
+	if productive < 2 {
+		t.Fatalf("fixture too weak: only %d productive shapes", productive)
+	}
+
+	e.SuggestWithSpaces(query)
+	if got := e.Stats(); got != want {
+		t.Errorf("stats not aggregated across shapes:\n got=%+v\nwant=%+v", got, want)
+	}
+}
+
 func TestSpaceHopelessQuery(t *testing.T) {
 	e := spaceEngine()
 	if got := e.SuggestWithSpaces("zzz qqq"); got != nil {

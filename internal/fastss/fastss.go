@@ -45,7 +45,9 @@ type bucketKey struct {
 
 // Index is an ε-deletion-neighborhood index over a vocabulary. Words
 // can be added at any time (incremental vocabulary growth); Add is not
-// safe to call concurrently with Search.
+// safe to call concurrently with Search. To grow the vocabulary while
+// the index keeps serving Search traffic, extend a Clone and swap it
+// in (the copy-on-write contract engine Refresh relies on).
 type Index struct {
 	cfg     Config
 	words   []string
@@ -76,6 +78,30 @@ func Build(words []string, cfg Config) *Index {
 		ix.Add(w)
 	}
 	return ix
+}
+
+// Clone returns a copy that can be extended with Add without mutating
+// any state visible to the receiver — the copy-on-write step of
+// engine Refresh. The maps are copied; the word and bucket slices are
+// shared but capped at their current length, so an Add on the clone
+// always reallocates instead of writing into shared backing arrays.
+// Cloning costs O(vocabulary + buckets) map copies, far cheaper than
+// rebuilding the deletion neighborhoods from scratch.
+func (ix *Index) Clone() *Index {
+	c := &Index{
+		cfg:      ix.cfg,
+		words:    ix.words[:len(ix.words):len(ix.words)],
+		ids:      make(map[string]int32, len(ix.ids)+1),
+		buckets:  make(map[bucketKey][]int32, len(ix.buckets)+1),
+		halfLens: ix.halfLens[:len(ix.halfLens):len(ix.halfLens)],
+	}
+	for w, id := range ix.ids {
+		c.ids[w] = id
+	}
+	for k, lst := range ix.buckets {
+		c.buckets[k] = lst[:len(lst):len(lst)]
+	}
+	return c
 }
 
 // Add indexes one vocabulary word; already-indexed words are ignored.

@@ -94,6 +94,32 @@ func TestMetricz(t *testing.T) {
 	}
 }
 
+func TestMetriczSplitsHitAndMissLatency(t *testing.T) {
+	ts := testServerCached(t)
+	// One miss, then two hits of the same query.
+	for i := 0; i < 3; i++ {
+		resp, _ := http.Get(ts.URL + "/suggest?q=rose+fpga")
+		resp.Body.Close()
+	}
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencyMisses.Count != 1 {
+		t.Errorf("miss latency count=%d want 1", m.LatencyMisses.Count)
+	}
+	if m.LatencyHits.Count != 2 {
+		t.Errorf("hit latency count=%d want 2", m.LatencyHits.Count)
+	}
+	if m.Latency.Count != 3 {
+		t.Errorf("overall latency count=%d want 3", m.Latency.Count)
+	}
+	if m.LatencyMisses.P95 <= 0 {
+		t.Errorf("miss latency=%+v", m.LatencyMisses)
+	}
+}
+
 func TestMetriczWithoutCache(t *testing.T) {
 	ts := testServer(t)
 	resp, _ := http.Get(ts.URL + "/suggest?q=rose")

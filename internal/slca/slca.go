@@ -58,13 +58,20 @@ func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg core.Config)
 }
 
 // Refresh rebuilds derived structures after an incremental index
-// mutation, adding the given words to the shared variant index (known
-// words are ignored). Queries must go to the returned engine.
+// mutation, adding the given words to the variant index (known words
+// are ignored). Queries must go to the returned engine. Like the
+// result-type engine's Refresh, it is copy-on-write: the shared
+// variant index is cloned before being extended, so sibling engines
+// may keep serving queries concurrently.
 func (e *Engine) Refresh(newWords []string) *Engine {
-	for _, w := range newWords {
-		e.fss.Add(w)
+	fss := e.fss
+	if len(newWords) > 0 {
+		fss = fss.Clone()
+		for _, w := range newWords {
+			fss.Add(w)
+		}
 	}
-	ne := NewEngineWithFastSS(e.ix, e.fss, e.cfg)
+	ne := NewEngineWithFastSS(e.ix, fss, e.cfg)
 	ne.elca = e.elca
 	return ne
 }

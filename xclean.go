@@ -127,6 +127,13 @@ type Options struct {
 	// StoreText keeps a copy of the document text in the index so that
 	// Preview can render the witness entity of each suggestion.
 	StoreText bool
+	// Workers bounds the parallelism of one suggestion call: the
+	// anchor-subtree scan of Algorithm 1 is sharded across this many
+	// goroutines (and SuggestWithSpaces runs up to this many shapes
+	// concurrently). 0 uses GOMAXPROCS; 1 forces the exact sequential
+	// execution. Results are identical either way, up to floating-point
+	// summation order.
+	Workers int
 }
 
 func (o Options) coreConfig() core.Config {
@@ -156,6 +163,7 @@ func (o Options) coreConfig() core.Config {
 		MaxSpaceChanges: o.MaxSpaceChanges,
 		Phonetic:        o.PhoneticMatching,
 		Synonyms:        o.Synonyms,
+		Workers:         o.Workers,
 		Tokenizer:       o.tokenizerOptions(),
 	}
 }
