@@ -31,7 +31,7 @@ var workers int
 // xc builds an XClean engine for a set, applying the experiment's mod
 // and then the global -workers flag.
 func xc(w *eval.Workbench, set string, mod func(*core.Config)) *core.Engine {
-	return xc(w, set, func(c *core.Config) {
+	return w.XClean(set, func(c *core.Config) {
 		if mod != nil {
 			mod(c)
 		}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/eval"
+)
+
+// TestXCHelper is a regression test for the xc helper, which once
+// recursed into itself instead of delegating to Workbench.XClean and
+// crashed every experiment at runtime. It must terminate, apply the
+// experiment's mod, and layer the global -workers flag on top.
+func TestXCHelper(t *testing.T) {
+	w := eval.NewWorkbench(eval.WorkbenchConfig{
+		Seed:          1,
+		DBLPArticles:  100,
+		WikiArticles:  20,
+		QueriesPerSet: 2,
+	})
+
+	old := workers
+	defer func() { workers = old }()
+	workers = 3
+
+	// xc mutates the same Config the mod sees, so capturing the
+	// pointer exposes the final values the engine was built with.
+	var captured *core.Config
+	e := xc(w, eval.SetDBLPClean, func(c *core.Config) {
+		c.Gamma = 7
+		captured = c
+	})
+	if e == nil {
+		t.Fatal("xc returned nil engine")
+	}
+	if captured.Gamma != 7 {
+		t.Errorf("mod not applied: Gamma = %d, want 7", captured.Gamma)
+	}
+	if captured.Workers != 3 {
+		t.Errorf("-workers flag not applied: Workers = %d, want 3", captured.Workers)
+	}
+
+	if e2 := xc(w, eval.SetDBLPClean, nil); e2 == nil {
+		t.Fatal("xc with nil mod returned nil engine")
+	}
+}

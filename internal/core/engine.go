@@ -111,8 +111,12 @@ type Config struct {
 	// goroutines by top-level child, and SuggestWithSpaces runs up to
 	// this many shapes concurrently. 0 = GOMAXPROCS; 1 = the exact
 	// sequential path of Algorithm 1; n > 1 = n workers. Negative
-	// values mean 1. Results are identical for every setting, up to
-	// floating-point summation order.
+	// values mean 1. When γ does not bind, results are identical for
+	// every setting up to floating-point summation order; under a
+	// binding γ the parallel path may prune a different (still valid)
+	// candidate set than the sequential scan, because the per-worker
+	// bound plus merge-time re-prune can evict different accumulators
+	// (see Gamma).
 	Workers int
 }
 
@@ -419,6 +423,14 @@ func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
 // callers that own a whole user call (SuggestDetailed,
 // SuggestWithSpacesDetailed) record the aggregate.
 func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
+	return e.suggestKeywordsN(kws, e.cfg.workers())
+}
+
+// suggestKeywordsN is suggestKeywords with an explicit scan worker
+// count, letting SuggestWithSpaces force sequential inner scans when
+// it already fans out over shapes (so one call never exceeds
+// Config.Workers goroutines in total).
+func (e *Engine) suggestKeywordsN(kws []Keyword, n int) ([]Suggestion, Stats) {
 	var st Stats
 	if len(kws) == 0 {
 		return nil, st
@@ -429,7 +441,6 @@ func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
 		}
 	}
 
-	n := e.cfg.workers()
 	if n <= 1 {
 		acc, st := e.scanShard(kws, 0, 1)
 		return e.finalize(kws, acc), st

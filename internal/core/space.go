@@ -32,8 +32,9 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 //
 // Shapes are independent Algorithm 1 runs over the same index, so they
 // are embarrassingly parallel: up to Config.Workers shapes run
-// concurrently, and their results are merged in deterministic shape
-// order.
+// concurrently (each with a sequential scan, keeping the call's total
+// parallelism at Config.Workers), and their results are merged in
+// deterministic shape order.
 func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 	raw := tokenizer.TokenizeRaw(query)
 	shapes := e.expandShapes(raw, e.cfg.tau())
@@ -43,15 +44,19 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 		st   Stats
 	}
 	results := make([]shapeResult, len(shapes))
-	run := func(i int) {
+	run := func(i, inner int) {
 		kept := e.filterShape(shapes[i].tokens)
 		if len(kept) == 0 {
 			return
 		}
-		sugs, st := e.suggestKeywords(e.keywordsFor(kept))
+		sugs, st := e.suggestKeywordsN(e.keywordsFor(kept), inner)
 		results[i] = shapeResult{sugs: sugs, st: st}
 	}
 	if w := e.cfg.workers(); w > 1 && len(shapes) > 1 {
+		// Parallelism lives at the shape level here: each shape's scan
+		// runs sequentially (inner = 1) so one call stays bounded at
+		// Config.Workers goroutines rather than Workers² through nested
+		// fan-out.
 		sem := make(chan struct{}, w)
 		var wg sync.WaitGroup
 		for i := range shapes {
@@ -59,14 +64,14 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
-				run(i)
+				run(i, 1)
 				<-sem
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range shapes {
-			run(i)
+			run(i, e.cfg.workers())
 		}
 	}
 
