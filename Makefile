@@ -1,4 +1,4 @@
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
 # The full pre-merge gate: build everything, vet, and run the test
 # suite under the race detector (the parallel scan and copy-on-write
@@ -19,3 +19,9 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+# One pass over the hot-path benchmark — enough to catch an
+# accidentally-instrumented fast path (the no-sink overhead budget is
+# ≤2% on BenchmarkSuggest) without the cost of a full bench run.
+bench-smoke:
+	go test -run='^$$' -bench='^BenchmarkSuggest$$' -benchtime=1x .

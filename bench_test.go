@@ -576,6 +576,56 @@ func BenchmarkIncrementalAdd(b *testing.B) {
 	})
 }
 
+// BenchmarkSuggest is the canonical hot-path benchmark: one engine at
+// the paper's defaults (ε=2 so variant sets are non-trivial), a fixed
+// dirty-query mix, no observability sink attached. It is the
+// regression guard for the always-compiled instrumentation hooks — the
+// budget is ≤2% over an engine with no hooks at all — and the target
+// of `make bench-smoke`. It deliberately avoids the shared workbench so
+// a smoke run builds only one small corpus.
+func BenchmarkSuggest(b *testing.B) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 42, Articles: 5000})
+	e := FromTree(c.Tree, Options{MaxErrors: 2, Workers: 1})
+	qs := c.SampleQueries(6, 20)
+	p := queryset.NewPerturber(7, invindex.Build(c.Tree, tokenizer.Options{}).Vocab)
+	dirty := make([]string, len(qs))
+	for i, q := range qs {
+		if d, ok := p.Rand(q); ok {
+			dirty[i] = d
+		} else {
+			dirty[i] = q
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Suggest(dirty[i%len(dirty)])
+	}
+}
+
+// BenchmarkSuggestObserved is BenchmarkSuggest with a metrics sink
+// attached — the delta against BenchmarkSuggest is the full cost of
+// stage timing and sink publication (the no-sink path must stay within
+// 2% of the pre-instrumentation baseline; see `make bench-smoke`).
+func BenchmarkSuggestObserved(b *testing.B) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 42, Articles: 5000})
+	e := FromTree(c.Tree, Options{MaxErrors: 2, Workers: 1})
+	e.SetObserver(NewObserver())
+	qs := c.SampleQueries(6, 20)
+	p := queryset.NewPerturber(7, invindex.Build(c.Tree, tokenizer.Options{}).Vocab)
+	dirty := make([]string, len(qs))
+	for i, q := range qs {
+		if d, ok := p.Rand(q); ok {
+			dirty[i] = d
+		} else {
+			dirty[i] = q
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Suggest(dirty[i%len(dirty)])
+	}
+}
+
 // BenchmarkParallelWorkers measures the sharded anchor-subtree scan of
 // Algorithm 1 at increasing worker counts, on the longest dirty query
 // of the DBLP RAND set (more keywords → more per-subtree enumeration

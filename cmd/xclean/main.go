@@ -40,6 +40,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "index the document as a stream (constant extra memory)")
 		spaces    = flag.Bool("spaces", false, "also explore space insertions/deletions")
 		verbose   = flag.Bool("v", false, "print result types and entity counts")
+		explain   = flag.Bool("explain", false, "print the per-query trace: stage spans, variant counts, cache and eviction counters")
 	)
 	flag.Parse()
 	if (*doc == "") == (*index == "") {
@@ -107,23 +108,31 @@ func main() {
 	ask := func(q string) {
 		t := time.Now()
 		var sugs []xclean.Suggestion
-		if *spaces {
+		var ex *xclean.Explain
+		switch {
+		case *explain && *spaces:
+			sugs, ex = eng.SuggestWithSpacesExplained(q)
+		case *explain:
+			sugs, ex = eng.SuggestExplained(q)
+		case *spaces:
 			sugs = eng.SuggestWithSpaces(q)
-		} else {
+		default:
 			sugs = eng.Suggest(q)
 		}
 		elapsed := time.Since(t)
 		if len(sugs) == 0 {
 			fmt.Printf("no valid suggestions for %q (%v)\n", q, elapsed.Round(time.Microsecond))
-			return
 		}
 		for i, s := range sugs {
-			if *verbose {
+			if *verbose || *explain {
 				fmt.Printf("%2d. %-40s score=%.3g entities=%d type=%s\n",
 					i+1, s.Query, s.Score, s.Entities, s.ResultType)
 			} else {
 				fmt.Printf("%2d. %s\n", i+1, s.Query)
 			}
+		}
+		if ex != nil {
+			printExplain(ex)
 		}
 		fmt.Fprintf(os.Stderr, "(%v)\n", elapsed.Round(time.Microsecond))
 	}
@@ -131,6 +140,9 @@ func main() {
 	if flag.NArg() > 0 {
 		ask(strings.Join(flag.Args(), " "))
 		return
+	}
+	if *explain {
+		fmt.Fprintln(os.Stderr, "(tracing on: each query prints its stage spans)")
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprint(os.Stderr, "query> ")
@@ -141,4 +153,26 @@ func main() {
 		}
 		fmt.Fprint(os.Stderr, "query> ")
 	}
+}
+
+// printExplain renders a per-query trace: the keyword variant table,
+// the stage spans (call-level first, then per scan worker), and the
+// work counters.
+func printExplain(ex *xclean.Explain) {
+	fmt.Printf("trace: %q took %v\n", ex.Query, time.Duration(ex.TookNs).Round(time.Microsecond))
+	for _, kw := range ex.Keywords {
+		fmt.Printf("  keyword %-20s %d variants\n", kw.Token, kw.Variants)
+	}
+	for _, sp := range ex.Spans {
+		who := "call"
+		if sp.Worker >= 0 {
+			who = fmt.Sprintf("w%d", sp.Worker)
+		}
+		fmt.Printf("  span %-10s %-5s %v\n", sp.Stage, who,
+			time.Duration(sp.DurationNs).Round(time.Microsecond))
+	}
+	st := ex.Stats
+	fmt.Printf("  postings=%d subtrees=%d candidates=%d typeCacheHits=%d typeCacheMisses=%d evictions=%d workerSubtrees=%v\n",
+		st.PostingsRead, st.Subtrees, st.CandidatesSeen,
+		st.TypeCacheHits, st.TypeComputations, st.Evictions, st.WorkerSubtrees)
 }

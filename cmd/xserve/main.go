@@ -4,16 +4,22 @@
 //	xserve -index corpus.idx -addr :8080 -semantics slca
 //
 //	curl 'localhost:8080/suggest?q=hinrich+schutze+geo-taging'
+//	curl 'localhost:8080/suggest?q=...&debug=1'          # per-stage trace
+//	curl 'localhost:8080/metricz?format=prometheus'      # scrape endpoint
 //	curl 'localhost:8080/stats'
 //
-// The server shuts down gracefully on SIGINT/SIGTERM.
+// Logging is structured (log/slog, logfmt to stderr); every request
+// line carries the request ID echoed in the /suggest response. The
+// server shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,8 +33,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xserve: ")
 	var (
 		doc       = flag.String("doc", "", "XML document to index")
 		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
@@ -44,10 +48,18 @@ func main() {
 		cacheSize = flag.Int("cache", 1024, "suggestion LRU cache entries (0 disables)")
 		workers   = flag.Int("workers", 0, "goroutines per suggestion call (0 = GOMAXPROCS, 1 = sequential)")
 		quiet     = flag.Bool("q", false, "disable request logging")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (own mux, e.g. localhost:6060; empty disables)")
+		slowPath  = flag.String("slowlog", "", "append the trace of slow /suggest requests to this JSONL file")
+		slowThr   = flag.Duration("slow-threshold", qlog.DefaultSlowThreshold, "latency above which a request is logged as slow")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 	if (*doc == "") == (*index == "") {
-		log.Print("exactly one of -doc or -index is required")
+		fmt.Fprintln(os.Stderr, "xserve: exactly one of -doc or -index is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,7 +79,7 @@ func main() {
 		queryLog = qlog.New(tokenizer.Options{})
 		if f, err := os.Open(*qlogPath); err == nil {
 			if err := queryLog.Load(f); err != nil {
-				log.Fatalf("load query log: %v", err)
+				fatal("load query log", "path", *qlogPath, "err", err)
 			}
 			f.Close()
 			// Recorded clicks become the entity prior of Eq. (8).
@@ -77,7 +89,7 @@ func main() {
 				for key, w := range priors {
 					opts.EntityWeights[xmltree.DeweyFromKey(key).String()] = w
 				}
-				fmt.Fprintf(os.Stderr, "xserve: %d entity priors from %s\n", len(priors), *qlogPath)
+				logger.Info("entity priors loaded", "count", len(priors), "path", *qlogPath)
 			}
 		}
 	}
@@ -88,7 +100,7 @@ func main() {
 	case "elca":
 		opts.Semantics = xclean.SemanticsELCA
 	default:
-		log.Fatalf("unknown semantics %q (want type, slca, or elca)", *semantics)
+		fatal("unknown semantics (want type, slca, or elca)", "semantics", *semantics)
 	}
 
 	start := time.Now()
@@ -102,41 +114,74 @@ func main() {
 		eng, err = xclean.OpenIndexFile(*index, opts)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal("open engine", "err", err)
 	}
 	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "xserve: ready in %v: %d nodes, %d terms, %d tokens\n",
-		time.Since(start).Round(time.Millisecond), st.Nodes, st.DistinctTerms, st.Tokens)
+	logger.Info("ready", "took", time.Since(start).Round(time.Millisecond),
+		"nodes", st.Nodes, "terms", st.DistinctTerms, "tokens", st.Tokens)
 
-	var logger *log.Logger
+	sink := xclean.NewObserver()
+	eng.SetObserver(sink)
+
+	var slowLog *qlog.SlowLog
+	if *slowPath != "" {
+		f, err := os.OpenFile(*slowPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("open slow-query log", "path", *slowPath, "err", err)
+		}
+		defer f.Close()
+		slowLog = qlog.NewSlowLog(f, *slowThr)
+		logger.Info("slow-query log enabled", "path", *slowPath, "threshold", slowLog.Threshold())
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so the profiling surface
+		// never leaks onto the public handler.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				logger.Error("pprof server", "err", err)
+			}
+		}()
+	}
+
+	var reqLogger *slog.Logger
 	if !*quiet {
-		logger = log.New(os.Stderr, "xserve: ", 0)
+		reqLogger = logger
 	}
 	srv := server.New(eng, server.Config{
 		Addr:      *addr,
-		Logger:    logger,
+		Logger:    reqLogger,
 		QueryLog:  queryLog,
 		CacheSize: *cacheSize,
+		Obs:       sink,
+		SlowLog:   slowLog,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "xserve: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
-		log.Fatal(err)
+		fatal("serve", "err", err)
 	}
 	if queryLog != nil {
 		f, err := os.Create(*qlogPath)
 		if err != nil {
-			log.Fatalf("save query log: %v", err)
+			fatal("save query log", "err", err)
 		}
 		if err := queryLog.Save(f); err != nil {
-			log.Fatalf("save query log: %v", err)
+			fatal("save query log", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("save query log: %v", err)
+			fatal("save query log", "err", err)
 		}
-		fmt.Fprintf(os.Stderr, "xserve: query log saved to %s\n", *qlogPath)
+		logger.Info("query log saved", "path", *qlogPath)
 	}
-	fmt.Fprintln(os.Stderr, "xserve: shut down")
+	logger.Info("shut down")
 }

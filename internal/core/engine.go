@@ -5,10 +5,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"xclean/internal/fastss"
 	"xclean/internal/invindex"
 	"xclean/internal/lm"
+	"xclean/internal/obs"
 	"xclean/internal/phonetic"
 	"xclean/internal/resulttype"
 	"xclean/internal/tokenizer"
@@ -227,6 +229,11 @@ type Engine struct {
 	prior  *entityPrior
 	cfg    Config
 
+	// sink receives aggregate metrics of every call; nil disables all
+	// instrumentation (one branch per call site). Set via SetSink;
+	// carried across Refresh.
+	sink *obs.Sink
+
 	// mu guards lastStats, the diagnostics of the most recent call.
 	mu        sync.Mutex
 	lastStats Stats
@@ -252,19 +259,33 @@ type Stats struct {
 	// TypeComputations counts FindResultType invocations (cache
 	// misses).
 	TypeComputations int
+	// TypeCacheHits counts result-type cache hits; together with
+	// TypeComputations it makes per-worker cache effectiveness
+	// measurable (hits / (hits + misses)).
+	TypeCacheHits int
 	// Evictions counts accumulator evictions, including candidates
 	// dropped when per-worker tables are re-pruned to γ at merge time.
 	Evictions int
+	// WorkerSubtrees lists the anchor subtrees processed by each scan
+	// shard of the call, in shard order, exposing parallel skew. The
+	// sequential path reports one entry; under the space search the
+	// shard lists of every explored shape are concatenated in shape
+	// order. Its sum always equals Subtrees.
+	WorkerSubtrees []int
 }
 
 // add accumulates another run's counters into s (per-worker shards,
-// per-shape runs).
+// per-shape runs). Per-shard subtree lists concatenate, so the
+// per-worker attribution of every constituent run survives
+// aggregation.
 func (s *Stats) add(o Stats) {
 	s.PostingsRead += o.PostingsRead
 	s.Subtrees += o.Subtrees
 	s.CandidatesSeen += o.CandidatesSeen
 	s.TypeComputations += o.TypeComputations
+	s.TypeCacheHits += o.TypeCacheHits
 	s.Evictions += o.Evictions
+	s.WorkerSubtrees = append(s.WorkerSubtrees, o.WorkerSubtrees...)
 }
 
 // NewEngine builds an engine over an existing index. The FastSS
@@ -322,8 +343,21 @@ func (e *Engine) Refresh(newWords []string) *Engine {
 			fss.Add(w)
 		}
 	}
-	return NewEngineWithFastSS(e.ix, fss, e.cfg)
+	ne := NewEngineWithFastSS(e.ix, fss, e.cfg)
+	ne.sink = e.sink
+	return ne
 }
+
+// SetSink attaches a metrics sink: every subsequent call records its
+// latency, per-stage timing, and work counters there. A nil sink
+// disables instrumentation entirely — the hot path then pays only a
+// nil check per call. Engines produced by Refresh inherit the sink.
+// SetSink must not race with in-flight Suggest calls (attach before
+// serving, like the other configuration).
+func (e *Engine) SetSink(s *obs.Sink) { e.sink = s }
+
+// Sink returns the attached metrics sink (nil when disabled).
+func (e *Engine) Sink() *obs.Sink { return e.sink }
 
 // setLastStats records the diagnostics of a completed call.
 func (e *Engine) setLastStats(st Stats) {
@@ -408,29 +442,108 @@ func (e *Engine) Suggest(query string) []Suggestion {
 
 // SuggestDetailed is Suggest plus the work counters of this call.
 func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
-	out, st := e.suggestKeywords(e.Keywords(query))
-	e.setLastStats(st)
+	out, st, _ := e.suggestObserved(query, false)
 	return out, st
 }
 
-// suggestKeywords runs Algorithm 1 over a prepared keyword list,
-// sharding the anchor-subtree scan across Config.Workers goroutines.
-// Each worker owns the top-level children whose ordinal is congruent
-// to its shard index and skips the rest with one galloping SkipTo per
-// foreign child, so every posting is still read at most once, by
-// exactly one worker. Per-worker accumulator tables are merged (and
-// re-pruned to γ) before finalize. It does not touch lastStats —
-// callers that own a whole user call (SuggestDetailed,
-// SuggestWithSpacesDetailed) record the aggregate.
-func (e *Engine) suggestKeywords(kws []Keyword) ([]Suggestion, Stats) {
-	return e.suggestKeywordsN(kws, e.cfg.workers())
+// SuggestExplained is Suggest plus a per-query trace: stage spans with
+// per-worker attribution, per-keyword variant counts, cache and
+// eviction counters, and the scored candidate table. Tracing forces
+// timing on even without an attached sink, so the call is marginally
+// slower than plain Suggest; results are identical.
+func (e *Engine) SuggestExplained(query string) ([]Suggestion, *Explain) {
+	out, _, ex := e.suggestObserved(query, true)
+	return out, ex
 }
 
-// suggestKeywordsN is suggestKeywords with an explicit scan worker
-// count, letting SuggestWithSpaces force sequential inner scans when
-// it already fans out over shapes (so one call never exceeds
-// Config.Workers goroutines in total).
-func (e *Engine) suggestKeywordsN(kws []Keyword, n int) ([]Suggestion, Stats) {
+// suggestObserved is the single user-call entry of the non-space path:
+// it tokenizes, builds variants, runs Algorithm 1, and — when a sink
+// is attached or a trace is requested — times every pipeline stage and
+// publishes the aggregates.
+func (e *Engine) suggestObserved(query string, explain bool) ([]Suggestion, Stats, *Explain) {
+	if e.sink == nil && !explain {
+		// Fast path: no instrumentation beyond the always-on counters.
+		out, st := e.suggestKeywordsN(e.Keywords(query), e.cfg.workers(), nil)
+		e.setLastStats(st)
+		return out, st, nil
+	}
+
+	start := time.Now()
+	rc := &runCtx{}
+	t0 := start
+	toks := e.cfg.Tokenizer.Tokenize(query)
+	rc.stages[obs.StageTokenize] += time.Since(t0)
+
+	t0 = time.Now()
+	kws := e.keywordsFor(toks)
+	rc.stages[obs.StageVariants] += time.Since(t0)
+
+	out, st := e.suggestKeywordsN(kws, e.cfg.workers(), rc)
+	total := time.Since(start)
+	e.setLastStats(st)
+	e.observeCall(total, rc, st)
+
+	var ex *Explain
+	if explain {
+		ex = e.newExplain(query, kws, rc, st, out, total)
+	}
+	return out, st, ex
+}
+
+// observeCall publishes one completed user call to the sink.
+func (e *Engine) observeCall(total time.Duration, rc *runCtx, st Stats) {
+	s := e.sink
+	if s == nil {
+		return
+	}
+	s.ObserveSuggest(total, &rc.stages)
+	s.PostingsRead.Add(int64(st.PostingsRead))
+	s.Subtrees.Add(int64(st.Subtrees))
+	s.CandidatesSeen.Add(int64(st.CandidatesSeen))
+	s.TypeCacheHits.Add(int64(st.TypeCacheHits))
+	s.TypeCacheMisses.Add(int64(st.TypeComputations))
+	s.Evictions.Add(int64(st.Evictions))
+	if len(rc.workers) > 1 {
+		var sum, max time.Duration
+		for i := range rc.workers {
+			d := rc.workers[i].Total()
+			sum += d
+			if d > max {
+				max = d
+			}
+		}
+		if sum > 0 {
+			s.WorkerImbalance.Observe(float64(max) * float64(len(rc.workers)) / float64(sum))
+		}
+	}
+}
+
+// runCtx carries the per-call observability state. A nil *runCtx
+// disables stage timing throughout the scan (the default when no sink
+// is attached and no trace was requested); the struct is owned by one
+// user call and filled by at most one goroutine at a time — parallel
+// shards fill their own StageDurations entries.
+type runCtx struct {
+	// stages aggregates stage time across the whole call (parallel
+	// shards summed).
+	stages obs.StageDurations
+	// workers holds the scan-stage durations of each shard, in shard
+	// order (concatenated across shapes under the space search).
+	workers []obs.StageDurations
+}
+
+// suggestKeywordsN runs Algorithm 1 over a prepared keyword list with
+// an explicit scan worker count, sharding the anchor-subtree scan
+// across that many goroutines. Each worker owns the top-level children
+// whose ordinal is congruent to its shard index and skips the rest
+// with one galloping SkipTo per foreign child, so every posting is
+// still read at most once, by exactly one worker. Per-worker
+// accumulator tables are merged (and re-pruned to γ) before finalize.
+// The explicit count lets SuggestWithSpaces force sequential inner
+// scans when it already fans out over shapes (so one call never
+// exceeds Config.Workers goroutines in total). It does not touch
+// lastStats — callers that own a whole user call record the aggregate.
+func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestion, Stats) {
 	var st Stats
 	if len(kws) == 0 {
 		return nil, st
@@ -442,35 +555,80 @@ func (e *Engine) suggestKeywordsN(kws []Keyword, n int) ([]Suggestion, Stats) {
 	}
 
 	if n <= 1 {
-		acc, st := e.scanShard(kws, 0, 1)
-		return e.finalize(kws, acc), st
+		var tm *obs.StageDurations
+		if rc != nil {
+			tm = &obs.StageDurations{}
+		}
+		acc, st := e.scanShard(kws, 0, 1, tm)
+		st.WorkerSubtrees = []int{st.Subtrees}
+		if rc != nil {
+			rc.stages.Add(tm)
+			rc.workers = append(rc.workers, *tm)
+		}
+		return e.finalizeTimed(kws, acc, rc), st
 	}
 
 	parts := make([]*accumulators, n)
 	stats := make([]Stats, n)
+	var tms []obs.StageDurations
+	if rc != nil {
+		tms = make([]obs.StageDurations, n)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], stats[i] = e.scanShard(kws, i, n)
+			var tm *obs.StageDurations
+			if tms != nil {
+				tm = &tms[i]
+			}
+			parts[i], stats[i] = e.scanShard(kws, i, n, tm)
 		}(i)
 	}
 	wg.Wait()
 	for _, s := range stats {
 		st.add(s)
 	}
+	st.WorkerSubtrees = make([]int, n)
+	for i := range stats {
+		st.WorkerSubtrees[i] = stats[i].Subtrees
+	}
+	if rc != nil {
+		for i := range tms {
+			rc.stages.Add(&tms[i])
+		}
+		rc.workers = append(rc.workers, tms...)
+	}
 	acc, dropped := mergeAccumulators(parts, e.cfg.gamma())
 	st.Evictions += dropped
-	return e.finalize(kws, acc), st
+	return e.finalizeTimed(kws, acc, rc), st
+}
+
+// finalizeTimed is finalize with the rank stage attributed to rc.
+func (e *Engine) finalizeTimed(kws []Keyword, acc *accumulators, rc *runCtx) []Suggestion {
+	if rc == nil {
+		return e.finalize(kws, acc)
+	}
+	t0 := time.Now()
+	out := e.finalize(kws, acc)
+	rc.stages[obs.StageRank] += time.Since(t0)
+	return out
 }
 
 // scanShard is the scan loop of Algorithm 1 restricted to one shard of
 // the anchor subtrees. With nShards == 1 it is exactly the sequential
 // algorithm. Each shard reads the merged lists through its own
-// cursors, so shards share only the immutable index.
-func (e *Engine) scanShard(kws []Keyword, shard, nShards int) (*accumulators, Stats) {
+// cursors, so shards share only the immutable index. When tm is
+// non-nil the shard attributes its wall time across the scan,
+// enumerate, typeinfer, and accumulate stages; tm must be zeroed and
+// owned by this shard alone.
+func (e *Engine) scanShard(kws []Keyword, shard, nShards int, tm *obs.StageDurations) (*accumulators, Stats) {
 	var st Stats
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
 	d := e.cfg.minDepth()
 	lists := make([]*invindex.MergedList, len(kws))
 	for i, kw := range kws {
@@ -540,12 +698,18 @@ func (e *Engine) scanShard(kws []Keyword, shard, nShards int) (*accumulators, St
 			}
 		}
 		if complete {
-			e.enumerateAndScore(kws, occ, typeCache, acc, &st)
+			e.enumerateAndScore(kws, occ, typeCache, acc, &st, tm)
 		}
 
 		anchor, ok = e.maxHead(lists)
 	}
 
+	if tm != nil {
+		// Everything not attributed to an inner stage is merged-list
+		// scanning: anchor selection, galloping skips, collection.
+		tm[obs.StageScan] += time.Since(t0) -
+			tm[obs.StageEnumerate] - tm[obs.StageTypeInfer] - tm[obs.StageAccumulate]
+	}
 	return acc, st
 }
 
@@ -592,7 +756,18 @@ func (e *Engine) enumerateAndScore(
 	typeCache map[string]xmltree.PathID,
 	acc *accumulators,
 	st *Stats,
+	tm *obs.StageDurations,
 ) {
+	if tm != nil {
+		t0 := time.Now()
+		beforeTI, beforeAcc := tm[obs.StageTypeInfer], tm[obs.StageAccumulate]
+		defer func() {
+			// Enumeration is this call's wall time minus the inner
+			// inference and accumulation work recorded during it.
+			tm[obs.StageEnumerate] += time.Since(t0) -
+				(tm[obs.StageTypeInfer] - beforeTI) - (tm[obs.StageAccumulate] - beforeAcc)
+		}()
+	}
 	present := make([][]int, len(kws))
 	for i := range kws {
 		if len(occ[i]) == 0 {
@@ -615,7 +790,7 @@ func (e *Engine) enumerateAndScore(
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(kws) {
-			e.scoreCandidate(kws, scratch, occ, groups, typeCache, acc, st)
+			e.scoreCandidate(kws, scratch, occ, groups, typeCache, acc, st, tm)
 			return
 		}
 		for _, idx := range present[i] {
@@ -677,6 +852,7 @@ func (e *Engine) scoreCandidate(
 	typeCache map[string]xmltree.PathID,
 	acc *accumulators,
 	st *Stats,
+	tm *obs.StageDurations,
 ) {
 	st.CandidatesSeen++
 	choice, words := sc.choice, sc.words
@@ -689,8 +865,14 @@ func (e *Engine) scoreCandidate(
 	}
 	sc.keyBuf = buf
 
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
 	resType, cached := typeCache[string(buf)] // no alloc: map lookup
-	if !cached {
+	if cached {
+		st.TypeCacheHits++
+	} else {
 		st.TypeComputations++
 		best, _, ok := e.inf.Best(words)
 		if !ok {
@@ -698,6 +880,11 @@ func (e *Engine) scoreCandidate(
 		}
 		resType = best
 		typeCache[string(buf)] = resType
+	}
+	if tm != nil {
+		tm[obs.StageTypeInfer] += time.Since(t0)
+		t1 := time.Now()
+		defer func() { tm[obs.StageAccumulate] += time.Since(t1) }()
 	}
 	if resType == xmltree.InvalidPath {
 		return

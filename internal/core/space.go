@@ -4,7 +4,9 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"time"
 
+	"xclean/internal/obs"
 	"xclean/internal/tokenizer"
 )
 
@@ -36,12 +38,42 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 // parallelism at Config.Workers), and their results are merged in
 // deterministic shape order.
 func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
+	out, st, _ := e.suggestSpacesObserved(query, false)
+	return out, st
+}
+
+// SuggestWithSpacesExplained is SuggestWithSpaces plus the per-query
+// trace (see SuggestExplained). Shape-level spans are concatenated in
+// deterministic shape order; the keyword table reports the base
+// (unchanged) tokenization.
+func (e *Engine) SuggestWithSpacesExplained(query string) ([]Suggestion, *Explain) {
+	out, _, ex := e.suggestSpacesObserved(query, true)
+	return out, ex
+}
+
+// suggestSpacesObserved is the single user-call entry of the space
+// path. Shapes are independent Algorithm 1 runs, so each carries its
+// own runCtx (no shared timing state across goroutines); the contexts
+// are merged in shape order once every shape has finished.
+func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion, Stats, *Explain) {
+	timed := e.sink != nil || explain
+	var start time.Time
+	var rc *runCtx
+	if timed {
+		start = time.Now()
+		rc = &runCtx{}
+	}
 	raw := tokenizer.TokenizeRaw(query)
 	shapes := e.expandShapes(raw, e.cfg.tau())
+	if timed {
+		rc.stages[obs.StageTokenize] += time.Since(start)
+	}
 
 	type shapeResult struct {
 		sugs []Suggestion
 		st   Stats
+		kws  []Keyword
+		rc   *runCtx
 	}
 	results := make([]shapeResult, len(shapes))
 	run := func(i, inner int) {
@@ -49,8 +81,18 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 		if len(kept) == 0 {
 			return
 		}
-		sugs, st := e.suggestKeywordsN(e.keywordsFor(kept), inner)
-		results[i] = shapeResult{sugs: sugs, st: st}
+		var src *runCtx
+		var tv time.Time
+		if timed {
+			src = &runCtx{}
+			tv = time.Now()
+		}
+		kws := e.keywordsFor(kept)
+		if timed {
+			src.stages[obs.StageVariants] += time.Since(tv)
+		}
+		sugs, st := e.suggestKeywordsN(kws, inner, src)
+		results[i] = shapeResult{sugs: sugs, st: st, kws: kws, rc: src}
 	}
 	if w := e.cfg.workers(); w > 1 && len(shapes) > 1 {
 		// Parallelism lives at the shape level here: each shape's scan
@@ -75,6 +117,10 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 		}
 	}
 
+	var tr time.Time
+	if timed {
+		tr = time.Now()
+	}
 	var total Stats
 	beta := e.em.beta()
 	best := make(map[string]Suggestion)
@@ -92,18 +138,35 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 	}
 	e.setLastStats(total)
 
-	if len(best) == 0 {
-		return nil, total
+	var out []Suggestion
+	if len(best) > 0 {
+		out = make([]Suggestion, 0, len(best))
+		for _, s := range best {
+			out = append(out, s)
+		}
+		sortSuggestions(out)
+		if k := e.cfg.k(); len(out) > k {
+			out = out[:k]
+		}
 	}
-	out := make([]Suggestion, 0, len(best))
-	for _, s := range best {
-		out = append(out, s)
+
+	if !timed {
+		return out, total, nil
 	}
-	sortSuggestions(out)
-	if k := e.cfg.k(); len(out) > k {
-		out = out[:k]
+	for i := range results {
+		if src := results[i].rc; src != nil {
+			rc.stages.Add(&src.stages)
+			rc.workers = append(rc.workers, src.workers...)
+		}
 	}
-	return out, total
+	rc.stages[obs.StageRank] += time.Since(tr)
+	totalDur := time.Since(start)
+	e.observeCall(totalDur, rc, total)
+	var ex *Explain
+	if explain {
+		ex = e.newExplain(query, results[0].kws, rc, total, out, totalDur)
+	}
+	return out, total, ex
 }
 
 // expandShapes enumerates tokenizations reachable with at most tau

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"xclean/internal/invindex"
@@ -114,7 +115,7 @@ func TestSuggestWithSpacesAggregatesStats(t *testing.T) {
 		if len(kept) == 0 {
 			continue
 		}
-		_, st := e.suggestKeywords(e.keywordsFor(kept))
+		_, st := e.suggestKeywordsN(e.keywordsFor(kept), e.cfg.workers(), nil)
 		if st.Subtrees > 0 {
 			productive++
 		}
@@ -125,7 +126,7 @@ func TestSuggestWithSpacesAggregatesStats(t *testing.T) {
 	}
 
 	e.SuggestWithSpaces(query)
-	if got := e.Stats(); got != want {
+	if got := e.Stats(); !reflect.DeepEqual(got, want) {
 		t.Errorf("stats not aggregated across shapes:\n got=%+v\nwant=%+v", got, want)
 	}
 }

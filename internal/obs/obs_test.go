@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"tokenize", "variants", "scan", "enumerate", "typeinfer", "accumulate", "rank"}
+	got := Stages()
+	if len(got) != int(NumStages) {
+		t.Fatalf("Stages() has %d entries, want %d", len(got), NumStages)
+	}
+	for i, name := range want {
+		if got[i].String() != name {
+			t.Errorf("stage %d = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 6 {
+		t.Errorf("counter = %d, want 6", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.9, 3, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if want := 0.5 + 1.5 + 1.9 + 3 + 100; snap.Sum != want {
+		t.Errorf("sum = %v, want %v", snap.Sum, want)
+	}
+	// Cumulative bucket counts: ≤1: 1, ≤2: 3, ≤4: 4, ≤+Inf: 5.
+	wantCounts := []int64{1, 3, 4, 5}
+	if len(snap.Buckets) != len(wantCounts) {
+		t.Fatalf("bucket count %d, want %d", len(snap.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if snap.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] (le=%v) = %d, want %d", i, snap.Buckets[i].Le, snap.Buckets[i].Count, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 30))
+	}
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.5)
+	if p50 < 10 || p50 > 20 {
+		t.Errorf("p50 = %v, want within (10, 20]", p50)
+	}
+	if q := snap.Quantile(0.99); q > 30 {
+		t.Errorf("p99 = %v escaped the top finite bucket", q)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewDurationHistogram()
+	h.ObserveDuration(50 * time.Millisecond)
+	snap := h.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Sum < 0.049 || snap.Sum > 0.051 {
+		t.Errorf("sum = %v seconds, want 0.05", snap.Sum)
+	}
+}
+
+// TestPrometheusExposition validates every emitted line against the
+// text-format grammar: comments start with "# HELP"/"# TYPE", samples
+// are `name[{labels}] value`, histogram buckets are cumulative and end
+// with +Inf, and _count equals the +Inf bucket.
+func TestPrometheusExposition(t *testing.T) {
+	s := NewSink()
+	var stages StageDurations
+	stages[StageScan] = 2 * time.Millisecond
+	stages[StageRank] = time.Millisecond
+	s.ObserveSuggest(5*time.Millisecond, &stages)
+	s.PostingsRead.Add(42)
+	s.TypeCacheHits.Add(7)
+	s.WorkerImbalance.Observe(1.3)
+
+	var buf bytes.Buffer
+	s.WritePrometheus(&buf, "")
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("suspiciously short exposition: %d lines", len(lines))
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			f := strings.Fields(ln)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				t.Errorf("malformed comment line %q", ln)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(ln, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", ln)
+		}
+		name, val := ln[:sp], ln[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Errorf("line %q: value %q is not a float", ln, val)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("line %q: unterminated label set", ln)
+			}
+			name = name[:i]
+		}
+		if !strings.HasPrefix(name, "xclean_engine_") {
+			t.Errorf("line %q: metric %q outside the namespace", ln, name)
+		}
+		seen[name] = true
+	}
+	for _, want := range []string{
+		"xclean_engine_suggest_requests_total",
+		"xclean_engine_suggest_duration_seconds_bucket",
+		"xclean_engine_suggest_duration_seconds_sum",
+		"xclean_engine_suggest_duration_seconds_count",
+		"xclean_engine_stage_duration_seconds_bucket",
+		"xclean_engine_postings_read_total",
+		"xclean_engine_type_cache_hits_total",
+		"xclean_engine_type_cache_misses_total",
+		"xclean_engine_accumulator_evictions_total",
+		"xclean_engine_worker_imbalance_ratio_bucket",
+		"xclean_engine_slow_queries_total",
+	} {
+		if !seen[want] {
+			t.Errorf("metric %s missing from exposition", want)
+		}
+	}
+
+	// Cumulative buckets must be monotone and end at +Inf == _count.
+	var last int64 = -1
+	var infCount, count int64 = -1, -1
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "xclean_engine_suggest_duration_seconds_bucket") {
+			v, _ := strconv.ParseInt(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+			if v < last {
+				t.Errorf("bucket counts not cumulative at %q", ln)
+			}
+			last = v
+			if strings.Contains(ln, `le="+Inf"`) {
+				infCount = v
+			}
+		}
+		if strings.HasPrefix(ln, "xclean_engine_suggest_duration_seconds_count") {
+			count, _ = strconv.ParseInt(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		}
+	}
+	if infCount < 0 || infCount != count {
+		t.Errorf("+Inf bucket %d != _count %d", infCount, count)
+	}
+}
+
+func TestSpansOf(t *testing.T) {
+	var call StageDurations
+	call[StageTokenize] = time.Microsecond
+	call[StageVariants] = 2 * time.Microsecond
+	call[StageRank] = 3 * time.Microsecond
+	workers := []StageDurations{{}, {}}
+	workers[0][StageScan] = 5 * time.Microsecond
+	workers[1][StageScan] = 6 * time.Microsecond
+	spans := SpansOf(&call, workers)
+
+	// 3 call-level + 2 workers × 4 scan-phase stages.
+	if len(spans) != 3+2*4 {
+		t.Fatalf("span count %d", len(spans))
+	}
+	if spans[0].Stage != "tokenize" || spans[0].Worker != -1 {
+		t.Errorf("first span %+v", spans[0])
+	}
+	var w0scan, w1scan int64
+	for _, sp := range spans {
+		if sp.Stage == "scan" && sp.Worker == 0 {
+			w0scan = sp.DurationNs
+		}
+		if sp.Stage == "scan" && sp.Worker == 1 {
+			w1scan = sp.DurationNs
+		}
+	}
+	if w0scan != 5000 || w1scan != 6000 {
+		t.Errorf("worker scan spans %d, %d", w0scan, w1scan)
+	}
+}
+
+// TestConcurrentSink hammers every sink primitive from many
+// goroutines; run under -race this is the counter/histogram race test.
+func TestConcurrentSink(t *testing.T) {
+	s := NewSink()
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var stages StageDurations
+			stages[StageScan] = time.Duration(w+1) * time.Microsecond
+			for i := 0; i < rounds; i++ {
+				s.ObserveSuggest(time.Duration(i)*time.Microsecond, &stages)
+				s.PostingsRead.Add(3)
+				s.TypeCacheHits.Inc()
+				s.WorkerImbalance.Observe(1.0 + float64(i%10)/10)
+				if i%100 == 0 {
+					_ = s.Snapshot()
+					var buf bytes.Buffer
+					s.WritePrometheus(&buf, "")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := s.Queries.Value(); got != workers*rounds {
+		t.Errorf("queries = %d, want %d", got, workers*rounds)
+	}
+	if got := s.QueryDur.Count(); got != workers*rounds {
+		t.Errorf("histogram count = %d, want %d", got, workers*rounds)
+	}
+	if got := s.PostingsRead.Value(); got != workers*rounds*3 {
+		t.Errorf("postings = %d, want %d", got, workers*rounds*3)
+	}
+}

@@ -1,0 +1,91 @@
+package qlog
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultSlowThreshold is the slow-query cutoff when none is given.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// SlowRecord is one slow-query log entry: the request identity plus
+// the full trace of the outlier call, so the stage that blew the
+// budget is visible without reproducing the query.
+type SlowRecord struct {
+	// Time is the completion time in RFC 3339 with nanoseconds.
+	Time string `json:"time"`
+	// RequestID ties the entry to the access log and the /suggest
+	// response that carried it.
+	RequestID string `json:"requestId,omitempty"`
+	Query     string `json:"query"`
+	// Spaces records whether the space-error search ran.
+	Spaces     bool  `json:"spaces,omitempty"`
+	DurationNs int64 `json:"durationNs"`
+	// Suggestions is the number of suggestions returned.
+	Suggestions int `json:"suggestions"`
+	// Explain is the per-stage trace (a *core.Explain in practice; typed
+	// loosely so this package stays independent of the engine).
+	Explain any `json:"explain,omitempty"`
+}
+
+// SlowLog appends the trace of every request slower than a threshold
+// to a writer as one JSON object per line (JSONL — greppable, and each
+// line is independently parseable). It is safe for concurrent use.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	count     int64
+}
+
+// NewSlowLog builds a slow-query log writing to w. A zero or negative
+// threshold uses DefaultSlowThreshold.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// Threshold returns the slow cutoff.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Count returns how many records have been written.
+func (l *SlowLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Record writes rec if its duration reaches the threshold, reporting
+// whether it did. A nil receiver records nothing.
+func (l *SlowLog) Record(rec SlowRecord) bool {
+	if l == nil || time.Duration(rec.DurationNs) < l.threshold {
+		return false
+	}
+	if rec.Time == "" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return false
+	}
+	l.count++
+	return true
+}

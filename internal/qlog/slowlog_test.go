@@ -1,0 +1,84 @@
+package qlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+
+	if l.Record(SlowRecord{Query: "fast", DurationNs: int64(time.Millisecond)}) {
+		t.Error("fast request recorded")
+	}
+	if !l.Record(SlowRecord{RequestID: "r1", Query: "slow", DurationNs: int64(time.Second), Suggestions: 2}) {
+		t.Error("slow request dropped")
+	}
+	if l.Count() != 1 {
+		t.Errorf("count %d", l.Count())
+	}
+
+	line := strings.TrimRight(buf.String(), "\n")
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("expected one JSONL line, got %q", buf.String())
+	}
+	var rec SlowRecord
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if rec.Query != "slow" || rec.RequestID != "r1" || rec.Suggestions != 2 {
+		t.Errorf("record %+v", rec)
+	}
+	if rec.Time == "" {
+		t.Error("no timestamp stamped")
+	}
+}
+
+func TestSlowLogDefaults(t *testing.T) {
+	l := NewSlowLog(&bytes.Buffer{}, 0)
+	if l.Threshold() != DefaultSlowThreshold {
+		t.Errorf("threshold %v", l.Threshold())
+	}
+	var nilLog *SlowLog
+	if nilLog.Record(SlowRecord{DurationNs: int64(time.Hour)}) {
+		t.Error("nil log recorded")
+	}
+	if nilLog.Count() != 0 || nilLog.Threshold() != 0 {
+		t.Error("nil log accessors")
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, time.Nanosecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Record(SlowRecord{Query: "q", DurationNs: int64(time.Second)})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 400 {
+		t.Fatalf("count %d", l.Count())
+	}
+	// Every line must be independently parseable (no interleaving).
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, ln := range lines {
+		var rec SlowRecord
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("corrupt line %q: %v", ln, err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"xclean"
+	"xclean/internal/qlog"
+)
+
+// obsServer builds a server whose engine feeds a sink, as xserve wires
+// it in production.
+func obsServer(t *testing.T, cfg Config) (*httptest.Server, *xclean.Observer) {
+	t.Helper()
+	eng := testEngine(t)
+	sink := xclean.NewObserver()
+	eng.SetObserver(sink)
+	cfg.Obs = sink
+	ts := httptest.NewServer(New(eng, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, sink
+}
+
+func TestSuggestDebugSpans(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	resp, body := get(t, ts.URL+"/suggest?q=rose+fpga+architecure&debug=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Explain == nil {
+		t.Fatal("debug=1 returned no explain")
+	}
+	ex := sr.Explain
+	if ex.Query != "rose fpga architecure" {
+		t.Errorf("explain query %q", ex.Query)
+	}
+	if len(ex.Spans) == 0 {
+		t.Fatal("no spans")
+	}
+	stages := map[string]bool{}
+	var sum int64
+	for _, sp := range ex.Spans {
+		if sp.DurationNs < 0 {
+			t.Errorf("negative span %+v", sp)
+		}
+		stages[sp.Stage] = true
+		sum += sp.DurationNs
+	}
+	for _, want := range []string{"tokenize", "variants", "scan", "rank"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from spans (have %v)", want, stages)
+		}
+	}
+	if sum == 0 || sum > 2*ex.TookNs+int64(time.Millisecond) {
+		t.Errorf("span sum %dns vs total %dns", sum, ex.TookNs)
+	}
+	if len(ex.Keywords) != 3 {
+		t.Errorf("keyword table %+v", ex.Keywords)
+	}
+	if sr.RequestID == "" || resp.Header.Get("X-Request-Id") != sr.RequestID {
+		t.Errorf("request id body %q header %q", sr.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	// Without debug=1 the trace must not leak.
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga+architecure")
+	if strings.Contains(string(body), `"explain"`) {
+		t.Errorf("explain leaked: %s", body)
+	}
+}
+
+func TestDebugBypassesCache(t *testing.T) {
+	ts, _ := obsServer(t, Config{CacheSize: 8})
+	get(t, ts.URL+"/suggest?q=rose+fpga") // warm the cache
+	_, body := get(t, ts.URL+"/suggest?q=rose+fpga&debug=1")
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Explain == nil {
+		t.Error("debug request served from cache: no trace")
+	}
+}
+
+func TestRequestIDAdopted(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/suggest?q=rose", nil)
+	req.Header.Set("X-Request-Id", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-supplied-42" {
+		t.Errorf("request id %q, want the client's", got)
+	}
+}
+
+// TestPrometheusEndpoint scrapes twice and checks the exposition is
+// well-formed with counters that only move up.
+func TestPrometheusEndpoint(t *testing.T) {
+	ts, _ := obsServer(t, Config{CacheSize: 8})
+
+	counters := func() map[string]float64 {
+		resp, body := get(t, ts.URL+"/metricz?format=prometheus")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		out := map[string]float64{}
+		for _, ln := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+			if strings.HasPrefix(ln, "#") {
+				continue
+			}
+			sp := strings.LastIndexByte(ln, ' ')
+			if sp < 0 {
+				t.Fatalf("malformed sample %q", ln)
+			}
+			v, err := strconv.ParseFloat(ln[sp+1:], 64)
+			if err != nil {
+				t.Fatalf("sample %q: %v", ln, err)
+			}
+			out[ln[:sp]] = v
+		}
+		return out
+	}
+
+	get(t, ts.URL+"/suggest?q=rose+fpga")
+	first := counters()
+	for _, want := range []string{
+		"xclean_http_suggest_requests_total",
+		"xclean_http_cache_misses_total",
+		"xclean_engine_suggest_requests_total",
+		"xclean_engine_postings_read_total",
+	} {
+		if _, ok := first[want]; !ok {
+			t.Errorf("metric %s missing", want)
+		}
+	}
+	if first["xclean_engine_suggest_requests_total"] != 1 {
+		t.Errorf("engine requests = %v after one miss", first["xclean_engine_suggest_requests_total"])
+	}
+
+	get(t, ts.URL+"/suggest?q=smith+databse")
+	second := counters()
+	for name, v := range first {
+		if strings.Contains(name, "_total") || strings.Contains(name, "_count") ||
+			strings.Contains(name, "_bucket") {
+			if second[name] < v {
+				t.Errorf("counter %s went backwards: %v -> %v", name, v, second[name])
+			}
+		}
+	}
+	if second["xclean_engine_suggest_requests_total"] != 2 {
+		t.Errorf("engine requests = %v after two misses", second["xclean_engine_suggest_requests_total"])
+	}
+}
+
+func TestMetriczJSONIncludesEngine(t *testing.T) {
+	ts, _ := obsServer(t, Config{})
+	get(t, ts.URL+"/suggest?q=rose+fpga")
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine == nil {
+		t.Fatal("no engine snapshot")
+	}
+	if m.Engine.Queries != 1 || m.Engine.PostingsRead == 0 {
+		t.Errorf("engine snapshot %+v", m.Engine)
+	}
+	if len(m.Engine.Stages) == 0 {
+		t.Error("no stage histograms")
+	}
+}
+
+func TestSlowLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	slow := qlog.NewSlowLog(&buf, time.Nanosecond) // everything is slow
+	ts, sink := obsServer(t, Config{SlowLog: slow})
+
+	_, body := get(t, ts.URL+"/suggest?q=rose+fpga")
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Count() != 1 {
+		t.Fatalf("slow log count %d", slow.Count())
+	}
+	var rec qlog.SlowRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("slow log line not JSON: %v (%s)", err, buf.String())
+	}
+	if rec.Query != "rose fpga" || rec.RequestID != sr.RequestID {
+		t.Errorf("record %+v vs response id %q", rec, sr.RequestID)
+	}
+	if rec.Explain == nil {
+		t.Error("slow record carries no trace")
+	}
+	if got := sink.SlowQueries.Value(); got != 1 {
+		t.Errorf("sink slow queries = %d", got)
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	slow := qlog.NewSlowLog(&buf, time.Hour) // nothing is slow
+	ts, _ := obsServer(t, Config{SlowLog: slow})
+	get(t, ts.URL+"/suggest?q=rose+fpga")
+	if slow.Count() != 0 {
+		t.Errorf("slow log recorded a fast request: %s", buf.String())
+	}
+}

@@ -2,9 +2,9 @@
 // API, turning the library into the "Did you mean" service the paper's
 // introduction motivates:
 //
-//	GET  /suggest?q=<query>[&k=N][&spaces=1][&preview=1]  → ranked suggestions
+//	GET  /suggest?q=<query>[&k=N][&spaces=1][&preview=1][&debug=1]  → ranked suggestions
 //	GET  /stats                                → indexed-document statistics
-//	GET  /metricz                              → service metrics (requests, cache, latency)
+//	GET  /metricz[?format=prometheus]          → service + engine metrics
 //	GET  /healthz                              → liveness probe
 //	POST /click?entity=<dewey>                 → record entity feedback (query log)
 //	GET  /topqueries?n=N                       → most frequent logged queries
@@ -12,6 +12,11 @@
 // With a query log configured, every /suggest query and /click is
 // recorded; the accumulated log yields the entity priors and query
 // popularity the paper's Eq. (8) generalization consumes.
+//
+// Every request is assigned an ID (or adopts an incoming X-Request-Id
+// header), echoed in the X-Request-Id response header, the /suggest
+// body, the structured access log, and the slow-query log, so one
+// outlier request can be traced across all four.
 //
 // The handler is safe for concurrent use (the engine's index structures
 // are read-only after construction) and supports graceful shutdown.
@@ -21,15 +26,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"xclean"
 	"xclean/internal/cache"
 	"xclean/internal/eval"
+	"xclean/internal/obs"
 	"xclean/internal/qlog"
 	"xclean/internal/xmltree"
 )
@@ -39,6 +46,11 @@ import (
 type Engine interface {
 	Suggest(query string) []xclean.Suggestion
 	SuggestWithSpaces(query string) []xclean.Suggestion
+	// SuggestExplained and SuggestWithSpacesExplained return the same
+	// suggestions plus the per-query trace served under /suggest?debug=1
+	// and recorded by the slow-query log.
+	SuggestExplained(query string) ([]xclean.Suggestion, *xclean.Explain)
+	SuggestWithSpacesExplained(query string) ([]xclean.Suggestion, *xclean.Explain)
 	Stats() xclean.IndexStats
 	// Preview renders the witness entity of a suggestion (empty unless
 	// the engine stores text).
@@ -49,8 +61,9 @@ type Engine interface {
 type Config struct {
 	// Addr is the listen address (default ":8080").
 	Addr string
-	// Logger receives one line per request; nil disables logging.
-	Logger *log.Logger
+	// Logger receives one structured line per request; nil disables
+	// access logging.
+	Logger *slog.Logger
 	// MaxQueryLen rejects oversized queries (0 = 1024 bytes).
 	MaxQueryLen int
 	// ReadTimeout and WriteTimeout bound request handling
@@ -65,6 +78,17 @@ type Config struct {
 	// Zipfian. The server does not mutate the engine; callers that do
 	// must restart it.
 	CacheSize int
+	// Obs is the engine's metrics sink. The server does not attach it —
+	// callers do, via xclean.Engine.SetObserver — but when set here,
+	// /metricz includes its snapshot and the Prometheus exposition
+	// covers the engine's stage histograms and counters.
+	Obs *obs.Sink
+	// SlowLog, when non-nil, receives the full trace of every /suggest
+	// engine call slower than its threshold. Configuring it makes every
+	// cache-miss request run in explain mode (the trace must exist
+	// before the request is known to be slow); the tracing overhead is
+	// a few extra clock reads per request.
+	SlowLog *qlog.SlowLog
 }
 
 func (c Config) addr() string {
@@ -110,11 +134,16 @@ type Server struct {
 	latency     eval.LatencyRecorder
 	hitLatency  eval.LatencyRecorder
 	missLatency eval.LatencyRecorder
+	// httpDur is the /suggest handler latency histogram backing the
+	// Prometheus exposition (the recorders above keep the JSON
+	// percentile view).
+	httpDur *obs.Histogram
 }
 
 // New builds a server around an engine.
 func New(eng Engine, cfg Config) *Server {
-	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(),
+		httpDur: obs.NewDurationHistogram()}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New[[]xclean.Suggestion](cfg.CacheSize)
 	}
@@ -190,6 +219,11 @@ type SuggestResponse struct {
 	Query       string           `json:"query"`
 	Suggestions []SuggestionJSON `json:"suggestions"`
 	TookMillis  float64          `json:"tookMillis"`
+	// RequestID echoes the request's ID (also in the X-Request-Id
+	// header) for correlation with the access and slow-query logs.
+	RequestID string `json:"requestId,omitempty"`
+	// Explain carries the per-query trace when debug=1 was passed.
+	Explain *xclean.Explain `json:"explain,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -227,8 +261,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	spaces := r.URL.Query().Get("spaces") == "1"
+	debug := r.URL.Query().Get("debug") == "1"
+	rid := requestIDFrom(r.Context())
 	start := time.Now()
 	var sugs []xclean.Suggestion
+	var ex *xclean.Explain
 	cacheKey := ""
 	cached := false
 	if s.cache != nil {
@@ -236,12 +273,24 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		if spaces {
 			cacheKey = "s\x00" + q
 		}
-		sugs, cached = s.cache.Get(cacheKey)
+		// debug=1 bypasses the cache read: a trace must reflect a real
+		// engine execution, not a map lookup.
+		if !debug {
+			sugs, cached = s.cache.Get(cacheKey)
+		}
 	}
 	if !cached {
-		if spaces {
+		// The slow-query log needs the trace before the request is known
+		// to be slow, so a configured SlowLog forces explain mode too.
+		trace := debug || s.cfg.SlowLog != nil
+		switch {
+		case trace && spaces:
+			sugs, ex = s.eng.SuggestWithSpacesExplained(q)
+		case trace:
+			sugs, ex = s.eng.SuggestExplained(q)
+		case spaces:
 			sugs = s.eng.SuggestWithSpaces(q)
-		} else {
+		default:
 			sugs = s.eng.Suggest(q)
 		}
 		if s.cache != nil {
@@ -250,10 +299,27 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	took := time.Since(start)
 	s.latency.Record(took)
+	s.httpDur.ObserveDuration(took)
 	if cached {
 		s.hitLatency.Record(took)
 	} else {
 		s.missLatency.Record(took)
+	}
+	if !cached && s.cfg.SlowLog.Record(qlog.SlowRecord{
+		RequestID:   rid,
+		Query:       q,
+		Spaces:      spaces,
+		DurationNs:  took.Nanoseconds(),
+		Suggestions: len(sugs),
+		Explain:     ex,
+	}) {
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.SlowQueries.Inc()
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("slow query", "requestId", rid, "query", q,
+				"spaces", spaces, "tookMillis", float64(took.Microseconds())/1000)
+		}
 	}
 	if k > 0 && len(sugs) > k {
 		sugs = sugs[:k]
@@ -263,6 +329,10 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		Query:       q,
 		Suggestions: make([]SuggestionJSON, len(sugs)),
 		TookMillis:  float64(time.Since(start).Microseconds()) / 1000,
+		RequestID:   rid,
+	}
+	if debug {
+		resp.Explain = ex
 	}
 	withPreview := r.URL.Query().Get("preview") == "1"
 	for i, sg := range sugs {
@@ -302,11 +372,21 @@ type Metrics struct {
 	Latency         eval.LatencyStats `json:"latency"`
 	LatencyHits     eval.LatencyStats `json:"latencyHits"`
 	LatencyMisses   eval.LatencyStats `json:"latencyMisses"`
+	// SlowQueries counts requests the slow-query log recorded (0 when
+	// no slow log is configured).
+	SlowQueries int64 `json:"slowQueries"`
+	// Engine is the engine-side sink snapshot (per-stage latency
+	// histograms, cache and scan counters) when Config.Obs is set.
+	Engine *obs.SinkSnapshot `json:"engine,omitempty"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writePrometheus(w)
 		return
 	}
 	st := s.latency.Stats()
@@ -315,12 +395,43 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		Latency:         st,
 		LatencyHits:     s.hitLatency.Stats(),
 		LatencyMisses:   s.missLatency.Stats(),
+		SlowQueries:     s.cfg.SlowLog.Count(),
 	}
 	if s.cache != nil {
 		m.CacheHits, m.CacheMisses = s.cache.Stats()
 		m.CacheEntries = s.cache.Len()
 	}
+	if s.cfg.Obs != nil {
+		snap := s.cfg.Obs.Snapshot()
+		m.Engine = &snap
+	}
 	s.writeJSON(w, http.StatusOK, m)
+}
+
+// writePrometheus renders GET /metricz?format=prometheus: the server's
+// HTTP-side series under xclean_http_*, then — when Config.Obs is set —
+// the engine sink under xclean_engine_* (stage histograms, cache and
+// scan counters).
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	obs.WriteCounter(w, "xclean_http_suggest_requests_total",
+		"Completed /suggest requests.", int64(s.latency.Stats().Count))
+	obs.WriteHistogram(w, "xclean_http_suggest_duration_seconds",
+		"/suggest handler latency (cache hits included).", s.httpDur)
+	if s.cache != nil {
+		hits, misses := s.cache.Stats()
+		obs.WriteCounter(w, "xclean_http_cache_hits_total", "Suggestion cache hits.", hits)
+		obs.WriteCounter(w, "xclean_http_cache_misses_total", "Suggestion cache misses.", misses)
+		obs.WriteGauge(w, "xclean_http_cache_entries", "Suggestion cache resident entries.", float64(s.cache.Len()))
+	}
+	if s.cfg.SlowLog != nil {
+		obs.WriteCounter(w, "xclean_http_slow_queries_total",
+			"Requests recorded by the slow-query log.", s.cfg.SlowLog.Count())
+	}
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.WritePrometheus(w, "xclean_engine")
+	}
 }
 
 func (s *Server) handleClick(w http.ResponseWriter, r *http.Request) {
@@ -372,7 +483,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil && s.cfg.Logger != nil {
-		s.cfg.Logger.Printf("encode response: %v", err)
+		s.cfg.Logger.Error("encode response", "err", err)
 	}
 }
 
@@ -380,17 +491,54 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	s.writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
-// logWrap logs one line per request when a logger is configured.
+// ctxKey keys server values in a request context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// reqSeq numbers requests within this process; combined with the
+// process start time it yields IDs unique across restarts.
+var reqSeq atomic.Uint64
+
+var procEpoch = time.Now().UnixNano()
+
+func newRequestID() string {
+	return fmt.Sprintf("%x-%06d", uint64(procEpoch)&0xffffffff, reqSeq.Add(1))
+}
+
+// requestIDFrom returns the request ID the middleware stored, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// maxRequestIDLen bounds adopted client-supplied X-Request-Id values.
+const maxRequestIDLen = 64
+
+// logWrap assigns every request an ID (adopting a sane incoming
+// X-Request-Id), echoes it in the response header, and — when a logger
+// is configured — emits one structured access-log line per request.
 func (s *Server) logWrap(next http.Handler) http.Handler {
-	if s.cfg.Logger == nil {
-		return next
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" || len(rid) > maxRequestIDLen {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, rid))
+		if s.cfg.Logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(),
-			sw.status, time.Since(start))
+		s.cfg.Logger.Info("request",
+			"requestId", rid,
+			"method", r.Method,
+			"uri", r.URL.RequestURI(),
+			"status", sw.status,
+			"took", time.Since(start))
 	})
 }
 

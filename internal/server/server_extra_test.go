@@ -3,7 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -22,7 +22,7 @@ func TestListenAndServeBadAddr(t *testing.T) {
 
 func TestRequestLogging(t *testing.T) {
 	var buf bytes.Buffer
-	logger := log.New(&buf, "", 0)
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
 	ts := httptest.NewServer(New(testEngine(t), Config{Logger: logger}).Handler())
 	defer ts.Close()
 
@@ -32,8 +32,10 @@ func TestRequestLogging(t *testing.T) {
 	}
 	resp.Body.Close()
 	line := buf.String()
-	if !strings.Contains(line, "GET /suggest?q=rose 200") {
-		t.Errorf("log line %q", line)
+	for _, want := range []string{"method=GET", `uri="/suggest?q=rose"`, "status=200", "requestId="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
 	}
 
 	// Error statuses are logged with their code.
@@ -43,7 +45,7 @@ func TestRequestLogging(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if !strings.Contains(buf.String(), "400") {
+	if !strings.Contains(buf.String(), "status=400") {
 		t.Errorf("log line %q", buf.String())
 	}
 }

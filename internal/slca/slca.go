@@ -14,11 +14,13 @@ package slca
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"xclean/internal/core"
 	"xclean/internal/fastss"
 	"xclean/internal/invindex"
 	"xclean/internal/lm"
+	"xclean/internal/obs"
 	"xclean/internal/xmltree"
 )
 
@@ -32,7 +34,17 @@ type Engine struct {
 	cfg   core.Config
 	// elca switches the entity decomposition from SLCA to ELCA nodes.
 	elca bool
+	// sink, when non-nil, receives per-call latency, stage, and work
+	// aggregates. Carried across Refresh.
+	sink *obs.Sink
 }
+
+// SetSink attaches (or with nil, detaches) the observability sink.
+// Must not race with in-flight queries; set it before serving.
+func (e *Engine) SetSink(s *obs.Sink) { e.sink = s }
+
+// Sink returns the attached sink, or nil.
+func (e *Engine) Sink() *obs.Sink { return e.sink }
 
 // NewEngine builds an SLCA engine over an index with the same Config
 // knobs as the core engine. The ResultType of returned suggestions is
@@ -73,6 +85,7 @@ func (e *Engine) Refresh(newWords []string) *Engine {
 	}
 	ne := NewEngineWithFastSS(e.ix, fss, e.cfg)
 	ne.elca = e.elca
+	ne.sink = e.sink
 	return ne
 }
 
@@ -118,16 +131,90 @@ type candAgg struct {
 // Suggest returns the top-k alternative queries under the SLCA
 // semantics.
 func (e *Engine) Suggest(query string) []core.Suggestion {
+	out, _ := e.suggestObserved(query, false)
+	return out
+}
+
+// SuggestExplained is Suggest plus the per-query trace. The SLCA scan
+// is single-threaded, so the trace carries one worker entry; result
+// types are empty (SLCA entities have no single node type), and the
+// type-cache counters stay zero (this path infers no types).
+func (e *Engine) SuggestExplained(query string) ([]core.Suggestion, *core.Explain) {
+	return e.suggestObserved(query, true)
+}
+
+// suggestObserved runs the SLCA scan, timing each pipeline stage when
+// a sink is attached or a trace was requested (timed == false costs
+// nothing beyond the branch checks).
+func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion, *core.Explain) {
+	timed := e.sink != nil || explain
+	var start, t0 time.Time
+	var stages, worker obs.StageDurations
+	var st core.Stats
+	if timed {
+		start = time.Now()
+		t0 = start
+	}
+	finish := func(out []core.Suggestion, kws []core.Keyword) ([]core.Suggestion, *core.Explain) {
+		if !timed {
+			return out, nil
+		}
+		stages[obs.StageScan] += worker[obs.StageScan]
+		stages[obs.StageEnumerate] += worker[obs.StageEnumerate]
+		total := time.Since(start)
+		if s := e.sink; s != nil {
+			s.ObserveSuggest(total, &stages)
+			s.PostingsRead.Add(int64(st.PostingsRead))
+			s.Subtrees.Add(int64(st.Subtrees))
+			s.CandidatesSeen.Add(int64(st.CandidatesSeen))
+		}
+		if !explain {
+			return out, nil
+		}
+		st.WorkerSubtrees = []int{st.Subtrees}
+		ex := &core.Explain{
+			Query:    query,
+			TookNs:   total.Nanoseconds(),
+			Spans:    obs.SpansOf(&stages, []obs.StageDurations{worker}),
+			Keywords: make([]core.ExplainKeyword, len(kws)),
+			Stats:    st,
+		}
+		for i, kw := range kws {
+			ex.Keywords[i] = core.ExplainKeyword{Token: kw.Raw, Variants: len(kw.Variants)}
+		}
+		ex.Candidates = make([]core.ExplainCandidate, len(out))
+		for i, s := range out {
+			ex.Candidates[i] = core.ExplainCandidate{
+				Words:        s.Words,
+				Score:        s.Score,
+				EditDistance: s.EditDistance,
+				Entities:     s.Entities,
+			}
+		}
+		return out, ex
+	}
+
 	toks := e.cfg.Tokenizer.Tokenize(query)
+	if timed {
+		stages[obs.StageTokenize] += time.Since(t0)
+		t0 = time.Now()
+	}
 	if len(toks) == 0 {
-		return nil
+		return finish(nil, nil)
 	}
 	kws := make([]core.Keyword, len(toks))
 	for i, tok := range toks {
 		kws[i] = e.em.Keyword(tok, e.fss.Search(tok))
 		if len(kws[i].Variants) == 0 {
-			return nil
+			if timed {
+				stages[obs.StageVariants] += time.Since(t0)
+			}
+			return finish(nil, kws[:i+1])
 		}
+	}
+	if timed {
+		stages[obs.StageVariants] += time.Since(t0)
+		t0 = time.Now()
 	}
 
 	d := e.minDepth()
@@ -160,6 +247,7 @@ func (e *Engine) Suggest(query string) []core.Suggestion {
 			found := false
 			l.CollectSubtree(g, func(entry invindex.Entry) {
 				occ[i][entry.TokenIdx] = append(occ[i][entry.TokenIdx], entry.Posting)
+				st.PostingsRead++
 				found = true
 			})
 			if !found {
@@ -167,9 +255,21 @@ func (e *Engine) Suggest(query string) []core.Suggestion {
 			}
 		}
 		if complete {
-			e.enumerate(kws, occ, aggs)
+			st.Subtrees++
+			var te time.Time
+			if timed {
+				te = time.Now()
+			}
+			e.enumerate(kws, occ, aggs, &st)
+			if timed {
+				worker[obs.StageEnumerate] += time.Since(te)
+			}
 		}
 		anchor, ok = maxHead(lists)
+	}
+	if timed {
+		worker[obs.StageScan] += time.Since(t0) - worker[obs.StageEnumerate]
+		t0 = time.Now()
 	}
 
 	var out []core.Suggestion
@@ -195,7 +295,10 @@ func (e *Engine) Suggest(query string) []core.Suggestion {
 	if k := e.k(); len(out) > k {
 		out = out[:k]
 	}
-	return out
+	if timed {
+		stages[obs.StageRank] += time.Since(t0)
+	}
+	return finish(out, kws)
 }
 
 func maxHead(lists []*invindex.MergedList) (xmltree.Dewey, bool) {
@@ -214,7 +317,7 @@ func maxHead(lists []*invindex.MergedList) (xmltree.Dewey, bool) {
 
 // enumerate walks the candidate space present in the current subtree
 // and scores each candidate's SLCA entities.
-func (e *Engine) enumerate(kws []core.Keyword, occ []map[int][]invindex.Posting, aggs map[string]*candAgg) {
+func (e *Engine) enumerate(kws []core.Keyword, occ []map[int][]invindex.Posting, aggs map[string]*candAgg, st *core.Stats) {
 	present := make([][]int, len(kws))
 	for i := range kws {
 		if len(occ[i]) == 0 {
@@ -229,6 +332,7 @@ func (e *Engine) enumerate(kws []core.Keyword, occ []map[int][]invindex.Posting,
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(kws) {
+			st.CandidatesSeen++
 			e.scoreCandidate(kws, choice, occ, aggs)
 			return
 		}

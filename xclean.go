@@ -29,6 +29,7 @@ import (
 
 	"xclean/internal/core"
 	"xclean/internal/invindex"
+	"xclean/internal/obs"
 	"xclean/internal/slca"
 	"xclean/internal/tokenizer"
 	"xclean/internal/xmltree"
@@ -344,6 +345,62 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 		return e.convert(e.slca.Suggest(query))
 	}
 	return e.convert(e.core.SuggestWithSpaces(query))
+}
+
+// Observer is the metrics sink of an Engine: attach one with
+// SetObserver and every suggestion call feeds its latency, per-stage
+// timing, and work counters into it. See the obs package for the
+// snapshot and Prometheus exposition APIs.
+type Observer = obs.Sink
+
+// NewObserver builds an empty metrics sink.
+func NewObserver() *Observer { return obs.NewSink() }
+
+// SetObserver attaches a metrics sink (nil detaches it — the default,
+// which keeps the suggestion path free of instrumentation cost). Set
+// it before serving queries; it must not race with in-flight calls.
+func (e *Engine) SetObserver(s *Observer) {
+	if e.slca != nil {
+		e.slca.SetSink(s)
+	} else {
+		e.core.SetSink(s)
+	}
+}
+
+// Explain is the per-query trace returned by the *Explained variants:
+// wall-clock stage spans (with per-worker attribution under parallel
+// scans), per-keyword variant counts, work counters, and the scored
+// candidate table.
+type Explain = core.Explain
+
+// ExplainKeyword is one traced keyword and its variant-family size.
+type ExplainKeyword = core.ExplainKeyword
+
+// ExplainCandidate is one row of a trace's scored candidate table.
+type ExplainCandidate = core.ExplainCandidate
+
+// SuggestExplained is Suggest plus the full trace of the call. Results
+// are identical to Suggest; the call is marginally slower because
+// tracing forces stage timing on.
+func (e *Engine) SuggestExplained(query string) ([]Suggestion, *Explain) {
+	if e.slca != nil {
+		out, ex := e.slca.SuggestExplained(query)
+		return e.convert(out), ex
+	}
+	out, ex := e.core.SuggestExplained(query)
+	return e.convert(out), ex
+}
+
+// SuggestWithSpacesExplained is SuggestWithSpaces plus the trace.
+// Under SLCA/ELCA semantics it falls back to SuggestExplained, exactly
+// as SuggestWithSpaces falls back to Suggest.
+func (e *Engine) SuggestWithSpacesExplained(query string) ([]Suggestion, *Explain) {
+	if e.slca != nil {
+		out, ex := e.slca.SuggestExplained(query)
+		return e.convert(out), ex
+	}
+	out, ex := e.core.SuggestWithSpacesExplained(query)
+	return e.convert(out), ex
 }
 
 // AddDocument parses one XML document from r and grafts it under the
