@@ -1,12 +1,17 @@
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build fmt vet test race bench bench-smoke snapshot-smoke
 
-# The full pre-merge gate: build everything, vet, and run the test
-# suite under the race detector (the parallel scan and copy-on-write
-# Refresh are exercised concurrently in the tests).
-check: build vet race
+# The full pre-merge gate: gofmt cleanliness, build everything, vet,
+# and run the test suite under the race detector (the parallel scan
+# and copy-on-write Refresh are exercised concurrently in the tests).
+check: fmt build vet race
 
 build:
 	go build ./...
+
+# Fail if any file needs reformatting (gofmt -l prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	go vet ./...
@@ -25,3 +30,14 @@ bench:
 # ≤2% on BenchmarkSuggest) without the cost of a full bench run.
 bench-smoke:
 	go test -run='^$$' -bench='^BenchmarkSuggest$$' -benchtime=1x .
+
+# End-to-end snapshot round trip: generate a corpus, build and save
+# its index, then answer a query from the reopened snapshot — the same
+# persistence path the catalog's warm-starts use.
+snapshot-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	go run ./cmd/xgen -out "$$tmp/corpus.xml" -kind dblp -articles 500 -queries 1 && \
+	go run ./cmd/xclean -doc "$$tmp/corpus.xml" -save-index "$$tmp/corpus.idx" && \
+	q=$$(head -1 "$$tmp/corpus.xml.queries.tsv" | cut -f2) && \
+	go run ./cmd/xclean -index "$$tmp/corpus.idx" "$$q" && \
+	echo "snapshot-smoke: OK"

@@ -32,6 +32,7 @@ func main() {
 		c         = flag.Int("c", 8, "concurrent workers")
 		zipf      = flag.Float64("zipf", 1.2, "query popularity skew (≤1 = uniform)")
 		seed      = flag.Int64("seed", 42, "traffic seed")
+		corpus    = flag.String("corpus", "", "target catalog corpus (required against a multi-corpus xserve)")
 	)
 	flag.Parse()
 	if *queryFile == "" {
@@ -56,6 +57,7 @@ func main() {
 		Workers:  *c,
 		ZipfS:    *zipf,
 		Seed:     *seed,
+		Corpus:   *corpus,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,11 +2,21 @@
 //
 //	xserve -doc corpus.xml -addr :8080
 //	xserve -index corpus.idx -addr :8080 -semantics slca
+//	xserve -docs ./corpora -snapshot-dir ./snapshots -idle-ttl 30m -watch 10s
 //
 //	curl 'localhost:8080/suggest?q=hinrich+schutze+geo-taging'
-//	curl 'localhost:8080/suggest?q=...&debug=1'          # per-stage trace
-//	curl 'localhost:8080/metricz?format=prometheus'      # scrape endpoint
+//	curl 'localhost:8080/suggest?q=...&corpus=dblp&debug=1'  # per-stage trace
+//	curl 'localhost:8080/corpora'                            # corpus catalog status
+//	curl 'localhost:8080/metricz?format=prometheus'          # scrape endpoint
 //	curl 'localhost:8080/stats'
+//
+// Every deployment serves through a corpus catalog: -doc/-index
+// register a single corpus named after the file, -docs registers one
+// corpus per XML file (or subdirectory) found in a directory. The
+// catalog hot-swaps rebuilt indexes atomically, persists snapshots for
+// warm restarts (-snapshot-dir), evicts idle engines (-idle-ttl), and
+// rebuilds corpora whose source files change (-watch). The /corpora
+// endpoint adds, reloads, and removes corpora at runtime.
 //
 // Logging is structured (log/slog, logfmt to stderr); every request
 // line carries the request ID echoed in the /suggest response. The
@@ -22,10 +32,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"xclean"
+	"xclean/internal/catalog"
 	"xclean/internal/qlog"
 	"xclean/internal/server"
 	"xclean/internal/tokenizer"
@@ -34,8 +48,12 @@ import (
 
 func main() {
 	var (
-		doc       = flag.String("doc", "", "XML document to index")
+		doc       = flag.String("doc", "", "XML document to index as a single corpus")
 		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
+		docs      = flag.String("docs", "", "directory scanned for corpora: each *.xml file and each subdirectory becomes one corpus")
+		snapDir   = flag.String("snapshot-dir", "", "persist built indexes here for warm restarts and idle eviction")
+		idleTTL   = flag.Duration("idle-ttl", 0, "evict a corpus's engine after this idle time (needs -snapshot-dir; 0 disables)")
+		watch     = flag.Duration("watch", 0, "rebuild corpora whose source files changed, checking at this interval (0 disables)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		k         = flag.Int("k", 10, "suggestions to return")
 		eps       = flag.Int("eps", 2, "max edit errors per keyword")
@@ -58,8 +76,14 @@ func main() {
 		logger.Error(msg, args...)
 		os.Exit(1)
 	}
-	if (*doc == "") == (*index == "") {
-		fmt.Fprintln(os.Stderr, "xserve: exactly one of -doc or -index is required")
+	sources := 0
+	for _, s := range []string{*doc, *index, *docs} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "xserve: exactly one of -doc, -index, or -docs is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,25 +127,34 @@ func main() {
 		fatal("unknown semantics (want type, slca, or elca)", "semantics", *semantics)
 	}
 
-	start := time.Now()
-	var (
-		eng *xclean.Engine
-		err error
-	)
-	if *doc != "" {
-		eng, err = xclean.OpenFile(*doc, opts)
-	} else {
-		eng, err = xclean.OpenIndexFile(*index, opts)
-	}
-	if err != nil {
-		fatal("open engine", "err", err)
-	}
-	st := eng.Stats()
-	logger.Info("ready", "took", time.Since(start).Round(time.Millisecond),
-		"nodes", st.Nodes, "terms", st.DistinctTerms, "tokens", st.Tokens)
+	cat := catalog.New(catalog.Config{
+		Options:     opts,
+		SnapshotDir: *snapDir,
+		IdleTTL:     *idleTTL,
+		Logger:      logger,
+	})
 
-	sink := xclean.NewObserver()
-	eng.SetObserver(sink)
+	start := time.Now()
+	switch {
+	case *doc != "":
+		if err := cat.Add(corpusName(*doc), *doc); err != nil {
+			fatal("open corpus", "doc", *doc, "err", err)
+		}
+	case *index != "":
+		if err := cat.AddSnapshot(corpusName(*index), *index); err != nil {
+			fatal("open index", "index", *index, "err", err)
+		}
+	default:
+		names, err := addDir(cat, *docs)
+		if err != nil {
+			fatal("scan corpus directory", "docs", *docs, "err", err)
+		}
+		if len(names) == 0 {
+			fatal("no corpora found (want *.xml files or subdirectories)", "docs", *docs)
+		}
+	}
+	logger.Info("catalog ready", "corpora", strings.Join(cat.Names(), ","),
+		"took", time.Since(start).Round(time.Millisecond))
 
 	var slowLog *qlog.SlowLog
 	if *slowPath != "" {
@@ -155,17 +188,32 @@ func main() {
 	if !*quiet {
 		reqLogger = logger
 	}
-	srv := server.New(eng, server.Config{
+	srv := server.New(nil, server.Config{
 		Addr:      *addr,
 		Logger:    reqLogger,
 		QueryLog:  queryLog,
 		CacheSize: *cacheSize,
-		Obs:       sink,
 		SlowLog:   slowLog,
+		Catalog:   cat,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Maintenance loop: -watch drives source-change rebuilds (and idle
+	// eviction); -idle-ttl alone still needs a ticker for eviction.
+	switch {
+	case *watch > 0:
+		go cat.Watch(ctx, *watch, true)
+		logger.Info("watching sources", "interval", *watch)
+	case *idleTTL > 0:
+		interval := *idleTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go cat.Watch(ctx, interval, false)
+	}
+
 	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		fatal("serve", "err", err)
@@ -184,4 +232,38 @@ func main() {
 		logger.Info("query log saved", "path", *qlogPath)
 	}
 	logger.Info("shut down")
+}
+
+// corpusName derives a corpus name from a file path: the base name
+// without its extension ("./data/dblp.xml" → "dblp").
+func corpusName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// addDir registers one corpus per *.xml file and one per subdirectory
+// of dir (a subdirectory's XML files are joined into one corpus).
+func addDir(cat *catalog.Catalog, dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		var name string
+		switch {
+		case e.IsDir():
+			name = e.Name()
+		case strings.EqualFold(filepath.Ext(e.Name()), ".xml"):
+			name = corpusName(e.Name())
+		default:
+			continue
+		}
+		if err := cat.Add(name, filepath.Join(dir, e.Name())); err != nil {
+			return names, fmt.Errorf("corpus %s: %w", name, err)
+		}
+		names = append(names, name)
+	}
+	return names, nil
 }

@@ -1,0 +1,776 @@
+// Package catalog serves many named corpora from one process — the
+// layer between the HTTP surface and xclean.Engine that turns the
+// single-document library into a multi-tenant service. XClean's
+// per-entity decomposition (Eq. 8/9) makes corpora fully independent,
+// so each one wraps its own engine behind an atomically swappable
+// handle:
+//
+//   - registration from raw XML (a file, or a directory joined under a
+//     virtual root) or from a saved index snapshot (warm-start, several
+//     times faster than re-indexing — measured and logged at load);
+//   - background rebuild on explicit Reload or detected source mtime
+//     change, swapped in atomically ONLY on success — a failed rebuild
+//     keeps the previous engine serving and surfaces the error in the
+//     corpus status;
+//   - idle eviction: engines unused past IdleTTL are dropped (their
+//     memory reclaimed) and transparently warm-started from their
+//     snapshot on the next hit;
+//   - per-corpus status (state, build timings, doc count, last access)
+//     and a per-corpus obs.Sink that survives swaps, exposed as
+//     corpus-labeled Prometheus series.
+//
+// Suggest traffic never takes a lock: Get is one map read (RLock), one
+// atomic pointer load, and one atomic store of the access time. Builds,
+// swaps, revivals, and evictions serialize per corpus on a build mutex
+// that the read path only touches when the handle is empty.
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xclean"
+	"xclean/internal/obs"
+)
+
+// State is the lifecycle state of one corpus. The machine is
+//
+//	loading → ready ⇄ evicted
+//	   ↓        ↓↑
+//	failed ← failed (previous engine keeps serving)
+//
+// ready → failed happens on a failed rebuild; the corpus still answers
+// queries from the previous generation (Status.Serving stays true) and
+// the next successful build returns it to ready.
+type State string
+
+const (
+	StateLoading State = "loading"
+	StateReady   State = "ready"
+	StateFailed  State = "failed"
+	StateEvicted State = "evicted"
+)
+
+// Sentinel errors, exposed so the serving layer can map catalog
+// failures to HTTP statuses (errors.Is through the wrapped chain).
+var (
+	// ErrUnknownCorpus marks requests for a name the catalog does not
+	// hold (HTTP 404).
+	ErrUnknownCorpus = errors.New("unknown corpus")
+	// ErrCorpusRequired marks default resolution failing because several
+	// corpora are served and none is named "default" (HTTP 400).
+	ErrCorpusRequired = errors.New("corpus parameter required")
+	// ErrNotServing marks a corpus that exists but has no engine and no
+	// snapshot to revive from (HTTP 503).
+	ErrNotServing = errors.New("corpus not serving")
+	// ErrDuplicateCorpus marks an Add under a name already registered
+	// (HTTP 409).
+	ErrDuplicateCorpus = errors.New("corpus already exists")
+)
+
+// Config tunes a Catalog.
+type Config struct {
+	// Options is the engine configuration applied to every corpus.
+	Options xclean.Options
+	// SnapshotDir, when non-empty, persists every successfully built
+	// index as <dir>/<name>.idx (written atomically: temp file +
+	// rename). Snapshots enable idle eviction and warm restarts.
+	SnapshotDir string
+	// IdleTTL evicts a corpus's engine after this much time without a
+	// Get (0 disables eviction). Eviction requires a snapshot to revive
+	// from, so it is also disabled without SnapshotDir.
+	IdleTTL time.Duration
+	// Logger receives build/swap/evict lines; nil disables logging.
+	Logger *slog.Logger
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+func (c Config) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Status is the externally visible state of one corpus (the JSON of
+// GET /corpora).
+type Status struct {
+	Name  string `json:"name"`
+	State State  `json:"state"`
+	// Serving reports whether an engine is currently resident — true in
+	// ready, true in failed when the previous generation still answers,
+	// false in evicted/loading.
+	Serving bool `json:"serving"`
+	// Source is the XML file or directory the corpus rebuilds from
+	// (empty for snapshot-only corpora).
+	Source string `json:"source,omitempty"`
+	// Snapshot is the saved-index path evictions revive from.
+	Snapshot string `json:"snapshot,omitempty"`
+	// Docs is the number of XML documents joined into the corpus.
+	Docs int `json:"docs"`
+	// Error is the message of the last failed build ("" after success).
+	Error string `json:"error,omitempty"`
+	// Builds and WarmStarts count successful cold (XML) builds and
+	// snapshot opens; Evictions counts idle evictions.
+	Builds     int `json:"builds"`
+	WarmStarts int `json:"warmStarts"`
+	Evictions  int `json:"evictions"`
+	// LastBuildMillis is the duration of the most recent successful
+	// build or warm-start; LastBuildKind says which one it was
+	// ("xml" or "snapshot"). ColdBuildMillis and WarmStartMillis keep
+	// the latest timing of each kind so the warm/cold speedup is
+	// observable even after further loads.
+	LastBuildMillis float64 `json:"lastBuildMillis"`
+	LastBuildKind   string  `json:"lastBuildKind,omitempty"`
+	ColdBuildMillis float64 `json:"coldBuildMillis,omitempty"`
+	WarmStartMillis float64 `json:"warmStartMillis,omitempty"`
+	// LastAccess is the time of the latest Get, RFC 3339 (zero before
+	// the first).
+	LastAccess string `json:"lastAccess,omitempty"`
+	// Stats describes the served index (zero while not serving).
+	Stats xclean.IndexStats `json:"stats"`
+}
+
+// corpus is one catalog entry. The engine handle and access time are
+// lock-free; everything else is guarded by mu. buildMu serializes the
+// expensive operations (build, revive, evict) without blocking status
+// reads.
+type corpus struct {
+	name     string
+	source   string // XML file or directory; "" = snapshot-only
+	snapshot string // saved-index path; "" = none
+
+	engine     atomic.Pointer[xclean.Engine]
+	sink       *obs.Sink    // survives swaps: one metrics stream per corpus
+	lastAccess atomic.Int64 // unix nanos of the latest Get (0 = never)
+
+	buildMu sync.Mutex
+
+	mu         sync.Mutex
+	state      State
+	err        error
+	docs       int
+	builds     int
+	warmStarts int
+	evictions  int
+	lastBuild  time.Duration
+	buildKind  string
+	coldBuild  time.Duration
+	warmStart  time.Duration
+	mtime      time.Time // source mtime at the last successful build
+	stats      xclean.IndexStats
+}
+
+// Catalog owns a set of named corpora.
+type Catalog struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	corpora map[string]*corpus
+	order   []string // registration order; order[0] is the default corpus
+}
+
+// New builds an empty catalog.
+func New(cfg Config) *Catalog {
+	return &Catalog{cfg: cfg, corpora: make(map[string]*corpus)}
+}
+
+// validName rejects names that would break metric labels, snapshot
+// paths, or URLs.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("catalog: empty corpus name")
+	}
+	if strings.ContainsAny(name, `/\"{}`+" \t\n") {
+		return fmt.Errorf("catalog: invalid corpus name %q", name)
+	}
+	return nil
+}
+
+// register inserts an empty corpus entry, failing on duplicates.
+func (c *Catalog) register(name, source string) (*corpus, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.corpora[name]; ok {
+		return nil, fmt.Errorf("catalog: corpus %q: %w", name, ErrDuplicateCorpus)
+	}
+	co := &corpus{name: name, source: source, sink: obs.NewSink(), state: StateLoading}
+	c.corpora[name] = co
+	c.order = append(c.order, name)
+	return co, nil
+}
+
+// unregister removes the entry (used to roll back a failed initial add
+// and by Remove).
+func (c *Catalog) unregister(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.corpora, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Add registers a corpus built from source — one XML file, or a
+// directory whose *.xml files are joined under a virtual root — and
+// builds it synchronously. On failure nothing is registered.
+func (c *Catalog) Add(name, source string) error {
+	co, err := c.register(name, source)
+	if err != nil {
+		return err
+	}
+	if err := c.rebuild(co); err != nil {
+		c.unregister(name)
+		return err
+	}
+	return nil
+}
+
+// AddSnapshot registers a corpus served from a saved index (warm-start
+// only; it has no XML source, so Reload re-opens the same snapshot).
+// On failure nothing is registered.
+func (c *Catalog) AddSnapshot(name, snapshot string) error {
+	co, err := c.register(name, "")
+	if err != nil {
+		return err
+	}
+	co.snapshot = snapshot
+	if err := c.openSnapshot(co); err != nil {
+		c.unregister(name)
+		return err
+	}
+	return nil
+}
+
+// lookup finds a corpus by name.
+func (c *Catalog) lookup(name string) (*corpus, error) {
+	c.mu.RLock()
+	co, ok := c.corpora[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: %w: %q", ErrUnknownCorpus, name)
+	}
+	return co, nil
+}
+
+// Get returns the engine serving the named corpus, reviving it from
+// its snapshot if it was evicted. It records the access time; the hot
+// path takes no locks beyond the registry RLock.
+func (c *Catalog) Get(name string) (*xclean.Engine, error) {
+	co, err := c.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	co.lastAccess.Store(c.cfg.now().UnixNano())
+	if e := co.engine.Load(); e != nil {
+		return e, nil
+	}
+	return c.revive(co)
+}
+
+// Resolve is Get with default-corpus resolution: an empty name picks
+// the only corpus, or the one literally named "default". It returns
+// the resolved name for cache keys and logs.
+func (c *Catalog) Resolve(name string) (*xclean.Engine, string, error) {
+	if name == "" {
+		c.mu.RLock()
+		switch {
+		case len(c.order) == 1:
+			name = c.order[0]
+		case c.corpora["default"] != nil:
+			name = "default"
+		}
+		c.mu.RUnlock()
+		if name == "" {
+			return nil, "", fmt.Errorf("catalog: %w (%d corpora served)", ErrCorpusRequired, c.Len())
+		}
+	}
+	e, err := c.Get(name)
+	return e, name, err
+}
+
+// revive warm-starts an evicted corpus from its snapshot.
+func (c *Catalog) revive(co *corpus) (*xclean.Engine, error) {
+	co.buildMu.Lock()
+	defer co.buildMu.Unlock()
+	if e := co.engine.Load(); e != nil { // lost the race to another revive
+		return e, nil
+	}
+	co.mu.Lock()
+	snapshot, state, err := co.snapshot, co.state, co.err
+	co.mu.Unlock()
+	if snapshot == "" {
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w: %q (state %s): %v", ErrNotServing, co.name, state, err)
+		}
+		return nil, fmt.Errorf("catalog: %w: %q (state %s)", ErrNotServing, co.name, state)
+	}
+	if err := c.openSnapshot(co); err != nil {
+		return nil, err
+	}
+	return co.engine.Load(), nil
+}
+
+// openSnapshot loads co.snapshot and swaps the engine in, recording
+// the warm-start timing. Caller holds buildMu (or the corpus is not
+// yet visible).
+func (c *Catalog) openSnapshot(co *corpus) error {
+	start := time.Now()
+	eng, err := xclean.OpenIndexFile(co.snapshot, c.cfg.Options)
+	if err != nil {
+		co.mu.Lock()
+		co.state = StateFailed
+		co.err = err
+		co.mu.Unlock()
+		return fmt.Errorf("catalog: corpus %q: warm-start: %w", co.name, err)
+	}
+	took := time.Since(start)
+	eng.SetObserver(co.sink)
+	co.engine.Store(eng)
+	co.mu.Lock()
+	co.state = StateReady
+	co.err = nil
+	co.warmStarts++
+	co.lastBuild = took
+	co.buildKind = "snapshot"
+	co.warmStart = took
+	if co.docs == 0 {
+		co.docs = 1
+	}
+	co.stats = engineStats(eng)
+	co.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("corpus warm-started from snapshot", "corpus", co.name,
+			"snapshot", co.snapshot, "tookMillis", millis(took))
+	}
+	return nil
+}
+
+// Reload rebuilds the named corpus from its source and swaps the new
+// engine in atomically on success. On failure the previous engine (if
+// any) keeps serving, the error is recorded in the status, and Reload
+// returns it. Concurrent Suggest traffic is never blocked: the build
+// runs outside the read path, and the swap is one atomic store.
+func (c *Catalog) Reload(name string) error {
+	co, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	return c.rebuild(co)
+}
+
+func (c *Catalog) rebuild(co *corpus) error {
+	co.buildMu.Lock()
+	defer co.buildMu.Unlock()
+	if co.source == "" {
+		// Snapshot-only corpus: reload = re-open the snapshot.
+		return c.openSnapshot(co)
+	}
+
+	start := time.Now()
+	eng, docs, mtime, err := c.buildXML(co.source)
+	took := time.Since(start)
+	if err != nil {
+		co.mu.Lock()
+		co.state = StateFailed
+		co.err = err
+		serving := co.engine.Load() != nil
+		co.mu.Unlock()
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Error("corpus build failed", "corpus", co.name,
+				"source", co.source, "serving", serving, "err", err)
+		}
+		return fmt.Errorf("catalog: corpus %q: %w", co.name, err)
+	}
+
+	snapshot, snapErr := c.writeSnapshot(co.name, eng)
+
+	eng.SetObserver(co.sink)
+	co.engine.Store(eng) // the atomic hot-swap
+	co.mu.Lock()
+	co.state = StateReady
+	co.err = nil
+	co.docs = docs
+	co.builds++
+	co.lastBuild = took
+	co.buildKind = "xml"
+	co.coldBuild = took
+	co.mtime = mtime
+	if snapshot != "" {
+		co.snapshot = snapshot
+	}
+	co.stats = engineStats(eng)
+	co.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("corpus built from XML", "corpus", co.name, "source", co.source,
+			"docs", docs, "tookMillis", millis(took), "snapshot", snapshot)
+		if snapErr != nil {
+			c.cfg.Logger.Error("snapshot write failed", "corpus", co.name, "err", snapErr)
+		}
+	}
+	return nil
+}
+
+// buildXML opens one file, or joins a directory's *.xml files under a
+// virtual root, returning the engine, document count, and the newest
+// source mtime (for change detection).
+func (c *Catalog) buildXML(source string) (*xclean.Engine, int, time.Time, error) {
+	fi, err := os.Stat(source)
+	if err != nil {
+		return nil, 0, time.Time{}, err
+	}
+	if !fi.IsDir() {
+		eng, err := xclean.OpenFile(source, c.cfg.Options)
+		return eng, 1, fi.ModTime(), err
+	}
+	files, mtime, err := xmlFiles(source)
+	if err != nil {
+		return nil, 0, time.Time{}, err
+	}
+	if len(files) == 0 {
+		return nil, 0, time.Time{}, fmt.Errorf("no *.xml files in %s", source)
+	}
+	open := make([]*os.File, 0, len(files))
+	defer func() {
+		for _, f := range open {
+			f.Close()
+		}
+	}()
+	readers := make([]io.Reader, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, time.Time{}, err
+		}
+		open = append(open, f)
+		readers = append(readers, f)
+	}
+	eng, err := xclean.OpenCollection(filepath.Base(source), c.cfg.Options, readers...)
+	return eng, len(files), mtime, err
+}
+
+// xmlFiles lists dir's *.xml entries sorted by name and the newest
+// mtime among them.
+func xmlFiles(dir string) ([]string, time.Time, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	var (
+		files  []string
+		newest time.Time
+	)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // raced with a delete
+			}
+			return nil, time.Time{}, err
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+		if info.ModTime().After(newest) {
+			newest = info.ModTime()
+		}
+	}
+	sort.Strings(files)
+	return files, newest, nil
+}
+
+// writeSnapshot persists the engine's index to SnapshotDir atomically
+// (temp file + rename). Returns the final path, or "" when snapshots
+// are disabled.
+func (c *Catalog) writeSnapshot(name string, eng *xclean.Engine) (string, error) {
+	if c.cfg.SnapshotDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(c.cfg.SnapshotDir, name+".idx")
+	tmp, err := os.CreateTemp(c.cfg.SnapshotDir, name+".idx.tmp*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if err := eng.SaveIndex(tmp); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// Remove drops the corpus from the catalog. In-flight requests holding
+// its engine finish normally; the snapshot file (if any) is left on
+// disk.
+func (c *Catalog) Remove(name string) error {
+	co, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	c.unregister(name)
+	co.engine.Store(nil)
+	return nil
+}
+
+// EvictIdle drops the engines of ready corpora idle past IdleTTL that
+// have a snapshot to revive from, returning how many were evicted.
+func (c *Catalog) EvictIdle() int {
+	if c.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := c.cfg.now().Add(-c.cfg.IdleTTL).UnixNano()
+	evicted := 0
+	for _, co := range c.snapshotCorpora() {
+		if c.evictOne(co, cutoff) {
+			evicted++
+		}
+	}
+	return evicted
+}
+
+func (c *Catalog) evictOne(co *corpus, cutoff int64) bool {
+	// TryLock: never stall the janitor behind an in-flight build, and
+	// never evict mid-build (the build will swap a fresh engine in).
+	if !co.buildMu.TryLock() {
+		return false
+	}
+	defer co.buildMu.Unlock()
+	last := co.lastAccess.Load()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.state != StateReady || co.snapshot == "" || co.engine.Load() == nil || last > cutoff {
+		return false
+	}
+	co.engine.Store(nil)
+	co.state = StateEvicted
+	co.evictions++
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("corpus evicted (idle)", "corpus", co.name,
+			"idle", time.Duration(c.cfg.now().UnixNano()-last).Round(time.Second))
+	}
+	return true
+}
+
+// snapshotCorpora copies the current corpus set (so sweeps don't hold
+// the registry lock across builds).
+func (c *Catalog) snapshotCorpora() []*corpus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*corpus, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.corpora[name])
+	}
+	return out
+}
+
+// SweepSources reloads every corpus whose source file (or any *.xml in
+// its source directory) has an mtime newer than the one captured at
+// its last successful build. Returns the number of corpora reloaded
+// (successfully or not — a failed rebuild surfaces via status).
+func (c *Catalog) SweepSources() int {
+	reloaded := 0
+	for _, co := range c.snapshotCorpora() {
+		if co.source == "" {
+			continue
+		}
+		co.mu.Lock()
+		prev, state := co.mtime, co.state
+		co.mu.Unlock()
+		if state == StateLoading {
+			continue
+		}
+		mtime, err := sourceMtime(co.source)
+		if err != nil || !mtime.After(prev) {
+			continue
+		}
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("source changed, rebuilding", "corpus", co.name, "source", co.source)
+		}
+		_ = c.rebuild(co) // failure keeps the old engine; status carries the error
+		reloaded++
+	}
+	return reloaded
+}
+
+func sourceMtime(source string) (time.Time, error) {
+	fi, err := os.Stat(source)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if !fi.IsDir() {
+		return fi.ModTime(), nil
+	}
+	_, mtime, err := xmlFiles(source)
+	return mtime, err
+}
+
+// Watch runs the maintenance loop until ctx is done: every interval it
+// evicts idle engines and — when reload is true — rebuilds corpora
+// whose sources changed.
+func (c *Catalog) Watch(ctx context.Context, interval time.Duration, reload bool) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if reload {
+				c.SweepSources()
+			}
+			c.EvictIdle()
+		}
+	}
+}
+
+// Len returns the number of registered corpora.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.corpora)
+}
+
+// Names lists the corpora in registration order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Status reports one corpus's state.
+func (c *Catalog) Status(name string) (Status, error) {
+	co, err := c.lookup(name)
+	if err != nil {
+		return Status{}, err
+	}
+	return co.status(), nil
+}
+
+// List reports every corpus's status, in registration order.
+func (c *Catalog) List() []Status {
+	corpora := c.snapshotCorpora()
+	out := make([]Status, len(corpora))
+	for i, co := range corpora {
+		out[i] = co.status()
+	}
+	return out
+}
+
+func (co *corpus) status() Status {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := Status{
+		Name:            co.name,
+		State:           co.state,
+		Serving:         co.engine.Load() != nil,
+		Source:          co.source,
+		Snapshot:        co.snapshot,
+		Docs:            co.docs,
+		Builds:          co.builds,
+		WarmStarts:      co.warmStarts,
+		Evictions:       co.evictions,
+		LastBuildMillis: millis(co.lastBuild),
+		LastBuildKind:   co.buildKind,
+		ColdBuildMillis: millis(co.coldBuild),
+		WarmStartMillis: millis(co.warmStart),
+		Stats:           co.stats,
+	}
+	if co.err != nil {
+		st.Error = co.err.Error()
+	}
+	if last := co.lastAccess.Load(); last != 0 {
+		st.LastAccess = time.Unix(0, last).UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Sinks returns the per-corpus metrics sinks in registration order
+// (the JSON side of /metricz).
+func (c *Catalog) Sinks() map[string]*obs.Sink {
+	out := make(map[string]*obs.Sink)
+	for _, co := range c.snapshotCorpora() {
+		out[co.name] = co.sink
+	}
+	return out
+}
+
+// WritePrometheus emits the catalog's metrics in Prometheus text
+// exposition format: per-corpus engine sinks labeled corpus="<name>"
+// under <ns>, plus catalog-level lifecycle series under <ns>_catalog.
+func (c *Catalog) WritePrometheus(w io.Writer, ns string) {
+	if ns == "" {
+		ns = "xclean_engine"
+	}
+	corpora := c.snapshotCorpora()
+	named := make([]obs.NamedSink, len(corpora))
+	for i, co := range corpora {
+		named[i] = obs.NamedSink{Label: co.name, Sink: co.sink}
+	}
+	obs.WritePrometheusLabeled(w, ns, "corpus", named)
+
+	cns := ns + "_catalog"
+	obs.WriteHeader(w, cns+"_serving", "1 when the corpus has a resident engine, else 0.", "gauge")
+	statuses := make([]Status, len(corpora))
+	for i, co := range corpora {
+		statuses[i] = co.status()
+	}
+	for _, st := range statuses {
+		v := 0.0
+		if st.Serving {
+			v = 1
+		}
+		obs.WriteLabeledGaugeSample(w, cns+"_serving", label(st.Name), v)
+	}
+	obs.WriteHeader(w, cns+"_builds_total", "Successful XML builds per corpus.", "counter")
+	for _, st := range statuses {
+		obs.WriteLabeledCounterSample(w, cns+"_builds_total", label(st.Name), int64(st.Builds))
+	}
+	obs.WriteHeader(w, cns+"_warm_starts_total", "Snapshot warm-starts per corpus.", "counter")
+	for _, st := range statuses {
+		obs.WriteLabeledCounterSample(w, cns+"_warm_starts_total", label(st.Name), int64(st.WarmStarts))
+	}
+	obs.WriteHeader(w, cns+"_evictions_total", "Idle evictions per corpus.", "counter")
+	for _, st := range statuses {
+		obs.WriteLabeledCounterSample(w, cns+"_evictions_total", label(st.Name), int64(st.Evictions))
+	}
+	obs.WriteHeader(w, cns+"_last_build_seconds", "Duration of the last successful build or warm-start.", "gauge")
+	for _, st := range statuses {
+		obs.WriteLabeledGaugeSample(w, cns+"_last_build_seconds", label(st.Name), st.LastBuildMillis/1000)
+	}
+}
+
+func label(name string) string { return fmt.Sprintf("corpus=%q", name) }
+
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func engineStats(e *xclean.Engine) xclean.IndexStats { return e.Stats() }

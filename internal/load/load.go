@@ -33,6 +33,9 @@ type Config struct {
 	ZipfS float64
 	// Seed makes the traffic reproducible.
 	Seed int64
+	// Corpus, when non-empty, targets one catalog corpus (&corpus= on
+	// every request) — required against a multi-corpus xserve.
+	Corpus string
 	// Client overrides the HTTP client (tests); nil = default with a
 	// 10s timeout.
 	Client *http.Client
@@ -111,6 +114,10 @@ func Run(cfg Config) (Result, error) {
 	total := cfg.requests()
 	workers := cfg.workers()
 	client := cfg.client()
+	corpusParam := ""
+	if cfg.Corpus != "" {
+		corpusParam = "&corpus=" + url.QueryEscape(cfg.Corpus)
+	}
 
 	var (
 		rec    eval.LatencyRecorder
@@ -132,7 +139,7 @@ func Run(cfg Config) (Result, error) {
 				}
 				q := cfg.Queries[p.pick()]
 				t0 := time.Now()
-				resp, err := client.Get(cfg.BaseURL + "/suggest?q=" + url.QueryEscape(q))
+				resp, err := client.Get(cfg.BaseURL + "/suggest?q=" + url.QueryEscape(q) + corpusParam)
 				if err != nil {
 					atomic.AddInt64(&errs, 1)
 					continue

@@ -128,3 +128,27 @@ func TestRunConcurrencyExactCount(t *testing.T) {
 		t.Errorf("server saw %d requests want 97", got)
 	}
 }
+
+func TestRunCorpusParam(t *testing.T) {
+	var sawCorpus atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("corpus") == "dblp" {
+			sawCorpus.Add(1)
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	res, err := Run(Config{
+		BaseURL:  ts.URL,
+		Queries:  []string{"q"},
+		Requests: 10,
+		Workers:  2,
+		Corpus:   "dblp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Non200 != 0 || sawCorpus.Load() != 10 {
+		t.Errorf("corpus param reached server on %d/10 requests (%+v)", sawCorpus.Load(), res)
+	}
+}

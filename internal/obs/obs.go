@@ -456,22 +456,106 @@ func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
 // WritePrometheus emits every sink metric in Prometheus text
 // exposition format under the given namespace (e.g. "xclean_engine").
 func (s *Sink) WritePrometheus(w io.Writer, ns string) {
+	WritePrometheusLabeled(w, ns, "", []NamedSink{{Sink: s}})
+}
+
+// NamedSink pairs a label value with a Sink, for the per-corpus
+// exposition of WritePrometheusLabeled.
+type NamedSink struct {
+	Label string
+	Sink  *Sink
+}
+
+// WriteHeader emits the HELP/TYPE preamble of one metric family; the
+// caller follows with one or more samples (WriteLabeledCounterSample,
+// WriteLabeledGaugeSample, WriteHistogramSeries) so a labeled family
+// shares a single preamble.
+func WriteHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteLabeledCounterSample emits one headerless counter sample with
+// the given label set (e.g. `corpus="dblp"`; empty = no labels).
+func WriteLabeledCounterSample(w io.Writer, name, labels string, v int64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %d\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %d\n", name, labels, v)
+}
+
+// WriteLabeledGaugeSample is WriteLabeledCounterSample for float-valued
+// gauges.
+func WriteLabeledGaugeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// WriteHistogramSeries emits the headerless bucket/sum/count samples of
+// one histogram, with extraLabels applied to every sample.
+func WriteHistogramSeries(w io.Writer, name, extraLabels string, h *Histogram) {
+	writeHistogramSeries(w, name, extraLabels, h)
+}
+
+// WritePrometheusLabeled emits every sink metric for a set of sinks
+// under one namespace, with each sample labeled labelName="<Label>"
+// (one HELP/TYPE block per metric family, one sample per sink — the
+// exposition-format contract for labeled families). An empty labelName
+// emits unlabeled samples, which is only sensible for a single sink.
+func WritePrometheusLabeled(w io.Writer, ns, labelName string, sinks []NamedSink) {
 	if ns == "" {
 		ns = "xclean_engine"
 	}
-	WriteCounter(w, ns+"_suggest_requests_total", "Suggestion calls observed by the engine.", s.Queries.Value())
-	WriteHistogram(w, ns+"_suggest_duration_seconds", "End-to-end engine latency per suggestion call.", s.QueryDur)
-	name := ns + "_stage_duration_seconds"
-	fmt.Fprintf(w, "# HELP %s Per-stage time per suggestion call (parallel shards summed).\n# TYPE %s histogram\n", name, name)
-	for i := range s.Stage {
-		writeHistogramSeries(w, name, fmt.Sprintf("stage=%q", Stage(i).String()), s.Stage[i])
+	label := func(s NamedSink) string {
+		if labelName == "" {
+			return ""
+		}
+		return fmt.Sprintf("%s=%q", labelName, s.Label)
 	}
-	WriteCounter(w, ns+"_postings_read_total", "Merged-list entries consumed.", s.PostingsRead.Value())
-	WriteCounter(w, ns+"_subtrees_scanned_total", "Anchor subtrees processed.", s.Subtrees.Value())
-	WriteCounter(w, ns+"_candidates_seen_total", "Candidate-query observations scored.", s.CandidatesSeen.Value())
-	WriteCounter(w, ns+"_type_cache_hits_total", "Result-type cache hits.", s.TypeCacheHits.Value())
-	WriteCounter(w, ns+"_type_cache_misses_total", "Result-type cache misses (FindResultType runs).", s.TypeCacheMisses.Value())
-	WriteCounter(w, ns+"_accumulator_evictions_total", "Score accumulators evicted under the γ bound.", s.Evictions.Value())
-	WriteHistogram(w, ns+"_worker_imbalance_ratio", "Max over mean scan-shard time per parallel call.", s.WorkerImbalance)
-	WriteCounter(w, ns+"_slow_queries_total", "Requests that crossed the slow-query threshold.", s.SlowQueries.Value())
+	counter := func(name, help string, v func(*Sink) int64) {
+		WriteHeader(w, ns+name, help, "counter")
+		for _, s := range sinks {
+			WriteLabeledCounterSample(w, ns+name, label(s), v(s.Sink))
+		}
+	}
+	histogram := func(name, help string, h func(*Sink) *Histogram) {
+		WriteHeader(w, ns+name, help, "histogram")
+		for _, s := range sinks {
+			writeHistogramSeries(w, ns+name, label(s), h(s.Sink))
+		}
+	}
+	counter("_suggest_requests_total", "Suggestion calls observed by the engine.",
+		func(s *Sink) int64 { return s.Queries.Value() })
+	histogram("_suggest_duration_seconds", "End-to-end engine latency per suggestion call.",
+		func(s *Sink) *Histogram { return s.QueryDur })
+	name := ns + "_stage_duration_seconds"
+	WriteHeader(w, name, "Per-stage time per suggestion call (parallel shards summed).", "histogram")
+	for _, s := range sinks {
+		for i := range s.Sink.Stage {
+			stageLabel := fmt.Sprintf("stage=%q", Stage(i).String())
+			if l := label(s); l != "" {
+				stageLabel = l + "," + stageLabel
+			}
+			writeHistogramSeries(w, name, stageLabel, s.Sink.Stage[i])
+		}
+	}
+	counter("_postings_read_total", "Merged-list entries consumed.",
+		func(s *Sink) int64 { return s.PostingsRead.Value() })
+	counter("_subtrees_scanned_total", "Anchor subtrees processed.",
+		func(s *Sink) int64 { return s.Subtrees.Value() })
+	counter("_candidates_seen_total", "Candidate-query observations scored.",
+		func(s *Sink) int64 { return s.CandidatesSeen.Value() })
+	counter("_type_cache_hits_total", "Result-type cache hits.",
+		func(s *Sink) int64 { return s.TypeCacheHits.Value() })
+	counter("_type_cache_misses_total", "Result-type cache misses (FindResultType runs).",
+		func(s *Sink) int64 { return s.TypeCacheMisses.Value() })
+	counter("_accumulator_evictions_total", "Score accumulators evicted under the γ bound.",
+		func(s *Sink) int64 { return s.Evictions.Value() })
+	histogram("_worker_imbalance_ratio", "Max over mean scan-shard time per parallel call.",
+		func(s *Sink) *Histogram { return s.WorkerImbalance })
+	counter("_slow_queries_total", "Requests that crossed the slow-query threshold.",
+		func(s *Sink) int64 { return s.SlowQueries.Value() })
 }

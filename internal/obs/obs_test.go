@@ -173,6 +173,45 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+func TestPrometheusLabeledExposition(t *testing.T) {
+	a, b := NewSink(), NewSink()
+	a.Queries.Add(3)
+	b.Queries.Add(5)
+	a.ObserveSuggest(2*time.Millisecond, nil) // bumps a.Queries to 4
+
+	var buf bytes.Buffer
+	WritePrometheusLabeled(&buf, "xc", "corpus", []NamedSink{
+		{Label: "dblp", Sink: a}, {Label: "wiki", Sink: b},
+	})
+	out := buf.String()
+
+	// One HELP/TYPE block per family, not per sink.
+	if n := strings.Count(out, "# TYPE xc_suggest_requests_total counter"); n != 1 {
+		t.Errorf("want 1 TYPE line for the counter family, got %d", n)
+	}
+	for _, want := range []string{
+		`xc_suggest_requests_total{corpus="dblp"} 4`,
+		`xc_suggest_requests_total{corpus="wiki"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing sample %q", want)
+		}
+	}
+	// Stage histograms compose the corpus and stage labels.
+	if !strings.Contains(out, `xc_stage_duration_seconds_bucket{corpus="dblp",stage="tokenize"`) {
+		t.Error("stage series missing composed corpus+stage labels")
+	}
+	// Every non-comment sample must carry a corpus label.
+	for _, ln := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if !strings.Contains(ln, `corpus="`) {
+			t.Errorf("unlabeled sample %q", ln)
+		}
+	}
+}
+
 func TestSpansOf(t *testing.T) {
 	var call StageDurations
 	call[StageTokenize] = time.Microsecond

@@ -19,7 +19,11 @@ type SlowRecord struct {
 	// RequestID ties the entry to the access log and the /suggest
 	// response that carried it.
 	RequestID string `json:"requestId,omitempty"`
-	Query     string `json:"query"`
+	// Corpus names the catalog corpus the query ran against (empty in
+	// single-engine deployments), so one misbehaving corpus is separable
+	// from the rest in a multi-corpus slow log.
+	Corpus string `json:"corpus,omitempty"`
+	Query  string `json:"query"`
 	// Spaces records whether the space-error search ran.
 	Spaces     bool  `json:"spaces,omitempty"`
 	DurationNs int64 `json:"durationNs"`

@@ -16,7 +16,7 @@ func TestSlowLogThresholdAndFormat(t *testing.T) {
 	if l.Record(SlowRecord{Query: "fast", DurationNs: int64(time.Millisecond)}) {
 		t.Error("fast request recorded")
 	}
-	if !l.Record(SlowRecord{RequestID: "r1", Query: "slow", DurationNs: int64(time.Second), Suggestions: 2}) {
+	if !l.Record(SlowRecord{RequestID: "r1", Corpus: "dblp", Query: "slow", DurationNs: int64(time.Second), Suggestions: 2}) {
 		t.Error("slow request dropped")
 	}
 	if l.Count() != 1 {
@@ -27,15 +27,32 @@ func TestSlowLogThresholdAndFormat(t *testing.T) {
 	if strings.Count(line, "\n") != 0 {
 		t.Fatalf("expected one JSONL line, got %q", buf.String())
 	}
+	// Every record carries the request ID and corpus name on the wire,
+	// so one outlier request is traceable to its corpus and access-log
+	// line with grep alone.
+	for _, key := range []string{`"requestId":"r1"`, `"corpus":"dblp"`} {
+		if !strings.Contains(line, key) {
+			t.Errorf("line %q missing %s", line, key)
+		}
+	}
 	var rec SlowRecord
 	if err := json.Unmarshal([]byte(line), &rec); err != nil {
 		t.Fatalf("line not JSON: %v", err)
 	}
-	if rec.Query != "slow" || rec.RequestID != "r1" || rec.Suggestions != 2 {
+	if rec.Query != "slow" || rec.RequestID != "r1" || rec.Corpus != "dblp" || rec.Suggestions != 2 {
 		t.Errorf("record %+v", rec)
 	}
 	if rec.Time == "" {
 		t.Error("no timestamp stamped")
+	}
+}
+
+func TestSlowLogOmitsEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, time.Nanosecond)
+	l.Record(SlowRecord{Query: "q", DurationNs: int64(time.Second)})
+	if strings.Contains(buf.String(), `"corpus"`) {
+		t.Errorf("single-engine record should omit corpus: %s", buf.String())
 	}
 }
 

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xclean/internal/catalog"
+	"xclean/internal/qlog"
+)
+
+const catCorpusA = `<dblp>
+  <article><author>jonathan rose</author><title>fpga architecture synthesis</title></article>
+  <article><author>jonathan rose</author><title>reconfigurable fpga routing</title></article>
+</dblp>`
+
+const catCorpusB = `<bib>
+  <paper><author>alan turing</author><title>computing machinery intelligence</title></paper>
+  <paper><author>claude shannon</author><title>mathematical theory communication</title></paper>
+</bib>`
+
+// catalogServer builds a two-corpus catalog ("a" from catCorpusA, "b"
+// from catCorpusB) fronted by an httptest server, returning both plus
+// the directory holding the corpus source files.
+func catalogServer(t *testing.T, cfg Config) (*httptest.Server, *catalog.Catalog, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cat := catalog.New(catalog.Config{SnapshotDir: filepath.Join(dir, "snapshots")})
+	for name, content := range map[string]string{"a": catCorpusA, "b": catCorpusB} {
+		path := filepath.Join(dir, name+".xml")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.Add(name, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Catalog = cat
+	ts := httptest.NewServer(New(nil, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, cat, dir
+}
+
+func TestCatalogSuggestRouting(t *testing.T) {
+	ts, _, _ := catalogServer(t, Config{})
+
+	// ?corpus= routes to the named corpus and the response names it.
+	resp, body := get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corpus=a status %d: %s", resp.StatusCode, body)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Corpus != "a" {
+		t.Errorf("corpus %q", sr.Corpus)
+	}
+	if len(sr.Suggestions) == 0 {
+		t.Fatal("no suggestions from corpus a")
+	}
+
+	// The same query against corpus b must not see corpus a's content.
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&corpus=b")
+	if strings.Contains(string(body), "fpga architecture") {
+		t.Errorf("corpus b answered with corpus a content: %s", body)
+	}
+
+	// With two corpora registered, omitting ?corpus= is ambiguous.
+	resp, _ = get(t, ts.URL+"/suggest?q=rose")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("ambiguous corpus: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/suggest?q=rose&corpus=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown corpus: status %d", resp.StatusCode)
+	}
+
+	// /stats resolves per corpus too.
+	resp, body = get(t, ts.URL+"/stats?corpus=b")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st struct{ Nodes, DistinctTerms int }
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes == 0 || st.DistinctTerms == 0 {
+		t.Errorf("corpus b stats empty: %+v", st)
+	}
+	resp, _ = get(t, ts.URL+"/stats?corpus=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("stats unknown corpus: status %d", resp.StatusCode)
+	}
+}
+
+func TestCatalogSingleCorpusDefault(t *testing.T) {
+	dir := t.TempDir()
+	cat := catalog.New(catalog.Config{SnapshotDir: filepath.Join(dir, "snapshots")})
+	path := filepath.Join(dir, "only.xml")
+	if err := os.WriteFile(path, []byte(catCorpusA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("only", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(nil, Config{Catalog: cat}).Handler())
+	defer ts.Close()
+
+	// A lone corpus serves requests that name no corpus.
+	resp, body := get(t, ts.URL+"/suggest?q=rose+fpga")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Corpus != "only" {
+		t.Errorf("corpus %q", sr.Corpus)
+	}
+}
+
+func TestCatalogCacheIsolation(t *testing.T) {
+	ts, _, _ := catalogServer(t, Config{CacheSize: 32})
+
+	// Warm the cache with corpus a, then issue the identical query text
+	// against corpus b: a shared cache key would leak a's suggestions.
+	_, bodyA := get(t, ts.URL+"/suggest?q=turing+machinery&corpus=a")
+	_, bodyB := get(t, ts.URL+"/suggest?q=turing+machinery&corpus=b")
+	var sa, sb SuggestResponse
+	if err := json.Unmarshal(bodyA, &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Suggestions) == 0 {
+		t.Fatal("corpus b found nothing for its own content")
+	}
+	if len(sa.Suggestions) == len(sb.Suggestions) {
+		t.Errorf("corpus a and b returned identical suggestion counts %d — cache crossed corpora?",
+			len(sa.Suggestions))
+	}
+}
+
+func TestCorporaAdminEndpoints(t *testing.T) {
+	ts, _, dir := catalogServer(t, Config{})
+
+	// GET lists both corpora with their state.
+	resp, body := get(t, ts.URL+"/corpora")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var list []catalog.Status
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("listed %d corpora", len(list))
+	}
+	for _, st := range list {
+		if st.State != "ready" || !st.Serving {
+			t.Errorf("corpus %s: state %s serving %v", st.Name, st.State, st.Serving)
+		}
+	}
+
+	// POST with doc= registers a third corpus.
+	path := filepath.Join(dir, "c.xml")
+	if err := os.WriteFile(path, []byte(catCorpusB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/corpora?name=c&doc="+path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add status %d: %s", resp.StatusCode, body)
+	}
+	var st catalog.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "c" || st.Docs != 1 {
+		t.Errorf("added corpus %+v", st)
+	}
+	resp, _ = get(t, ts.URL+"/suggest?q=turing&corpus=c")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("new corpus not serving: status %d", resp.StatusCode)
+	}
+
+	// Duplicate name conflicts.
+	resp, _ = post(t, ts.URL+"/corpora?name=c&doc="+path)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate add: status %d", resp.StatusCode)
+	}
+
+	// Reload succeeds and reports status.
+	resp, body = post(t, ts.URL+"/corpora?name=a&action=reload")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Builds < 2 {
+		t.Errorf("builds %d after reload", st.Builds)
+	}
+
+	// DELETE removes; the corpus stops serving.
+	resp, _ = del(t, ts.URL+"/corpora?name=c")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/suggest?q=turing&corpus=c")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("removed corpus still serving: status %d", resp.StatusCode)
+	}
+
+	// Parameter validation.
+	for url, want := range map[string]int{
+		"/corpora?name=":                   http.StatusBadRequest,
+		"/corpora?name=x":                  http.StatusBadRequest,
+		"/corpora?name=x&action=zap":       http.StatusBadRequest,
+		"/corpora?name=nope&action=reload": http.StatusNotFound,
+	} {
+		resp, _ = post(t, ts.URL+url)
+		if resp.StatusCode != want {
+			t.Errorf("POST %s: status %d, want %d", url, resp.StatusCode, want)
+		}
+	}
+	resp, _ = get(t, ts.URL+"/suggest?q=rose&corpus=a")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("corpus a broken after admin churn: status %d", resp.StatusCode)
+	}
+}
+
+// TestFailedReloadZeroFailedRequests is the acceptance criterion: a
+// rebuild that fails to parse leaves the previously-served corpus
+// answering /suggest with zero failed requests, while the admin call
+// itself reports the failure.
+func TestFailedReloadZeroFailedRequests(t *testing.T) {
+	ts, _, dir := catalogServer(t, Config{})
+
+	var stop atomic.Bool
+	var failures atomic.Int64
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, err := http.Get(ts.URL + "/suggest?q=rose+fpga&corpus=a")
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				body := readAll(t, resp)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("suggest during failed reload: status %d: %s", resp.StatusCode, body)
+				} else {
+					served.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Corrupt corpus a's source, then reload it repeatedly under load.
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte("<dblp><broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, ts.URL+"/corpora?name=a&action=reload")
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("corrupt reload status %d: %s", resp.StatusCode, body)
+		}
+		var fail struct {
+			Error  string         `json:"error"`
+			Corpus catalog.Status `json:"corpus"`
+		}
+		if err := json.Unmarshal(body, &fail); err != nil {
+			t.Fatal(err)
+		}
+		if fail.Error == "" || fail.Corpus.State != "failed" || !fail.Corpus.Serving {
+			t.Errorf("failure body %+v", fail)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Errorf("%d failed requests during failed reloads", n)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no traffic served during the test")
+	}
+
+	// Repairing the source recovers the corpus via the same endpoint.
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte(catCorpusB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/corpora?name=a&action=reload")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery reload status %d: %s", resp.StatusCode, body)
+	}
+	_, body = get(t, ts.URL+"/suggest?q=turing+machinery&corpus=a")
+	if !strings.Contains(string(body), "turing") {
+		t.Errorf("recovered corpus serves stale content: %s", body)
+	}
+}
+
+func TestCatalogMetricz(t *testing.T) {
+	ts, _, _ := catalogServer(t, Config{})
+	get(t, ts.URL+"/suggest?q=rose&corpus=a")
+
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Corpora) != 2 {
+		t.Fatalf("metricz lists %d corpora", len(m.Corpora))
+	}
+	if _, ok := m.CorpusEngines["a"]; !ok {
+		t.Errorf("no engine snapshot for corpus a: %v", m.CorpusEngines)
+	}
+
+	_, body = get(t, ts.URL+"/metricz?format=prometheus")
+	text := string(body)
+	for _, want := range []string{
+		`xclean_engine_suggest_requests_total{corpus="a"} 1`,
+		`xclean_engine_catalog_serving{corpus="a"} 1`,
+		`xclean_engine_catalog_builds_total{corpus="b"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestCatalogSlowLogCarriesCorpus(t *testing.T) {
+	var slow bytes.Buffer
+	var logBuf bytes.Buffer
+	ts, _, _ := catalogServer(t, Config{
+		SlowLog: qlog.NewSlowLog(&slow, time.Nanosecond),
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	resp, _ := get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	rid := resp.Header.Get("X-Request-Id")
+	if rid == "" {
+		t.Fatal("no request ID")
+	}
+	line := slow.String()
+	for _, want := range []string{`"corpus":"a"`, fmt.Sprintf(`"requestId":%q`, rid)} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log %q missing %s", line, want)
+		}
+	}
+	if !strings.Contains(logBuf.String(), "corpus=a") {
+		t.Errorf("slow-query warn line missing corpus: %s", logBuf.String())
+	}
+}
+
+func post(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+func del(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}

@@ -2,12 +2,26 @@
 // API, turning the library into the "Did you mean" service the paper's
 // introduction motivates:
 //
-//	GET  /suggest?q=<query>[&k=N][&spaces=1][&preview=1][&debug=1]  → ranked suggestions
-//	GET  /stats                                → indexed-document statistics
+//	GET  /suggest?q=<query>[&corpus=name][&k=N][&spaces=1][&preview=1][&debug=1]  → ranked suggestions
+//	GET  /stats[?corpus=name]                  → indexed-document statistics
 //	GET  /metricz[?format=prometheus]          → service + engine metrics
 //	GET  /healthz                              → liveness probe
 //	POST /click?entity=<dewey>                 → record entity feedback (query log)
 //	GET  /topqueries?n=N                       → most frequent logged queries
+//
+// With Config.Catalog set, the server fronts a whole corpus catalog
+// instead of one engine: /suggest and /stats take ?corpus=<name>
+// (optional while a single corpus is served), and the admin surface
+// manages the corpus set at runtime:
+//
+//	GET    /corpora                            → status of every corpus
+//	POST   /corpora?name=N&doc=path            → add a corpus from XML (file or directory)
+//	POST   /corpora?name=N&snapshot=path       → add a corpus from a saved index
+//	POST   /corpora?name=N&action=reload       → rebuild and hot-swap (old engine serves on failure)
+//	DELETE /corpora?name=N                     → remove a corpus
+//
+// The admin endpoints accept server-side file paths; deploy them
+// behind the same trust boundary as the process itself.
 //
 // With a query log configured, every /suggest query and /click is
 // recorded; the accumulated log yields the entity priors and query
@@ -25,6 +39,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
@@ -35,6 +50,7 @@ import (
 
 	"xclean"
 	"xclean/internal/cache"
+	"xclean/internal/catalog"
 	"xclean/internal/eval"
 	"xclean/internal/obs"
 	"xclean/internal/qlog"
@@ -89,6 +105,12 @@ type Config struct {
 	// before the request is known to be slow); the tracing overhead is
 	// a few extra clock reads per request.
 	SlowLog *qlog.SlowLog
+	// Catalog, when non-nil, turns the server into a multi-corpus
+	// frontend: requests resolve their engine per call (?corpus=), the
+	// /corpora admin endpoints are mounted, and /metricz exposes
+	// per-corpus labeled series. The Engine passed to New may then be
+	// nil.
+	Catalog *catalog.Catalog
 }
 
 func (c Config) addr() string {
@@ -121,10 +143,10 @@ func (c Config) writeTimeout() time.Duration {
 
 // Server serves suggestion requests for one engine.
 type Server struct {
-	eng     Engine
-	cfg     Config
-	mux     *http.ServeMux
-	http    *http.Server
+	eng   Engine
+	cfg   Config
+	mux   *http.ServeMux
+	http  *http.Server
 	cache *cache.LRU[[]xclean.Suggestion] // nil when disabled
 	// latency records every /suggest request; hitLatency and
 	// missLatency split the samples by cache outcome so a warm cache
@@ -153,6 +175,9 @@ func New(eng Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/click", s.handleClick)
 	s.mux.HandleFunc("/topqueries", s.handleTopQueries)
+	if cfg.Catalog != nil {
+		s.mux.HandleFunc("/corpora", s.handleCorpora)
+	}
 	s.http = &http.Server{
 		Addr:         cfg.addr(),
 		Handler:      s.Handler(),
@@ -199,6 +224,38 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.addr() }
 
+// resolveEngine picks the engine serving this request: the catalog
+// corpus named by ?corpus= (with default resolution when absent), or
+// the fixed engine in single-engine mode. The resolved corpus name
+// comes back for cache keys, logs, and the response ("" in
+// single-engine mode).
+func (s *Server) resolveEngine(r *http.Request) (Engine, string, error) {
+	if s.cfg.Catalog == nil {
+		return s.eng, "", nil
+	}
+	eng, name, err := s.cfg.Catalog.Resolve(r.URL.Query().Get("corpus"))
+	if err != nil {
+		return nil, name, err
+	}
+	return eng, name, nil
+}
+
+// catalogStatus maps a catalog error to its HTTP status.
+func catalogStatus(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownCorpus):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrCorpusRequired):
+		return http.StatusBadRequest
+	case errors.Is(err, catalog.ErrNotServing):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, catalog.ErrDuplicateCorpus):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // SuggestionJSON is the wire form of one suggestion.
 type SuggestionJSON struct {
 	Query        string   `json:"query"`
@@ -216,7 +273,10 @@ const previewLen = 240
 
 // SuggestResponse is the body of GET /suggest.
 type SuggestResponse struct {
-	Query       string           `json:"query"`
+	Query string `json:"query"`
+	// Corpus is the resolved catalog corpus the suggestions came from
+	// (omitted in single-engine deployments).
+	Corpus      string           `json:"corpus,omitempty"`
 	Suggestions []SuggestionJSON `json:"suggestions"`
 	TookMillis  float64          `json:"tookMillis"`
 	// RequestID echoes the request's ID (also in the X-Request-Id
@@ -256,6 +316,12 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		k = v
 	}
 
+	eng, corpus, err := s.resolveEngine(r)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err.Error())
+		return
+	}
+
 	if s.cfg.QueryLog != nil {
 		s.cfg.QueryLog.RecordQuery(q)
 	}
@@ -273,6 +339,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		if spaces {
 			cacheKey = "s\x00" + q
 		}
+		// The cache is shared across corpora; the key carries the corpus
+		// so identical query text never crosses corpus boundaries.
+		if corpus != "" {
+			cacheKey = corpus + "\x01" + cacheKey
+		}
 		// debug=1 bypasses the cache read: a trace must reflect a real
 		// engine execution, not a map lookup.
 		if !debug {
@@ -285,13 +356,13 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		trace := debug || s.cfg.SlowLog != nil
 		switch {
 		case trace && spaces:
-			sugs, ex = s.eng.SuggestWithSpacesExplained(q)
+			sugs, ex = eng.SuggestWithSpacesExplained(q)
 		case trace:
-			sugs, ex = s.eng.SuggestExplained(q)
+			sugs, ex = eng.SuggestExplained(q)
 		case spaces:
-			sugs = s.eng.SuggestWithSpaces(q)
+			sugs = eng.SuggestWithSpaces(q)
 		default:
-			sugs = s.eng.Suggest(q)
+			sugs = eng.Suggest(q)
 		}
 		if s.cache != nil {
 			s.cache.Put(cacheKey, sugs)
@@ -307,6 +378,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	if !cached && s.cfg.SlowLog.Record(qlog.SlowRecord{
 		RequestID:   rid,
+		Corpus:      corpus,
 		Query:       q,
 		Spaces:      spaces,
 		DurationNs:  took.Nanoseconds(),
@@ -317,8 +389,8 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Obs.SlowQueries.Inc()
 		}
 		if s.cfg.Logger != nil {
-			s.cfg.Logger.Warn("slow query", "requestId", rid, "query", q,
-				"spaces", spaces, "tookMillis", float64(took.Microseconds())/1000)
+			s.cfg.Logger.Warn("slow query", "requestId", rid, "corpus", corpus,
+				"query", q, "spaces", spaces, "tookMillis", float64(took.Microseconds())/1000)
 		}
 	}
 	if k > 0 && len(sugs) > k {
@@ -327,6 +399,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 	resp := SuggestResponse{
 		Query:       q,
+		Corpus:      corpus,
 		Suggestions: make([]SuggestionJSON, len(sugs)),
 		TookMillis:  float64(time.Since(start).Microseconds()) / 1000,
 		RequestID:   rid,
@@ -346,7 +419,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			Witness:      sg.Witness,
 		}
 		if withPreview {
-			resp.Suggestions[i].Preview = s.eng.Preview(sg, previewLen)
+			resp.Suggestions[i].Preview = eng.Preview(sg, previewLen)
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -357,7 +430,78 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.eng.Stats())
+	eng, _, err := s.resolveEngine(r)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, eng.Stats())
+}
+
+// handleCorpora is the catalog admin surface: list (GET), add or
+// reload (POST), remove (DELETE).
+func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
+	cat := s.cfg.Catalog
+	switch r.Method {
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, cat.List())
+	case http.MethodPost:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "missing parameter name")
+			return
+		}
+		doc := r.URL.Query().Get("doc")
+		snapshot := r.URL.Query().Get("snapshot")
+		action := r.URL.Query().Get("action")
+		var err error
+		switch {
+		case action == "reload":
+			err = cat.Reload(name)
+		case action != "":
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown action %q", action))
+			return
+		case doc != "" && snapshot == "":
+			err = cat.Add(name, doc)
+		case snapshot != "" && doc == "":
+			err = cat.AddSnapshot(name, snapshot)
+		default:
+			s.writeError(w, http.StatusBadRequest, "exactly one of doc or snapshot is required")
+			return
+		}
+		if err != nil {
+			// A failed reload keeps the corpus registered (old engine
+			// serving); include its status so callers see both.
+			if st, stErr := cat.Status(name); stErr == nil {
+				s.writeJSON(w, catalogStatus(err), struct {
+					Error  string         `json:"error"`
+					Corpus catalog.Status `json:"corpus"`
+				}{err.Error(), st})
+				return
+			}
+			s.writeError(w, catalogStatus(err), err.Error())
+			return
+		}
+		st, stErr := cat.Status(name)
+		if stErr != nil {
+			s.writeError(w, http.StatusInternalServerError, stErr.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusOK, st)
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "missing parameter name")
+			return
+		}
+		if err := cat.Remove(name); err != nil {
+			s.writeError(w, catalogStatus(err), err.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "removed", "name": name})
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "GET, POST, or DELETE")
+	}
 }
 
 // Metrics is the body of GET /metricz. Latency covers every /suggest
@@ -378,6 +522,11 @@ type Metrics struct {
 	// Engine is the engine-side sink snapshot (per-stage latency
 	// histograms, cache and scan counters) when Config.Obs is set.
 	Engine *obs.SinkSnapshot `json:"engine,omitempty"`
+	// Corpora carries the catalog's per-corpus lifecycle statuses, and
+	// CorpusEngines the per-corpus engine sink snapshots, when
+	// Config.Catalog is set.
+	Corpora       []catalog.Status            `json:"corpora,omitempty"`
+	CorpusEngines map[string]obs.SinkSnapshot `json:"corpusEngines,omitempty"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +554,13 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		snap := s.cfg.Obs.Snapshot()
 		m.Engine = &snap
 	}
+	if s.cfg.Catalog != nil {
+		m.Corpora = s.cfg.Catalog.List()
+		m.CorpusEngines = make(map[string]obs.SinkSnapshot)
+		for name, sink := range s.cfg.Catalog.Sinks() {
+			m.CorpusEngines[name] = sink.Snapshot()
+		}
+	}
 	s.writeJSON(w, http.StatusOK, m)
 }
 
@@ -431,6 +587,11 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	}
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.WritePrometheus(w, "xclean_engine")
+	}
+	if s.cfg.Catalog != nil {
+		// Per-corpus engine series (corpus="<name>" labels) plus the
+		// catalog lifecycle series.
+		s.cfg.Catalog.WritePrometheus(w, "xclean_engine")
 	}
 }
 

@@ -1,0 +1,79 @@
+package xclean
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xclean/internal/dataset"
+)
+
+// reopen round-trips an engine through SaveIndex → OpenIndex, the
+// persistence path the catalog's snapshot warm-starts rely on.
+func reopen(t *testing.T, e *Engine, opts Options) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatalf("save index: %v", err)
+	}
+	re, err := OpenIndex(&buf, opts)
+	if err != nil {
+		t.Fatalf("reopen index: %v", err)
+	}
+	return re
+}
+
+// TestSnapshotDifferentialSample asserts a saved-and-reopened index is
+// observably identical to the live engine it came from: same stats and
+// the same ranked suggestions (queries, words, scores, witnesses) for
+// clean, misspelled, and space-error inputs.
+func TestSnapshotDifferentialSample(t *testing.T) {
+	opts := Options{StoreText: true}
+	live := openSample(t, opts)
+	snap := reopen(t, live, opts)
+
+	if !reflect.DeepEqual(live.Stats(), snap.Stats()) {
+		t.Errorf("stats diverge: live %+v snapshot %+v", live.Stats(), snap.Stats())
+	}
+	queries := []string{
+		"rose architecure fpga", // misspelling
+		"databse indexing",      // misspelling
+		"keyword search",        // clean
+		"data base indexing",    // space error
+		"zzz nothing here",      // no match
+	}
+	for _, q := range queries {
+		if got, want := snap.Suggest(q), live.Suggest(q); !reflect.DeepEqual(got, want) {
+			t.Errorf("Suggest(%q) diverges:\nlive: %+v\nsnap: %+v", q, want, got)
+		}
+		if got, want := snap.SuggestWithSpaces(q), live.SuggestWithSpaces(q); !reflect.DeepEqual(got, want) {
+			t.Errorf("SuggestWithSpaces(%q) diverges:\nlive: %+v\nsnap: %+v", q, want, got)
+		}
+	}
+}
+
+// TestSnapshotDifferentialGenerated repeats the differential check at
+// scale: a generated DBLP corpus and its own sampled query workload.
+func TestSnapshotDifferentialGenerated(t *testing.T) {
+	gen := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 7, Articles: 500})
+	var xml bytes.Buffer
+	if _, err := gen.Tree.WriteXML(&xml); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{}
+	live, err := Open(strings.NewReader(xml.String()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reopen(t, live, opts)
+
+	if !reflect.DeepEqual(live.Stats(), snap.Stats()) {
+		t.Errorf("stats diverge: live %+v snapshot %+v", live.Stats(), snap.Stats())
+	}
+	for _, q := range gen.SampleQueries(3, 25) {
+		if got, want := snap.Suggest(q), live.Suggest(q); !reflect.DeepEqual(got, want) {
+			t.Errorf("Suggest(%q) diverges:\nlive: %+v\nsnap: %+v", q, want, got)
+		}
+	}
+}
