@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke snapshot-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json snapshot-smoke cluster-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # and run the test suite under the race detector (the parallel scan
@@ -41,3 +41,16 @@ snapshot-smoke:
 	q=$$(head -1 "$$tmp/corpus.xml.queries.tsv" | cut -f2) && \
 	go run ./cmd/xclean -index "$$tmp/corpus.idx" "$$q" && \
 	echo "snapshot-smoke: OK"
+
+# Machine-readable perf snapshot: run the latency-bearing experiments
+# at a small corpus size and append a BENCH_<date>.json trajectory
+# file (median/p95 latency, throughput per experiment).
+bench-json:
+	go run ./cmd/xbench -exp table6,workers -dblp 5000 -wiki 500 -queries 20 \
+		-json BENCH_$$(date +%Y%m%d).json
+
+# End-to-end scatter-gather smoke test: 2 shard servers + 1
+# coordinator on loopback; a healthy query must be complete, and a
+# query after killing one shard must degrade to "partial": true.
+cluster-smoke:
+	./scripts/cluster_smoke.sh

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,57 @@ import (
 // workers is the -workers flag: Config.Workers applied to every XClean
 // engine the experiments build (0 = GOMAXPROCS, 1 = sequential).
 var workers int
+
+// PerfRecord is one experiment measurement in the -json output: what a
+// perf-trajectory file needs to plot quality and latency over time.
+type PerfRecord struct {
+	Experiment string  `json:"experiment"`
+	System     string  `json:"system"`
+	Set        string  `json:"set,omitempty"`
+	Queries    int     `json:"queries"`
+	MRR        float64 `json:"mrr"`
+	MeanNs     int64   `json:"meanNs"`
+	MedianNs   int64   `json:"medianNs"`
+	P95Ns      int64   `json:"p95Ns"`
+	// ThroughputQPS is single-client throughput (1/mean latency).
+	ThroughputQPS float64 `json:"throughputQps"`
+}
+
+// BenchJSON is the top-level -json document.
+type BenchJSON struct {
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Seed       int64        `json:"seed"`
+	DBLP       int          `json:"dblpArticles"`
+	Wiki       int          `json:"wikiArticles"`
+	QuerySize  int          `json:"queriesPerSet"`
+	Records    []PerfRecord `json:"records"`
+}
+
+// perfRecords accumulates the machine-readable side of every
+// experiment that measures latency; written out by -json.
+var perfRecords []PerfRecord
+
+// record captures one eval result for the -json output (no-op cost
+// when -json is unset: the slice just grows and is dropped).
+func record(experiment, system, set string, res eval.Result) {
+	qps := 0.0
+	if res.AvgTime > 0 {
+		qps = float64(time.Second) / float64(res.AvgTime)
+	}
+	perfRecords = append(perfRecords, PerfRecord{
+		Experiment:    experiment,
+		System:        system,
+		Set:           set,
+		Queries:       res.Latency.Count,
+		MRR:           res.MRR,
+		MeanNs:        res.Latency.Mean.Nanoseconds(),
+		MedianNs:      res.Latency.P50.Nanoseconds(),
+		P95Ns:         res.Latency.P95.Nanoseconds(),
+		ThroughputQPS: qps,
+	})
+}
 
 // xc builds an XClean engine for a set, applying the experiment's mod
 // and then the global -workers flag.
@@ -50,6 +102,7 @@ func main() {
 		nw      = flag.Int("workers", 0, "goroutines per suggestion call (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		jsonOut = flag.String("json", "", "write machine-readable per-experiment results (median/p95 latency, throughput) to this file")
 	)
 	flag.Parse()
 	workers = *nw
@@ -121,6 +174,35 @@ func main() {
 		}
 		run(w)
 		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		doc := BenchJSON{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    workers,
+			Seed:       *seed,
+			DBLP:       *dblp,
+			Wiki:       *wiki,
+			QuerySize:  *queries,
+			Records:    perfRecords,
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "results written to %s (%d records)\n", *jsonOut, len(perfRecords))
 	}
 }
 
@@ -236,6 +318,8 @@ func fig3(w *eval.Workbench) {
 		p := eval.Run(w.PY08(set, nil), qs, 10, opts)
 		s1 := eval.Run(se1, qs, 1, opts)
 		s2 := eval.Run(se2, qs, 1, opts)
+		record("fig3", "xclean", set, x)
+		record("fig3", "py08", set, p)
 		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%.2f\n", set, x.MRR, p.MRR, s1.MRR, s2.MRR)
 	}
 	tw.Flush()
@@ -353,6 +437,8 @@ func table6(w *eval.Workbench) {
 		qs := w.Sets[set]
 		x := eval.Run(xc(w, set, nil), qs, 10, opts)
 		p := eval.Run(w.PY08(set, nil), qs, 10, opts)
+		record("table6", "xclean", set, x)
+		record("table6", "py08", set, p)
 		ratio := float64(p.AvgTime) / float64(x.AvgTime)
 		fmt.Fprintf(tw, "%s\t%v\t%v\t%v\t%v\t%.1fx\n", set,
 			x.AvgTime.Round(time.Microsecond), x.Latency.P95.Round(time.Microsecond),
@@ -385,6 +471,7 @@ func ablations(w *eval.Workbench) {
 	fmt.Fprintln(tw, "Variant\tMRR\tavg time")
 	for _, r := range rows {
 		res := eval.Run(r.s, qs, 10, opts)
+		record("ablations", r.name, set, res)
 		fmt.Fprintf(tw, "%s\t%.2f\t%v\n", r.name, res.MRR, res.AvgTime.Round(time.Microsecond))
 	}
 	tw.Flush()
@@ -474,6 +561,7 @@ func workersSweep(w *eval.Workbench) {
 		nw := n
 		e := w.XClean(set, func(c *core.Config) { c.Workers = nw })
 		res := eval.Run(e, qs, 10, opts)
+		record("workers", fmt.Sprintf("xclean-w%d", nw), set, res)
 		if nw == 1 {
 			base = res.AvgTime
 		}

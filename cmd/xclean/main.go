@@ -10,6 +10,11 @@
 //
 //	xclean -doc corpus.xml -save-index corpus.idx
 //	xclean -index corpus.idx "rose architecure fpga"
+//
+// For the scatter-gather cluster (see internal/cluster), -shard i/n
+// saves the i'th of n entity-range shard slices instead:
+//
+//	xclean -doc corpus.xml -save-index shard0.idx -shard 0/2
 package main
 
 import (
@@ -31,6 +36,7 @@ func main() {
 		doc       = flag.String("doc", "", "XML document to index")
 		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
 		saveIndex = flag.String("save-index", "", "write the index to this file and exit")
+		shard     = flag.String("shard", "", "with -save-index: write entity-range shard i of n (format i/n) for a cluster shard server")
 		k         = flag.Int("k", 10, "suggestions to return")
 		eps       = flag.Int("eps", 2, "max edit errors per keyword")
 		beta      = flag.Float64("beta", 5, "error penalty β")
@@ -90,18 +96,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "indexed in %v: %d nodes, %d terms, %d tokens\n",
 		time.Since(start).Round(time.Millisecond), st.Nodes, st.DistinctTerms, st.Tokens)
 
+	if *shard != "" && *saveIndex == "" {
+		log.Fatal("-shard requires -save-index")
+	}
 	if *saveIndex != "" {
 		f, err := os.Create(*saveIndex)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := eng.SaveIndex(f); err != nil {
+		if *shard != "" {
+			var i, n int
+			if _, err := fmt.Sscanf(*shard, "%d/%d", &i, &n); err != nil {
+				log.Fatalf("bad -shard %q (want i/n, e.g. 0/2)", *shard)
+			}
+			err = eng.SaveShardIndex(f, i, n)
+		} else {
+			err = eng.SaveIndex(f)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveIndex)
+		if *shard != "" {
+			fmt.Fprintf(os.Stderr, "shard %s index saved to %s\n", *shard, *saveIndex)
+		} else {
+			fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveIndex)
+		}
 		return
 	}
 

@@ -3,6 +3,7 @@
 //	xserve -doc corpus.xml -addr :8080
 //	xserve -index corpus.idx -addr :8080 -semantics slca
 //	xserve -docs ./corpora -snapshot-dir ./snapshots -idle-ttl 30m -watch 10s
+//	xserve -role coordinator -shards localhost:8081,localhost:8082 -addr :8080
 //
 //	curl 'localhost:8080/suggest?q=hinrich+schutze+geo-taging'
 //	curl 'localhost:8080/suggest?q=...&corpus=dblp&debug=1'  # per-stage trace
@@ -17,6 +18,11 @@
 // warm restarts (-snapshot-dir), evicts idle engines (-idle-ttl), and
 // rebuilds corpora whose source files change (-watch). The /corpora
 // endpoint adds, reloads, and removes corpora at runtime.
+//
+// With -role coordinator the node serves no local index: /suggest fans
+// out over the -shards servers (each an ordinary xserve serving an
+// entity-range shard index built with `xclean -save-index -shard i/n`)
+// and merges their partial scores; see internal/cluster.
 //
 // Logging is structured (log/slog, logfmt to stderr); every request
 // line carries the request ID echoed in the /suggest response. The
@@ -40,6 +46,7 @@ import (
 
 	"xclean"
 	"xclean/internal/catalog"
+	"xclean/internal/cluster"
 	"xclean/internal/qlog"
 	"xclean/internal/server"
 	"xclean/internal/tokenizer"
@@ -69,6 +76,10 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (own mux, e.g. localhost:6060; empty disables)")
 		slowPath  = flag.String("slowlog", "", "append the trace of slow /suggest requests to this JSONL file")
 		slowThr   = flag.Duration("slow-threshold", qlog.DefaultSlowThreshold, "latency above which a request is logged as slow")
+		role      = flag.String("role", "standalone", "standalone (serve a local index) or coordinator (fan /suggest out over -shards)")
+		shards    = flag.String("shards", "", "coordinator mode: comma-separated shard servers (host:port or URL), in shard order")
+		shardTO   = flag.Duration("shard-timeout", 2*time.Second, "coordinator mode: per-request fan-out budget")
+		hedge     = flag.Duration("hedge-after", 0, "coordinator mode: hedge a straggler shard's retry after this delay (0 = shard-timeout/4)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -76,13 +87,28 @@ func main() {
 		logger.Error(msg, args...)
 		os.Exit(1)
 	}
+	coordinator := false
+	switch *role {
+	case "standalone":
+	case "coordinator":
+		coordinator = true
+	default:
+		fatal("unknown role (want standalone or coordinator)", "role", *role)
+	}
 	sources := 0
 	for _, s := range []string{*doc, *index, *docs} {
 		if s != "" {
 			sources++
 		}
 	}
-	if sources != 1 {
+	if coordinator {
+		if sources != 0 {
+			fatal("a coordinator serves no local corpus (drop -doc/-index/-docs)")
+		}
+		if *shards == "" {
+			fatal("coordinator role requires -shards host:port,...")
+		}
+	} else if sources != 1 {
 		fmt.Fprintln(os.Stderr, "xserve: exactly one of -doc, -index, or -docs is required")
 		flag.Usage()
 		os.Exit(2)
@@ -127,34 +153,57 @@ func main() {
 		fatal("unknown semantics (want type, slca, or elca)", "semantics", *semantics)
 	}
 
-	cat := catalog.New(catalog.Config{
-		Options:     opts,
-		SnapshotDir: *snapDir,
-		IdleTTL:     *idleTTL,
-		Logger:      logger,
-	})
-
-	start := time.Now()
-	switch {
-	case *doc != "":
-		if err := cat.Add(corpusName(*doc), *doc); err != nil {
-			fatal("open corpus", "doc", *doc, "err", err)
-		}
-	case *index != "":
-		if err := cat.AddSnapshot(corpusName(*index), *index); err != nil {
-			fatal("open index", "index", *index, "err", err)
-		}
-	default:
-		names, err := addDir(cat, *docs)
+	var cat *catalog.Catalog
+	var coord *cluster.Coordinator
+	if coordinator {
+		var err error
+		coord, err = cluster.New(cluster.Config{
+			Shards:     strings.Split(*shards, ","),
+			Beta:       *beta,
+			K:          *k,
+			Timeout:    *shardTO,
+			HedgeAfter: *hedge,
+			Logger:     logger,
+		})
 		if err != nil {
-			fatal("scan corpus directory", "docs", *docs, "err", err)
+			fatal("configure cluster", "err", err)
 		}
-		if len(names) == 0 {
-			fatal("no corpora found (want *.xml files or subdirectories)", "docs", *docs)
+		names := make([]string, 0, len(coord.Shards()))
+		for _, sh := range coord.Shards() {
+			names = append(names, sh.Name)
 		}
+		logger.Info("coordinator ready", "shards", strings.Join(names, ","),
+			"shardTimeout", *shardTO)
+	} else {
+		cat = catalog.New(catalog.Config{
+			Options:     opts,
+			SnapshotDir: *snapDir,
+			IdleTTL:     *idleTTL,
+			Logger:      logger,
+		})
+
+		start := time.Now()
+		switch {
+		case *doc != "":
+			if err := cat.Add(corpusName(*doc), *doc); err != nil {
+				fatal("open corpus", "doc", *doc, "err", err)
+			}
+		case *index != "":
+			if err := cat.AddSnapshot(corpusName(*index), *index); err != nil {
+				fatal("open index", "index", *index, "err", err)
+			}
+		default:
+			names, err := addDir(cat, *docs)
+			if err != nil {
+				fatal("scan corpus directory", "docs", *docs, "err", err)
+			}
+			if len(names) == 0 {
+				fatal("no corpora found (want *.xml files or subdirectories)", "docs", *docs)
+			}
+		}
+		logger.Info("catalog ready", "corpora", strings.Join(cat.Names(), ","),
+			"took", time.Since(start).Round(time.Millisecond))
 	}
-	logger.Info("catalog ready", "corpora", strings.Join(cat.Names(), ","),
-		"took", time.Since(start).Round(time.Millisecond))
 
 	var slowLog *qlog.SlowLog
 	if *slowPath != "" {
@@ -195,6 +244,7 @@ func main() {
 		CacheSize: *cacheSize,
 		SlowLog:   slowLog,
 		Catalog:   cat,
+		Cluster:   coord,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -202,7 +252,9 @@ func main() {
 
 	// Maintenance loop: -watch drives source-change rebuilds (and idle
 	// eviction); -idle-ttl alone still needs a ticker for eviction.
+	// A coordinator has no catalog to maintain.
 	switch {
+	case cat == nil:
 	case *watch > 0:
 		go cat.Watch(ctx, *watch, true)
 		logger.Info("watching sources", "interval", *watch)

@@ -1,0 +1,512 @@
+// Package cluster implements the scatter-gather serving layer: a
+// coordinator that fans a suggestion query out over entity-partitioned
+// shard servers and merges their partial scores into the global top-k.
+//
+// A shard is an ordinary xserve node serving an index built with
+// `xclean -save-index -shard i/n` (invindex.Index.ShardEntities): it
+// holds the posting lists and entity tables of a contiguous range of
+// top-level entity roots plus every collection-global statistic, and
+// answers GET /shard/suggest with its γ-bounded partial accumulator
+// table (core.PartialSet) in a versioned JSON envelope. The
+// coordinator adds per-candidate partial sums and per-type entity
+// counts across shards (Eq. 8 of the paper is additive over disjoint
+// entities), recomputes error-model weights once from the union of the
+// shards' variant hits, and re-ranks to top-k — see core.MergePartials
+// for the correctness argument.
+//
+// The fan-out propagates the caller's context deadline as the
+// per-shard HTTP timeout, hedges one retry per shard (fired early when
+// the first attempt fails fast, or after HedgeAfter for stragglers),
+// and degrades gracefully: when a shard times out or fails, the
+// coordinator returns the surviving shards' merged answer marked
+// Partial with per-shard statuses, rather than an error or a hang.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xclean/internal/core"
+	"xclean/internal/eval"
+	"xclean/internal/obs"
+)
+
+// WireVersion is the version of the /shard/suggest JSON envelope. The
+// coordinator rejects responses from shards speaking a different
+// version instead of silently mis-merging.
+const WireVersion = 1
+
+// ShardResponse is the versioned wire envelope a shard returns from
+// GET /shard/suggest. The partial set is embedded, so the JSON object
+// carries keywords/typeNorms/candidates at the top level next to the
+// envelope fields.
+type ShardResponse struct {
+	Version    int     `json:"version"`
+	Corpus     string  `json:"corpus,omitempty"`
+	Query      string  `json:"query"`
+	RequestID  string  `json:"requestId,omitempty"`
+	TookMillis float64 `json:"tookMillis"`
+	core.PartialSet
+}
+
+// Shard identifies one shard server.
+type Shard struct {
+	// Name labels the shard in statuses, logs, and metric series.
+	Name string `json:"name"`
+	// URL is the shard's base URL (scheme://host:port).
+	URL string `json:"url"`
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Shards lists the shard servers as host:port or full URLs, in
+	// shard order (shard order is summation order; keep it stable so
+	// merged scores are reproducible).
+	Shards []string
+	// Corpus, when set, is forwarded as ?corpus= on every fan-out (for
+	// shard servers that serve multiple corpora through the catalog).
+	Corpus string
+	// Beta is the error-model penalty β; it must match the shards'
+	// engine configuration (0 = the shared default).
+	Beta float64
+	// K is the number of suggestions returned (0 = 10).
+	K int
+	// Timeout bounds each coordinated request (default 2s). The
+	// effective per-request budget is min(Timeout, caller deadline).
+	Timeout time.Duration
+	// HedgeAfter is how long to wait on a shard before hedging the one
+	// retry (default Timeout/4). A fast failure hedges immediately.
+	HedgeAfter time.Duration
+	// Client is the HTTP client for fan-out (default: a dedicated
+	// keep-alive client).
+	Client *http.Client
+	// Logger receives shard-failure logs (default slog.Default).
+	Logger *slog.Logger
+}
+
+// ShardStatus reports one shard's outcome within one coordinated
+// request.
+type ShardStatus struct {
+	Shard      string  `json:"shard"`
+	State      string  `json:"state"` // "ok", "error", or "timeout"
+	Error      string  `json:"error,omitempty"`
+	TookMillis float64 `json:"tookMillis"`
+	// Candidates is the size of the shard's partial candidate table
+	// (0 unless State is "ok").
+	Candidates int `json:"candidates"`
+	// Hedged reports that the hedged retry fired for this shard.
+	Hedged bool `json:"hedged,omitempty"`
+}
+
+// Result is one coordinated suggestion answer.
+type Result struct {
+	Suggestions []core.MergedSuggestion
+	// Partial is true when at least one shard did not contribute — the
+	// suggestions are the surviving shards' best answer.
+	Partial bool
+	// Shards holds per-shard statuses in shard order.
+	Shards []ShardStatus
+	// Corpus is the corpus name negotiated from shard responses.
+	Corpus string
+}
+
+// shardMetrics aggregates one shard's fan-out counters across
+// requests.
+type shardMetrics struct {
+	sink      *obs.Sink // ok-call latency, for the labeled exposition
+	latency   eval.LatencyRecorder
+	requests  atomic.Int64
+	failures  atomic.Int64
+	timeouts  atomic.Int64
+	hedges    atomic.Int64
+	lastError atomic.Pointer[string]
+}
+
+// Coordinator fans suggestion queries out over shard servers and
+// merges the partials. Safe for concurrent use.
+type Coordinator struct {
+	cfg     Config
+	shards  []Shard
+	metrics []*shardMetrics
+	client  *http.Client
+	logger  *slog.Logger
+
+	mu     sync.Mutex
+	corpus string // negotiated from shard responses
+}
+
+// New builds a coordinator over the configured shards.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	c := &Coordinator{cfg: cfg, client: cfg.Client, logger: cfg.Logger}
+	if c.client == nil {
+		c.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.logger == nil {
+		c.logger = slog.Default()
+	}
+	for i, raw := range cfg.Shards {
+		addr := strings.TrimSpace(raw)
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty shard address at position %d", i)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		u, err := url.Parse(addr)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad shard address %q", raw)
+		}
+		c.shards = append(c.shards, Shard{
+			Name: fmt.Sprintf("shard%d@%s", i, u.Host),
+			URL:  strings.TrimRight(addr, "/"),
+		})
+		c.metrics = append(c.metrics, &shardMetrics{sink: obs.NewSink()})
+	}
+	return c, nil
+}
+
+// Shards returns the shard set in shard order.
+func (c *Coordinator) Shards() []Shard {
+	return append([]Shard(nil), c.shards...)
+}
+
+// Corpus returns the corpus name last negotiated from shard responses
+// ("" before the first successful fan-out against a named corpus).
+func (c *Coordinator) Corpus() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.corpus == "" {
+		return c.cfg.Corpus
+	}
+	return c.corpus
+}
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.cfg.Timeout > 0 {
+		return c.cfg.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (c *Coordinator) hedgeAfter() time.Duration {
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	return c.timeout() / 4
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000.0
+}
+
+// Suggest coordinates one query: fan out to every shard (bounded by
+// min(Config.Timeout, ctx deadline), with one hedged retry per shard),
+// then merge the surviving partial sets in shard order. requestID, when
+// non-empty, is forwarded as X-Request-Id so shard slow-logs correlate
+// with the coordinator's. Shard failures do not produce an error: the
+// result carries Partial=true and per-shard statuses, and with every
+// shard down the suggestion list is empty but the response is still
+// well-formed. The only error is a merge-level inconsistency (shards
+// answering with different keyword arity).
+func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID string) (*Result, error) {
+	if corpus == "" {
+		corpus = c.cfg.Corpus
+	}
+	budget := c.timeout()
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < budget {
+			budget = rem
+		}
+	}
+	cctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	type slot struct {
+		resp *ShardResponse
+		st   ShardStatus
+	}
+	slots := make([]slot, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, st := c.callShard(cctx, i, query, corpus, requestID)
+			slots[i] = slot{resp: resp, st: st}
+		}(i)
+	}
+	wg.Wait()
+
+	res := &Result{Shards: make([]ShardStatus, len(slots))}
+	sets := make([]core.PartialSet, 0, len(slots))
+	for i, sl := range slots {
+		res.Shards[i] = sl.st
+		if sl.resp == nil {
+			res.Partial = true
+			continue
+		}
+		if res.Corpus == "" {
+			res.Corpus = sl.resp.Corpus
+		}
+		sets = append(sets, sl.resp.PartialSet)
+	}
+	if res.Corpus != "" {
+		c.mu.Lock()
+		c.corpus = res.Corpus
+		c.mu.Unlock()
+	}
+	sugs, err := core.MergePartials(core.MergeConfig{Beta: c.cfg.Beta, K: c.cfg.K}, sets)
+	if err != nil {
+		return nil, err
+	}
+	res.Suggestions = sugs
+	return res, nil
+}
+
+// callShard runs one shard's fan-out leg: a first attempt, plus at
+// most one hedged retry — fired after hedgeAfter for stragglers, or
+// immediately when the first attempt fails fast (a refused connection
+// should not wait out the hedge delay). The first successful attempt
+// wins; a losing in-flight attempt is abandoned to the context (its
+// goroutine drains into the buffered channel).
+func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, requestID string) (*ShardResponse, ShardStatus) {
+	s := c.shards[i]
+	m := c.metrics[i]
+	m.requests.Add(1)
+	start := time.Now()
+
+	type attempt struct {
+		resp *ShardResponse
+		err  error
+	}
+	ch := make(chan attempt, 2)
+	launch := func() {
+		resp, err := c.fetch(ctx, s, query, corpus, requestID)
+		ch <- attempt{resp: resp, err: err}
+	}
+	go launch()
+
+	hedge := time.NewTimer(c.hedgeAfter())
+	defer hedge.Stop()
+	hedged := false
+	pending := 1
+	var lastErr error
+	fail := func(state string, err error) ShardStatus {
+		m.failures.Add(1)
+		if state == "timeout" {
+			m.timeouts.Add(1)
+		}
+		msg := err.Error()
+		m.lastError.Store(&msg)
+		c.logger.Warn("shard fan-out failed",
+			"shard", s.Name, "state", state, "hedged", hedged, "err", msg)
+		return ShardStatus{
+			Shard:      s.Name,
+			State:      state,
+			Error:      msg,
+			TookMillis: millis(time.Since(start)),
+			Hedged:     hedged,
+		}
+	}
+	for {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				took := time.Since(start)
+				m.latency.Record(took)
+				m.sink.ObserveSuggest(took, nil)
+				return a.resp, ShardStatus{
+					Shard:      s.Name,
+					State:      "ok",
+					TookMillis: millis(took),
+					Candidates: len(a.resp.Candidates),
+					Hedged:     hedged,
+				}
+			}
+			lastErr = a.err
+			if !hedged && ctx.Err() == nil {
+				hedged = true
+				m.hedges.Add(1)
+				pending++
+				go launch()
+				continue
+			}
+			if pending == 0 {
+				state := "error"
+				if ctx.Err() != nil {
+					state = "timeout"
+				}
+				return nil, fail(state, lastErr)
+			}
+		case <-hedge.C:
+			if !hedged && ctx.Err() == nil {
+				hedged = true
+				m.hedges.Add(1)
+				pending++
+				go launch()
+			}
+		case <-ctx.Done():
+			err := ctx.Err()
+			if lastErr != nil {
+				err = fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+			return nil, fail("timeout", err)
+		}
+	}
+}
+
+// fetch performs one GET /shard/suggest attempt against one shard.
+func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, requestID string) (*ShardResponse, error) {
+	u := s.URL + "/shard/suggest?q=" + url.QueryEscape(query)
+	if corpus != "" {
+		u += "&corpus=" + url.QueryEscape(corpus)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if requestID != "" {
+		req.Header.Set("X-Request-Id", requestID)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("shard %s: HTTP %d: %s", s.Name, resp.StatusCode,
+			strings.TrimSpace(string(body)))
+	}
+	var sr ShardResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("shard %s: bad response: %w", s.Name, err)
+	}
+	if sr.Version != WireVersion {
+		return nil, fmt.Errorf("shard %s: wire version %d (coordinator speaks %d)",
+			s.Name, sr.Version, WireVersion)
+	}
+	return &sr, nil
+}
+
+// ShardHealth is one shard's health-probe outcome.
+type ShardHealth struct {
+	Shard   string `json:"shard"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Health probes every shard's /healthz in parallel (each probe bounded
+// by the remaining context budget) and returns per-shard outcomes in
+// shard order.
+func (c *Coordinator) Health(ctx context.Context) []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s Shard) {
+			defer wg.Done()
+			h := ShardHealth{Shard: s.Name, URL: s.URL}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL+"/healthz", nil)
+			if err != nil {
+				h.Error = err.Error()
+				out[i] = h
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				h.Error = err.Error()
+				out[i] = h
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				h.Healthy = true
+			} else {
+				h.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+			}
+			out[i] = h
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// ShardMetrics is the JSON snapshot of one shard's fan-out counters,
+// served under /metricz.
+type ShardMetrics struct {
+	Shard     string            `json:"shard"`
+	Requests  int64             `json:"requests"`
+	Failures  int64             `json:"failures"`
+	Timeouts  int64             `json:"timeouts"`
+	Hedges    int64             `json:"hedges"`
+	LastError string            `json:"lastError,omitempty"`
+	Latency   eval.LatencyStats `json:"latency"`
+}
+
+// MetricsSnapshot returns per-shard fan-out counters in shard order.
+func (c *Coordinator) MetricsSnapshot() []ShardMetrics {
+	out := make([]ShardMetrics, len(c.shards))
+	for i, s := range c.shards {
+		m := c.metrics[i]
+		sm := ShardMetrics{
+			Shard:    s.Name,
+			Requests: m.requests.Load(),
+			Failures: m.failures.Load(),
+			Timeouts: m.timeouts.Load(),
+			Hedges:   m.hedges.Load(),
+			Latency:  m.latency.Stats(),
+		}
+		if p := m.lastError.Load(); p != nil {
+			sm.LastError = *p
+		}
+		out[i] = sm
+	}
+	return out
+}
+
+// WritePrometheus emits the coordinator's shard-labeled series: the
+// standard engine families (per-shard fan-out latency recorded in each
+// shard's sink) via the shared labeled exposition, plus the fan-out
+// counters specific to the cluster layer.
+func (c *Coordinator) WritePrometheus(w io.Writer) {
+	sinks := make([]obs.NamedSink, len(c.shards))
+	for i, s := range c.shards {
+		sinks[i] = obs.NamedSink{Label: s.Name, Sink: c.metrics[i].sink}
+	}
+	obs.WritePrometheusLabeled(w, "xclean_cluster", "shard", sinks)
+	counter := func(name, help string, v func(*shardMetrics) int64) {
+		obs.WriteHeader(w, name, help, "counter")
+		for i, s := range c.shards {
+			obs.WriteLabeledCounterSample(w, name,
+				fmt.Sprintf("shard=%q", s.Name), v(c.metrics[i]))
+		}
+	}
+	counter("xclean_cluster_shard_failures_total",
+		"Fan-out legs that exhausted their attempts without an answer.",
+		func(m *shardMetrics) int64 { return m.failures.Load() })
+	counter("xclean_cluster_shard_timeouts_total",
+		"Fan-out legs that ran out the propagated deadline.",
+		func(m *shardMetrics) int64 { return m.timeouts.Load() })
+	counter("xclean_cluster_shard_hedges_total",
+		"Hedged retries fired (straggler or fast-failure).",
+		func(m *shardMetrics) int64 { return m.hedges.Load() })
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// Direct unit tests for mergeAccumulators — the partial-table fold
+// shared by the in-process parallel scan and (via MergePartials) the
+// cluster coordinator. The Workers:1-vs-N differential tests cover it
+// end-to-end; these pin the fold and re-prune rules in isolation.
+
+func mkAccum(key string, weightOverN, sum float64, entities int, witness string) *accum {
+	return &accum{
+		key:         key,
+		words:       []string{key},
+		sum:         sum,
+		weightOverN: weightOverN,
+		entities:    entities,
+		witness:     witness,
+	}
+}
+
+func tableOf(as ...*accum) *accumulators {
+	t := newAccumulators(0, EvictLowestEstimate)
+	for _, a := range as {
+		t.m[a.key] = a
+	}
+	return t
+}
+
+func sortedKeys(t *accumulators) []string {
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestMergeAccumulatorsEmptyAndNilParts(t *testing.T) {
+	merged, dropped := mergeAccumulators(nil, 10)
+	if merged.len() != 0 || dropped != 0 {
+		t.Fatalf("nil parts: len=%d dropped=%d", merged.len(), dropped)
+	}
+	merged, dropped = mergeAccumulators([]*accumulators{nil, tableOf(), nil}, 10)
+	if merged.len() != 0 || dropped != 0 {
+		t.Fatalf("empty parts: len=%d dropped=%d", merged.len(), dropped)
+	}
+}
+
+func TestMergeAccumulatorsSingletonPartition(t *testing.T) {
+	a := mkAccum("a", 0.5, 2.0, 3, "w1")
+	b := mkAccum("b", 0.25, 1.0, 1, "w2")
+	merged, dropped := mergeAccumulators([]*accumulators{tableOf(a, b)}, 10)
+	if dropped != 0 {
+		t.Fatalf("singleton partition dropped %d", dropped)
+	}
+	if got := sortedKeys(merged); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("keys = %v", got)
+	}
+	if m := merged.m["a"]; m.sum != 2.0 || m.entities != 3 || m.witness != "w1" {
+		t.Fatalf("a = %+v", m)
+	}
+}
+
+func TestMergeAccumulatorsFoldsPartialSums(t *testing.T) {
+	// The same candidate in three parts: sums, background sums, and
+	// entity counts add; the witness becomes the smallest Dewey key
+	// (document order), and an empty witness never wins.
+	p1 := tableOf(&accum{key: "c", sum: 1.0, bgMatched: 0.1, entities: 2, witness: ""})
+	p2 := tableOf(&accum{key: "c", sum: 2.0, bgMatched: 0.2, entities: 3, witness: "kB"})
+	p3 := tableOf(&accum{key: "c", sum: 4.0, bgMatched: 0.4, entities: 5, witness: "kA"})
+	merged, dropped := mergeAccumulators([]*accumulators{p1, p2, p3}, 0)
+	if dropped != 0 || merged.len() != 1 {
+		t.Fatalf("len=%d dropped=%d", merged.len(), dropped)
+	}
+	m := merged.m["c"]
+	if m.sum != 7.0 {
+		t.Fatalf("sum = %g, want 7", m.sum)
+	}
+	wantBg := float64(0.1)
+	wantBg += 0.2
+	wantBg += 0.4 // part-order float addition, matching the fold
+	if m.bgMatched != wantBg {
+		t.Fatalf("bgMatched = %g, want %g", m.bgMatched, wantBg)
+	}
+	if m.entities != 10 {
+		t.Fatalf("entities = %d, want 10", m.entities)
+	}
+	if m.witness != "kA" {
+		t.Fatalf("witness = %q, want kA (document-order minimum)", m.witness)
+	}
+}
+
+func TestMergeAccumulatorsGammaReprune(t *testing.T) {
+	// Distinct candidates across two parts, union exceeding γ=2: the
+	// lowest-estimate candidates are dropped, and the drop count comes
+	// back for the Evictions stat.
+	p1 := tableOf(
+		mkAccum("high", 1.0, 4.0, 1, ""), // estimate 4
+		mkAccum("low", 1.0, 1.0, 1, ""),  // estimate 1
+	)
+	p2 := tableOf(
+		mkAccum("mid", 1.0, 3.0, 1, ""),    // estimate 3
+		mkAccum("lower", 1.0, 0.5, 1, ""),  // estimate 0.5
+		mkAccum("higher", 1.0, 5.0, 1, ""), // estimate 5
+	)
+	merged, dropped := mergeAccumulators([]*accumulators{p1, p2}, 2)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if got := sortedKeys(merged); len(got) != 2 || got[0] != "high" || got[1] != "higher" {
+		t.Fatalf("survivors = %v, want [high higher]", got)
+	}
+
+	// A limit at least the union size re-prunes nothing.
+	p3 := tableOf(mkAccum("a", 1.0, 1.0, 1, ""), mkAccum("b", 1.0, 2.0, 1, ""))
+	merged, dropped = mergeAccumulators([]*accumulators{p3}, 2)
+	if dropped != 0 || merged.len() != 2 {
+		t.Fatalf("at-limit: len=%d dropped=%d", merged.len(), dropped)
+	}
+
+	// limit ≤ 0 means unlimited: nothing is dropped however large.
+	p4 := tableOf(mkAccum("a", 1.0, 1.0, 1, ""), mkAccum("b", 1.0, 2.0, 1, ""),
+		mkAccum("c", 1.0, 3.0, 1, ""))
+	merged, dropped = mergeAccumulators([]*accumulators{p4}, 0)
+	if dropped != 0 || merged.len() != 3 {
+		t.Fatalf("unlimited: len=%d dropped=%d", merged.len(), dropped)
+	}
+}
+
+func TestMergeAccumulatorsRepruneTieBreaksByKey(t *testing.T) {
+	// Equal estimates: the re-prune keeps the smallest keys, matching
+	// the deterministic victim order of the scan-time eviction rule.
+	p := tableOf(
+		mkAccum("c", 1.0, 1.0, 1, ""),
+		mkAccum("a", 1.0, 1.0, 1, ""),
+		mkAccum("d", 1.0, 1.0, 1, ""),
+		mkAccum("b", 1.0, 1.0, 1, ""),
+	)
+	merged, dropped := mergeAccumulators([]*accumulators{p}, 2)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if got := sortedKeys(merged); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("survivors = %v, want [a b]", got)
+	}
+}
+
+func TestMergeAccumulatorsSumsCrossPartEstimates(t *testing.T) {
+	// A candidate weak in every part but present in all must outrank a
+	// candidate strong in one part only when its merged estimate is
+	// larger — the re-prune must act on merged sums, not per-part ones.
+	parts := []*accumulators{
+		tableOf(mkAccum("spread", 1.0, 2.0, 1, ""), mkAccum("solo", 1.0, 3.0, 1, "")),
+		tableOf(&accum{key: "spread", words: []string{"spread"}, weightOverN: 1.0, sum: 2.0, entities: 1}),
+	}
+	merged, dropped := mergeAccumulators(parts, 1)
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if _, ok := merged.m["spread"]; !ok {
+		t.Fatalf("survivor = %v, want spread (merged estimate 4 > 3)", sortedKeys(merged))
+	}
+}

@@ -544,6 +544,21 @@ type runCtx struct {
 // exceeds Config.Workers goroutines in total). It does not touch
 // lastStats — callers that own a whole user call record the aggregate.
 func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestion, Stats) {
+	acc, st := e.scanKeywords(kws, n, rc)
+	if acc == nil {
+		return nil, st
+	}
+	return e.finalizeTimed(kws, acc, rc), st
+}
+
+// scanKeywords is the scan half of Algorithm 1: it shards the
+// anchor-subtree scan across n goroutines and returns the merged,
+// γ-bounded accumulator table, without ranking it. It returns a nil
+// table when the keyword list is empty or some keyword has no
+// variants. SuggestPartials uses it directly to expose raw
+// accumulators to the cluster coordinator; suggestKeywordsN ranks its
+// result.
+func (e *Engine) scanKeywords(kws []Keyword, n int, rc *runCtx) (*accumulators, Stats) {
 	var st Stats
 	if len(kws) == 0 {
 		return nil, st
@@ -565,7 +580,7 @@ func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestio
 			rc.stages.Add(tm)
 			rc.workers = append(rc.workers, *tm)
 		}
-		return e.finalizeTimed(kws, acc, rc), st
+		return acc, st
 	}
 
 	parts := make([]*accumulators, n)
@@ -602,7 +617,7 @@ func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestio
 	}
 	acc, dropped := mergeAccumulators(parts, e.cfg.gamma())
 	st.Evictions += dropped
-	return e.finalizeTimed(kws, acc, rc), st
+	return acc, st
 }
 
 // finalizeTimed is finalize with the rank stage attributed to rc.

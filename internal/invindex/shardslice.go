@@ -1,0 +1,125 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xclean/internal/xmltree"
+)
+
+// Entity-range shard slicing for the scatter-gather cluster layer.
+//
+// A shard is a document-partitioned view of the corpus: posting lists,
+// entity-root tables, and stored text are restricted to a contiguous
+// run of top-level entity roots (direct children of the document root,
+// in document order — the same unit the in-process parallel scan
+// shards by), while every collection-global statistic is kept whole:
+//
+//   - the vocabulary and its counts (the Dirichlet background model of
+//     Eq. (9) must see collection frequencies, not shard frequencies);
+//   - the type lists f_p^w (result-type inference must agree on every
+//     shard or the additive decomposition of Eq. (8) breaks);
+//   - the path table, bigram table, and subtree-length table.
+//
+// Tokens whose postings all live on other shards keep an empty posting
+// entry, so VocabList — and therefore the FastSS variant index and the
+// error-model normalizer built over it — is identical on every shard.
+//
+// With those invariants, a candidate's shard-local entity sums add up
+// to exactly the standalone sum, and the shard-local entity counts per
+// result type add up to exactly the global N of Eq. (8), which is what
+// makes coordinator-side score merging correct.
+
+// ShardEntities returns shard `shard` of `n`: a self-contained Index
+// over the shard'th contiguous range of top-level entity roots.
+// Entities directly under the root with no top-level ordinal (depth <
+// 2 nodes, including the root itself) belong to shard 0. The slice
+// shares the receiver's immutable global tables; neither index may be
+// mutated afterwards (AddDocument/RemoveDocument would corrupt both).
+func (ix *Index) ShardEntities(shard, n int) (*Index, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("invindex: shard count %d < 1", n)
+	}
+	if shard < 0 || shard >= n {
+		return nil, fmt.Errorf("invindex: shard %d out of range [0,%d)", shard, n)
+	}
+
+	// Top-level entity roots are the depth-2 nodes; their ordinal is
+	// the second Dewey component. The subtree-length table covers every
+	// node, so its depth-2 keys enumerate them all.
+	var ordinals []uint32
+	for key := range ix.subtreeLen {
+		if len(key) == 8 { // depth 2: two 4-byte components
+			ordinals = append(ordinals, xmltree.DeweyFromKey(key)[1])
+		}
+	}
+	sort.Slice(ordinals, func(i, j int) bool { return ordinals[i] < ordinals[j] })
+	lo := shard * len(ordinals) / n
+	hi := (shard + 1) * len(ordinals) / n
+	owned := make(map[uint32]bool, hi-lo)
+	for _, ord := range ordinals[lo:hi] {
+		owned[ord] = true
+	}
+	owns := func(d xmltree.Dewey) bool {
+		if len(d) < 2 {
+			return shard == 0
+		}
+		return owned[d[1]]
+	}
+
+	sl := &Index{
+		Paths:      ix.Paths,
+		Vocab:      ix.Vocab,
+		postings:   make(map[string][]Posting),
+		typeLists:  ix.typeLists,
+		subtreeLen: ix.subtreeLen,
+		pathNodes:  make(map[xmltree.PathID]int32),
+		pathLens:   make(map[xmltree.PathID][]int32),
+		pathRoots:  make(map[xmltree.PathID][]string),
+		bigrams:    ix.bigrams,
+		maxDepth:   ix.maxDepth,
+		totalTok:   ix.totalTok,
+		opts:       ix.opts,
+	}
+
+	// Posting lists: keep only owned entries, but keep every token key
+	// (possibly with an empty list) so the shard vocabulary — and the
+	// variant sets derived from it — matches the full corpus.
+	ix.Tokens(func(tok string) {
+		var kept []Posting
+		for _, p := range ix.Postings(tok) {
+			if owns(p.Dewey) {
+				kept = append(kept, p)
+			}
+		}
+		sl.postings[tok] = kept
+	})
+
+	// Entity tables: pathRoots and pathLens are appended in lockstep at
+	// build time, so filtering them jointly by index keeps them aligned.
+	for p, roots := range ix.pathRoots {
+		lens := ix.pathLens[p]
+		for i, key := range roots {
+			if !owns(xmltree.DeweyFromKey(key)) {
+				continue
+			}
+			sl.pathRoots[p] = append(sl.pathRoots[p], key)
+			sl.pathLens[p] = append(sl.pathLens[p], lens[i])
+		}
+		if c := len(sl.pathRoots[p]); c > 0 {
+			sl.pathNodes[p] = int32(c)
+			sl.nodeCount += c
+		}
+	}
+
+	if ix.storedText != nil {
+		sl.storedText = make(map[string]string)
+		for _, key := range ix.storedKeys {
+			if owns(xmltree.DeweyFromKey(key)) {
+				sl.storedText[key] = ix.storedText[key]
+				sl.storedKeys = append(sl.storedKeys, key)
+			}
+		}
+	}
+	return sl, nil
+}

@@ -1,0 +1,167 @@
+package invindex
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// buildEntityTree builds a flat DBLP-like tree with n top-level
+// entities; entity i's title carries a distinct token plus one token
+// shared by every entity.
+func buildEntityTree(n int) *xmltree.Tree {
+	t := xmltree.NewTree("dblp")
+	for i := 0; i < n; i++ {
+		a := t.AddChild(t.Root, "article", "")
+		t.AddChild(a, "title", fmt.Sprintf("paper%d shared", i))
+	}
+	return t
+}
+
+func TestShardEntitiesPartition(t *testing.T) {
+	full := Build(buildEntityTree(7), tokenizer.Options{})
+	for _, n := range []int{1, 2, 3, 7} {
+		shards := make([]*Index, n)
+		for i := range shards {
+			var err error
+			shards[i], err = full.ShardEntities(i, n)
+			if err != nil {
+				t.Fatalf("n=%d shard %d: %v", n, i, err)
+			}
+		}
+
+		// Every shard exposes the full vocabulary (empty entries kept),
+		// and concatenating each token's shard postings in shard order
+		// reproduces the full posting list exactly — the shards are a
+		// contiguous partition in document order.
+		fullVocab := full.VocabList()
+		full.Tokens(func(tok string) {
+			var concat []Posting
+			for i, sh := range shards {
+				if !reflect.DeepEqual(sh.VocabList(), fullVocab) {
+					t.Fatalf("n=%d shard %d: vocabulary differs", n, i)
+				}
+				concat = append(concat, sh.Postings(tok)...)
+			}
+			if !reflect.DeepEqual(concat, full.Postings(tok)) {
+				t.Fatalf("n=%d token %q: concatenated shard postings differ\n got %v\nwant %v",
+					n, tok, concat, full.Postings(tok))
+			}
+		})
+
+		// Collection-global statistics are shared, entity tables are
+		// local: per-path node counts sum back to the global count (the
+		// Σ-of-local-norms = global-N invariant the coordinator needs).
+		nodeSum := 0
+		for i, sh := range shards {
+			nodeSum += sh.NodeCount()
+			if sh.TotalTokens() != full.TotalTokens() || sh.MaxDepth() != full.MaxDepth() {
+				t.Fatalf("n=%d shard %d: global scalars differ", n, i)
+			}
+			if !reflect.DeepEqual(sh.TypeList("shared"), full.TypeList("shared")) {
+				t.Fatalf("n=%d shard %d: type lists differ", n, i)
+			}
+		}
+		if nodeSum != full.NodeCount() {
+			t.Fatalf("n=%d: shard node counts sum to %d, want %d", n, nodeSum, full.NodeCount())
+		}
+		for p := xmltree.PathID(0); int(p) < full.Paths.Len(); p++ {
+			var sum int32
+			for _, sh := range shards {
+				sum += sh.NodesWithPath(p)
+			}
+			if sum != full.NodesWithPath(p) {
+				t.Fatalf("n=%d path %s: shard norms sum to %d, want %d",
+					n, full.Paths.String(p), sum, full.NodesWithPath(p))
+			}
+		}
+	}
+}
+
+func TestShardEntitiesSingleShardEqualsFull(t *testing.T) {
+	full := Build(buildEntityTree(5), tokenizer.Options{})
+	sl, err := full.ShardEntities(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.NodeCount() != full.NodeCount() {
+		t.Fatalf("nodes %d vs %d", sl.NodeCount(), full.NodeCount())
+	}
+	full.Tokens(func(tok string) {
+		if !reflect.DeepEqual(sl.Postings(tok), full.Postings(tok)) {
+			t.Fatalf("postings of %q differ", tok)
+		}
+	})
+}
+
+func TestShardEntitiesSaveLoadRoundTrip(t *testing.T) {
+	full := Build(buildEntityTree(6), tokenizer.Options{})
+	sl, err := full.ShardEntities(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.VocabList(), sl.VocabList()) {
+		t.Fatal("vocabulary differs after round trip")
+	}
+	sl.Tokens(func(tok string) {
+		got, want := loaded.Postings(tok), sl.Postings(tok)
+		if len(got) == 0 && len(want) == 0 {
+			return // nil vs empty: an off-shard token's retained entry
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("postings of %q differ after round trip", tok)
+		}
+	})
+	if loaded.NodeCount() != sl.NodeCount() || loaded.TotalTokens() != sl.TotalTokens() {
+		t.Fatal("scalar stats differ after round trip")
+	}
+	for p := xmltree.PathID(0); int(p) < sl.Paths.Len(); p++ {
+		if loaded.NodesWithPath(p) != sl.NodesWithPath(p) {
+			t.Fatalf("path %s: norm differs after round trip", sl.Paths.String(p))
+		}
+	}
+}
+
+func TestShardEntitiesCompactedSource(t *testing.T) {
+	full := Build(buildEntityTree(6), tokenizer.Options{})
+	comp := Build(buildEntityTree(6), tokenizer.Options{})
+	comp.Compact()
+	sl, err := full.ShardEntities(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slc, err := comp.ShardEntities(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Tokens(func(tok string) {
+		if !reflect.DeepEqual(sl.Postings(tok), slc.Postings(tok)) {
+			t.Fatalf("postings of %q differ between raw and compacted source", tok)
+		}
+	})
+}
+
+func TestShardEntitiesErrors(t *testing.T) {
+	full := Build(buildEntityTree(3), tokenizer.Options{})
+	if _, err := full.ShardEntities(0, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := full.ShardEntities(-1, 2); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, err := full.ShardEntities(2, 2); err == nil {
+		t.Fatal("shard == n accepted")
+	}
+}

@@ -25,7 +25,11 @@ type SlowRecord struct {
 	Corpus string `json:"corpus,omitempty"`
 	Query  string `json:"query"`
 	// Spaces records whether the space-error search ran.
-	Spaces     bool  `json:"spaces,omitempty"`
+	Spaces bool `json:"spaces,omitempty"`
+	// Shard records that the entry is a /shard/suggest partial scan (a
+	// coordinator fan-out leg, correlated to the coordinator's own slow
+	// log by the forwarded RequestID).
+	Shard      bool  `json:"shard,omitempty"`
 	DurationNs int64 `json:"durationNs"`
 	// Suggestions is the number of suggestions returned.
 	Suggestions int `json:"suggestions"`

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"xclean"
+	"xclean/internal/cluster"
+	"xclean/internal/qlog"
+)
+
+// Cluster-mode handlers: the shard side (/shard/suggest, served by any
+// node whose engine supports partial scans) and the coordinator side
+// (/suggest fan-out + merge, /healthz shard probing).
+
+// partialSuggester is the optional engine capability behind
+// /shard/suggest. It is a type assertion rather than an Engine method
+// so existing Engine implementations (and test fakes) keep compiling.
+type partialSuggester interface {
+	SuggestPartials(query string) (xclean.PartialSet, error)
+}
+
+// handleShardSuggest serves GET /shard/suggest: the shard half of the
+// scatter-gather protocol. It runs the scan half of Algorithm 1 and
+// returns the γ-bounded partial accumulator table in the versioned
+// wire envelope, leaving error-model weighting, normalization, and
+// ranking to the coordinator.
+func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	if len(q) > s.cfg.maxQueryLen() {
+		s.writeError(w, http.StatusBadRequest, "query too long")
+		return
+	}
+	eng, corpus, err := s.resolveEngine(r)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err.Error())
+		return
+	}
+	ps, ok := eng.(partialSuggester)
+	if !ok {
+		s.writeError(w, http.StatusNotImplemented, "engine does not serve shard partials")
+		return
+	}
+	rid := requestIDFrom(r.Context())
+	start := time.Now()
+	set, err := ps.SuggestPartials(q)
+	if err != nil {
+		s.writeError(w, http.StatusNotImplemented, err.Error())
+		return
+	}
+	took := time.Since(start)
+	// Shard scans enter the slow log too (without a trace), marked
+	// Shard and carrying the coordinator's forwarded request ID, so a
+	// slow coordinated query is attributable to the shard that lagged.
+	if s.cfg.SlowLog.Record(qlog.SlowRecord{
+		RequestID:   rid,
+		Corpus:      corpus,
+		Query:       q,
+		Shard:       true,
+		DurationNs:  took.Nanoseconds(),
+		Suggestions: len(set.Candidates),
+	}) {
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.SlowQueries.Inc()
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("slow shard scan", "requestId", rid, "corpus", corpus,
+				"query", q, "tookMillis", float64(took.Microseconds())/1000)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, cluster.ShardResponse{
+		Version:    cluster.WireVersion,
+		Corpus:     corpus,
+		Query:      q,
+		RequestID:  rid,
+		TookMillis: float64(took.Microseconds()) / 1000,
+		PartialSet: set,
+	})
+}
+
+// handleClusterSuggest serves /suggest in coordinator mode: fan out to
+// every shard (propagating the request context and ID), merge the
+// surviving partials, and answer — marked partial when any shard
+// failed, with per-shard statuses either way.
+func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q string, k int) {
+	if r.URL.Query().Get("spaces") == "1" {
+		s.writeError(w, http.StatusNotImplemented,
+			"space-error search is not available in coordinator mode")
+		return
+	}
+	if s.cfg.QueryLog != nil {
+		s.cfg.QueryLog.RecordQuery(q)
+	}
+	debug := r.URL.Query().Get("debug") == "1"
+	rid := requestIDFrom(r.Context())
+	corpus := r.URL.Query().Get("corpus")
+	start := time.Now()
+	cacheKey := ""
+	if s.cache != nil {
+		// The \x02 prefix keeps coordinator entries disjoint from any
+		// local-engine entries (no corpus name ever contains \x02).
+		cacheKey = "\x02" + corpus + "\x01" + q
+		// debug=1 bypasses the cache so the per-shard statuses reflect a
+		// real fan-out.
+		if !debug {
+			if sugs, ok := s.cache.Get(cacheKey); ok {
+				took := time.Since(start)
+				s.latency.Record(took)
+				s.httpDur.ObserveDuration(took)
+				s.hitLatency.Record(took)
+				s.writeClusterResponse(w, q, s.cfg.Cluster.Corpus(), rid, sugs, nil, false, took, k)
+				return
+			}
+		}
+	}
+
+	res, err := s.cfg.Cluster.Suggest(r.Context(), q, corpus, rid)
+	if err != nil {
+		s.writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	took := time.Since(start)
+	s.latency.Record(took)
+	s.httpDur.ObserveDuration(took)
+	s.missLatency.Record(took)
+
+	sugs := make([]xclean.Suggestion, len(res.Suggestions))
+	for i, ms := range res.Suggestions {
+		sugs[i] = xclean.Suggestion{
+			Query:        ms.Query(),
+			Words:        ms.Words,
+			Score:        ms.Score,
+			ResultType:   ms.ResultType,
+			Entities:     ms.Entities,
+			EditDistance: ms.EditDistance,
+			Witness:      ms.Witness,
+		}
+	}
+	// Only complete answers are cacheable: a degraded answer must not
+	// outlive the outage that produced it.
+	if s.cache != nil && !res.Partial {
+		s.cache.Put(cacheKey, sugs)
+	}
+	if s.cfg.SlowLog.Record(qlog.SlowRecord{
+		RequestID:   rid,
+		Corpus:      res.Corpus,
+		Query:       q,
+		DurationNs:  took.Nanoseconds(),
+		Suggestions: len(sugs),
+	}) {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("slow coordinated query", "requestId", rid,
+				"query", q, "tookMillis", float64(took.Microseconds())/1000)
+		}
+	}
+	resCorpus := res.Corpus
+	if resCorpus == "" {
+		resCorpus = s.cfg.Cluster.Corpus()
+	}
+	s.writeClusterResponse(w, q, resCorpus, rid, sugs, res.Shards, res.Partial, took, k)
+}
+
+func (s *Server) writeClusterResponse(w http.ResponseWriter, q, corpus, rid string,
+	sugs []xclean.Suggestion, shards []cluster.ShardStatus, partial bool, took time.Duration, k int) {
+	if k > 0 && len(sugs) > k {
+		sugs = sugs[:k]
+	}
+	resp := SuggestResponse{
+		Query:       q,
+		Corpus:      corpus,
+		Suggestions: make([]SuggestionJSON, len(sugs)),
+		TookMillis:  float64(took.Microseconds()) / 1000,
+		RequestID:   rid,
+		Partial:     partial,
+		Shards:      shards,
+	}
+	for i, sg := range sugs {
+		resp.Suggestions[i] = SuggestionJSON{
+			Query:        sg.Query,
+			Words:        sg.Words,
+			Score:        sg.Score,
+			ResultType:   sg.ResultType,
+			Entities:     sg.Entities,
+			EditDistance: sg.EditDistance,
+			Witness:      sg.Witness,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ClusterHealth is the body of GET /healthz in coordinator mode.
+type ClusterHealth struct {
+	// Status is "ok" (every shard healthy), "degraded" (some shards
+	// down), or "down" (every shard down — served with HTTP 503 so load
+	// balancers drop the coordinator even though its process is up).
+	Status string `json:"status"`
+	// Corpus is the corpus name negotiated from shard responses (or
+	// the configured name before any traffic).
+	Corpus string                `json:"corpus,omitempty"`
+	Shards []cluster.ShardHealth `json:"shards"`
+}
+
+func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	shards := s.cfg.Cluster.Health(ctx)
+	up := 0
+	for _, h := range shards {
+		if h.Healthy {
+			up++
+		}
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case up == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case up < len(shards):
+		status = "degraded"
+	}
+	s.writeJSON(w, code, ClusterHealth{
+		Status: status,
+		Corpus: s.cfg.Cluster.Corpus(),
+		Shards: shards,
+	})
+}

@@ -23,6 +23,17 @@
 // The admin endpoints accept server-side file paths; deploy them
 // behind the same trust boundary as the process itself.
 //
+// With Config.Cluster set, the server is a scatter-gather coordinator:
+// /suggest fans out to entity-partitioned shard servers over
+//
+//	GET /shard/suggest?q=<query>[&corpus=name]  → per-candidate partial sums (versioned JSON)
+//
+// (served by any node whose engine supports partial scans) and merges
+// the partial scores into the global top-k. Degraded answers carry
+// "partial": true plus per-shard statuses, /healthz reports per-shard
+// health (503 when every shard is down), and /metricz adds
+// shard-labeled fan-out series.
+//
 // With a query log configured, every /suggest query and /click is
 // recorded; the accumulated log yields the entity priors and query
 // popularity the paper's Eq. (8) generalization consumes.
@@ -51,6 +62,7 @@ import (
 	"xclean"
 	"xclean/internal/cache"
 	"xclean/internal/catalog"
+	"xclean/internal/cluster"
 	"xclean/internal/eval"
 	"xclean/internal/obs"
 	"xclean/internal/qlog"
@@ -111,6 +123,13 @@ type Config struct {
 	// per-corpus labeled series. The Engine passed to New may then be
 	// nil.
 	Catalog *catalog.Catalog
+	// Cluster, when non-nil, turns the server into a scatter-gather
+	// coordinator: /suggest fans out to the configured shard servers
+	// and merges their partials (see internal/cluster), /healthz
+	// reports per-shard health, and /metricz exposes shard-labeled
+	// fan-out series. The Engine and Catalog may then both be nil (a
+	// pure coordinator serves no local index).
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) addr() string {
@@ -170,6 +189,7 @@ func New(eng Engine, cfg Config) *Server {
 		s.cache = cache.New[[]xclean.Suggestion](cfg.CacheSize)
 	}
 	s.mux.HandleFunc("/suggest", s.handleSuggest)
+	s.mux.HandleFunc("/shard/suggest", s.handleShardSuggest)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -284,6 +304,13 @@ type SuggestResponse struct {
 	RequestID string `json:"requestId,omitempty"`
 	// Explain carries the per-query trace when debug=1 was passed.
 	Explain *xclean.Explain `json:"explain,omitempty"`
+	// Partial is true when the answer came from a degraded cluster
+	// fan-out (at least one shard missing); the suggestions are the
+	// surviving shards' best answer.
+	Partial bool `json:"partial,omitempty"`
+	// Shards carries per-shard fan-out statuses in coordinator mode
+	// (state, latency, candidate counts, hedging).
+	Shards []cluster.ShardStatus `json:"shards,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -314,6 +341,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k = v
+	}
+
+	if s.cfg.Cluster != nil {
+		s.handleClusterSuggest(w, r, q, k)
+		return
 	}
 
 	eng, corpus, err := s.resolveEngine(r)
@@ -435,6 +467,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, catalogStatus(err), err.Error())
 		return
 	}
+	if eng == nil {
+		s.writeError(w, http.StatusNotImplemented,
+			"no local index in coordinator mode; query the shards' /stats directly")
+		return
+	}
 	s.writeJSON(w, http.StatusOK, eng.Stats())
 }
 
@@ -527,6 +564,9 @@ type Metrics struct {
 	// Config.Catalog is set.
 	Corpora       []catalog.Status            `json:"corpora,omitempty"`
 	CorpusEngines map[string]obs.SinkSnapshot `json:"corpusEngines,omitempty"`
+	// Cluster carries per-shard fan-out counters (requests, failures,
+	// timeouts, hedges, latency) in coordinator mode.
+	Cluster []cluster.ShardMetrics `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -561,6 +601,9 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			m.CorpusEngines[name] = sink.Snapshot()
 		}
 	}
+	if s.cfg.Cluster != nil {
+		m.Cluster = s.cfg.Cluster.MetricsSnapshot()
+	}
 	s.writeJSON(w, http.StatusOK, m)
 }
 
@@ -592,6 +635,10 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		// Per-corpus engine series (corpus="<name>" labels) plus the
 		// catalog lifecycle series.
 		s.cfg.Catalog.WritePrometheus(w, "xclean_engine")
+	}
+	if s.cfg.Cluster != nil {
+		// Shard-labeled fan-out series (xclean_cluster_*).
+		s.cfg.Cluster.WritePrometheus(w)
 	}
 }
 
@@ -635,6 +682,10 @@ func (s *Server) handleTopQueries(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cluster != nil {
+		s.handleClusterHealthz(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")

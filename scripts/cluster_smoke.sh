@@ -1,0 +1,110 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end scatter-gather smoke test.
+#
+# Boots two shard servers plus one coordinator on loopback, runs one
+# query through the cluster (asserting a complete answer), then kills
+# one shard mid-flight and asserts the coordinator degrades to a
+# well-formed "partial": true answer instead of erroring or hanging.
+#
+# Run via `make cluster-smoke`. Requires only the go toolchain and curl.
+set -eu
+
+PORT_SHARD0=18091
+PORT_SHARD1=18092
+PORT_COORD=18090
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "cluster-smoke: $*"; }
+
+# wait_http <url> — poll until the endpoint answers (any status).
+wait_http() {
+	i=0
+	while ! curl -fsS -o /dev/null --max-time 1 "$1" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			say "timeout waiting for $1"
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+
+say "building binaries"
+go build -o "$tmp/xgen" ./cmd/xgen
+go build -o "$tmp/xclean" ./cmd/xclean
+go build -o "$tmp/xserve" ./cmd/xserve
+
+say "generating corpus and shard indexes"
+"$tmp/xgen" -out "$tmp/corpus.xml" -kind dblp -articles 500 -queries 1
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard0.idx" -shard 0/2
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard1.idx" -shard 1/2
+q=$(head -1 "$tmp/corpus.xml.queries.tsv" | cut -f2)
+
+say "starting shard servers"
+"$tmp/xserve" -index "$tmp/shard0.idx" -addr "127.0.0.1:$PORT_SHARD0" -q &
+pids="$pids $!"
+"$tmp/xserve" -index "$tmp/shard1.idx" -addr "127.0.0.1:$PORT_SHARD1" -q &
+shard1_pid=$!
+pids="$pids $shard1_pid"
+wait_http "http://127.0.0.1:$PORT_SHARD0/healthz"
+wait_http "http://127.0.0.1:$PORT_SHARD1/healthz"
+
+say "starting coordinator"
+"$tmp/xserve" -role coordinator \
+	-shards "127.0.0.1:$PORT_SHARD0,127.0.0.1:$PORT_SHARD1" \
+	-addr "127.0.0.1:$PORT_COORD" -cache 0 -shard-timeout 5s -q &
+pids="$pids $!"
+wait_http "http://127.0.0.1:$PORT_COORD/healthz"
+
+say "query with both shards up: $q"
+url="http://127.0.0.1:$PORT_COORD/suggest?q=$(printf %s "$q" | sed 's/ /+/g')"
+resp=$(curl -fsS "$url")
+echo "$resp"
+case "$resp" in
+*'"partial":true'*)
+	say "FAIL: healthy cluster answered partial"
+	exit 1
+	;;
+esac
+case "$resp" in
+*'"suggestions":[]'* | *'"suggestions":null'*)
+	say "FAIL: healthy cluster returned no suggestions"
+	exit 1
+	;;
+esac
+
+say "killing shard 1 mid-flight"
+kill "$shard1_pid"
+wait "$shard1_pid" 2>/dev/null || true
+
+resp=$(curl -fsS --max-time 10 "$url")
+echo "$resp"
+case "$resp" in
+*'"partial":true'*) ;;
+*)
+	say "FAIL: degraded cluster did not answer partial:true"
+	exit 1
+	;;
+esac
+
+health=$(curl -sS "http://127.0.0.1:$PORT_COORD/healthz")
+echo "$health"
+case "$health" in
+*'"status":"degraded"'*) ;;
+*)
+	say "FAIL: /healthz did not report degraded"
+	exit 1
+	;;
+esac
+
+say "OK"

@@ -312,6 +312,52 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 	return nil
 }
 
+// PartialSet is one shard's un-normalized answer for one query: the
+// per-keyword variant hits, per-candidate partial entity sums, and
+// local per-type normalizers that a cluster coordinator folds into the
+// global top-k (see internal/cluster). It is the payload of the
+// /shard/suggest wire format.
+type PartialSet = core.PartialSet
+
+// SuggestPartials runs the scan half of a suggestion call and returns
+// the shard-local partials instead of ranked suggestions — the shard
+// side of the cluster scatter-gather protocol. It requires the
+// result-type semantics (the default).
+func (e *Engine) SuggestPartials(query string) (PartialSet, error) {
+	if e.core == nil {
+		return PartialSet{}, fmt.Errorf("xclean: shard partials require the result-type semantics")
+	}
+	ps, _ := e.core.SuggestPartials(query)
+	return ps, nil
+}
+
+// ShardEngine returns an engine over shard `shard` of `n`: the slice
+// of the corpus holding the shard'th contiguous range of top-level
+// entity roots, with collection-global statistics (vocabulary, type
+// lists, bigrams) shared so that per-shard partial scores merge into
+// exactly the standalone scores. The slice shares the receiver's
+// index tables; neither engine may index further documents afterwards.
+func (e *Engine) ShardEngine(shard, n int) (*Engine, error) {
+	sl, err := e.ix.ShardEntities(shard, n)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	return FromIndex(sl, e.opts), nil
+}
+
+// SaveShardIndex writes shard `shard` of `n` in the SaveIndex format,
+// loadable with OpenIndex on a shard server.
+func (e *Engine) SaveShardIndex(w io.Writer, shard, n int) error {
+	sl, err := e.ix.ShardEntities(shard, n)
+	if err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	if err := sl.Save(w); err != nil {
+		return fmt.Errorf("xclean: %w", err)
+	}
+	return nil
+}
+
 // FromIndex builds an engine over a prebuilt index (shared across
 // engines with different scoring options).
 func FromIndex(ix *invindex.Index, opts Options) *Engine {
