@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json snapshot-smoke cluster-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json snapshot-smoke cluster-smoke shed-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # and run the test suite under the race detector (the parallel scan
@@ -54,3 +54,9 @@ bench-json:
 # query after killing one shard must degrade to "partial": true.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# End-to-end admission-control smoke test: saturate an xserve running
+# with -max-inflight 1 -max-queue 0 and assert a 429 shed with
+# Retry-After and the JSON error envelope, then a 200 after the burst.
+shed-smoke:
+	./scripts/shed_smoke.sh

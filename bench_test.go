@@ -10,6 +10,7 @@
 package xclean
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -623,6 +624,37 @@ func BenchmarkSuggestObserved(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Suggest(dirty[i%len(dirty)])
+	}
+}
+
+// BenchmarkSuggestContext is BenchmarkSuggest through the
+// context-taking entry point with a live (cancellable) context — the
+// delta against BenchmarkSuggest is the full cost of the cooperative
+// cancellation polls in the anchor-subtree loop (one channel select
+// per CancelCheckEvery subtrees), which must stay within the same ≤2%
+// budget as the instrumentation hooks. A context.Background() call
+// skips the polls entirely (Done() is nil), so only cancellable
+// callers pay even this much.
+func BenchmarkSuggestContext(b *testing.B) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 42, Articles: 5000})
+	e := FromTree(c.Tree, Options{MaxErrors: 2, Workers: 1})
+	qs := c.SampleQueries(6, 20)
+	p := queryset.NewPerturber(7, invindex.Build(c.Tree, tokenizer.Options{}).Vocab)
+	dirty := make([]string, len(qs))
+	for i, q := range qs {
+		if d, ok := p.Rand(q); ok {
+			dirty[i] = d
+		} else {
+			dirty[i] = q
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SuggestContext(ctx, dirty[i%len(dirty)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

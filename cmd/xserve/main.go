@@ -80,6 +80,9 @@ func main() {
 		shards    = flag.String("shards", "", "coordinator mode: comma-separated shard servers (host:port or URL), in shard order")
 		shardTO   = flag.Duration("shard-timeout", 2*time.Second, "coordinator mode: per-request fan-out budget")
 		hedge     = flag.Duration("hedge-after", 0, "coordinator mode: hedge a straggler shard's retry after this delay (0 = shard-timeout/4)")
+		reqTO     = flag.Duration("request-timeout", 0, "per-request engine deadline; the scan is abandoned mid-flight when it expires (0 disables; coordinators use -shard-timeout)")
+		maxInfl   = flag.Int("max-inflight", 0, "max concurrent engine scans before requests queue (0 = unlimited)")
+		maxQueue  = flag.Int("max-queue", 0, "max requests waiting for a scan slot; beyond this, shed with 429 (needs -max-inflight)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -238,13 +241,16 @@ func main() {
 		reqLogger = logger
 	}
 	srv := server.New(nil, server.Config{
-		Addr:      *addr,
-		Logger:    reqLogger,
-		QueryLog:  queryLog,
-		CacheSize: *cacheSize,
-		SlowLog:   slowLog,
-		Catalog:   cat,
-		Cluster:   coord,
+		Addr:           *addr,
+		Logger:         reqLogger,
+		QueryLog:       queryLog,
+		CacheSize:      *cacheSize,
+		SlowLog:        slowLog,
+		Catalog:        cat,
+		Cluster:        coord,
+		RequestTimeout: *reqTO,
+		MaxInflight:    *maxInfl,
+		MaxQueue:       *maxQueue,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -82,6 +82,26 @@ func (c *LRU[V]) Clear() {
 	c.items = make(map[string]*list.Element, c.capacity)
 }
 
+// ClearPrefix drops every entry whose key starts with prefix — the
+// per-corpus variant of Clear, used when one corpus of a multi-corpus
+// cache is hot-swapped and only its entries are stale. An empty prefix
+// clears everything. The walk is O(entries); invalidation is rare next
+// to lookups, so keeping Get/Put at one map operation wins over
+// maintaining a per-prefix index.
+func (c *LRU[V]) ClearPrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry[V])
+		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+	}
+}
+
 // Len is the current number of entries.
 func (c *LRU[V]) Len() int {
 	c.mu.Lock()

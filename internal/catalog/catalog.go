@@ -179,11 +179,39 @@ type Catalog struct {
 	mu      sync.RWMutex
 	corpora map[string]*corpus
 	order   []string // registration order; order[0] is the default corpus
+
+	// swapHooks run after every engine swap (hot-swap, warm-start,
+	// eviction, removal) with the corpus name; see OnSwap.
+	swapHooks []func(name string)
 }
 
 // New builds an empty catalog.
 func New(cfg Config) *Catalog {
 	return &Catalog{cfg: cfg, corpora: make(map[string]*corpus)}
+}
+
+// OnSwap registers a hook invoked with the corpus name every time a
+// corpus's engine pointer changes: successful rebuild or reload,
+// snapshot warm-start, idle eviction, and removal. The server uses it
+// to drop that corpus's entries from the suggestion cache, so a
+// hot-swapped corpus never serves pre-swap answers. Hooks may run with
+// internal catalog locks held: they must be fast and must not call
+// back into the Catalog. Register hooks before serving; OnSwap must
+// not race with swaps.
+func (c *Catalog) OnSwap(fn func(name string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.swapHooks = append(c.swapHooks, fn)
+}
+
+// notifySwap runs the registered swap hooks for one corpus.
+func (c *Catalog) notifySwap(name string) {
+	c.mu.RLock()
+	hooks := c.swapHooks
+	c.mu.RUnlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // validName rejects names that would break metric labels, snapshot
@@ -356,6 +384,7 @@ func (c *Catalog) openSnapshot(co *corpus) error {
 	}
 	co.stats = engineStats(eng)
 	co.mu.Unlock()
+	c.notifySwap(co.name)
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Info("corpus warm-started from snapshot", "corpus", co.name,
 			"snapshot", co.snapshot, "tookMillis", millis(took))
@@ -418,6 +447,7 @@ func (c *Catalog) rebuild(co *corpus) error {
 	}
 	co.stats = engineStats(eng)
 	co.mu.Unlock()
+	c.notifySwap(co.name)
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Info("corpus built from XML", "corpus", co.name, "source", co.source,
 			"docs", docs, "tookMillis", millis(took), "snapshot", snapshot)
@@ -536,6 +566,7 @@ func (c *Catalog) Remove(name string) error {
 	}
 	c.unregister(name)
 	co.engine.Store(nil)
+	c.notifySwap(co.name)
 	return nil
 }
 
@@ -571,6 +602,9 @@ func (c *Catalog) evictOne(co *corpus, cutoff int64) bool {
 	co.engine.Store(nil)
 	co.state = StateEvicted
 	co.evictions++
+	// Hooks run with co.mu held here — the OnSwap contract (fast, no
+	// calls back into the Catalog) keeps that safe.
+	c.notifySwap(co.name)
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Info("corpus evicted (idle)", "corpus", co.name,
 			"idle", time.Duration(c.cfg.now().UnixNano()-last).Round(time.Second))

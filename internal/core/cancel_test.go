@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// cancelCorpus builds a corpus big enough that a full scan visits many
+// anchor subtrees — enough to straddle several cancellation check
+// intervals.
+func cancelCorpus() *xmltree.Tree {
+	t := xmltree.NewTree("db")
+	for i := 0; i < 400; i++ {
+		rec := t.AddChild(t.Root, "record", "")
+		t.AddChild(rec, "title", fmt.Sprintf("tree query processing volume %d", i))
+		t.AddChild(rec, "body", "xml keyword search with spelling cleanup")
+	}
+	return t
+}
+
+func cancelEngine(workers int) *Engine {
+	ix := invindex.Build(cancelCorpus(), tokenizer.Options{})
+	return NewEngine(ix, Config{Epsilon: 2, Workers: workers})
+}
+
+// A context cancelled before the call must stop the scan at the very
+// first cancellation poll: zero subtrees processed (the poll fires at
+// iteration 0, well within one CancelCheckEvery interval) and the
+// context's error surfaced.
+func TestCancelledContextStopsScan(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := cancelEngine(workers)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			sugs, st, err := e.SuggestDetailedContext(ctx, "tree qurey")
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err=%v, want context.Canceled", err)
+			}
+			if sugs != nil {
+				t.Errorf("cancelled call returned suggestions: %v", sugs)
+			}
+			if st.Subtrees != 0 {
+				t.Errorf("cancelled before the call but %d subtrees scanned (bound: 0)", st.Subtrees)
+			}
+		})
+	}
+}
+
+// An expired deadline surfaces as context.DeadlineExceeded, not as a
+// generic cancellation.
+func TestDeadlineExceededPropagates(t *testing.T) {
+	e := cancelEngine(1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.SuggestContext(ctx, "tree qurey"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want context.DeadlineExceeded", err)
+	}
+}
+
+// The space-error search runs shapes through the same scan: a
+// cancelled context poisons the whole call rather than silently
+// merging a truncated shape.
+func TestCancelledContextSpaces(t *testing.T) {
+	e := cancelEngine(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sugs, err := e.SuggestWithSpacesContext(ctx, "tree qurey")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if sugs != nil {
+		t.Errorf("cancelled spaces call returned suggestions: %v", sugs)
+	}
+}
+
+// The shard-partial scan honors the forwarded deadline too.
+func TestCancelledContextPartials(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := cancelEngine(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		set, st, err := e.SuggestPartialsContext(ctx, "tree qurey")
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err=%v, want context.Canceled", workers, err)
+		}
+		if len(set.Candidates) != 0 {
+			t.Errorf("workers=%d: cancelled partial scan returned %d candidates", workers, len(set.Candidates))
+		}
+		if st.Subtrees != 0 {
+			t.Errorf("workers=%d: %d subtrees scanned after pre-cancel", workers, st.Subtrees)
+		}
+	}
+}
+
+// The context-taking variants with a live Background context must be
+// the exact same computation as the context-free methods.
+func TestContextVariantsMatchPlain(t *testing.T) {
+	e := cancelEngine(2)
+	q := "tree qurey"
+	want := e.Suggest(q)
+	got, err := e.SuggestContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestContext diverges from Suggest:\n got=%v\nwant=%v", got, want)
+	}
+
+	wantSp := e.SuggestWithSpaces("tree qu ery")
+	gotSp, err := e.SuggestWithSpacesContext(context.Background(), "tree qu ery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSp, wantSp) {
+		t.Errorf("SuggestWithSpacesContext diverges:\n got=%v\nwant=%v", gotSp, wantSp)
+	}
+
+	wantPs, _ := e.SuggestPartials(q)
+	gotPs, _, err := e.SuggestPartialsContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPs, wantPs) {
+		t.Errorf("SuggestPartialsContext diverges from SuggestPartials")
+	}
+}
+
+// Mid-scan cancellation under -race: many goroutines scanning while
+// their contexts are cancelled at random points. Whatever the timing,
+// a call either completes with the full answer or fails with the
+// context's error and no suggestions — never a silently truncated
+// ranking.
+func TestMidScanCancellationRace(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := cancelEngine(workers)
+			want := e.Suggest("tree qurey")
+			if len(want) == 0 {
+				t.Fatal("corpus finds nothing for the probe query")
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 20; i++ {
+						ctx, cancel := context.WithCancel(context.Background())
+						go func() {
+							// Vary the cancel point from "before the scan
+							// starts" to "after it finished".
+							time.Sleep(time.Duration(i%5) * 30 * time.Microsecond)
+							cancel()
+						}()
+						sugs, _, err := e.SuggestDetailedContext(ctx, "tree qurey")
+						if err != nil {
+							if !errors.Is(err, context.Canceled) {
+								t.Errorf("unexpected error: %v", err)
+							}
+							if sugs != nil {
+								t.Error("error with non-nil suggestions")
+							}
+						} else if !reflect.DeepEqual(sugs, want) {
+							t.Error("uncancelled call diverged from baseline")
+						}
+						cancel()
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

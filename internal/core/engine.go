@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"strings"
@@ -433,6 +434,17 @@ func (e *Engine) variants(tok string) []fastss.Match {
 	return out
 }
 
+// CancelCheckEvery is the cooperative cancellation granularity of the
+// anchor-subtree scan: each scan shard polls its context once per this
+// many anchor iterations (and once before the first), so a cancelled
+// call stops within one check interval per worker. The scan's own work
+// per anchor (list alignment, subtree collection, candidate
+// enumeration) dwarfs one channel poll, so amortizing it 64-fold keeps
+// the uncancelled hot path inside the existing ≤2% no-sink budget
+// (BenchmarkSuggestContext proves it); calls carrying no cancelable
+// context skip the polling entirely.
+const CancelCheckEvery = 64
+
 // Suggest returns the top-k alternative queries for the raw query,
 // ranked by P(C|Q,T). It implements Algorithm 1 of the paper.
 func (e *Engine) Suggest(query string) []Suggestion {
@@ -440,10 +452,28 @@ func (e *Engine) Suggest(query string) []Suggestion {
 	return out
 }
 
+// SuggestContext is Suggest under a context: a cancelled or expired ctx
+// stops the anchor-subtree scan cooperatively (within CancelCheckEvery
+// anchors per worker) and the call returns ctx.Err() with no
+// suggestions. A context that can never be cancelled (such as
+// context.Background()) costs nothing over Suggest.
+func (e *Engine) SuggestContext(ctx context.Context, query string) ([]Suggestion, error) {
+	out, _, _, err := e.suggestObserved(ctx, query, false)
+	return out, err
+}
+
 // SuggestDetailed is Suggest plus the work counters of this call.
 func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
-	out, st, _ := e.suggestObserved(query, false)
+	out, st, _, _ := e.suggestObserved(context.Background(), query, false)
 	return out, st
+}
+
+// SuggestDetailedContext is SuggestDetailed under a context (see
+// SuggestContext). On cancellation the returned Stats still report the
+// work done before the scan stopped.
+func (e *Engine) SuggestDetailedContext(ctx context.Context, query string) ([]Suggestion, Stats, error) {
+	out, st, _, err := e.suggestObserved(ctx, query, false)
+	return out, st, err
 }
 
 // SuggestExplained is Suggest plus a per-query trace: stage spans with
@@ -452,20 +482,27 @@ func (e *Engine) SuggestDetailed(query string) ([]Suggestion, Stats) {
 // timing on even without an attached sink, so the call is marginally
 // slower than plain Suggest; results are identical.
 func (e *Engine) SuggestExplained(query string) ([]Suggestion, *Explain) {
-	out, _, ex := e.suggestObserved(query, true)
+	out, _, ex, _ := e.suggestObserved(context.Background(), query, true)
 	return out, ex
+}
+
+// SuggestExplainedContext is SuggestExplained under a context (see
+// SuggestContext). A cancelled call returns no trace.
+func (e *Engine) SuggestExplainedContext(ctx context.Context, query string) ([]Suggestion, *Explain, error) {
+	out, _, ex, err := e.suggestObserved(ctx, query, true)
+	return out, ex, err
 }
 
 // suggestObserved is the single user-call entry of the non-space path:
 // it tokenizes, builds variants, runs Algorithm 1, and — when a sink
 // is attached or a trace is requested — times every pipeline stage and
 // publishes the aggregates.
-func (e *Engine) suggestObserved(query string, explain bool) ([]Suggestion, Stats, *Explain) {
+func (e *Engine) suggestObserved(ctx context.Context, query string, explain bool) ([]Suggestion, Stats, *Explain, error) {
 	if e.sink == nil && !explain {
 		// Fast path: no instrumentation beyond the always-on counters.
-		out, st := e.suggestKeywordsN(e.Keywords(query), e.cfg.workers(), nil)
+		out, st, err := e.suggestKeywordsN(ctx, e.Keywords(query), e.cfg.workers(), nil)
 		e.setLastStats(st)
-		return out, st, nil
+		return out, st, nil, err
 	}
 
 	start := time.Now()
@@ -478,16 +515,21 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]Suggestion, Stat
 	kws := e.keywordsFor(toks)
 	rc.stages[obs.StageVariants] += time.Since(t0)
 
-	out, st := e.suggestKeywordsN(kws, e.cfg.workers(), rc)
+	out, st, err := e.suggestKeywordsN(ctx, kws, e.cfg.workers(), rc)
 	total := time.Since(start)
 	e.setLastStats(st)
 	e.observeCall(total, rc, st)
+	if err != nil {
+		// The partial scan still consumed resources (observed above),
+		// but a cancelled call yields neither suggestions nor a trace.
+		return nil, st, nil, err
+	}
 
 	var ex *Explain
 	if explain {
 		ex = e.newExplain(query, kws, rc, st, out, total)
 	}
-	return out, st, ex
+	return out, st, ex, nil
 }
 
 // observeCall publishes one completed user call to the sink.
@@ -543,12 +585,12 @@ type runCtx struct {
 // scans when it already fans out over shapes (so one call never
 // exceeds Config.Workers goroutines in total). It does not touch
 // lastStats — callers that own a whole user call record the aggregate.
-func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestion, Stats) {
-	acc, st := e.scanKeywords(kws, n, rc)
-	if acc == nil {
-		return nil, st
+func (e *Engine) suggestKeywordsN(ctx context.Context, kws []Keyword, n int, rc *runCtx) ([]Suggestion, Stats, error) {
+	acc, st, err := e.scanKeywords(ctx, kws, n, rc)
+	if err != nil || acc == nil {
+		return nil, st, err
 	}
-	return e.finalizeTimed(kws, acc, rc), st
+	return e.finalizeTimed(kws, acc, rc), st, nil
 }
 
 // scanKeywords is the scan half of Algorithm 1: it shards the
@@ -558,14 +600,14 @@ func (e *Engine) suggestKeywordsN(kws []Keyword, n int, rc *runCtx) ([]Suggestio
 // variants. SuggestPartials uses it directly to expose raw
 // accumulators to the cluster coordinator; suggestKeywordsN ranks its
 // result.
-func (e *Engine) scanKeywords(kws []Keyword, n int, rc *runCtx) (*accumulators, Stats) {
+func (e *Engine) scanKeywords(ctx context.Context, kws []Keyword, n int, rc *runCtx) (*accumulators, Stats, error) {
 	var st Stats
 	if len(kws) == 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	for _, kw := range kws {
 		if len(kw.Variants) == 0 {
-			return nil, st
+			return nil, st, nil
 		}
 	}
 
@@ -574,17 +616,21 @@ func (e *Engine) scanKeywords(kws []Keyword, n int, rc *runCtx) (*accumulators, 
 		if rc != nil {
 			tm = &obs.StageDurations{}
 		}
-		acc, st := e.scanShard(kws, 0, 1, tm)
+		acc, st, err := e.scanShard(ctx, kws, 0, 1, tm)
 		st.WorkerSubtrees = []int{st.Subtrees}
 		if rc != nil {
 			rc.stages.Add(tm)
 			rc.workers = append(rc.workers, *tm)
 		}
-		return acc, st
+		if err != nil {
+			return nil, st, err
+		}
+		return acc, st, nil
 	}
 
 	parts := make([]*accumulators, n)
 	stats := make([]Stats, n)
+	errs := make([]error, n)
 	var tms []obs.StageDurations
 	if rc != nil {
 		tms = make([]obs.StageDurations, n)
@@ -598,9 +644,12 @@ func (e *Engine) scanKeywords(kws []Keyword, n int, rc *runCtx) (*accumulators, 
 			if tms != nil {
 				tm = &tms[i]
 			}
-			parts[i], stats[i] = e.scanShard(kws, i, n, tm)
+			parts[i], stats[i], errs[i] = e.scanShard(ctx, kws, i, n, tm)
 		}(i)
 	}
+	// Every shard polls the same context, so cancellation drains the
+	// whole fan-out within one check interval per worker; the Wait
+	// guarantees no scan goroutine outlives the call either way.
 	wg.Wait()
 	for _, s := range stats {
 		st.add(s)
@@ -615,9 +664,14 @@ func (e *Engine) scanKeywords(kws []Keyword, n int, rc *runCtx) (*accumulators, 
 		}
 		rc.workers = append(rc.workers, tms...)
 	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, st, err
+		}
+	}
 	acc, dropped := mergeAccumulators(parts, e.cfg.gamma())
 	st.Evictions += dropped
-	return acc, st
+	return acc, st, nil
 }
 
 // finalizeTimed is finalize with the rank stage attributed to rc.
@@ -638,12 +692,20 @@ func (e *Engine) finalizeTimed(kws []Keyword, acc *accumulators, rc *runCtx) []S
 // non-nil the shard attributes its wall time across the scan,
 // enumerate, typeinfer, and accumulate stages; tm must be zeroed and
 // owned by this shard alone.
-func (e *Engine) scanShard(kws []Keyword, shard, nShards int, tm *obs.StageDurations) (*accumulators, Stats) {
+//
+// The shard polls ctx.Done() once per CancelCheckEvery anchor
+// iterations (including before the first) and abandons the scan with
+// ctx.Err() when the context is dead; the returned Stats then report
+// the work done up to that point. A non-cancelable context (Done() ==
+// nil) skips the polling entirely.
+func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards int, tm *obs.StageDurations) (*accumulators, Stats, error) {
 	var st Stats
 	var t0 time.Time
 	if tm != nil {
 		t0 = time.Now()
 	}
+	done := ctx.Done()
+	sinceCheck := 0
 	d := e.cfg.minDepth()
 	lists := make([]*invindex.MergedList, len(kws))
 	for i, kw := range kws {
@@ -666,6 +728,21 @@ func (e *Engine) scanShard(kws []Keyword, shard, nShards int, tm *obs.StageDurat
 
 	anchor, ok := e.maxHead(lists)
 	for ok {
+		if done != nil {
+			if sinceCheck == 0 {
+				select {
+				case <-done:
+					if tm != nil {
+						tm[obs.StageScan] += time.Since(t0) -
+							tm[obs.StageEnumerate] - tm[obs.StageTypeInfer] - tm[obs.StageAccumulate]
+					}
+					return nil, st, ctx.Err()
+				default:
+				}
+				sinceCheck = CancelCheckEvery
+			}
+			sinceCheck--
+		}
 		g := anchor.Truncate(d)
 		if nShards > 1 {
 			if len(g) < 2 {
@@ -725,7 +802,7 @@ func (e *Engine) scanShard(kws []Keyword, shard, nShards int, tm *obs.StageDurat
 		tm[obs.StageScan] += time.Since(t0) -
 			tm[obs.StageEnumerate] - tm[obs.StageTypeInfer] - tm[obs.StageAccumulate]
 	}
-	return acc, st
+	return acc, st, nil
 }
 
 // maxHead returns the anchor: the largest Dewey code among the current

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -81,6 +82,16 @@ type PartialSet struct {
 // shard side of the cluster's scatter-gather protocol. The second
 // return value reports the work counters of the call.
 func (e *Engine) SuggestPartials(query string) (PartialSet, Stats) {
+	ps, st, _ := e.SuggestPartialsContext(context.Background(), query)
+	return ps, st
+}
+
+// SuggestPartialsContext is SuggestPartials under a context: the shard
+// scan polls ctx and abandons the call with ctx.Err() once the
+// coordinator's forwarded deadline (or the client) cancels it, so a
+// shard never keeps scanning for an answer nobody will merge. The
+// returned Stats then report the work done before the stop.
+func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (PartialSet, Stats, error) {
 	var rc *runCtx
 	start := time.Now()
 	if e.sink != nil {
@@ -107,10 +118,13 @@ func (e *Engine) SuggestPartials(query string) (PartialSet, Stats) {
 		ps.Keywords[i] = vs
 	}
 
-	acc, st := e.scanKeywords(kws, e.cfg.workers(), rc)
+	acc, st, err := e.scanKeywords(ctx, kws, e.cfg.workers(), rc)
 	e.setLastStats(st)
 	if rc != nil {
 		e.observeCall(time.Since(start), rc, st)
+	}
+	if err != nil {
+		return PartialSet{}, st, err
 	}
 	// Report the local normalizer of every eligible result type even
 	// when no candidate matched locally: the coordinator's global N for
@@ -130,7 +144,7 @@ func (e *Engine) SuggestPartials(query string) (PartialSet, Stats) {
 	ps.TypeNorms = norms
 
 	if acc == nil || acc.len() == 0 {
-		return ps, st
+		return ps, st, nil
 	}
 
 	all := acc.all()
@@ -164,7 +178,7 @@ func (e *Engine) SuggestPartials(query string) (PartialSet, Stats) {
 			Coherence:  coherence,
 		})
 	}
-	return ps, st
+	return ps, st, nil
 }
 
 // MergeConfig tunes MergePartials. It must mirror the shards' engine

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -28,6 +29,15 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 	return out
 }
 
+// SuggestWithSpacesContext is SuggestWithSpaces under a context: every
+// shape's scan polls the same context, so a cancelled or expired ctx
+// stops the whole shape fan-out cooperatively and the call returns
+// ctx.Err() with no suggestions (see Engine.SuggestContext).
+func (e *Engine) SuggestWithSpacesContext(ctx context.Context, query string) ([]Suggestion, error) {
+	out, _, _, err := e.suggestSpacesObserved(ctx, query, false)
+	return out, err
+}
+
 // SuggestWithSpacesDetailed is SuggestWithSpaces plus the work
 // counters of this call, summed over every explored shape (the same
 // aggregate Engine.Stats reports after the call).
@@ -38,8 +48,16 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 // parallelism at Config.Workers), and their results are merged in
 // deterministic shape order.
 func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
-	out, st, _ := e.suggestSpacesObserved(query, false)
+	out, st, _, _ := e.suggestSpacesObserved(context.Background(), query, false)
 	return out, st
+}
+
+// SuggestWithSpacesDetailedContext is SuggestWithSpacesDetailed under
+// a context. On cancellation the returned Stats still report the work
+// of the shapes that ran before the scan stopped.
+func (e *Engine) SuggestWithSpacesDetailedContext(ctx context.Context, query string) ([]Suggestion, Stats, error) {
+	out, st, _, err := e.suggestSpacesObserved(ctx, query, false)
+	return out, st, err
 }
 
 // SuggestWithSpacesExplained is SuggestWithSpaces plus the per-query
@@ -47,15 +65,22 @@ func (e *Engine) SuggestWithSpacesDetailed(query string) ([]Suggestion, Stats) {
 // deterministic shape order; the keyword table reports the base
 // (unchanged) tokenization.
 func (e *Engine) SuggestWithSpacesExplained(query string) ([]Suggestion, *Explain) {
-	out, _, ex := e.suggestSpacesObserved(query, true)
+	out, _, ex, _ := e.suggestSpacesObserved(context.Background(), query, true)
 	return out, ex
+}
+
+// SuggestWithSpacesExplainedContext is SuggestWithSpacesExplained
+// under a context. A cancelled call returns no trace.
+func (e *Engine) SuggestWithSpacesExplainedContext(ctx context.Context, query string) ([]Suggestion, *Explain, error) {
+	out, _, ex, err := e.suggestSpacesObserved(ctx, query, true)
+	return out, ex, err
 }
 
 // suggestSpacesObserved is the single user-call entry of the space
 // path. Shapes are independent Algorithm 1 runs, so each carries its
 // own runCtx (no shared timing state across goroutines); the contexts
 // are merged in shape order once every shape has finished.
-func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion, Stats, *Explain) {
+func (e *Engine) suggestSpacesObserved(ctx context.Context, query string, explain bool) ([]Suggestion, Stats, *Explain, error) {
 	timed := e.sink != nil || explain
 	var start time.Time
 	var rc *runCtx
@@ -74,6 +99,7 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 		st   Stats
 		kws  []Keyword
 		rc   *runCtx
+		err  error
 	}
 	results := make([]shapeResult, len(shapes))
 	run := func(i, inner int) {
@@ -91,8 +117,8 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 		if timed {
 			src.stages[obs.StageVariants] += time.Since(tv)
 		}
-		sugs, st := e.suggestKeywordsN(kws, inner, src)
-		results[i] = shapeResult{sugs: sugs, st: st, kws: kws, rc: src}
+		sugs, st, err := e.suggestKeywordsN(ctx, kws, inner, src)
+		results[i] = shapeResult{sugs: sugs, st: st, kws: kws, rc: src, err: err}
 	}
 	if w := e.cfg.workers(); w > 1 && len(shapes) > 1 {
 		// Parallelism lives at the shape level here: each shape's scan
@@ -122,10 +148,14 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 		tr = time.Now()
 	}
 	var total Stats
+	var scanErr error
 	beta := e.em.beta()
 	best := make(map[string]Suggestion)
 	for i, sh := range shapes {
 		total.add(results[i].st)
+		if err := results[i].err; err != nil && scanErr == nil {
+			scanErr = err
+		}
 		penalty := math.Exp(-beta * float64(sh.changes))
 		for _, s := range results[i].sugs {
 			s.Score *= penalty
@@ -137,6 +167,22 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 		}
 	}
 	e.setLastStats(total)
+	if scanErr != nil {
+		// A cancelled shape poisons the whole call: a merged list missing
+		// one shape's candidates would silently mis-rank. The aggregate
+		// counters (and, when timed, the sink observation below) still
+		// reflect the work actually done.
+		if timed {
+			for i := range results {
+				if src := results[i].rc; src != nil {
+					rc.stages.Add(&src.stages)
+					rc.workers = append(rc.workers, src.workers...)
+				}
+			}
+			e.observeCall(time.Since(start), rc, total)
+		}
+		return nil, total, nil, scanErr
+	}
 
 	var out []Suggestion
 	if len(best) > 0 {
@@ -151,7 +197,7 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 	}
 
 	if !timed {
-		return out, total, nil
+		return out, total, nil, nil
 	}
 	for i := range results {
 		if src := results[i].rc; src != nil {
@@ -166,7 +212,7 @@ func (e *Engine) suggestSpacesObserved(query string, explain bool) ([]Suggestion
 	if explain {
 		ex = e.newExplain(query, results[0].kws, rc, total, out, totalDur)
 	}
-	return out, total, ex
+	return out, total, ex, nil
 }
 
 // expandShapes enumerates tokenizations reachable with at most tau

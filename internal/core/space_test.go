@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestSuggestWithSpacesAggregatesStats(t *testing.T) {
 		if len(kept) == 0 {
 			continue
 		}
-		_, st := e.suggestKeywordsN(e.keywordsFor(kept), e.cfg.workers(), nil)
+		_, st, _ := e.suggestKeywordsN(context.Background(), e.keywordsFor(kept), e.cfg.workers(), nil)
 		if st.Subtrees > 0 {
 			productive++
 		}

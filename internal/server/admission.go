@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// admission is the server's load-shedding layer: a bounded in-flight
+// semaphore plus a bounded wait queue in front of every engine scan.
+// Requests beyond MaxInflight wait in the queue (still holding their
+// deadline); requests beyond MaxInflight+MaxQueue are shed immediately
+// with 429 Too Many Requests, so overload turns into fast, explicit
+// rejections instead of an unbounded goroutine pileup. Cache hits
+// never consume a slot — only real engine work is admitted.
+type admission struct {
+	// sem has one token per permitted in-flight scan; nil disables the
+	// concurrency bound (the gauges and counters still work).
+	sem      chan struct{}
+	maxQueue int
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+	sheds    atomic.Int64
+	// cancels counts engine scans abandoned via context cancellation
+	// (client gone or deadline expired mid-scan).
+	cancels atomic.Int64
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	a := &admission{maxQueue: maxQueue}
+	if maxInflight > 0 {
+		a.sem = make(chan struct{}, maxInflight)
+	}
+	return a
+}
+
+// admitResult says how an acquire attempt ended.
+type admitResult int
+
+const (
+	// admitOK: a slot was acquired; the caller must call release().
+	admitOK admitResult = iota
+	// admitShed: in-flight and queue are both full — shed with 429.
+	admitShed
+	// admitTimeout: the request's context died while waiting in the
+	// queue — answer 503, the work was never started.
+	admitTimeout
+)
+
+// acquire claims an in-flight slot, waiting in the bounded queue when
+// the semaphore is full. On admitOK the returned release function must
+// be called exactly once.
+func (a *admission) acquire(ctx context.Context) (func(), admitResult) {
+	if a.sem == nil {
+		a.inflight.Add(1)
+		return func() { a.inflight.Add(-1) }, admitOK
+	}
+	release := func() {
+		<-a.sem
+		a.inflight.Add(-1)
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return release, admitOK
+	default:
+	}
+	// Full: join the wait queue if it has room. The transient overshoot
+	// of Add-then-check is bounded by the number of concurrently
+	// arriving requests, each of which sheds itself.
+	if a.queued.Add(1) > int64(a.maxQueue) {
+		a.queued.Add(-1)
+		a.sheds.Add(1)
+		return nil, admitShed
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.queued.Add(-1)
+		a.inflight.Add(1)
+		return release, admitOK
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		return nil, admitTimeout
+	}
+}
+
+// retryAfterSeconds is the Retry-After hint on 429/503 answers. Shed
+// load should retry after roughly one request's worth of backoff; the
+// exact value matters less than its presence (well-behaved clients and
+// load balancers honor it).
+const retryAfterSeconds = 1
+
+// writeShed answers a shed request: 429 Too Many Requests with a
+// Retry-After hint and the standard JSON error envelope.
+func (s *Server) writeShed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.writeError(w, http.StatusTooManyRequests, "server overloaded; retry later")
+}
+
+// writeOverdeadline answers a request whose context died before or
+// during the engine scan: 503 with a Retry-After hint. The distinction
+// from 429 matters to load balancers — 429 means "back off", 503 means
+// "this instance is slow or the client gave up".
+func (s *Server) writeOverdeadline(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.writeError(w, http.StatusServiceUnavailable, "request cancelled or deadline exceeded: "+err.Error())
+}
+
+// AdmissionMetrics is the admission-control section of GET /metricz.
+type AdmissionMetrics struct {
+	// Inflight is the number of engine scans executing right now.
+	Inflight int64 `json:"inflight"`
+	// QueueDepth is the number of requests waiting for a slot.
+	QueueDepth int64 `json:"queueDepth"`
+	// MaxInflight and MaxQueue echo the configured bounds (0 =
+	// unlimited / no queue).
+	MaxInflight int `json:"maxInflight"`
+	MaxQueue    int `json:"maxQueue"`
+	// Sheds counts requests rejected with 429.
+	Sheds int64 `json:"sheds"`
+	// CancelledScans counts engine scans abandoned mid-flight because
+	// the request's deadline expired or its client disconnected.
+	CancelledScans int64 `json:"cancelledScans"`
+	// RequestTimeoutMillis echoes the standalone per-request timeout
+	// (0 = none).
+	RequestTimeoutMillis int64 `json:"requestTimeoutMillis,omitempty"`
+}
+
+func (s *Server) admissionMetrics() AdmissionMetrics {
+	return AdmissionMetrics{
+		Inflight:             s.adm.inflight.Load(),
+		QueueDepth:           s.adm.queued.Load(),
+		MaxInflight:          s.cfg.MaxInflight,
+		MaxQueue:             s.cfg.MaxQueue,
+		Sheds:                s.adm.sheds.Load(),
+		CancelledScans:       s.adm.cancels.Load(),
+		RequestTimeoutMillis: s.cfg.RequestTimeout.Milliseconds(),
+	}
+}
+
+// requestCtx derives the engine-call context of one standalone
+// request: the request's own context (which dies when the client
+// disconnects), capped by Config.RequestTimeout when set. The
+// coordinator path keeps its own budget (cluster.Config.Timeout) and
+// does not stack this one on top.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// isCtxErr reports whether err is a context cancellation/expiry.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

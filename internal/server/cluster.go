@@ -17,8 +17,10 @@ import (
 // partialSuggester is the optional engine capability behind
 // /shard/suggest. It is a type assertion rather than an Engine method
 // so existing Engine implementations (and test fakes) keep compiling.
+// The context is the coordinator's forwarded deadline: the shard scan
+// polls it and abandons work the coordinator will no longer merge.
 type partialSuggester interface {
-	SuggestPartials(query string) (xclean.PartialSet, error)
+	SuggestPartialsContext(ctx context.Context, query string) (xclean.PartialSet, error)
 }
 
 // handleShardSuggest serves GET /shard/suggest: the shard half of the
@@ -51,9 +53,30 @@ func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rid := requestIDFrom(r.Context())
+	// The scan honors the coordinator's forwarded deadline (the HTTP
+	// request context dies when the coordinator's budget expires or it
+	// hangs up), capped by this shard's own RequestTimeout; shard scans
+	// pass the same admission gate as standalone ones.
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, admit := s.adm.acquire(ctx)
+	switch admit {
+	case admitShed:
+		s.writeShed(w)
+		return
+	case admitTimeout:
+		s.writeOverdeadline(w, ctx.Err())
+		return
+	}
 	start := time.Now()
-	set, err := ps.SuggestPartials(q)
+	set, err := ps.SuggestPartialsContext(ctx, q)
+	release()
 	if err != nil {
+		if isCtxErr(err) {
+			s.adm.cancels.Add(1)
+			s.writeOverdeadline(w, err)
+			return
+		}
 		s.writeError(w, http.StatusNotImplemented, err.Error())
 		return
 	}
@@ -123,8 +146,27 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 		}
 	}
 
+	// A fan-out is real work for the whole cluster, so coordinator
+	// misses pass the same admission gate as standalone scans. The
+	// coordinator keeps its own per-request budget (cluster
+	// Config.Timeout); RequestTimeout is not stacked on top.
+	release, admit := s.adm.acquire(r.Context())
+	switch admit {
+	case admitShed:
+		s.writeShed(w)
+		return
+	case admitTimeout:
+		s.writeOverdeadline(w, r.Context().Err())
+		return
+	}
 	res, err := s.cfg.Cluster.Suggest(r.Context(), q, corpus, rid)
+	release()
 	if err != nil {
+		if isCtxErr(err) {
+			s.adm.cancels.Add(1)
+			s.writeOverdeadline(w, err)
+			return
+		}
 		s.writeError(w, http.StatusBadGateway, err.Error())
 		return
 	}
@@ -146,8 +188,9 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 		}
 	}
 	// Only complete answers are cacheable: a degraded answer must not
-	// outlive the outage that produced it.
-	if s.cache != nil && !res.Partial {
+	// outlive the outage that produced it. debug=1 runs bypass the
+	// write too, mirroring the standalone handler.
+	if s.cache != nil && !res.Partial && !debug {
 		s.cache.Put(cacheKey, sugs)
 	}
 	if s.cfg.SlowLog.Record(qlog.SlowRecord{

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// suggestionQueries parses a /suggest body and returns the suggested
+// query strings (the echoed input is ignored).
+func suggestionQueries(t *testing.T, body []byte) []string {
+	t.Helper()
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("bad suggest body %s: %v", body, err)
+	}
+	out := make([]string, len(sr.Suggestions))
+	for i, s := range sr.Suggestions {
+		out[i] = s.Query
+	}
+	return out
+}
+
+func anyContains(ss []string, sub string) bool {
+	for _, s := range ss {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// The stale-cache regression: before the catalog→cache wiring, a
+// corpus reload swapped the engine but left the suggestion cache
+// holding answers computed against the old index, so a hot query kept
+// serving pre-reload suggestions forever.
+func TestReloadInvalidatesSuggestionCache(t *testing.T) {
+	ts, _, dir := catalogServer(t, Config{CacheSize: 32})
+
+	// Warm the cache against corpus a's original content (catCorpusA:
+	// rose / fpga), and against corpus b (which must survive a's reload).
+	_, body := get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if !anyContains(suggestionQueries(t, body), "fpga") {
+		t.Fatalf("probe query found nothing pre-reload: %s", body)
+	}
+	get(t, ts.URL+"/suggest?q=turing+machinery&corpus=b")
+
+	// Replace a's source wholesale and hot-swap it in.
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte(catCorpusB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/corpora?name=a&action=reload")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, body)
+	}
+
+	// The same hot query must now be answered by the new engine: the
+	// old index's suggestions would still contain "fpga".
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if anyContains(suggestionQueries(t, body), "fpga") {
+		t.Errorf("reloaded corpus served pre-reload suggestions from the cache: %s", body)
+	}
+	// And the new content is reachable through the cache path too.
+	_, body = get(t, ts.URL+"/suggest?q=turing+machinery&corpus=a")
+	if !anyContains(suggestionQueries(t, body), "turing") {
+		t.Errorf("reloaded corpus does not serve its new content: %s", body)
+	}
+
+	// Invalidation is per corpus: b's entry survived a's reload and
+	// still serves as a hit.
+	get(t, ts.URL+"/suggest?q=turing+machinery&corpus=b")
+	_, body = get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("corpus b's cache entry did not survive corpus a's reload (hits=%d, want 1)", m.CacheHits)
+	}
+}
+
+// Removing a corpus drops its cache entries, so re-adding the same
+// name with different content starts clean.
+func TestRemoveInvalidatesSuggestionCache(t *testing.T) {
+	ts, _, dir := catalogServer(t, Config{CacheSize: 32})
+
+	_, body := get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if !anyContains(suggestionQueries(t, body), "fpga") {
+		t.Fatalf("probe query found nothing: %s", body)
+	}
+	resp, _ := del(t, ts.URL+"/corpora?name=a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+
+	// Re-register "a" with corpus B's content: the old cached ranking
+	// must not resurface.
+	path := filepath.Join(dir, "a2.xml")
+	if err := os.WriteFile(path, []byte(catCorpusB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, ts.URL+"/corpora?name=a&doc="+path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-add status %d: %s", resp.StatusCode, body)
+	}
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if anyContains(suggestionQueries(t, body), "fpga") {
+		t.Errorf("re-added corpus served the removed corpus's cached suggestions: %s", body)
+	}
+}
+
+// debug=1 must bypass the cache on both sides: no read (the trace has
+// to reflect a real engine execution) and no write (a debug run must
+// not overwrite entries regular traffic serves).
+func TestDebugBypassesCacheReadAndWrite(t *testing.T) {
+	ts := testServerCached(t)
+
+	// A debug run against a cold cache must not populate it.
+	get(t, ts.URL+"/suggest?q=rose+fpga&debug=1")
+	_, body := get(t, ts.URL+"/metricz")
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheEntries != 0 {
+		t.Fatalf("debug=1 wrote the cache: %d entries", m.CacheEntries)
+	}
+	if m.CacheMisses != 0 {
+		t.Fatalf("debug=1 read the cache: %d misses recorded", m.CacheMisses)
+	}
+
+	// Warm the cache with regular traffic, then run debug again: the
+	// hit counter must not move (the read was bypassed, the engine ran).
+	get(t, ts.URL+"/suggest?q=rose+fpga")
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&debug=1")
+	if !strings.Contains(string(body), `"explain"`) {
+		t.Errorf("debug response carries no explain trace: %s", body)
+	}
+	_, body = get(t, ts.URL+"/metricz")
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 0 {
+		t.Errorf("debug=1 served from the cache: hits=%d", m.CacheHits)
+	}
+	if m.CacheEntries != 1 || m.CacheMisses != 1 {
+		t.Errorf("regular traffic disturbed: entries=%d misses=%d", m.CacheEntries, m.CacheMisses)
+	}
+}

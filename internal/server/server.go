@@ -70,15 +70,19 @@ import (
 )
 
 // Engine is the part of xclean.Engine the server needs; the indirection
-// lets tests plug in fakes.
+// lets tests plug in fakes. Every suggestion method takes the request
+// context: the engine's scan polls it cooperatively, so an expired
+// per-request deadline or a disconnected client stops the scan instead
+// of holding a worker until it finishes. A cancelled call returns the
+// context's error.
 type Engine interface {
-	Suggest(query string) []xclean.Suggestion
-	SuggestWithSpaces(query string) []xclean.Suggestion
-	// SuggestExplained and SuggestWithSpacesExplained return the same
-	// suggestions plus the per-query trace served under /suggest?debug=1
-	// and recorded by the slow-query log.
-	SuggestExplained(query string) ([]xclean.Suggestion, *xclean.Explain)
-	SuggestWithSpacesExplained(query string) ([]xclean.Suggestion, *xclean.Explain)
+	SuggestContext(ctx context.Context, query string) ([]xclean.Suggestion, error)
+	SuggestWithSpacesContext(ctx context.Context, query string) ([]xclean.Suggestion, error)
+	// SuggestExplainedContext and SuggestWithSpacesExplainedContext
+	// return the same suggestions plus the per-query trace served under
+	// /suggest?debug=1 and recorded by the slow-query log.
+	SuggestExplainedContext(ctx context.Context, query string) ([]xclean.Suggestion, *xclean.Explain, error)
+	SuggestWithSpacesExplainedContext(ctx context.Context, query string) ([]xclean.Suggestion, *xclean.Explain, error)
 	Stats() xclean.IndexStats
 	// Preview renders the witness entity of a suggestion (empty unless
 	// the engine stores text).
@@ -130,6 +134,21 @@ type Config struct {
 	// fan-out series. The Engine and Catalog may then both be nil (a
 	// pure coordinator serves no local index).
 	Cluster *cluster.Coordinator
+	// RequestTimeout bounds the engine work of one /suggest or
+	// /shard/suggest request in standalone (non-coordinator) mode: the
+	// scan is cancelled cooperatively when it expires and the request
+	// answers 503 with a Retry-After hint (0 = no timeout). The
+	// coordinator path keeps its own fan-out budget
+	// (cluster.Config.Timeout) instead.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently executing engine scans; requests
+	// beyond it wait in a queue of at most MaxQueue, and requests beyond
+	// that are shed with 429 Too Many Requests + Retry-After
+	// (0 = unlimited). Cache hits bypass admission entirely.
+	MaxInflight int
+	// MaxQueue is the wait-queue bound behind MaxInflight (0 = no
+	// queue: everything beyond MaxInflight sheds immediately).
+	MaxQueue int
 }
 
 func (c Config) addr() string {
@@ -179,14 +198,23 @@ type Server struct {
 	// Prometheus exposition (the recorders above keep the JSON
 	// percentile view).
 	httpDur *obs.Histogram
+	// adm is the load-shedding layer in front of every engine scan.
+	adm *admission
 }
 
 // New builds a server around an engine.
 func New(eng Engine, cfg Config) *Server {
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(),
-		httpDur: obs.NewDurationHistogram()}
+		httpDur: obs.NewDurationHistogram(),
+		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue)}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New[[]xclean.Suggestion](cfg.CacheSize)
+	}
+	if cfg.Catalog != nil && cfg.CacheSize > 0 {
+		// Corpus hot-swaps must drop that corpus's cached suggestions, or
+		// a reloaded corpus keeps serving pre-reload answers for as long
+		// as they stay resident (the cache has no TTL).
+		cfg.Catalog.OnSwap(s.invalidateCorpus)
 	}
 	s.mux.HandleFunc("/suggest", s.handleSuggest)
 	s.mux.HandleFunc("/shard/suggest", s.handleShardSuggest)
@@ -243,6 +271,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.addr() }
+
+// invalidateCorpus drops every cached suggestion list of one corpus.
+// It is registered as the catalog's swap hook, so a hot-swap, reload,
+// document mutation, eviction, or removal immediately stops serving
+// the old engine's answers. Catalog-mode cache keys always start with
+// "<corpus>\x01", so the prefix never matches another corpus.
+func (s *Server) invalidateCorpus(name string) {
+	if s.cache == nil {
+		return
+	}
+	s.cache.ClearPrefix(name + "\x01")
+}
 
 // resolveEngine picks the engine serving this request: the catalog
 // corpus named by ?corpus= (with default resolution when absent), or
@@ -376,27 +416,54 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		if corpus != "" {
 			cacheKey = corpus + "\x01" + cacheKey
 		}
-		// debug=1 bypasses the cache read: a trace must reflect a real
-		// engine execution, not a map lookup.
+		// debug=1 bypasses the cache entirely (read below, write after
+		// the call): a trace must reflect a real engine execution, not a
+		// map lookup, and a debug run must not overwrite entries regular
+		// traffic will serve.
 		if !debug {
 			sugs, cached = s.cache.Get(cacheKey)
 		}
 	}
 	if !cached {
+		// Only real engine work passes admission: a full server sheds
+		// before scanning, and the per-request deadline (plus the
+		// client's own disconnect) cancels the scan cooperatively.
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		release, admit := s.adm.acquire(ctx)
+		switch admit {
+		case admitShed:
+			s.writeShed(w)
+			return
+		case admitTimeout:
+			s.writeOverdeadline(w, ctx.Err())
+			return
+		}
 		// The slow-query log needs the trace before the request is known
 		// to be slow, so a configured SlowLog forces explain mode too.
 		trace := debug || s.cfg.SlowLog != nil
+		var err error
 		switch {
 		case trace && spaces:
-			sugs, ex = eng.SuggestWithSpacesExplained(q)
+			sugs, ex, err = eng.SuggestWithSpacesExplainedContext(ctx, q)
 		case trace:
-			sugs, ex = eng.SuggestExplained(q)
+			sugs, ex, err = eng.SuggestExplainedContext(ctx, q)
 		case spaces:
-			sugs = eng.SuggestWithSpaces(q)
+			sugs, err = eng.SuggestWithSpacesContext(ctx, q)
 		default:
-			sugs = eng.Suggest(q)
+			sugs, err = eng.SuggestContext(ctx, q)
 		}
-		if s.cache != nil {
+		release()
+		if err != nil {
+			if isCtxErr(err) {
+				s.adm.cancels.Add(1)
+				s.writeOverdeadline(w, err)
+				return
+			}
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if s.cache != nil && !debug {
 			s.cache.Put(cacheKey, sugs)
 		}
 	}
@@ -567,6 +634,9 @@ type Metrics struct {
 	// Cluster carries per-shard fan-out counters (requests, failures,
 	// timeouts, hedges, latency) in coordinator mode.
 	Cluster []cluster.ShardMetrics `json:"cluster,omitempty"`
+	// Admission reports the load-shedding layer: in-flight scans, queue
+	// depth, sheds, and cancelled scans.
+	Admission AdmissionMetrics `json:"admission"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -604,6 +674,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cluster != nil {
 		m.Cluster = s.cfg.Cluster.MetricsSnapshot()
 	}
+	m.Admission = s.admissionMetrics()
 	s.writeJSON(w, http.StatusOK, m)
 }
 
@@ -628,6 +699,15 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		obs.WriteCounter(w, "xclean_http_slow_queries_total",
 			"Requests recorded by the slow-query log.", s.cfg.SlowLog.Count())
 	}
+	adm := s.admissionMetrics()
+	obs.WriteGauge(w, "xclean_http_inflight_requests",
+		"Engine scans executing right now.", float64(adm.Inflight))
+	obs.WriteGauge(w, "xclean_http_admission_queue_depth",
+		"Requests waiting for an in-flight slot.", float64(adm.QueueDepth))
+	obs.WriteCounter(w, "xclean_http_sheds_total",
+		"Requests shed with 429 (in-flight and queue bounds full).", adm.Sheds)
+	obs.WriteCounter(w, "xclean_http_cancelled_scans_total",
+		"Engine scans abandoned via context cancellation.", adm.CancelledScans)
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.WritePrometheus(w, "xclean_engine")
 	}

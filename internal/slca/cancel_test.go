@@ -1,0 +1,45 @@
+package slca
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/tokenizer"
+)
+
+// A pre-cancelled context stops the SLCA anchor scan at the first
+// cancellation poll (iteration 0) and surfaces the context's error.
+func TestSLCACancelledContext(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sugs, err := e.SuggestContext(ctx, "rose fpga architecure")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if sugs != nil {
+		t.Errorf("cancelled call returned suggestions: %v", sugs)
+	}
+}
+
+// With a live context the context-taking variant is the same
+// computation as Suggest.
+func TestSLCAContextMatchesPlain(t *testing.T) {
+	tr := slcaTree()
+	ix := invindex.Build(tr, tokenizer.Options{})
+	e := NewEngine(ix, core.Config{})
+	want := e.Suggest("rose fpga architecure")
+	got, err := e.SuggestContext(context.Background(), "rose fpga architecure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SuggestContext diverges:\n got=%v\nwant=%v", got, want)
+	}
+}

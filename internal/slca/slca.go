@@ -12,6 +12,7 @@
 package slca
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"time"
@@ -131,8 +132,17 @@ type candAgg struct {
 // Suggest returns the top-k alternative queries under the SLCA
 // semantics.
 func (e *Engine) Suggest(query string) []core.Suggestion {
-	out, _ := e.suggestObserved(query, false)
+	out, _, _ := e.suggestObserved(context.Background(), query, false)
 	return out
+}
+
+// SuggestContext is Suggest under a context: the anchor scan polls ctx
+// once per cancellation interval and a cancelled or expired ctx makes
+// the call return ctx.Err() with no suggestions. A context that can
+// never be cancelled costs nothing over Suggest.
+func (e *Engine) SuggestContext(ctx context.Context, query string) ([]core.Suggestion, error) {
+	out, _, err := e.suggestObserved(ctx, query, false)
+	return out, err
 }
 
 // SuggestExplained is Suggest plus the per-query trace. The SLCA scan
@@ -140,13 +150,20 @@ func (e *Engine) Suggest(query string) []core.Suggestion {
 // types are empty (SLCA entities have no single node type), and the
 // type-cache counters stay zero (this path infers no types).
 func (e *Engine) SuggestExplained(query string) ([]core.Suggestion, *core.Explain) {
-	return e.suggestObserved(query, true)
+	out, ex, _ := e.suggestObserved(context.Background(), query, true)
+	return out, ex
+}
+
+// SuggestExplainedContext is SuggestExplained under a context (see
+// SuggestContext). A cancelled call returns no trace.
+func (e *Engine) SuggestExplainedContext(ctx context.Context, query string) ([]core.Suggestion, *core.Explain, error) {
+	return e.suggestObserved(ctx, query, true)
 }
 
 // suggestObserved runs the SLCA scan, timing each pipeline stage when
 // a sink is attached or a trace was requested (timed == false costs
 // nothing beyond the branch checks).
-func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion, *core.Explain) {
+func (e *Engine) suggestObserved(ctx context.Context, query string, explain bool) ([]core.Suggestion, *core.Explain, error) {
 	timed := e.sink != nil || explain
 	var start, t0 time.Time
 	var stages, worker obs.StageDurations
@@ -155,9 +172,12 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 		start = time.Now()
 		t0 = start
 	}
-	finish := func(out []core.Suggestion, kws []core.Keyword) ([]core.Suggestion, *core.Explain) {
+	finish := func(out []core.Suggestion, kws []core.Keyword, err error) ([]core.Suggestion, *core.Explain, error) {
+		if err != nil {
+			out = nil
+		}
 		if !timed {
-			return out, nil
+			return out, nil, err
 		}
 		stages[obs.StageScan] += worker[obs.StageScan]
 		stages[obs.StageEnumerate] += worker[obs.StageEnumerate]
@@ -168,8 +188,8 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 			s.Subtrees.Add(int64(st.Subtrees))
 			s.CandidatesSeen.Add(int64(st.CandidatesSeen))
 		}
-		if !explain {
-			return out, nil
+		if !explain || err != nil {
+			return out, nil, err
 		}
 		st.WorkerSubtrees = []int{st.Subtrees}
 		ex := &core.Explain{
@@ -191,7 +211,7 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 				Entities:     s.Entities,
 			}
 		}
-		return out, ex
+		return out, ex, nil
 	}
 
 	toks := e.cfg.Tokenizer.Tokenize(query)
@@ -200,7 +220,7 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 		t0 = time.Now()
 	}
 	if len(toks) == 0 {
-		return finish(nil, nil)
+		return finish(nil, nil, nil)
 	}
 	kws := make([]core.Keyword, len(toks))
 	for i, tok := range toks {
@@ -209,7 +229,7 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 			if timed {
 				stages[obs.StageVariants] += time.Since(t0)
 			}
-			return finish(nil, kws[:i+1])
+			return finish(nil, kws[:i+1], nil)
 		}
 	}
 	if timed {
@@ -234,8 +254,26 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 		occ[i] = make(map[int][]invindex.Posting)
 	}
 
+	// The SLCA scan is single-threaded, so it polls the context itself
+	// at the same granularity as the core engine's scan shards.
+	done := ctx.Done()
+	sinceCheck := 0
 	anchor, ok := maxHead(lists)
 	for ok {
+		if done != nil {
+			if sinceCheck == 0 {
+				select {
+				case <-done:
+					if timed {
+						worker[obs.StageScan] += time.Since(t0) - worker[obs.StageEnumerate]
+					}
+					return finish(nil, kws, ctx.Err())
+				default:
+				}
+				sinceCheck = core.CancelCheckEvery
+			}
+			sinceCheck--
+		}
 		g := anchor.Truncate(d)
 		for i := range occ {
 			for k := range occ[i] {
@@ -298,7 +336,7 @@ func (e *Engine) suggestObserved(query string, explain bool) ([]core.Suggestion,
 	if timed {
 		stages[obs.StageRank] += time.Since(t0)
 	}
-	return finish(out, kws)
+	return finish(out, kws, nil)
 }
 
 func maxHead(lists []*invindex.MergedList) (xmltree.Dewey, bool) {

@@ -1,0 +1,176 @@
+#!/bin/sh
+# shed_smoke.sh — end-to-end admission-control smoke test.
+#
+# Boots one xserve with the tightest possible admission bounds
+# (-max-inflight 1 -max-queue 0), saturates it with a barrier-released
+# burst of concurrent requests, and asserts that at least one was shed
+# with HTTP 429 carrying a Retry-After header and the JSON error
+# envelope — while the server still answers 200 once the burst drains.
+#
+# The load generator is a tiny Go program (curl processes stagger
+# their connects by more than a scan takes, so they never collide on
+# the admission gate; a goroutine barrier does). The server runs with
+# GOMAXPROCS>=4 so that even on a single-CPU runner the OS timeslices
+# its threads and concurrent acquires genuinely overlap a running
+# scan.
+#
+# Run via `make shed-smoke`. Requires only the go toolchain and curl.
+set -eu
+
+PORT=18093
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "shed-smoke: $*"; }
+
+wait_http() {
+	i=0
+	while ! curl -fsS -o /dev/null --max-time 1 "$1" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -ge 100 ]; then
+			say "timeout waiting for $1"
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+
+say "building binaries"
+go build -o "$tmp/xgen" ./cmd/xgen
+go build -o "$tmp/xserve" ./cmd/xserve
+
+mkdir "$tmp/saturate"
+cat > "$tmp/saturate/main.go" <<'EOF'
+// saturate: fire N concurrent GETs released by a goroutine barrier
+// and report status counts plus the first 429's header and body.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+)
+
+func main() {
+	url, n := os.Args[1], 0
+	n, _ = strconv.Atoi(os.Args[2])
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[int]int{}
+	retryAfter, shedBody := "", ""
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Get(url)
+			if err != nil {
+				mu.Lock()
+				counts[-1]++
+				mu.Unlock()
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			counts[resp.StatusCode]++
+			if resp.StatusCode == http.StatusTooManyRequests && shedBody == "" {
+				retryAfter = resp.Header.Get("Retry-After")
+				shedBody = string(body)
+			}
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for code, c := range counts {
+		fmt.Printf("status=%d count=%d\n", code, c)
+	}
+	if shedBody != "" {
+		fmt.Printf("retry-after=%s\n", retryAfter)
+		fmt.Printf("shed-body=%s\n", shedBody)
+	}
+}
+EOF
+(cd "$tmp/saturate" && go mod init saturate >/dev/null 2>&1 && go build -o "$tmp/saturate.bin" .)
+
+say "generating corpus"
+"$tmp/xgen" -out "$tmp/corpus.xml" -kind dblp -articles 10000 -queries 1
+
+say "starting xserve with -max-inflight 1 -max-queue 0"
+GOMAXPROCS=4 "$tmp/xserve" -doc "$tmp/corpus.xml" -addr "127.0.0.1:$PORT" \
+	-max-inflight 1 -max-queue 0 -cache 0 -eps 3 -workers 1 -q &
+pids="$pids $!"
+wait_http "http://127.0.0.1:$PORT/healthz"
+
+# A multi-keyword dirty query keeps each scan busy for a few
+# milliseconds, widening the collision window on the admission gate.
+url="http://127.0.0.1:$PORT/suggest?q=aproximate+retrival+clasification+efficent+algorthm+procesing"
+
+say "saturating with barrier-released concurrent bursts"
+round=0
+out=""
+while [ "$round" -lt 10 ]; do
+	out=$("$tmp/saturate.bin" "$url" 40)
+	echo "$out" | head -3
+	case "$out" in
+	*"status=429"*) break ;;
+	esac
+	round=$((round + 1))
+done
+case "$out" in
+*"status=429"*) ;;
+*)
+	say "FAIL: no request was shed with 429 under saturation"
+	exit 1
+	;;
+esac
+case "$out" in
+*"retry-after=1"*) ;;
+*)
+	say "FAIL: 429 response lacks Retry-After: 1"
+	echo "$out"
+	exit 1
+	;;
+esac
+case "$out" in
+*'"error"'*) ;;
+*)
+	say "FAIL: 429 body is not the JSON error envelope"
+	echo "$out"
+	exit 1
+	;;
+esac
+
+say "burst drained; server must still answer 200"
+resp=$(curl -fsS --max-time 10 "$url")
+case "$resp" in
+*'"suggestions"'*) ;;
+*)
+	say "FAIL: post-burst request did not answer: $resp"
+	exit 1
+	;;
+esac
+
+metrics=$(curl -fsS "http://127.0.0.1:$PORT/metricz")
+case "$metrics" in
+*'"sheds":0'*)
+	say "FAIL: /metricz reports zero sheds after a shed burst"
+	exit 1
+	;;
+esac
+
+say "OK"

@@ -23,6 +23,7 @@
 package xclean
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -324,11 +325,19 @@ type PartialSet = core.PartialSet
 // side of the cluster scatter-gather protocol. It requires the
 // result-type semantics (the default).
 func (e *Engine) SuggestPartials(query string) (PartialSet, error) {
+	return e.SuggestPartialsContext(context.Background(), query)
+}
+
+// SuggestPartialsContext is SuggestPartials under a context: the scan
+// polls ctx cooperatively and a cancelled or expired context makes the
+// call return ctx.Err(), so a shard stops scanning as soon as the
+// coordinator's forwarded deadline dies.
+func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (PartialSet, error) {
 	if e.core == nil {
 		return PartialSet{}, fmt.Errorf("xclean: shard partials require the result-type semantics")
 	}
-	ps, _ := e.core.SuggestPartials(query)
-	return ps, nil
+	ps, _, err := e.core.SuggestPartialsContext(ctx, query)
+	return ps, err
 }
 
 // ShardEngine returns an engine over shard `shard` of `n`: the slice
@@ -383,6 +392,21 @@ func (e *Engine) Suggest(query string) []Suggestion {
 	return e.convert(e.core.Suggest(query))
 }
 
+// SuggestContext is Suggest under a context: the anchor-subtree scan
+// polls ctx cooperatively (every few dozen subtrees per worker), so a
+// cancelled or expired context stops an in-progress call promptly and
+// returns ctx.Err() with no suggestions. Passing a context that can
+// never be cancelled (context.Background()) costs nothing over
+// Suggest.
+func (e *Engine) SuggestContext(ctx context.Context, query string) ([]Suggestion, error) {
+	if e.slca != nil {
+		out, err := e.slca.SuggestContext(ctx, query)
+		return e.convert(out), err
+	}
+	out, err := e.core.SuggestContext(ctx, query)
+	return e.convert(out), err
+}
+
 // SuggestWithSpaces additionally explores insertions and deletions of
 // spaces (e.g. "power point" → "powerpoint"), per Section VI-A. Only
 // available under the result-type semantics.
@@ -391,6 +415,18 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 		return e.convert(e.slca.Suggest(query))
 	}
 	return e.convert(e.core.SuggestWithSpaces(query))
+}
+
+// SuggestWithSpacesContext is SuggestWithSpaces under a context (see
+// SuggestContext). Under SLCA/ELCA semantics it falls back to the
+// plain suggestion path, exactly as SuggestWithSpaces does.
+func (e *Engine) SuggestWithSpacesContext(ctx context.Context, query string) ([]Suggestion, error) {
+	if e.slca != nil {
+		out, err := e.slca.SuggestContext(ctx, query)
+		return e.convert(out), err
+	}
+	out, err := e.core.SuggestWithSpacesContext(ctx, query)
+	return e.convert(out), err
 }
 
 // Observer is the metrics sink of an Engine: attach one with
@@ -437,6 +473,17 @@ func (e *Engine) SuggestExplained(query string) ([]Suggestion, *Explain) {
 	return e.convert(out), ex
 }
 
+// SuggestExplainedContext is SuggestExplained under a context (see
+// SuggestContext). A cancelled call returns no trace.
+func (e *Engine) SuggestExplainedContext(ctx context.Context, query string) ([]Suggestion, *Explain, error) {
+	if e.slca != nil {
+		out, ex, err := e.slca.SuggestExplainedContext(ctx, query)
+		return e.convert(out), ex, err
+	}
+	out, ex, err := e.core.SuggestExplainedContext(ctx, query)
+	return e.convert(out), ex, err
+}
+
 // SuggestWithSpacesExplained is SuggestWithSpaces plus the trace.
 // Under SLCA/ELCA semantics it falls back to SuggestExplained, exactly
 // as SuggestWithSpaces falls back to Suggest.
@@ -447,6 +494,17 @@ func (e *Engine) SuggestWithSpacesExplained(query string) ([]Suggestion, *Explai
 	}
 	out, ex := e.core.SuggestWithSpacesExplained(query)
 	return e.convert(out), ex
+}
+
+// SuggestWithSpacesExplainedContext is SuggestWithSpacesExplained
+// under a context (see SuggestContext).
+func (e *Engine) SuggestWithSpacesExplainedContext(ctx context.Context, query string) ([]Suggestion, *Explain, error) {
+	if e.slca != nil {
+		out, ex, err := e.slca.SuggestExplainedContext(ctx, query)
+		return e.convert(out), ex, err
+	}
+	out, ex, err := e.core.SuggestWithSpacesExplainedContext(ctx, query)
+	return e.convert(out), ex, err
 }
 
 // AddDocument parses one XML document from r and grafts it under the
