@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json snapshot-smoke cluster-smoke shed-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # and run the test suite under the race detector (the parallel scan
@@ -48,6 +48,29 @@ snapshot-smoke:
 bench-json:
 	go run ./cmd/xbench -exp table6,workers -dblp 5000 -wiki 500 -queries 20 \
 		-json BENCH_$$(date +%Y%m%d).json
+
+# Perf regression gate: rerun the latency-bearing experiments and
+# compare against the newest committed BENCH_*.json checkpoint via
+# benchgate. The corpus parameters must match the checkpoint's (same
+# -dblp/-wiki/-queries/-seed) or mean latencies are not comparable.
+# Three runs are taken and each record is scored on its best one —
+# load noise is one-sided, so min-of-N strips contention spikes.
+# TOLERANCE stays loose (+100%) because the checkpoint was recorded on
+# different hardware than CI: the gate catches order-of-magnitude
+# mistakes (an accidentally quadratic path, a lost index), not
+# single-digit drift — interleaved A/B go-bench runs and the committed
+# checkpoints are the precise record.
+TOLERANCE ?= 1.0
+BENCH_GATE_RUNS ?= 3
+bench-gate:
+	@base=$$(ls BENCH_*.json | sort -V | tail -1) && \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	echo "bench-gate: baseline $$base ($(BENCH_GATE_RUNS) candidate runs)" && \
+	for i in $$(seq $(BENCH_GATE_RUNS)); do \
+		go run ./cmd/xbench -exp table6,workers -dblp 5000 -wiki 500 -queries 20 \
+			-json "$$tmp/bench$$i.json" >/dev/null || exit 1; done && \
+	go run ./cmd/benchgate -base "$$base" -new "$$tmp/bench1.json" -tolerance $(TOLERANCE) \
+		$$(for i in $$(seq 2 $(BENCH_GATE_RUNS)); do printf '%s ' "$$tmp/bench$$i.json"; done)
 
 # End-to-end scatter-gather smoke test: 2 shard servers + 1
 # coordinator on loopback; a healthy query must be complete, and a

@@ -1,0 +1,178 @@
+// Command benchgate compares two xbench -json reports and fails when
+// the candidate regresses past a tolerance. It is the CI perf gate:
+//
+//	benchgate -base BENCH_5.json -new /tmp/bench.json -tolerance 0.25
+//
+// Records are matched on (experiment, system, set) and compared on
+// meanNs; MRR is additionally checked as an absolute floor (a speedup
+// that costs ranking quality is a regression too). Records present in
+// only one report are reported but do not fail the gate — experiments
+// come and go between checkpoints.
+//
+// Extra positional arguments are additional candidate reports from
+// repeated runs; the gate scores each record on its best (minimum)
+// meanNs and best (maximum) MRR across candidates. Load noise on a
+// shared machine is one-sided — contention only ever slows a run — so
+// min-of-N recovers the machine's true speed without loosening the
+// tolerance.
+//
+// Exit status: 0 when every matched record is within tolerance, 1 on
+// any regression, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record mirrors the fields of xbench's PerfRecord that the gate
+// consumes; the decoder ignores the rest.
+type record struct {
+	Experiment string  `json:"experiment"`
+	System     string  `json:"system"`
+	Set        string  `json:"set"`
+	MRR        float64 `json:"mrr"`
+	MeanNs     int64   `json:"meanNs"`
+}
+
+type report struct {
+	Records []record `json:"records"`
+}
+
+type key struct{ experiment, system, set string }
+
+func (k key) String() string {
+	if k.set == "" {
+		return k.experiment + "/" + k.system
+	}
+	return k.experiment + "/" + k.system + "/" + k.set
+}
+
+// compareResult is one matched record pair's verdict.
+type compareResult struct {
+	Key        key
+	BaseNs     int64
+	NewNs      int64
+	Ratio      float64 // NewNs / BaseNs
+	MRRDelta   float64 // new - base
+	Regression bool
+}
+
+func load(path string) (map[key]record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[key]record, len(r.Records))
+	for _, rec := range r.Records {
+		m[key{rec.Experiment, rec.System, rec.Set}] = rec
+	}
+	return m, nil
+}
+
+// mergeBest folds a repeated run into the candidate set, keeping each
+// record's best meanNs and MRR. Records new in b join the set.
+func mergeBest(a, b map[key]record) map[key]record {
+	for k, rb := range b {
+		ra, ok := a[k]
+		if !ok {
+			a[k] = rb
+			continue
+		}
+		if rb.MeanNs < ra.MeanNs {
+			ra.MeanNs = rb.MeanNs
+		}
+		if rb.MRR > ra.MRR {
+			ra.MRR = rb.MRR
+		}
+		a[k] = ra
+	}
+	return a
+}
+
+// compare gates every record present in both reports. A record
+// regresses when its mean latency grew by more than tol (0.25 = 25%)
+// or its MRR fell by more than mrrSlack absolute.
+func compare(base, cand map[key]record, tol, mrrSlack float64) (results []compareResult, onlyBase, onlyNew []key) {
+	for k, b := range base {
+		n, ok := cand[k]
+		if !ok {
+			onlyBase = append(onlyBase, k)
+			continue
+		}
+		r := compareResult{Key: k, BaseNs: b.MeanNs, NewNs: n.MeanNs, MRRDelta: n.MRR - b.MRR}
+		if b.MeanNs > 0 {
+			r.Ratio = float64(n.MeanNs) / float64(b.MeanNs)
+		}
+		r.Regression = r.Ratio > 1+tol || r.MRRDelta < -mrrSlack
+		results = append(results, r)
+	}
+	for k := range cand {
+		if _, ok := base[k]; !ok {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Key.String() < results[j].Key.String() })
+	sort.Slice(onlyBase, func(i, j int) bool { return onlyBase[i].String() < onlyBase[j].String() })
+	sort.Slice(onlyNew, func(i, j int) bool { return onlyNew[i].String() < onlyNew[j].String() })
+	return results, onlyBase, onlyNew
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline xbench -json report")
+	newPath := flag.String("new", "", "candidate xbench -json report")
+	tol := flag.Float64("tolerance", 0.25, "allowed relative meanNs growth (0.25 = +25%)")
+	mrrSlack := flag.Float64("mrr-slack", 0.05, "allowed absolute MRR drop")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -base OLD.json -new NEW.json [-tolerance 0.25] [-mrr-slack 0.05]")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	for _, extra := range flag.Args() {
+		more, err := load(extra)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		cand = mergeBest(cand, more)
+	}
+	results, onlyBase, onlyNew := compare(base, cand, *tol, *mrrSlack)
+	bad := 0
+	for _, r := range results {
+		status := "ok"
+		if r.Regression {
+			status = "REGRESSION"
+			bad++
+		}
+		fmt.Printf("%-40s %10d → %10d ns  (%+.1f%%, mrr %+.3f)  %s\n",
+			r.Key, r.BaseNs, r.NewNs, (r.Ratio-1)*100, r.MRRDelta, status)
+	}
+	for _, k := range onlyBase {
+		fmt.Printf("%-40s only in baseline (skipped)\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("%-40s only in candidate (skipped)\n", k)
+	}
+	if bad > 0 {
+		fmt.Printf("benchgate: %d of %d records regressed past tolerance %+.0f%%\n", bad, len(results), *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d records within tolerance %+.0f%%\n", len(results), *tol*100)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseReport = `{"records":[
+	{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":200000},
+	{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":600000},
+	{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":100000}
+]}`
+
+func mustLoad(t *testing.T, path string) map[key]record {
+	t.Helper()
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := mustLoad(t, writeReport(t, "base.json", baseReport))
+	// +20% on one record, faster on another: inside a 25% gate.
+	cand := mustLoad(t, writeReport(t, "new.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":240000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":500000},
+		{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":100000}
+	]}`))
+	results, onlyBase, onlyNew := compare(base, cand, 0.25, 0.05)
+	if len(results) != 3 || len(onlyBase) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("matched %d, onlyBase %d, onlyNew %d", len(results), len(onlyBase), len(onlyNew))
+	}
+	for _, r := range results {
+		if r.Regression {
+			t.Errorf("%s flagged as regression: %+v", r.Key, r)
+		}
+	}
+}
+
+func TestCompareFlagsLatencyRegression(t *testing.T) {
+	base := mustLoad(t, writeReport(t, "base.json", baseReport))
+	cand := mustLoad(t, writeReport(t, "new.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":300000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":600000},
+		{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":100000}
+	]}`))
+	results, _, _ := compare(base, cand, 0.25, 0.05)
+	bad := 0
+	for _, r := range results {
+		if r.Regression {
+			bad++
+			if r.Key.set != "DBLP-RAND" {
+				t.Errorf("wrong record flagged: %s", r.Key)
+			}
+		}
+	}
+	if bad != 1 {
+		t.Errorf("flagged %d regressions, want 1 (+50%% meanNs)", bad)
+	}
+}
+
+func TestCompareFlagsMRRRegression(t *testing.T) {
+	base := mustLoad(t, writeReport(t, "base.json", baseReport))
+	// Faster, but ranking quality collapsed: still a regression.
+	cand := mustLoad(t, writeReport(t, "new.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":0.5,"meanNs":100000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":600000},
+		{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":100000}
+	]}`))
+	results, _, _ := compare(base, cand, 0.25, 0.05)
+	bad := 0
+	for _, r := range results {
+		if r.Regression {
+			bad++
+			if r.Key.set != "DBLP-RAND" {
+				t.Errorf("wrong record flagged: %s", r.Key)
+			}
+		}
+	}
+	if bad != 1 {
+		t.Errorf("flagged %d regressions, want 1 (MRR 1.0 → 0.5)", bad)
+	}
+}
+
+func TestMergeBestTakesMinLatencyMaxMRR(t *testing.T) {
+	base := mustLoad(t, writeReport(t, "base.json", baseReport))
+	// Run 1 is contention-spiked (+50%); run 2 is clean. Merged, the
+	// gate sees the clean numbers and passes.
+	run1 := mustLoad(t, writeReport(t, "r1.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":300000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":900000},
+		{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":100000}
+	]}`))
+	run2 := mustLoad(t, writeReport(t, "r2.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":210000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":580000},
+		{"experiment":"workers","system":"xclean","mrr":1.0,"meanNs":150000}
+	]}`))
+	merged := mergeBest(run1, run2)
+	if got := merged[key{"table6", "xclean", "DBLP-RAND"}].MeanNs; got != 210000 {
+		t.Errorf("merged meanNs = %d, want the run-2 minimum 210000", got)
+	}
+	if got := merged[key{"workers", "xclean", ""}].MeanNs; got != 100000 {
+		t.Errorf("merged meanNs = %d, want the run-1 minimum 100000", got)
+	}
+	results, _, _ := compare(base, merged, 0.25, 0.05)
+	for _, r := range results {
+		if r.Regression {
+			t.Errorf("%s flagged as regression after merge: %+v", r.Key, r)
+		}
+	}
+}
+
+func TestCompareUnmatchedRecordsSkipped(t *testing.T) {
+	base := mustLoad(t, writeReport(t, "base.json", baseReport))
+	// One experiment gone, one new: neither fails the gate.
+	cand := mustLoad(t, writeReport(t, "new.json", `{"records":[
+		{"experiment":"table6","system":"xclean","set":"DBLP-RAND","mrr":1.0,"meanNs":200000},
+		{"experiment":"table6","system":"xclean","set":"DBLP-RULE","mrr":0.9,"meanNs":600000},
+		{"experiment":"table7","system":"xclean","set":"WIKI","mrr":1.0,"meanNs":900000}
+	]}`))
+	results, onlyBase, onlyNew := compare(base, cand, 0.25, 0.05)
+	if len(results) != 2 {
+		t.Errorf("matched %d records, want 2", len(results))
+	}
+	if len(onlyBase) != 1 || onlyBase[0].experiment != "workers" {
+		t.Errorf("onlyBase = %v, want [workers/xclean]", onlyBase)
+	}
+	if len(onlyNew) != 1 || onlyNew[0].experiment != "table7" {
+		t.Errorf("onlyNew = %v, want [table7/xclean/WIKI]", onlyNew)
+	}
+	for _, r := range results {
+		if r.Regression {
+			t.Errorf("%s flagged as regression", r.Key)
+		}
+	}
+}

@@ -4,22 +4,50 @@
 // lists by query text removes the engine from the hot path for popular
 // queries. Mutating the index (AddDocument / RemoveDocument) must be
 // followed by Clear.
+//
+// Large caches are sharded by key hash: each shard owns a disjoint
+// slice of the capacity behind its own mutex, so concurrent hits on
+// different shards never serialize — the property the admission gate's
+// cache-hit bypass relies on under full concurrency. Small caches
+// (below shardMinCapacity entries per shard) stay single-sharded and
+// keep exact global LRU order. Hit/miss counters are atomics updated
+// outside the shard locks, and the hit path performs no allocation.
 package cache
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
+// maxShards bounds the shard fan-out; 16 single-mutex shards cover the
+// admission gate's realistic concurrency without fragmenting tiny
+// caches.
+const maxShards = 16
+
+// shardMinCapacity is the smallest per-shard capacity worth splitting
+// for: below it, eviction quality (per-shard LRU approximates global
+// LRU poorly at tiny sizes) costs more than the contention saved.
+const shardMinCapacity = 64
+
 // LRU is a bounded least-recently-used map. The zero value is not
-// usable; construct with New.
+// usable; construct with New. Total resident entries never exceed the
+// construction capacity; with more than one shard, recency is tracked
+// per shard (standard sharded-LRU semantics — eviction picks the least
+// recent entry of the full shard the newcomer hashes to).
 type LRU[V any] struct {
+	shards []lruShard[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruShard[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
-	hits     int64
-	misses   int64
+	// pad keeps neighboring shards' hot state off one cache line.
+	_ [40]byte
 }
 
 type entry[V any] struct {
@@ -27,59 +55,101 @@ type entry[V any] struct {
 	val V
 }
 
+// numShards picks the shard count for a capacity: the largest power of
+// two ≤ maxShards that still leaves every shard at least
+// shardMinCapacity entries.
+func numShards(capacity int) int {
+	n := 1
+	for n*2 <= maxShards && capacity/(n*2) >= shardMinCapacity {
+		n *= 2
+	}
+	return n
+}
+
 // New returns a cache holding at most capacity entries (minimum 1).
 func New[V any](capacity int) *LRU[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &LRU[V]{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element, capacity),
+	n := numShards(capacity)
+	c := &LRU[V]{shards: make([]lruShard[V], n)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		c.shards[i] = lruShard[V]{
+			capacity: cap,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element, cap),
+		}
 	}
+	return c
+}
+
+// shardFor maps a key to its shard by FNV-1a hash (inlined: the hash
+// must not allocate — Get sits on the request hot path).
+func (c *LRU[V]) shardFor(key string) *lruShard[V] {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&uint32(len(c.shards)-1)]
 }
 
 // Get returns the cached value for key, refreshing its recency.
 func (c *LRU[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*entry[V]).val, true
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
 	}
-	c.misses++
+	s.mu.Unlock()
+	c.misses.Add(1)
 	var zero V
 	return zero, false
 }
 
 // Put stores the value for key, evicting the least recently used entry
-// when full.
+// of its shard when that shard is full.
 func (c *LRU[V]) Put(key string, val V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		el.Value.(*entry[V]).val = val
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	if c.ll.Len() >= c.capacity {
-		oldest := c.ll.Back()
+	if s.ll.Len() >= s.capacity {
+		oldest := s.ll.Back()
 		if oldest != nil {
-			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*entry[V]).key)
+			s.ll.Remove(oldest)
+			delete(s.items, oldest.Value.(*entry[V]).key)
 		}
 	}
-	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	s.items[key] = s.ll.PushFront(&entry[V]{key: key, val: val})
 }
 
 // Clear drops every entry (call after index mutations). Hit/miss
 // counters are preserved.
 func (c *LRU[V]) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element, c.capacity)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element, s.capacity)
+		s.mu.Unlock()
+	}
 }
 
 // ClearPrefix drops every entry whose key starts with prefix — the
@@ -87,31 +157,41 @@ func (c *LRU[V]) Clear() {
 // cache is hot-swapped and only its entries are stale. An empty prefix
 // clears everything. The walk is O(entries); invalidation is rare next
 // to lookups, so keeping Get/Put at one map operation wins over
-// maintaining a per-prefix index.
+// maintaining a per-prefix index. Shards are swept one at a time, so
+// lookups on other shards proceed during the sweep.
 func (c *LRU[V]) ClearPrefix(prefix string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var next *list.Element
-	for el := c.ll.Front(); el != nil; el = next {
-		next = el.Next()
-		e := el.Value.(*entry[V])
-		if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
-			c.ll.Remove(el)
-			delete(c.items, e.key)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var next *list.Element
+		for el := s.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			e := el.Value.(*entry[V])
+			if len(e.key) >= len(prefix) && e.key[:len(prefix)] == prefix {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // Len is the current number of entries.
 func (c *LRU[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *LRU[V]) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
+
+// Shards reports the shard count (a sizing diagnostic).
+func (c *LRU[V]) Shards() int { return len(c.shards) }

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNumShards(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{1, 1},
+		{2, 1},
+		{64, 1},
+		{127, 1},
+		{128, 2},
+		{256, 4},
+		{512, 8},
+		{1024, 16},
+		{1 << 20, 16},
+	}
+	for _, c := range cases {
+		if got := numShards(c.capacity); got != c.want {
+			t.Errorf("numShards(%d) = %d, want %d", c.capacity, got, c.want)
+		}
+	}
+}
+
+// TestShardedCapacity checks that a multi-shard cache never holds more
+// than its construction capacity, regardless of how keys hash.
+func TestShardedCapacity(t *testing.T) {
+	const capacity = 1001 // 8 shards, uneven split (125 or 126 each)
+	c := New[int](capacity)
+	if c.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", c.Shards())
+	}
+	for i := 0; i < 5*capacity; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n > capacity {
+		t.Errorf("Len() = %d after overfill, want <= %d", n, capacity)
+	}
+	// A freshly inserted key must be resident.
+	c.Put("fresh", 1)
+	if _, ok := c.Get("fresh"); !ok {
+		t.Error("fresh key evicted immediately")
+	}
+}
+
+// TestShardedClearPrefix checks prefix invalidation reaches every
+// shard: entries of one prefix hash across all shards, and only they
+// are removed.
+func TestShardedClearPrefix(t *testing.T) {
+	c := New[int](1024)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("alpha\x01key-%d", i), i)
+		c.Put(fmt.Sprintf("beta\x01key-%d", i), i)
+	}
+	before := c.Len()
+	c.ClearPrefix("alpha\x01")
+	for i := 0; i < 200; i++ {
+		if _, ok := c.Get(fmt.Sprintf("alpha\x01key-%d", i)); ok {
+			t.Fatalf("alpha key %d survived ClearPrefix", i)
+		}
+		if _, ok := c.Get(fmt.Sprintf("beta\x01key-%d", i)); !ok {
+			t.Fatalf("beta key %d dropped by foreign ClearPrefix", i)
+		}
+	}
+	if n := c.Len(); n != before-200 {
+		t.Errorf("Len() = %d after ClearPrefix, want %d", n, before-200)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("Len() = %d after Clear, want 0", c.Len())
+	}
+}
+
+// TestShardedStats checks hit/miss counters aggregate across shards.
+func TestShardedStats(t *testing.T) {
+	c := New[int](1024)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	for i := 0; i < 100; i++ {
+		c.Get(fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < 40; i++ {
+		c.Get(fmt.Sprintf("missing%d", i))
+	}
+	hits, misses := c.Stats()
+	if hits != 100 || misses != 40 {
+		t.Errorf("Stats() = (%d,%d), want (100,40)", hits, misses)
+	}
+}
+
+// TestGetHitZeroAllocs pins the allocation-free contract of the
+// cache-hit path: a steady-state Get must not allocate.
+func TestGetHitZeroAllocs(t *testing.T) {
+	c := New[string](1024)
+	c.Put("architecure", "architecture")
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := c.Get("architecure"); !ok {
+			t.Fatal("expected hit")
+		}
+	}); n != 0 {
+		t.Errorf("Get hit allocates %.1f per call, want 0", n)
+	}
+}
+
+// TestShardedConcurrent exercises the sharded cache under the race
+// detector: concurrent Get/Put/Clear/ClearPrefix across all shards.
+func TestShardedConcurrent(t *testing.T) {
+	c := New[int](1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%64)
+				c.Put(key, i)
+				c.Get(key)
+				switch i % 100 {
+				case 50:
+					c.ClearPrefix(fmt.Sprintf("g%d-", g))
+				case 99:
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 1024 {
+		t.Errorf("Len() = %d, want <= 1024", n)
+	}
+}
+
+// BenchmarkCacheParallel measures hit throughput with all procs
+// hammering the cache — the contention profile the admission gate's
+// cache-hit bypass sees. Sharding should scale this with GOMAXPROCS
+// where the single-mutex design serialized.
+func BenchmarkCacheParallel(b *testing.B) {
+	c := New[int](4096)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("query-%d-with-typical-length", i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheParallelSingleShard is the identical workload forced
+// onto a single shard of the same total capacity — the pre-sharding
+// contention baseline (every hit serializes on one mutex).
+func BenchmarkCacheParallelSingleShard(b *testing.B) {
+	c := &LRU[int]{shards: make([]lruShard[int], 1)}
+	c.shards[0] = lruShard[int]{
+		capacity: 4096,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, 4096),
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("query-%d-with-typical-length", i)
+		c.Put(keys[i], i)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(keys[i%len(keys)])
+			i++
+		}
+	})
+}

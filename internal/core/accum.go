@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"sort"
+	"sync"
 
 	"xclean/internal/xmltree"
 )
@@ -92,11 +93,44 @@ func newAccumulators(limit int, policy EvictionPolicy) *accumulators {
 	return &accumulators{limit: limit, policy: policy, m: make(map[string]*accum)}
 }
 
-// add merges one subtree's contribution for a candidate. It returns
-// the accumulator (nil if the candidate was rejected because the table
-// is full and its estimate is the lowest).
+// accTablePool recycles accumulator tables (the map, queue, and FIFO
+// buffers — never the accumulators themselves, whose words and keys
+// escape into Suggestions and PartialCandidates).
+var accTablePool = sync.Pool{New: func() interface{} {
+	return &accumulators{m: make(map[string]*accum)}
+}}
+
+// getAccumulators is newAccumulators over pooled storage. Tables
+// obtained here should be returned with release once their
+// accumulators have been extracted.
+func getAccumulators(limit int, policy EvictionPolicy) *accumulators {
+	if limit < 0 {
+		limit = 0 // unlimited
+	}
+	t := accTablePool.Get().(*accumulators)
+	t.limit = limit
+	t.policy = policy
+	t.seq = 0
+	t.evictions = 0
+	return t
+}
+
+// release returns the table's storage to the pool. The accumulators it
+// held remain valid — only the table's own references are dropped.
+func (t *accumulators) release() {
+	clear(t.m)
+	t.pq = t.pq[:0]
+	t.fifo = t.fifo[:0]
+	accTablePool.Put(t)
+}
+
+// add merges one subtree's contribution for a candidate identified by
+// keyBytes (a byte view so that the lookup for known candidates — the
+// overwhelmingly common case — does not materialize a string). It
+// returns the accumulator (nil if the candidate was rejected because
+// the table is full and its estimate is the lowest).
 func (t *accumulators) add(
-	key string,
+	keyBytes []byte,
 	words []string,
 	choice []int,
 	resultType xmltree.PathID,
@@ -106,7 +140,7 @@ func (t *accumulators) add(
 	entities int,
 	witness string,
 ) *accum {
-	if a, ok := t.m[key]; ok {
+	if a, ok := t.m[string(keyBytes)]; ok { // no alloc: map lookup
 		a.sum += sum
 		a.bgMatched += bgMatched
 		a.entities += entities
@@ -123,6 +157,7 @@ func (t *accumulators) add(
 		}
 		return a
 	}
+	key := string(keyBytes)
 	a := &accum{
 		key:         key,
 		words:       append([]string(nil), words...),
@@ -161,6 +196,30 @@ func (t *accumulators) add(
 	return a
 }
 
+// wouldReject reports whether add would reject a brand-new candidate
+// whose final estimate is known to be at most estUB: the table is full
+// under the lowest-estimate policy, the candidate is not already
+// tracked, and even its upper bound does not beat the current victim.
+// Since add rejects exactly when estimate ≤ victim.estimate() and
+// estUB ≥ estimate, a true result reproduces add's decision without
+// the caller having to compute the real score — the γ bound applied
+// before the work it prunes, not after. A rejection is counted as an
+// eviction, as add would.
+func (t *accumulators) wouldReject(keyBytes []byte, estUB float64) bool {
+	if t.limit <= 0 || t.policy != EvictLowestEstimate || len(t.m) < t.limit {
+		return false
+	}
+	if _, ok := t.m[string(keyBytes)]; ok { // no alloc: map lookup
+		return false
+	}
+	v := t.victim()
+	if v == nil || estUB > v.estimate() {
+		return false
+	}
+	t.evictions++
+	return true
+}
+
 // victim selects the entry to discard under the configured policy,
 // skipping stale queue entries.
 func (t *accumulators) victim() *accum {
@@ -197,9 +256,10 @@ func (t *accumulators) victim() *accum {
 // return value is the number of candidates dropped at merge time.
 //
 // The parts are consumed: their accumulators are rehomed into the
-// merged table and must not be used afterwards.
+// merged table, their storage is recycled, and they must not be used
+// afterwards.
 func mergeAccumulators(parts []*accumulators, limit int) (*accumulators, int) {
-	merged := newAccumulators(0, EvictLowestEstimate)
+	merged := getAccumulators(0, EvictLowestEstimate)
 	for _, p := range parts {
 		if p == nil {
 			continue
@@ -217,6 +277,7 @@ func mergeAccumulators(parts []*accumulators, limit int) (*accumulators, int) {
 				t.witness = a.witness
 			}
 		}
+		p.release()
 	}
 	if limit <= 0 || len(merged.m) <= limit {
 		return merged, 0

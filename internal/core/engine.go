@@ -590,7 +590,11 @@ func (e *Engine) suggestKeywordsN(ctx context.Context, kws []Keyword, n int, rc 
 	if err != nil || acc == nil {
 		return nil, st, err
 	}
-	return e.finalizeTimed(kws, acc, rc), st, nil
+	out := e.finalizeTimed(kws, acc, rc)
+	// The ranked suggestions hold the accumulators' words; only the
+	// table's storage is recycled.
+	acc.release()
+	return out, st, nil
 }
 
 // scanKeywords is the scan half of Algorithm 1: it shards the
@@ -707,24 +711,22 @@ func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards in
 	done := ctx.Done()
 	sinceCheck := 0
 	d := e.cfg.minDepth()
-	lists := make([]*invindex.MergedList, len(kws))
+	sc := getScanScratch(len(kws))
+	defer sc.release()
+	lists := sc.lists
 	for i, kw := range kws {
-		tokens := make([]string, len(kw.Variants))
-		for j, v := range kw.Variants {
-			tokens[j] = v.Word
+		tokens := sc.tokens[:0]
+		for _, v := range kw.Variants {
+			tokens = append(tokens, v.Word)
 		}
+		sc.tokens = tokens // MergedListFor does not retain the slice
 		lists[i] = e.ix.MergedListFor(tokens)
 		lists[i].SetLinearSkip(e.cfg.LinearSkip)
+		sc.occ[i].size(len(kw.Variants))
 	}
 
-	acc := newAccumulators(e.cfg.gamma(), e.cfg.Eviction)
-	typeCache := make(map[string]xmltree.PathID)
-	// occurrences[i][variantIdx] collects postings of keyword i's
-	// variants inside the current anchor subtree.
-	occ := make([]map[int][]invindex.Posting, len(kws))
-	for i := range occ {
-		occ[i] = make(map[int][]invindex.Posting)
-	}
+	acc := getAccumulators(e.cfg.gamma(), e.cfg.Eviction)
+	occ := sc.occ
 
 	anchor, ok := e.maxHead(lists)
 	for ok {
@@ -736,6 +738,7 @@ func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards in
 						tm[obs.StageScan] += time.Since(t0) -
 							tm[obs.StageEnumerate] - tm[obs.StageTypeInfer] - tm[obs.StageAccumulate]
 					}
+					acc.release()
 					return nil, st, ctx.Err()
 				default:
 				}
@@ -773,15 +776,13 @@ func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards in
 
 		// Align every list to g and collect the subtree occurrences.
 		for i := range occ {
-			for k := range occ[i] {
-				delete(occ[i], k)
-			}
+			occ[i].reset()
 		}
 		complete := true
 		for i, l := range lists {
 			found := false
 			l.CollectSubtree(g, func(entry invindex.Entry) {
-				occ[i][entry.TokenIdx] = append(occ[i][entry.TokenIdx], entry.Posting)
+				occ[i].add(entry.TokenIdx, entry.Posting)
 				st.PostingsRead++
 				found = true
 			})
@@ -790,7 +791,7 @@ func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards in
 			}
 		}
 		if complete {
-			e.enumerateAndScore(kws, occ, typeCache, acc, &st, tm)
+			e.enumerateAndScore(kws, sc, acc, &st, tm)
 		}
 
 		anchor, ok = e.maxHead(lists)
@@ -841,11 +842,13 @@ type groupKey struct {
 // scores. Occurrence groupings by entity depth are computed lazily and
 // shared across the candidates that need the same (variant, depth)
 // pair, so each occurrence is touched O(#depths) rather than
-// O(#candidates) times.
+// O(#candidates) times. The cross product is walked with an odometer
+// over the scratch's position counters — keyword order, last keyword
+// fastest, exactly the order of the recursive formulation it replaces,
+// but without a per-anchor closure.
 func (e *Engine) enumerateAndScore(
 	kws []Keyword,
-	occ []map[int][]invindex.Posting,
-	typeCache map[string]xmltree.PathID,
+	sc *scanScratch,
 	acc *accumulators,
 	st *Stats,
 	tm *obs.StageDurations,
@@ -860,38 +863,42 @@ func (e *Engine) enumerateAndScore(
 				(tm[obs.StageTypeInfer] - beforeTI) - (tm[obs.StageAccumulate] - beforeAcc)
 		}()
 	}
-	present := make([][]int, len(kws))
+	occ, present := sc.occ, sc.present
 	for i := range kws {
-		if len(occ[i]) == 0 {
+		if len(occ[i].touched) == 0 {
 			return
 		}
-		for idx := range occ[i] {
-			present[i] = append(present[i], idx)
-		}
+		present[i] = append(present[i][:0], occ[i].touched...)
 		sort.Ints(present[i])
 	}
 
-	groups := make(map[groupKey][]groupEntry)
-	scratch := &candScratch{
-		choice: make([]int, len(kws)),
-		words:  make([]string, len(kws)),
-		counts: make([]int32, len(kws)),
-		others: make([][]groupEntry, len(kws)-1),
-		pos:    make([]int, len(kws)-1),
+	sc.resetGroups()
+	cand := &sc.cand
+	choice, words, odo := cand.choice, cand.words, cand.odo
+	for i := range kws {
+		odo[i] = 0
+		choice[i] = present[i][0]
+		words[i] = kws[i].Variants[choice[i]].Word
 	}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(kws) {
-			e.scoreCandidate(kws, scratch, occ, groups, typeCache, acc, st, tm)
+	for {
+		e.scoreCandidate(kws, sc, acc, st, tm)
+		i := len(kws) - 1
+		for i >= 0 {
+			odo[i]++
+			if odo[i] < len(present[i]) {
+				choice[i] = present[i][odo[i]]
+				words[i] = kws[i].Variants[choice[i]].Word
+				break
+			}
+			odo[i] = 0
+			choice[i] = present[i][0]
+			words[i] = kws[i].Variants[choice[i]].Word
+			i--
+		}
+		if i < 0 {
 			return
 		}
-		for _, idx := range present[i] {
-			scratch.choice[i] = idx
-			scratch.words[i] = kws[i].Variants[idx].Word
-			rec(i + 1)
-		}
 	}
-	rec(0)
 }
 
 // candScratch holds per-enumeration buffers reused across candidates.
@@ -900,37 +907,37 @@ type candScratch struct {
 	words  []string
 	keyBuf []byte
 	counts []int32
+	odo    []int
 	others [][]groupEntry
 	pos    []int
 }
 
 // group returns this subtree's occurrences of (keyword kw, variant
 // idx), grouped by entity root at the given depth (lazily computed).
-func (e *Engine) group(
-	groups map[groupKey][]groupEntry,
-	occ []map[int][]invindex.Posting,
-	kw, idx, depth int,
-) []groupEntry {
+// Occurrences arrive in document order, so equal roots are adjacent;
+// adjacency is detected by comparing Dewey prefixes (alias slices), and
+// the root key string is materialized only once per distinct root.
+func (e *Engine) group(sc *scanScratch, kw, idx, depth int) []groupEntry {
 	k := groupKey{kw, idx, depth}
-	if g, ok := groups[k]; ok {
+	if g, ok := sc.groups[k]; ok {
 		return g
 	}
-	var g []groupEntry
-	for _, p := range occ[kw][idx] {
+	g := sc.newGroup()
+	var prev xmltree.Dewey
+	for _, p := range sc.occ[kw].byVariant[idx] {
 		if p.Dewey.Depth() < depth {
 			continue
 		}
-		rk := p.Dewey.Truncate(depth).Key()
-		path := e.ix.Paths.Ancestor(p.Path, depth)
-		// Occurrences arrive in document order, so equal roots are
-		// adjacent.
-		if n := len(g); n > 0 && g[n-1].rootKey == rk {
-			g[n-1].count += p.TF
-		} else {
-			g = append(g, groupEntry{rootKey: rk, path: path, count: p.TF})
+		root := p.Dewey.Truncate(depth)
+		if prev != nil && root.Compare(prev) == 0 {
+			g[len(g)-1].count += p.TF
+			continue
 		}
+		path := e.ix.Paths.Ancestor(p.Path, depth)
+		g = append(g, groupEntry{rootKey: root.Key(), path: path, count: p.TF})
+		prev = root
 	}
-	groups[k] = g
+	sc.groups[k] = g
 	return g
 }
 
@@ -938,30 +945,28 @@ func (e *Engine) group(
 // variant indices) within the current subtree's occurrences.
 func (e *Engine) scoreCandidate(
 	kws []Keyword,
-	sc *candScratch,
-	occ []map[int][]invindex.Posting,
-	groups map[groupKey][]groupEntry,
-	typeCache map[string]xmltree.PathID,
+	sc *scanScratch,
 	acc *accumulators,
 	st *Stats,
 	tm *obs.StageDurations,
 ) {
 	st.CandidatesSeen++
-	choice, words := sc.choice, sc.words
-	buf := sc.keyBuf[:0]
+	cand := &sc.cand
+	choice, words := cand.choice, cand.words
+	buf := cand.keyBuf[:0]
 	for i, w := range words {
 		if i > 0 {
 			buf = append(buf, 0)
 		}
 		buf = append(buf, w...)
 	}
-	sc.keyBuf = buf
+	cand.keyBuf = buf
 
 	var t0 time.Time
 	if tm != nil {
 		t0 = time.Now()
 	}
-	resType, cached := typeCache[string(buf)] // no alloc: map lookup
+	resType, cached := sc.typeCache[string(buf)] // no alloc: map lookup
 	if cached {
 		st.TypeCacheHits++
 	} else {
@@ -971,7 +976,7 @@ func (e *Engine) scoreCandidate(
 			best = xmltree.InvalidPath
 		}
 		resType = best
-		typeCache[string(buf)] = resType
+		sc.typeCache[string(buf)] = resType
 	}
 	if tm != nil {
 		tm[obs.StageTypeInfer] += time.Since(t0)
@@ -982,18 +987,40 @@ func (e *Engine) scoreCandidate(
 		return
 	}
 	dp := e.ix.Paths.Depth(resType)
+	norm := e.prior.normFor(resType)
+	if norm == 0 {
+		return
+	}
+	weight := 1.0
+	for i, idx := range choice {
+		weight *= kws[i].Variants[idx].Weight
+	}
 
 	// Intersect the per-keyword entity groupings at depth dp,
 	// restricted to roots whose label path is the result type. The
 	// first keyword's group drives the scan; the rest are probed in
 	// order (all groups are in document order).
-	base := e.group(groups, occ, 0, choice[0], dp)
+	base := e.group(sc, 0, choice[0], dp)
 	if len(base) == 0 {
 		return
 	}
-	others := sc.others
+
+	// γ early termination (Section V-D, applied before the work it
+	// saves): under the uniform prior every matched entity contributes
+	// prior weight 1 × QueryProb ≤ 1, so this subtree's contribution to
+	// a new candidate's estimate is at most weight/norm · |base|. If
+	// even that bound cannot beat the current victim, add would reject
+	// the candidate — skip the remaining grouping and intersection work.
+	// The decision is identical to add's, so results do not change.
+	if e.cfg.Prior == PriorUniform &&
+		acc.wouldReject(buf, weight/norm*float64(len(base))) {
+		st.Evictions++
+		return
+	}
+
+	others := cand.others
 	for i := 1; i < len(kws); i++ {
-		others[i-1] = e.group(groups, occ, i, choice[i], dp)
+		others[i-1] = e.group(sc, i, choice[i], dp)
 		if len(others[i-1]) == 0 {
 			return
 		}
@@ -1002,8 +1029,8 @@ func (e *Engine) scoreCandidate(
 	var sum, bgMatched float64
 	matched := 0
 	witness := ""
-	counts := sc.counts
-	pos := sc.pos
+	counts := cand.counts
+	pos := cand.pos
 	for i := range pos {
 		pos[i] = 0
 	}
@@ -1042,16 +1069,8 @@ func (e *Engine) scoreCandidate(
 		return
 	}
 
-	norm := e.prior.normFor(resType)
-	if norm == 0 {
-		return
-	}
-	weight := 1.0
-	for i, idx := range choice {
-		weight *= kws[i].Variants[idx].Weight
-	}
 	before := acc.evictions
-	acc.add(string(buf), words, choice, resType, weight/norm, sum, bgMatched, matched, witness)
+	acc.add(buf, words, choice, resType, weight/norm, sum, bgMatched, matched, witness)
 	st.Evictions += acc.evictions - before
 }
 

@@ -143,7 +143,13 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 	}
 	ps.TypeNorms = norms
 
-	if acc == nil || acc.len() == 0 {
+	if acc == nil {
+		return ps, st, nil
+	}
+	// The candidates below hold the accumulators' words; only the
+	// table's storage is recycled.
+	defer acc.release()
+	if acc.len() == 0 {
 		return ps, st, nil
 	}
 

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+
+	"xclean/internal/invindex"
+	"xclean/internal/xmltree"
+)
+
+// scanScratch bundles every reusable buffer of one scan shard: merged
+// lists, the per-shard result-type cache, the per-anchor occurrence
+// maps, and the candidate-enumeration scratch. One query allocated all
+// of these fresh (some once per anchor subtree); pooling them makes the
+// steady-state scan nearly allocation-free. A scratch is owned by
+// exactly one shard for the duration of one scan and returned to the
+// pool when the shard finishes.
+type scanScratch struct {
+	lists  []*invindex.MergedList
+	tokens []string
+	// typeCache memoizes result-type inference per candidate key. It is
+	// cleared on release: the pool is shared across engines, and a type
+	// cached against one index is wrong for another.
+	typeCache map[string]xmltree.PathID
+	// occ[i] collects postings of keyword i's variants inside the
+	// current anchor subtree, densely indexed by variant ordinal.
+	occ []occSet
+	// present[i] lists the variant indices of keyword i observed in the
+	// current subtree, sorted.
+	present [][]int
+	// groups caches the per-(keyword, variant, depth) entity groupings
+	// of the current subtree; reset per anchor, retiring value slices to
+	// free for reuse.
+	groups map[groupKey][]groupEntry
+	free   [][]groupEntry
+	cand   candScratch
+}
+
+// occSet is one keyword's per-anchor occurrence table: byVariant[v]
+// lists the postings of variant v inside the current subtree, and
+// touched lists the variants with at least one posting. Dense slice
+// indexing replaces the map the scan previously rebuilt per anchor —
+// variant ordinals are small and contiguous, and the touched list makes
+// reset cost proportional to the postings actually collected, so the
+// buffers stay warm across anchors and scans with no per-anchor
+// hashing at all. Invariant: every byVariant entry not in touched has
+// length 0.
+type occSet struct {
+	byVariant [][]invindex.Posting
+	touched   []int
+}
+
+// size prepares the set for a keyword with nv variants. Entries beyond
+// a previous scan's length are zero-length by the reset invariant.
+func (o *occSet) size(nv int) {
+	if cap(o.byVariant) < nv {
+		b := make([][]invindex.Posting, nv)
+		copy(b, o.byVariant)
+		o.byVariant = b
+	}
+	o.byVariant = o.byVariant[:nv]
+	o.touched = o.touched[:0]
+}
+
+// reset empties the set for the next anchor, truncating in place so
+// posting buffers keep their capacity.
+func (o *occSet) reset() {
+	for _, v := range o.touched {
+		o.byVariant[v] = o.byVariant[v][:0]
+	}
+	o.touched = o.touched[:0]
+}
+
+// add records one posting of variant v.
+func (o *occSet) add(v int, p invindex.Posting) {
+	s := o.byVariant[v]
+	if len(s) == 0 {
+		o.touched = append(o.touched, v)
+	}
+	o.byVariant[v] = append(s, p)
+}
+
+var scanPool = sync.Pool{New: func() interface{} {
+	return &scanScratch{
+		typeCache: make(map[string]xmltree.PathID),
+		groups:    make(map[groupKey][]groupEntry),
+	}
+}}
+
+// getScanScratch returns a scratch sized for nk keywords.
+func getScanScratch(nk int) *scanScratch {
+	s := scanPool.Get().(*scanScratch)
+	if cap(s.lists) < nk {
+		s.lists = make([]*invindex.MergedList, nk)
+	}
+	s.lists = s.lists[:nk]
+	if cap(s.occ) < nk {
+		occ := make([]occSet, nk)
+		copy(occ, s.occ)
+		s.occ = occ
+	}
+	s.occ = s.occ[:nk]
+	if cap(s.present) < nk {
+		s.present = make([][]int, nk)
+	}
+	s.present = s.present[:nk]
+	s.cand.size(nk)
+	return s
+}
+
+// release returns the scratch to the pool. Index-specific state (the
+// type cache, merged-list cursors) is dropped; capacity-bearing buffers
+// are kept warm.
+func (s *scanScratch) release() {
+	clear(s.typeCache)
+	for i := range s.lists {
+		s.lists[i] = nil
+	}
+	for i := range s.occ {
+		s.occ[i].reset() // restore the all-empty invariant
+	}
+	s.resetGroups()
+	scanPool.Put(s)
+}
+
+// resetGroups empties the per-anchor grouping cache, retiring the
+// value slices for reuse by newGroup.
+func (s *scanScratch) resetGroups() {
+	if len(s.groups) == 0 {
+		return
+	}
+	for _, g := range s.groups {
+		if cap(g) > 0 {
+			s.free = append(s.free, g[:0])
+		}
+	}
+	clear(s.groups)
+}
+
+// newGroup returns an empty grouping slice, reusing a retired one when
+// available.
+func (s *scanScratch) newGroup() []groupEntry {
+	if n := len(s.free); n > 0 {
+		g := s.free[n-1]
+		s.free = s.free[:n-1]
+		return g
+	}
+	return nil
+}
+
+// size grows the candidate scratch to nk keywords.
+func (c *candScratch) size(nk int) {
+	if cap(c.choice) < nk {
+		c.choice = make([]int, nk)
+		c.words = make([]string, nk)
+		c.counts = make([]int32, nk)
+		c.odo = make([]int, nk)
+		c.others = make([][]groupEntry, nk)
+		c.pos = make([]int, nk)
+	}
+	c.choice = c.choice[:nk]
+	c.words = c.words[:nk]
+	c.counts = c.counts[:nk]
+	c.odo = c.odo[:nk]
+	if nk > 0 {
+		c.others = c.others[:nk-1]
+		c.pos = c.pos[:nk-1]
+	}
+}

@@ -1,0 +1,74 @@
+package editdist
+
+import "testing"
+
+// Representative verification pairs: FastSS candidate checks are
+// short vocabulary words within a couple of edits of the query.
+var benchPairs = [][2]string{
+	{"architecure", "architecture"},
+	{"probabilistc", "probabilistic"},
+	{"databse", "database"},
+	{"kitten", "sitting"},
+	{"suggestion", "suggestions"},
+}
+
+var benchUnicodePairs = [][2]string{
+	{"naïveté", "naivete"},
+	{"日本語の検索", "日本誤の検索"},
+	{"größenordnung", "grossenordnung"},
+}
+
+func BenchmarkEditDistMyers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		WithinK(p[0], p[1], 2)
+	}
+}
+
+func BenchmarkEditDistMyersDistance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		Distance(p[0], p[1])
+	}
+}
+
+func BenchmarkEditDistBandedGeneric(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPairs[i%len(benchPairs)]
+		withinKGeneric(p[0], p[1], 2)
+	}
+}
+
+func BenchmarkEditDistUnicode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchUnicodePairs[i%len(benchUnicodePairs)]
+		WithinK(p[0], p[1], 2)
+	}
+}
+
+// TestWithinKZeroAllocs pins the allocation-free contract of the hot
+// verification path, for both the Myers and the pooled-DP fallback.
+func TestWithinKZeroAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(200, func() {
+		WithinK("architecure", "architecture", 2)
+	}); n != 0 {
+		t.Errorf("ASCII WithinK allocates %.1f per call, want 0", n)
+	}
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop Puts; pooled fallback can't be alloc-free")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		WithinK("naïveté", "naivete", 2)
+	}); n != 0 {
+		t.Errorf("Unicode WithinK allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		Distance("naïveté", "naivete")
+	}); n != 0 {
+		t.Errorf("Unicode Distance allocates %.1f per call, want 0", n)
+	}
+}

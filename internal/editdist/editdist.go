@@ -4,19 +4,168 @@
 //
 // The edit operations are insertion, deletion, and substitution of a
 // single character, as in Section III.
+//
+// Two implementations back the exported API. ASCII inputs whose
+// shorter side fits in a 64-bit word run the bit-parallel algorithm of
+// Myers (JACM 1999, in Hyyrö's formulation): one word of bitwise
+// operations per text character, no DP rows at all. Everything else —
+// non-ASCII input or words longer than 64 runes — falls back to the
+// classic (banded) dynamic program over pooled scratch rows. Both
+// paths are allocation-free in steady state: candidate verification is
+// the hot loop of suggestion serving, and per-call []rune and row
+// allocations were a measurable share of its cost.
 package editdist
+
+import "sync"
+
+// myersMaxLen is the longest pattern the bit-parallel kernel handles:
+// one bit per pattern rune in a single 64-bit word.
+const myersMaxLen = 64
 
 // Distance returns the Levenshtein distance between a and b.
 func Distance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	// b is the shorter string; it is the Myers pattern (one bit per
+	// rune). For ASCII, rune count == byte count, so the length checks
+	// are exact.
+	if len(b) <= myersMaxLen && isASCII(a) && isASCII(b) {
+		return myers64(b, a, -1)
+	}
+	return distanceGeneric(a, b)
+}
+
+// WithinK reports whether ed(a,b) ≤ k, and if so returns the exact
+// distance. ASCII inputs run the bit-parallel kernel with a cutoff;
+// the fallback evaluates only a diagonal band of width 2k+1, so it
+// runs in O(k·min(|a|,|b|)) time, and exits early when every cell of a
+// row exceeds k.
+func WithinK(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) <= myersMaxLen && isASCII(a) && isASCII(b) {
+		if len(a)-len(b) > k {
+			return 0, false
+		}
+		d := myers64(b, a, k)
+		if d > k {
+			return 0, false
+		}
+		return d, true
+	}
+	return withinKGeneric(a, b, k)
+}
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// myers64 computes ed(pattern, text) for ASCII strings with
+// len(pattern) ≤ 64, in O(|text|) word operations (Myers 1999 /
+// Hyyrö 2001). The vertical delta of the last DP row is kept in two
+// bit vectors (pv: +1 positions, mv: −1 positions); each text
+// character updates them with a handful of bitwise operations and
+// adjusts the running score of the bottom-right cell.
+//
+// k ≥ 0 enables a cutoff: the score changes by at most 1 per column,
+// so once score − (columns remaining) exceeds k the final distance
+// must too, and the scan stops, returning k+1 (any value > k; callers
+// gate on > k). k < 0 disables the cutoff and the result is exact.
+func myers64(pattern, text string, k int) int {
+	m := len(pattern)
+	if m == 0 {
+		if k >= 0 && len(text) > k {
+			return k + 1
+		}
+		return len(text)
+	}
+	// peq[c] has bit i set iff pattern[i] == c. The array lives on the
+	// stack; zeroing 1 KiB is far cheaper than a heap-allocated map or
+	// DP row.
+	var peq [128]uint64
+	for i := 0; i < m; i++ {
+		peq[pattern[i]] |= 1 << uint(i)
+	}
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	last := uint64(1) << uint(m-1)
+	n := len(text)
+	for j := 0; j < n; j++ {
+		eq := peq[text[j]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if k >= 0 && score-(n-1-j) > k {
+			return k + 1
+		}
+	}
+	return score
+}
+
+// dpScratch holds the rune and DP-row buffers of one fallback
+// computation, pooled so steady-state calls allocate nothing.
+type dpScratch struct {
+	ra, rb    []rune
+	prev, cur []int
+}
+
+var dpPool = sync.Pool{New: func() interface{} { return new(dpScratch) }}
+
+// appendRunes decodes s into dst (reusing its capacity).
+func appendRunes(dst []rune, s string) []rune {
+	for _, r := range s {
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// rows returns zero-length prev/cur row buffers with capacity ≥ n.
+func (s *dpScratch) rows(n int) ([]int, []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.cur = make([]int, n)
+	}
+	return s.prev[:n], s.cur[:n]
+}
+
+// distanceGeneric is the classic two-row dynamic program over code
+// points, used when the bit-parallel kernel does not apply.
+func distanceGeneric(a, b string) int {
+	s := dpPool.Get().(*dpScratch)
+	ra := appendRunes(s.ra[:0], a)
+	rb := appendRunes(s.rb[:0], b)
+	s.ra, s.rb = ra, rb
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}
 	if len(rb) == 0 {
-		return len(ra)
+		d := len(ra)
+		dpPool.Put(s)
+		return d
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev, cur := s.rows(len(rb) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -31,31 +180,33 @@ func Distance(a, b string) int {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[len(rb)]
+	d := prev[len(rb)]
+	dpPool.Put(s)
+	return d
 }
 
-// WithinK reports whether ed(a,b) ≤ k, and if so returns the exact
-// distance. It evaluates only a diagonal band of width 2k+1, so it runs
-// in O(k·min(|a|,|b|)) time, and exits early when every cell of a row
-// exceeds k.
-func WithinK(a, b string, k int) (int, bool) {
-	if k < 0 {
-		return 0, false
-	}
-	ra, rb := []rune(a), []rune(b)
+// withinKGeneric is the banded dynamic program, used when the
+// bit-parallel kernel does not apply.
+func withinKGeneric(a, b string, k int) (int, bool) {
+	s := dpPool.Get().(*dpScratch)
+	ra := appendRunes(s.ra[:0], a)
+	rb := appendRunes(s.rb[:0], b)
+	s.ra, s.rb = ra, rb
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}
 	if len(ra)-len(rb) > k {
+		dpPool.Put(s)
 		return 0, false
 	}
 	if len(rb) == 0 {
-		return len(ra), len(ra) <= k
+		d := len(ra)
+		dpPool.Put(s)
+		return d, d <= k
 	}
 
 	const inf = int(^uint(0) >> 2)
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev, cur := s.rows(len(rb) + 1)
 	for j := range prev {
 		if j <= k {
 			prev[j] = j
@@ -73,6 +224,7 @@ func WithinK(a, b string, k int) (int, bool) {
 			hi = len(rb)
 		}
 		if lo > hi {
+			dpPool.Put(s)
 			return 0, false
 		}
 		if lo == 1 {
@@ -107,11 +259,13 @@ func WithinK(a, b string, k int) (int, bool) {
 			}
 		}
 		if rowMin > k {
+			dpPool.Put(s)
 			return 0, false
 		}
 		prev, cur = cur, prev
 	}
 	d := prev[len(rb)]
+	dpPool.Put(s)
 	if d > k {
 		return 0, false
 	}

@@ -1,0 +1,118 @@
+package editdist
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// naiveDistance is the textbook full-matrix Levenshtein, the oracle
+// for the differential fuzz test. It shares no code with the package
+// implementations.
+func naiveDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	rows := make([][]int, len(ra)+1)
+	for i := range rows {
+		rows[i] = make([]int, len(rb)+1)
+		rows[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		rows[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			rows[i][j] = minInt(rows[i-1][j]+1, rows[i][j-1]+1, rows[i-1][j-1]+cost)
+		}
+	}
+	return rows[len(ra)][len(rb)]
+}
+
+// FuzzEditDist asserts that every implementation — the dispatching
+// Distance, the generic DP, the banded WithinK (both dispatched and
+// generic), and the Myers bit-parallel kernel where it applies —
+// agrees with the naive oracle on arbitrary inputs and thresholds
+// k ∈ [0,4], in both argument orders.
+func FuzzEditDist(f *testing.F) {
+	seeds := []struct {
+		a, b string
+		k    int
+	}{
+		{"", "", 0},
+		{"", "abc", 2},
+		{"kitten", "sitting", 3},
+		{"architecure", "architecture", 1},
+		{"naïve", "naive", 2},
+		{"日本語", "日本誤", 1},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "a", 4},
+		{"ab\x01cd", "abcd", 1},
+	}
+	for _, s := range seeds {
+		f.Add(s.a, s.b, s.k)
+	}
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if !utf8.ValidString(a) || !utf8.ValidString(b) {
+			t.Skip("invalid UTF-8")
+		}
+		if len(a) > 256 || len(b) > 256 {
+			t.Skip("oversized")
+		}
+		k = ((k % 5) + 5) % 5 // clamp to [0,4]
+
+		want := naiveDistance(a, b)
+		for _, pair := range [][2]string{{a, b}, {b, a}} {
+			x, y := pair[0], pair[1]
+			if got := Distance(x, y); got != want {
+				t.Fatalf("Distance(%q,%q) = %d, want %d", x, y, got, want)
+			}
+			if got := distanceGeneric(x, y); got != want {
+				t.Fatalf("distanceGeneric(%q,%q) = %d, want %d", x, y, got, want)
+			}
+
+			d, ok := WithinK(x, y, k)
+			if want <= k && (!ok || d != want) {
+				t.Fatalf("WithinK(%q,%q,%d) = (%d,%v), want (%d,true)", x, y, k, d, ok, want)
+			}
+			if want > k && ok {
+				t.Fatalf("WithinK(%q,%q,%d) accepted distance %d", x, y, k, want)
+			}
+
+			// The generic banded path must agree even on inputs the
+			// dispatcher would hand to Myers.
+			lx, ly := x, y
+			if len(lx) < len(ly) {
+				lx, ly = ly, lx
+			}
+			d, ok = withinKGeneric(lx, ly, k)
+			if want <= k && (!ok || d != want) {
+				t.Fatalf("withinKGeneric(%q,%q,%d) = (%d,%v), want (%d,true)", lx, ly, k, d, ok, want)
+			}
+			if want > k && ok {
+				t.Fatalf("withinKGeneric(%q,%q,%d) accepted distance %d", lx, ly, k, want)
+			}
+
+			// Myers kernel, where applicable: exact without cutoff, and
+			// gate-consistent with the cutoff.
+			if isASCII(x) && isASCII(y) {
+				pat, txt := x, y
+				if len(pat) > len(txt) {
+					pat, txt = txt, pat
+				}
+				if len(pat) <= myersMaxLen {
+					if got := myers64(pat, txt, -1); got != want {
+						t.Fatalf("myers64(%q,%q,-1) = %d, want %d", pat, txt, got, want)
+					}
+					got := myers64(pat, txt, k)
+					if want <= k && got != want {
+						t.Fatalf("myers64(%q,%q,%d) = %d, want %d", pat, txt, k, got, want)
+					}
+					if want > k && got <= k {
+						t.Fatalf("myers64(%q,%q,%d) = %d, want > %d", pat, txt, k, got, k)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package editdist
+
+const raceEnabled = false

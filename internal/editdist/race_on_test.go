@@ -1,0 +1,7 @@
+//go:build race
+
+package editdist
+
+// Under the race detector sync.Pool deliberately drops a fraction of
+// Puts, so the pooled fallback cannot be allocation-free there.
+const raceEnabled = true

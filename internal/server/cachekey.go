@@ -1,0 +1,52 @@
+package server
+
+import "encoding/binary"
+
+// Suggestion-cache key modes. The mode byte separates the keyspaces of
+// the three answer shapes a server can cache for the same (corpus,
+// query) pair — they are computed differently and must never shadow
+// one another.
+const (
+	// cacheModeQuery is a standalone suggest answer.
+	cacheModeQuery byte = 'q'
+	// cacheModeSpaces is a standalone answer with space-error search.
+	cacheModeSpaces byte = 's'
+	// cacheModeCluster is a coordinator scatter-gather answer.
+	cacheModeCluster byte = 'c'
+)
+
+// suggestCacheKey encodes one suggestion-cache key as
+//
+//	uvarint(len(corpus)) || corpus || mode || query
+//
+// Every cache path (standalone, space search, coordinator) encodes
+// through here, so per-corpus invalidation — ClearPrefix with
+// corpusCachePrefix — reaches all of them by construction. The corpus
+// component is length-prefixed rather than delimited: query text is
+// user-controlled and may contain any byte (URL-encoded), so with a
+// delimiter a default-corpus query could forge another corpus's
+// prefix and be served, or dropped, across corpus boundaries.
+func suggestCacheKey(mode byte, corpus, query string) string {
+	var pfx [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(len(corpus)))
+	b := make([]byte, 0, n+len(corpus)+1+len(query))
+	b = append(b, pfx[:n]...)
+	b = append(b, corpus...)
+	b = append(b, mode)
+	b = append(b, query...)
+	return string(b)
+}
+
+// corpusCachePrefix is the shared prefix of every cache key of one
+// corpus, across all modes. The uvarint length makes the prefix
+// unambiguous: one varint encoding is never a proper prefix of
+// another (the final byte of a varint has its continuation bit clear,
+// so the encodings of two different lengths diverge within the
+// varint), and equal lengths force byte-equal corpus names. Hence
+// ClearPrefix(corpusCachePrefix(a)) can only ever drop corpus a's
+// entries.
+func corpusCachePrefix(corpus string) string {
+	var pfx [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(len(corpus)))
+	return string(pfx[:n]) + corpus
+}

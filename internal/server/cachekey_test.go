@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xclean/internal/catalog"
+	"xclean/internal/cluster"
+)
+
+// The key-collision regression: the old scheme joined corpus and query
+// with a "\x01" delimiter, and the default corpus contributed no
+// prefix at all — so a default-corpus query whose text contained
+// "\x01" produced byte-for-byte the same key as a named-corpus query.
+// The length-prefixed encoding keeps the keyspaces disjoint no matter
+// what bytes the query carries.
+func TestSuggestCacheKeyCollisions(t *testing.T) {
+	cases := []struct {
+		name        string
+		modeA       byte
+		corpusA, qA string
+		modeB       byte
+		corpusB, qB string
+	}{
+		// The historical collision: default-corpus query forging a
+		// named-corpus key (old keys: "a\x01x" == "a\x01x").
+		{"default vs named", cacheModeQuery, "", "a\x01x", cacheModeQuery, "a", "x"},
+		// And the reverse shape: corpus name absorbing query bytes.
+		{"corpus boundary shift", cacheModeQuery, "ab", "x", cacheModeQuery, "a", "b\x01x"},
+		// Same (corpus, query), different answer shapes.
+		{"mode separation", cacheModeQuery, "a", "x", cacheModeCluster, "a", "x"},
+		{"spaces separation", cacheModeQuery, "a", "x", cacheModeSpaces, "a", "x"},
+	}
+	for _, c := range cases {
+		kA := suggestCacheKey(c.modeA, c.corpusA, c.qA)
+		kB := suggestCacheKey(c.modeB, c.corpusB, c.qB)
+		if kA == kB {
+			t.Errorf("%s: keys collide: %q", c.name, kA)
+		}
+	}
+}
+
+// corpusCachePrefix must match exactly the keys of its own corpus:
+// every mode of that corpus, and nothing of any other corpus — in
+// particular not a corpus whose name extends it, and not the default
+// corpus even when a query starts with the corpus name.
+func TestCorpusCachePrefixDisjoint(t *testing.T) {
+	modes := []byte{cacheModeQuery, cacheModeSpaces, cacheModeCluster}
+	for _, m := range modes {
+		if !strings.HasPrefix(suggestCacheKey(m, "a", "x"), corpusCachePrefix("a")) {
+			t.Errorf("mode %q key of corpus a escapes its own prefix", m)
+		}
+	}
+	foreign := []struct {
+		name      string
+		mode      byte
+		corpus, q string
+	}{
+		{"extending corpus name", cacheModeQuery, "ab", "x"},
+		{"default corpus, query opens with name", cacheModeQuery, "", "a\x01x"},
+		{"default corpus, query equals name", cacheModeQuery, "", "a"},
+	}
+	pfx := corpusCachePrefix("a")
+	for _, f := range foreign {
+		if strings.HasPrefix(suggestCacheKey(f.mode, f.corpus, f.q), pfx) {
+			t.Errorf("%s: key falls under corpus a's invalidation prefix", f.name)
+		}
+	}
+}
+
+// coordCatalogServer stands up a shard serving corpus "a" from its own
+// catalog, and a coordinator in front of it that also carries a
+// catalog for the same corpus plus a suggestion cache. Returns the
+// coordinator's test server and the path of the coordinator's copy of
+// a.xml (rewriting it + reload triggers the catalog swap hook).
+func coordCatalogServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	newCat := func(dir string) (*catalog.Catalog, string) {
+		cat := catalog.New(catalog.Config{SnapshotDir: filepath.Join(dir, "snapshots")})
+		path := filepath.Join(dir, "a.xml")
+		if err := os.WriteFile(path, []byte(catCorpusA), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.Add("a", path); err != nil {
+			t.Fatal(err)
+		}
+		return cat, path
+	}
+	shardCat, _ := newCat(t.TempDir())
+	shard := httptest.NewServer(New(nil, Config{Catalog: shardCat}).Handler())
+	t.Cleanup(shard.Close)
+	coord, err := cluster.New(cluster.Config{
+		Shards:  []string{shard.URL},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordCat, path := newCat(t.TempDir())
+	ts := httptest.NewServer(New(nil, Config{
+		Cluster:   coord,
+		Catalog:   coordCat,
+		CacheSize: 8,
+	}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, path
+}
+
+// The coordinator stale-cache regression: coordinator cache entries
+// were keyed under a private "\x02"-prefixed scheme that the per-corpus
+// invalidation prefix (corpus + "\x01") could never match, so a corpus
+// reload on a coordinator left its scatter-gather answers resident —
+// the hot query kept serving pre-reload suggestions forever. With the
+// shared encoder, the swap hook's prefix sweep reaches coordinator
+// entries too.
+func TestCatalogSwapInvalidatesCoordinatorCache(t *testing.T) {
+	ts, path := coordCatalogServer(t)
+
+	shardCount := func(body []byte) int {
+		var sr SuggestResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatalf("bad suggest body %s: %v", body, err)
+		}
+		return len(sr.Shards)
+	}
+
+	// Cold request fans out; the repeat is a cache hit (no statuses).
+	_, body := get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if shardCount(body) == 0 {
+		t.Fatalf("cold coordinator request reported no shard statuses: %s", body)
+	}
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if shardCount(body) != 0 {
+		t.Fatalf("repeat request was not served from the coordinator cache: %s", body)
+	}
+
+	// Hot-swap corpus a in the coordinator's catalog. The swap hook
+	// must drop the coordinator's cached answer for corpus a.
+	if err := os.WriteFile(path, []byte(catCorpusB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/corpora?name=a&action=reload")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, body)
+	}
+
+	// The hot query must fan out again: a cache hit here means the
+	// reload left the stale scatter-gather answer resident.
+	_, body = get(t, ts.URL+"/suggest?q=rose+fpga&corpus=a")
+	if shardCount(body) == 0 {
+		t.Errorf("corpus reload did not invalidate the coordinator cache: %s", body)
+	}
+}

@@ -129,9 +129,10 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 	start := time.Now()
 	cacheKey := ""
 	if s.cache != nil {
-		// The \x02 prefix keeps coordinator entries disjoint from any
-		// local-engine entries (no corpus name ever contains \x02).
-		cacheKey = "\x02" + corpus + "\x01" + q
+		// The mode byte keeps coordinator entries disjoint from any
+		// local-engine entries while sharing the per-corpus prefix, so
+		// invalidateCorpus reaches these too.
+		cacheKey = suggestCacheKey(cacheModeCluster, corpus, q)
 		// debug=1 bypasses the cache so the per-shard statuses reflect a
 		// real fan-out.
 		if !debug {

@@ -275,13 +275,14 @@ func (s *Server) Addr() string { return s.cfg.addr() }
 // invalidateCorpus drops every cached suggestion list of one corpus.
 // It is registered as the catalog's swap hook, so a hot-swap, reload,
 // document mutation, eviction, or removal immediately stops serving
-// the old engine's answers. Catalog-mode cache keys always start with
-// "<corpus>\x01", so the prefix never matches another corpus.
+// the old engine's answers. All cache keys of a corpus — standalone,
+// space search, and coordinator alike — share corpusCachePrefix, so
+// one prefix sweep reaches every mode and never another corpus.
 func (s *Server) invalidateCorpus(name string) {
 	if s.cache == nil {
 		return
 	}
-	s.cache.ClearPrefix(name + "\x01")
+	s.cache.ClearPrefix(corpusCachePrefix(name))
 }
 
 // resolveEngine picks the engine serving this request: the catalog
@@ -407,15 +408,14 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	cacheKey := ""
 	cached := false
 	if s.cache != nil {
-		cacheKey = q
-		if spaces {
-			cacheKey = "s\x00" + q
-		}
 		// The cache is shared across corpora; the key carries the corpus
-		// so identical query text never crosses corpus boundaries.
-		if corpus != "" {
-			cacheKey = corpus + "\x01" + cacheKey
+		// (length-prefixed, see suggestCacheKey) so identical query text
+		// never crosses corpus boundaries.
+		mode := cacheModeQuery
+		if spaces {
+			mode = cacheModeSpaces
 		}
+		cacheKey = suggestCacheKey(mode, corpus, q)
 		// debug=1 bypasses the cache entirely (read below, write after
 		// the call): a trace must reflect a real engine execution, not a
 		// map lookup, and a debug run must not overwrite entries regular
