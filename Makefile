@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke trace-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # and run the test suite under the race detector (the parallel scan
@@ -83,3 +83,10 @@ cluster-smoke:
 # Retry-After and the JSON error envelope, then a 200 after the burst.
 shed-smoke:
 	./scripts/shed_smoke.sh
+
+# End-to-end distributed-tracing smoke test: 2 shard servers (one
+# artificially slowed with -inject-delay) + 1 tracing coordinator; the
+# tail sampler must retain the slow trace and /tracez?id= must serve
+# the stitched coordinator → shard-attempt → shard-stage span tree.
+trace-smoke:
+	./scripts/trace_smoke.sh

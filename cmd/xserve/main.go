@@ -47,6 +47,7 @@ import (
 	"xclean"
 	"xclean/internal/catalog"
 	"xclean/internal/cluster"
+	"xclean/internal/obs"
 	"xclean/internal/qlog"
 	"xclean/internal/server"
 	"xclean/internal/tokenizer"
@@ -83,6 +84,10 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 0, "per-request engine deadline; the scan is abandoned mid-flight when it expires (0 disables; coordinators use -shard-timeout)")
 		maxInfl   = flag.Int("max-inflight", 0, "max concurrent engine scans before requests queue (0 = unlimited)")
 		maxQueue  = flag.Int("max-queue", 0, "max requests waiting for a scan slot; beyond this, shed with 429 (needs -max-inflight)")
+		trSample  = flag.Float64("trace-sample", 0, "head-sampling probability [0,1] for requests without a traceparent header (requests with a sampled traceparent always trace)")
+		trBuffer  = flag.Int("trace-buffer", 0, "tail-sampled trace store capacity in traces; >0 enables tracing and /tracez (0 with -trace-sample 0 disables tracing)")
+		trThr     = flag.Duration("trace-threshold", 0, "latency above which a trace is always retained by the tail sampler (0 = 250ms)")
+		injDelay  = flag.Duration("inject-delay", 0, "fault injection: sleep this long inside every engine scan (testing only)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -236,6 +241,19 @@ func main() {
 		}()
 	}
 
+	var traceStore *obs.TraceStore
+	if *trBuffer > 0 || *trSample > 0 {
+		traceStore = obs.NewTraceStore(obs.TraceStoreConfig{
+			Size:      *trBuffer,
+			Threshold: *trThr,
+		})
+		logger.Info("tracing enabled", "sample", *trSample,
+			"buffer", *trBuffer, "threshold", traceStore.Threshold())
+	}
+	if *injDelay > 0 {
+		logger.Warn("fault injection active: every scan sleeps", "delay", *injDelay)
+	}
+
 	var reqLogger *slog.Logger
 	if !*quiet {
 		reqLogger = logger
@@ -251,6 +269,9 @@ func main() {
 		RequestTimeout: *reqTO,
 		MaxInflight:    *maxInfl,
 		MaxQueue:       *maxQueue,
+		Trace:          traceStore,
+		TraceSample:    *trSample,
+		InjectDelay:    *injDelay,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -55,6 +55,12 @@ type ShardResponse struct {
 	Query      string  `json:"query"`
 	RequestID  string  `json:"requestId,omitempty"`
 	TookMillis float64 `json:"tookMillis"`
+	// TraceSpan is the shard's span subtree (its server span parenting
+	// the engine stage spans) when the request carried a sampled
+	// traceparent; the coordinator stitches it under the attempt span
+	// whose ID it parents to. Absent on untraced requests — the wire
+	// cost of tracing is zero when off.
+	TraceSpan *obs.SpanNode `json:"traceSpan,omitempty"`
 	core.PartialSet
 }
 
@@ -93,6 +99,22 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// AttemptStatus reports one fan-out attempt against one shard — the
+// first try or the hedged retry — so a partial or slow answer is
+// diagnosable from the response envelope alone.
+type AttemptStatus struct {
+	// Attempt is the ordinal (0 = first try, 1 = hedged retry).
+	Attempt int `json:"attempt"`
+	// Hedge marks the hedged retry.
+	Hedge bool `json:"hedge,omitempty"`
+	// State is "ok", "error", "timeout", or "abandoned" (still in
+	// flight when another attempt won or the budget died; its work was
+	// discarded).
+	State      string  `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	TookMillis float64 `json:"tookMillis"`
+}
+
 // ShardStatus reports one shard's outcome within one coordinated
 // request.
 type ShardStatus struct {
@@ -105,6 +127,9 @@ type ShardStatus struct {
 	Candidates int `json:"candidates"`
 	// Hedged reports that the hedged retry fired for this shard.
 	Hedged bool `json:"hedged,omitempty"`
+	// Attempts itemizes every attempt (first try and hedge) with its
+	// own outcome and latency, in launch order.
+	Attempts []AttemptStatus `json:"attempts,omitempty"`
 }
 
 // Result is one coordinated suggestion answer.
@@ -117,6 +142,11 @@ type Result struct {
 	Shards []ShardStatus
 	// Corpus is the corpus name negotiated from shard responses.
 	Corpus string
+	// Spans holds the attempt span trees of a traced request (one
+	// "shard.attempt" client span per attempt, shard subtrees stitched
+	// under winning attempts), in shard order, for the caller to attach
+	// under its server span. Nil on untraced requests.
+	Spans []*obs.SpanNode
 }
 
 // shardMetrics aggregates one shard's fan-out counters across
@@ -218,12 +248,15 @@ func millis(d time.Duration) float64 {
 // min(Config.Timeout, ctx deadline), with one hedged retry per shard),
 // then merge the surviving partial sets in shard order. requestID, when
 // non-empty, is forwarded as X-Request-Id so shard slow-logs correlate
-// with the coordinator's. Shard failures do not produce an error: the
+// with the coordinator's. tc, when non-nil, marks the request sampled:
+// every attempt carries a W3C traceparent header (trace ID from tc, a
+// fresh span ID per attempt) and the result carries the stitched
+// attempt span trees. Shard failures do not produce an error: the
 // result carries Partial=true and per-shard statuses, and with every
 // shard down the suggestion list is empty but the response is still
 // well-formed. The only error is a merge-level inconsistency (shards
 // answering with different keyword arity).
-func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID string) (*Result, error) {
+func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID string, tc *obs.TraceContext) (*Result, error) {
 	if corpus == "" {
 		corpus = c.cfg.Corpus
 	}
@@ -237,8 +270,9 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 	defer cancel()
 
 	type slot struct {
-		resp *ShardResponse
-		st   ShardStatus
+		resp  *ShardResponse
+		st    ShardStatus
+		spans []*obs.SpanNode
 	}
 	slots := make([]slot, len(c.shards))
 	var wg sync.WaitGroup
@@ -246,8 +280,8 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, st := c.callShard(cctx, i, query, corpus, requestID)
-			slots[i] = slot{resp: resp, st: st}
+			resp, st, spans := c.callShard(cctx, i, query, corpus, requestID, tc)
+			slots[i] = slot{resp: resp, st: st, spans: spans}
 		}(i)
 	}
 	wg.Wait()
@@ -256,6 +290,7 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 	sets := make([]core.PartialSet, 0, len(slots))
 	for i, sl := range slots {
 		res.Shards[i] = sl.st
+		res.Spans = append(res.Spans, sl.spans...)
 		if sl.resp == nil {
 			res.Partial = true
 			continue
@@ -278,35 +313,116 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 	return res, nil
 }
 
+// liveAttempt is callShard's bookkeeping for one launched attempt.
+// Only the coordinating goroutine touches it (launches and channel
+// receives all happen there).
+type liveAttempt struct {
+	span    obs.SpanID // per-attempt span ID (zero when untraced)
+	started time.Time
+	done    bool
+	state   string // "ok", "error" once done
+	err     string
+	took    time.Duration
+}
+
 // callShard runs one shard's fan-out leg: a first attempt, plus at
 // most one hedged retry — fired after hedgeAfter for stragglers, or
 // immediately when the first attempt fails fast (a refused connection
 // should not wait out the hedge delay). The first successful attempt
 // wins; a losing in-flight attempt is abandoned to the context (its
-// goroutine drains into the buffered channel).
-func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, requestID string) (*ShardResponse, ShardStatus) {
+// goroutine drains into the buffered channel). Every attempt is
+// itemized in the returned status; on a traced request (tc non-nil)
+// each attempt also carried its own traceparent and comes back as one
+// "shard.attempt" client span, the winner parenting the shard's
+// returned subtree.
+func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, requestID string, tc *obs.TraceContext) (*ShardResponse, ShardStatus, []*obs.SpanNode) {
 	s := c.shards[i]
 	m := c.metrics[i]
 	m.requests.Add(1)
 	start := time.Now()
 
-	type attempt struct {
+	type outcome struct {
+		ord  int
 		resp *ShardResponse
 		err  error
+		took time.Duration
 	}
-	ch := make(chan attempt, 2)
+	ch := make(chan outcome, 2)
+	var attempts []liveAttempt
 	launch := func() {
-		resp, err := c.fetch(ctx, s, query, corpus, requestID)
-		ch <- attempt{resp: resp, err: err}
+		ord := len(attempts)
+		a := liveAttempt{started: time.Now()}
+		header := ""
+		if tc != nil {
+			a.span = obs.NewSpanID()
+			header = obs.Traceparent(tc.TraceID, a.span, true)
+		}
+		attempts = append(attempts, a)
+		go func() {
+			resp, err := c.fetch(ctx, s, query, corpus, requestID, header)
+			ch <- outcome{ord: ord, resp: resp, err: err, took: time.Since(a.started)}
+		}()
 	}
-	go launch()
+	launch()
+
+	// finish assembles the per-attempt statuses and (when traced) the
+	// attempt spans: completed attempts keep their recorded outcome;
+	// attempts still in flight are marked abandoned with their elapsed
+	// time so far. winner is the winning attempt's ordinal (-1 = none);
+	// the shard's returned subtree is stitched under its span.
+	finish := func(winner int, resp *ShardResponse) ([]AttemptStatus, []*obs.SpanNode) {
+		sts := make([]AttemptStatus, len(attempts))
+		var spans []*obs.SpanNode
+		for j := range attempts {
+			a := &attempts[j]
+			st := AttemptStatus{Attempt: j, Hedge: j > 0}
+			if a.done {
+				st.State, st.Error, st.TookMillis = a.state, a.err, millis(a.took)
+			} else {
+				st.State = "abandoned"
+				st.TookMillis = millis(time.Since(a.started))
+			}
+			sts[j] = st
+			if tc == nil {
+				continue
+			}
+			node := &obs.SpanNode{
+				SpanID:        a.span.String(),
+				ParentSpanID:  tc.Parent.String(),
+				Name:          "shard.attempt",
+				Kind:          "client",
+				StartUnixNano: a.started.UnixNano(),
+				DurationNs:    int64(st.TookMillis * 1e6),
+				Attrs: map[string]string{
+					"shard":   s.Name,
+					"attempt": fmt.Sprintf("%d", j),
+				},
+			}
+			if st.Hedge {
+				node.Attrs["hedge"] = "true"
+			}
+			switch st.State {
+			case "ok":
+			case "error", "timeout":
+				node.Status = st.State
+				node.Error = st.Error
+			default:
+				node.Status = "timeout"
+			}
+			if j == winner && resp != nil && resp.TraceSpan != nil {
+				node.AddChild(resp.TraceSpan)
+			}
+			spans = append(spans, node)
+		}
+		return sts, spans
+	}
 
 	hedge := time.NewTimer(c.hedgeAfter())
 	defer hedge.Stop()
 	hedged := false
 	pending := 1
 	var lastErr error
-	fail := func(state string, err error) ShardStatus {
+	fail := func(state string, err error) (ShardStatus, []*obs.SpanNode) {
 		m.failures.Add(1)
 		if state == "timeout" {
 			m.timeouts.Add(1)
@@ -315,36 +431,44 @@ func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, reque
 		m.lastError.Store(&msg)
 		c.logger.Warn("shard fan-out failed",
 			"shard", s.Name, "state", state, "hedged", hedged, "err", msg)
+		sts, spans := finish(-1, nil)
 		return ShardStatus{
 			Shard:      s.Name,
 			State:      state,
 			Error:      msg,
 			TookMillis: millis(time.Since(start)),
 			Hedged:     hedged,
-		}
+			Attempts:   sts,
+		}, spans
 	}
 	for {
 		select {
 		case a := <-ch:
 			pending--
+			att := &attempts[a.ord]
+			att.done, att.took = true, a.took
 			if a.err == nil {
+				att.state = "ok"
 				took := time.Since(start)
 				m.latency.Record(took)
 				m.sink.ObserveSuggest(took, nil)
+				sts, spans := finish(a.ord, a.resp)
 				return a.resp, ShardStatus{
 					Shard:      s.Name,
 					State:      "ok",
 					TookMillis: millis(took),
 					Candidates: len(a.resp.Candidates),
 					Hedged:     hedged,
-				}
+					Attempts:   sts,
+				}, spans
 			}
+			att.state, att.err = "error", a.err.Error()
 			lastErr = a.err
 			if !hedged && ctx.Err() == nil {
 				hedged = true
 				m.hedges.Add(1)
 				pending++
-				go launch()
+				launch()
 				continue
 			}
 			if pending == 0 {
@@ -352,27 +476,31 @@ func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, reque
 				if ctx.Err() != nil {
 					state = "timeout"
 				}
-				return nil, fail(state, lastErr)
+				st, spans := fail(state, lastErr)
+				return nil, st, spans
 			}
 		case <-hedge.C:
 			if !hedged && ctx.Err() == nil {
 				hedged = true
 				m.hedges.Add(1)
 				pending++
-				go launch()
+				launch()
 			}
 		case <-ctx.Done():
 			err := ctx.Err()
 			if lastErr != nil {
 				err = fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
 			}
-			return nil, fail("timeout", err)
+			st, spans := fail("timeout", err)
+			return nil, st, spans
 		}
 	}
 }
 
 // fetch performs one GET /shard/suggest attempt against one shard.
-func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, requestID string) (*ShardResponse, error) {
+// traceparent, when non-empty, is the attempt's W3C trace context
+// header.
+func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, requestID, traceparent string) (*ShardResponse, error) {
 	u := s.URL + "/shard/suggest?q=" + url.QueryEscape(query)
 	if corpus != "" {
 		u += "&corpus=" + url.QueryEscape(corpus)
@@ -383,6 +511,9 @@ func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, request
 	}
 	if requestID != "" {
 		req.Header.Set("X-Request-Id", requestID)
+	}
+	if traceparent != "" {
+		req.Header.Set("Traceparent", traceparent)
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {

@@ -65,7 +65,7 @@ func TestClusterHTTPParity(t *testing.T) {
 		for _, q := range f.queries {
 			ctx := fmt.Sprintf("shards=%d query=%q", n, q)
 			want := f.full.Suggest(q)
-			res, err := f.coord.Suggest(context.Background(), q, "", "")
+			res, err := f.coord.Suggest(context.Background(), q, "", "", nil)
 			if err != nil {
 				t.Fatalf("%s: %v", ctx, err)
 			}
@@ -100,7 +100,7 @@ func TestClusterKillShard(t *testing.T) {
 	f.servers[1].Close()
 
 	start := time.Now()
-	res, err := f.coord.Suggest(context.Background(), q, "", "")
+	res, err := f.coord.Suggest(context.Background(), q, "", "", nil)
 	if err != nil {
 		t.Fatalf("degraded cluster errored: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestClusterHedgedRetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := coord.Suggest(context.Background(), f.queries[0], "", "")
+	res, err := coord.Suggest(context.Background(), f.queries[0], "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestClusterAllShardsDown(t *testing.T) {
 	f.servers[0].Close()
 	f.servers[1].Close()
 
-	res, err := f.coord.Suggest(context.Background(), f.queries[0], "", "")
+	res, err := f.coord.Suggest(context.Background(), f.queries[0], "", "", nil)
 	if err != nil {
 		t.Fatalf("all-down cluster errored: %v", err)
 	}
@@ -205,7 +205,7 @@ func TestClusterDeadlinePropagation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	res, err := coord.Suggest(ctx, f.queries[0], "", "")
+	res, err := coord.Suggest(ctx, f.queries[0], "", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

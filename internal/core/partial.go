@@ -92,9 +92,32 @@ func (e *Engine) SuggestPartials(query string) (PartialSet, Stats) {
 // shard never keeps scanning for an answer nobody will merge. The
 // returned Stats then report the work done before the stop.
 func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (PartialSet, Stats, error) {
+	ps, st, _, err := e.suggestPartials(ctx, query, false)
+	return ps, st, err
+}
+
+// SuggestPartialsExplainedContext is SuggestPartialsContext plus the
+// stage spans of the call — the shard half of distributed tracing: a
+// traced coordinator request forces stage timing on the shard scan so
+// the shard can return its per-stage subtree in the wire envelope.
+// Like the Explained suggestion variants, it is marginally slower
+// than the plain call (a few clock reads per stage).
+func (e *Engine) SuggestPartialsExplainedContext(ctx context.Context, query string) (PartialSet, Stats, []obs.Span, error) {
+	ps, st, rc, err := e.suggestPartials(ctx, query, true)
+	var spans []obs.Span
+	if err == nil && rc != nil {
+		spans = obs.SpansOf(&rc.stages, rc.workers)
+	}
+	return ps, st, spans, err
+}
+
+// suggestPartials is the shared body of the partials entry points.
+// explain forces a runCtx even without a sink, so stage durations are
+// collected for the caller.
+func (e *Engine) suggestPartials(ctx context.Context, query string, explain bool) (PartialSet, Stats, *runCtx, error) {
 	var rc *runCtx
 	start := time.Now()
-	if e.sink != nil {
+	if e.sink != nil || explain {
 		rc = &runCtx{}
 	}
 	var kws []Keyword
@@ -124,7 +147,7 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 		e.observeCall(time.Since(start), rc, st)
 	}
 	if err != nil {
-		return PartialSet{}, st, err
+		return PartialSet{}, st, rc, err
 	}
 	// Report the local normalizer of every eligible result type even
 	// when no candidate matched locally: the coordinator's global N for
@@ -144,13 +167,13 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 	ps.TypeNorms = norms
 
 	if acc == nil {
-		return ps, st, nil
+		return ps, st, rc, nil
 	}
 	// The candidates below hold the accumulators' words; only the
 	// table's storage is recycled.
 	defer acc.release()
 	if acc.len() == 0 {
-		return ps, st, nil
+		return ps, st, rc, nil
 	}
 
 	all := acc.all()
@@ -184,7 +207,7 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 			Coherence:  coherence,
 		})
 	}
-	return ps, st, nil
+	return ps, st, rc, nil
 }
 
 // MergeConfig tunes MergePartials. It must mirror the shards' engine

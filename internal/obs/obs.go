@@ -195,6 +195,9 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomicFloat
+	// exemplars holds the most recent exemplar per bucket (nil until
+	// one is attached); see ObserveExemplar.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram over the given ascending upper
@@ -202,7 +205,11 @@ type Histogram struct {
 func NewHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // NewDurationHistogram is NewHistogram over DurationBuckets.
@@ -218,6 +225,43 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records one duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Exemplar pins one concrete request to a histogram bucket: the trace
+// and request IDs of a real observation that landed there, so a
+// latency bucket in a dashboard links straight to /tracez?id= and the
+// logs. Each bucket keeps only its most recent exemplar (an atomic
+// pointer swap — last writer wins, which is the Prometheus exemplar
+// convention).
+type Exemplar struct {
+	Value     float64
+	TraceID   string
+	RequestID string
+	UnixNano  int64
+}
+
+// ObserveExemplar is Observe plus an exemplar attached to the bucket
+// the value lands in. Empty IDs attach nothing (plain Observe).
+func (h *Histogram) ObserveExemplar(v float64, traceID, requestID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID == "" && requestID == "" {
+		return
+	}
+	h.exemplars[i].Store(&Exemplar{
+		Value:     v,
+		TraceID:   traceID,
+		RequestID: requestID,
+		UnixNano:  time.Now().UnixNano(),
+	})
+}
+
+// ObserveDurationExemplar is ObserveExemplar over a duration in
+// seconds.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID, requestID string) {
+	h.ObserveExemplar(d.Seconds(), traceID, requestID)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -434,17 +478,42 @@ func WriteGauge(w io.Writer, name, help string, v float64) {
 // may be empty) applied to every sample. Headers are the caller's job
 // so vectors share one HELP/TYPE block.
 func writeHistogramSeries(w io.Writer, name, extraLabels string, h *Histogram) {
+	writeHistogramSeriesEx(w, name, extraLabels, h, false)
+}
+
+// writeHistogramSeriesEx is writeHistogramSeries with optional
+// OpenMetrics exemplar suffixes: a bucket that has an exemplar gains
+// ` # {trace_id="…",request_id="…"} <value> <timestamp>` after its
+// sample, linking the bucket to one concrete request. Exemplars are an
+// OpenMetrics extension — emit them only on endpoints scraped by
+// OpenMetrics-capable collectors (Prometheus ≥ 2.26 negotiates it).
+func writeHistogramSeriesEx(w io.Writer, name, extraLabels string, h *Histogram, withExemplars bool) {
 	snap := h.Snapshot()
 	sep, sumLabels := "", ""
 	if extraLabels != "" {
 		sep = ","
 		sumLabels = "{" + extraLabels + "}"
 	}
-	for _, b := range snap.Buckets {
-		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, extraLabels, sep, formatFloat(b.Le), b.Count)
+	for i, b := range snap.Buckets {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d", name, extraLabels, sep, formatFloat(b.Le), b.Count)
+		if withExemplars && i < len(h.exemplars) {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q,request_id=%q} %s %.3f",
+					ex.TraceID, ex.RequestID, formatFloat(ex.Value),
+					float64(ex.UnixNano)/1e9)
+			}
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, sumLabels, formatFloat(snap.Sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, sumLabels, snap.Count)
+}
+
+// WriteHistogramExemplars emits one histogram metric with HELP/TYPE
+// headers and per-bucket OpenMetrics exemplars.
+func WriteHistogramExemplars(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	writeHistogramSeriesEx(w, name, "", h, true)
 }
 
 // WriteHistogram emits one histogram metric with HELP/TYPE headers.

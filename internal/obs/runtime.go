@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets are histogram bounds for GC stop-the-world pauses, in
+// seconds: 10µs to 100ms (Go pauses are sub-millisecond in healthy
+// processes; the upper buckets catch pathology).
+var GCPauseBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
+// RuntimeTracker publishes the Go runtime's health under /metricz:
+// goroutine count, heap occupancy, GOMAXPROCS, and a streaming GC
+// pause histogram. Pause samples are folded in lazily on each
+// Snapshot/WritePrometheus call from runtime.MemStats' 256-entry pause
+// ring, so no background goroutine is needed; at typical scrape
+// intervals the ring cannot wrap between observations unless GC runs
+// >256 times per interval (in which case the oldest pauses are lost —
+// acceptable for a scrape-oriented histogram).
+type RuntimeTracker struct {
+	mu       sync.Mutex
+	gcPause  *Histogram
+	lastNumG uint32 // MemStats.NumGC at the last fold
+}
+
+// NewRuntimeTracker builds a tracker with the default pause buckets.
+func NewRuntimeTracker() *RuntimeTracker {
+	return &RuntimeTracker{gcPause: NewHistogram(GCPauseBuckets)}
+}
+
+// RuntimeSnapshot is the JSON form of the runtime block.
+type RuntimeSnapshot struct {
+	Goroutines int `json:"goroutines"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// HeapAllocBytes is live heap (Alloc); HeapInuseBytes is heap spans
+	// in use; HeapSysBytes is heap memory obtained from the OS.
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	HeapSysBytes   uint64 `json:"heapSysBytes"`
+	// NumGC is the completed GC cycle count; NextGCBytes the heap goal.
+	NumGC       uint32 `json:"numGC"`
+	NextGCBytes uint64 `json:"nextGCBytes"`
+	// GCPause is the stop-the-world pause distribution (seconds).
+	GCPause HistogramSnapshot `json:"gcPause"`
+}
+
+// fold observes GC pauses that completed since the last call. Caller
+// holds mu.
+func (r *RuntimeTracker) fold(ms *runtime.MemStats) {
+	n := ms.NumGC - r.lastNumG
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		// PauseNs is a circular buffer indexed by (NumGC+255)%256 for the
+		// most recent pause.
+		idx := (ms.NumGC - i + 255) % uint32(len(ms.PauseNs))
+		r.gcPause.ObserveDuration(time.Duration(ms.PauseNs[idx]))
+	}
+	r.lastNumG = ms.NumGC
+}
+
+// Snapshot reads the runtime and returns the current block.
+func (r *RuntimeTracker) Snapshot() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mu.Lock()
+	r.fold(&ms)
+	pause := r.gcPause.Snapshot()
+	r.mu.Unlock()
+	return RuntimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapInuseBytes: ms.HeapInuse,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+		NextGCBytes:    ms.NextGC,
+		GCPause:        pause,
+	}
+}
+
+// WritePrometheus emits the runtime block as xclean_go_* series.
+func (r *RuntimeTracker) WritePrometheus(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mu.Lock()
+	r.fold(&ms)
+	r.mu.Unlock()
+	WriteGauge(w, "xclean_go_goroutines", "Current goroutine count.",
+		float64(runtime.NumGoroutine()))
+	WriteGauge(w, "xclean_go_gomaxprocs", "GOMAXPROCS at scrape time.",
+		float64(runtime.GOMAXPROCS(0)))
+	WriteGauge(w, "xclean_go_heap_alloc_bytes", "Live heap bytes (MemStats.HeapAlloc).",
+		float64(ms.HeapAlloc))
+	WriteGauge(w, "xclean_go_heap_inuse_bytes", "Heap spans in use (MemStats.HeapInuse).",
+		float64(ms.HeapInuse))
+	WriteGauge(w, "xclean_go_heap_sys_bytes", "Heap memory obtained from the OS (MemStats.HeapSys).",
+		float64(ms.HeapSys))
+	WriteGauge(w, "xclean_go_next_gc_bytes", "Heap size goal of the next GC cycle.",
+		float64(ms.NextGC))
+	WriteCounter(w, "xclean_go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	r.mu.Lock()
+	WriteHistogram(w, "xclean_go_gc_pause_seconds", "GC stop-the-world pause durations.",
+		r.gcPause)
+	r.mu.Unlock()
+}

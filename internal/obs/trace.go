@@ -1,0 +1,576 @@
+// Distributed tracing: the request-tree half of the observability
+// layer. Where obs.Span is a flat stage timing (one engine call, one
+// process), SpanNode/Trace model one request as a tree that crosses
+// process boundaries: a coordinator's /suggest span parents one child
+// span per shard attempt, and each shard's server span parents its own
+// engine stage spans. Identity propagates over HTTP in the W3C Trace
+// Context `traceparent` header (version 00), so any W3C-speaking
+// client or proxy composes with the cluster's own propagation.
+//
+// Completed traces land in a TraceStore, an in-process ring buffer
+// with tail sampling: traces that ended in an error, a partial
+// (degraded) answer, or over a latency threshold are always retained
+// in a protected ring; unremarkable traces are retained
+// probabilistically in a second ring. The store backs GET /tracez.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-id: 16 bytes, rendered as 32 lowercase hex
+// digits. The all-zero value is invalid (the W3C contract) and doubles
+// as "no trace" internally.
+type TraceID [16]byte
+
+// SpanID is a W3C parent-id/span-id: 8 bytes, 16 hex digits. All-zero
+// is invalid.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idState is the process-wide ID generator: a crypto-seeded splitmix64
+// stream. Sequential splitmix64 outputs are statistically independent,
+// collisions across processes are avoided by the random seed, and
+// generation is one atomic add + a few shifts — cheap enough for the
+// sampled path and never on the unsampled one.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+func nextRand64() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], nextRand64())
+		binary.BigEndian.PutUint64(t[8:], nextRand64())
+	}
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], nextRand64())
+	}
+	return s
+}
+
+// FlagSampled is the sampled bit of the traceparent trace-flags octet.
+const FlagSampled = 0x01
+
+// Traceparent renders a W3C Trace Context header value, version 00:
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex trace-flags>
+func Traceparent(tid TraceID, sid SpanID, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + tid.String() + "-" + sid.String() + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any non-ff version (per spec, future versions must stay
+// prefix-compatible) and rejects malformed or all-zero IDs. ok is
+// false when the header should be ignored and a fresh trace started.
+func ParseTraceparent(h string) (tid TraceID, sid SpanID, sampled bool, ok bool) {
+	// version "-" trace-id "-" parent-id "-" flags [ "-" ... future ]
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, false, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tid, sid, false, false
+	}
+	if !isHex(h[:2]) || h[:2] == "ff" {
+		return tid, sid, false, false
+	}
+	if h[:2] == "00" && len(h) != 55 {
+		return tid, sid, false, false
+	}
+	// W3C mandates lowercase hex; encoding/hex would accept uppercase.
+	if !isHex(h[3:35]) || !isHex(h[36:52]) || !isHex(h[53:55]) {
+		return tid, sid, false, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, sid, false, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, SpanID{}, false, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, false, false
+	}
+	return tid, sid, flags[0]&FlagSampled != 0, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceContext is the propagated identity of one sampled request: the
+// trace ID plus the span the next child spans must parent under. A
+// nil *TraceContext means "not sampled" throughout the serving layer —
+// the allocation-free fast path.
+type TraceContext struct {
+	TraceID TraceID
+	// Parent is the current span: children created on behalf of this
+	// context set it as their ParentSpanID, and outgoing traceparent
+	// headers carry it as the parent-id.
+	Parent SpanID
+}
+
+// SpanNode is one span of a trace, holding its children inline so a
+// whole subtree serializes as one JSON object — the unit a shard
+// returns to the coordinator and /tracez?id= renders.
+type SpanNode struct {
+	// SpanID and ParentSpanID are 16-hex-digit W3C span IDs.
+	// ParentSpanID is empty on a trace's root (or on a subtree whose
+	// parent lives in another process before stitching).
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	// Name identifies the operation ("suggest", "shard.attempt",
+	// "shard.suggest", or a stage name like "scan").
+	Name string `json:"name"`
+	// Kind is "server" (handled an incoming request), "client" (called
+	// out), or "internal" (an in-process stage).
+	Kind string `json:"kind,omitempty"`
+	// StartUnixNano is the span's start on the local clock (0 when only
+	// a duration was measured, e.g. engine stage spans).
+	StartUnixNano int64 `json:"startUnixNano,omitempty"`
+	DurationNs    int64 `json:"durationNs"`
+	// Status is "" (ok), "error", or "timeout"; Error carries the
+	// message when not ok.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Attrs are free-form key→value annotations (shard name, attempt
+	// ordinal, worker index, cache outcome, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Children are the spans this one parents, in start order.
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// AddChild appends a child span and returns it (for chaining).
+func (n *SpanNode) AddChild(c *SpanNode) *SpanNode {
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// SpanCount returns the number of spans in the subtree rooted at n.
+func (n *SpanNode) SpanCount() int {
+	if n == nil {
+		return 0
+	}
+	c := 1
+	for _, ch := range n.Children {
+		c += ch.SpanCount()
+	}
+	return c
+}
+
+// StageSpanNodes converts the flat engine stage spans of one call
+// (Explain.Spans / SpansOf) into child SpanNodes under the given
+// parent span ID. Call-level stages (worker -1) become plain stage
+// spans; per-worker scan stages carry a "worker" attribute.
+func StageSpanNodes(parent SpanID, spans []Span) []*SpanNode {
+	out := make([]*SpanNode, 0, len(spans))
+	p := parent.String()
+	for _, sp := range spans {
+		n := &SpanNode{
+			SpanID:       NewSpanID().String(),
+			ParentSpanID: p,
+			Name:         sp.Stage,
+			Kind:         "internal",
+			DurationNs:   sp.DurationNs,
+		}
+		if sp.Worker >= 0 {
+			n.Attrs = map[string]string{"worker": fmt.Sprintf("%d", sp.Worker)}
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Trace is one completed request tree, the unit the TraceStore retains
+// and /tracez serves.
+type Trace struct {
+	TraceID string `json:"traceId"`
+	// RequestID is the serving layer's X-Request-Id, tying the trace to
+	// the access and slow-query logs.
+	RequestID string `json:"requestId,omitempty"`
+	Query     string `json:"query,omitempty"`
+	Corpus    string `json:"corpus,omitempty"`
+	// Time is the completion time, RFC 3339 with nanoseconds.
+	Time       string `json:"time"`
+	DurationNs int64  `json:"durationNs"`
+	// Partial marks a degraded cluster answer; Error a failed request.
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Retained says why the tail sampler kept the trace: "error",
+	// "partial", "slow", or "sampled" (set by TraceStore.Offer).
+	Retained string `json:"retained,omitempty"`
+	// Root is the local root span; remote subtrees are stitched under
+	// it.
+	Root *SpanNode `json:"root"`
+}
+
+// TraceSummary is one /tracez list row.
+type TraceSummary struct {
+	TraceID    string  `json:"traceId"`
+	RequestID  string  `json:"requestId,omitempty"`
+	Query      string  `json:"query,omitempty"`
+	Corpus     string  `json:"corpus,omitempty"`
+	Time       string  `json:"time"`
+	TookMillis float64 `json:"tookMillis"`
+	Spans      int     `json:"spans"`
+	Partial    bool    `json:"partial,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Retained   string  `json:"retained,omitempty"`
+}
+
+func (t *Trace) summary() TraceSummary {
+	return TraceSummary{
+		TraceID:    t.TraceID,
+		RequestID:  t.RequestID,
+		Query:      t.Query,
+		Corpus:     t.Corpus,
+		Time:       t.Time,
+		TookMillis: float64(t.DurationNs) / 1e6,
+		Spans:      t.Root.SpanCount(),
+		Partial:    t.Partial,
+		Error:      t.Error,
+		Retained:   t.Retained,
+	}
+}
+
+// TraceStoreConfig tunes a TraceStore.
+type TraceStoreConfig struct {
+	// Size is the total retained-trace capacity, split evenly between
+	// the protected (error/partial/slow) ring and the ambient ring
+	// (0 = 256).
+	Size int
+	// Threshold is the latency at or above which a trace is always
+	// retained (0 = 250ms, matching the slow-query default).
+	Threshold time.Duration
+	// KeepRate is the probability an unremarkable trace is retained in
+	// the ambient ring (tail sampling of the healthy population;
+	// 0 = 0.25, negative = keep none, ≥1 = keep all).
+	KeepRate float64
+}
+
+func (c TraceStoreConfig) size() int {
+	if c.Size <= 0 {
+		return 256
+	}
+	if c.Size < 2 {
+		return 2
+	}
+	return c.Size
+}
+
+func (c TraceStoreConfig) threshold() time.Duration {
+	if c.Threshold == 0 {
+		return 250 * time.Millisecond
+	}
+	return c.Threshold
+}
+
+func (c TraceStoreConfig) keepRate() float64 {
+	switch {
+	case c.KeepRate == 0:
+		return 0.25
+	case c.KeepRate < 0:
+		return 0
+	case c.KeepRate > 1:
+		return 1
+	default:
+		return c.KeepRate
+	}
+}
+
+// traceRing is a fixed-size overwrite-oldest buffer of traces.
+type traceRing struct {
+	buf  []*Trace
+	next int // insertion cursor
+}
+
+func (r *traceRing) add(t *Trace) {
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// each visits retained traces newest-first.
+func (r *traceRing) each(fn func(*Trace) bool) {
+	n := len(r.buf)
+	for i := 1; i <= n; i++ {
+		t := r.buf[(r.next-i+n)%n]
+		if t == nil {
+			return // buffer not yet full; older slots are all nil too
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// TraceStore is the tail-sampling ring-buffer store behind /tracez.
+// Interesting traces (error, partial, or ≥ Threshold) always land in
+// a protected ring that ambient traffic can never evict; the rest are
+// admitted to a second ring with probability KeepRate. Both rings
+// overwrite their own oldest entry when full, so memory is bounded by
+// Size regardless of traffic. Safe for concurrent use.
+type TraceStore struct {
+	cfg       TraceStoreConfig
+	threshold time.Duration
+	keepRate  float64
+
+	mu      sync.Mutex
+	hot     traceRing // error / partial / slow — always retained
+	ambient traceRing // healthy traces, probabilistically retained
+
+	offered  atomic.Int64
+	retained atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewTraceStore builds a store with the given bounds.
+func NewTraceStore(cfg TraceStoreConfig) *TraceStore {
+	size := cfg.size()
+	hot := size / 2
+	return &TraceStore{
+		cfg:       cfg,
+		threshold: cfg.threshold(),
+		keepRate:  cfg.keepRate(),
+		hot:       traceRing{buf: make([]*Trace, hot)},
+		ambient:   traceRing{buf: make([]*Trace, size-hot)},
+	}
+}
+
+// Threshold returns the always-retain latency cutoff.
+func (s *TraceStore) Threshold() time.Duration { return s.threshold }
+
+// Offer applies the tail-sampling policy to a completed trace,
+// reporting whether it was retained. It stamps Trace.Retained with the
+// retention reason and Trace.Time when unset. The caller must not
+// mutate the trace afterwards.
+func (s *TraceStore) Offer(t *Trace) bool {
+	if s == nil || t == nil || t.Root == nil {
+		return false
+	}
+	s.offered.Add(1)
+	if t.Time == "" {
+		t.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	switch {
+	case t.Error != "":
+		t.Retained = "error"
+	case t.Partial:
+		t.Retained = "partial"
+	case time.Duration(t.DurationNs) >= s.threshold:
+		t.Retained = "slow"
+	default:
+		if !s.keepAmbient() {
+			s.dropped.Add(1)
+			return false
+		}
+		t.Retained = "sampled"
+	}
+	s.mu.Lock()
+	if t.Retained == "sampled" {
+		s.ambient.add(t)
+	} else {
+		s.hot.add(t)
+	}
+	s.mu.Unlock()
+	s.retained.Add(1)
+	return true
+}
+
+// keepAmbient is one Bernoulli draw at KeepRate, off the shared
+// splitmix64 stream (53-bit uniform in [0,1)).
+func (s *TraceStore) keepAmbient() bool {
+	if s.keepRate >= 1 {
+		return true
+	}
+	if s.keepRate <= 0 {
+		return false
+	}
+	u := float64(nextRand64()>>11) / float64(1<<53)
+	return u < s.keepRate
+}
+
+// Get returns the retained trace with the given ID, or nil. Lookup
+// scans both rings (bounded by Size).
+func (s *TraceStore) Get(id string) *Trace {
+	if s == nil {
+		return nil
+	}
+	var found *Trace
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range []*traceRing{&s.hot, &s.ambient} {
+		r.each(func(t *Trace) bool {
+			if t.TraceID == id {
+				found = t
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// List returns up to n trace summaries, newest first, protected-ring
+// traces and ambient traces interleaved by recency (n ≤ 0 = all
+// retained).
+func (s *TraceStore) List(n int) []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	all := make([]*Trace, 0, len(s.hot.buf)+len(s.ambient.buf))
+	s.hot.each(func(t *Trace) bool { all = append(all, t); return true })
+	s.ambient.each(func(t *Trace) bool { all = append(all, t); return true })
+	s.mu.Unlock()
+	// Merge by completion time, newest first. Both rings are already
+	// newest-first, so one stable merge pass suffices; Time strings are
+	// RFC 3339 UTC and compare lexicographically.
+	sortTracesByTimeDesc(all)
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	out := make([]TraceSummary, len(all))
+	for i, t := range all {
+		out[i] = t.summary()
+	}
+	return out
+}
+
+// sortTracesByTimeDesc sorts newest-first by the RFC 3339 Time stamp
+// (lexicographic compare is chronological for same-length UTC stamps;
+// insertion-sort because the two-ring concatenation is nearly sorted).
+func sortTracesByTimeDesc(ts []*Trace) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Time > ts[j-1].Time; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// TraceStoreStats is the /metricz view of the store.
+type TraceStoreStats struct {
+	// Offered / Retained / Dropped count tail-sampling decisions since
+	// start; Resident is the number of traces currently retained.
+	Offered  int64 `json:"offered"`
+	Retained int64 `json:"retained"`
+	Dropped  int64 `json:"dropped"`
+	Resident int   `json:"resident"`
+	// Capacity echoes the configured ring size.
+	Capacity int `json:"capacity"`
+}
+
+// Stats snapshots the store's counters.
+func (s *TraceStore) Stats() TraceStoreStats {
+	if s == nil {
+		return TraceStoreStats{}
+	}
+	st := TraceStoreStats{
+		Offered:  s.offered.Load(),
+		Retained: s.retained.Load(),
+		Dropped:  s.dropped.Load(),
+		Capacity: s.cfg.size(),
+	}
+	s.mu.Lock()
+	s.hot.each(func(*Trace) bool { st.Resident++; return true })
+	s.ambient.each(func(*Trace) bool { st.Resident++; return true })
+	s.mu.Unlock()
+	return st
+}
+
+// Sampler is a head-sampling decision at a fixed probability, used by
+// the serving layer to pick which requests collect spans at all (the
+// W3C sampled flag of an incoming traceparent overrides it). The
+// zero-probability sampler never allocates and never samples.
+type Sampler struct {
+	// thresh compares against a 64-bit uniform draw; 0 = never,
+	// ^uint64(0) = always.
+	thresh uint64
+}
+
+// NewSampler builds a sampler that samples with probability p
+// (clamped to [0,1]).
+func NewSampler(p float64) Sampler {
+	switch {
+	case p <= 0:
+		return Sampler{}
+	case p >= 1:
+		return Sampler{thresh: ^uint64(0)}
+	default:
+		return Sampler{thresh: uint64(p * float64(1<<63) * 2)}
+	}
+}
+
+// Sample draws once.
+func (s Sampler) Sample() bool {
+	if s.thresh == 0 {
+		return false
+	}
+	if s.thresh == ^uint64(0) {
+		return true
+	}
+	return nextRand64() < s.thresh
+}
+
+// Rate reports the sampler's probability (approximately, for display).
+func (s Sampler) Rate() float64 {
+	if s.thresh == ^uint64(0) {
+		return 1
+	}
+	return float64(s.thresh) / (float64(1<<63) * 2)
+}

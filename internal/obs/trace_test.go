@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	for _, sampled := range []bool{true, false} {
+		h := Traceparent(tid, sid, sampled)
+		gt, gs, gsm, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) not ok", h)
+		}
+		if gt != tid || gs != sid || gsm != sampled {
+			t.Errorf("round trip %q: got (%s,%s,%v), want (%s,%s,%v)",
+				h, gt, gs, gsm, tid, sid, sampled)
+		}
+	}
+}
+
+func TestTraceparentFormat(t *testing.T) {
+	var tid TraceID
+	var sid SpanID
+	tid[15], sid[7] = 0xab, 0xcd
+	h := Traceparent(tid, sid, true)
+	want := "00-000000000000000000000000000000ab-00000000000000cd-01"
+	if h != want {
+		t.Errorf("Traceparent = %q, want %q", h, want)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := Traceparent(NewTraceID(), NewSpanID(), true)
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],       // truncated
+		"ff" + valid[2:], // version ff is invalid
+		"00-" + strings.Repeat("0", 32) + valid[35:],      // zero trace id
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span id
+		strings.ToUpper(valid),                            // uppercase hex
+		valid + "-extra",                                  // v00 must be exactly 55 bytes
+		valid[:53] + "zz",                                 // bad flags hex
+	}
+	for _, h := range bad {
+		if _, _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", h)
+		}
+	}
+	// A future version with trailing fields must still parse.
+	future := "01" + valid[2:] + "-whatever"
+	if _, _, _, ok := ParseTraceparent(future); !ok {
+		t.Errorf("ParseTraceparent(%q) rejected a future version", future)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID().String()
+		if seen[id] {
+			t.Fatalf("duplicate span id %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	if NewTraceID().IsZero() {
+		t.Error("NewTraceID returned zero")
+	}
+}
+
+func TestSpanNodeCount(t *testing.T) {
+	root := &SpanNode{SpanID: NewSpanID().String(), Name: "root"}
+	c := root.AddChild(&SpanNode{SpanID: NewSpanID().String(), Name: "child"})
+	c.AddChild(&SpanNode{SpanID: NewSpanID().String(), Name: "grandchild"})
+	root.AddChild(&SpanNode{SpanID: NewSpanID().String(), Name: "child2"})
+	if got := root.SpanCount(); got != 4 {
+		t.Errorf("SpanCount = %d, want 4", got)
+	}
+}
+
+func TestStageSpanNodes(t *testing.T) {
+	parent := NewSpanID()
+	spans := []Span{
+		{Stage: "tokenize", Worker: -1, DurationNs: 100},
+		{Stage: "scan", Worker: 2, DurationNs: 5000},
+	}
+	nodes := StageSpanNodes(parent, spans)
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.ParentSpanID != parent.String() {
+			t.Errorf("node %s parent %q, want %q", n.Name, n.ParentSpanID, parent)
+		}
+		if n.SpanID == "" || n.SpanID == parent.String() {
+			t.Errorf("node %s has bad span id %q", n.Name, n.SpanID)
+		}
+	}
+	if nodes[0].Attrs != nil {
+		t.Errorf("call-level stage got worker attr: %v", nodes[0].Attrs)
+	}
+	if nodes[1].Attrs["worker"] != "2" {
+		t.Errorf("worker attr = %v", nodes[1].Attrs)
+	}
+}
+
+func mkTrace(id int, d time.Duration, partial bool, errMsg string) *Trace {
+	return &Trace{
+		TraceID:    fmt.Sprintf("%032x", id),
+		Query:      "q",
+		DurationNs: d.Nanoseconds(),
+		Partial:    partial,
+		Error:      errMsg,
+		Root:       &SpanNode{SpanID: NewSpanID().String(), Name: "suggest"},
+	}
+}
+
+// The tail policy: error/partial/slow traces are always retained (and
+// survive ambient churn); fast healthy traces follow KeepRate.
+func TestTraceStoreTailSampling(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Size: 8, Threshold: 100 * time.Millisecond, KeepRate: -1})
+
+	if !s.Offer(mkTrace(1, 200*time.Millisecond, false, "")) {
+		t.Fatal("slow trace dropped")
+	}
+	if !s.Offer(mkTrace(2, time.Millisecond, true, "")) {
+		t.Fatal("partial trace dropped")
+	}
+	if !s.Offer(mkTrace(3, time.Millisecond, false, "boom")) {
+		t.Fatal("error trace dropped")
+	}
+	// KeepRate < 0 keeps no ambient traces.
+	if s.Offer(mkTrace(4, time.Millisecond, false, "")) {
+		t.Fatal("fast healthy trace retained at KeepRate<0")
+	}
+
+	for id, want := range map[int]string{1: "slow", 2: "partial", 3: "error"} {
+		tr := s.Get(fmt.Sprintf("%032x", id))
+		if tr == nil {
+			t.Fatalf("trace %d not retained", id)
+		}
+		if tr.Retained != want {
+			t.Errorf("trace %d retained=%q, want %q", id, tr.Retained, want)
+		}
+		if tr.Time == "" {
+			t.Errorf("trace %d has no completion time", id)
+		}
+	}
+	if got := s.Get("00000000000000000000000000000bad"); got != nil {
+		t.Error("Get of unknown id returned a trace")
+	}
+
+	st := s.Stats()
+	if st.Offered != 4 || st.Retained != 3 || st.Dropped != 1 || st.Resident != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Interesting traces live in a protected ring: a flood of healthy
+// sampled traffic must not evict a retained slow trace.
+func TestTraceStoreProtectedRing(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Size: 8, Threshold: 100 * time.Millisecond, KeepRate: 1})
+	slow := mkTrace(999, time.Second, false, "")
+	s.Offer(slow)
+	for i := 0; i < 100; i++ {
+		s.Offer(mkTrace(i, time.Millisecond, false, ""))
+	}
+	if s.Get(slow.TraceID) == nil {
+		t.Fatal("ambient churn evicted a slow trace from the protected ring")
+	}
+	// The ambient ring is bounded: resident ≤ capacity.
+	if st := s.Stats(); st.Resident > st.Capacity {
+		t.Errorf("resident %d exceeds capacity %d", st.Resident, st.Capacity)
+	}
+}
+
+func TestTraceStoreList(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Size: 16, KeepRate: 1, Threshold: time.Hour})
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		tr := mkTrace(i, time.Millisecond, i%2 == 0, "")
+		tr.Time = base.Add(time.Duration(i) * time.Second).Format(time.RFC3339Nano)
+		s.Offer(tr)
+	}
+	all := s.List(0)
+	if len(all) != 5 {
+		t.Fatalf("List(0) = %d rows", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Time > all[i-1].Time {
+			t.Errorf("List not newest-first at %d: %s > %s", i, all[i].Time, all[i-1].Time)
+		}
+	}
+	if got := s.List(2); len(got) != 2 {
+		t.Errorf("List(2) = %d rows", len(got))
+	}
+	if all[0].Spans != 1 {
+		t.Errorf("summary span count = %d", all[0].Spans)
+	}
+}
+
+// Concurrent Offer/Get/List under -race: the store's contract is that
+// readers and writers never trip the detector.
+func TestTraceStoreConcurrent(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Size: 32, Threshold: time.Millisecond, KeepRate: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Offer(mkTrace(g*1000+i, time.Duration(i)*time.Millisecond, false, ""))
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.List(10)
+				s.Get(fmt.Sprintf("%032x", i))
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSampler(t *testing.T) {
+	if NewSampler(0).Sample() {
+		t.Error("zero sampler sampled")
+	}
+	always := NewSampler(1)
+	for i := 0; i < 100; i++ {
+		if !always.Sample() {
+			t.Fatal("always sampler skipped")
+		}
+	}
+	half := NewSampler(0.5)
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if half.Sample() {
+			n++
+		}
+	}
+	if n < 4000 || n > 6000 {
+		t.Errorf("p=0.5 sampler hit %d/10000", n)
+	}
+	if r := half.Rate(); r < 0.49 || r > 0.51 {
+		t.Errorf("Rate() = %v", r)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	h := NewDurationHistogram()
+	h.ObserveDurationExemplar(40*time.Microsecond, "deadbeef", "req-1")
+	h.ObserveDuration(time.Millisecond) // no exemplar
+	var sb strings.Builder
+	WriteHistogramExemplars(&sb, "x_dur_seconds", "help", h)
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="deadbeef",request_id="req-1"} 4e-05`) {
+		t.Errorf("exemplar missing from exposition:\n%s", out)
+	}
+	// Exactly one bucket carries the exemplar.
+	if n := strings.Count(out, "trace_id="); n != 1 {
+		t.Errorf("%d exemplars emitted, want 1:\n%s", n, out)
+	}
+	// The plain exposition never emits exemplars.
+	sb.Reset()
+	WriteHistogram(&sb, "x_dur_seconds", "help", h)
+	if strings.Contains(sb.String(), "trace_id=") {
+		t.Error("plain WriteHistogram leaked exemplars")
+	}
+}
+
+func TestRuntimeTracker(t *testing.T) {
+	rt := NewRuntimeTracker()
+	snap := rt.Snapshot()
+	if snap.Goroutines <= 0 || snap.GOMAXPROCS <= 0 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.HeapAllocBytes == 0 || snap.HeapSysBytes == 0 {
+		t.Errorf("heap stats empty: %+v", snap)
+	}
+	var sb strings.Builder
+	rt.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"xclean_go_goroutines", "xclean_go_gomaxprocs", "xclean_go_heap_alloc_bytes",
+		"xclean_go_gc_cycles_total", "xclean_go_gc_pause_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %s", want)
+		}
+	}
+}

@@ -36,6 +36,9 @@ type SlowRecord struct {
 	// Explain is the per-stage trace (a *core.Explain in practice; typed
 	// loosely so this package stays independent of the engine).
 	Explain any `json:"explain,omitempty"`
+	// Trace is the stitched distributed span tree (a *obs.Trace in
+	// practice) when the slow request was also sampled for tracing.
+	Trace any `json:"trace,omitempty"`
 }
 
 // SlowLog appends the trace of every request slower than a threshold

@@ -157,3 +157,14 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
+
+// saturated reports whether a newly arriving engine scan would be
+// shed right now: every in-flight slot and every queue slot is taken.
+// It is the readiness probe's view of the admission gate — advisory
+// only (the gauges race with admissions), never used to admit.
+func (a *admission) saturated() bool {
+	if a.sem == nil {
+		return false
+	}
+	return len(a.sem) == cap(a.sem) && a.queued.Load() >= int64(a.maxQueue)
+}

@@ -7,6 +7,7 @@ import (
 
 	"xclean"
 	"xclean/internal/cluster"
+	"xclean/internal/obs"
 	"xclean/internal/qlog"
 )
 
@@ -21,6 +22,14 @@ import (
 // polls it and abandons work the coordinator will no longer merge.
 type partialSuggester interface {
 	SuggestPartialsContext(ctx context.Context, query string) (xclean.PartialSet, error)
+}
+
+// partialExplainedSuggester is the traced variant: the same partial
+// scan plus its per-stage durations, so a sampled fan-out can return
+// shard stage spans in the wire envelope. Engines without it still
+// serve traced requests — their subtree just has no stage children.
+type partialExplainedSuggester interface {
+	SuggestPartialsExplainedContext(ctx context.Context, query string) (xclean.PartialSet, []obs.Span, error)
 }
 
 // handleShardSuggest serves GET /shard/suggest: the shard half of the
@@ -53,6 +62,13 @@ func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rid := requestIDFrom(r.Context())
+	// A sampled incoming traceparent (the coordinator's per-attempt
+	// span) switches the scan to its explained variant so the response
+	// envelope can carry this shard's span subtree; the coordinator
+	// made the sampling decision, so no local sampler runs here.
+	_, parentSpan, sampled, hasTrace := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+	pse, canExplain := eng.(partialExplainedSuggester)
+	traced := sampled && hasTrace
 	// The scan honors the coordinator's forwarded deadline (the HTTP
 	// request context dies when the coordinator's budget expires or it
 	// hangs up), capped by this shard's own RequestTimeout; shard scans
@@ -69,7 +85,18 @@ func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	set, err := ps.SuggestPartialsContext(ctx, q)
+	if s.cfg.InjectDelay > 0 {
+		// Counted inside the scan's took so the slow shard is slow in
+		// its own span and slow log, not just the coordinator's view.
+		time.Sleep(s.cfg.InjectDelay)
+	}
+	var set xclean.PartialSet
+	var stageSpans []obs.Span
+	if traced && canExplain {
+		set, stageSpans, err = pse.SuggestPartialsExplainedContext(ctx, q)
+	} else {
+		set, err = ps.SuggestPartialsContext(ctx, q)
+	}
 	release()
 	if err != nil {
 		if isCtxErr(err) {
@@ -100,14 +127,33 @@ func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
 				"query", q, "tookMillis", float64(took.Microseconds())/1000)
 		}
 	}
-	s.writeJSON(w, http.StatusOK, cluster.ShardResponse{
+	resp := cluster.ShardResponse{
 		Version:    cluster.WireVersion,
 		Corpus:     corpus,
 		Query:      q,
 		RequestID:  rid,
 		TookMillis: float64(took.Microseconds()) / 1000,
 		PartialSet: set,
-	})
+	}
+	if traced {
+		// The shard's server span adopts the coordinator's attempt span
+		// as parent, so the returned subtree stitches into the
+		// coordinator's tree with no ID rewriting.
+		self := obs.NewSpanID()
+		span := &obs.SpanNode{
+			SpanID:        self.String(),
+			ParentSpanID:  parentSpan.String(),
+			Name:          "shard.suggest",
+			Kind:          "server",
+			StartUnixNano: start.UnixNano(),
+			DurationNs:    took.Nanoseconds(),
+		}
+		for _, n := range obs.StageSpanNodes(self, stageSpans) {
+			span.AddChild(n)
+		}
+		resp.TraceSpan = span
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleClusterSuggest serves /suggest in coordinator mode: fan out to
@@ -125,6 +171,7 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 	}
 	debug := r.URL.Query().Get("debug") == "1"
 	rid := requestIDFrom(r.Context())
+	tc, traceParent := s.startTrace(w, r)
 	corpus := r.URL.Query().Get("corpus")
 	start := time.Now()
 	cacheKey := ""
@@ -139,8 +186,10 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 			if sugs, ok := s.cache.Get(cacheKey); ok {
 				took := time.Since(start)
 				s.latency.Record(took)
-				s.httpDur.ObserveDuration(took)
+				s.observeHTTP(took, tc, rid)
 				s.hitLatency.Record(took)
+				s.finishTrace(tc, traceParent, "suggest", rid, q, s.cfg.Cluster.Corpus(),
+					start, took, false, nil, map[string]string{"cache": "hit"})
 				s.writeClusterResponse(w, q, s.cfg.Cluster.Corpus(), rid, sugs, nil, false, took, k)
 				return
 			}
@@ -160,7 +209,7 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 		s.writeOverdeadline(w, r.Context().Err())
 		return
 	}
-	res, err := s.cfg.Cluster.Suggest(r.Context(), q, corpus, rid)
+	res, err := s.cfg.Cluster.Suggest(r.Context(), q, corpus, rid, tc)
 	release()
 	if err != nil {
 		if isCtxErr(err) {
@@ -173,8 +222,12 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 	}
 	took := time.Since(start)
 	s.latency.Record(took)
-	s.httpDur.ObserveDuration(took)
+	s.observeHTTP(took, tc, rid)
 	s.missLatency.Record(took)
+	// The fan-out's attempt spans (each carrying the winning shard's
+	// returned subtree) stitch under the coordinator's server span.
+	tr := s.finishTrace(tc, traceParent, "suggest", rid, q, res.Corpus,
+		start, took, res.Partial, res.Spans, nil)
 
 	sugs := make([]xclean.Suggestion, len(res.Suggestions))
 	for i, ms := range res.Suggestions {
@@ -194,13 +247,17 @@ func (s *Server) handleClusterSuggest(w http.ResponseWriter, r *http.Request, q 
 	if s.cache != nil && !res.Partial && !debug {
 		s.cache.Put(cacheKey, sugs)
 	}
-	if s.cfg.SlowLog.Record(qlog.SlowRecord{
+	rec := qlog.SlowRecord{
 		RequestID:   rid,
 		Corpus:      res.Corpus,
 		Query:       q,
 		DurationNs:  took.Nanoseconds(),
 		Suggestions: len(sugs),
-	}) {
+	}
+	if tr != nil {
+		rec.Trace = tr
+	}
+	if s.cfg.SlowLog.Record(rec) {
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("slow coordinated query", "requestId", rid,
 				"query", q, "tookMillis", float64(took.Microseconds())/1000)

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// GET /readyz is the readiness probe, distinct from /healthz liveness:
+// a live process can still be unready (corpus not yet built, admission
+// gate saturated, shard quorum lost), and a load balancer should stop
+// routing to it without restarting it.
+
+// ReadyResponse is the body of GET /readyz (HTTP 200 when Ready, 503
+// otherwise).
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason says why the server is not ready ("" when it is).
+	Reason string `json:"reason,omitempty"`
+	// ShardsUp / ShardsTotal report the quorum check in coordinator
+	// mode.
+	ShardsUp    int `json:"shardsUp,omitempty"`
+	ShardsTotal int `json:"shardsTotal,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := s.readiness(r.Context())
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
+}
+
+// readiness evaluates the mode-specific readiness condition:
+//
+//   - coordinator: a quorum (strict majority) of shards answers its
+//     health probe — a minority outage degrades answers (partial:true)
+//     but keeps the coordinator routable;
+//   - catalog: the default corpus answers queries — serving now, or
+//     evicted with a snapshot (the next request warm-starts it);
+//   - standalone: the fixed engine exists;
+//
+// and, in every mode with local scans, that the admission gate is not
+// saturated (a request arriving now would be shed with 429 — the load
+// balancer should prefer a less-loaded replica).
+func (s *Server) readiness(ctx context.Context) ReadyResponse {
+	if s.cfg.Cluster != nil {
+		hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		shards := s.cfg.Cluster.Health(hctx)
+		up := 0
+		for _, h := range shards {
+			if h.Healthy {
+				up++
+			}
+		}
+		resp := ReadyResponse{ShardsUp: up, ShardsTotal: len(shards)}
+		if up*2 <= len(shards) {
+			resp.Reason = "shard quorum lost"
+			return resp
+		}
+		resp.Ready = true
+		return resp
+	}
+	if s.adm.saturated() {
+		return ReadyResponse{Reason: "admission gate saturated (next scan would shed)"}
+	}
+	if s.cfg.Catalog != nil {
+		st, err := s.defaultCorpusStatus()
+		if err != nil {
+			return ReadyResponse{Reason: err.Error()}
+		}
+		if !st.Serving && st.Snapshot == "" {
+			return ReadyResponse{Reason: "default corpus not serving: " + st.Name}
+		}
+		return ReadyResponse{Ready: true}
+	}
+	if s.eng == nil {
+		return ReadyResponse{Reason: "no engine configured"}
+	}
+	return ReadyResponse{Ready: true}
+}
+
+// defaultCorpusStatus finds the corpus an unqualified /suggest would
+// resolve to — the only corpus, or the one named "default" — without
+// the side effects of catalog.Resolve (no access stamp, no revive).
+func (s *Server) defaultCorpusStatus() (status struct {
+	Name     string
+	Serving  bool
+	Snapshot string
+}, err error) {
+	list := s.cfg.Catalog.List()
+	for _, st := range list {
+		if len(list) == 1 || st.Name == "default" {
+			status.Name, status.Serving, status.Snapshot = st.Name, st.Serving, st.Snapshot
+			return status, nil
+		}
+	}
+	return status, errors.New(`no default corpus (several corpora served, none named "default")`)
+}

@@ -4,8 +4,10 @@
 //
 //	GET  /suggest?q=<query>[&corpus=name][&k=N][&spaces=1][&preview=1][&debug=1]  → ranked suggestions
 //	GET  /stats[?corpus=name]                  → indexed-document statistics
-//	GET  /metricz[?format=prometheus]          → service + engine metrics
+//	GET  /metricz[?format=prometheus]          → service + engine + Go runtime metrics
 //	GET  /healthz                              → liveness probe
+//	GET  /readyz                               → readiness probe (engine serving, admission not saturated)
+//	GET  /tracez[?id=traceId]                  → tail-sampled distributed traces (list / one span tree)
 //	POST /click?entity=<dewey>                 → record entity feedback (query log)
 //	GET  /topqueries?n=N                       → most frequent logged queries
 //
@@ -149,6 +151,24 @@ type Config struct {
 	// MaxQueue is the wait-queue bound behind MaxInflight (0 = no
 	// queue: everything beyond MaxInflight sheds immediately).
 	MaxQueue int
+	// Trace, when non-nil, enables distributed tracing: sampled
+	// requests produce a stitched span tree — coordinator fan-out,
+	// per-shard attempts, shard stage spans — retained by this
+	// tail-sampling store and served at GET /tracez. Traced cache
+	// misses run in explain mode (the stage spans must exist before the
+	// request completes); requests that are not sampled allocate
+	// nothing trace-related.
+	Trace *obs.TraceStore
+	// TraceSample is the head-sampling probability in [0,1] for
+	// requests arriving without a traceparent header; requests carrying
+	// a sampled W3C traceparent are always traced regardless. 0
+	// disables locally initiated traces (propagated ones still trace).
+	TraceSample float64
+	// InjectDelay sleeps this long before every engine scan — a fault
+	// injection hook for exercising tracing, hedging, and tail
+	// sampling against an artificially slow node (see make
+	// trace-smoke). Leave 0 in production.
+	InjectDelay time.Duration
 }
 
 func (c Config) addr() string {
@@ -200,13 +220,21 @@ type Server struct {
 	httpDur *obs.Histogram
 	// adm is the load-shedding layer in front of every engine scan.
 	adm *admission
+	// sampler makes the head-sampling decision for requests without an
+	// incoming traceparent (meaningful only when cfg.Trace is set).
+	sampler obs.Sampler
+	// runtime lazily folds Go runtime stats (goroutines, heap, GC
+	// pauses) into the /metricz views.
+	runtime *obs.RuntimeTracker
 }
 
 // New builds a server around an engine.
 func New(eng Engine, cfg Config) *Server {
 	s := &Server{eng: eng, cfg: cfg, mux: http.NewServeMux(),
 		httpDur: obs.NewDurationHistogram(),
-		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue)}
+		adm:     newAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		sampler: obs.NewSampler(cfg.TraceSample),
+		runtime: obs.NewRuntimeTracker()}
 	if cfg.CacheSize > 0 {
 		s.cache = cache.New[[]xclean.Suggestion](cfg.CacheSize)
 	}
@@ -221,6 +249,8 @@ func New(eng Engine, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/click", s.handleClick)
 	s.mux.HandleFunc("/topqueries", s.handleTopQueries)
 	if cfg.Catalog != nil {
@@ -402,6 +432,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	spaces := r.URL.Query().Get("spaces") == "1"
 	debug := r.URL.Query().Get("debug") == "1"
 	rid := requestIDFrom(r.Context())
+	tc, traceParent := s.startTrace(w, r)
 	start := time.Now()
 	var sugs []xclean.Suggestion
 	var ex *xclean.Explain
@@ -439,9 +470,14 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			s.writeOverdeadline(w, ctx.Err())
 			return
 		}
+		if s.cfg.InjectDelay > 0 {
+			time.Sleep(s.cfg.InjectDelay)
+		}
 		// The slow-query log needs the trace before the request is known
-		// to be slow, so a configured SlowLog forces explain mode too.
-		trace := debug || s.cfg.SlowLog != nil
+		// to be slow, so a configured SlowLog forces explain mode too,
+		// as does a sampled trace (its stage spans come from the same
+		// explain run).
+		trace := debug || s.cfg.SlowLog != nil || tc != nil
 		var err error
 		switch {
 		case trace && spaces:
@@ -469,13 +505,25 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	took := time.Since(start)
 	s.latency.Record(took)
-	s.httpDur.ObserveDuration(took)
+	s.observeHTTP(took, tc, rid)
 	if cached {
 		s.hitLatency.Record(took)
 	} else {
 		s.missLatency.Record(took)
 	}
-	if !cached && s.cfg.SlowLog.Record(qlog.SlowRecord{
+	var tr *obs.Trace
+	if tc != nil {
+		var children []*obs.SpanNode
+		var attrs map[string]string
+		if cached {
+			attrs = map[string]string{"cache": "hit"}
+		} else if ex != nil {
+			children = obs.StageSpanNodes(tc.Parent, ex.Spans)
+		}
+		tr = s.finishTrace(tc, traceParent, "suggest", rid, q, corpus,
+			start, took, false, children, attrs)
+	}
+	rec := qlog.SlowRecord{
 		RequestID:   rid,
 		Corpus:      corpus,
 		Query:       q,
@@ -483,7 +531,11 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		DurationNs:  took.Nanoseconds(),
 		Suggestions: len(sugs),
 		Explain:     ex,
-	}) {
+	}
+	if tr != nil {
+		rec.Trace = tr
+	}
+	if !cached && s.cfg.SlowLog.Record(rec) {
 		if s.cfg.Obs != nil {
 			s.cfg.Obs.SlowQueries.Inc()
 		}
@@ -637,6 +689,12 @@ type Metrics struct {
 	// Admission reports the load-shedding layer: in-flight scans, queue
 	// depth, sheds, and cancelled scans.
 	Admission AdmissionMetrics `json:"admission"`
+	// Runtime is the Go runtime block: goroutine count, heap in-use and
+	// allocated bytes, GC pause distribution, GOMAXPROCS.
+	Runtime obs.RuntimeSnapshot `json:"runtime"`
+	// Traces reports the trace store's tail-sampling counters when
+	// tracing is enabled.
+	Traces *obs.TraceStoreStats `json:"traces,omitempty"`
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -675,6 +733,11 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 		m.Cluster = s.cfg.Cluster.MetricsSnapshot()
 	}
 	m.Admission = s.admissionMetrics()
+	m.Runtime = s.runtime.Snapshot()
+	if s.cfg.Trace != nil {
+		ts := s.cfg.Trace.Stats()
+		m.Traces = &ts
+	}
 	s.writeJSON(w, http.StatusOK, m)
 }
 
@@ -687,8 +750,16 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	w.WriteHeader(http.StatusOK)
 	obs.WriteCounter(w, "xclean_http_suggest_requests_total",
 		"Completed /suggest requests.", int64(s.latency.Stats().Count))
-	obs.WriteHistogram(w, "xclean_http_suggest_duration_seconds",
-		"/suggest handler latency (cache hits included).", s.httpDur)
+	if s.cfg.Trace != nil {
+		// With tracing on, bucket samples carry trace/request-ID
+		// exemplars (OpenMetrics syntax) linking an outlier bucket to a
+		// concrete /tracez?id= tree.
+		obs.WriteHistogramExemplars(w, "xclean_http_suggest_duration_seconds",
+			"/suggest handler latency (cache hits included).", s.httpDur)
+	} else {
+		obs.WriteHistogram(w, "xclean_http_suggest_duration_seconds",
+			"/suggest handler latency (cache hits included).", s.httpDur)
+	}
 	if s.cache != nil {
 		hits, misses := s.cache.Stats()
 		obs.WriteCounter(w, "xclean_http_cache_hits_total", "Suggestion cache hits.", hits)
@@ -708,6 +779,18 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 		"Requests shed with 429 (in-flight and queue bounds full).", adm.Sheds)
 	obs.WriteCounter(w, "xclean_http_cancelled_scans_total",
 		"Engine scans abandoned via context cancellation.", adm.CancelledScans)
+	s.runtime.WritePrometheus(w)
+	if s.cfg.Trace != nil {
+		ts := s.cfg.Trace.Stats()
+		obs.WriteCounter(w, "xclean_trace_offered_total",
+			"Completed traces offered to the tail-sampling store.", ts.Offered)
+		obs.WriteCounter(w, "xclean_trace_retained_total",
+			"Traces the tail sampler retained.", ts.Retained)
+		obs.WriteCounter(w, "xclean_trace_dropped_total",
+			"Traces the tail sampler dropped.", ts.Dropped)
+		obs.WriteGauge(w, "xclean_trace_resident",
+			"Traces resident in the ring buffers.", float64(ts.Resident))
+	}
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.WritePrometheus(w, "xclean_engine")
 	}

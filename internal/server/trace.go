@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"xclean/internal/obs"
+)
+
+// Distributed-tracing plumbing: the per-request sampling decision, the
+// span-tree assembly shared by the standalone and coordinator /suggest
+// paths, and the /tracez inspection surface over the tail-sampling
+// store.
+
+// startTrace makes this request's sampling decision. With tracing
+// enabled (Config.Trace set) it adopts a valid incoming W3C
+// traceparent — same trace ID, upstream sampled flag honored in both
+// directions — or, absent one, head-samples at Config.TraceSample. On
+// a sampled request it allocates the server's root span ID, echoes the
+// decision in the response `Traceparent` header so clients can
+// correlate, and returns the trace context; otherwise it returns nil
+// and the request allocates nothing trace-related. The second return
+// is the client's span ID ("" when the trace starts here) — the parent
+// of the server root span.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (*obs.TraceContext, string) {
+	if s.cfg.Trace == nil {
+		return nil, ""
+	}
+	clientParent := ""
+	var tid obs.TraceID
+	if t, sid, sampled, ok := obs.ParseTraceparent(r.Header.Get("Traceparent")); ok {
+		if !sampled {
+			return nil, ""
+		}
+		tid, clientParent = t, sid.String()
+	} else if s.sampler.Sample() {
+		tid = obs.NewTraceID()
+	} else {
+		return nil, ""
+	}
+	tc := &obs.TraceContext{TraceID: tid, Parent: obs.NewSpanID()}
+	w.Header().Set("Traceparent", obs.Traceparent(tid, tc.Parent, true))
+	return tc, clientParent
+}
+
+// finishTrace assembles a sampled request's completed span tree —
+// root span tc.Parent under the client's span (if any), the given
+// children beneath it — offers it to the tail-sampling store, and
+// returns it for embedding in the slow-query record. A nil tc (not
+// sampled) returns nil and does nothing.
+func (s *Server) finishTrace(tc *obs.TraceContext, clientParent, name, rid, q, corpus string,
+	start time.Time, took time.Duration, partial bool,
+	children []*obs.SpanNode, attrs map[string]string) *obs.Trace {
+	if tc == nil {
+		return nil
+	}
+	root := &obs.SpanNode{
+		SpanID:        tc.Parent.String(),
+		ParentSpanID:  clientParent,
+		Name:          name,
+		Kind:          "server",
+		StartUnixNano: start.UnixNano(),
+		DurationNs:    took.Nanoseconds(),
+		Attrs:         attrs,
+	}
+	for _, c := range children {
+		root.AddChild(c)
+	}
+	t := &obs.Trace{
+		TraceID:    tc.TraceID.String(),
+		RequestID:  rid,
+		Query:      q,
+		Corpus:     corpus,
+		DurationNs: took.Nanoseconds(),
+		Partial:    partial,
+		Root:       root,
+	}
+	s.cfg.Trace.Offer(t)
+	return t
+}
+
+// observeHTTP records one /suggest request in the handler latency
+// histogram, attaching a trace-ID exemplar to its bucket when the
+// request was sampled.
+func (s *Server) observeHTTP(took time.Duration, tc *obs.TraceContext, rid string) {
+	if tc != nil {
+		s.httpDur.ObserveDurationExemplar(took, tc.TraceID.String(), rid)
+		return
+	}
+	s.httpDur.ObserveDuration(took)
+}
+
+// TracezResponse is the body of GET /tracez (without ?id=): the
+// store's counters plus the newest retained trace summaries.
+type TracezResponse struct {
+	Stats  obs.TraceStoreStats `json:"stats"`
+	Traces []obs.TraceSummary  `json:"traces"`
+}
+
+// handleTracez serves the trace store: GET /tracez lists retained
+// traces newest-first (?n= caps the rows), GET /tracez?id=<traceId>
+// returns one full stitched span tree.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Trace == nil {
+		s.writeError(w, http.StatusNotImplemented, "tracing disabled (no trace store configured)")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		t := s.cfg.Trace.Get(id)
+		if t == nil {
+			s.writeError(w, http.StatusNotFound, "trace not retained (evicted, never sampled, or unknown id)")
+			return
+		}
+		s.writeJSON(w, http.StatusOK, t)
+		return
+	}
+	n := 0
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			s.writeError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+	s.writeJSON(w, http.StatusOK, TracezResponse{
+		Stats:  s.cfg.Trace.Stats(),
+		Traces: s.cfg.Trace.List(n),
+	})
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xclean"
+	"xclean/internal/obs"
+)
+
+// benchEngine is testEngine without the *testing.T (benchmarks build
+// one per sub-benchmark so modes never share a warm engine).
+func benchEngine() (*xclean.Engine, error) {
+	doc := `<dblp>
+	  <article><author>rose</author><title>fpga architecture synthesis</title></article>
+	  <article><author>rose</author><title>reconfigurable fpga design</title></article>
+	  <article><author>smith</author><title>database indexing methods</title></article>
+	  <article><author>jones</author><title>xml keyword search powerpoint</title></article>
+	</dblp>`
+	return xclean.Open(strings.NewReader(doc), xclean.Options{StoreText: true})
+}
+
+func readAllBench(resp *http.Response) (int64, error) {
+	defer resp.Body.Close()
+	return io.Copy(io.Discard, resp.Body)
+}
+
+// BenchmarkSuggestTraced is the tracing overhead A/B: the full
+// /suggest handler path with tracing disabled versus enabled but not
+// sampling this request (store configured, sample rate 0 — the
+// production posture for untraced traffic). The acceptance bar is
+// ≤2% mean overhead for on-unsampled vs off: the not-sampled path
+// must stay allocation-free (one header peek + one sampler draw).
+//
+//	go test ./internal/server -bench SuggestTraced -benchmem
+func BenchmarkSuggestTraced(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"off", Config{}},
+		{"on-unsampled", Config{
+			Trace:       obs.NewTraceStore(obs.TraceStoreConfig{Size: 64}),
+			TraceSample: 0,
+		}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			eng, err := benchEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(New(eng, m.cfg).Handler())
+			defer ts.Close()
+			url := ts.URL + "/suggest?q=rose+fpga+architecure"
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := readAllBench(resp); err != nil {
+					b.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,459 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xclean/internal/catalog"
+	"xclean/internal/cluster"
+	"xclean/internal/obs"
+	"xclean/internal/qlog"
+)
+
+// doGet issues one GET with optional headers and returns the response
+// plus its body.
+func doGet(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+// checkSpanTree walks a stitched tree asserting every child's
+// parentSpanId equals its parent's spanId and every span ID is unique,
+// returning all spans by name.
+func checkSpanTree(t *testing.T, root *obs.SpanNode) map[string][]*obs.SpanNode {
+	t.Helper()
+	byName := map[string][]*obs.SpanNode{}
+	seen := map[string]bool{}
+	var walk func(n *obs.SpanNode)
+	walk = func(n *obs.SpanNode) {
+		if n.SpanID == "" {
+			t.Errorf("span %q has no spanId", n.Name)
+		}
+		if seen[n.SpanID] {
+			t.Errorf("duplicate span id %s (%s)", n.SpanID, n.Name)
+		}
+		seen[n.SpanID] = true
+		byName[n.Name] = append(byName[n.Name], n)
+		for _, c := range n.Children {
+			if c.ParentSpanID != n.SpanID {
+				t.Errorf("span %s (%s) has parent %q, want %q (%s)",
+					c.SpanID, c.Name, c.ParentSpanID, n.SpanID, n.Name)
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return byName
+}
+
+// A client-supplied traceparent is adopted, forwarded to every shard
+// attempt (the hedged retry included), echoed in the response, and the
+// stitched tree's parent/child IDs are consistent end to end: the
+// coordinator root hangs under the client's span, each forwarded
+// header's span ID is a shard.attempt span, and the winning attempts
+// parent the shards' server spans.
+func TestTraceparentForwardedAndStitched(t *testing.T) {
+	var mu sync.Mutex
+	var forwarded []string
+	record := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			forwarded = append(forwarded, r.Header.Get("Traceparent"))
+			mu.Unlock()
+			h.ServeHTTP(w, r)
+		})
+	}
+	shard0 := httptest.NewServer(record(New(testEngine(t), Config{}).Handler()))
+	t.Cleanup(shard0.Close)
+	// shard 1 fails its first attempt so the fan-out hedges: the retry
+	// must carry its own traceparent too.
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	inner := New(testEngine(t), Config{}).Handler()
+	shard1 := httptest.NewServer(record(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failOnce.CompareAndSwap(true, false) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})))
+	t.Cleanup(shard1.Close)
+
+	coord, err := cluster.New(cluster.Config{
+		Shards:  []string{shard0.URL, shard1.URL},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Size: 16, KeepRate: 1, Threshold: time.Hour})
+	ts := httptest.NewServer(New(nil, Config{Cluster: coord, Trace: store}).Handler())
+	t.Cleanup(ts.Close)
+
+	tid, clientSpan := obs.NewTraceID(), obs.NewSpanID()
+	resp, body := doGet(t, ts.URL+"/suggest?q=rose+fpga", map[string]string{
+		"Traceparent": obs.Traceparent(tid, clientSpan, true),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// Echo: same trace ID, the server's own span ID, still sampled.
+	et, es, sampled, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q invalid", resp.Header.Get("Traceparent"))
+	}
+	if et != tid || !sampled {
+		t.Errorf("echo = (%s, sampled=%v), want trace %s sampled", et, sampled, tid)
+	}
+	if es == clientSpan {
+		t.Error("server echoed the client's span id instead of its own")
+	}
+
+	// Per-attempt hedge outcomes surface in the envelope.
+	var sr SuggestResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	var flaky *cluster.ShardStatus
+	for i := range sr.Shards {
+		if len(sr.Shards[i].Attempts) == 2 {
+			flaky = &sr.Shards[i]
+		}
+	}
+	if flaky == nil {
+		t.Fatalf("no shard reported 2 attempts: %s", body)
+	}
+	if a := flaky.Attempts; a[0].Hedge || a[0].State != "error" || !a[1].Hedge || a[1].State != "ok" {
+		t.Errorf("hedge outcomes = %+v, want attempt0 error, attempt1 hedged ok", a)
+	}
+
+	// Every attempt (3 = shard0 + shard1's failure + its hedge) carried
+	// a traceparent on the same trace.
+	mu.Lock()
+	got := append([]string(nil), forwarded...)
+	mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("%d forwarded traceparents, want 3: %v", len(got), got)
+	}
+	attemptSpans := map[string]bool{}
+	for _, h := range got {
+		ft, fs, fsampled, fok := obs.ParseTraceparent(h)
+		if !fok || ft != tid || !fsampled {
+			t.Fatalf("forwarded traceparent %q not on trace %s", h, tid)
+		}
+		attemptSpans[fs.String()] = true
+	}
+
+	// The stitched tree: root under the client's span, one
+	// shard.attempt per forwarded header, server spans under the
+	// winners, stage spans below those.
+	tr := store.Get(tid.String())
+	if tr == nil {
+		t.Fatal("trace not retained")
+	}
+	if tr.Root.ParentSpanID != clientSpan.String() {
+		t.Errorf("root parent %q, want client span %s", tr.Root.ParentSpanID, clientSpan)
+	}
+	if tr.Root.SpanID != es.String() {
+		t.Errorf("root span %s, echoed span %s", tr.Root.SpanID, es)
+	}
+	byName := checkSpanTree(t, tr.Root)
+	if n := len(byName["shard.attempt"]); n != 3 {
+		t.Fatalf("%d shard.attempt spans, want 3", n)
+	}
+	for _, a := range byName["shard.attempt"] {
+		if !attemptSpans[a.SpanID] {
+			t.Errorf("attempt span %s was never forwarded to a shard", a.SpanID)
+		}
+	}
+	if n := len(byName["shard.suggest"]); n != 2 {
+		t.Fatalf("%d shard.suggest spans, want 2 (one per winning attempt)", n)
+	}
+	if len(byName["scan"]) == 0 {
+		t.Error("no shard stage spans in the stitched tree")
+	}
+}
+
+// Without sampling there is no trace: no echoed header, nothing
+// offered to the store — and an explicitly unsampled client
+// traceparent is honored the same way.
+func TestTraceNotSampled(t *testing.T) {
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Size: 16, KeepRate: 1})
+	ts := httptest.NewServer(New(testEngine(t), Config{Trace: store, TraceSample: 0}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := doGet(t, ts.URL+"/suggest?q=rose+fpga", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("Traceparent"); h != "" {
+		t.Errorf("unsampled request echoed traceparent %q", h)
+	}
+	unsampled := obs.Traceparent(obs.NewTraceID(), obs.NewSpanID(), false)
+	resp, _ = doGet(t, ts.URL+"/suggest?q=rose+fpga", map[string]string{"Traceparent": unsampled})
+	if h := resp.Header.Get("Traceparent"); h != "" {
+		t.Errorf("sampled=00 request echoed traceparent %q", h)
+	}
+	if st := store.Stats(); st.Offered != 0 {
+		t.Errorf("unsampled requests offered %d traces", st.Offered)
+	}
+}
+
+// /tracez: list + single-tree fetch on a tracing server, 404 for
+// unknown IDs, 501 when tracing is disabled.
+func TestTracezEndpoints(t *testing.T) {
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Size: 16, KeepRate: 1, Threshold: time.Hour})
+	ts := httptest.NewServer(New(testEngine(t), Config{Trace: store, TraceSample: 1}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, _ := doGet(t, ts.URL+"/suggest?q=rose+fpga", nil)
+	tid, _, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("no traceparent echoed at sample=1: %q", resp.Header.Get("Traceparent"))
+	}
+
+	resp, body := doGet(t, ts.URL+"/tracez", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez status %d: %s", resp.StatusCode, body)
+	}
+	var list TracezResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Stats.Retained != 1 || len(list.Traces) != 1 || list.Traces[0].TraceID != tid.String() {
+		t.Fatalf("list = %+v", list)
+	}
+
+	resp, body = doGet(t, ts.URL+"/tracez?id="+tid.String(), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez?id status %d: %s", resp.StatusCode, body)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root == nil || tr.Root.Name != "suggest" {
+		t.Fatalf("tree = %s", body)
+	}
+	checkSpanTree(t, tr.Root)
+
+	if resp, _ = doGet(t, ts.URL+"/tracez?id="+obs.NewTraceID().String(), nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d, want 404", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(off.Close)
+	if resp, _ = doGet(t, off.URL+"/tracez", nil); resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("tracing-disabled /tracez status %d, want 501", resp.StatusCode)
+	}
+}
+
+// Concurrent traced requests (ring-buffer writes) racing /tracez list
+// and tree reads over HTTP — the contract -race enforces.
+func TestTracezConcurrent(t *testing.T) {
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Size: 8, KeepRate: 1, Threshold: time.Millisecond})
+	ts := httptest.NewServer(New(testEngine(t), Config{Trace: store, TraceSample: 1}).Handler())
+	t.Cleanup(ts.Close)
+
+	queries := []string{"rose+fpga", "databse+indexing", "xml+keyword", "smith+metods"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + "/suggest?q=" + queries[(g+i)%len(queries)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + "/tracez")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var list TracezResponse
+				err = json.NewDecoder(resp.Body).Decode(&list)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, s := range list.Traces {
+					r2, err := http.Get(ts.URL + "/tracez?id=" + s.TraceID)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					r2.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// /readyz standalone: a serving engine is ready; a saturated admission
+// gate (next scan would shed) is not.
+func TestReadyzStandalone(t *testing.T) {
+	srv := New(testEngine(t), Config{MaxInflight: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := doGet(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Ready {
+		t.Fatalf("idle server not ready: %s", body)
+	}
+
+	// Hold the only in-flight slot (no queue configured): the next scan
+	// would shed, so readiness must flip.
+	release, admit := srv.adm.acquire(context.Background())
+	if admit != admitOK {
+		t.Fatal("could not acquire the admission slot")
+	}
+	resp, body = doGet(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /readyz status %d, want 503: %s", resp.StatusCode, body)
+	}
+	release()
+	if resp, _ = doGet(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("released /readyz status %d, want 200", resp.StatusCode)
+	}
+}
+
+// /readyz catalog: ready only when the default corpus serves (or can
+// warm-start); an empty catalog is unready.
+func TestReadyzCatalog(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "default.xml")
+	if err := os.WriteFile(doc, []byte("<dblp><article><title>fpga</title></article></dblp>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New(catalog.Config{})
+	ts := httptest.NewServer(New(nil, Config{Catalog: cat}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := doGet(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty catalog /readyz status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if err := cat.Add("default", doc); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = doGet(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serving catalog /readyz status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// /readyz coordinator: ready on shard quorum, unready (503) when the
+// majority is down.
+func TestReadyzCoordinator(t *testing.T) {
+	shard := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(shard.Close)
+	coord, err := cluster.New(cluster.Config{
+		Shards:  []string{shard.URL},
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(nil, Config{Cluster: coord}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := doGet(t, ts.URL+"/readyz", nil)
+	var rr ReadyResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !rr.Ready || rr.ShardsUp != 1 || rr.ShardsTotal != 1 {
+		t.Fatalf("healthy coordinator /readyz = %d %s", resp.StatusCode, body)
+	}
+
+	shard.Close()
+	resp, body = doGet(t, ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quorum-lost /readyz status %d, want 503: %s", resp.StatusCode, body)
+	}
+	var down ReadyResponse
+	if err := json.Unmarshal(body, &down); err != nil {
+		t.Fatal(err)
+	}
+	if down.Ready || down.ShardsUp != 0 || down.Reason == "" {
+		t.Fatalf("quorum-lost body = %s", body)
+	}
+}
+
+// A traced slow request embeds its stitched tree in the slow-query
+// record, and sampled requests put exemplars on the Prometheus
+// histogram buckets.
+func TestTraceSlowLogAndExemplars(t *testing.T) {
+	var sb bytes.Buffer
+	slow := qlog.NewSlowLog(&sb, time.Nanosecond) // everything is slow
+	store := obs.NewTraceStore(obs.TraceStoreConfig{Size: 16, KeepRate: 1, Threshold: time.Hour})
+	ts := httptest.NewServer(New(testEngine(t), Config{
+		Trace: store, TraceSample: 1, SlowLog: slow,
+	}).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, _ := doGet(t, ts.URL+"/suggest?q=rose+fpga", nil)
+	tid, _, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatal("no traceparent echoed")
+	}
+	line := sb.String()
+	if !strings.Contains(line, `"trace":{"traceId":"`+tid.String()+`"`) {
+		t.Errorf("slow record carries no stitched tree:\n%s", line)
+	}
+
+	_, body := doGet(t, ts.URL+"/metricz?format=prometheus", nil)
+	if !strings.Contains(string(body), fmt.Sprintf(`# {trace_id=%q`, tid.String())) {
+		t.Errorf("no exemplar for trace %s in exposition", tid)
+	}
+	if !strings.Contains(string(body), "xclean_go_goroutines") {
+		t.Error("runtime block missing from exposition")
+	}
+	if !strings.Contains(string(body), "xclean_trace_retained_total") {
+		t.Error("trace store counters missing from exposition")
+	}
+}

@@ -1,0 +1,144 @@
+#!/bin/sh
+# trace_smoke.sh — end-to-end distributed-tracing smoke test.
+#
+# Boots two shard servers — one artificially slowed with -inject-delay
+# — plus a tracing coordinator on loopback, sends one traced query
+# through the cluster, and asserts:
+#
+#   1. the response echoes a traceparent carrying the trace ID;
+#   2. the tail sampler retained the slow trace (the injected delay
+#      pushes it over -trace-threshold);
+#   3. /tracez?id= returns the stitched tree: coordinator root span,
+#      per-shard attempt spans, and the slow shard's stage spans;
+#   4. /readyz reports ready on the coordinator (quorum up).
+#
+# Run via `make trace-smoke`. Requires only the go toolchain and curl.
+set -eu
+
+PORT_SHARD0=18191
+PORT_SHARD1=18192
+PORT_COORD=18190
+DELAY=400ms # injected shard slowness, well over the 100ms threshold
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "trace-smoke: $*"; }
+
+wait_http() {
+	i=0
+	while ! curl -fsS -o /dev/null --max-time 1 "$1" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			say "timeout waiting for $1"
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+
+say "building binaries"
+go build -o "$tmp/xgen" ./cmd/xgen
+go build -o "$tmp/xclean" ./cmd/xclean
+go build -o "$tmp/xserve" ./cmd/xserve
+
+say "generating corpus and shard indexes"
+"$tmp/xgen" -out "$tmp/corpus.xml" -kind dblp -articles 500 -queries 1
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard0.idx" -shard 0/2
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard1.idx" -shard 1/2
+q=$(head -1 "$tmp/corpus.xml.queries.tsv" | cut -f2)
+
+say "starting shard servers (shard 1 slowed by $DELAY)"
+"$tmp/xserve" -index "$tmp/shard0.idx" -addr "127.0.0.1:$PORT_SHARD0" -q &
+pids="$pids $!"
+"$tmp/xserve" -index "$tmp/shard1.idx" -addr "127.0.0.1:$PORT_SHARD1" \
+	-inject-delay "$DELAY" -q &
+pids="$pids $!"
+wait_http "http://127.0.0.1:$PORT_SHARD0/healthz"
+wait_http "http://127.0.0.1:$PORT_SHARD1/healthz"
+
+say "starting tracing coordinator"
+"$tmp/xserve" -role coordinator \
+	-shards "127.0.0.1:$PORT_SHARD0,127.0.0.1:$PORT_SHARD1" \
+	-addr "127.0.0.1:$PORT_COORD" -cache 0 -shard-timeout 5s \
+	-trace-sample 1 -trace-buffer 64 -trace-threshold 100ms -q &
+pids="$pids $!"
+wait_http "http://127.0.0.1:$PORT_COORD/healthz"
+
+say "readiness: quorum up"
+ready=$(curl -sS "http://127.0.0.1:$PORT_COORD/readyz")
+echo "$ready"
+case "$ready" in
+*'"ready":true'*) ;;
+*)
+	say "FAIL: coordinator not ready with both shards up"
+	exit 1
+	;;
+esac
+
+say "traced query through the slow cluster: $q"
+url="http://127.0.0.1:$PORT_COORD/suggest?q=$(printf %s "$q" | sed 's/ /+/g')"
+hdrs=$tmp/headers
+resp=$(curl -fsS -D "$hdrs" --max-time 15 "$url")
+echo "$resp"
+
+tp=$(grep -i '^traceparent:' "$hdrs" | tr -d '\r' | awk '{print $2}')
+if [ -z "$tp" ]; then
+	say "FAIL: response carried no traceparent header"
+	exit 1
+fi
+trace_id=$(printf %s "$tp" | cut -d- -f2)
+say "trace id: $trace_id"
+
+say "fetching the stitched tree from /tracez"
+tree=$(curl -fsS "http://127.0.0.1:$PORT_COORD/tracez?id=$trace_id")
+echo "$tree" | head -c 2000
+echo
+
+# The injected delay made the trace slow, so the tail sampler must
+# have retained it in the protected ring.
+case "$tree" in
+*'"retained":"slow"'*) ;;
+*)
+	say "FAIL: slow trace not retained as \"slow\" (threshold=100ms, delay=$DELAY)"
+	exit 1
+	;;
+esac
+# Coordinator root span → per-shard attempt spans → shard stage spans.
+case "$tree" in
+*'"name":"shard.attempt"'*) ;;
+*)
+	say "FAIL: stitched tree has no shard.attempt spans"
+	exit 1
+	;;
+esac
+case "$tree" in
+*'"name":"shard.suggest"'*) ;;
+*)
+	say "FAIL: stitched tree has no shard-side server spans"
+	exit 1
+	;;
+esac
+# Stage spans carry the engine's stage taxonomy names under the
+# shard's server span.
+case "$tree" in
+*'"name":"scan"'*) ;;
+*)
+	say "FAIL: stitched tree has no shard stage spans"
+	exit 1
+	;;
+esac
+
+say "trace store stats"
+curl -fsS "http://127.0.0.1:$PORT_COORD/tracez?n=5" | head -c 1000
+echo
+
+say "OK"

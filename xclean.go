@@ -340,6 +340,19 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 	return ps, err
 }
 
+// SuggestPartialsExplainedContext is SuggestPartialsContext plus the
+// stage spans of the scan (obs.Span per stage, per worker) — the shard
+// half of distributed tracing. A traced coordinator request asks its
+// shards for this variant so every shard's per-stage timing rides back
+// in the response envelope and stitches into the cluster-wide trace.
+func (e *Engine) SuggestPartialsExplainedContext(ctx context.Context, query string) (PartialSet, []obs.Span, error) {
+	if e.core == nil {
+		return PartialSet{}, nil, fmt.Errorf("xclean: shard partials require the result-type semantics")
+	}
+	ps, _, spans, err := e.core.SuggestPartialsExplainedContext(ctx, query)
+	return ps, spans, err
+}
+
 // ShardEngine returns an engine over shard `shard` of `n`: the slice
 // of the corpus holding the shard'th contiguous range of top-level
 // entity roots, with collection-global statistics (vocabulary, type
