@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke trace-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke trace-smoke ingest-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # and run the test suite under the race detector (the parallel scan
@@ -90,3 +90,10 @@ shed-smoke:
 # the stitched coordinator → shard-attempt → shard-stage span tree.
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# End-to-end live-ingest smoke test: stream document additions and
+# removals through /corpora admin actions while a query loop runs,
+# asserting zero query errors, no stale cache answers, at least one
+# completed background compaction, and a clean flush to one segment.
+ingest-smoke:
+	./scripts/ingest_smoke.sh

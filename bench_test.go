@@ -603,6 +603,37 @@ func BenchmarkSuggest(b *testing.B) {
 	}
 }
 
+// BenchmarkSuggestFlattened is BenchmarkSuggest against an engine that
+// took a live write and was then flushed to a single segment: queries
+// serve through the segment store's flattened fast path, which must
+// stay within the bench-gate tolerance of the monolithic numbers.
+func BenchmarkSuggestFlattened(b *testing.B) {
+	c := dataset.GenerateDBLP(dataset.DBLPConfig{Seed: 42, Articles: 5000})
+	e := FromTree(c.Tree, Options{MaxErrors: 2, Workers: 1})
+	err := e.AddDocument(strings.NewReader(
+		`<article><author>doe</author><title>flattened segment benchmark</title></article>`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.FlushSegments(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	qs := c.SampleQueries(6, 20)
+	p := queryset.NewPerturber(7, invindex.Build(c.Tree, tokenizer.Options{}).Vocab)
+	dirty := make([]string, len(qs))
+	for i, q := range qs {
+		if d, ok := p.Rand(q); ok {
+			dirty[i] = d
+		} else {
+			dirty[i] = q
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Suggest(dirty[i%len(dirty)])
+	}
+}
+
 // BenchmarkSuggestObserved is BenchmarkSuggest with a metrics sink
 // attached — the delta against BenchmarkSuggest is the full cost of
 // stage timing and sink publication (the no-sink path must stay within

@@ -88,6 +88,8 @@ func main() {
 		trBuffer  = flag.Int("trace-buffer", 0, "tail-sampled trace store capacity in traces; >0 enables tracing and /tracez (0 with -trace-sample 0 disables tracing)")
 		trThr     = flag.Duration("trace-threshold", 0, "latency above which a trace is always retained by the tail sampler (0 = 250ms)")
 		injDelay  = flag.Duration("inject-delay", 0, "fault injection: sleep this long inside every engine scan (testing only)")
+		tailLim   = flag.Int("tail-limit", 0, "segmented index: buffered tail documents before a seal (0 = 64)")
+		compactIv = flag.Duration("compact-interval", 0, "segmented index: background compaction check interval (0 = compact only after writes)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -130,6 +132,8 @@ func main() {
 		CompactPostings: *compact,
 		StoreText:       *store,
 		Workers:         *workers,
+		TailLimit:       *tailLim,
+		CompactInterval: *compactIv,
 	}
 
 	var queryLog *qlog.Log

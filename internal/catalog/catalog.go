@@ -140,6 +140,10 @@ type Status struct {
 	LastAccess string `json:"lastAccess,omitempty"`
 	// Stats describes the served index (zero while not serving).
 	Stats xclean.IndexStats `json:"stats"`
+	// Seg describes the corpus's segment stack once live document
+	// writes switched the engine to its segmented form (all zero while
+	// monolithic or not serving).
+	Seg xclean.SegmentStats `json:"segments"`
 }
 
 // corpus is one catalog entry. The engine handle and access time are
@@ -556,6 +560,76 @@ func (c *Catalog) writeSnapshot(name string, eng *xclean.Engine) (string, error)
 	return final, nil
 }
 
+// mutate runs one document write against the named corpus's engine
+// under the corpus build mutex, so live writes, rebuilds, revivals,
+// and evictions all share the engine's single-writer contract. On
+// success it refreshes the cached doc count and index stats and fires
+// the swap hooks — the corpus's answers changed, so the serving layer
+// must drop its cached suggestions.
+func (c *Catalog) mutate(name string, docsDelta int, fn func(*xclean.Engine) error) error {
+	co, err := c.lookup(name)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Get(name); err != nil { // revive if evicted
+		return err
+	}
+	co.buildMu.Lock()
+	defer co.buildMu.Unlock()
+	eng := co.engine.Load()
+	if eng == nil {
+		return fmt.Errorf("catalog: %w: %q", ErrNotServing, name)
+	}
+	if err := fn(eng); err != nil {
+		return err
+	}
+	co.mu.Lock()
+	co.docs += docsDelta
+	co.stats = engineStats(eng)
+	co.mu.Unlock()
+	c.notifySwap(co.name)
+	return nil
+}
+
+// AddDocumentTo streams one XML document into the named corpus's live
+// index (Engine.AddDocument): it is searchable as soon as the call
+// returns, absorbed by the segment stack's mutable tail. Live writes
+// mutate only the resident engine — a later rebuild from source or
+// revival from snapshot serves the corpus as of that artifact.
+func (c *Catalog) AddDocumentTo(name string, r io.Reader) error {
+	return c.mutate(name, 1, func(e *xclean.Engine) error { return e.AddDocument(r) })
+}
+
+// RemoveDocumentFrom removes the document rooted at the given
+// top-level Dewey code from the named corpus (Engine.RemoveDocument):
+// a tombstone for sealed content, an outright drop for still-buffered
+// tail content. The same persistence caveat as AddDocumentTo applies.
+func (c *Catalog) RemoveDocumentFrom(name, code string) error {
+	return c.mutate(name, -1, func(e *xclean.Engine) error { return e.RemoveDocument(code) })
+}
+
+// CompactCorpus synchronously runs at most one segment-compaction step
+// (tombstone purge or small-segment merge) on the named corpus,
+// reporting whether any work was done.
+func (c *Catalog) CompactCorpus(ctx context.Context, name string) (bool, error) {
+	eng, err := c.Get(name)
+	if err != nil {
+		return false, err
+	}
+	return eng.CompactNow(ctx)
+}
+
+// FlushCorpus flattens the named corpus's segment stack — tail sealed,
+// tombstones purged — into a single segment, restoring the monolithic
+// fast path.
+func (c *Catalog) FlushCorpus(ctx context.Context, name string) error {
+	eng, err := c.Get(name)
+	if err != nil {
+		return err
+	}
+	return eng.FlushSegments(ctx)
+}
+
 // Remove drops the corpus from the catalog. In-flight requests holding
 // its engine finish normally; the snapshot file (if any) is left on
 // disk.
@@ -744,6 +818,9 @@ func (co *corpus) status() Status {
 	}
 	if last := co.lastAccess.Load(); last != 0 {
 		st.LastAccess = time.Unix(0, last).UTC().Format(time.RFC3339Nano)
+	}
+	if e := co.engine.Load(); e != nil {
+		st.Seg = e.SegmentStats()
 	}
 	return st
 }

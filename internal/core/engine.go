@@ -230,6 +230,21 @@ type Engine struct {
 	prior  *entityPrior
 	cfg    Config
 
+	// scanPaths, deadOrds, and deadNorm are set only on scan-variant
+	// engines (ScanVariant), which score one sealed index segment inside
+	// a segmented stack. scanPaths is the newest (superset) path table of
+	// the stack, consulted wherever a result type inferred from global
+	// statistics may name a path this segment's own table has never
+	// interned. deadOrds marks tombstoned top-level document ordinals:
+	// the anchor scan skips their subtrees without reading postings.
+	// deadNorm is the tombstoned prior mass per result type, subtracted
+	// from the cached normalizers so scores reflect only live entities.
+	// All three are nil on ordinary engines, which therefore pay one nil
+	// check on the affected paths.
+	scanPaths *xmltree.PathTable
+	deadOrds  map[uint32]bool
+	deadNorm  map[xmltree.PathID]float64
+
 	// sink receives aggregate metrics of every call; nil disables all
 	// instrumentation (one branch per call site). Set via SetSink;
 	// carried across Refresh.
@@ -747,6 +762,16 @@ func (e *Engine) scanShard(ctx context.Context, kws []Keyword, shard, nShards in
 			sinceCheck--
 		}
 		g := anchor.Truncate(d)
+		if e.deadOrds != nil && len(g) >= 2 && e.deadOrds[g[1]] {
+			// Tombstoned document: gallop every list past its subtree
+			// without reading the postings.
+			target := xmltree.Dewey{g[0], g[1] + 1}
+			for _, l := range lists {
+				l.SkipTo(target)
+			}
+			anchor, ok = e.maxHead(lists)
+			continue
+		}
 		if nShards > 1 {
 			if len(g) < 2 {
 				// An anchor directly under the root has no top-level
@@ -928,6 +953,13 @@ func (e *Engine) group(sc *scanScratch, kw, idx, depth int) []groupEntry {
 		if p.Dewey.Depth() < depth {
 			continue
 		}
+		if e.deadOrds != nil && len(p.Dewey) >= 2 && e.deadOrds[p.Dewey[1]] {
+			// Occurrences inside tombstoned documents can still reach the
+			// grouping through a root-level anchor (direct root text makes
+			// the whole tree one anchor group); drop them here so dead
+			// entities never contribute.
+			continue
+		}
 		root := p.Dewey.Truncate(depth)
 		if prev != nil && root.Compare(prev) == 0 {
 			g[len(g)-1].count += p.TF
@@ -986,9 +1018,9 @@ func (e *Engine) scoreCandidate(
 	if resType == xmltree.InvalidPath {
 		return
 	}
-	dp := e.ix.Paths.Depth(resType)
-	norm := e.prior.normFor(resType)
-	if norm == 0 {
+	dp := e.pathsView().Depth(resType)
+	norm := e.liveNorm(resType)
+	if norm <= 0 {
 		return
 	}
 	weight := 1.0
@@ -1078,8 +1110,8 @@ func (e *Engine) scoreCandidate(
 func (e *Engine) finalize(kws []Keyword, acc *accumulators) []Suggestion {
 	var out []Suggestion
 	for _, a := range acc.all() {
-		norm := e.prior.normFor(a.resultType)
-		if norm == 0 {
+		norm := e.liveNorm(a.resultType)
+		if norm <= 0 {
 			continue
 		}
 		sum := a.sum

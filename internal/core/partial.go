@@ -160,7 +160,7 @@ func (e *Engine) suggestPartials(ctx context.Context, query string, explain bool
 		if e.ix.Paths.Depth(p) < d {
 			continue
 		}
-		if n := e.prior.normFor(p); n > 0 {
+		if n := e.liveNorm(p); n > 0 {
 			norms[e.ix.Paths.String(p)] = n
 		}
 	}

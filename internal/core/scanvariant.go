@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"xclean/internal/fastss"
+	"xclean/internal/lm"
+	"xclean/internal/resulttype"
+	"xclean/internal/xmltree"
+)
+
+// Segmented-index support: a segmented engine (internal/segment) keeps
+// a stack of immutable index segments, each holding a disjoint range of
+// top-level documents. Eq. (8) decomposes additively over that
+// partition — exactly the property the cluster's scatter-gather
+// protocol exploits — so a segmented query runs the scan half of
+// Algorithm 1 once per segment and folds the partial sums with
+// MergePartials. Two things distinguish the in-process stack from the
+// cluster: smoothing, type inference, and bigram statistics must come
+// from the stack-global live collection (a remote shard uses its own,
+// the stack substitutes shared models via ScanVariant), and segments
+// carry tombstones (deadOrds/deadNorm) that the scan must filter.
+
+// ScanOverrides configures a scan-variant engine: substituted global
+// models and the tombstone state of one segment.
+type ScanOverrides struct {
+	// Model is the query generation model smoothed against the
+	// stack-global live background.
+	Model *lm.Model
+	// Inferrer infers result types from stack-global live type lists.
+	Inferrer *resulttype.Inferrer
+	// Bigram is the stack-global coherence model; nil when the bigram
+	// extension is off.
+	Bigram *lm.BigramModel
+	// Paths is the newest path table of the stack — a superset of every
+	// segment's own table (tables grow append-only and clones preserve
+	// IDs), consulted for paths this segment never interned.
+	Paths *xmltree.PathTable
+	// DeadOrds marks tombstoned top-level document ordinals of this
+	// segment; their subtrees are skipped wholesale.
+	DeadOrds map[uint32]bool
+	// DeadNorm is the tombstoned prior mass per result type, subtracted
+	// from the segment's cached normalizers.
+	DeadNorm map[xmltree.PathID]float64
+}
+
+// ScanVariant returns a read-only copy of the engine that scores this
+// engine's index with substituted global models and tombstone filters.
+// The copy shares every immutable structure (index, variant index,
+// cached priors) with the receiver; it carries no sink — the segment
+// store owns the user call and observes it once. The receiver is not
+// modified and may keep serving queries concurrently.
+func (e *Engine) ScanVariant(o ScanOverrides) *Engine {
+	// Field-by-field construction: Engine embeds a mutex (lastStats), so
+	// a struct copy would trip go vet and copy lock state.
+	return &Engine{
+		ix:        e.ix,
+		fss:       e.fss,
+		phon:      e.phon,
+		model:     o.Model,
+		bigram:    o.Bigram,
+		inf:       o.Inferrer,
+		em:        e.em,
+		prior:     e.prior,
+		cfg:       e.cfg,
+		scanPaths: o.Paths,
+		deadOrds:  o.DeadOrds,
+		deadNorm:  o.DeadNorm,
+	}
+}
+
+// pathsView is the path table used to interpret result types: the
+// stack-global table on scan-variant engines, the index's own table
+// otherwise.
+func (e *Engine) pathsView() *xmltree.PathTable {
+	if e.scanPaths != nil {
+		return e.scanPaths
+	}
+	return e.ix.Paths
+}
+
+// liveNorm is the prior normalizer of result type p minus the
+// tombstoned mass of this scan view (normFor itself on ordinary
+// engines).
+func (e *Engine) liveNorm(p xmltree.PathID) float64 {
+	n := e.prior.normFor(p)
+	if e.deadNorm != nil {
+		n -= e.deadNorm[p]
+	}
+	return n
+}
+
+// VariantMatches exposes the engine's merged variant set for one
+// keyword token (edit-distance neighbors plus any enabled phonetic and
+// synonym sources). The segment store unions these across segments to
+// build the stack-global variant sets.
+func (e *Engine) VariantMatches(tok string) []fastss.Match { return e.variants(tok) }
+
+// SuggestPartialsForKeywords runs the scan half of Algorithm 1 over a
+// prepared keyword list and returns the raw per-candidate partial sums
+// — the per-segment half of the segmented query path. Unlike
+// SuggestPartials it performs no tokenization, no variant lookup, and
+// no sink observation: the caller built the keywords once against the
+// whole stack and owns the user-call observability. workers ≤ 0 means
+// the engine's configured parallelism.
+func (e *Engine) SuggestPartialsForKeywords(ctx context.Context, kws []Keyword, workers int) (PartialSet, Stats, error) {
+	if workers <= 0 {
+		workers = e.cfg.workers()
+	}
+	ps := PartialSet{Keywords: make([][]PartialVariant, len(kws))}
+	for i, kw := range kws {
+		vs := make([]PartialVariant, len(kw.Variants))
+		for j, v := range kw.Variants {
+			vs[j] = PartialVariant{Word: v.Word, Dist: v.Dist}
+		}
+		ps.Keywords[i] = vs
+	}
+
+	acc, st, err := e.scanKeywords(ctx, kws, workers, nil)
+	if err != nil {
+		return PartialSet{}, st, err
+	}
+
+	// Live normalizers of every eligible result type in this segment.
+	// Paths that exist only in other segments contribute no entities
+	// here, so iterating the segment's own table is complete.
+	norms := make(map[string]float64)
+	d := e.cfg.minDepth()
+	for p := xmltree.PathID(0); int(p) < e.ix.Paths.Len(); p++ {
+		if e.ix.Paths.Depth(p) < d {
+			continue
+		}
+		if n := e.liveNorm(p); n > 0 {
+			norms[e.ix.Paths.String(p)] = n
+		}
+	}
+	ps.TypeNorms = norms
+
+	if acc == nil {
+		return ps, st, nil
+	}
+	// The candidates below hold the accumulators' words; only the
+	// table's storage is recycled.
+	defer acc.release()
+	if acc.len() == 0 {
+		return ps, st, nil
+	}
+
+	all := acc.all()
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	ps.Candidates = make([]PartialCandidate, 0, len(all))
+	for _, a := range all {
+		sum := a.sum
+		if e.cfg.ScoreMode == ScoreModeExact {
+			sum += e.backgroundMass(a.words, a.resultType) - a.bgMatched
+		}
+		coherence := 1.0
+		if e.bigram != nil {
+			coherence = e.bigram.SequenceProb(a.words)
+		}
+		witness := ""
+		if a.witness != "" {
+			witness = xmltree.DeweyFromKey(a.witness).String()
+		}
+		ps.Candidates = append(ps.Candidates, PartialCandidate{
+			Words:      a.words,
+			ResultType: e.pathsView().String(a.resultType),
+			Sum:        sum,
+			Entities:   a.entities,
+			Witness:    witness,
+			Coherence:  coherence,
+		})
+	}
+	return ps, st, nil
+}

@@ -19,6 +19,9 @@ package fastss
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"xclean/internal/editdist"
 )
@@ -56,6 +59,23 @@ type Index struct {
 	// halfLens[i] is the rune length of the first half of partitioned
 	// word i, or 0 if word i is indexed whole.
 	halfLens []int32
+	// memo interns completed Search results per query word. Keyword
+	// neighborhoods repeat heavily across queries (the same misspellings
+	// recur, and every engine Refresh re-probes its working set), so a
+	// hit skips both the deletion-neighborhood enumeration and the
+	// banded verification. The memo is bounded (memoCap) and is replaced
+	// wholesale on Add, which by the Index contract never races with
+	// Search.
+	memo *searchMemo
+}
+
+// memoCap bounds the per-index Search memo: at most this many distinct
+// query words are interned; further misses are computed but not stored.
+const memoCap = 4096
+
+type searchMemo struct {
+	n atomic.Int32
+	m sync.Map // query word -> []Match
 }
 
 // New returns an empty index with the given configuration.
@@ -67,6 +87,7 @@ func New(cfg Config) *Index {
 		cfg:     cfg,
 		ids:     make(map[string]int32),
 		buckets: make(map[bucketKey][]int32),
+		memo:    &searchMemo{},
 	}
 }
 
@@ -94,6 +115,7 @@ func (ix *Index) Clone() *Index {
 		ids:      make(map[string]int32, len(ix.ids)+1),
 		buckets:  make(map[bucketKey][]int32, len(ix.buckets)+1),
 		halfLens: ix.halfLens[:len(ix.halfLens):len(ix.halfLens)],
+		memo:     &searchMemo{},
 	}
 	for w, id := range ix.ids {
 		c.ids[w] = id
@@ -108,6 +130,13 @@ func (ix *Index) Clone() *Index {
 func (ix *Index) Add(word string) {
 	if _, ok := ix.ids[word]; ok {
 		return
+	}
+	if ix.memo == nil {
+		ix.memo = &searchMemo{}
+	} else if ix.memo.n.Load() != 0 {
+		// Interned results predate this word; drop them. During bulk
+		// Build the memo is empty, so no churn.
+		ix.memo = &searchMemo{}
 	}
 	id := int32(len(ix.words))
 	ix.ids[word] = id
@@ -126,54 +155,123 @@ func (ix *Index) Add(word string) {
 }
 
 func (ix *Index) addVariants(part int8, s string, maxDel int, id int32) {
-	for v := range deletionNeighborhood(s, maxDel) {
+	forEachDeletion(s, maxDel, func(v string) {
 		key := bucketKey{part, v}
 		lst := ix.buckets[key]
 		if n := len(lst); n > 0 && lst[n-1] == id {
-			continue // same word, another variant path
+			return // same word, another variant path
 		}
 		ix.buckets[key] = append(lst, id)
-	}
+	})
 }
 
-// deletionNeighborhood returns the set of strings obtainable from s by
-// deleting at most maxDel runes (including s itself).
+// nbhScratch holds the reusable state of one deletion-neighborhood
+// enumeration: the dedup set, the breadth-first frontiers, and the
+// rune/byte work buffers. Pooled so steady-state enumeration allocates
+// only the distinct variant strings themselves.
+type nbhScratch struct {
+	seen     map[string]struct{}
+	frontier []string
+	next     []string
+	runes    []rune
+	buf      []byte
+}
+
+var nbhPool = sync.Pool{
+	New: func() any { return &nbhScratch{seen: make(map[string]struct{}, 64)} },
+}
+
+// forEachDeletion invokes fn once per distinct string obtainable from s
+// by deleting at most maxDel runes (including s itself). Enumeration is
+// breadth-first by deletion count; duplicates arising from different
+// deletion orders are visited once. The byte-buffer dedup probe
+// (string(sc.buf) inside a map index) does not allocate, so only novel
+// variants materialize a string.
+func forEachDeletion(s string, maxDel int, fn func(v string)) {
+	fn(s)
+	if maxDel <= 0 || s == "" {
+		return
+	}
+	sc := nbhPool.Get().(*nbhScratch)
+	sc.seen[s] = struct{}{}
+	frontier := append(sc.frontier[:0], s)
+	next := sc.next[:0]
+	for level := 0; level < maxDel && len(frontier) > 0; level++ {
+		next = next[:0]
+		for _, t := range frontier {
+			r := sc.runes[:0]
+			for _, c := range t {
+				r = append(r, c)
+			}
+			sc.runes = r
+			for i := range r {
+				buf := sc.buf[:0]
+				for j, c := range r {
+					if j != i {
+						buf = utf8.AppendRune(buf, c)
+					}
+				}
+				sc.buf = buf
+				if _, ok := sc.seen[string(buf)]; ok {
+					continue
+				}
+				v := string(buf)
+				sc.seen[v] = struct{}{}
+				fn(v)
+				next = append(next, v)
+			}
+		}
+		frontier, next = next, frontier
+	}
+	for k := range sc.seen {
+		delete(sc.seen, k)
+	}
+	// frontier/next may have been swapped an odd number of times; store
+	// both so their capacity survives either way.
+	sc.frontier, sc.next = frontier[:0], next[:0]
+	nbhPool.Put(sc)
+}
+
+// deletionNeighborhood materializes the ≤maxDel deletion neighborhood
+// of s as a set (the reference form used by tests; the hot paths stream
+// through forEachDeletion instead).
 func deletionNeighborhood(s string, maxDel int) map[string]struct{} {
 	out := make(map[string]struct{})
-	var rec func(r []rune, dels int)
-	rec = func(r []rune, dels int) {
-		key := string(r)
-		if _, ok := out[key]; ok {
-			return
-		}
-		out[key] = struct{}{}
-		if dels == 0 || len(r) == 0 {
-			return
-		}
-		buf := make([]rune, len(r)-1)
-		for i := range r {
-			copy(buf, r[:i])
-			copy(buf[i:], r[i+1:])
-			rec(buf, dels-1)
-		}
-	}
-	rec([]rune(s), maxDel)
+	forEachDeletion(s, maxDel, func(v string) { out[v] = struct{}{} })
 	return out
 }
 
 // Search returns every vocabulary word within ε edit errors of q,
 // sorted by (distance, word). This is var_ε(q) of the paper; note it
-// includes q itself when q is a vocabulary term.
+// includes q itself when q is a vocabulary term. Results may be served
+// from the per-index memo and must not be mutated by callers.
 func (ix *Index) Search(q string) []Match {
+	memo := ix.memo
+	if memo != nil {
+		if v, ok := memo.m.Load(q); ok {
+			return v.([]Match)
+		}
+	}
+	matches := ix.search(q)
+	if memo != nil && memo.n.Load() < memoCap {
+		if _, loaded := memo.m.LoadOrStore(q, matches); !loaded {
+			memo.n.Add(1)
+		}
+	}
+	return matches
+}
+
+// search is the uncached Search body.
+func (ix *Index) search(q string) []Match {
 	eps := ix.cfg.MaxErrors
 	cand := make(map[int32]struct{})
 
 	// Whole-word probes.
-	for v := range deletionNeighborhood(q, eps) {
+	forEachDeletion(q, eps, func(v string) {
 		for _, id := range ix.buckets[bucketKey{0, v}] {
 			cand[id] = struct{}{}
 		}
-	}
+	})
 
 	// Partitioned probes: enumerate prefixes (for first halves) and
 	// suffixes (for second halves) of q in the alignment window, then
@@ -182,11 +280,11 @@ func (ix *Index) Search(q string) []Match {
 		halfErr := eps / 2
 		runes := []rune(q)
 		probe := func(part int8, piece string) {
-			for v := range deletionNeighborhood(piece, halfErr) {
+			forEachDeletion(piece, halfErr, func(v string) {
 				for _, id := range ix.buckets[bucketKey{part, v}] {
 					cand[id] = struct{}{}
 				}
-			}
+			})
 		}
 		// Any indexed word w has |w| ∈ [|q|-ε, |q|+ε] if it matches, and
 		// first-half length h = ⌈|w|/2⌉. The aligned query prefix has

@@ -26,56 +26,10 @@ func (ix *Index) AddDocument(doc *xmltree.Tree) error {
 	if ix.comp != nil {
 		return fmt.Errorf("invindex: AddDocument: compacted index is immutable")
 	}
-	if doc == nil || doc.Root == nil {
-		return fmt.Errorf("invindex: AddDocument: empty document")
-	}
-
-	rootPath, err := ix.rootPathID()
-	if err != nil {
-		return err
-	}
-	root := xmltree.Dewey{1}
 	if ix.nextRootChild == 0 {
-		ix.nextRootChild = ix.maxRootChildOrdinal(root) + 1
+		ix.nextRootChild = ix.maxRootChildOrdinal(xmltree.Dewey{1}) + 1
 	}
-	ordinal := ix.nextRootChild
-	ix.nextRootChild++
-
-	// Index the grafted subtree, collecting the tokens it introduces.
-	newPostings := make(map[string][]Posting)
-	added := ix.indexGrafted(doc.Root, root.Child(ordinal), rootPath, newPostings)
-
-	// The root's virtual document grew.
-	rootKey := root.Key()
-	ix.subtreeLen[rootKey] += added
-	if lens := ix.pathLens[rootPath]; len(lens) == 1 {
-		lens[0] += added
-	}
-
-	// Merge type-list deltas. Ancestors at depth ≥ 2 lie inside the
-	// grafted subtree, so every (token, ancestor) pair there is new;
-	// the root (depth 1) was already counted for any token that existed
-	// before this call.
-	for tok, plist := range newPostings {
-		counts := make(map[xmltree.PathID]int32)
-		var prev xmltree.Dewey
-		for _, p := range plist {
-			div := divergeDepth(prev, p.Dewey)
-			if div < 2 {
-				div = 1 // never re-count depth-1 here
-			}
-			for k := div + 1; k <= p.Dewey.Depth(); k++ {
-				counts[ix.Paths.Ancestor(p.Path, k)]++
-			}
-			prev = p.Dewey
-		}
-		if len(ix.postings[tok]) == len(plist) {
-			// Brand-new token: the root now counts for it too.
-			counts[rootPath]++
-		}
-		ix.mergeTypeCounts(tok, counts)
-	}
-	return nil
+	return ix.GraftDocument(doc, ix.nextRootChild)
 }
 
 // rootPathID finds the label path of the tree root (the unique

@@ -1,0 +1,721 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// Segment support: the primitives internal/segment composes into an
+// LSM-style stack of immutable index segments plus a mutable tail.
+//
+//   - NewSegment / GraftDocument build a small index over a document
+//     range without parsing a whole corpus;
+//   - AnalyzeRemoval computes the exact per-structure deltas of a
+//     document removal WITHOUT mutating the index (the tombstone set a
+//     sealed segment carries);
+//   - CloneDropping materializes a purged copy of a segment with its
+//     tombstones applied;
+//   - MergeOrdered concatenates ordinal-disjoint segments back into one
+//     index identical to a cold build over the union.
+//
+// All of them preserve the invariant the rest of the system depends
+// on: the resulting index is indistinguishable from Build over the
+// same set of live documents (up to root-child ordinals, which are
+// never reused).
+
+// PathDepth is the depth of label path p (resulttype.Source).
+func (ix *Index) PathDepth(p xmltree.PathID) int { return ix.Paths.Depth(p) }
+
+// RootLabel returns the label of the indexed tree's root.
+func (ix *Index) RootLabel() (string, error) {
+	rootPath, err := ix.rootPathID()
+	if err != nil {
+		return "", err
+	}
+	return ix.Paths.Label(rootPath), nil
+}
+
+// MaxRootChildOrdinal is the largest sibling ordinal in use directly
+// under the root (0 on an empty index).
+func (ix *Index) MaxRootChildOrdinal() uint32 {
+	return ix.maxRootChildOrdinal(xmltree.Dewey{1})
+}
+
+// RootOrdinalRange is the smallest and largest sibling ordinal in use
+// directly under the root (both 0 on an empty index). The segment store
+// uses it to order and merge ordinal-disjoint segments.
+func (ix *Index) RootOrdinalRange() (lo, hi uint32) {
+	return ix.rootOrdinalRange()
+}
+
+// RootChildCount is the number of documents (direct children of the
+// root) in the index.
+func (ix *Index) RootChildCount() int {
+	rk := xmltree.Dewey{1}.Key()
+	n := 0
+	for key := range ix.subtreeLen {
+		if len(key) == len(rk)+4 && key[:len(rk)] == rk {
+			n++
+		}
+	}
+	return n
+}
+
+// HasRootChild reports whether a document with the given root-child
+// ordinal exists in the index (tombstones are not consulted — the
+// caller overlays its own removal state).
+func (ix *Index) HasRootChild(ord uint32) bool {
+	_, ok := ix.subtreeLen[xmltree.Dewey{1, ord}.Key()]
+	return ok
+}
+
+// NewSegment returns an empty mutable index holding only a root node
+// with the given label: the starting point of a tail segment. The
+// root's label is interned into paths, so when paths is (a clone of)
+// the base corpus's table, the segment's root PathID — and every path
+// under it — agrees with the base segment's IDs.
+func NewSegment(rootLabel string, paths *xmltree.PathTable, opts tokenizer.Options, storeText bool) *Index {
+	rootPath := paths.Intern(xmltree.InvalidPath, rootLabel)
+	rk := xmltree.Dewey{1}.Key()
+	ix := &Index{
+		Paths:      paths,
+		Vocab:      tokenizer.NewVocabulary(),
+		postings:   make(map[string][]Posting),
+		typeLists:  make(map[string][]TypeCount),
+		subtreeLen: map[string]int32{rk: 0},
+		pathNodes:  map[xmltree.PathID]int32{rootPath: 1},
+		pathLens:   map[xmltree.PathID][]int32{rootPath: {0}},
+		pathRoots:  map[xmltree.PathID][]string{rootPath: {rk}},
+		bigrams:    make(map[string]int64),
+		nodeCount:  1,
+		maxDepth:   1,
+		opts:       opts,
+	}
+	if storeText {
+		ix.storedText = make(map[string]string)
+	}
+	return ix
+}
+
+// GraftDocument is AddDocument with an explicit root-child ordinal:
+// doc's root becomes child `ordinal` of the indexed root. Ordinals
+// must be grafted in increasing order (posting lists grow by
+// appending). It is how a tail segment absorbs documents whose
+// ordinals were assigned globally across the whole segment stack.
+func (ix *Index) GraftDocument(doc *xmltree.Tree, ordinal uint32) error {
+	if ix.comp != nil {
+		return fmt.Errorf("invindex: AddDocument: compacted index is immutable")
+	}
+	if doc == nil || doc.Root == nil {
+		return fmt.Errorf("invindex: AddDocument: empty document")
+	}
+	if ordinal == 0 {
+		return fmt.Errorf("invindex: GraftDocument: ordinal must be ≥ 1")
+	}
+
+	rootPath, err := ix.rootPathID()
+	if err != nil {
+		return err
+	}
+	root := xmltree.Dewey{1}
+	if ordinal <= ix.maxRootChildOrdinal(root) {
+		return fmt.Errorf("invindex: GraftDocument: ordinal %d not past the last document", ordinal)
+	}
+	if ix.nextRootChild <= ordinal {
+		ix.nextRootChild = ordinal + 1
+	}
+
+	// Index the grafted subtree, collecting the tokens it introduces.
+	newPostings := make(map[string][]Posting)
+	added := ix.indexGrafted(doc.Root, root.Child(ordinal), rootPath, newPostings)
+
+	// The root's virtual document grew.
+	rootKey := root.Key()
+	ix.subtreeLen[rootKey] += added
+	if lens := ix.pathLens[rootPath]; len(lens) == 1 {
+		lens[0] += added
+	}
+
+	// Merge type-list deltas. Ancestors at depth ≥ 2 lie inside the
+	// grafted subtree, so every (token, ancestor) pair there is new;
+	// the root (depth 1) was already counted for any token that existed
+	// before this call.
+	for tok, plist := range newPostings {
+		counts := make(map[xmltree.PathID]int32)
+		var prev xmltree.Dewey
+		for _, p := range plist {
+			div := divergeDepth(prev, p.Dewey)
+			if div < 2 {
+				div = 1 // never re-count depth-1 here
+			}
+			for k := div + 1; k <= p.Dewey.Depth(); k++ {
+				counts[ix.Paths.Ancestor(p.Path, k)]++
+			}
+			prev = p.Dewey
+		}
+		if len(ix.postings[tok]) == len(plist) {
+			// Brand-new token: the root now counts for it too.
+			counts[rootPath]++
+		}
+		ix.mergeTypeCounts(tok, counts)
+	}
+	return nil
+}
+
+// RemovedNode is one node of a tombstoned document: its Dewey key,
+// label path, and subtree token count.
+type RemovedNode struct {
+	Key  string
+	Path xmltree.PathID
+	Len  int32
+}
+
+// RemovalStats is the tombstone set of a sealed segment: the exact
+// per-structure deltas of every document logically removed from it.
+// Values are immutable once published — AnalyzeRemoval returns a fresh
+// merged copy rather than extending one in place, so concurrent
+// readers may keep using the previous snapshot.
+type RemovalStats struct {
+	// Ords are the removed root-child ordinals.
+	Ords map[uint32]bool
+	// Docs counts removed documents (== len(Ords)).
+	Docs int
+	// Nodes lists every removed node with its path and subtree length.
+	Nodes []RemovedNode
+	// Vocab holds removed token occurrences, Postings removed posting
+	// entries (distinct nodes), per token.
+	Vocab    map[string]int64
+	Postings map[string]int
+	// Types holds the type-list deltas per token (the reverse of the
+	// AddDocument merge, root transition included).
+	Types map[string]map[xmltree.PathID]int32
+	// Bigrams holds removed adjacency counts.
+	Bigrams map[string]int64
+	// Toks is the removed token total, Total the removed root subtree
+	// length (they are equal today; kept separate for clarity).
+	Toks  int64
+	Total int32
+}
+
+// DeadOrds returns the removed ordinals as a set shared with the
+// receiver (callers must not mutate it).
+func (rs *RemovalStats) DeadOrds() map[uint32]bool {
+	if rs == nil {
+		return nil
+	}
+	return rs.Ords
+}
+
+// DeadPostings is the number of tombstoned posting entries of tok.
+func (rs *RemovalStats) DeadPostings(tok string) int {
+	if rs == nil {
+		return 0
+	}
+	return rs.Postings[tok]
+}
+
+// DeadVocab is the number of tombstoned occurrences of tok.
+func (rs *RemovalStats) DeadVocab(tok string) int64 {
+	if rs == nil {
+		return 0
+	}
+	return rs.Vocab[tok]
+}
+
+// DeadTypes returns the tombstoned type-list delta of tok (nil-safe).
+func (rs *RemovalStats) DeadTypes(tok string) map[xmltree.PathID]int32 {
+	if rs == nil {
+		return nil
+	}
+	return rs.Types[tok]
+}
+
+// DeadBigrams is the tombstoned adjacency count of the pair (w1, w2).
+func (rs *RemovalStats) DeadBigrams(w1, w2 string) int64 {
+	if rs == nil {
+		return 0
+	}
+	return rs.Bigrams[w1+"\x00"+w2]
+}
+
+// DeadToks is the tombstoned token total.
+func (rs *RemovalStats) DeadToks() int64 {
+	if rs == nil {
+		return 0
+	}
+	return rs.Toks
+}
+
+// DeadDocs is the number of tombstoned documents.
+func (rs *RemovalStats) DeadDocs() int {
+	if rs == nil {
+		return 0
+	}
+	return rs.Docs
+}
+
+// DeadNodes is the number of tombstoned nodes.
+func (rs *RemovalStats) DeadNodes() int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.Nodes)
+}
+
+// clone returns a deep copy of rs (empty stats when rs is nil).
+func (rs *RemovalStats) clone() *RemovalStats {
+	out := &RemovalStats{
+		Ords:     make(map[uint32]bool),
+		Vocab:    make(map[string]int64),
+		Postings: make(map[string]int),
+		Types:    make(map[string]map[xmltree.PathID]int32),
+		Bigrams:  make(map[string]int64),
+	}
+	if rs == nil {
+		return out
+	}
+	out.Docs = rs.Docs
+	out.Toks = rs.Toks
+	out.Total = rs.Total
+	out.Nodes = append([]RemovedNode(nil), rs.Nodes...)
+	for k, v := range rs.Ords {
+		out.Ords[k] = v
+	}
+	for k, v := range rs.Vocab {
+		out.Vocab[k] = v
+	}
+	for k, v := range rs.Postings {
+		out.Postings[k] = v
+	}
+	for tok, m := range rs.Types {
+		cm := make(map[xmltree.PathID]int32, len(m))
+		for p, f := range m {
+			cm[p] = f
+		}
+		out.Types[tok] = cm
+	}
+	for k, v := range rs.Bigrams {
+		out.Bigrams[k] = v
+	}
+	return out
+}
+
+// AnalyzeRemoval computes the removal deltas of the document rooted at
+// the given direct child of the indexed root, WITHOUT mutating the
+// index: the same bookkeeping RemoveDocument performs, returned as a
+// tombstone set merged with any prior removals from the same segment.
+// Like RemoveDocument it requires stored text (the removed tokens and
+// bigrams are re-derived from it). The receiver may be compacted —
+// nothing is written.
+//
+// prior matters beyond accumulation: the type-list root transition
+// ("does the root still count for this token?") must be evaluated
+// against the LIVE state of the segment, i.e. net of documents already
+// tombstoned.
+func (ix *Index) AnalyzeRemoval(root xmltree.Dewey, prior *RemovalStats) (*RemovalStats, error) {
+	if ix.storedText == nil {
+		return nil, fmt.Errorf("invindex: RemoveDocument: requires an index built with BuildStored")
+	}
+	if root.Depth() != 2 {
+		return nil, fmt.Errorf("invindex: RemoveDocument: %s is not a direct child of the root", root)
+	}
+	rootKey := root.Key()
+	removedTotal, ok := ix.subtreeLen[rootKey]
+	if !ok || prior.DeadOrds()[root[1]] {
+		return nil, fmt.Errorf("invindex: RemoveDocument: no document at %s", root)
+	}
+	docRootPath, err := ix.rootPathID()
+	if err != nil {
+		return nil, err
+	}
+
+	out := prior.clone()
+	out.Ords[root[1]] = true
+	out.Docs++
+	out.Total += removedTotal
+
+	// Enumerate every node of the subtree with its label path.
+	pathOf := make(map[string]xmltree.PathID)
+	for path, keys := range ix.pathRoots {
+		for _, k := range keys {
+			if isUnder(k, rootKey) {
+				out.Nodes = append(out.Nodes, RemovedNode{Key: k, Path: path, Len: ix.subtreeLen[k]})
+				pathOf[k] = path
+			}
+		}
+	}
+
+	// Token-level deltas, re-derived from the stored text in document
+	// order (so the type-list delta is computed exactly as AddDocument's
+	// merge was).
+	lo := sort.SearchStrings(ix.storedKeys, rootKey)
+	removedPostings := make(map[string][]Posting)
+	for hi := lo; hi < len(ix.storedKeys) && isUnder(ix.storedKeys[hi], rootKey); hi++ {
+		key := ix.storedKeys[hi]
+		toks := ix.opts.Tokenize(ix.storedText[key])
+		if len(toks) == 0 {
+			continue
+		}
+		dewey := xmltree.DeweyFromKey(key)
+		path := pathOf[key]
+		tf := make(map[string]int32, len(toks))
+		order := make([]string, 0, len(toks))
+		for _, tok := range toks {
+			if tf[tok] == 0 {
+				order = append(order, tok)
+			}
+			tf[tok]++
+		}
+		for _, tok := range order {
+			removedPostings[tok] = append(removedPostings[tok], Posting{
+				Dewey: dewey, Path: path, TF: tf[tok],
+			})
+			out.Vocab[tok] += int64(tf[tok])
+		}
+		for i := 1; i < len(toks); i++ {
+			out.Bigrams[toks[i-1]+"\x00"+toks[i]]++
+		}
+		out.Toks += int64(len(toks))
+	}
+
+	for tok, plist := range removedPostings {
+		out.Postings[tok] += len(plist)
+
+		// Reverse type-list delta for this document.
+		counts := out.Types[tok]
+		if counts == nil {
+			counts = make(map[xmltree.PathID]int32)
+			out.Types[tok] = counts
+		}
+		var prevD xmltree.Dewey
+		for _, p := range plist {
+			div := divergeDepth(prevD, p.Dewey)
+			if div < 2 {
+				div = 1
+			}
+			for k := div + 1; k <= p.Dewey.Depth(); k++ {
+				counts[ix.Paths.Ancestor(p.Path, k)]++
+			}
+			prevD = p.Dewey
+		}
+		if ix.DocFreq(tok)-out.Postings[tok] == 0 {
+			counts[docRootPath]++ // the root no longer counts for tok
+		}
+	}
+	return out, nil
+}
+
+// CloneDropping returns an independent copy of the index with every
+// tombstoned document purged — the segment a compaction publishes in
+// place of (segment, tombstones). dead may be nil or empty, in which
+// case the result is a plain deep copy. The result always holds raw
+// posting lists (callers may Compact it); the path table is shared
+// (it is append-only and the clone introduces no new paths).
+func (ix *Index) CloneDropping(dead *RemovalStats) (*Index, error) {
+	deadOrd := func(d xmltree.Dewey) bool {
+		return len(d) >= 2 && dead.DeadOrds()[d[1]]
+	}
+	deadKey := func(key string) bool {
+		return len(key) >= 8 && dead.DeadOrds()[xmltree.DeweyFromKey(key)[1]]
+	}
+
+	out := &Index{
+		Paths:      ix.Paths,
+		Vocab:      tokenizer.NewVocabulary(),
+		postings:   make(map[string][]Posting),
+		typeLists:  make(map[string][]TypeCount),
+		subtreeLen: make(map[string]int32, len(ix.subtreeLen)),
+		pathNodes:  make(map[xmltree.PathID]int32),
+		pathLens:   make(map[xmltree.PathID][]int32),
+		pathRoots:  make(map[xmltree.PathID][]string),
+		bigrams:    make(map[string]int64, len(ix.bigrams)),
+		totalTok:   ix.totalTok - dead.DeadToks(),
+		opts:       ix.opts,
+	}
+
+	var err error
+	ix.Tokens(func(tok string) {
+		if err != nil {
+			return
+		}
+		full := ix.Postings(tok)
+		kept := make([]Posting, 0, len(full)-dead.DeadPostings(tok))
+		for _, p := range full {
+			if !deadOrd(p.Dewey) {
+				kept = append(kept, p)
+			}
+		}
+		if len(full)-len(kept) != dead.DeadPostings(tok) {
+			err = fmt.Errorf("invindex: CloneDropping: postings for %q diverge from tombstones (%d dropped, %d recorded); index corrupt",
+				tok, len(full)-len(kept), dead.DeadPostings(tok))
+			return
+		}
+		if len(kept) > 0 {
+			out.postings[tok] = kept
+		}
+		if c := ix.Vocab.Count(tok) - dead.DeadVocab(tok); c > 0 {
+			out.Vocab.Add(tok, c)
+		}
+		deadTypes := dead.DeadTypes(tok)
+		tl := ix.typeLists[tok]
+		keptTL := make([]TypeCount, 0, len(tl))
+		for _, tc := range tl {
+			tc.F -= deadTypes[tc.Path]
+			if tc.F > 0 {
+				keptTL = append(keptTL, tc)
+			}
+		}
+		if len(keptTL) > 0 {
+			out.typeLists[tok] = keptTL
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for k, v := range ix.bigrams {
+		out.bigrams[k] = v
+	}
+	if dead != nil {
+		for k, v := range dead.Bigrams {
+			if out.bigrams[k] -= v; out.bigrams[k] <= 0 {
+				delete(out.bigrams, k)
+			}
+		}
+	}
+
+	for key, l := range ix.subtreeLen {
+		if deadKey(key) {
+			continue
+		}
+		out.subtreeLen[key] = l
+	}
+	rk := xmltree.Dewey{1}.Key()
+	out.subtreeLen[rk] -= dead.DeadTotal()
+
+	// Entity tables: pathRoots and pathLens are appended in lockstep at
+	// build time, so filtering them jointly by index keeps them aligned.
+	rootPath, rpErr := ix.rootPathID()
+	if rpErr != nil {
+		return nil, rpErr
+	}
+	for p, roots := range ix.pathRoots {
+		lens := ix.pathLens[p]
+		for i, key := range roots {
+			if deadKey(key) {
+				continue
+			}
+			l := lens[i]
+			if p == rootPath && len(key) == 4 {
+				l -= dead.DeadTotal()
+			}
+			out.pathRoots[p] = append(out.pathRoots[p], key)
+			out.pathLens[p] = append(out.pathLens[p], l)
+		}
+		if c := len(out.pathRoots[p]); c > 0 {
+			out.pathNodes[p] = int32(c)
+			out.nodeCount += c
+		}
+	}
+
+	for key := range out.subtreeLen {
+		if d := len(key) / 4; d > out.maxDepth {
+			out.maxDepth = d
+		}
+	}
+
+	if ix.storedText != nil {
+		out.storedText = make(map[string]string, len(ix.storedText))
+		for _, key := range ix.storedKeys {
+			if deadKey(key) {
+				continue
+			}
+			out.storedText[key] = ix.storedText[key]
+			out.storedKeys = append(out.storedKeys, key)
+		}
+	}
+	return out, nil
+}
+
+// DeadTotal is the tombstoned root subtree-length delta.
+func (rs *RemovalStats) DeadTotal() int32 {
+	if rs == nil {
+		return 0
+	}
+	return rs.Total
+}
+
+// rootOrdinalRange returns the smallest and largest root-child
+// ordinals present in the index (0, 0 when it holds no documents).
+func (ix *Index) rootOrdinalRange() (lo, hi uint32) {
+	rk := xmltree.Dewey{1}.Key()
+	for key := range ix.subtreeLen {
+		if len(key) != len(rk)+4 || key[:len(rk)] != rk {
+			continue
+		}
+		d := xmltree.DeweyFromKey(key)
+		o := d[len(d)-1]
+		if lo == 0 || o < lo {
+			lo = o
+		}
+		if o > hi {
+			hi = o
+		}
+	}
+	return lo, hi
+}
+
+// MergeOrdered concatenates ordinal-disjoint segment indexes — parts
+// must be ordered so every document ordinal in parts[i] is smaller
+// than every ordinal in parts[i+1] — into one index identical to a
+// cold build over the union of their documents. Posting lists stay in
+// document order by construction (per-token concatenation in part
+// order), the shared synthetic root is de-duplicated, and
+// collection-global statistics (vocabulary, type lists, bigrams,
+// lengths) are exact sums. Parts are not mutated. The path tables of
+// all parts must share one interning lineage (clones of one base
+// table), which the segment store guarantees.
+func MergeOrdered(parts []*Index) (*Index, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("invindex: MergeOrdered: no parts")
+	}
+	var prevHi uint32
+	for i, p := range parts {
+		lo, hi := p.rootOrdinalRange()
+		if i > 0 && lo != 0 && lo <= prevHi {
+			return nil, fmt.Errorf("invindex: MergeOrdered: part %d overlaps ordinal range of part %d", i, i-1)
+		}
+		if hi != 0 {
+			prevHi = hi
+		}
+	}
+
+	// The newest path table (largest) covers every part's IDs: tables
+	// are append-only clones of one lineage.
+	paths := parts[0].Paths
+	for _, p := range parts {
+		if p.Paths.Len() > paths.Len() {
+			paths = p.Paths
+		}
+	}
+	rootPath, err := parts[0].rootPathID()
+	if err != nil {
+		return nil, err
+	}
+	rk := xmltree.Dewey{1}.Key()
+
+	stored := true
+	for _, p := range parts {
+		if !p.HasStoredText() {
+			stored = false
+			break
+		}
+	}
+
+	out := &Index{
+		Paths:      paths,
+		Vocab:      tokenizer.NewVocabulary(),
+		postings:   make(map[string][]Posting),
+		typeLists:  make(map[string][]TypeCount),
+		subtreeLen: make(map[string]int32),
+		pathNodes:  make(map[xmltree.PathID]int32),
+		pathLens:   make(map[xmltree.PathID][]int32),
+		pathRoots:  make(map[xmltree.PathID][]string),
+		bigrams:    make(map[string]int64),
+		opts:       parts[0].opts,
+	}
+	if stored {
+		out.storedText = make(map[string]string)
+	}
+
+	typeAcc := make(map[string]map[xmltree.PathID]int32)
+	var rootLen int32
+	for _, part := range parts {
+		part.Tokens(func(tok string) {
+			pl := part.Postings(tok)
+			if len(pl) > 0 {
+				out.postings[tok] = append(out.postings[tok], pl...)
+			}
+			if c := part.Vocab.Count(tok); c > 0 {
+				out.Vocab.Add(tok, c)
+			}
+			acc := typeAcc[tok]
+			if acc == nil {
+				acc = make(map[xmltree.PathID]int32)
+				typeAcc[tok] = acc
+			}
+			for _, tc := range part.typeLists[tok] {
+				acc[tc.Path] += tc.F
+			}
+		})
+		out.totalTok += part.totalTok
+
+		for k, v := range part.bigrams {
+			out.bigrams[k] += v
+		}
+		for key, l := range part.subtreeLen {
+			if key == rk {
+				rootLen += l
+				continue
+			}
+			out.subtreeLen[key] = l
+		}
+		for p, roots := range part.pathRoots {
+			lens := part.pathLens[p]
+			for i, key := range roots {
+				if p == rootPath && key == rk {
+					continue // shared synthetic root, added once below
+				}
+				out.pathRoots[p] = append(out.pathRoots[p], key)
+				out.pathLens[p] = append(out.pathLens[p], lens[i])
+			}
+		}
+		if d := part.maxDepth; d > out.maxDepth {
+			out.maxDepth = d
+		}
+		if stored {
+			for _, key := range part.storedKeys {
+				out.storedText[key] = part.storedText[key]
+				out.storedKeys = append(out.storedKeys, key)
+			}
+		}
+	}
+
+	// One shared root node across all parts.
+	out.subtreeLen[rk] = rootLen
+	out.pathRoots[rootPath] = append(out.pathRoots[rootPath], rk)
+	out.pathLens[rootPath] = append(out.pathLens[rootPath], rootLen)
+
+	for p, roots := range out.pathRoots {
+		out.pathNodes[p] = int32(len(roots))
+		out.nodeCount += len(roots)
+	}
+
+	// Type lists: per-part sums are exact for every path except the
+	// shared root, which counts once per part containing the token but
+	// must count once total (there is exactly one root node).
+	for tok, acc := range typeAcc {
+		if acc[rootPath] > 0 {
+			acc[rootPath] = 1
+		}
+		tl := make([]TypeCount, 0, len(acc))
+		for p, f := range acc {
+			if f > 0 {
+				tl = append(tl, TypeCount{Path: p, F: f})
+			}
+		}
+		if len(tl) == 0 {
+			continue
+		}
+		sort.Slice(tl, func(i, j int) bool { return tl[i].Path < tl[j].Path })
+		out.typeLists[tok] = tl
+	}
+
+	if stored {
+		sort.Strings(out.storedKeys)
+	}
+	return out, nil
+}

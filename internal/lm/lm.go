@@ -11,8 +11,6 @@ package lm
 
 import (
 	"math"
-
-	"xclean/internal/tokenizer"
 )
 
 // DefaultMu is the Dirichlet smoothing parameter used when Model.Mu is
@@ -20,18 +18,27 @@ import (
 // modeling literature the paper cites.
 const DefaultMu = 2000
 
+// Background supplies the collection model p(w|B). The canonical
+// implementation is tokenizer.Vocabulary; the segmented engine
+// substitutes a tombstone-adjusted view so a stack of index segments
+// smooths against the same live collection statistics a monolithic
+// index would.
+type Background interface {
+	Prob(w string) float64
+}
+
 // Model scores tokens against virtual documents with Dirichlet
 // smoothing over a background vocabulary.
 type Model struct {
 	// Background supplies p(w|B).
-	Background *tokenizer.Vocabulary
+	Background Background
 	// Mu is the Dirichlet smoothing parameter; 0 means DefaultMu.
 	Mu float64
 }
 
 // New returns a model over the given background with the given μ
 // (0 = DefaultMu).
-func New(bg *tokenizer.Vocabulary, mu float64) *Model {
+func New(bg Background, mu float64) *Model {
 	return &Model{Background: bg, Mu: mu}
 }
 

@@ -386,6 +386,25 @@ type Sink struct {
 	// SlowQueries counts calls whose latency crossed the slow-query
 	// threshold (maintained by the serving layer).
 	SlowQueries Counter
+
+	// SegmentCount, TailDocs, and Tombstones describe the segmented
+	// index stack serving this sink's engine: sealed segments, documents
+	// buffered in the mutable tail, and logically-removed documents not
+	// yet purged by compaction. All zero on a monolithic engine.
+	SegmentCount Gauge
+	TailDocs     Gauge
+	Tombstones   Gauge
+	// DocsAdded and DocsRemoved count live write operations applied to
+	// the segment stack.
+	DocsAdded   Counter
+	DocsRemoved Counter
+	// CompactionRuns counts completed compaction operations (merges and
+	// tombstone purges), CompactionBytes the postings bytes of the
+	// segments they published, and CompactionDur the per-run latency
+	// distribution.
+	CompactionRuns  Counter
+	CompactionBytes Counter
+	CompactionDur   *Histogram
 }
 
 // NewSink builds a sink with the default bucket layout.
@@ -393,6 +412,7 @@ func NewSink() *Sink {
 	s := &Sink{
 		QueryDur:        NewDurationHistogram(),
 		WorkerImbalance: NewHistogram(RatioBuckets),
+		CompactionDur:   NewDurationHistogram(),
 	}
 	for i := range s.Stage {
 		s.Stage[i] = NewDurationHistogram()
@@ -429,6 +449,14 @@ type SinkSnapshot struct {
 	Evictions       int64                        `json:"evictions"`
 	WorkerImbalance HistogramSnapshot            `json:"workerImbalance"`
 	SlowQueries     int64                        `json:"slowQueries"`
+	Segments        int64                        `json:"segments"`
+	TailDocs        int64                        `json:"tailDocs"`
+	Tombstones      int64                        `json:"tombstones"`
+	DocsAdded       int64                        `json:"docsAdded"`
+	DocsRemoved     int64                        `json:"docsRemoved"`
+	CompactionRuns  int64                        `json:"compactionRuns"`
+	CompactionBytes int64                        `json:"compactionBytes"`
+	CompactionDur   HistogramSnapshot            `json:"compactionDuration"`
 }
 
 // Snapshot copies the sink's current state.
@@ -445,6 +473,14 @@ func (s *Sink) Snapshot() SinkSnapshot {
 		Evictions:       s.Evictions.Value(),
 		WorkerImbalance: s.WorkerImbalance.Snapshot(),
 		SlowQueries:     s.SlowQueries.Value(),
+		Segments:        s.SegmentCount.Value(),
+		TailDocs:        s.TailDocs.Value(),
+		Tombstones:      s.Tombstones.Value(),
+		DocsAdded:       s.DocsAdded.Value(),
+		DocsRemoved:     s.DocsRemoved.Value(),
+		CompactionRuns:  s.CompactionRuns.Value(),
+		CompactionBytes: s.CompactionBytes.Value(),
+		CompactionDur:   s.CompactionDur.Snapshot(),
 	}
 	for i := range s.Stage {
 		out.Stages[Stage(i).String()] = s.Stage[i].Snapshot()
@@ -590,6 +626,12 @@ func WritePrometheusLabeled(w io.Writer, ns, labelName string, sinks []NamedSink
 			WriteLabeledCounterSample(w, ns+name, label(s), v(s.Sink))
 		}
 	}
+	gauge := func(name, help string, v func(*Sink) int64) {
+		WriteHeader(w, ns+name, help, "gauge")
+		for _, s := range sinks {
+			WriteLabeledGaugeSample(w, ns+name, label(s), float64(v(s.Sink)))
+		}
+	}
 	histogram := func(name, help string, h func(*Sink) *Histogram) {
 		WriteHeader(w, ns+name, help, "histogram")
 		for _, s := range sinks {
@@ -627,4 +669,20 @@ func WritePrometheusLabeled(w io.Writer, ns, labelName string, sinks []NamedSink
 		func(s *Sink) *Histogram { return s.WorkerImbalance })
 	counter("_slow_queries_total", "Requests that crossed the slow-query threshold.",
 		func(s *Sink) int64 { return s.SlowQueries.Value() })
+	gauge("_segments", "Sealed index segments in the stack (0 = monolithic).",
+		func(s *Sink) int64 { return s.SegmentCount.Value() })
+	gauge("_tail_docs", "Documents buffered in the mutable tail segment.",
+		func(s *Sink) int64 { return s.TailDocs.Value() })
+	gauge("_tombstones", "Logically removed documents awaiting compaction.",
+		func(s *Sink) int64 { return s.Tombstones.Value() })
+	counter("_docs_added_total", "Documents added through the live write path.",
+		func(s *Sink) int64 { return s.DocsAdded.Value() })
+	counter("_docs_removed_total", "Documents removed through the live write path.",
+		func(s *Sink) int64 { return s.DocsRemoved.Value() })
+	counter("_compactions_total", "Completed segment compaction operations.",
+		func(s *Sink) int64 { return s.CompactionRuns.Value() })
+	counter("_compaction_bytes_total", "Postings bytes of segments published by compaction.",
+		func(s *Sink) int64 { return s.CompactionBytes.Value() })
+	histogram("_compaction_duration_seconds", "Latency per compaction operation.",
+		func(s *Sink) *Histogram { return s.CompactionDur })
 }

@@ -20,9 +20,18 @@ import (
 // the paper's examples use 0.8.
 const DefaultR = 0.8
 
+// Source supplies the statistics inference reads: the type lists
+// f_p^w and path depths. invindex.Index implements it directly; the
+// segmented engine substitutes a tombstone-adjusted multi-segment
+// view.
+type Source interface {
+	TypeList(tok string) []invindex.TypeCount
+	PathDepth(p xmltree.PathID) int
+}
+
 // Inferrer computes best result types against one index.
 type Inferrer struct {
-	Index *invindex.Index
+	Index Source
 	// R is the depth reduction factor (0 = DefaultR).
 	R float64
 	// MinDepth is the minimal depth threshold d of Section V-B: label
@@ -55,7 +64,7 @@ func (in *Inferrer) Utility(tokens []string, p xmltree.PathID) float64 {
 		}
 		prod *= float64(f)
 	}
-	depth := in.Index.Paths.Depth(p)
+	depth := in.Index.PathDepth(p)
 	return math.Log(1+prod) * math.Pow(in.r(), float64(depth))
 }
 
@@ -83,7 +92,7 @@ func (in *Inferrer) Best(tokens []string) (best xmltree.PathID, score float64, o
 	best = xmltree.InvalidPath
 	r := in.r()
 	for _, tc := range lists[minIdx] {
-		depth := in.Index.Paths.Depth(tc.Path)
+		depth := in.Index.PathDepth(tc.Path)
 		if depth < in.MinDepth {
 			continue
 		}

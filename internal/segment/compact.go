@@ -1,0 +1,260 @@
+package segment
+
+import (
+	"context"
+	"time"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+)
+
+// The background compactor. Two kinds of work, smallest-first:
+//
+//   - purge: a segment whose tombstones reach a quarter of its
+//     documents is rewritten without them (CloneDropping), reclaiming
+//     postings and dropping the tombstone overlay from the hot path;
+//   - merge: when the stack grows past maxSealed segments, the
+//     ordinal-adjacent run of 2..mergeFan sealed segments with the
+//     fewest live tokens is merged (tombstones purged first) into one.
+//
+// All index construction happens outside the writer lock; the swap
+// revalidates by pointer identity that the segments it replaces are
+// still in the stack (a concurrent removal publishes a new *Segment
+// value for the same index, aborting the stale swap harmlessly).
+
+const (
+	// A segment qualifies for a purge when its tombstoned fraction
+	// reaches purgeNum/purgeDen of its documents.
+	purgeNum, purgeDen = 1, 4
+	// maxSealed is the sealed-segment count that triggers merging.
+	maxSealed = 4
+	// mergeFan bounds how many segments one merge combines.
+	mergeFan = 4
+	// maxOpsPerTrigger bounds the work of one write-triggered
+	// compaction burst.
+	maxOpsPerTrigger = 4
+)
+
+func needsPurge(s *Segment) bool {
+	return s.docs > 0 && s.dead.DeadDocs()*purgeDen >= s.docs*purgeNum
+}
+
+func (st *Store) needsCompaction(v *View) bool {
+	if len(v.segs) > maxSealed {
+		return true
+	}
+	for _, s := range v.segs {
+		if needsPurge(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeCompactAsync starts one background compaction burst if work is
+// pending and none is running. Called after every write.
+func (st *Store) maybeCompactAsync() {
+	if st.closed.Load() || !st.needsCompaction(st.view.Load()) {
+		return
+	}
+	if !st.inFlight.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer st.inFlight.Store(false)
+		ctx := context.Background()
+		for i := 0; i < maxOpsPerTrigger; i++ {
+			did, err := st.CompactOnce(ctx)
+			if err != nil || !did {
+				return
+			}
+		}
+	}()
+}
+
+// tick drives the optional interval compactor until Close.
+func (st *Store) tick() {
+	t := time.NewTicker(st.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			if st.inFlight.CompareAndSwap(false, true) {
+				_, _ = st.CompactOnce(context.Background())
+				st.inFlight.Store(false)
+			}
+		}
+	}
+}
+
+// CompactOnce performs at most one compaction operation (one purge or
+// one merge) and reports whether it did anything. Safe to call
+// concurrently with queries and writes; concurrent CompactOnce calls
+// serialize on the swap and the loser aborts.
+func (st *Store) CompactOnce(ctx context.Context) (bool, error) {
+	if st.closed.Load() {
+		return false, nil
+	}
+	v := st.view.Load()
+
+	// Purge pass: smallest qualifying segment first.
+	var victim *Segment
+	for _, s := range v.segs {
+		if needsPurge(s) && (victim == nil || s.liveTokens() < victim.liveTokens()) {
+			victim = s
+		}
+	}
+	if victim != nil {
+		return st.purge(ctx, v, victim)
+	}
+
+	// Merge pass: the adjacent run with the fewest live tokens.
+	if len(v.segs) <= maxSealed {
+		return false, nil
+	}
+	fan := mergeFan
+	if fan > len(v.segs) {
+		fan = len(v.segs)
+	}
+	bestAt, bestN := -1, 0
+	var bestTokens int64
+	for n := 2; n <= fan; n++ {
+		for i := 0; i+n <= len(v.segs); i++ {
+			var toks int64
+			for _, s := range v.segs[i : i+n] {
+				toks += s.liveTokens()
+			}
+			// Prefer wider merges at equal cost magnitude: amortize the
+			// rewrite over more stack reduction.
+			if bestAt < 0 || toks < bestTokens || (toks == bestTokens && n > bestN) {
+				bestAt, bestN, bestTokens = i, n, toks
+			}
+		}
+	}
+	if bestAt < 0 {
+		return false, nil
+	}
+	return st.merge(ctx, v, v.segs[bestAt:bestAt+bestN])
+}
+
+// purge rewrites one segment without its tombstones and swaps it in.
+func (st *Store) purge(ctx context.Context, v *View, victim *Segment) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	start := time.Now()
+	if victim.liveDocs() == 0 {
+		// Nothing lives here; drop the segment entirely.
+		return st.swap(v, []*Segment{victim}, nil, start)
+	}
+	clean, err := victim.ix.CloneDropping(victim.dead)
+	if err != nil {
+		return false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if st.compactPx {
+		clean.Compact()
+	}
+	ns := st.newSealed(clean)
+	return st.swap(v, []*Segment{victim}, ns, start)
+}
+
+// merge purges and concatenates an ordinal-adjacent run into one
+// segment and swaps it in.
+func (st *Store) merge(ctx context.Context, v *View, run []*Segment) (bool, error) {
+	parts := make([]*invindex.Index, len(run))
+	start := time.Now()
+	for i, s := range run {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		parts[i] = s.ix
+		if s.dead.DeadDocs() > 0 {
+			var err error
+			parts[i], err = s.ix.CloneDropping(s.dead)
+			if err != nil {
+				return false, err
+			}
+		}
+	}
+	merged, err := invindex.MergeOrdered(parts)
+	if err != nil {
+		return false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if st.compactPx {
+		merged.Compact()
+	}
+	ns := st.newSealed(merged)
+	return st.swap(v, run, ns, start)
+}
+
+// newSealed wraps a freshly built index as a sealed segment.
+func (st *Store) newSealed(ix *invindex.Index) *Segment {
+	eng := core.NewEngine(ix, st.cfg)
+	eng.SetSink(st.sink)
+	lo, hi := ix.RootOrdinalRange()
+	return &Segment{
+		ix:     ix,
+		eng:    eng,
+		minOrd: lo,
+		maxOrd: hi,
+		docs:   ix.RootChildCount(),
+	}
+}
+
+// swap replaces a contiguous run of sealed segments with repl (nil to
+// drop the run) under the writer lock, aborting if any member was
+// replaced since the view was loaded.
+func (st *Store) swap(v *View, run []*Segment, repl *Segment, start time.Time) (bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.view.Load()
+	at := -1
+	for i := range cur.segs {
+		if cur.segs[i] == run[0] {
+			at = i
+			break
+		}
+	}
+	if at < 0 || at+len(run) > len(cur.segs) {
+		return false, nil
+	}
+	for i, s := range run {
+		if cur.segs[at+i] != s {
+			return false, nil // concurrent removal republished a member
+		}
+	}
+	segs := make([]*Segment, 0, len(cur.segs))
+	segs = append(segs, cur.segs[:at]...)
+	if repl != nil {
+		st.nextID++
+		repl.id = st.nextID
+		segs = append(segs, repl)
+	}
+	segs = append(segs, cur.segs[at+len(run):]...)
+	nv := &View{
+		epoch:     cur.epoch + 1,
+		segs:      segs,
+		tail:      cur.tail,
+		paths:     cur.paths,
+		nextOrd:   cur.nextOrd,
+		vocabSize: cur.vocabSize, // purging removes only dead occurrences
+	}
+	st.publishLocked(nv)
+	st.compactions.Add(1)
+	if st.sink != nil {
+		st.sink.CompactionRuns.Inc()
+		if repl != nil {
+			st.sink.CompactionBytes.Add(repl.ix.PostingsBytes())
+		}
+		st.sink.CompactionDur.ObserveDuration(time.Since(start))
+	}
+	return true, nil
+}

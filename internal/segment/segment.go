@@ -1,0 +1,106 @@
+// Package segment implements the engine-level segmented index: a
+// stack of immutable sealed segments plus a small in-memory mutable
+// tail that absorbs live document additions and removals, in the style
+// of an LSM tree.
+//
+// Each segment wraps one invindex.Index (and its engine, variant index
+// included) over a disjoint range of top-level document ordinals.
+// Because the scoring function — Eq. (8) of the XClean paper — sums
+// over entities, and entities partition by document, a query over the
+// stack runs the scan half of Algorithm 1 once per segment with
+// stack-global models substituted (core.Engine.ScanVariant) and folds
+// the per-segment partial sums with core.MergePartials, reproducing
+// the monolithic engine's scores exactly (up to floating-point
+// association). Removals are tombstones (invindex.RemovalStats) that
+// the per-segment scan filters out and a background compactor
+// eventually purges; the compactor also merges small ordinal-adjacent
+// segments so the stack stays shallow under sustained write traffic.
+//
+// Readers never lock: the whole stack is published as an immutable
+// View behind an atomic pointer, so a query pins one consistent
+// snapshot while writes and compactions publish successors.
+package segment
+
+import (
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/xmltree"
+)
+
+// Segment is one immutable member of the stack: an index over a
+// contiguous range of top-level document ordinals, its engine, and the
+// tombstone state accumulated since it was sealed. The wrapped index
+// and engine are never mutated; a removal replaces the Segment value
+// with one carrying a larger tombstone set.
+type Segment struct {
+	// id is unique within one store (diagnostics only).
+	id uint64
+	ix *invindex.Index
+	// eng is a full engine over ix (with its own variant index). The
+	// multi-segment query path replaces its models per call via
+	// ScanVariant; the single-segment fast path uses it directly.
+	eng *core.Engine
+	// minOrd..maxOrd is the root-child ordinal range, tombstoned
+	// documents included.
+	minOrd, maxOrd uint32
+	// docs counts documents in ix, tombstoned ones included.
+	docs int
+	// dead is the tombstone set (nil = none). deadOrds and deadNorm are
+	// the projections of dead the scan consumes: the removed ordinals
+	// and the removed prior mass per result type.
+	dead     *invindex.RemovalStats
+	deadOrds map[uint32]bool
+	deadNorm map[xmltree.PathID]float64
+}
+
+// liveDocs is the number of non-tombstoned documents.
+func (s *Segment) liveDocs() int { return s.docs - s.dead.DeadDocs() }
+
+// liveTokens is the number of live token occurrences (the compactor's
+// size measure).
+func (s *Segment) liveTokens() int64 { return s.ix.TotalTokens() - s.dead.DeadToks() }
+
+// liveCount is the live corpus frequency of w in this segment.
+func (s *Segment) liveCount(w string) int64 {
+	return s.ix.Vocab.Count(w) - s.dead.DeadVocab(w)
+}
+
+// withDead returns a copy of s carrying the given tombstone set; the
+// index and engine are shared.
+func (s *Segment) withDead(dead *invindex.RemovalStats, cfg core.Config) *Segment {
+	return &Segment{
+		id:       s.id,
+		ix:       s.ix,
+		eng:      s.eng,
+		minOrd:   s.minOrd,
+		maxOrd:   s.maxOrd,
+		docs:     s.docs,
+		dead:     dead,
+		deadOrds: dead.DeadOrds(),
+		deadNorm: deadNormFor(cfg, s.ix, dead),
+	}
+}
+
+// deadNormFor projects a tombstone set onto the entity-prior
+// normalizers: for every result type, the prior mass of the removed
+// nodes, so liveNorm(p) = normFor(p) − deadNorm[p] reflects only live
+// entities. Under the length prior the root's own weight is its
+// subtree length, which shrinks by the removed total (relevant only
+// when MinDepth admits the root as a result type).
+func deadNormFor(cfg core.Config, ix *invindex.Index, dead *invindex.RemovalStats) map[xmltree.PathID]float64 {
+	if dead == nil || len(dead.Nodes) == 0 {
+		return nil
+	}
+	m := make(map[xmltree.PathID]float64, 16)
+	for _, n := range dead.Nodes {
+		m[n.Path] += cfg.EntityWeight(n.Key, n.Len)
+	}
+	if cfg.Prior == core.PriorLength {
+		if root, err := ix.RootLabel(); err == nil {
+			if p := ix.Paths.Lookup("/" + root); p != xmltree.InvalidPath {
+				m[p] += float64(dead.DeadTotal())
+			}
+		}
+	}
+	return m
+}

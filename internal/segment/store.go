@@ -1,0 +1,613 @@
+package segment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/obs"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// DefaultTailLimit is the number of buffered tail documents that
+// triggers a seal when Config.TailLimit is zero.
+const DefaultTailLimit = 64
+
+// Config tunes a segment store.
+type Config struct {
+	// Core is the engine configuration shared by every segment; the
+	// stack substitutes global models per query, so segments must agree
+	// on every tunable.
+	Core core.Config
+	// TailLimit is the tail size (documents) that triggers a seal
+	// (0 = DefaultTailLimit).
+	TailLimit int
+	// CompactInterval starts a background ticker that attempts a
+	// compaction step this often; 0 leaves only the write-triggered
+	// compactor.
+	CompactInterval time.Duration
+	// CompactPostings compresses the postings of compacted segments
+	// (mirrors Options.CompactPostings; the mutable tail always stays
+	// raw).
+	CompactPostings bool
+	// StoreText gates removals, matching the monolithic contract:
+	// RemoveDocument needs the stored text to reconstruct per-structure
+	// deltas.
+	StoreText bool
+	// Sink receives the store's write/compaction metrics and the
+	// per-query observation (may be nil).
+	Sink *obs.Sink
+}
+
+func (c Config) tailLimit() int {
+	if c.TailLimit <= 0 {
+		return DefaultTailLimit
+	}
+	return c.TailLimit
+}
+
+// View is one immutable snapshot of the stack. Queries load it once
+// and use it throughout; writers publish successors.
+type View struct {
+	epoch uint64
+	// segs are the sealed segments in ascending ordinal order.
+	segs []*Segment
+	// tail is the mutable tail's current incarnation (nil when empty).
+	// The Segment value itself is immutable; every write builds a new
+	// one.
+	tail *Segment
+	// paths is the newest path table of the stack — a superset of every
+	// segment's own table (tables grow append-only; clones preserve
+	// IDs).
+	paths *xmltree.PathTable
+	// nextOrd is the root-child ordinal the next added document gets.
+	nextOrd uint32
+	// vocabSize is the number of distinct live terms across the stack
+	// (the denominator companion of the live background model).
+	vocabSize int
+}
+
+// all returns sealed segments followed by the tail — the stack in
+// ordinal order, which MergePartials relies on to reproduce the
+// monolithic summation order.
+func (v *View) all() []*Segment {
+	if v.tail == nil {
+		return v.segs
+	}
+	out := make([]*Segment, 0, len(v.segs)+1)
+	out = append(out, v.segs...)
+	return append(out, v.tail)
+}
+
+// tombstones is the total tombstoned document count.
+func (v *View) tombstones() int {
+	n := 0
+	for _, s := range v.segs {
+		n += s.dead.DeadDocs()
+	}
+	return n
+}
+
+// Store is the segmented engine: a single-writer, many-reader stack of
+// index segments with live add/remove traffic and background
+// compaction.
+type Store struct {
+	cfg       core.Config
+	tailLimit int
+	interval  time.Duration
+	compactPx bool
+	storeText bool
+	rootLabel string
+	tokOpts   tokenizer.Options
+	sink      *obs.Sink
+
+	view atomic.Pointer[View]
+
+	// mu serializes writers (AddDocument, RemoveDocument, seal,
+	// compaction swaps, Flatten). Queries never take it.
+	mu sync.Mutex
+	// tailTrees/tailOrds are the parsed documents of the current tail,
+	// in insertion order; the tail index is rebuilt from them on every
+	// write (trees are immutable, so rebuilt segments share them
+	// safely).
+	tailTrees []*xmltree.Tree
+	tailOrds  []uint32
+	nextID    uint64
+
+	inFlight    atomic.Bool
+	closed      atomic.Bool
+	compactions atomic.Int64
+	stop        chan struct{}
+	stopOnce    sync.Once
+}
+
+// NewStore wraps an already-built index and engine as the base sealed
+// segment of a new stack. The base index is never mutated afterwards —
+// which is why a segmented engine accepts live writes even when the
+// base postings are compacted.
+func NewStore(base *invindex.Index, baseEng *core.Engine, cfg Config) (*Store, error) {
+	rootLabel, err := base.RootLabel()
+	if err != nil {
+		return nil, fmt.Errorf("segment store: %w", err)
+	}
+	lo, hi := base.RootOrdinalRange()
+	st := &Store{
+		cfg:       cfg.Core,
+		tailLimit: cfg.tailLimit(),
+		interval:  cfg.CompactInterval,
+		compactPx: cfg.CompactPostings,
+		storeText: cfg.StoreText,
+		rootLabel: rootLabel,
+		tokOpts:   base.TokenizerOptions(),
+		sink:      cfg.Sink,
+		nextID:    1,
+		stop:      make(chan struct{}),
+	}
+	seg := &Segment{
+		id:     1,
+		ix:     base,
+		eng:    baseEng,
+		minOrd: lo,
+		maxOrd: hi,
+		docs:   base.RootChildCount(),
+	}
+	v := &View{
+		epoch:     1,
+		segs:      []*Segment{seg},
+		paths:     base.Paths,
+		nextOrd:   hi + 1,
+		vocabSize: base.Vocab.Size(),
+	}
+	st.view.Store(v)
+	st.publishGauges(v)
+	if st.interval > 0 {
+		go st.tick()
+	}
+	return st, nil
+}
+
+// SetSink replaces the metrics sink. Like the engine's SetObserver it
+// must not race with in-flight calls; it applies the sink to every
+// current segment engine, and engines built later inherit it.
+func (st *Store) SetSink(s *obs.Sink) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sink = s
+	v := st.view.Load()
+	for _, sg := range v.all() {
+		sg.eng.SetSink(s)
+	}
+	st.publishGauges(v)
+}
+
+// Paths is the newest path table of the stack (interprets every
+// segment's result-type IDs).
+func (st *Store) Paths() *xmltree.PathTable { return st.view.Load().paths }
+
+// FastEngine returns the single engine able to answer queries alone —
+// when the stack is one segment with no tombstones — or nil when the
+// multi-segment path must run. Callers use it to keep the monolithic
+// code path (and its per-stage observability) whenever the stack is
+// flat.
+func (st *Store) FastEngine() *core.Engine {
+	v := st.view.Load()
+	if v.tail == nil && len(v.segs) == 1 && v.segs[0].dead.DeadDocs() == 0 {
+		return v.segs[0].eng
+	}
+	if v.tail != nil && len(v.segs) == 0 {
+		return v.tail.eng
+	}
+	return nil
+}
+
+// Close stops the background compaction ticker. In-flight queries are
+// unaffected; further writes still work (only the ticker dies).
+func (st *Store) Close() {
+	st.closed.Store(true)
+	st.stopOnce.Do(func() { close(st.stop) })
+}
+
+// AddDocument appends a parsed document to the mutable tail and
+// publishes a view containing it. Single writer: callers must not
+// invoke AddDocument/RemoveDocument concurrently with each other;
+// queries may proceed concurrently.
+func (st *Store) AddDocument(tree *xmltree.Tree) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := st.view.Load()
+	ord := v.nextOrd
+	st.tailTrees = append(st.tailTrees, tree)
+	st.tailOrds = append(st.tailOrds, ord)
+	nv, err := st.rebuildTailLocked(v, ord+1)
+	if err != nil {
+		st.tailTrees = st.tailTrees[:len(st.tailTrees)-1]
+		st.tailOrds = st.tailOrds[:len(st.tailOrds)-1]
+		return err
+	}
+	st.publishLocked(nv)
+	if st.sink != nil {
+		st.sink.DocsAdded.Inc()
+	}
+	if len(st.tailTrees) >= st.tailLimit {
+		st.sealLocked()
+	}
+	st.maybeCompactAsync()
+	return nil
+}
+
+// RemoveDocument logically removes the document rooted at the given
+// top-level Dewey code. Tail documents are dropped by rebuilding the
+// tail; sealed documents become tombstones that queries filter and
+// compaction purges.
+func (st *Store) RemoveDocument(d xmltree.Dewey) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(d) != 2 || d[0] != 1 {
+		return fmt.Errorf("%s is not a direct child of the root", d)
+	}
+	if !st.storeText {
+		return fmt.Errorf("RemoveDocument requires an index built with stored text (Options.StoreText)")
+	}
+	v := st.view.Load()
+	ord := d[1]
+
+	// Tail hit: rebuild the tail without the document.
+	if v.tail != nil {
+		for i, o := range st.tailOrds {
+			if o == ord {
+				st.tailTrees = append(st.tailTrees[:i], st.tailTrees[i+1:]...)
+				st.tailOrds = append(st.tailOrds[:i], st.tailOrds[i+1:]...)
+				nv, err := st.rebuildTailLocked(v, v.nextOrd)
+				if err != nil {
+					return err
+				}
+				st.publishLocked(nv)
+				if st.sink != nil {
+					st.sink.DocsRemoved.Inc()
+				}
+				return nil
+			}
+		}
+	}
+
+	// Sealed hit: extend the owning segment's tombstone set.
+	for i, sg := range v.segs {
+		if ord < sg.minOrd || ord > sg.maxOrd || !sg.ix.HasRootChild(ord) {
+			continue
+		}
+		if sg.deadOrds[ord] {
+			break // already tombstoned: fall through to "no document"
+		}
+		newDead, err := sg.ix.AnalyzeRemoval(d, sg.dead)
+		if err != nil {
+			return err
+		}
+		ns := sg.withDead(newDead, st.cfg)
+		segs := make([]*Segment, 0, len(v.segs))
+		segs = append(segs, v.segs[:i]...)
+		if ns.liveDocs() > 0 {
+			segs = append(segs, ns)
+		}
+		segs = append(segs, v.segs[i+1:]...)
+		nv := &View{
+			epoch:     v.epoch + 1,
+			segs:      segs,
+			tail:      v.tail,
+			paths:     v.paths,
+			nextOrd:   v.nextOrd,
+			vocabSize: v.vocabSize,
+		}
+		// Terms whose live count may have hit zero: those this removal
+		// touched.
+		for w := range newDead.Vocab {
+			if sg.dead.DeadVocab(w) == newDead.Vocab[w] {
+				continue // unchanged by this removal
+			}
+			if liveCountIn(nv, w) == 0 {
+				nv.vocabSize--
+			}
+		}
+		st.publishLocked(nv)
+		if st.sink != nil {
+			st.sink.DocsRemoved.Inc()
+		}
+		st.maybeCompactAsync()
+		return nil
+	}
+	return fmt.Errorf("no document at %s", d)
+}
+
+// rebuildTailLocked builds a fresh tail segment from the buffered
+// trees and returns the successor view (not yet published). Trees are
+// immutable, so queries pinning the previous view are unaffected.
+func (st *Store) rebuildTailLocked(v *View, nextOrd uint32) (*View, error) {
+	if len(st.tailTrees) == 0 {
+		// Tail emptied: keep the newest table (it is immutable now).
+		nv := &View{
+			epoch:     v.epoch + 1,
+			segs:      v.segs,
+			tail:      nil,
+			paths:     v.paths,
+			nextOrd:   nextOrd,
+			vocabSize: v.vocabSize,
+		}
+		nv.vocabSize = st.recountVocabDelta(v, nv)
+		return nv, nil
+	}
+	paths := v.paths.Clone()
+	ix := invindex.NewSegment(st.rootLabel, paths, st.tokOpts, st.storeText)
+	for i, tree := range st.tailTrees {
+		if err := ix.GraftDocument(tree, st.tailOrds[i]); err != nil {
+			return nil, err
+		}
+	}
+	eng := core.NewEngine(ix, st.cfg)
+	eng.SetSink(st.sink)
+	st.nextID++
+	tail := &Segment{
+		id:     st.nextID,
+		ix:     ix,
+		eng:    eng,
+		minOrd: st.tailOrds[0],
+		maxOrd: st.tailOrds[len(st.tailOrds)-1],
+		docs:   len(st.tailTrees),
+	}
+	nv := &View{
+		epoch:     v.epoch + 1,
+		segs:      v.segs,
+		tail:      tail,
+		paths:     paths,
+		nextOrd:   nextOrd,
+		vocabSize: v.vocabSize,
+	}
+	nv.vocabSize = st.recountVocabDelta(v, nv)
+	return nv, nil
+}
+
+// recountVocabDelta adjusts the live distinct-term count across a tail
+// replacement: terms of either tail incarnation whose global live
+// count transitioned between zero and non-zero. Both tails are small
+// (≤ tail limit documents), so the scan is cheap.
+func (st *Store) recountVocabDelta(old, nv *View) int {
+	size := old.vocabSize
+	seen := make(map[string]bool, 64)
+	check := func(w string) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		was := liveCountIn(old, w) > 0
+		is := liveCountIn(nv, w) > 0
+		switch {
+		case is && !was:
+			size++
+		case was && !is:
+			size--
+		}
+	}
+	if nv.tail != nil {
+		nv.tail.ix.Vocab.Terms(func(w string, _ int64) { check(w) })
+	}
+	if old.tail != nil {
+		old.tail.ix.Vocab.Terms(func(w string, _ int64) { check(w) })
+	}
+	return size
+}
+
+// liveCountIn is the stack-global live corpus frequency of w in a
+// view.
+func liveCountIn(v *View, w string) int64 {
+	var n int64
+	for _, s := range v.segs {
+		n += s.liveCount(w)
+	}
+	if v.tail != nil {
+		n += v.tail.ix.Vocab.Count(w)
+	}
+	return n
+}
+
+// sealLocked promotes the current tail to a sealed segment and resets
+// the tail buffer. The tail's index and engine are reused as-is; its
+// path table becomes frozen (the next tail clones it).
+func (st *Store) sealLocked() {
+	v := st.view.Load()
+	if v.tail == nil {
+		return
+	}
+	segs := make([]*Segment, 0, len(v.segs)+1)
+	segs = append(segs, v.segs...)
+	segs = append(segs, v.tail)
+	nv := &View{
+		epoch:     v.epoch + 1,
+		segs:      segs,
+		tail:      nil,
+		paths:     v.paths,
+		nextOrd:   v.nextOrd,
+		vocabSize: v.vocabSize,
+	}
+	st.tailTrees = nil
+	st.tailOrds = nil
+	st.publishLocked(nv)
+}
+
+// publishLocked swaps the view and refreshes the stack gauges.
+func (st *Store) publishLocked(nv *View) {
+	st.view.Store(nv)
+	st.publishGauges(nv)
+}
+
+func (st *Store) publishGauges(v *View) {
+	if st.sink == nil {
+		return
+	}
+	st.sink.SegmentCount.Set(int64(len(v.segs)))
+	tail := 0
+	if v.tail != nil {
+		tail = v.tail.docs
+	}
+	st.sink.TailDocs.Set(int64(tail))
+	st.sink.Tombstones.Set(int64(v.tombstones()))
+}
+
+// CorpusStats mirrors the monolithic index's summary statistics,
+// deduplicating what segments share (one conceptual root) and
+// excluding tombstoned content.
+type CorpusStats struct {
+	Nodes      int
+	MaxDepth   int
+	Tokens     int64
+	Vocab      int
+	LabelPaths int
+}
+
+// Stats summarizes the live stack.
+func (st *Store) Stats() CorpusStats {
+	v := st.view.Load()
+	out := CorpusStats{Vocab: v.vocabSize, LabelPaths: v.paths.Len()}
+	n := 0
+	for _, s := range v.all() {
+		out.Nodes += s.ix.NodeCount() - s.dead.DeadNodes()
+		out.Tokens += s.liveTokens()
+		if d := s.ix.MaxDepth(); d > out.MaxDepth {
+			out.MaxDepth = d
+		}
+		n++
+	}
+	if n > 1 {
+		out.Nodes -= n - 1 // every segment repeats the shared root node
+	}
+	return out
+}
+
+// SegStats describes the stack itself (exposed via /metricz and the
+// catalog's corpus status).
+type SegStats struct {
+	// Segments is the sealed segment count (tail excluded).
+	Segments int `json:"segments"`
+	// TailDocs is the number of documents in the mutable tail.
+	TailDocs int `json:"tailDocs"`
+	// Tombstones is the number of logically removed documents not yet
+	// purged.
+	Tombstones int `json:"tombstones"`
+	// Compactions is the number of completed compaction operations.
+	Compactions int64 `json:"compactions"`
+	// Epoch increments on every published view.
+	Epoch uint64 `json:"epoch"`
+}
+
+// SegmentStats reports the current stack shape.
+func (st *Store) SegmentStats() SegStats {
+	v := st.view.Load()
+	tail := 0
+	if v.tail != nil {
+		tail = v.tail.docs
+	}
+	return SegStats{
+		Segments:    len(v.segs),
+		TailDocs:    tail,
+		Tombstones:  v.tombstones(),
+		Compactions: st.compactions.Load(),
+		Epoch:       v.epoch,
+	}
+}
+
+// SubtreeText renders the stored text under a Dewey code, routing to
+// the segment owning its top-level ordinal. Tombstoned and unknown
+// documents yield "".
+func (st *Store) SubtreeText(d xmltree.Dewey, maxLen int) string {
+	v := st.view.Load()
+	if len(d) < 2 {
+		if fe := st.FastEngine(); fe != nil && len(v.segs) == 1 {
+			return v.segs[0].ix.SubtreeText(d, maxLen)
+		}
+		return ""
+	}
+	ord := d[1]
+	for _, s := range v.all() {
+		if ord < s.minOrd || ord > s.maxOrd || !s.ix.HasRootChild(ord) {
+			continue
+		}
+		if s.deadOrds[ord] {
+			return ""
+		}
+		return s.ix.SubtreeText(d, maxLen)
+	}
+	return ""
+}
+
+// Flatten merges the whole stack — tail sealed, tombstones purged —
+// into a single segment and publishes it, returning the merged index.
+// It runs entirely under the writer lock: writes wait, queries keep
+// reading the previous view until the swap. This is the bridge back
+// to every single-index operation (persistence, entity sharding).
+func (st *Store) Flatten(ctx context.Context) (*invindex.Index, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sealLocked()
+	v := st.view.Load()
+	all := v.segs
+	if len(all) == 0 {
+		return nil, fmt.Errorf("flatten: empty segment stack")
+	}
+	var err error
+	if len(all) == 1 && all[0].dead.DeadDocs() == 0 {
+		return all[0].ix, nil // already flat
+	}
+	start := time.Now()
+	parts := make([]*invindex.Index, len(all))
+	for i, s := range all {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		parts[i] = s.ix
+		if s.dead.DeadDocs() > 0 {
+			parts[i], err = s.ix.CloneDropping(s.dead)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	merged := parts[0]
+	if len(parts) > 1 {
+		merged, err = invindex.MergeOrdered(parts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.compactPx {
+		merged.Compact()
+	}
+	eng := core.NewEngine(merged, st.cfg)
+	eng.SetSink(st.sink)
+	st.nextID++
+	lo, hi := merged.RootOrdinalRange()
+	seg := &Segment{
+		id:     st.nextID,
+		ix:     merged,
+		eng:    eng,
+		minOrd: lo,
+		maxOrd: hi,
+		docs:   merged.RootChildCount(),
+	}
+	nv := &View{
+		epoch:     v.epoch + 1,
+		segs:      []*Segment{seg},
+		paths:     merged.Paths,
+		nextOrd:   v.nextOrd,
+		vocabSize: merged.Vocab.Size(),
+	}
+	st.publishLocked(nv)
+	st.compactions.Add(1)
+	if st.sink != nil {
+		st.sink.CompactionRuns.Inc()
+		st.sink.CompactionBytes.Add(merged.PostingsBytes())
+		st.sink.CompactionDur.ObserveDuration(time.Since(start))
+	}
+	return merged, nil
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xclean"
+	"xclean/internal/catalog"
+)
+
+// liveWriteServer is a single-corpus catalog server built with stored
+// text, so document removals work.
+func liveWriteServer(t *testing.T) (*httptest.Server, *catalog.Catalog) {
+	t.Helper()
+	dir := t.TempDir()
+	cat := catalog.New(catalog.Config{Options: xclean.Options{StoreText: true}})
+	path := filepath.Join(dir, "a.xml")
+	if err := os.WriteFile(path, []byte(catCorpusA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("a", path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(nil, Config{Catalog: cat, CacheSize: 64}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, cat
+}
+
+func postXML(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/xml", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+func corpusStatus(t *testing.T, body []byte) catalog.Status {
+	t.Helper()
+	var st catalog.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	return st
+}
+
+func TestCorporaLiveWriteActions(t *testing.T) {
+	ts, _ := liveWriteServer(t)
+
+	// Prime the suggestion cache with a query the corpus cannot answer
+	// yet, so the post-write re-query also proves cache invalidation.
+	resp, body := get(t, ts.URL+"/suggest?q=quantum+processing&corpus=a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-write suggest: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"suggestions":[]`) {
+		t.Fatalf("premature content: %s", body)
+	}
+
+	// adddoc: the XML body becomes document 1.3, searchable immediately.
+	resp, body = postXML(t, ts.URL+"/corpora?name=a&action=adddoc",
+		`<article><author>wei zhang</author><title>quantum query processing</title></article>`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adddoc: %d %s", resp.StatusCode, body)
+	}
+	st := corpusStatus(t, body)
+	if st.Docs != 2 || st.Seg.TailDocs != 1 || st.Seg.Segments != 1 {
+		t.Fatalf("status after add: docs=%d seg=%+v", st.Docs, st.Seg)
+	}
+	resp, body = get(t, ts.URL+"/suggest?q=quantum+processing&corpus=a")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"witness":"1.3"`) {
+		t.Fatalf("added content not served (cache stale?): %d %s", resp.StatusCode, body)
+	}
+
+	// removedoc of a sealed original leaves a tombstone.
+	resp, body = post(t, ts.URL+"/corpora?name=a&action=removedoc&doc=1.1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("removedoc: %d %s", resp.StatusCode, body)
+	}
+	st = corpusStatus(t, body)
+	if st.Seg.Tombstones != 1 {
+		t.Fatalf("status after remove: %+v", st.Seg)
+	}
+	resp, body = get(t, ts.URL+"/suggest?q=architecture+synthesis&corpus=a")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-remove suggest: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"suggestions":[]`) {
+		t.Fatalf("removed content still served: %s", body)
+	}
+
+	// compact and flush both answer with the fresh status.
+	resp, body = post(t, ts.URL+"/corpora?name=a&action=compact")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %d %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/corpora?name=a&action=flush")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d %s", resp.StatusCode, body)
+	}
+	st = corpusStatus(t, body)
+	if st.Seg.Segments != 1 || st.Seg.TailDocs != 0 || st.Seg.Tombstones != 0 {
+		t.Fatalf("status after flush: %+v", st.Seg)
+	}
+	// Flushed corpus still answers from the flattened index.
+	resp, body = get(t, ts.URL+"/suggest?q=quantum+processing&corpus=a")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"entities":1`) {
+		t.Fatalf("post-flush suggest: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestCorporaLiveWriteErrors(t *testing.T) {
+	ts, _ := liveWriteServer(t)
+
+	// Malformed XML body.
+	if resp, _ := postXML(t, ts.URL+"/corpora?name=a&action=adddoc", "<broken>"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed adddoc: %d", resp.StatusCode)
+	}
+	// removedoc without and with a bad code.
+	if resp, _ := post(t, ts.URL+"/corpora?name=a&action=removedoc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("removedoc without doc: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/corpora?name=a&action=removedoc&doc=1.99"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("removedoc absent doc: %d", resp.StatusCode)
+	}
+	// Unknown corpus maps to 404 for every action.
+	for _, u := range []string{
+		"/corpora?name=nope&action=adddoc",
+		"/corpora?name=nope&action=removedoc&doc=1.1",
+		"/corpora?name=nope&action=compact",
+		"/corpora?name=nope&action=flush",
+	} {
+		if resp, _ := post(t, ts.URL+u); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: %d", u, resp.StatusCode)
+		}
+	}
+}

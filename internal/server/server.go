@@ -595,7 +595,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCorpora is the catalog admin surface: list (GET), add or
-// reload (POST), remove (DELETE).
+// reload (POST), remove (DELETE), plus the live-write actions of the
+// segmented engine — adddoc (XML request body), removedoc (&doc=
+// top-level Dewey code), compact (one compaction step), and flush
+// (flatten the segment stack).
 func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
 	cat := s.cfg.Catalog
 	switch r.Method {
@@ -611,9 +614,26 @@ func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
 		snapshot := r.URL.Query().Get("snapshot")
 		action := r.URL.Query().Get("action")
 		var err error
+		// Document-write failures with a registered corpus are caller
+		// mistakes (malformed XML, bad Dewey code), not server faults.
+		badRequest := false
 		switch {
 		case action == "reload":
 			err = cat.Reload(name)
+		case action == "adddoc":
+			err = cat.AddDocumentTo(name, r.Body)
+			badRequest = true
+		case action == "removedoc":
+			if doc == "" {
+				s.writeError(w, http.StatusBadRequest, "removedoc requires the doc parameter (a top-level Dewey code such as 1.17)")
+				return
+			}
+			err = cat.RemoveDocumentFrom(name, doc)
+			badRequest = true
+		case action == "compact":
+			_, err = cat.CompactCorpus(r.Context(), name)
+		case action == "flush":
+			err = cat.FlushCorpus(r.Context(), name)
 		case action != "":
 			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown action %q", action))
 			return
@@ -626,16 +646,20 @@ func (s *Server) handleCorpora(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err != nil {
+			code := catalogStatus(err)
+			if badRequest && code == http.StatusInternalServerError {
+				code = http.StatusBadRequest
+			}
 			// A failed reload keeps the corpus registered (old engine
 			// serving); include its status so callers see both.
 			if st, stErr := cat.Status(name); stErr == nil {
-				s.writeJSON(w, catalogStatus(err), struct {
+				s.writeJSON(w, code, struct {
 					Error  string         `json:"error"`
 					Corpus catalog.Status `json:"corpus"`
 				}{err.Error(), st})
 				return
 			}
-			s.writeError(w, catalogStatus(err), err.Error())
+			s.writeError(w, code, err.Error())
 			return
 		}
 		st, stErr := cat.Status(name)

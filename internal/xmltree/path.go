@@ -141,6 +141,24 @@ func (t *PathTable) String(id PathID) string {
 // Len is the number of interned paths.
 func (t *PathTable) Len() int { return len(t.entries) }
 
+// Clone returns an independent copy of the table. Interning into the
+// clone never touches the receiver, and because the table is
+// append-only the clone assigns every already-interned path the same
+// ID, so indexes built against the original keep resolving against the
+// clone. This is what lets an immutable published table serve readers
+// while a writer extends a private copy.
+func (t *PathTable) Clone() *PathTable {
+	c := &PathTable{
+		entries:  make([]pathEntry, len(t.entries)),
+		children: make(map[pathChildKey]PathID, len(t.children)),
+	}
+	copy(c.entries, t.entries)
+	for k, v := range t.children {
+		c.children[k] = v
+	}
+	return c
+}
+
 // Export serializes the table as parallel parent/label slices indexed
 // by PathID, for persistence. The inverse is ImportPathTable.
 func (t *PathTable) Export() (parents []int32, labels []string) {

@@ -1,0 +1,134 @@
+#!/bin/sh
+# ingest_smoke.sh — end-to-end live-ingest smoke test.
+#
+# Boots one xserve over a generated corpus with a small segment tail
+# limit, then streams document additions and removals through the
+# /corpora admin actions while a background query loop hammers
+# /suggest. Asserts: zero query errors during ingest, added content
+# searchable and removed content gone (no stale cache answers), at
+# least one background compaction completed, and a final flush
+# flattens the stack back to one segment.
+#
+# Run via `make ingest-smoke`. Requires only the go toolchain and curl.
+set -eu
+
+PORT=18095
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "ingest-smoke: $*"; }
+
+wait_http() {
+	i=0
+	while ! curl -fsS -o /dev/null --max-time 1 "$1" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			say "timeout waiting for $1"
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+
+say "building binaries"
+go build -o "$tmp/xgen" ./cmd/xgen
+go build -o "$tmp/xserve" ./cmd/xserve
+
+say "generating base corpus"
+"$tmp/xgen" -out "$tmp/corpus.xml" -kind dblp -articles 300 -queries 1
+q=$(head -1 "$tmp/corpus.xml.queries.tsv" | cut -f2)
+base="http://127.0.0.1:$PORT"
+
+say "starting server (tail-limit 4)"
+"$tmp/xserve" -doc "$tmp/corpus.xml" -store-text -tail-limit 4 \
+	-addr "127.0.0.1:$PORT" -q &
+pids="$pids $!"
+wait_http "$base/healthz"
+
+say "starting background query loop: $q"
+qurl="$base/suggest?q=$(printf %s "$q" | sed 's/ /+/g')&corpus=corpus"
+: >"$tmp/qfail"
+(
+	while [ ! -f "$tmp/qstop" ]; do
+		curl -fsS --max-time 5 "$qurl" >/dev/null 2>&1 || echo fail >>"$tmp/qfail"
+	done
+) &
+pids="$pids $!"
+
+say "streaming 24 additions with interleaved removals"
+i=1
+while [ "$i" -le 24 ]; do
+	doc="<article><author>ingest author$i</author><title>ingestsmoketoken$i streaming segment workload</title></article>"
+	curl -fsS -X POST --data "$doc" \
+		"$base/corpora?name=corpus&action=adddoc" >/dev/null
+	# Remove every fourth added document by the witness ordinal of its
+	# unique token — exercising both tail drops and sealed tombstones.
+	if [ $((i % 4)) -eq 0 ]; then
+		resp=$(curl -fsS "$base/suggest?q=ingestsmoketoken$i&corpus=corpus")
+		ord=$(printf %s "$resp" | grep -o '"witness":"1\.[0-9]*"' | head -1 | grep -o '1\.[0-9]*')
+		if [ -z "$ord" ]; then
+			say "FAIL: added document $i not searchable: $resp"
+			exit 1
+		fi
+		curl -fsS -X POST \
+			"$base/corpora?name=corpus&action=removedoc&doc=$ord" >/dev/null
+		# The removed document's witness must vanish (near-miss tokens of
+		# other added documents may still answer at edit distance 1).
+		resp=$(curl -fsS "$base/suggest?q=ingestsmoketoken$i&corpus=corpus")
+		case "$resp" in
+		*"\"witness\":\"$ord\""*)
+			say "FAIL: removed document $i (witness $ord) still served: $resp"
+			exit 1
+			;;
+		esac
+	fi
+	i=$((i + 1))
+done
+
+say "stopping query loop"
+touch "$tmp/qstop"
+sleep 1
+if [ -s "$tmp/qfail" ]; then
+	say "FAIL: $(wc -l <"$tmp/qfail") query errors during ingest"
+	exit 1
+fi
+
+status=$(curl -fsS "$base/corpora")
+echo "$status"
+compactions=$(printf %s "$status" | grep -o '"compactions":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$compactions" ] || [ "$compactions" -lt 1 ]; then
+	say "FAIL: no compaction completed (compactions=$compactions)"
+	exit 1
+fi
+say "compactions completed: $compactions"
+
+say "flushing the segment stack"
+flush=$(curl -fsS -X POST "$base/corpora?name=corpus&action=flush")
+echo "$flush"
+case "$flush" in
+*'"segments":{"segments":1,"tailDocs":0,"tombstones":0'*) ;;
+*)
+	say "FAIL: flush did not flatten the stack"
+	exit 1
+	;;
+esac
+
+# Surviving added content still answers after the flush.
+resp=$(curl -fsS "$base/suggest?q=ingestsmoketoken23&corpus=corpus")
+case "$resp" in
+*'"suggestions":[]'*)
+	say "FAIL: surviving document lost after flush: $resp"
+	exit 1
+	;;
+esac
+
+say "OK"

@@ -27,10 +27,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"xclean/internal/core"
 	"xclean/internal/invindex"
 	"xclean/internal/obs"
+	"xclean/internal/segment"
 	"xclean/internal/slca"
 	"xclean/internal/tokenizer"
 	"xclean/internal/xmltree"
@@ -129,6 +132,16 @@ type Options struct {
 	// StoreText keeps a copy of the document text in the index so that
 	// Preview can render the witness entity of each suggestion.
 	StoreText bool
+	// TailLimit is the number of documents the segmented engine's
+	// mutable tail buffers before sealing it into an immutable segment
+	// (0 = 64). Consulted only once AddDocument or RemoveDocument has
+	// switched the engine to its segmented form.
+	TailLimit int
+	// CompactInterval, when positive, runs a background segment
+	// compaction attempt this often on a segmented engine, in addition
+	// to the write-triggered compactor. Zero leaves only write-triggered
+	// compaction.
+	CompactInterval time.Duration
 	// Workers bounds the parallelism of one suggestion call: the
 	// anchor-subtree scan of Algorithm 1 is sharded across this many
 	// goroutines (and SuggestWithSpaces runs up to this many shapes
@@ -207,11 +220,70 @@ type IndexStats struct {
 }
 
 // Engine answers suggestion queries over one indexed XML document.
+//
+// An Engine starts monolithic: one index, one core engine. The first
+// AddDocument or RemoveDocument switches it to the segmented form — a
+// stack of immutable sealed segments plus a mutable tail
+// (internal/segment) — after which a single writer may keep mutating
+// the corpus while any number of readers call the Suggest family
+// concurrently. Whenever the stack is flat (one segment, no pending
+// tombstones — including after a flush), queries transparently take
+// the monolithic fast path.
 type Engine struct {
 	opts Options
 	ix   *invindex.Index
 	core *core.Engine
 	slca *slca.Engine
+	// seg is the segmented store, non-nil once live writes started
+	// (result-type semantics only; SLCA engines keep the legacy
+	// stop-the-world mutation path). Atomic so the first write can
+	// publish the store while readers are mid-query.
+	seg atomic.Pointer[segment.Store]
+}
+
+// route picks the serving path for one core-semantics call: a plain
+// engine (the monolithic engine, or the stack's single segment when it
+// is flat) or the segmented store.
+func (e *Engine) route() (*core.Engine, *segment.Store) {
+	st := e.seg.Load()
+	if st == nil {
+		return e.core, nil
+	}
+	if fe := st.FastEngine(); fe != nil {
+		return fe, nil
+	}
+	return nil, st
+}
+
+// paths is the table interpreting result-type IDs: the stack's newest
+// table once segmented, the index's own otherwise.
+func (e *Engine) paths() *xmltree.PathTable {
+	if st := e.seg.Load(); st != nil {
+		return st.Paths()
+	}
+	return e.ix.Paths
+}
+
+// ensureStore lazily wraps the monolithic engine as the base segment
+// of a segmented store on the first live write. Only the single
+// permitted writer calls it, so the nil check needs no CAS.
+func (e *Engine) ensureStore() (*segment.Store, error) {
+	if st := e.seg.Load(); st != nil {
+		return st, nil
+	}
+	st, err := segment.NewStore(e.ix, e.core, segment.Config{
+		Core:            e.opts.coreConfig(),
+		TailLimit:       e.opts.TailLimit,
+		CompactInterval: e.opts.CompactInterval,
+		CompactPostings: e.opts.CompactPostings,
+		StoreText:       e.opts.StoreText || e.ix.HasStoredText(),
+		Sink:            e.core.Sink(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	e.seg.Store(st)
+	return st, nil
 }
 
 // Open parses one XML document from r and builds a suggestion engine.
@@ -305,12 +377,32 @@ func OpenIndexFile(path string, opts Options) (*Engine, error) {
 }
 
 // SaveIndex writes the engine's index so that OpenIndex can restore it
-// without reparsing the document.
+// without reparsing the document. On a segmented engine the stack is
+// first flattened (tail sealed, tombstones purged, segments merged) so
+// the snapshot is a single self-contained index.
 func (e *Engine) SaveIndex(w io.Writer) error {
-	if err := e.ix.Save(w); err != nil {
+	ix, err := e.currentIndex()
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(w); err != nil {
 		return fmt.Errorf("xclean: %w", err)
 	}
 	return nil
+}
+
+// currentIndex is the single-index form of the corpus: the engine's
+// own index while monolithic, the flattened stack once segmented.
+func (e *Engine) currentIndex() (*invindex.Index, error) {
+	st := e.seg.Load()
+	if st == nil {
+		return e.ix, nil
+	}
+	ix, err := st.Flatten(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	return ix, nil
 }
 
 // PartialSet is one shard's un-normalized answer for one query: the
@@ -336,7 +428,11 @@ func (e *Engine) SuggestPartialsContext(ctx context.Context, query string) (Part
 	if e.core == nil {
 		return PartialSet{}, fmt.Errorf("xclean: shard partials require the result-type semantics")
 	}
-	ps, _, err := e.core.SuggestPartialsContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		return PartialSet{}, fmt.Errorf("xclean: shard partials unavailable while the segment stack has pending writes; flush first")
+	}
+	ps, _, err := ce.SuggestPartialsContext(ctx, query)
 	return ps, err
 }
 
@@ -349,7 +445,11 @@ func (e *Engine) SuggestPartialsExplainedContext(ctx context.Context, query stri
 	if e.core == nil {
 		return PartialSet{}, nil, fmt.Errorf("xclean: shard partials require the result-type semantics")
 	}
-	ps, _, spans, err := e.core.SuggestPartialsExplainedContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		return PartialSet{}, nil, fmt.Errorf("xclean: shard partials unavailable while the segment stack has pending writes; flush first")
+	}
+	ps, _, spans, err := ce.SuggestPartialsExplainedContext(ctx, query)
 	return ps, spans, err
 }
 
@@ -360,7 +460,11 @@ func (e *Engine) SuggestPartialsExplainedContext(ctx context.Context, query stri
 // exactly the standalone scores. The slice shares the receiver's
 // index tables; neither engine may index further documents afterwards.
 func (e *Engine) ShardEngine(shard, n int) (*Engine, error) {
-	sl, err := e.ix.ShardEntities(shard, n)
+	ix, err := e.currentIndex()
+	if err != nil {
+		return nil, err
+	}
+	sl, err := ix.ShardEntities(shard, n)
 	if err != nil {
 		return nil, fmt.Errorf("xclean: %w", err)
 	}
@@ -370,7 +474,11 @@ func (e *Engine) ShardEngine(shard, n int) (*Engine, error) {
 // SaveShardIndex writes shard `shard` of `n` in the SaveIndex format,
 // loadable with OpenIndex on a shard server.
 func (e *Engine) SaveShardIndex(w io.Writer, shard, n int) error {
-	sl, err := e.ix.ShardEntities(shard, n)
+	ix, err := e.currentIndex()
+	if err != nil {
+		return err
+	}
+	sl, err := ix.ShardEntities(shard, n)
 	if err != nil {
 		return fmt.Errorf("xclean: %w", err)
 	}
@@ -402,7 +510,12 @@ func (e *Engine) Suggest(query string) []Suggestion {
 	if e.slca != nil {
 		return e.convert(e.slca.Suggest(query))
 	}
-	return e.convert(e.core.Suggest(query))
+	ce, st := e.route()
+	if st != nil {
+		out, _, _, _ := st.Suggest(context.Background(), query, false, false)
+		return e.convertMerged(out)
+	}
+	return e.convert(ce.Suggest(query))
 }
 
 // SuggestContext is Suggest under a context: the anchor-subtree scan
@@ -416,7 +529,12 @@ func (e *Engine) SuggestContext(ctx context.Context, query string) ([]Suggestion
 		out, err := e.slca.SuggestContext(ctx, query)
 		return e.convert(out), err
 	}
-	out, err := e.core.SuggestContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, _, err := st.Suggest(ctx, query, false, false)
+		return e.convertMerged(out), err
+	}
+	out, err := ce.SuggestContext(ctx, query)
 	return e.convert(out), err
 }
 
@@ -427,7 +545,12 @@ func (e *Engine) SuggestWithSpaces(query string) []Suggestion {
 	if e.slca != nil {
 		return e.convert(e.slca.Suggest(query))
 	}
-	return e.convert(e.core.SuggestWithSpaces(query))
+	ce, st := e.route()
+	if st != nil {
+		out, _, _, _ := st.Suggest(context.Background(), query, true, false)
+		return e.convertMerged(out)
+	}
+	return e.convert(ce.SuggestWithSpaces(query))
 }
 
 // SuggestWithSpacesContext is SuggestWithSpaces under a context (see
@@ -438,7 +561,12 @@ func (e *Engine) SuggestWithSpacesContext(ctx context.Context, query string) ([]
 		out, err := e.slca.SuggestContext(ctx, query)
 		return e.convert(out), err
 	}
-	out, err := e.core.SuggestWithSpacesContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, _, err := st.Suggest(ctx, query, true, false)
+		return e.convertMerged(out), err
+	}
+	out, err := ce.SuggestWithSpacesContext(ctx, query)
 	return e.convert(out), err
 }
 
@@ -457,8 +585,11 @@ func NewObserver() *Observer { return obs.NewSink() }
 func (e *Engine) SetObserver(s *Observer) {
 	if e.slca != nil {
 		e.slca.SetSink(s)
-	} else {
-		e.core.SetSink(s)
+		return
+	}
+	e.core.SetSink(s)
+	if st := e.seg.Load(); st != nil {
+		st.SetSink(s)
 	}
 }
 
@@ -482,7 +613,12 @@ func (e *Engine) SuggestExplained(query string) ([]Suggestion, *Explain) {
 		out, ex := e.slca.SuggestExplained(query)
 		return e.convert(out), ex
 	}
-	out, ex := e.core.SuggestExplained(query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, ex, _ := st.Suggest(context.Background(), query, false, true)
+		return e.convertMerged(out), ex
+	}
+	out, ex := ce.SuggestExplained(query)
 	return e.convert(out), ex
 }
 
@@ -493,7 +629,12 @@ func (e *Engine) SuggestExplainedContext(ctx context.Context, query string) ([]S
 		out, ex, err := e.slca.SuggestExplainedContext(ctx, query)
 		return e.convert(out), ex, err
 	}
-	out, ex, err := e.core.SuggestExplainedContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, ex, err := st.Suggest(ctx, query, false, true)
+		return e.convertMerged(out), ex, err
+	}
+	out, ex, err := ce.SuggestExplainedContext(ctx, query)
 	return e.convert(out), ex, err
 }
 
@@ -505,7 +646,12 @@ func (e *Engine) SuggestWithSpacesExplained(query string) ([]Suggestion, *Explai
 		out, ex := e.slca.SuggestExplained(query)
 		return e.convert(out), ex
 	}
-	out, ex := e.core.SuggestWithSpacesExplained(query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, ex, _ := st.Suggest(context.Background(), query, true, true)
+		return e.convertMerged(out), ex
+	}
+	out, ex := ce.SuggestWithSpacesExplained(query)
 	return e.convert(out), ex
 }
 
@@ -516,65 +662,152 @@ func (e *Engine) SuggestWithSpacesExplainedContext(ctx context.Context, query st
 		out, ex, err := e.slca.SuggestExplainedContext(ctx, query)
 		return e.convert(out), ex, err
 	}
-	out, ex, err := e.core.SuggestWithSpacesExplainedContext(ctx, query)
+	ce, st := e.route()
+	if st != nil {
+		out, _, ex, err := st.Suggest(ctx, query, true, true)
+		return e.convertMerged(out), ex, err
+	}
+	out, ex, err := ce.SuggestWithSpacesExplainedContext(ctx, query)
 	return e.convert(out), ex, err
 }
 
-// AddDocument parses one XML document from r and grafts it under the
-// indexed root, updating the index incrementally (equivalent to
-// re-indexing the enlarged corpus, at cost proportional to the added
-// document) and rebuilding the engine's derived structures, including
-// the variant index over the possibly-enlarged vocabulary.
+// AddDocument parses one XML document from r and adds it to the
+// corpus as a new direct child of the indexed root. Under the
+// result-type semantics the first write switches the engine to its
+// segmented form: the document lands in an in-memory mutable tail
+// (sealed into an immutable segment every Options.TailLimit
+// documents), the existing index is never mutated, and a background
+// compactor keeps the segment stack shallow. Scores are identical to
+// re-indexing the enlarged corpus from scratch.
 //
-// AddDocument is not safe to call concurrently with Suggest; callers
-// serving live traffic should quiesce queries around it. Engines with
-// CompactPostings are immutable.
+// Concurrency: AddDocument and RemoveDocument form a single-writer
+// pair — they must not race with each other — but both are safe to
+// call concurrently with the Suggest family, which keeps serving a
+// consistent snapshot throughout. Engines with CompactPostings accept
+// writes too (the compacted base segment stays immutable; new
+// documents live in raw-postings segments until compaction).
+//
+// SLCA/ELCA engines keep the legacy in-place mutation path, which is
+// not safe to call concurrently with Suggest and rejects compacted
+// indexes.
 func (e *Engine) AddDocument(r io.Reader) error {
 	tree, err := xmltree.Parse(r)
 	if err != nil {
 		return fmt.Errorf("xclean: %w", err)
 	}
-	if err := e.ix.AddDocument(tree); err != nil {
-		return fmt.Errorf("xclean: %w", err)
-	}
-	// Extend the shared variant index with the document's tokens (known
-	// words are ignored) rather than rebuilding it over the vocabulary.
-	tokOpts := e.opts.tokenizerOptions()
-	var words []string
-	tree.Walk(func(n *xmltree.Node) bool {
-		if n.Text != "" {
-			words = append(words, tokOpts.Tokenize(n.Text)...)
-		}
-		return true
-	})
 	if e.slca != nil {
+		if err := e.ix.AddDocument(tree); err != nil {
+			return fmt.Errorf("xclean: %w", err)
+		}
+		// Extend the shared variant index with the document's tokens
+		// (known words are ignored) rather than rebuilding it over the
+		// vocabulary.
+		tokOpts := e.opts.tokenizerOptions()
+		var words []string
+		tree.Walk(func(n *xmltree.Node) bool {
+			if n.Text != "" {
+				words = append(words, tokOpts.Tokenize(n.Text)...)
+			}
+			return true
+		})
 		e.slca = e.slca.Refresh(words)
-	} else {
-		e.core = e.core.Refresh(words)
+		return nil
+	}
+	st, err := e.ensureStore()
+	if err != nil {
+		return err
+	}
+	if err := st.AddDocument(tree); err != nil {
+		return fmt.Errorf("xclean: %w", err)
 	}
 	return nil
 }
 
-// RemoveDocument detaches the document rooted at the given Dewey code
+// RemoveDocument removes the document rooted at the given Dewey code
 // (dot form, e.g. "1.17" — a direct child of the root, as reported by
 // Suggestion.Witness truncated to depth 2 or by the document's position
-// in the collection) and updates the index as if it had never been
-// indexed. Requires Options.StoreText; see invindex.RemoveDocument for
-// the full contract. Like AddDocument, it must not race with Suggest.
+// in the collection) from the corpus, as if it had never been indexed.
+// Requires Options.StoreText. Under the result-type semantics the
+// engine switches to its segmented form on first write: removal of a
+// sealed document records a tombstone that queries filter immediately
+// and compaction purges later; removal of a still-buffered tail
+// document drops it outright. The same single-writer /
+// concurrent-reader contract as AddDocument applies.
+//
+// SLCA/ELCA engines keep the legacy in-place path (see
+// invindex.RemoveDocument), which must not race with Suggest.
 func (e *Engine) RemoveDocument(code string) error {
 	d, err := xmltree.ParseDewey(code)
 	if err != nil {
 		return fmt.Errorf("xclean: %w", err)
 	}
-	if err := e.ix.RemoveDocument(d); err != nil {
+	if e.slca != nil {
+		if err := e.ix.RemoveDocument(d); err != nil {
+			return fmt.Errorf("xclean: %w", err)
+		}
+		e.slca = e.slca.Refresh(nil)
+		return nil
+	}
+	st, err := e.ensureStore()
+	if err != nil {
+		return err
+	}
+	if err := st.RemoveDocument(d); err != nil {
 		return fmt.Errorf("xclean: %w", err)
 	}
-	if e.slca != nil {
-		e.slca = e.slca.Refresh(nil)
-	} else {
-		e.core = e.core.Refresh(nil)
+	return nil
+}
+
+// CompactNow synchronously runs at most one segment compaction step
+// (a tombstone purge or a small-segment merge) and reports whether any
+// work was done. A no-op on engines that never saw a live write.
+func (e *Engine) CompactNow(ctx context.Context) (bool, error) {
+	st := e.seg.Load()
+	if st == nil {
+		return false, nil
+	}
+	did, err := st.CompactOnce(ctx)
+	if err != nil {
+		return did, fmt.Errorf("xclean: %w", err)
+	}
+	return did, nil
+}
+
+// FlushSegments merges the whole segment stack — tail sealed,
+// tombstones purged — into a single segment, after which queries take
+// the monolithic fast path again. A no-op on engines that never saw a
+// live write.
+func (e *Engine) FlushSegments(ctx context.Context) error {
+	st := e.seg.Load()
+	if st == nil {
+		return nil
+	}
+	if _, err := st.Flatten(ctx); err != nil {
+		return fmt.Errorf("xclean: %w", err)
 	}
 	return nil
+}
+
+// SegmentStats describes a segmented engine's stack shape (all zero
+// while the engine is still monolithic).
+type SegmentStats = segment.SegStats
+
+// SegmentStats reports the current segment stack.
+func (e *Engine) SegmentStats() SegmentStats {
+	st := e.seg.Load()
+	if st == nil {
+		return SegmentStats{}
+	}
+	return st.SegmentStats()
+}
+
+// Close stops the segmented engine's background compaction ticker (if
+// any). Queries remain serveable; Close is idempotent and a no-op on
+// monolithic engines.
+func (e *Engine) Close() {
+	if st := e.seg.Load(); st != nil {
+		st.Close()
+	}
 }
 
 // Preview renders up to maxLen runes of the suggestion's witness
@@ -589,11 +822,26 @@ func (e *Engine) Preview(s Suggestion, maxLen int) string {
 	if err != nil {
 		return ""
 	}
+	if st := e.seg.Load(); st != nil {
+		return st.SubtreeText(d, maxLen)
+	}
 	return e.ix.SubtreeText(d, maxLen)
 }
 
-// Stats describes the indexed document.
+// Stats describes the indexed document. On a segmented engine the
+// counts cover the live stack: tombstoned content is excluded and
+// structures the segments share (the root node) are deduplicated.
 func (e *Engine) Stats() IndexStats {
+	if st := e.seg.Load(); st != nil {
+		cs := st.Stats()
+		return IndexStats{
+			Nodes:         cs.Nodes,
+			MaxDepth:      cs.MaxDepth,
+			Tokens:        cs.Tokens,
+			DistinctTerms: cs.Vocab,
+			LabelPaths:    cs.LabelPaths,
+		}
+	}
 	return IndexStats{
 		Nodes:         e.ix.NodeCount(),
 		MaxDepth:      e.ix.MaxDepth(),
@@ -607,11 +855,12 @@ func (e *Engine) convert(in []core.Suggestion) []Suggestion {
 	if len(in) == 0 {
 		return nil
 	}
+	paths := e.paths()
 	out := make([]Suggestion, len(in))
 	for i, s := range in {
 		rt := ""
 		if s.ResultType != xmltree.InvalidPath {
-			rt = e.ix.Paths.String(s.ResultType)
+			rt = paths.String(s.ResultType)
 		}
 		out[i] = Suggestion{
 			Query:        s.Query(),
@@ -621,6 +870,27 @@ func (e *Engine) convert(in []core.Suggestion) []Suggestion {
 			Entities:     s.Entities,
 			EditDistance: s.EditDistance,
 			Witness:      s.Witness.String(),
+		}
+	}
+	return out
+}
+
+// convertMerged maps the segmented path's merged suggestions (which
+// already carry label-path and dot-form strings) to the public type.
+func (e *Engine) convertMerged(in []core.MergedSuggestion) []Suggestion {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Suggestion, len(in))
+	for i, s := range in {
+		out[i] = Suggestion{
+			Query:        s.Query(),
+			Words:        s.Words,
+			Score:        s.Score,
+			ResultType:   s.ResultType,
+			Entities:     s.Entities,
+			EditDistance: s.EditDistance,
+			Witness:      s.Witness,
 		}
 	}
 	return out

@@ -40,9 +40,23 @@ func TestEngineAddDocumentErrors(t *testing.T) {
 	if err := e.AddDocument(strings.NewReader("<broken>")); err == nil {
 		t.Error("malformed document accepted")
 	}
+	// Compacted engines accept writes: the segmented store leaves the
+	// compacted base segment untouched and buffers the new document in
+	// a raw-postings tail.
 	compact := openSample(t, Options{CompactPostings: true})
-	if err := compact.AddDocument(strings.NewReader("<a><b>x</b></a>")); err == nil {
-		t.Error("compacted engine mutated")
+	err := compact.AddDocument(strings.NewReader(
+		`<article><author>nguyen</author><title>streaming compaction</title></article>`))
+	if err != nil {
+		t.Errorf("compacted engine rejected a live write: %v", err)
+	}
+	if sugs := compact.Suggest("streaming compaction"); len(sugs) == 0 {
+		t.Error("write to compacted engine not searchable")
+	}
+	// SLCA engines keep the legacy path, which still rejects compacted
+	// indexes.
+	slcaCompact := openSample(t, Options{CompactPostings: true, Semantics: SemanticsSLCA})
+	if err := slcaCompact.AddDocument(strings.NewReader("<a><b>x</b></a>")); err == nil {
+		t.Error("compacted SLCA engine mutated")
 	}
 }
 

@@ -1,0 +1,293 @@
+package xclean
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The differential harness of the segmented engine: drive a mixed
+// add/remove workload through the segment stack and require the
+// resulting suggestions to be score-identical (within floating-point
+// association noise) to a monolithic engine cold-built over the same
+// final corpus. Witness Dewey codes are excluded from the comparison —
+// the segmented engine keeps original ordinals while a cold rebuild
+// renumbers the surviving documents — but words, scores, result types,
+// entity counts, and edit distances must all agree.
+
+// segDocs is a corpus of small "articles" with heavily overlapping
+// vocabulary, so that additions and removals shift the background
+// model, the type lists, and the variant sets in measurable ways.
+var segDocs = []string{
+	`<article><author>jonathan rose</author><title>fpga architecture synthesis</title></article>`,
+	`<article><author>mary smith</author><title>database indexing structures</title></article>`,
+	`<article><author>alan jones</author><title>keyword search over databases</title></article>`,
+	`<article><author>wei zhang</author><title>quantum query processing</title></article>`,
+	`<article><author>mary smith</author><title>spelling correction for queries</title></article>`,
+	`<article><author>lin chen</author><title>database query optimization</title></article>`,
+	`<article><author>jonathan rose</author><title>reconfigurable fpga routing</title></article>`,
+	`<article><author>sara lopez</author><title>keyword suggestion models</title></article>`,
+	`<article><author>wei zhang</author><title>indexing quantum databases</title></article>`,
+	`<article><author>alan jones</author><title>approximate string matching</title></article>`,
+	`<article><author>lin chen</author><title>language models for search</title></article>`,
+	`<article><author>sara lopez</author><title>spelling variants in queries</title></article>`,
+	`<article><author>mary smith</author><title>fpga database acceleration</title></article>`,
+	`<article><author>wei zhang</author><title>query suggestion ranking</title></article>`,
+	`<article><author>jonathan rose</author><title>routing architecture models</title></article>`,
+	`<article><author>lin chen</author><title>correction of keyword errors</title></article>`,
+}
+
+var segQueries = []string{
+	"databse indexing",
+	"keywrd search",
+	"quantum procesing",
+	"speling correction",
+	"rose architecure fpga",
+	"query sugestion",
+	"langage models",
+	"aproximate matching",
+	"database",
+	"zhang quantum indexing",
+}
+
+func collectionXML(docs []string) string {
+	var b strings.Builder
+	b.WriteString("<dblp>")
+	for _, d := range docs {
+		b.WriteString(d)
+	}
+	b.WriteString("</dblp>")
+	return b.String()
+}
+
+// buildSegmented opens an engine over the first base docs, adds the
+// rest through the live write path, then removes the documents at the
+// given original ordinals (1-based root-child positions).
+func buildSegmented(t *testing.T, opts Options, base int, removeOrds []int) *Engine {
+	t.Helper()
+	e, err := Open(strings.NewReader(collectionXML(segDocs[:base])), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range segDocs[base:] {
+		if err := e.AddDocument(strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ord := range removeOrds {
+		if err := e.RemoveDocument(fmt.Sprintf("1.%d", ord)); err != nil {
+			t.Fatalf("remove 1.%d: %v", ord, err)
+		}
+	}
+	return e
+}
+
+// buildReference cold-builds a monolithic engine over the surviving
+// documents in their original order.
+func buildReference(t *testing.T, opts Options, removeOrds []int) *Engine {
+	t.Helper()
+	dead := map[int]bool{}
+	for _, o := range removeOrds {
+		dead[o] = true
+	}
+	var live []string
+	for i, d := range segDocs {
+		if !dead[i+1] {
+			live = append(live, d)
+		}
+	}
+	e, err := Open(strings.NewReader(collectionXML(live)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func assertParity(t *testing.T, label, query string, got, want []Suggestion) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %q: %d suggestions, reference has %d\n got: %v\nwant: %v",
+			label, query, len(got), len(want), got, want)
+	}
+	const tol = 1e-12
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Query != w.Query || g.ResultType != w.ResultType ||
+			g.Entities != w.Entities || g.EditDistance != w.EditDistance {
+			t.Fatalf("%s %q[%d]:\n got %+v\nwant %+v", label, query, i, g, w)
+		}
+		diff := math.Abs(g.Score - w.Score)
+		scale := math.Max(math.Abs(w.Score), 1e-300)
+		if diff/scale > tol {
+			t.Fatalf("%s %q[%d] score %g vs %g (rel %g)", label, query, i, g.Score, w.Score, diff/scale)
+		}
+	}
+}
+
+func testSegmentedParity(t *testing.T, opts Options) {
+	removeOrds := []int{2, 7, 11, 14} // one base doc, sealed adds, a late add
+	ref := buildReference(t, opts, removeOrds)
+
+	// A small tail limit forces several seal cycles during the adds.
+	opts.TailLimit = 3
+	seg := buildSegmented(t, opts, 5, removeOrds)
+	defer seg.Close()
+
+	if st := seg.SegmentStats(); st.Segments < 2 && st.TailDocs == 0 {
+		t.Fatalf("workload did not exercise the multi-segment path: %+v", st)
+	}
+
+	for _, q := range segQueries {
+		assertParity(t, "pre-compaction", q, seg.Suggest(q), ref.Suggest(q))
+	}
+
+	// Drain the compactor (tombstone purges + merges), then re-compare.
+	for {
+		did, err := seg.CompactNow(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !did {
+			break
+		}
+	}
+	for _, q := range segQueries {
+		assertParity(t, "post-compaction", q, seg.Suggest(q), ref.Suggest(q))
+	}
+
+	// Flatten to a single segment: queries take the fast path and must
+	// still agree.
+	if err := seg.FlushSegments(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := seg.SegmentStats(); st.Segments != 1 || st.TailDocs != 0 || st.Tombstones != 0 {
+		t.Fatalf("flush left a deep stack: %+v", st)
+	}
+	for _, q := range segQueries {
+		assertParity(t, "post-flush", q, seg.Suggest(q), ref.Suggest(q))
+	}
+
+	// Index statistics agree with the cold rebuild.
+	gs, ws := seg.Stats(), ref.Stats()
+	if gs != ws {
+		t.Errorf("stats diverge: %+v vs %+v", gs, ws)
+	}
+}
+
+func TestSegmentedParity(t *testing.T) {
+	testSegmentedParity(t, Options{StoreText: true, Workers: 1})
+}
+
+func TestSegmentedParityParallelScan(t *testing.T) {
+	testSegmentedParity(t, Options{StoreText: true})
+}
+
+func TestSegmentedParityBigramLengthPrior(t *testing.T) {
+	testSegmentedParity(t, Options{
+		StoreText:       true,
+		Workers:         1,
+		BigramCoherence: true,
+		EntityPrior:     PriorLength,
+	})
+}
+
+func TestSegmentedParityCompactPostings(t *testing.T) {
+	testSegmentedParity(t, Options{StoreText: true, Workers: 1, CompactPostings: true})
+}
+
+func TestSegmentedParitySpaces(t *testing.T) {
+	opts := Options{StoreText: true, Workers: 1}
+	removeOrds := []int{3, 9}
+	ref := buildReference(t, opts, removeOrds)
+	opts.TailLimit = 3
+	seg := buildSegmented(t, opts, 5, removeOrds)
+	defer seg.Close()
+	queries := []string{"data base indexing", "keywordsearch", "fpga data base"}
+	for _, q := range queries {
+		assertParity(t, "spaces", q, seg.SuggestWithSpaces(q), ref.SuggestWithSpaces(q))
+	}
+}
+
+// TestSegmentedStatsAfterWrites pins the pre-write and post-write
+// routing: a monolithic engine must be untouched by the segmented
+// machinery until the first write.
+func TestSegmentedNoStoreBeforeWrite(t *testing.T) {
+	e := openSample(t, Options{})
+	if e.seg.Load() != nil {
+		t.Fatal("segment store created without a write")
+	}
+	if st := e.SegmentStats(); st != (SegmentStats{}) {
+		t.Fatalf("monolithic engine reports a stack: %+v", st)
+	}
+}
+
+// TestSegmentedConcurrentReadWrite hammers a segmented engine with
+// concurrent readers while a single writer streams adds and removals
+// and a compactor runs — the contract AddDocument's godoc promises.
+// Run with -race to check the synchronization, not just the results.
+func TestSegmentedConcurrentReadWrite(t *testing.T) {
+	opts := Options{StoreText: true, TailLimit: 3}
+	e, err := Open(strings.NewReader(collectionXML(segDocs[:4])), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := segQueries[(i+r)%len(segQueries)]
+				for _, s := range e.Suggest(q) {
+					if s.Entities < 1 {
+						t.Errorf("non-empty guarantee violated for %q: %+v", q, s)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Single writer: three full add waves with interleaved removals and
+	// explicit compaction steps.
+	nextOrd := 5
+	for wave := 0; wave < 3; wave++ {
+		var added []int
+		for _, d := range segDocs[4:] {
+			if err := e.AddDocument(strings.NewReader(d)); err != nil {
+				t.Error(err)
+			}
+			added = append(added, nextOrd)
+			nextOrd++
+		}
+		for i := 0; i < len(added); i += 2 {
+			if err := e.RemoveDocument(fmt.Sprintf("1.%d", added[i])); err != nil {
+				t.Error(err)
+			}
+		}
+		if _, err := e.CompactNow(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := e.SegmentStats(); st.Compactions == 0 {
+		t.Logf("note: no compaction completed during the run: %+v", st)
+	}
+	// The survivors are still all searchable.
+	if got := e.Suggest("quantum procesing"); len(got) == 0 {
+		t.Error("post-hammer query lost content")
+	}
+}
