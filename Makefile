@@ -1,9 +1,10 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate snapshot-smoke cluster-smoke shed-smoke trace-smoke ingest-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate fuzz-smoke snapshot-smoke mmap-smoke cluster-smoke shed-smoke trace-smoke ingest-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
-# and run the test suite under the race detector (the parallel scan
-# and copy-on-write Refresh are exercised concurrently in the tests).
-check: fmt build vet race
+# run the test suite under the race detector (the parallel scan and
+# copy-on-write Refresh are exercised concurrently in the tests), and
+# give the binary-format fuzz targets a short bounded run.
+check: fmt build vet race fuzz-smoke
 
 build:
 	go build ./...
@@ -30,6 +31,26 @@ bench:
 # ≤2% on BenchmarkSuggest) without the cost of a full bench run.
 bench-smoke:
 	go test -run='^$$' -bench='^BenchmarkSuggest$$' -benchtime=1x .
+
+# Bounded fuzz pass over the untrusted-bytes decoders: the snapshot
+# split-posting-list decoder and the whole snapfile open path.
+# Truncation, flipped bytes, and oversized varints must error — never
+# panic, never allocate proportionally to an unvalidated count.
+# -fuzzminimizetime is capped because the default 60s-per-input
+# minimization starves the fuzz loop on small CI machines.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run='^$$' -fuzz='^FuzzListOverPayload$$' -fuzztime=$(FUZZTIME) \
+		-fuzzminimizetime=5x ./internal/postings
+	go test -run='^$$' -fuzz='^FuzzOpen$$' -fuzztime=$(FUZZTIME) \
+		-fuzzminimizetime=5x ./internal/snapfile
+
+# End-to-end mmap warm-start smoke test: build a corpus, flush it to a
+# .seg snapshot, reopen via mmap, and assert open latency ≪ cold build
+# (and under an absolute millisecond budget) plus byte-identical
+# suggestions, including through the -no-mmap fallback.
+mmap-smoke:
+	./scripts/mmap_smoke.sh
 
 # End-to-end snapshot round trip: generate a corpus, build and save
 # its index, then answer a query from the reopened snapshot — the same

@@ -6,10 +6,13 @@
 //	xclean -doc corpus.xml            # interactive REPL on stdin
 //
 // Indexing dominates startup on large documents; save the index once
-// and reopen it per session:
+// and reopen it per session. A ".seg" (or ".xcm") path saves the
+// mmap-able snapshot format, which reopens in milliseconds regardless
+// of corpus size; any other extension saves the legacy gob index.
+// -index sniffs the format, so both reopen the same way:
 //
-//	xclean -doc corpus.xml -save-index corpus.idx
-//	xclean -index corpus.idx "rose architecure fpga"
+//	xclean -doc corpus.xml -save-index corpus.seg
+//	xclean -index corpus.seg "rose architecure fpga"
 //
 // For the scatter-gather cluster (see internal/cluster), -shard i/n
 // saves the i'th of n entity-range shard slices instead:
@@ -23,11 +26,30 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"xclean"
 )
+
+// saveAsSnapshot decides whether -save-index writes the mmap-able
+// snapfile format: forced by -snapshot-format, or (under "auto")
+// chosen by the path's extension.
+func saveAsSnapshot(format, path string) bool {
+	switch format {
+	case "seg":
+		return true
+	case "gob":
+		return false
+	case "auto":
+		ext := filepath.Ext(path)
+		return ext == ".seg" || ext == ".xcm"
+	default:
+		log.Fatalf("unknown -snapshot-format %q (want auto, seg, or gob)", format)
+		return false
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +58,8 @@ func main() {
 		doc       = flag.String("doc", "", "XML document to index")
 		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
 		saveIndex = flag.String("save-index", "", "write the index to this file and exit")
+		snapFmt   = flag.String("snapshot-format", "auto", "format for -save-index: auto (.seg/.xcm paths save the mmap-able snapshot, others gob), seg, or gob")
+		noMmap    = flag.Bool("no-mmap", false, "read .seg snapshots into heap memory instead of serving off the mapping")
 		shard     = flag.String("shard", "", "with -save-index: write entity-range shard i of n (format i/n) for a cluster shard server")
 		k         = flag.Int("k", 10, "suggestions to return")
 		eps       = flag.Int("eps", 2, "max edit errors per keyword")
@@ -61,6 +85,7 @@ func main() {
 		TopK:            *k,
 		BigramCoherence: *bigram,
 		CompactPostings: *compact,
+		NoMmap:          *noMmap,
 	}
 	switch *semantics {
 	case "type":
@@ -98,6 +123,19 @@ func main() {
 
 	if *shard != "" && *saveIndex == "" {
 		log.Fatal("-shard requires -save-index")
+	}
+	if *saveIndex != "" && saveAsSnapshot(*snapFmt, *saveIndex) {
+		if *shard != "" {
+			log.Fatal("-shard slices are gob-only; use -snapshot-format gob or a .idx path")
+		}
+		if ext := filepath.Ext(*saveIndex); ext != ".seg" && ext != ".xcm" {
+			log.Fatalf("-snapshot-format seg needs a .seg or .xcm path, got %q", *saveIndex)
+		}
+		if err := eng.SaveSnapshot(*saveIndex); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot saved to %s\n", *saveIndex)
+		return
 	}
 	if *saveIndex != "" {
 		f, err := os.Create(*saveIndex)

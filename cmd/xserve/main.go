@@ -60,6 +60,8 @@ func main() {
 		index     = flag.String("index", "", "prebuilt index file (alternative to -doc)")
 		docs      = flag.String("docs", "", "directory scanned for corpora: each *.xml file and each subdirectory becomes one corpus")
 		snapDir   = flag.String("snapshot-dir", "", "persist built indexes here for warm restarts and idle eviction")
+		snapFmt   = flag.String("snapshot-format", "seg", "snapshot format written to -snapshot-dir: seg (mmap-able columnar, warm-starts in milliseconds) or gob (legacy heap-decoded)")
+		noMmap    = flag.Bool("no-mmap", false, "read seg snapshots into heap memory instead of serving off the mapping")
 		idleTTL   = flag.Duration("idle-ttl", 0, "evict a corpus's engine after this idle time (needs -snapshot-dir; 0 disables)")
 		watch     = flag.Duration("watch", 0, "rebuild corpora whose source files changed, checking at this interval (0 disables)")
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -134,6 +136,10 @@ func main() {
 		Workers:         *workers,
 		TailLimit:       *tailLim,
 		CompactInterval: *compactIv,
+		NoMmap:          *noMmap,
+	}
+	if *snapFmt != "seg" && *snapFmt != "gob" {
+		fatal("unknown snapshot format (want seg or gob)", "snapshot-format", *snapFmt)
 	}
 
 	var queryLog *qlog.Log
@@ -188,10 +194,11 @@ func main() {
 			"shardTimeout", *shardTO)
 	} else {
 		cat = catalog.New(catalog.Config{
-			Options:     opts,
-			SnapshotDir: *snapDir,
-			IdleTTL:     *idleTTL,
-			Logger:      logger,
+			Options:        opts,
+			SnapshotDir:    *snapDir,
+			SnapshotFormat: *snapFmt,
+			IdleTTL:        *idleTTL,
+			Logger:         logger,
 		})
 
 		start := time.Now()

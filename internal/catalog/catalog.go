@@ -83,9 +83,19 @@ type Config struct {
 	// Options is the engine configuration applied to every corpus.
 	Options xclean.Options
 	// SnapshotDir, when non-empty, persists every successfully built
-	// index as <dir>/<name>.idx (written atomically: temp file +
-	// rename). Snapshots enable idle eviction and warm restarts.
+	// index as <dir>/<name>.seg (or .idx under SnapshotFormat "gob"),
+	// written atomically (temp file + rename). Snapshots enable idle
+	// eviction and warm restarts.
 	SnapshotDir string
+	// SnapshotFormat selects the snapshot format written after a
+	// successful build: "seg" (the default) is the mmap-able columnar
+	// snapfile format — warm-start opens it in milliseconds regardless
+	// of corpus size, and an evicted corpus costs only its mapping;
+	// "gob" is the legacy heap-decoded format. Loading negotiates the
+	// version by content, so existing .idx snapshots keep warm-starting
+	// either way and are rewritten to the seg format in the background
+	// after their first warm-start (one-time, logged).
+	SnapshotFormat string
 	// IdleTTL evicts a corpus's engine after this much time without a
 	// Get (0 disables eviction). Eviction requires a snapshot to revive
 	// from, so it is also disabled without SnapshotDir.
@@ -101,6 +111,16 @@ func (c Config) now() time.Time {
 		return c.Now()
 	}
 	return time.Now()
+}
+
+// snapshotExt maps the configured format to its file extension.
+func (c Config) snapshotExt() string {
+	switch c.SnapshotFormat {
+	case "gob", "idx":
+		return ".idx"
+	default:
+		return ".seg"
+	}
 }
 
 // Status is the externally visible state of one corpus (the JSON of
@@ -174,6 +194,7 @@ type corpus struct {
 	warmStart  time.Duration
 	mtime      time.Time // source mtime at the last successful build
 	stats      xclean.IndexStats
+	rewrote    bool // legacy→seg snapshot rewrite already attempted
 }
 
 // Catalog owns a set of named corpora.
@@ -187,6 +208,11 @@ type Catalog struct {
 	// swapHooks run after every engine swap (hot-swap, warm-start,
 	// eviction, removal) with the corpus name; see OnSwap.
 	swapHooks []func(name string)
+
+	// maintWG tracks post-warm-start maintenance goroutines (snapshot
+	// verification, legacy-format rewrite) so tests and shutdown can
+	// wait for them.
+	maintWG sync.WaitGroup
 }
 
 // New builds an empty catalog.
@@ -371,6 +397,12 @@ func (c *Catalog) openSnapshot(co *corpus) error {
 		co.state = StateFailed
 		co.err = err
 		co.mu.Unlock()
+		// A truncated or corrupt snapshot must never be papered over:
+		// the failure is logged here and kept in the corpus status.
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Error("corpus warm-start failed", "corpus", co.name,
+				"snapshot", co.snapshot, "err", err)
+		}
 		return fmt.Errorf("catalog: corpus %q: warm-start: %w", co.name, err)
 	}
 	took := time.Since(start)
@@ -393,7 +425,73 @@ func (c *Catalog) openSnapshot(co *corpus) error {
 		c.cfg.Logger.Info("corpus warm-started from snapshot", "corpus", co.name,
 			"snapshot", co.snapshot, "tookMillis", millis(took))
 	}
+	c.maintWG.Add(1)
+	go c.postOpenMaintenance(co, eng)
 	return nil
+}
+
+// postOpenMaintenance runs after every warm-start, off the serving
+// path. Two jobs:
+//
+//   - Integrity: opening a seg snapshot verifies only the schema
+//     sections (that is what makes warm-start O(1) in corpus size), so
+//     the full checksum pass over the data sections runs here. On a
+//     mismatch the engine is withdrawn, the corpus turns failed with
+//     the error in its status, and the snapshot path is cleared so
+//     revival cannot silently re-serve the corrupt file.
+//   - Version negotiation: a corpus warm-started from a legacy gob
+//     .idx snapshot under SnapshotFormat "seg" is rewritten to the seg
+//     format once, in the background, so the next start mmaps.
+func (c *Catalog) postOpenMaintenance(co *corpus, eng *xclean.Engine) {
+	defer c.maintWG.Done()
+	if err := eng.VerifySnapshot(); err != nil {
+		co.buildMu.Lock()
+		defer co.buildMu.Unlock()
+		if co.engine.Load() != eng {
+			return // already swapped for a newer engine; nothing to withdraw
+		}
+		co.engine.Store(nil)
+		co.mu.Lock()
+		bad := co.snapshot
+		co.snapshot = ""
+		co.state = StateFailed
+		co.err = fmt.Errorf("snapshot %s failed verification: %w", bad, err)
+		co.mu.Unlock()
+		c.notifySwap(co.name)
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Error("corpus snapshot failed verification; engine withdrawn",
+				"corpus", co.name, "snapshot", bad, "err", err)
+		}
+		return
+	}
+	co.mu.Lock()
+	legacy := filepath.Ext(co.snapshot) == ".idx"
+	done := co.rewrote
+	co.rewrote = true
+	co.mu.Unlock()
+	if c.cfg.SnapshotDir == "" || c.cfg.snapshotExt() != ".seg" || !legacy || done {
+		return
+	}
+	co.buildMu.Lock()
+	defer co.buildMu.Unlock()
+	if co.engine.Load() != eng {
+		return
+	}
+	path, err := c.writeSnapshot(co.name, eng)
+	if err != nil {
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Error("legacy snapshot rewrite failed", "corpus", co.name, "err", err)
+		}
+		return
+	}
+	co.mu.Lock()
+	old := co.snapshot
+	co.snapshot = path
+	co.mu.Unlock()
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info("legacy snapshot rewritten to seg format", "corpus", co.name,
+			"from", old, "to", path)
+	}
 }
 
 // Reload rebuilds the named corpus from its source and swaps the new
@@ -541,7 +639,15 @@ func (c *Catalog) writeSnapshot(name string, eng *xclean.Engine) (string, error)
 	if err := os.MkdirAll(c.cfg.SnapshotDir, 0o755); err != nil {
 		return "", err
 	}
-	final := filepath.Join(c.cfg.SnapshotDir, name+".idx")
+	final := filepath.Join(c.cfg.SnapshotDir, name+c.cfg.snapshotExt())
+	if c.cfg.snapshotExt() == ".seg" {
+		// SaveSnapshot is itself atomic (temp + rename) and emits the
+		// mmap-able columnar format; a segmented engine flattens first.
+		if err := eng.SaveSnapshot(final); err != nil {
+			return "", err
+		}
+		return final, nil
+	}
 	tmp, err := os.CreateTemp(c.cfg.SnapshotDir, name+".idx.tmp*")
 	if err != nil {
 		return "", err

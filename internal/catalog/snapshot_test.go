@@ -1,0 +1,225 @@
+package catalog
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xclean"
+)
+
+// Tests for the seg-format snapshot lifecycle: what the catalog
+// writes, how corruption surfaces, and the one-time legacy rewrite.
+
+// TestSnapshotFormatSeg: the default snapshot format is the mmap-able
+// seg file, and revival from it serves snapshot-backed.
+func TestSnapshotFormatSeg(t *testing.T) {
+	now := time.Now()
+	c, dir := newTestCatalog(t, Config{IdleTTL: time.Minute, Now: func() time.Time { return now }})
+	doc := filepath.Join(dir, "a.xml")
+	writeFile(t, doc, corpusA)
+	if err := c.Add("dblp", doc); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Status("dblp")
+	if filepath.Ext(st.Snapshot) != ".seg" {
+		t.Fatalf("snapshot = %q, want a .seg file", st.Snapshot)
+	}
+	if _, err := os.Stat(st.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Hour)
+	if n := c.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	eng, err := c.Get("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.SnapshotBacked() {
+		t.Error("revived engine is not snapshot-backed (not serving off the mapping)")
+	}
+	if sugs := eng.Suggest("rose fpga"); len(sugs) == 0 {
+		t.Error("revived engine returns no suggestions")
+	}
+	c.maintWG.Wait() // background verify must pass on a healthy snapshot
+	if st, _ := c.Status("dblp"); st.State != StateReady {
+		t.Errorf("state after background verify = %s (%s)", st.State, st.Error)
+	}
+}
+
+// TestSnapshotFormatGob: the legacy format remains selectable.
+func TestSnapshotFormatGob(t *testing.T) {
+	c, dir := newTestCatalog(t, Config{SnapshotFormat: "gob"})
+	doc := filepath.Join(dir, "a.xml")
+	writeFile(t, doc, corpusA)
+	if err := c.Add("dblp", doc); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Status("dblp")
+	if filepath.Ext(st.Snapshot) != ".idx" {
+		t.Fatalf("snapshot = %q, want a .idx file under SnapshotFormat=gob", st.Snapshot)
+	}
+}
+
+// TestCorruptSnapshotSurfacesFailure: a truncated snapshot must fail
+// the warm-start loudly — state=failed with the error in the status
+// and a log line — never panic, never serve silently.
+func TestCorruptSnapshotSurfacesFailure(t *testing.T) {
+	now := time.Now()
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	c, dir := newTestCatalog(t, Config{IdleTTL: time.Minute, Logger: logger, Now: func() time.Time { return now }})
+	doc := filepath.Join(dir, "a.xml")
+	writeFile(t, doc, corpusA)
+	if err := c.Add("dblp", doc); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Status("dblp")
+	snap := st.Snapshot
+	now = now.Add(time.Hour)
+	if n := c.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("dblp"); err == nil {
+		t.Fatal("Get served a truncated snapshot")
+	}
+	st, _ = c.Status("dblp")
+	if st.State != StateFailed || st.Error == "" {
+		t.Errorf("status = state %s, error %q; want failed with error", st.State, st.Error)
+	}
+	if !strings.Contains(logBuf.String(), "corpus warm-start failed") {
+		t.Errorf("warm-start failure not logged:\n%s", logBuf.String())
+	}
+	// A repaired snapshot revives the corpus.
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("dblp"); err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+}
+
+// TestBackgroundVerifyWithdrawsCorrupt: damage that slips past the
+// O(schema) open checks (a flipped byte in a data section) is caught
+// by the background checksum pass, which withdraws the engine and
+// fails the corpus rather than letting it serve wrong answers.
+func TestBackgroundVerifyWithdrawsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := xclean.Open(strings.NewReader(corpusA), xclean.Options{StoreText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "a.seg")
+	if err := eng.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a flip that passes Open but fails the full checksum pass.
+	bad := filepath.Join(dir, "bad.seg")
+	found := false
+	for i := len(data) / 2; i < len(data)-64 && !found; i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := xclean.OpenIndexFile(bad, xclean.Options{})
+		if err != nil {
+			continue
+		}
+		found = e.VerifySnapshot() != nil
+	}
+	if !found {
+		t.Skip("no byte flip passed open while failing verify on this corpus")
+	}
+
+	var logBuf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	c := New(Config{Logger: logger})
+	if err := c.AddSnapshot("frozen", bad); err != nil {
+		t.Fatalf("open of the mutant unexpectedly failed: %v", err)
+	}
+	c.maintWG.Wait()
+	st, _ := c.Status("frozen")
+	if st.State != StateFailed || !strings.Contains(st.Error, "verification") {
+		t.Errorf("status after verify = state %s, error %q", st.State, st.Error)
+	}
+	if st.Serving {
+		t.Error("corpus still serving a snapshot that failed verification")
+	}
+	if _, err := c.Get("frozen"); err == nil {
+		t.Error("Get revived a corpus whose snapshot failed verification")
+	}
+	if !strings.Contains(logBuf.String(), "failed verification") {
+		t.Errorf("verification failure not logged:\n%s", logBuf.String())
+	}
+}
+
+// TestLegacyGobRewrittenToSeg: a corpus warm-started from a legacy
+// gob .idx is rewritten to the seg format once, in the background, and
+// subsequent revivals mmap it.
+func TestLegacyGobRewrittenToSeg(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := xclean.Open(strings.NewReader(corpusA), xclean.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := filepath.Join(dir, "frozen.idx")
+	f, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	now := time.Now()
+	snapDir := filepath.Join(dir, "snapshots")
+	c := New(Config{SnapshotDir: snapDir, IdleTTL: time.Minute, Now: func() time.Time { return now }})
+	if err := c.AddSnapshot("frozen", legacy); err != nil {
+		t.Fatal(err)
+	}
+	c.maintWG.Wait()
+	st, _ := c.Status("frozen")
+	want := filepath.Join(snapDir, "frozen.seg")
+	if st.Snapshot != want {
+		t.Fatalf("snapshot after rewrite = %q, want %q", st.Snapshot, want)
+	}
+	if _, err := os.Stat(want); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("frozen"); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Hour)
+	if n := c.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	got, err := c.Get("frozen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SnapshotBacked() {
+		t.Error("revival after rewrite is not snapshot-backed")
+	}
+	if sugs := got.Suggest("rose fpga"); len(sugs) == 0 {
+		t.Error("revived engine returns no suggestions")
+	}
+	c.maintWG.Wait()
+}

@@ -220,15 +220,22 @@ func (s Suggestion) Query() string { return strings.Join(s.Words, " ") }
 // read-only after construction and every Suggest call works on its own
 // state.
 type Engine struct {
-	ix     *invindex.Index
-	fss    *fastss.Index
-	phon   *phonetic.Index // nil unless Config.Phonetic
-	model  *lm.Model
-	bigram *lm.BigramModel // nil unless Config.Bigram
-	inf    *resulttype.Inferrer
-	em     ErrorModel
-	prior  *entityPrior
-	cfg    Config
+	ix invindex.Source
+	// fss is the deletion-variant dictionary. It is a structure derived
+	// from the vocabulary — O(vocab) to build — so snapshot-backed
+	// engines defer it: NewEngineLazy leaves fss nil and sets fssInit,
+	// and the first query pays the build (guarded by fssOnce). Access
+	// only through fastss().
+	fss     *fastss.Index
+	fssOnce sync.Once
+	fssInit func() *fastss.Index
+	phon    *phonetic.Index // nil unless Config.Phonetic
+	model   *lm.Model
+	bigram  *lm.BigramModel // nil unless Config.Bigram
+	inf     *resulttype.Inferrer
+	em      ErrorModel
+	prior   *entityPrior
+	cfg     Config
 
 	// scanPaths, deadOrds, and deadNorm are set only on scan-variant
 	// engines (ScanVariant), which score one sealed index segment inside
@@ -306,7 +313,7 @@ func (s *Stats) add(o Stats) {
 
 // NewEngine builds an engine over an existing index. The FastSS
 // variant index is constructed over the index vocabulary.
-func NewEngine(ix *invindex.Index, cfg Config) *Engine {
+func NewEngine(ix invindex.Source, cfg Config) *Engine {
 	fss := fastss.Build(ix.VocabList(), fastss.Config{
 		MaxErrors:    cfg.epsilon(),
 		PartitionLen: cfg.partitionLen(),
@@ -314,14 +321,42 @@ func NewEngine(ix *invindex.Index, cfg Config) *Engine {
 	return NewEngineWithFastSS(ix, fss, cfg)
 }
 
+// NewEngineLazy builds an engine whose FastSS variant index is
+// constructed on first use rather than up front. Snapshot-backed
+// engines use it to keep open cost O(schema): walking the mapped
+// vocabulary to derive the variant dictionary is the one unavoidable
+// O(vocab) step, and deferring it moves that cost off the open path
+// onto the first query.
+func NewEngineLazy(ix invindex.Source, cfg Config) *Engine {
+	e := NewEngineWithFastSS(ix, nil, cfg)
+	e.fssInit = func() *fastss.Index {
+		return fastss.Build(ix.VocabList(), fastss.Config{
+			MaxErrors:    cfg.epsilon(),
+			PartitionLen: cfg.partitionLen(),
+		})
+	}
+	return e
+}
+
+// fastss returns the variant dictionary, building it on first use when
+// the engine was constructed lazily. Safe for concurrent callers.
+func (e *Engine) fastss() *fastss.Index {
+	e.fssOnce.Do(func() {
+		if e.fss == nil && e.fssInit != nil {
+			e.fss = e.fssInit()
+		}
+	})
+	return e.fss
+}
+
 // NewEngineWithFastSS builds an engine reusing a prebuilt variant
 // index (so that several engines with different scoring parameters can
 // share it, as the β and γ sweeps do).
-func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg Config) *Engine {
+func NewEngineWithFastSS(ix invindex.Source, fss *fastss.Index, cfg Config) *Engine {
 	e := &Engine{
 		ix:    ix,
 		fss:   fss,
-		model: lm.New(ix.Vocab, cfg.Mu),
+		model: lm.New(ix.Vocabulary(), cfg.Mu),
 		inf: &resulttype.Inferrer{
 			Index:    ix,
 			R:        cfg.R,
@@ -335,7 +370,7 @@ func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg Config) *Eng
 		e.phon = phonetic.Build(ix.VocabList())
 	}
 	if cfg.Bigram {
-		e.bigram = lm.NewBigram(ix, ix.Vocab, cfg.BigramLambda)
+		e.bigram = lm.NewBigram(ix, ix.Vocabulary(), cfg.BigramLambda)
 	}
 	return e
 }
@@ -352,7 +387,7 @@ func NewEngineWithFastSS(ix *invindex.Index, fss *fastss.Index, cfg Config) *Eng
 // sibling engines sharing the same FastSS index may keep serving
 // Suggest traffic concurrently with the Refresh.
 func (e *Engine) Refresh(newWords []string) *Engine {
-	fss := e.fss
+	fss := e.fastss()
 	if len(newWords) > 0 {
 		fss = fss.Clone()
 		for _, w := range newWords {
@@ -408,7 +443,7 @@ func (e *Engine) Keywords(query string) []Keyword {
 // synonyms. When a word arises from several sources, the smallest
 // effective distance wins.
 func (e *Engine) variants(tok string) []fastss.Match {
-	matches := e.fss.Search(tok)
+	matches := e.fastss().Search(tok)
 	if e.phon == nil && e.cfg.Synonyms == nil {
 		return matches
 	}
@@ -428,7 +463,7 @@ func (e *Engine) variants(tok string) []fastss.Match {
 	}
 	if e.cfg.Synonyms != nil {
 		for _, s := range e.cfg.Synonyms[tok] {
-			if s != tok && e.ix.Vocab.Contains(s) {
+			if s != tok && e.ix.Vocabulary().Contains(s) {
 				merge(s, e.cfg.synonymDistance())
 			}
 		}
@@ -965,7 +1000,7 @@ func (e *Engine) group(sc *scanScratch, kw, idx, depth int) []groupEntry {
 			g[len(g)-1].count += p.TF
 			continue
 		}
-		path := e.ix.Paths.Ancestor(p.Path, depth)
+		path := e.ix.PathTable().Ancestor(p.Path, depth)
 		g = append(g, groupEntry{rootKey: root.Key(), path: path, count: p.TF})
 		prev = root
 	}

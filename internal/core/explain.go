@@ -68,7 +68,7 @@ func (e *Engine) newExplain(query string, kws []Keyword, rc *runCtx, st Stats, o
 			Score:        s.Score,
 			EditDistance: s.EditDistance,
 			Entities:     s.Entities,
-			ResultType:   e.ix.Paths.String(s.ResultType),
+			ResultType:   e.ix.PathTable().String(s.ResultType),
 		}
 	}
 	return ex

@@ -59,7 +59,7 @@ func naiveSuggest(tr *xmltree.Tree, e *Engine, query string, beta float64, mu fl
 	collect(tr.Root)
 
 	// Background model identical to the engine's.
-	model := lm.New(e.ix.Vocab, mu)
+	model := lm.New(e.ix.Vocabulary(), mu)
 
 	// f_p^w over the whole tree.
 	fpw := func(w string, p xmltree.PathID) float64 {

@@ -112,7 +112,7 @@ func TestPaperExampleSuggestions(t *testing.T) {
 		t.Fatalf("missing expected candidates: %v", sugs)
 	}
 
-	paths := e.ix.Paths
+	paths := e.ix.PathTable()
 	if got := paths.String(c1.ResultType); got != "/a/d" {
 		t.Errorf("result type of 'trie icde' = %s want /a/d", got)
 	}

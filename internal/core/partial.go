@@ -156,12 +156,12 @@ func (e *Engine) suggestPartials(ctx context.Context, query string, explain bool
 	// every other shard's scores.
 	norms := make(map[string]float64)
 	d := e.cfg.minDepth()
-	for p := xmltree.PathID(0); int(p) < e.ix.Paths.Len(); p++ {
-		if e.ix.Paths.Depth(p) < d {
+	for p := xmltree.PathID(0); int(p) < e.ix.PathTable().Len(); p++ {
+		if e.ix.PathTable().Depth(p) < d {
 			continue
 		}
 		if n := e.liveNorm(p); n > 0 {
-			norms[e.ix.Paths.String(p)] = n
+			norms[e.ix.PathTable().String(p)] = n
 		}
 	}
 	ps.TypeNorms = norms
@@ -200,7 +200,7 @@ func (e *Engine) suggestPartials(ctx context.Context, query string, explain bool
 		}
 		ps.Candidates = append(ps.Candidates, PartialCandidate{
 			Words:      a.words,
-			ResultType: e.ix.Paths.String(a.resultType),
+			ResultType: e.ix.PathTable().String(a.resultType),
 			Sum:        sum,
 			Entities:   a.entities,
 			Witness:    witness,

@@ -30,19 +30,19 @@ const (
 type entityPrior struct {
 	mode   Prior
 	custom map[string]float64
-	ix     *invindex.Index
+	ix     invindex.Source
 	// norm caches Σ weights per result type; populated eagerly at
 	// construction so concurrent Suggest calls read it lock-free.
 	norm map[xmltree.PathID]float64
 }
 
-func newEntityPrior(ix *invindex.Index, mode Prior, custom map[string]float64) *entityPrior {
+func newEntityPrior(ix invindex.Source, mode Prior, custom map[string]float64) *entityPrior {
 	ep := &entityPrior{mode: mode, custom: custom, ix: ix}
 	if mode == PriorUniform {
 		return ep // normFor answers from NodesWithPath; no cache needed
 	}
-	ep.norm = make(map[xmltree.PathID]float64, ix.Paths.Len())
-	for p := xmltree.PathID(0); int(p) < ix.Paths.Len(); p++ {
+	ep.norm = make(map[xmltree.PathID]float64, ix.PathTable().Len())
+	for p := xmltree.PathID(0); int(p) < ix.PathTable().Len(); p++ {
 		var z float64
 		switch mode {
 		case PriorLength:

@@ -56,7 +56,7 @@ func (e *Engine) ScanVariant(o ScanOverrides) *Engine {
 	// a struct copy would trip go vet and copy lock state.
 	return &Engine{
 		ix:        e.ix,
-		fss:       e.fss,
+		fss:       e.fastss(),
 		phon:      e.phon,
 		model:     o.Model,
 		bigram:    o.Bigram,
@@ -77,7 +77,7 @@ func (e *Engine) pathsView() *xmltree.PathTable {
 	if e.scanPaths != nil {
 		return e.scanPaths
 	}
-	return e.ix.Paths
+	return e.ix.PathTable()
 }
 
 // liveNorm is the prior normalizer of result type p minus the
@@ -127,12 +127,12 @@ func (e *Engine) SuggestPartialsForKeywords(ctx context.Context, kws []Keyword, 
 	// here, so iterating the segment's own table is complete.
 	norms := make(map[string]float64)
 	d := e.cfg.minDepth()
-	for p := xmltree.PathID(0); int(p) < e.ix.Paths.Len(); p++ {
-		if e.ix.Paths.Depth(p) < d {
+	for p := xmltree.PathID(0); int(p) < e.ix.PathTable().Len(); p++ {
+		if e.ix.PathTable().Depth(p) < d {
 			continue
 		}
 		if n := e.liveNorm(p); n > 0 {
-			norms[e.ix.Paths.String(p)] = n
+			norms[e.ix.PathTable().String(p)] = n
 		}
 	}
 	ps.TypeNorms = norms

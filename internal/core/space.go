@@ -242,7 +242,7 @@ func (e *Engine) expandShapes(tokens []string, tau int) []shape {
 		// Space deletions: merge adjacent pairs.
 		for i := 0; i+1 < len(cur.tokens); i++ {
 			merged := cur.tokens[i] + cur.tokens[i+1]
-			if !e.ix.Vocab.Contains(merged) {
+			if !e.ix.Vocabulary().Contains(merged) {
 				continue
 			}
 			next := make([]string, 0, len(cur.tokens)-1)
@@ -256,7 +256,7 @@ func (e *Engine) expandShapes(tokens []string, tau int) []shape {
 			r := []rune(tok)
 			for cut := 1; cut < len(r); cut++ {
 				a, b := string(r[:cut]), string(r[cut:])
-				if !e.ix.Vocab.Contains(a) || !e.ix.Vocab.Contains(b) {
+				if !e.ix.Vocabulary().Contains(a) || !e.ix.Vocabulary().Contains(b) {
 					continue
 				}
 				next := make([]string, 0, len(cur.tokens)+1)

@@ -1,0 +1,218 @@
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"xclean/internal/postings"
+	"xclean/internal/tokenizer"
+	"xclean/internal/xmltree"
+)
+
+// Tables is the flat, column-oriented shape of an Index: every map
+// unrolled into sorted parallel arrays. It is the interchange format
+// between the heap index and the on-disk snapshot layer
+// (internal/snapfile): ExportTables flattens an index for the snapshot
+// writer, FromTables reassembles one when a reader materializes (the
+// write path of a snapshot-backed engine).
+type Tables struct {
+	// PathParents/PathLabels are xmltree.PathTable.Export output.
+	PathParents []int32
+	PathLabels  []string
+
+	// Tokens is the sorted vocabulary; the per-token columns below are
+	// all indexed parallel to it.
+	Tokens []string
+	// Counts are the vocabulary collection frequencies.
+	Counts []int64
+	// Lists are the block-compressed posting lists.
+	Lists []*postings.List
+	// TypeLists are the f_p^w lists, sorted by path ID.
+	TypeLists [][]TypeCount
+
+	// SubtreeKeys are all node Dewey keys, sorted (byte order ==
+	// document order); SubtreeLens[i] is |D(SubtreeKeys[i])|.
+	SubtreeKeys []string
+	SubtreeLens []int32
+
+	// PathNodes[p] is N_p; PathEnts[p] lists the entities of path p as
+	// indices into SubtreeKeys. Both are indexed by PathID.
+	PathNodes []int32
+	PathEnts  [][]int32
+
+	// BigramKeys are the sorted "w1\x00w2" adjacency keys;
+	// BigramVals[i] is the count of BigramKeys[i].
+	BigramKeys []string
+	BigramVals []int64
+
+	// StoredKeys/StoredTexts carry BuildStored's preview text in
+	// document order (both nil without stored text).
+	StoredKeys  []string
+	StoredTexts []string
+
+	NodeCount int
+	MaxDepth  int
+	TotalTok  int64
+	Opts      tokenizer.Options
+}
+
+// ExportTables flattens the index into sorted columnar tables. The
+// returned structure shares no mutable state with the index except the
+// stored-text strings and compressed list payloads (both immutable).
+func (ix *Index) ExportTables() Tables {
+	t := Tables{
+		NodeCount: ix.nodeCount,
+		MaxDepth:  ix.maxDepth,
+		TotalTok:  ix.totalTok,
+		Opts:      ix.opts,
+	}
+	t.PathParents, t.PathLabels = ix.Paths.Export()
+
+	t.Tokens = ix.VocabList()
+	t.Counts = make([]int64, len(t.Tokens))
+	t.Lists = make([]*postings.List, len(t.Tokens))
+	t.TypeLists = make([][]TypeCount, len(t.Tokens))
+	for i, tok := range t.Tokens {
+		t.Counts[i] = ix.Vocab.Count(tok)
+		if ix.comp != nil {
+			t.Lists[i] = ix.comp[tok]
+		} else {
+			t.Lists[i] = postings.Encode(ix.postings[tok])
+		}
+		t.TypeLists[i] = ix.typeLists[tok]
+	}
+
+	t.SubtreeKeys = make([]string, 0, len(ix.subtreeLen))
+	for k := range ix.subtreeLen {
+		t.SubtreeKeys = append(t.SubtreeKeys, k)
+	}
+	sort.Strings(t.SubtreeKeys)
+	t.SubtreeLens = make([]int32, len(t.SubtreeKeys))
+	subIdx := make(map[string]int32, len(t.SubtreeKeys))
+	for i, k := range t.SubtreeKeys {
+		t.SubtreeLens[i] = ix.subtreeLen[k]
+		subIdx[k] = int32(i)
+	}
+
+	nPaths := ix.Paths.Len()
+	t.PathNodes = make([]int32, nPaths)
+	t.PathEnts = make([][]int32, nPaths)
+	for p := xmltree.PathID(0); int(p) < nPaths; p++ {
+		t.PathNodes[p] = ix.pathNodes[p]
+		roots := ix.pathRoots[p]
+		if len(roots) == 0 {
+			continue
+		}
+		ents := make([]int32, len(roots))
+		for j, key := range roots {
+			ents[j] = subIdx[key]
+		}
+		t.PathEnts[p] = ents
+	}
+
+	t.BigramKeys = make([]string, 0, len(ix.bigrams))
+	for k := range ix.bigrams {
+		t.BigramKeys = append(t.BigramKeys, k)
+	}
+	sort.Strings(t.BigramKeys)
+	t.BigramVals = make([]int64, len(t.BigramKeys))
+	for i, k := range t.BigramKeys {
+		t.BigramVals[i] = ix.bigrams[k]
+	}
+
+	if ix.storedText != nil {
+		t.StoredKeys = ix.storedKeys
+		t.StoredTexts = make([]string, len(ix.storedKeys))
+		for i, k := range ix.storedKeys {
+			t.StoredTexts[i] = ix.storedText[k]
+		}
+	}
+	return t
+}
+
+// FromTables reassembles a heap index from columnar tables. Posting
+// lists stay block-compressed (the result reports Compacted()==true),
+// matching the CompactPostings build mode; scores are unaffected. It
+// is the materialization path a snapshot-backed engine takes on its
+// first write.
+func FromTables(t Tables) (*Index, error) {
+	if len(t.Counts) != len(t.Tokens) || len(t.Lists) != len(t.Tokens) ||
+		len(t.TypeLists) != len(t.Tokens) {
+		return nil, fmt.Errorf("invindex: tables: inconsistent vocab columns")
+	}
+	if len(t.SubtreeLens) != len(t.SubtreeKeys) {
+		return nil, fmt.Errorf("invindex: tables: inconsistent subtree columns")
+	}
+	if len(t.BigramVals) != len(t.BigramKeys) {
+		return nil, fmt.Errorf("invindex: tables: inconsistent bigram columns")
+	}
+	if len(t.StoredTexts) != len(t.StoredKeys) {
+		return nil, fmt.Errorf("invindex: tables: inconsistent stored-text columns")
+	}
+	paths, err := xmltree.ImportPathTable(t.PathParents, t.PathLabels)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: tables: %w", err)
+	}
+	nPaths := paths.Len()
+	if len(t.PathNodes) > nPaths || len(t.PathEnts) > nPaths {
+		return nil, fmt.Errorf("invindex: tables: path stats exceed path table")
+	}
+	ix := &Index{
+		Paths:      paths,
+		Vocab:      tokenizer.NewVocabulary(),
+		comp:       make(map[string]*postings.List, len(t.Tokens)),
+		typeLists:  make(map[string][]TypeCount, len(t.Tokens)),
+		subtreeLen: make(map[string]int32, len(t.SubtreeKeys)),
+		pathNodes:  make(map[xmltree.PathID]int32, len(t.PathNodes)),
+		pathLens:   make(map[xmltree.PathID][]int32, len(t.PathEnts)),
+		pathRoots:  make(map[xmltree.PathID][]string, len(t.PathEnts)),
+		bigrams:    make(map[string]int64, len(t.BigramKeys)),
+		nodeCount:  t.NodeCount,
+		maxDepth:   t.MaxDepth,
+		totalTok:   t.TotalTok,
+		opts:       t.Opts,
+	}
+	for i, tok := range t.Tokens {
+		if t.Lists[i] == nil {
+			return nil, fmt.Errorf("invindex: tables: token %q has no posting list", tok)
+		}
+		ix.comp[tok] = t.Lists[i]
+		ix.typeLists[tok] = t.TypeLists[i]
+		ix.Vocab.Add(tok, t.Counts[i])
+	}
+	for i, k := range t.SubtreeKeys {
+		ix.subtreeLen[k] = t.SubtreeLens[i]
+	}
+	for p, n := range t.PathNodes {
+		if n != 0 {
+			ix.pathNodes[xmltree.PathID(p)] = n
+		}
+	}
+	for p, ents := range t.PathEnts {
+		if len(ents) == 0 {
+			continue
+		}
+		roots := make([]string, len(ents))
+		lens := make([]int32, len(ents))
+		for j, idx := range ents {
+			if idx < 0 || int(idx) >= len(t.SubtreeKeys) {
+				return nil, fmt.Errorf("invindex: tables: entity index %d out of range", idx)
+			}
+			roots[j] = t.SubtreeKeys[idx]
+			lens[j] = t.SubtreeLens[idx]
+		}
+		ix.pathRoots[xmltree.PathID(p)] = roots
+		ix.pathLens[xmltree.PathID(p)] = lens
+	}
+	for i, k := range t.BigramKeys {
+		ix.bigrams[k] = t.BigramVals[i]
+	}
+	if t.StoredKeys != nil {
+		ix.storedKeys = t.StoredKeys
+		ix.storedText = make(map[string]string, len(t.StoredKeys))
+		for i, k := range t.StoredKeys {
+			ix.storedText[k] = t.StoredTexts[i]
+		}
+	}
+	return ix, nil
+}

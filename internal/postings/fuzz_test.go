@@ -39,3 +39,44 @@ func FuzzDecodeList(f *testing.F) {
 		}
 	})
 }
+
+// FuzzListOverPayload feeds arbitrary payload/metadata pairs to the
+// snapshot split-list decoder. Structurally invalid metadata must
+// error — truncation, flipped bytes, oversized varints — and input
+// that passes the structural checks must then survive full iteration
+// and decoding (the iterator's fail-stop contract): never a panic,
+// never an allocation sized by an unvalidated count.
+func FuzzListOverPayload(f *testing.F) {
+	rng := rand.New(rand.NewSource(34))
+	for _, n := range []int{0, 1, 130, 400} {
+		l := Encode(randomList(rng, n))
+		f.Add(l.Payload(), l.AppendMeta(nil))
+	}
+	seed := Encode(randomList(rng, 300))
+	payload, meta := seed.Payload(), seed.AppendMeta(nil)
+	f.Add(payload, []byte{})
+	f.Add(payload[:len(payload)/2], meta)
+	f.Add([]byte{}, meta)
+	mut := append([]byte(nil), meta...)
+	mut[1] ^= 0xff
+	f.Add(payload, mut)
+	f.Add(payload, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, payload, meta []byte) {
+		l, err := ListOverPayload(payload, meta)
+		if err != nil {
+			return
+		}
+		n := 0
+		for it := l.Iter(); ; it.Advance() {
+			if _, ok := it.Head(); !ok {
+				break
+			}
+			if n++; n > l.Len() {
+				t.Fatalf("iterator yielded more than Len %d", l.Len())
+			}
+		}
+		if ps := l.Decode(); len(ps) > l.Len() {
+			t.Fatalf("Decode yielded %d > Len %d", len(ps), l.Len())
+		}
+	})
+}

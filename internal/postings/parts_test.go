@@ -1,0 +1,58 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestListOverPayloadRoundTrip: splitting a list into (payload, meta)
+// and rebuilding it yields identical postings and skip behaviour.
+func TestListOverPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for _, n := range []int{0, 1, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+		orig := Encode(randomList(rng, n))
+		re, err := ListOverPayload(orig.Payload(), orig.AppendMeta(nil))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if re.Len() != orig.Len() {
+			t.Fatalf("n=%d: Len %d vs %d", n, re.Len(), orig.Len())
+		}
+		if !reflect.DeepEqual(re.Decode(), orig.Decode()) {
+			t.Fatalf("n=%d: postings diverge", n)
+		}
+		// Skip probes land identically.
+		want := orig.Decode()
+		for step := 1; step < len(want); step += len(want)/7 + 1 {
+			io, ir := orig.Iter(), re.Iter()
+			io.SkipTo(want[step].Dewey)
+			ir.SkipTo(want[step].Dewey)
+			ho, oko := io.Head()
+			hr, okr := ir.Head()
+			if oko != okr || (oko && !reflect.DeepEqual(ho, hr)) {
+				t.Fatalf("n=%d step=%d: skip diverges", n, step)
+			}
+		}
+	}
+}
+
+// TestListOverPayloadRejects pins a few structural corruption classes
+// with exact errors (the fuzz target covers the long tail).
+func TestListOverPayloadRejects(t *testing.T) {
+	orig := Encode(randomList(rand.New(rand.NewSource(78)), 300))
+	payload, meta := orig.Payload(), orig.AppendMeta(nil)
+	cases := map[string]struct{ p, m []byte }{
+		"empty meta":        {payload, nil},
+		"truncated meta":    {payload, meta[:len(meta)/2]},
+		"truncated payload": {payload[:len(payload)-1], meta},
+		"extended payload":  {append(append([]byte(nil), payload...), 0), meta},
+		"trailing meta":     {payload, append(append([]byte(nil), meta...), 7)},
+		"phantom postings":  {nil, []byte{200, 1, 2}}, // n=200, blocks=2, no payload
+	}
+	for name, c := range cases {
+		if _, err := ListOverPayload(c.p, c.m); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

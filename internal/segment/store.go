@@ -541,6 +541,37 @@ func (st *Store) SubtreeText(d xmltree.Dewey, maxLen int) string {
 	return ""
 }
 
+// SealedIndexes seals the tail and returns the stack's per-segment
+// indexes in ordinal order, with tombstoned documents purged from each.
+// It is the multi-segment persistence hook: the snapshot writer emits
+// one segment file per returned index. Unlike Flatten it never merges,
+// so the published stack shape is unchanged (apart from the seal) and
+// the cost is proportional to the tombstoned segments only.
+func (st *Store) SealedIndexes(ctx context.Context) ([]*invindex.Index, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sealLocked()
+	v := st.view.Load()
+	if len(v.segs) == 0 {
+		return nil, fmt.Errorf("snapshot: empty segment stack")
+	}
+	out := make([]*invindex.Index, len(v.segs))
+	for i, s := range v.segs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = s.ix
+		if s.dead.DeadDocs() > 0 {
+			purged, err := s.ix.CloneDropping(s.dead)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = purged
+		}
+	}
+	return out, nil
+}
+
 // Flatten merges the whole stack — tail sealed, tombstones purged —
 // into a single segment and publishes it, returning the merged index.
 // It runs entirely under the writer lock: writes wait, queries keep

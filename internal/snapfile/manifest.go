@@ -1,0 +1,91 @@
+package snapfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestMagic prefixes every manifest file, ahead of the JSON body,
+// so format sniffing works on the first read block alone.
+const ManifestMagic = "XCMANIFEST1\n"
+
+// ManifestExt and SegExt are the canonical file extensions.
+const (
+	ManifestExt = ".xcm"
+	SegExt      = ".seg"
+)
+
+// Manifest lists the segment files of one snapshot, oldest first.
+// Segment names are relative to the manifest's directory; a manifest
+// plus its segments is a self-contained, relocatable snapshot.
+type Manifest struct {
+	Version  int      `json:"version"`
+	Segments []string `json:"segments"`
+}
+
+// WriteManifest writes the manifest atomically next to its segments.
+func WriteManifest(path string, m *Manifest) error {
+	if m.Version == 0 {
+		m.Version = 1
+	}
+	for _, s := range m.Segments {
+		if s != filepath.Base(s) {
+			return fmt.Errorf("snapfile: manifest segment %q is not a bare file name", s)
+		}
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("snapfile: manifest: %w", err)
+	}
+	data := append([]byte(ManifestMagic), body...)
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest parses a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: %w", err)
+	}
+	if !bytes.HasPrefix(data, []byte(ManifestMagic)) {
+		return nil, corruptf("%s: not a snapshot manifest", path)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data[len(ManifestMagic):], &m); err != nil {
+		return nil, corruptf("%s: manifest body: %v", path, err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("snapfile: %s: unsupported manifest version %d", path, m.Version)
+	}
+	if len(m.Segments) == 0 {
+		return nil, corruptf("%s: manifest lists no segments", path)
+	}
+	for _, s := range m.Segments {
+		if s == "" || s != filepath.Base(s) {
+			return nil, corruptf("%s: manifest segment %q is not a bare file name", path, s)
+		}
+	}
+	return &m, nil
+}

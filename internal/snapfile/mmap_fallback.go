@@ -1,0 +1,22 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package snapfile
+
+import "os"
+
+// Portability fallback: platforms without syscall.Mmap read the file
+// into a heap buffer. Queries behave identically; only the open cost
+// and resident set differ.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(path string) (*mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() { m.data = nil }

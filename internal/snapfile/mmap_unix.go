@@ -1,0 +1,49 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package snapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only memory mapping of a snapshot file. The kernel
+// pages bytes in on demand and may drop clean pages under pressure, so
+// a mapped corpus can be far larger than RAM.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(path string) (*mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap of length 0 is an error on most platforms; an empty file
+		// can never be a valid snapshot, so let parse report it.
+		return &mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("file too large to map: %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap %s: %w", path, err)
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

@@ -1,0 +1,295 @@
+package snapfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"xclean/internal/invindex"
+)
+
+// section is one serialized section held in memory during a write.
+type section struct {
+	id   uint32
+	data []byte
+}
+
+// Write serializes the columnar tables of one index segment to w in
+// the snapfile format. Sections are assembled in memory first (the
+// writer runs where the heap index already exists, so peak memory is
+// bounded by the index itself) and streamed out with their checksums.
+func Write(w io.Writer, t *invindex.Tables) error {
+	secs, flags, err := buildSections(t)
+	if err != nil {
+		return err
+	}
+	// Header + section table.
+	off := uint64(headerLen + secEntryLen*len(secs))
+	table := make([]byte, secEntryLen*len(secs))
+	for i, s := range secs {
+		e := table[i*secEntryLen:]
+		putU32(e[0:], s.id)
+		putU32(e[4:], 0)
+		putU64(e[8:], off)
+		putU64(e[16:], uint64(len(s.data)))
+		off += uint64(len(s.data))
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	putU32(hdr[8:], uint32(len(secs)))
+	putU32(hdr[12:], flags)
+	putU32(hdr[16:], crcOf(table))
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("snapfile: write: %w", err)
+	}
+	if _, err := bw.Write(table); err != nil {
+		return fmt.Errorf("snapfile: write: %w", err)
+	}
+	footer := make([]byte, footEntryLen*len(secs)+footTailLen)
+	for i, s := range secs {
+		if _, err := bw.Write(s.data); err != nil {
+			return fmt.Errorf("snapfile: write: %w", err)
+		}
+		putU32(footer[i*footEntryLen:], s.id)
+		putU32(footer[i*footEntryLen+4:], crcOf(s.data))
+	}
+	putU64(footer[len(footer)-16:], off+uint64(len(footer)))
+	copy(footer[len(footer)-8:], endMagic)
+	if _, err := bw.Write(footer); err != nil {
+		return fmt.Errorf("snapfile: write: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("snapfile: write: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the segment to path atomically (temp file + rename
+// in the destination directory).
+func WriteFile(path string, t *invindex.Tables) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapfile-*")
+	if err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, t); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	// CreateTemp restricts to 0600; snapshots are as shareable as any
+	// saved index, so widen to the usual umask-governed mode.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapfile: %w", err)
+	}
+	return nil
+}
+
+// uvarints is an append-only uvarint buffer.
+type uvarints struct{ b []byte }
+
+func (u *uvarints) put(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	u.b = append(u.b, tmp[:n]...)
+}
+
+func (u *uvarints) putZig(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	u.b = append(u.b, tmp[:n]...)
+}
+
+func buildSections(t *invindex.Tables) ([]section, uint32, error) {
+	if len(t.Counts) != len(t.Tokens) || len(t.Lists) != len(t.Tokens) ||
+		len(t.TypeLists) != len(t.Tokens) {
+		return nil, 0, fmt.Errorf("snapfile: write: inconsistent vocab columns")
+	}
+	if len(t.SubtreeLens) != len(t.SubtreeKeys) {
+		return nil, 0, fmt.Errorf("snapfile: write: inconsistent subtree columns")
+	}
+	if len(t.BigramVals) != len(t.BigramKeys) {
+		return nil, 0, fmt.Errorf("snapfile: write: inconsistent bigram columns")
+	}
+	if len(t.StoredTexts) != len(t.StoredKeys) {
+		return nil, 0, fmt.Errorf("snapfile: write: inconsistent stored-text columns")
+	}
+	pathCount := len(t.PathLabels)
+	if len(t.PathNodes) > pathCount || len(t.PathEnts) > pathCount {
+		return nil, 0, fmt.Errorf("snapfile: write: path stats exceed path table")
+	}
+
+	var flags uint32
+	if t.StoredKeys != nil {
+		flags |= flagStoredText
+	}
+
+	// meta
+	var meta uvarints
+	meta.put(formatVersion)
+	meta.put(uint64(blockSize()))
+	meta.put(uint64(t.NodeCount))
+	meta.put(uint64(t.MaxDepth))
+	meta.put(uint64(t.TotalTok))
+	meta.put(uint64(t.Opts.MinLength))
+	tokFlags := uint64(0)
+	if t.Opts.KeepNumbers {
+		tokFlags |= 1
+	}
+	if t.Opts.KeepStopwords {
+		tokFlags |= 2
+	}
+	meta.put(tokFlags)
+	var vocabTotal int64
+	for _, c := range t.Counts {
+		vocabTotal += c
+	}
+	meta.put(uint64(vocabTotal))
+	meta.put(uint64(len(t.Tokens)))
+	meta.put(uint64(pathCount))
+	meta.put(uint64(len(t.SubtreeKeys)))
+	meta.put(uint64(len(t.BigramKeys)))
+	meta.put(uint64(len(t.StoredKeys)))
+
+	// paths
+	var paths uvarints
+	for i := range t.PathLabels {
+		parent := int64(-1)
+		if i < len(t.PathParents) {
+			parent = int64(t.PathParents[i])
+		}
+		paths.putZig(parent)
+		paths.put(uint64(len(t.PathLabels[i])))
+		paths.b = append(paths.b, t.PathLabels[i]...)
+	}
+
+	// vocab records + four heaps they index.
+	recs := make([]byte, vocabRecLen*len(t.Tokens))
+	var names, post, skips, types []byte
+	var tblob uvarints
+	for i, tok := range t.Tokens {
+		l := t.Lists[i]
+		payload := l.Payload()
+		smeta := l.AppendMeta(nil)
+		tblob.b = tblob.b[:0]
+		tblob.put(uint64(len(t.TypeLists[i])))
+		prev := int64(-1)
+		for _, tc := range t.TypeLists[i] {
+			if int64(tc.Path) <= prev {
+				return nil, 0, fmt.Errorf("snapfile: write: token %q type list not strictly sorted", tok)
+			}
+			tblob.put(uint64(int64(tc.Path) - prev))
+			tblob.put(uint64(tc.F))
+			prev = int64(tc.Path)
+		}
+		r := recs[i*vocabRecLen:]
+		putU64(r[0:], uint64(len(names)))
+		putU64(r[8:], uint64(len(post)))
+		putU64(r[16:], uint64(len(skips)))
+		putU64(r[24:], uint64(len(types)))
+		putU64(r[32:], uint64(t.Counts[i]))
+		if len(tok) > math.MaxUint32 || len(payload) > math.MaxUint32 ||
+			len(smeta) > math.MaxUint32 || len(tblob.b) > math.MaxUint32 {
+			return nil, 0, fmt.Errorf("snapfile: write: token %q column exceeds 4 GiB", tok)
+		}
+		putU32(r[40:], uint32(len(tok)))
+		putU32(r[44:], uint32(len(payload)))
+		putU32(r[48:], uint32(len(smeta)))
+		putU32(r[52:], uint32(len(tblob.b)))
+		putU32(r[56:], uint32(l.Len()))
+		names = append(names, tok...)
+		post = append(post, payload...)
+		skips = append(skips, smeta...)
+		types = append(types, tblob.b...)
+	}
+
+	// subtree table
+	subKeys := heapWithOffsets(t.SubtreeKeys)
+	subLens := make([]byte, 4*len(t.SubtreeLens))
+	for i, l := range t.SubtreeLens {
+		putU32(subLens[4*i:], uint32(l))
+	}
+
+	// per-path stats + entity indices
+	stats := make([]byte, 8*(pathCount+1)+4*pathCount)
+	var ents []byte
+	total := 0
+	for p := 0; p < pathCount; p++ {
+		putU64(stats[8*p:], uint64(total))
+		if p < len(t.PathEnts) {
+			for _, idx := range t.PathEnts[p] {
+				if idx < 0 || int(idx) >= len(t.SubtreeKeys) {
+					return nil, 0, fmt.Errorf("snapfile: write: entity index %d out of range", idx)
+				}
+				var e [4]byte
+				putU32(e[:], uint32(idx))
+				ents = append(ents, e[:]...)
+				total++
+			}
+		}
+		var n int32
+		if p < len(t.PathNodes) {
+			n = t.PathNodes[p]
+		}
+		putU32(stats[8*(pathCount+1)+4*p:], uint32(n))
+	}
+	putU64(stats[8*pathCount:], uint64(total))
+
+	// bigrams
+	biKeys := heapWithOffsets(t.BigramKeys)
+	biVals := make([]byte, 8*len(t.BigramVals))
+	for i, v := range t.BigramVals {
+		putU64(biVals[8*i:], uint64(v))
+	}
+
+	secs := []section{
+		{secMeta, meta.b},
+		{secPaths, paths.b},
+		{secVocabRec, recs},
+		{secVocabNames, names},
+		{secPostings, post},
+		{secSkips, skips},
+		{secTypes, types},
+		{secSubKeys, subKeys},
+		{secSubLens, subLens},
+		{secPathStats, stats},
+		{secPathEnts, ents},
+		{secBigramKeys, biKeys},
+		{secBigramVals, biVals},
+	}
+	if t.StoredKeys != nil {
+		secs = append(secs,
+			section{secStoredKeys, heapWithOffsets(t.StoredKeys)},
+			section{secStoredTexts, heapWithOffsets(t.StoredTexts)},
+		)
+	}
+	return secs, flags, nil
+}
+
+// heapWithOffsets lays out (n+1) u64 offsets followed by the
+// concatenated strings; offsets are relative to the heap start, so
+// entry i is heap[off[i]:off[i+1]].
+func heapWithOffsets(ss []string) []byte {
+	out := make([]byte, 8*(len(ss)+1))
+	var heapLen uint64
+	for i, s := range ss {
+		putU64(out[8*i:], heapLen)
+		heapLen += uint64(len(s))
+	}
+	putU64(out[8*len(ss):], heapLen)
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+#!/bin/sh
+# mmap_smoke.sh — end-to-end snapshot warm-start smoke test.
+#
+# Builds a generated corpus once, saves it in the mmap-able seg
+# snapshot format, then reopens it and asserts the two properties the
+# format exists for:
+#
+#   1. Warm-start speed: opening the snapshot must be at least 10x
+#      faster than the cold XML build, and under an absolute budget of
+#      250ms — open cost is O(schema), not O(corpus), so it stays in
+#      the millisecond range no matter how large the corpus grows.
+#   2. Parity: the reopened engine's suggestions for a generated typo
+#      query must be byte-identical to the cold engine's.
+#
+# Run via `make mmap-smoke`. Requires only the go toolchain.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+say() { echo "mmap-smoke: $*"; }
+
+# dur_ms FILE — extract the "indexed in <dur>: ..." stderr line and
+# print the duration as integer milliseconds (handles ms, s, and m+s).
+dur_ms() {
+	awk '/indexed in/ {
+		d = $3; sub(/:$/, "", d); ms = 0
+		if (d ~ /^[0-9.]+ms$/) { ms = substr(d, 1, length(d) - 2) }
+		else if (d ~ /^[0-9.]+s$/) { ms = substr(d, 1, length(d) - 1) * 1000 }
+		else if (d ~ /^[0-9]+m[0-9.]+s$/) {
+			m = d; sub(/m.*/, "", m)
+			s = d; sub(/^[0-9]+m/, "", s); sub(/s$/, "", s)
+			ms = m * 60000 + s * 1000
+		}
+		printf "%d\n", ms; exit
+	}' "$1"
+}
+
+say "building xclean and generating a 4000-article corpus"
+go build -o "$tmp/xclean" ./cmd/xclean
+go run ./cmd/xgen -out "$tmp/corpus.xml" -kind dblp -articles 4000 -queries 3 >/dev/null
+
+q=$(head -1 "$tmp/corpus.xml.queries.tsv" | cut -f2)
+say "query: $q"
+
+say "cold build + snapshot save"
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/corpus.seg" 2>"$tmp/cold.err"
+cold_ms=$(dur_ms "$tmp/cold.err")
+
+"$tmp/xclean" -doc "$tmp/corpus.xml" "$q" >"$tmp/cold.out" 2>/dev/null
+
+say "warm-start from the mmap'd snapshot"
+"$tmp/xclean" -index "$tmp/corpus.seg" "$q" >"$tmp/warm.out" 2>"$tmp/warm.err"
+warm_ms=$(dur_ms "$tmp/warm.err")
+
+say "cold build ${cold_ms}ms, warm open ${warm_ms}ms"
+
+if ! diff "$tmp/cold.out" "$tmp/warm.out" >/dev/null; then
+	say "FAIL: snapshot suggestions diverge from the cold engine"
+	diff "$tmp/cold.out" "$tmp/warm.out" || true
+	exit 1
+fi
+
+if [ "$((warm_ms * 10))" -gt "$cold_ms" ]; then
+	say "FAIL: warm open ${warm_ms}ms is not 10x faster than cold build ${cold_ms}ms"
+	exit 1
+fi
+if [ "$warm_ms" -gt 250 ]; then
+	say "FAIL: warm open ${warm_ms}ms exceeds the 250ms budget"
+	exit 1
+fi
+
+# The NoMmap fallback must answer identically too.
+"$tmp/xclean" -index "$tmp/corpus.seg" -no-mmap "$q" >"$tmp/heap.out" 2>/dev/null
+if ! diff "$tmp/warm.out" "$tmp/heap.out" >/dev/null; then
+	say "FAIL: -no-mmap fallback diverges from the mmap path"
+	exit 1
+fi
+
+say "OK (warm-start ${warm_ms}ms vs cold ${cold_ms}ms, parity held)"

@@ -1,0 +1,225 @@
+package xclean
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xclean/internal/core"
+	"xclean/internal/invindex"
+	"xclean/internal/snapfile"
+)
+
+// FromSource builds an engine over any index source — a heap index or
+// an mmap'd snapshot reader. Heap indexes take the FromIndex path
+// unchanged. The SLCA/ELCA semantics need the heap form (their
+// per-query subtree walks mutate cursor state over raw lists), so a
+// snapshot source is materialized up front under them; the default
+// result-type semantics scans the source directly.
+func FromSource(src invindex.Source, opts Options) (*Engine, error) {
+	if ix, ok := src.(*invindex.Index); ok {
+		return FromIndex(ix, opts), nil
+	}
+	opts.MinTokenLength = src.TokenizerOptions().MinLength
+	if opts.Semantics == SemanticsSLCA || opts.Semantics == SemanticsELCA {
+		e := &Engine{opts: opts, src: src}
+		ix, err := e.heapIndex()
+		if err != nil {
+			return nil, err
+		}
+		return FromIndex(ix, opts), nil
+	}
+	e := &Engine{opts: opts, src: src}
+	// Lazy variant-index construction keeps the open O(schema): the
+	// deletion dictionary is derived from the vocabulary on first query.
+	e.core = core.NewEngineLazy(src, opts.coreConfig())
+	return e, nil
+}
+
+// heapIndex returns the heap form of the corpus, materializing a
+// snapshot-backed source on first need (live writes, sharding,
+// persistence in the gob format). The materialized index is cached; it
+// copies every byte out of the mapping, so it stays valid even if the
+// reader is later unmapped.
+func (e *Engine) heapIndex() (*invindex.Index, error) {
+	e.matMu.Lock()
+	defer e.matMu.Unlock()
+	if e.ix != nil {
+		return e.ix, nil
+	}
+	type materializer interface {
+		Materialize() (*invindex.Index, error)
+	}
+	m, ok := e.src.(materializer)
+	if !ok {
+		return nil, fmt.Errorf("xclean: source %T has no heap form", e.src)
+	}
+	ix, err := m.Materialize()
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	e.ix = ix
+	return ix, nil
+}
+
+// SnapshotBacked reports whether the engine's read path serves off a
+// snapshot reader (mmap or fallback) rather than a heap index. It
+// turns false once a live write materializes the corpus.
+func (e *Engine) SnapshotBacked() bool {
+	if e.seg.Load() != nil {
+		return false
+	}
+	_, ok := e.src.(*snapfile.Reader)
+	return ok
+}
+
+// SaveSnapshot persists the corpus in the mmap-able snapfile format
+// (DESIGN.md §16). The path's extension selects the shape:
+//
+//   - ".seg": one self-contained segment file. A segmented engine is
+//     flattened first, exactly as SaveIndex does.
+//   - ".xcm": a manifest plus one ".seg" per sealed segment of the
+//     stack (named "<base>-0001.seg", …), written next to the
+//     manifest. A monolithic engine yields a one-segment manifest. The
+//     stack is sealed but not merged, so this is the cheap form under
+//     live write traffic.
+//
+// Both forms are written atomically (temp file + rename) and are
+// opened with OpenSnapshot or, via format sniffing, OpenIndexFile.
+func (e *Engine) SaveSnapshot(path string) error {
+	switch filepath.Ext(path) {
+	case snapfile.SegExt:
+		ix, err := e.currentIndex()
+		if err != nil {
+			return err
+		}
+		t := ix.ExportTables()
+		if err := snapfile.WriteFile(path, &t); err != nil {
+			return fmt.Errorf("xclean: %w", err)
+		}
+		return nil
+	case snapfile.ManifestExt:
+		var parts []*invindex.Index
+		if st := e.seg.Load(); st != nil {
+			var err error
+			parts, err = st.SealedIndexes(context.Background())
+			if err != nil {
+				return fmt.Errorf("xclean: %w", err)
+			}
+		} else {
+			ix, err := e.heapIndex()
+			if err != nil {
+				return err
+			}
+			parts = []*invindex.Index{ix}
+		}
+		base := strings.TrimSuffix(filepath.Base(path), snapfile.ManifestExt)
+		dir := filepath.Dir(path)
+		m := &snapfile.Manifest{Version: 1}
+		for i, ix := range parts {
+			name := fmt.Sprintf("%s-%04d%s", base, i+1, snapfile.SegExt)
+			t := ix.ExportTables()
+			if err := snapfile.WriteFile(filepath.Join(dir, name), &t); err != nil {
+				return fmt.Errorf("xclean: %w", err)
+			}
+			m.Segments = append(m.Segments, name)
+		}
+		if err := snapfile.WriteManifest(path, m); err != nil {
+			return fmt.Errorf("xclean: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("xclean: snapshot path %q must end in %s or %s", path, snapfile.SegExt, snapfile.ManifestExt)
+	}
+}
+
+// OpenSnapshot opens a snapshot written by SaveSnapshot and builds an
+// engine over it. A single-segment snapshot (a ".seg" file, or a
+// manifest listing one segment) is served directly off the mapped
+// file: open cost is O(schema) — milliseconds, independent of corpus
+// size — and resident memory is whatever the kernel pages in, so the
+// corpus may exceed RAM. A multi-segment manifest is materialized and
+// merged into a heap engine (the segment stack needs mutable
+// structures; flatten before saving to keep the pure-mmap path).
+//
+// The stored tokenization settings override Options.MinTokenLength,
+// as with OpenIndex.
+func OpenSnapshot(path string, opts Options) (*Engine, error) {
+	prefix, err := filePrefix(path, len(snapfile.ManifestMagic))
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	if !strings.HasPrefix(snapfile.ManifestMagic, string(prefix)) &&
+		!strings.HasPrefix(string(prefix), snapfile.ManifestMagic) {
+		// Not a manifest: must be a bare segment file.
+		r, err := snapfile.Open(path, snapfile.OpenOptions{NoMmap: opts.NoMmap})
+		if err != nil {
+			return nil, fmt.Errorf("xclean: %w", err)
+		}
+		return FromSource(r, opts)
+	}
+	m, err := snapfile.ReadManifest(path)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if len(m.Segments) == 1 {
+		r, err := snapfile.Open(filepath.Join(dir, m.Segments[0]), snapfile.OpenOptions{NoMmap: opts.NoMmap})
+		if err != nil {
+			return nil, fmt.Errorf("xclean: %w", err)
+		}
+		return FromSource(r, opts)
+	}
+	parts := make([]*invindex.Index, len(m.Segments))
+	for i, name := range m.Segments {
+		r, err := snapfile.Open(filepath.Join(dir, name), snapfile.OpenOptions{NoMmap: opts.NoMmap})
+		if err != nil {
+			return nil, fmt.Errorf("xclean: %w", err)
+		}
+		ix, merr := r.Materialize()
+		r.Close()
+		if merr != nil {
+			return nil, fmt.Errorf("xclean: %w", merr)
+		}
+		parts[i] = ix
+	}
+	merged, err := invindex.MergeOrdered(parts)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	if opts.CompactPostings {
+		merged.Compact()
+	}
+	opts.MinTokenLength = merged.TokenizerOptions().MinLength
+	return FromIndex(merged, opts), nil
+}
+
+// VerifySnapshot runs the reader's full checksum pass when the engine
+// is snapshot-backed (a no-op otherwise). The catalog calls it in the
+// background after a warm start so silent corruption surfaces as a
+// failed corpus rather than as wrong scores.
+func (e *Engine) VerifySnapshot() error {
+	if r, ok := e.src.(*snapfile.Reader); ok {
+		return r.Verify()
+	}
+	return nil
+}
+
+// filePrefix reads up to n leading bytes of the file (fewer if the
+// file is shorter).
+func filePrefix(path string, n int) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	read, err := io.ReadFull(f, buf)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	return buf[:read], nil
+}

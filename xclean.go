@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -132,6 +133,11 @@ type Options struct {
 	// StoreText keeps a copy of the document text in the index so that
 	// Preview can render the witness entity of each suggestion.
 	StoreText bool
+	// NoMmap makes OpenSnapshot read snapshot files into heap buffers
+	// instead of memory-mapping them — the portability/diagnostics
+	// escape hatch. Scores are identical; open cost and resident set
+	// grow with the file.
+	NoMmap bool
 	// TailLimit is the number of documents the segmented engine's
 	// mutable tail buffers before sealing it into an immutable segment
 	// (0 = 64). Consulted only once AddDocument or RemoveDocument has
@@ -231,9 +237,17 @@ type IndexStats struct {
 // the monolithic fast path.
 type Engine struct {
 	opts Options
-	ix   *invindex.Index
-	core *core.Engine
-	slca *slca.Engine
+	// src is the read surface queries scan against: the heap index
+	// (monolithic engines) or an mmap'd snapshot reader
+	// (snapshot-backed engines; see OpenSnapshot).
+	src invindex.Source
+	// ix is the heap form of the corpus — src itself when the engine
+	// was built from a heap index, else materialized lazily by
+	// heapIndex on the first operation that needs mutable structures.
+	ix    *invindex.Index
+	matMu sync.Mutex
+	core  *core.Engine
+	slca  *slca.Engine
 	// seg is the segmented store, non-nil once live writes started
 	// (result-type semantics only; SLCA engines keep the legacy
 	// stop-the-world mutation path). Atomic so the first write can
@@ -261,7 +275,7 @@ func (e *Engine) paths() *xmltree.PathTable {
 	if st := e.seg.Load(); st != nil {
 		return st.Paths()
 	}
-	return e.ix.Paths
+	return e.src.PathTable()
 }
 
 // ensureStore lazily wraps the monolithic engine as the base segment
@@ -271,12 +285,18 @@ func (e *Engine) ensureStore() (*segment.Store, error) {
 	if st := e.seg.Load(); st != nil {
 		return st, nil
 	}
-	st, err := segment.NewStore(e.ix, e.core, segment.Config{
+	// The store needs the heap form of the corpus as its base segment;
+	// a snapshot-backed engine materializes here, on its first write.
+	ix, err := e.heapIndex()
+	if err != nil {
+		return nil, err
+	}
+	st, err := segment.NewStore(ix, e.core, segment.Config{
 		Core:            e.opts.coreConfig(),
 		TailLimit:       e.opts.TailLimit,
 		CompactInterval: e.opts.CompactInterval,
 		CompactPostings: e.opts.CompactPostings,
-		StoreText:       e.opts.StoreText || e.ix.HasStoredText(),
+		StoreText:       e.opts.StoreText || ix.HasStoredText(),
 		Sink:            e.core.Sink(),
 	})
 	if err != nil {
@@ -366,8 +386,22 @@ func OpenIndex(r io.Reader, opts Options) (*Engine, error) {
 	return FromIndex(ix, opts), nil
 }
 
-// OpenIndexFile is OpenIndex over a file path.
+// OpenIndexFile opens a persisted index of any supported format,
+// sniffing it from the leading magic bytes: the gob format written by
+// SaveIndex, a snapfile segment, or a snapshot manifest (both written
+// by SaveSnapshot). Snapshot formats open via OpenSnapshot — mmap'd,
+// in milliseconds; the gob format is decoded into the heap as before.
 func OpenIndexFile(path string, opts Options) (*Engine, error) {
+	prefix, err := filePrefix(path, 12)
+	if err != nil {
+		return nil, fmt.Errorf("xclean: %w", err)
+	}
+	switch {
+	case len(prefix) >= 8 && string(prefix[:8]) == "XCSEG001":
+		return OpenSnapshot(path, opts)
+	case len(prefix) >= 12 && string(prefix) == "XCMANIFEST1\n":
+		return OpenSnapshot(path, opts)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("xclean: %w", err)
@@ -396,7 +430,7 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 func (e *Engine) currentIndex() (*invindex.Index, error) {
 	st := e.seg.Load()
 	if st == nil {
-		return e.ix, nil
+		return e.heapIndex()
 	}
 	ix, err := st.Flatten(context.Background())
 	if err != nil {
@@ -491,7 +525,7 @@ func (e *Engine) SaveShardIndex(w io.Writer, shard, n int) error {
 // FromIndex builds an engine over a prebuilt index (shared across
 // engines with different scoring options).
 func FromIndex(ix *invindex.Index, opts Options) *Engine {
-	e := &Engine{opts: opts, ix: ix}
+	e := &Engine{opts: opts, src: ix, ix: ix}
 	switch opts.Semantics {
 	case SemanticsSLCA:
 		e.slca = slca.NewEngine(ix, opts.coreConfig())
@@ -825,7 +859,7 @@ func (e *Engine) Preview(s Suggestion, maxLen int) string {
 	if st := e.seg.Load(); st != nil {
 		return st.SubtreeText(d, maxLen)
 	}
-	return e.ix.SubtreeText(d, maxLen)
+	return e.src.SubtreeText(d, maxLen)
 }
 
 // Stats describes the indexed document. On a segmented engine the
@@ -843,11 +877,11 @@ func (e *Engine) Stats() IndexStats {
 		}
 	}
 	return IndexStats{
-		Nodes:         e.ix.NodeCount(),
-		MaxDepth:      e.ix.MaxDepth(),
-		Tokens:        e.ix.TotalTokens(),
-		DistinctTerms: e.ix.Vocab.Size(),
-		LabelPaths:    e.ix.Paths.Len(),
+		Nodes:         e.src.NodeCount(),
+		MaxDepth:      e.src.MaxDepth(),
+		Tokens:        e.src.TotalTokens(),
+		DistinctTerms: e.src.Vocabulary().Size(),
+		LabelPaths:    e.src.PathTable().Len(),
 	}
 }
 
