@@ -1,0 +1,63 @@
+package snapfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Build a structurally valid file (header, table CRC, footer, section
+// CRCs all correct) whose meta section ends mid-scalar.
+func TestReviewTruncatedMeta(t *testing.T) {
+	meta := []byte{1}                      // version=1
+	meta = append(meta, uvb(uint64(blockSize()))...) // block size
+	meta = append(meta, 5)                 // nodeCount=5; then truncated
+	paths := []byte{}
+	secs := []section{{secMeta, meta}, {secPaths, paths}}
+	off := uint64(headerLen + secEntryLen*len(secs))
+	table := make([]byte, secEntryLen*len(secs))
+	for i, s := range secs {
+		e := table[i*secEntryLen:]
+		putU32(e[0:], s.id)
+		putU64(e[8:], off)
+		putU64(e[16:], uint64(len(s.data)))
+		off += uint64(len(s.data))
+	}
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	putU32(hdr[8:], uint32(len(secs)))
+	putU32(hdr[16:], crcOf(table))
+	var buf []byte
+	buf = append(buf, hdr...)
+	buf = append(buf, table...)
+	for _, s := range secs {
+		buf = append(buf, s.data...)
+	}
+	foot := make([]byte, footEntryLen*len(secs)+footTailLen)
+	for i, s := range secs {
+		putU32(foot[i*footEntryLen:], s.id)
+		putU32(foot[i*footEntryLen+4:], crcOf(s.data))
+	}
+	putU64(foot[len(foot)-16:], uint64(len(buf)+len(foot)))
+	copy(foot[len(foot)-8:], endMagic)
+	buf = append(buf, foot...)
+	p := filepath.Join(t.TempDir(), "trunc.seg")
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(p, OpenOptions{NoMmap: true})
+	if err == nil {
+		r.Close()
+		t.Fatal("expected error")
+	}
+	t.Logf("got error (no panic): %v", err)
+}
+
+func uvb(v uint64) []byte {
+	var b []byte
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
