@@ -1,4 +1,4 @@
-.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate fuzz-smoke snapshot-smoke mmap-smoke cluster-smoke shed-smoke trace-smoke ingest-smoke
+.PHONY: check build fmt vet test race bench bench-smoke bench-json bench-gate fuzz-smoke snapshot-smoke mmap-smoke cluster-smoke replica-smoke shed-smoke trace-smoke ingest-smoke
 
 # The full pre-merge gate: gofmt cleanliness, build everything, vet,
 # run the test suite under the race detector (the parallel scan and
@@ -98,6 +98,14 @@ bench-gate:
 # query after killing one shard must degrade to "partial": true.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# End-to-end replica-failover drill: 2 shards x 2 replicas + a
+# standalone reference + 1 coordinator; a Go loader sustains mixed
+# GET/batched-POST load while one replica of each shard is killed, and
+# asserts zero "partial": true answers and 1e-12 score parity with the
+# reference throughout.
+replica-smoke:
+	./scripts/replica_smoke.sh
 
 # End-to-end admission-control smoke test: saturate an xserve running
 # with -max-inflight 1 -max-queue 0 and assert a 429 shed with

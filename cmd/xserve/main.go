@@ -80,7 +80,8 @@ func main() {
 		slowPath  = flag.String("slowlog", "", "append the trace of slow /suggest requests to this JSONL file")
 		slowThr   = flag.Duration("slow-threshold", qlog.DefaultSlowThreshold, "latency above which a request is logged as slow")
 		role      = flag.String("role", "standalone", "standalone (serve a local index) or coordinator (fan /suggest out over -shards)")
-		shards    = flag.String("shards", "", "coordinator mode: comma-separated shard servers (host:port or URL), in shard order")
+		shards    = flag.String("shards", "", "coordinator mode: comma-separated shard servers in shard order; replicas of one shard join with | (\"h0a|h0b,h1a|h1b\")")
+		shardReps = flag.String("shard-replicas", "", "coordinator mode: replica topology with shards separated by ; and replicas by , (\"h0a,h0b;h1a,h1b\"); alternative to -shards")
 		shardTO   = flag.Duration("shard-timeout", 2*time.Second, "coordinator mode: per-request fan-out budget")
 		hedge     = flag.Duration("hedge-after", 0, "coordinator mode: hedge a straggler shard's retry after this delay (0 = shard-timeout/4)")
 		reqTO     = flag.Duration("request-timeout", 0, "per-request engine deadline; the scan is abandoned mid-flight when it expires (0 disables; coordinators use -shard-timeout)")
@@ -117,8 +118,11 @@ func main() {
 		if sources != 0 {
 			fatal("a coordinator serves no local corpus (drop -doc/-index/-docs)")
 		}
-		if *shards == "" {
-			fatal("coordinator role requires -shards host:port,...")
+		if *shards == "" && *shardReps == "" {
+			fatal("coordinator role requires -shards or -shard-replicas")
+		}
+		if *shards != "" && *shardReps != "" {
+			fatal("-shards and -shard-replicas are two spellings of the same topology; pass one")
 		}
 	} else if sources != 1 {
 		fmt.Fprintln(os.Stderr, "xserve: exactly one of -doc, -index, or -docs is required")
@@ -174,9 +178,13 @@ func main() {
 	var cat *catalog.Catalog
 	var coord *cluster.Coordinator
 	if coordinator {
+		topoSpec := *shards
+		if *shardReps != "" {
+			topoSpec = *shardReps
+		}
 		var err error
 		coord, err = cluster.New(cluster.Config{
-			Shards:     strings.Split(*shards, ","),
+			Shards:     cluster.ParseTopology(topoSpec),
 			Beta:       *beta,
 			K:          *k,
 			Timeout:    *shardTO,
@@ -186,12 +194,17 @@ func main() {
 		if err != nil {
 			fatal("configure cluster", "err", err)
 		}
-		names := make([]string, 0, len(coord.Shards()))
-		for _, sh := range coord.Shards() {
-			names = append(names, sh.Name)
+		topo := coord.Topology()
+		names := make([]string, 0, len(topo))
+		for _, reps := range topo {
+			parts := make([]string, len(reps))
+			for j, rep := range reps {
+				parts[j] = rep.Name
+			}
+			names = append(names, strings.Join(parts, "|"))
 		}
 		logger.Info("coordinator ready", "shards", strings.Join(names, ","),
-			"shardTimeout", *shardTO)
+			"replicas", len(coord.Replicas()), "shardTimeout", *shardTO)
 	} else {
 		cat = catalog.New(catalog.Config{
 			Options:        opts,

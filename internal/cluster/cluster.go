@@ -14,17 +14,27 @@
 // shards' variant hits, and re-ranks to top-k — see core.MergePartials
 // for the correctness argument.
 //
-// The fan-out propagates the caller's context deadline as the
-// per-shard HTTP timeout, hedges one retry per shard (fired early when
-// the first attempt fails fast, or after HedgeAfter for stragglers),
-// and degrades gracefully: when a shard times out or fails, the
-// coordinator returns the surviving shards' merged answer marked
-// Partial with per-shard statuses, rather than an error or a hang.
+// Each shard is served by a *replica set* (Config.Shards is a list of
+// replica lists): the fan-out leg picks its first target by
+// consistent-hash affinity tempered by least-loaded scoring, and
+// hedges one retry to a different replica (fired early when the first
+// attempt fails fast, or after HedgeAfter for stragglers) — see
+// replica.go for the routing policy. The fan-out propagates the
+// caller's context deadline as the per-attempt HTTP timeout and
+// degrades gracefully: only when every attempted replica of a shard
+// fails does the coordinator return the surviving shards' merged
+// answer marked Partial with per-shard statuses, rather than an error
+// or a hang.
+//
+// Batched requests (SuggestBatch, POST /shard/suggest) ship many
+// queries per shard round-trip so high-fan-out coordinators amortize
+// connection and envelope cost — see batch.go.
 package cluster
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -32,11 +42,9 @@ import (
 	"net/url"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"xclean/internal/core"
-	"xclean/internal/eval"
 	"xclean/internal/obs"
 )
 
@@ -64,20 +72,14 @@ type ShardResponse struct {
 	core.PartialSet
 }
 
-// Shard identifies one shard server.
-type Shard struct {
-	// Name labels the shard in statuses, logs, and metric series.
-	Name string `json:"name"`
-	// URL is the shard's base URL (scheme://host:port).
-	URL string `json:"url"`
-}
-
 // Config configures a Coordinator.
 type Config struct {
-	// Shards lists the shard servers as host:port or full URLs, in
-	// shard order (shard order is summation order; keep it stable so
-	// merged scores are reproducible).
-	Shards []string
+	// Shards lists each shard's replica set in shard order (shard
+	// order is summation order; keep it stable so merged scores are
+	// reproducible). Every replica of shard i must serve the same
+	// entity-range index; replica order within a shard only names them
+	// (r0, r1, ...). Use SingleReplica or ParseTopology to build it.
+	Shards [][]Endpoint
 	// Corpus, when set, is forwarded as ?corpus= on every fan-out (for
 	// shard servers that serve multiple corpora through the catalog).
 	Corpus string
@@ -92,6 +94,13 @@ type Config struct {
 	// HedgeAfter is how long to wait on a shard before hedging the one
 	// retry (default Timeout/4). A fast failure hedges immediately.
 	HedgeAfter time.Duration
+	// LoadFactor is how much worse (×) the consistent-hash affinity
+	// replica's load score may be than the least-loaded replica's
+	// before the leg routes around it (0 = 2.0).
+	LoadFactor float64
+	// FailCooldown is how long a replica whose attempt just failed is
+	// demoted to the back of every preference order (0 = 1s).
+	FailCooldown time.Duration
 	// Client is the HTTP client for fan-out (default: a dedicated
 	// keep-alive client).
 	Client *http.Client
@@ -99,17 +108,25 @@ type Config struct {
 	Logger *slog.Logger
 }
 
-// AttemptStatus reports one fan-out attempt against one shard — the
-// first try or the hedged retry — so a partial or slow answer is
+// AttemptStatus reports one fan-out attempt against one shard replica
+// — the first try or the hedged retry — so a partial or slow answer is
 // diagnosable from the response envelope alone.
 type AttemptStatus struct {
 	// Attempt is the ordinal (0 = first try, 1 = hedged retry).
 	Attempt int `json:"attempt"`
+	// Replica names the replica this attempt targeted.
+	Replica string `json:"replica,omitempty"`
 	// Hedge marks the hedged retry.
 	Hedge bool `json:"hedge,omitempty"`
-	// State is "ok", "error", "timeout", or "abandoned" (still in
-	// flight when another attempt won or the budget died; its work was
-	// discarded).
+	// State classifies the attempt's end:
+	//
+	//	"ok"        answered and won the leg
+	//	"error"     returned an error (HTTP failure, bad envelope)
+	//	"timeout"   still in flight when the fan-out deadline died
+	//	"canceled"  still in flight when the caller hung up
+	//	"abandoned" still in flight when another attempt won; its
+	//	            work was discarded (a healthy race loser, not a
+	//	            failure)
 	State      string  `json:"state"`
 	Error      string  `json:"error,omitempty"`
 	TookMillis float64 `json:"tookMillis"`
@@ -118,8 +135,12 @@ type AttemptStatus struct {
 // ShardStatus reports one shard's outcome within one coordinated
 // request.
 type ShardStatus struct {
-	Shard      string  `json:"shard"`
-	State      string  `json:"state"` // "ok", "error", or "timeout"
+	Shard string `json:"shard"`
+	// Replica names the replica that decided the leg: the winner on
+	// "ok", the last attempted replica otherwise.
+	Replica string `json:"replica,omitempty"`
+	// State is "ok", "error", "timeout", or "canceled".
+	State      string  `json:"state"`
 	Error      string  `json:"error,omitempty"`
 	TookMillis float64 `json:"tookMillis"`
 	// Candidates is the size of the shard's partial candidate table
@@ -149,37 +170,25 @@ type Result struct {
 	Spans []*obs.SpanNode
 }
 
-// shardMetrics aggregates one shard's fan-out counters across
-// requests.
-type shardMetrics struct {
-	sink      *obs.Sink // ok-call latency, for the labeled exposition
-	latency   eval.LatencyRecorder
-	requests  atomic.Int64
-	failures  atomic.Int64
-	timeouts  atomic.Int64
-	hedges    atomic.Int64
-	lastError atomic.Pointer[string]
-}
-
-// Coordinator fans suggestion queries out over shard servers and
+// Coordinator fans suggestion queries out over shard replica sets and
 // merges the partials. Safe for concurrent use.
 type Coordinator struct {
-	cfg     Config
-	shards  []Shard
-	metrics []*shardMetrics
-	client  *http.Client
-	logger  *slog.Logger
+	cfg    Config
+	shards []*shardSet
+	client *http.Client
+	logger *slog.Logger
 
 	mu     sync.Mutex
 	corpus string // negotiated from shard responses
 }
 
-// New builds a coordinator over the configured shards.
+// New builds a coordinator over the configured shard replica sets.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("cluster: no shards configured")
+	shards, err := buildShards(cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
-	c := &Coordinator{cfg: cfg, client: cfg.Client, logger: cfg.Logger}
+	c := &Coordinator{cfg: cfg, shards: shards, client: cfg.Client, logger: cfg.Logger}
 	if c.client == nil {
 		c.client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 16,
@@ -189,30 +198,30 @@ func New(cfg Config) (*Coordinator, error) {
 	if c.logger == nil {
 		c.logger = slog.Default()
 	}
-	for i, raw := range cfg.Shards {
-		addr := strings.TrimSpace(raw)
-		if addr == "" {
-			return nil, fmt.Errorf("cluster: empty shard address at position %d", i)
-		}
-		if !strings.Contains(addr, "://") {
-			addr = "http://" + addr
-		}
-		u, err := url.Parse(addr)
-		if err != nil || u.Host == "" {
-			return nil, fmt.Errorf("cluster: bad shard address %q", raw)
-		}
-		c.shards = append(c.shards, Shard{
-			Name: fmt.Sprintf("shard%d@%s", i, u.Host),
-			URL:  strings.TrimRight(addr, "/"),
-		})
-		c.metrics = append(c.metrics, &shardMetrics{sink: obs.NewSink()})
-	}
 	return c, nil
 }
 
-// Shards returns the shard set in shard order.
-func (c *Coordinator) Shards() []Shard {
-	return append([]Shard(nil), c.shards...)
+// Topology returns the shard replica sets in shard order.
+func (c *Coordinator) Topology() [][]Replica {
+	out := make([][]Replica, len(c.shards))
+	for i, sh := range c.shards {
+		for _, r := range sh.replicas {
+			out[i] = append(out[i], r.Replica)
+		}
+	}
+	return out
+}
+
+// Replicas returns every replica across all shards, in shard then
+// replica order (the flat view logs and health probes iterate).
+func (c *Coordinator) Replicas() []Replica {
+	var out []Replica
+	for _, sh := range c.shards {
+		for _, r := range sh.replicas {
+			out = append(out, r.Replica)
+		}
+	}
+	return out
 }
 
 // Corpus returns the corpus name last negotiated from shard responses
@@ -240,22 +249,44 @@ func (c *Coordinator) hedgeAfter() time.Duration {
 	return c.timeout() / 4
 }
 
+func (c *Coordinator) loadFactor() float64 {
+	if c.cfg.LoadFactor > 0 {
+		return c.cfg.LoadFactor
+	}
+	return defaultLoadFactor
+}
+
+func (c *Coordinator) failCooldown() time.Duration {
+	if c.cfg.FailCooldown > 0 {
+		return c.cfg.FailCooldown
+	}
+	return defaultFailCooldown
+}
+
+// routingKey is the consistent-hash affinity key: one corpus+query
+// pair always prefers the same replica of each shard, so that
+// replica's suggestion cache keeps absorbing the repeats.
+func routingKey(corpus, query string) string {
+	return corpus + "\x00" + query
+}
+
 func millis(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000.0
 }
 
 // Suggest coordinates one query: fan out to every shard (bounded by
-// min(Config.Timeout, ctx deadline), with one hedged retry per shard),
-// then merge the surviving partial sets in shard order. requestID, when
-// non-empty, is forwarded as X-Request-Id so shard slow-logs correlate
-// with the coordinator's. tc, when non-nil, marks the request sampled:
-// every attempt carries a W3C traceparent header (trace ID from tc, a
-// fresh span ID per attempt) and the result carries the stitched
-// attempt span trees. Shard failures do not produce an error: the
-// result carries Partial=true and per-shard statuses, and with every
-// shard down the suggestion list is empty but the response is still
-// well-formed. The only error is a merge-level inconsistency (shards
-// answering with different keyword arity).
+// min(Config.Timeout, ctx deadline), with one hedged retry per shard
+// targeting a different replica), then merge the surviving partial
+// sets in shard order. requestID, when non-empty, is forwarded as
+// X-Request-Id so shard slow-logs correlate with the coordinator's.
+// tc, when non-nil, marks the request sampled: every attempt carries a
+// W3C traceparent header (trace ID from tc, a fresh span ID per
+// attempt) and the result carries the stitched attempt span trees.
+// Shard failures do not produce an error: the result carries
+// Partial=true and per-shard statuses, and with every shard down the
+// suggestion list is empty but the response is still well-formed. The
+// only error is a merge-level inconsistency (shards answering with
+// different keyword arity).
 func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID string, tc *obs.TraceContext) (*Result, error) {
 	if corpus == "" {
 		corpus = c.cfg.Corpus
@@ -269,6 +300,7 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 	cctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
 
+	key := routingKey(corpus, query)
 	type slot struct {
 		resp  *ShardResponse
 		st    ShardStatus
@@ -280,8 +312,19 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, st, spans := c.callShard(cctx, i, query, corpus, requestID, tc)
-			slots[i] = slot{resp: resp, st: st, spans: spans}
+			fetch := func(ctx context.Context, rep *replicaState, traceparent string) (any, int, *obs.SpanNode, error) {
+				resp, err := c.fetch(ctx, rep, query, corpus, requestID, traceparent)
+				if err != nil {
+					return nil, 0, nil, err
+				}
+				return resp, len(resp.Candidates), resp.TraceSpan, nil
+			}
+			payload, st, spans := c.callLeg(cctx, c.shards[i], key, tc, fetch)
+			sl := slot{st: st, spans: spans}
+			if payload != nil {
+				sl.resp = payload.(*ShardResponse)
+			}
+			slots[i] = sl
 		}(i)
 	}
 	wg.Wait()
@@ -313,74 +356,120 @@ func (c *Coordinator) Suggest(ctx context.Context, query, corpus, requestID stri
 	return res, nil
 }
 
-// liveAttempt is callShard's bookkeeping for one launched attempt.
-// Only the coordinating goroutine touches it (launches and channel
-// receives all happen there).
+// liveAttempt is callLeg's bookkeeping for one launched attempt. Only
+// the coordinating goroutine touches it (launches and channel receives
+// all happen there).
 type liveAttempt struct {
+	rep     *replicaState
 	span    obs.SpanID // per-attempt span ID (zero when untraced)
 	started time.Time
 	done    bool
-	state   string // "ok", "error" once done
+	state   string // "ok", "error", "timeout", "canceled" once done
 	err     string
 	took    time.Duration
 }
 
-// callShard runs one shard's fan-out leg: a first attempt, plus at
-// most one hedged retry — fired after hedgeAfter for stragglers, or
-// immediately when the first attempt fails fast (a refused connection
-// should not wait out the hedge delay). The first successful attempt
-// wins; a losing in-flight attempt is abandoned to the context (its
-// goroutine drains into the buffered channel). Every attempt is
-// itemized in the returned status; on a traced request (tc non-nil)
-// each attempt also carried its own traceparent and comes back as one
-// "shard.attempt" client span, the winner parenting the shard's
+// legFetch performs one attempt of a leg against one replica,
+// returning an opaque payload (type-asserted by the caller), the
+// candidate count for the shard status, and the replica's stitched
+// span subtree (nil on untraced or span-less responses).
+type legFetch func(ctx context.Context, rep *replicaState, traceparent string) (payload any, candidates int, span *obs.SpanNode, err error)
+
+// ctxState classifies a context death: the caller hanging up is
+// "canceled" (the work was no longer wanted — not a shard fault), the
+// fan-out budget expiring is "timeout". Any other error is "error".
+func ctxState(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	}
+	return "error"
+}
+
+// callLeg runs one shard's fan-out leg: a first attempt against the
+// routed replica, plus at most one hedged retry against a different
+// replica — fired after hedgeAfter for stragglers, or immediately when
+// the first attempt fails fast (a refused connection should not wait
+// out the hedge delay). The first successful attempt wins; a losing
+// in-flight attempt is abandoned to the context (its goroutine drains
+// into the buffered channel and exits when the per-request context is
+// cancelled). Every attempt is itemized in the returned status with
+// its replica and final state; on a traced request (tc non-nil) each
+// attempt also carried its own traceparent and comes back as one
+// "shard.attempt" client span, the winner parenting the replica's
 // returned subtree.
-func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, requestID string, tc *obs.TraceContext) (*ShardResponse, ShardStatus, []*obs.SpanNode) {
-	s := c.shards[i]
-	m := c.metrics[i]
-	m.requests.Add(1)
+func (c *Coordinator) callLeg(ctx context.Context, sh *shardSet, key string, tc *obs.TraceContext, fetch legFetch) (any, ShardStatus, []*obs.SpanNode) {
 	start := time.Now()
+	ord := sh.order(key, start)
+	first := sh.pickFirst(ord, c.loadFactor())
 
 	type outcome struct {
-		ord  int
-		resp *ShardResponse
-		err  error
-		took time.Duration
+		ord     int
+		payload any
+		cands   int
+		span    *obs.SpanNode
+		err     error
+		took    time.Duration
 	}
 	ch := make(chan outcome, 2)
 	var attempts []liveAttempt
-	launch := func() {
-		ord := len(attempts)
-		a := liveAttempt{started: time.Now()}
+	launch := func(rep *replicaState) {
+		ordinal := len(attempts)
+		a := liveAttempt{rep: rep, started: time.Now()}
 		header := ""
 		if tc != nil {
 			a.span = obs.NewSpanID()
 			header = obs.Traceparent(tc.TraceID, a.span, true)
 		}
 		attempts = append(attempts, a)
+		rep.m.requests.Add(1)
+		rep.inflight.Add(1)
 		go func() {
-			resp, err := c.fetch(ctx, s, query, corpus, requestID, header)
-			ch <- outcome{ord: ord, resp: resp, err: err, took: time.Since(a.started)}
+			payload, cands, span, err := fetch(ctx, rep, header)
+			rep.inflight.Add(-1)
+			ch <- outcome{ord: ordinal, payload: payload, cands: cands, span: span,
+				err: err, took: time.Since(a.started)}
 		}()
 	}
-	launch()
+	launch(sh.replicas[first])
 
 	// finish assembles the per-attempt statuses and (when traced) the
 	// attempt spans: completed attempts keep their recorded outcome;
-	// attempts still in flight are marked abandoned with their elapsed
-	// time so far. winner is the winning attempt's ordinal (-1 = none);
-	// the shard's returned subtree is stitched under its span.
-	finish := func(winner int, resp *ShardResponse) ([]AttemptStatus, []*obs.SpanNode) {
+	// attempts still in flight are classified by why the leg ended —
+	// "abandoned" when another attempt won (a healthy race loser whose
+	// work was discarded), legState ("timeout"/"canceled") when the
+	// context died under them. winner is the winning attempt's ordinal
+	// (-1 = none); the replica's returned subtree is stitched under its
+	// span.
+	finish := func(winner int, legState string, span *obs.SpanNode) ([]AttemptStatus, []*obs.SpanNode) {
 		sts := make([]AttemptStatus, len(attempts))
 		var spans []*obs.SpanNode
 		for j := range attempts {
 			a := &attempts[j]
-			st := AttemptStatus{Attempt: j, Hedge: j > 0}
+			st := AttemptStatus{Attempt: j, Replica: a.rep.Name, Hedge: j > 0}
 			if a.done {
 				st.State, st.Error, st.TookMillis = a.state, a.err, millis(a.took)
 			} else {
-				st.State = "abandoned"
-				st.TookMillis = millis(time.Since(a.started))
+				elapsed := time.Since(a.started)
+				st.TookMillis = millis(elapsed)
+				if winner >= 0 {
+					st.State = "abandoned"
+				} else {
+					// The context died with this attempt in flight: a real
+					// deadline (or hang-up) death, counted as such on the
+					// replica that was holding it.
+					st.State = legState
+					switch legState {
+					case "timeout":
+						a.rep.m.timeouts.Add(1)
+						a.rep.observeLatency(elapsed)
+						a.rep.markFailure(time.Now(), c.failCooldown())
+					case "canceled":
+						a.rep.m.canceled.Add(1)
+					}
+				}
 			}
 			sts[j] = st
 			if tc == nil {
@@ -394,23 +483,26 @@ func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, reque
 				StartUnixNano: a.started.UnixNano(),
 				DurationNs:    int64(st.TookMillis * 1e6),
 				Attrs: map[string]string{
-					"shard":   s.Name,
+					"shard":   sh.name,
+					"replica": a.rep.Name,
 					"attempt": fmt.Sprintf("%d", j),
 				},
 			}
 			if st.Hedge {
 				node.Attrs["hedge"] = "true"
 			}
+			// A race loser is not a timeout: "abandoned" is a status of
+			// its own in the waterfall, with no error text.
 			switch st.State {
 			case "ok":
-			case "error", "timeout":
+			case "abandoned":
+				node.Status = "abandoned"
+			default:
 				node.Status = st.State
 				node.Error = st.Error
-			default:
-				node.Status = "timeout"
 			}
-			if j == winner && resp != nil && resp.TraceSpan != nil {
-				node.AddChild(resp.TraceSpan)
+			if j == winner && span != nil {
+				node.AddChild(span)
 			}
 			spans = append(spans, node)
 		}
@@ -420,20 +512,29 @@ func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, reque
 	hedge := time.NewTimer(c.hedgeAfter())
 	defer hedge.Stop()
 	hedged := false
+	launchHedge := func() {
+		hedged = true
+		rep := sh.replicas[sh.hedgeTarget(ord, first)]
+		rep.m.hedges.Add(1)
+		launch(rep)
+	}
 	pending := 1
 	var lastErr error
+	var lastRep *replicaState
 	fail := func(state string, err error) (ShardStatus, []*obs.SpanNode) {
-		m.failures.Add(1)
-		if state == "timeout" {
-			m.timeouts.Add(1)
-		}
 		msg := err.Error()
-		m.lastError.Store(&msg)
 		c.logger.Warn("shard fan-out failed",
-			"shard", s.Name, "state", state, "hedged", hedged, "err", msg)
-		sts, spans := finish(-1, nil)
+			"shard", sh.name, "state", state, "hedged", hedged, "err", msg)
+		sts, spans := finish(-1, state, nil)
+		replica := ""
+		if lastRep != nil {
+			replica = lastRep.Name
+		} else if n := len(attempts); n > 0 {
+			replica = attempts[n-1].rep.Name
+		}
 		return ShardStatus{
-			Shard:      s.Name,
+			Shard:      sh.name,
+			Replica:    replica,
 			State:      state,
 			Error:      msg,
 			TookMillis: millis(time.Since(start)),
@@ -447,61 +548,79 @@ func (c *Coordinator) callShard(ctx context.Context, i int, query, corpus, reque
 			pending--
 			att := &attempts[a.ord]
 			att.done, att.took = true, a.took
+			lastRep = att.rep
 			if a.err == nil {
 				att.state = "ok"
+				att.rep.markSuccess()
+				att.rep.observeLatency(a.took)
+				att.rep.m.latency.Record(a.took)
+				att.rep.m.sink.ObserveSuggest(a.took, nil)
 				took := time.Since(start)
-				m.latency.Record(took)
-				m.sink.ObserveSuggest(took, nil)
-				sts, spans := finish(a.ord, a.resp)
-				return a.resp, ShardStatus{
-					Shard:      s.Name,
+				sts, spans := finish(a.ord, "", a.span)
+				return a.payload, ShardStatus{
+					Shard:      sh.name,
+					Replica:    att.rep.Name,
 					State:      "ok",
 					TookMillis: millis(took),
-					Candidates: len(a.resp.Candidates),
+					Candidates: a.cands,
 					Hedged:     hedged,
 					Attempts:   sts,
 				}, spans
 			}
-			att.state, att.err = "error", a.err.Error()
+			// A completed failed attempt is classified by its own error
+			// (the HTTP client surfaces the context death it died of) and
+			// attributed to its replica.
+			att.state, att.err = ctxState(a.err), a.err.Error()
+			msg := att.err
+			att.rep.m.lastErr.Store(&msg)
+			switch att.state {
+			case "timeout":
+				att.rep.m.timeouts.Add(1)
+				att.rep.observeLatency(a.took)
+				att.rep.markFailure(time.Now(), c.failCooldown())
+			case "canceled":
+				att.rep.m.canceled.Add(1)
+			default:
+				att.state = "error"
+				att.rep.m.failures.Add(1)
+				att.rep.observeLatency(a.took)
+				att.rep.markFailure(time.Now(), c.failCooldown())
+			}
 			lastErr = a.err
 			if !hedged && ctx.Err() == nil {
-				hedged = true
-				m.hedges.Add(1)
 				pending++
-				launch()
+				launchHedge()
 				continue
 			}
 			if pending == 0 {
 				state := "error"
 				if ctx.Err() != nil {
-					state = "timeout"
+					state = ctxState(ctx.Err())
 				}
 				st, spans := fail(state, lastErr)
 				return nil, st, spans
 			}
 		case <-hedge.C:
 			if !hedged && ctx.Err() == nil {
-				hedged = true
-				m.hedges.Add(1)
 				pending++
-				launch()
+				launchHedge()
 			}
 		case <-ctx.Done():
 			err := ctx.Err()
 			if lastErr != nil {
 				err = fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
 			}
-			st, spans := fail("timeout", err)
+			st, spans := fail(ctxState(ctx.Err()), err)
 			return nil, st, spans
 		}
 	}
 }
 
-// fetch performs one GET /shard/suggest attempt against one shard.
+// fetch performs one GET /shard/suggest attempt against one replica.
 // traceparent, when non-empty, is the attempt's W3C trace context
 // header.
-func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, requestID, traceparent string) (*ShardResponse, error) {
-	u := s.URL + "/shard/suggest?q=" + url.QueryEscape(query)
+func (c *Coordinator) fetch(ctx context.Context, rep *replicaState, query, corpus, requestID, traceparent string) (*ShardResponse, error) {
+	u := rep.URL + "/shard/suggest?q=" + url.QueryEscape(query)
 	if corpus != "" {
 		u += "&corpus=" + url.QueryEscape(corpus)
 	}
@@ -522,40 +641,54 @@ func (c *Coordinator) fetch(ctx context.Context, s Shard, query, corpus, request
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return nil, fmt.Errorf("shard %s: HTTP %d: %s", s.Name, resp.StatusCode,
+		return nil, fmt.Errorf("replica %s: HTTP %d: %s", rep.Name, resp.StatusCode,
 			strings.TrimSpace(string(body)))
 	}
 	var sr ShardResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("shard %s: bad response: %w", s.Name, err)
+		return nil, fmt.Errorf("replica %s: bad response: %w", rep.Name, err)
 	}
 	if sr.Version != WireVersion {
-		return nil, fmt.Errorf("shard %s: wire version %d (coordinator speaks %d)",
-			s.Name, sr.Version, WireVersion)
+		return nil, fmt.Errorf("replica %s: wire version %d (coordinator speaks %d)",
+			rep.Name, sr.Version, WireVersion)
 	}
 	return &sr, nil
 }
 
-// ShardHealth is one shard's health-probe outcome.
+// ShardHealth is one replica's health-probe outcome.
 type ShardHealth struct {
-	Shard   string `json:"shard"`
+	// Shard is the entity-range label ("shard0") shared by every
+	// replica of the shard.
+	Shard string `json:"shard"`
+	// Replica is the probed replica's full name.
+	Replica string `json:"replica"`
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
 	Error   string `json:"error,omitempty"`
 }
 
-// Health probes every shard's /healthz in parallel (each probe bounded
-// by the remaining context budget) and returns per-shard outcomes in
-// shard order.
+// Health probes every replica's /healthz in parallel (each probe
+// bounded by the remaining context budget) and returns per-replica
+// outcomes in shard then replica order.
 func (c *Coordinator) Health(ctx context.Context) []ShardHealth {
-	out := make([]ShardHealth, len(c.shards))
+	type probe struct {
+		sh  *shardSet
+		rep *replicaState
+	}
+	var ps []probe
+	for _, sh := range c.shards {
+		for _, rep := range sh.replicas {
+			ps = append(ps, probe{sh, rep})
+		}
+	}
+	out := make([]ShardHealth, len(ps))
 	var wg sync.WaitGroup
-	for i, s := range c.shards {
+	for i, p := range ps {
 		wg.Add(1)
-		go func(i int, s Shard) {
+		go func(i int, p probe) {
 			defer wg.Done()
-			h := ShardHealth{Shard: s.Name, URL: s.URL}
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL+"/healthz", nil)
+			h := ShardHealth{Shard: p.sh.name, Replica: p.rep.Name, URL: p.rep.URL}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.rep.URL+"/healthz", nil)
 			if err != nil {
 				h.Error = err.Error()
 				out[i] = h
@@ -575,69 +708,8 @@ func (c *Coordinator) Health(ctx context.Context) []ShardHealth {
 				h.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
 			}
 			out[i] = h
-		}(i, s)
+		}(i, p)
 	}
 	wg.Wait()
 	return out
-}
-
-// ShardMetrics is the JSON snapshot of one shard's fan-out counters,
-// served under /metricz.
-type ShardMetrics struct {
-	Shard     string            `json:"shard"`
-	Requests  int64             `json:"requests"`
-	Failures  int64             `json:"failures"`
-	Timeouts  int64             `json:"timeouts"`
-	Hedges    int64             `json:"hedges"`
-	LastError string            `json:"lastError,omitempty"`
-	Latency   eval.LatencyStats `json:"latency"`
-}
-
-// MetricsSnapshot returns per-shard fan-out counters in shard order.
-func (c *Coordinator) MetricsSnapshot() []ShardMetrics {
-	out := make([]ShardMetrics, len(c.shards))
-	for i, s := range c.shards {
-		m := c.metrics[i]
-		sm := ShardMetrics{
-			Shard:    s.Name,
-			Requests: m.requests.Load(),
-			Failures: m.failures.Load(),
-			Timeouts: m.timeouts.Load(),
-			Hedges:   m.hedges.Load(),
-			Latency:  m.latency.Stats(),
-		}
-		if p := m.lastError.Load(); p != nil {
-			sm.LastError = *p
-		}
-		out[i] = sm
-	}
-	return out
-}
-
-// WritePrometheus emits the coordinator's shard-labeled series: the
-// standard engine families (per-shard fan-out latency recorded in each
-// shard's sink) via the shared labeled exposition, plus the fan-out
-// counters specific to the cluster layer.
-func (c *Coordinator) WritePrometheus(w io.Writer) {
-	sinks := make([]obs.NamedSink, len(c.shards))
-	for i, s := range c.shards {
-		sinks[i] = obs.NamedSink{Label: s.Name, Sink: c.metrics[i].sink}
-	}
-	obs.WritePrometheusLabeled(w, "xclean_cluster", "shard", sinks)
-	counter := func(name, help string, v func(*shardMetrics) int64) {
-		obs.WriteHeader(w, name, help, "counter")
-		for i, s := range c.shards {
-			obs.WriteLabeledCounterSample(w, name,
-				fmt.Sprintf("shard=%q", s.Name), v(c.metrics[i]))
-		}
-	}
-	counter("xclean_cluster_shard_failures_total",
-		"Fan-out legs that exhausted their attempts without an answer.",
-		func(m *shardMetrics) int64 { return m.failures.Load() })
-	counter("xclean_cluster_shard_timeouts_total",
-		"Fan-out legs that ran out the propagated deadline.",
-		func(m *shardMetrics) int64 { return m.timeouts.Load() })
-	counter("xclean_cluster_shard_hedges_total",
-		"Hedged retries fired (straggler or fast-failure).",
-		func(m *shardMetrics) int64 { return m.hedges.Load() })
 }

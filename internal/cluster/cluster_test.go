@@ -44,7 +44,7 @@ func newFixture(t *testing.T, shards int, cfg cluster.Config) *clusterFixture {
 		srv := httptest.NewServer(server.New(sh, server.Config{}).Handler())
 		t.Cleanup(srv.Close)
 		f.servers = append(f.servers, srv)
-		cfg.Shards = append(cfg.Shards, srv.URL)
+		cfg.Shards = append(cfg.Shards, []cluster.Endpoint{cluster.Endpoint(srv.URL)})
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 5 * time.Second
@@ -140,7 +140,7 @@ func TestClusterHedgedRetry(t *testing.T) {
 	t.Cleanup(flaky.Close)
 
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{f.servers[0].URL, flaky.URL},
+		Shards:  cluster.SingleReplica(f.servers[0].URL, flaky.URL),
 		Timeout: 5 * time.Second,
 	})
 	if err != nil {
@@ -196,7 +196,7 @@ func TestClusterDeadlinePropagation(t *testing.T) {
 	t.Cleanup(hang.Close)
 
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{f.servers[0].URL, hang.URL},
+		Shards:  cluster.SingleReplica(f.servers[0].URL, hang.URL),
 		Timeout: 30 * time.Second, // deliberately far above the ctx deadline
 	})
 	if err != nil {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+
+	"xclean/internal/eval"
+	"xclean/internal/obs"
+)
+
+// ShardMetrics is the JSON snapshot of one replica's fan-out counters,
+// served under /metricz — one entry per replica, so a flaky node is
+// visible in its own series.
+type ShardMetrics struct {
+	Shard   string `json:"shard"`
+	Replica string `json:"replica"`
+	// Requests counts attempts launched at this replica (hedges
+	// included); Failures/Timeouts/Canceled classify the ones that did
+	// not answer (error return / fan-out deadline death / caller
+	// hang-up); Hedges counts the hedged retries this replica received.
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	Timeouts int64 `json:"timeouts"`
+	Canceled int64 `json:"canceled"`
+	Hedges   int64 `json:"hedges"`
+	// Inflight and EwmaMillis are the live routing inputs of the
+	// least-loaded pick.
+	Inflight   int64             `json:"inflight"`
+	EwmaMillis float64           `json:"ewmaMillis"`
+	LastError  string            `json:"lastError,omitempty"`
+	Latency    eval.LatencyStats `json:"latency"`
+}
+
+// MetricsSnapshot returns per-replica fan-out counters in shard then
+// replica order.
+func (c *Coordinator) MetricsSnapshot() []ShardMetrics {
+	var out []ShardMetrics
+	for _, sh := range c.shards {
+		for _, rep := range sh.replicas {
+			sm := ShardMetrics{
+				Shard:      sh.name,
+				Replica:    rep.Name,
+				Requests:   rep.m.requests.Load(),
+				Failures:   rep.m.failures.Load(),
+				Timeouts:   rep.m.timeouts.Load(),
+				Canceled:   rep.m.canceled.Load(),
+				Hedges:     rep.m.hedges.Load(),
+				Inflight:   rep.inflight.Load(),
+				EwmaMillis: float64(rep.ewmaNs.Load()) / 1e6,
+				Latency:    rep.m.latency.Stats(),
+			}
+			if p := rep.m.lastErr.Load(); p != nil {
+				sm.LastError = *p
+			}
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// WritePrometheus emits the coordinator's replica-labeled series: the
+// standard engine families (per-replica ok-attempt latency recorded in
+// each replica's sink) via the shared labeled exposition, plus the
+// fan-out counters and routing gauges specific to the cluster layer.
+// Every sample carries shard="shardN",replica="shardN/rM@host" labels
+// so dashboards can aggregate by shard or drill into one replica.
+func (c *Coordinator) WritePrometheus(w io.Writer) {
+	var sinks []obs.NamedSink
+	for _, sh := range c.shards {
+		for _, rep := range sh.replicas {
+			sinks = append(sinks, obs.NamedSink{Label: rep.Name, Sink: rep.m.sink})
+		}
+	}
+	obs.WritePrometheusLabeled(w, "xclean_cluster", "replica", sinks)
+	labels := func(sh *shardSet, rep *replicaState) string {
+		return fmt.Sprintf("shard=%q,replica=%q", sh.name, rep.Name)
+	}
+	counter := func(name, help string, v func(*replicaMetrics) int64) {
+		obs.WriteHeader(w, name, help, "counter")
+		for _, sh := range c.shards {
+			for _, rep := range sh.replicas {
+				obs.WriteLabeledCounterSample(w, name, labels(sh, rep), v(rep.m))
+			}
+		}
+	}
+	counter("xclean_cluster_shard_failures_total",
+		"Fan-out attempts that returned an error.",
+		func(m *replicaMetrics) int64 { return m.failures.Load() })
+	counter("xclean_cluster_shard_timeouts_total",
+		"Fan-out attempts that ran out the propagated deadline.",
+		func(m *replicaMetrics) int64 { return m.timeouts.Load() })
+	counter("xclean_cluster_shard_canceled_total",
+		"Fan-out attempts abandoned because the caller hung up.",
+		func(m *replicaMetrics) int64 { return m.canceled.Load() })
+	counter("xclean_cluster_shard_hedges_total",
+		"Hedged retries received (straggler or fast-failure).",
+		func(m *replicaMetrics) int64 { return m.hedges.Load() })
+	obs.WriteHeader(w, "xclean_cluster_replica_inflight",
+		"Attempts executing against this replica right now.", "gauge")
+	for _, sh := range c.shards {
+		for _, rep := range sh.replicas {
+			obs.WriteLabeledGaugeSample(w, "xclean_cluster_replica_inflight",
+				labels(sh, rep), float64(rep.inflight.Load()))
+		}
+	}
+	obs.WriteHeader(w, "xclean_cluster_replica_ewma_seconds",
+		"EWMA attempt latency feeding the least-loaded pick.", "gauge")
+	for _, sh := range c.shards {
+		for _, rep := range sh.replicas {
+			obs.WriteLabeledGaugeSample(w, "xclean_cluster_replica_ewma_seconds",
+				labels(sh, rep), float64(rep.ewmaNs.Load())/1e9)
+		}
+	}
+}

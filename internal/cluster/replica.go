@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xclean/internal/eval"
+	"xclean/internal/obs"
+)
+
+// Replica routing: each entity-range shard is served by a replica set,
+// and every fan-out leg picks its first target and its hedge target
+// from that set. Three mechanisms compose:
+//
+//   - consistent-hash affinity: a rendezvous (highest-random-weight)
+//     hash of the request key (corpus + query) over the replica URLs
+//     yields a per-key preference order that is stable across
+//     coordinator restarts and moves only the affected keys when the
+//     topology changes — so each replica's suggestion cache keeps
+//     seeing the same slice of the query distribution;
+//   - least-loaded override: the affinity head is demoted when its
+//     load score (EWMA latency × (1 + in-flight attempts)) exceeds
+//     LoadFactor× the lightest replica's — affinity is a preference,
+//     not a hot-spot amplifier;
+//   - failure cooldown: a replica whose attempt just failed is moved
+//     to the back of every preference order for FailCooldown, so one
+//     dead replica costs at most one fast-failing attempt per cooldown
+//     window instead of one per request.
+//
+// The hedged retry always goes to a *different* replica when the set
+// has more than one (a straggler is most often a node-local problem;
+// re-asking the same node doubles down on it). Single-replica shards
+// keep the pre-replica behavior of hedging against the same endpoint.
+
+// Endpoint is one replica server address: host:port or a full URL.
+type Endpoint string
+
+// SingleReplica adapts a flat one-replica-per-shard address list to
+// the topology form of Config.Shards.
+func SingleReplica(addrs ...string) [][]Endpoint {
+	out := make([][]Endpoint, len(addrs))
+	for i, a := range addrs {
+		out[i] = []Endpoint{Endpoint(a)}
+	}
+	return out
+}
+
+// ParseTopology parses the CLI topology syntax into Config.Shards.
+// Two equivalent spellings are accepted:
+//
+//	"h0a|h0b,h1a|h1b"   shards by ',', replicas within a shard by '|'
+//	"h0a,h0b;h1a,h1b"   shards by ';', replicas by ',' (-shard-replicas)
+//
+// The second form is selected by the presence of ';'. Whitespace
+// around entries is trimmed; empty entries are kept so New can report
+// their position.
+func ParseTopology(s string) [][]Endpoint {
+	shardSep, repSep := ",", "|"
+	if strings.Contains(s, ";") {
+		shardSep, repSep = ";", ","
+	}
+	var out [][]Endpoint
+	for _, group := range strings.Split(s, shardSep) {
+		var reps []Endpoint
+		for _, addr := range strings.Split(group, repSep) {
+			reps = append(reps, Endpoint(strings.TrimSpace(addr)))
+		}
+		out = append(out, reps)
+	}
+	return out
+}
+
+// Replica identifies one replica of one shard.
+type Replica struct {
+	// Shard labels the entity range ("shard0"); every replica of a
+	// shard serves the same range.
+	Shard string `json:"shard"`
+	// Name labels the replica in statuses, logs, and metric series
+	// ("shard0/r1@host:port").
+	Name string `json:"name"`
+	// URL is the replica's base URL (scheme://host:port).
+	URL string `json:"url"`
+}
+
+// replicaMetrics aggregates one replica's fan-out counters across
+// requests. Attempt outcomes are attributed to the replica that served
+// the attempt, so a flaky node is visible in its own series rather
+// than smeared over the shard.
+type replicaMetrics struct {
+	sink     *obs.Sink // ok-attempt latency, for the labeled exposition
+	latency  eval.LatencyRecorder
+	requests atomic.Int64 // attempts launched
+	failures atomic.Int64 // attempts that returned an error
+	timeouts atomic.Int64 // attempts killed by the fan-out deadline
+	canceled atomic.Int64 // attempts killed by the caller hanging up
+	hedges   atomic.Int64 // hedged attempts launched at this replica
+	lastErr  atomic.Pointer[string]
+}
+
+// replicaState is one replica plus its live routing inputs.
+type replicaState struct {
+	Replica
+	m *replicaMetrics
+	// inflight counts attempts currently executing against this
+	// replica (launched, not yet completed or abandoned-and-drained).
+	inflight atomic.Int64
+	// ewmaNs is the exponentially-weighted moving average of attempt
+	// latency in nanoseconds (0 = no sample yet: an unknown replica
+	// scores as instantly fast, so new capacity attracts traffic).
+	ewmaNs atomic.Int64
+	// coolUntil is the unix-nano instant until which this replica is
+	// demoted to the back of every preference order (0 = healthy).
+	coolUntil atomic.Int64
+}
+
+// ewmaAlpha weights the newest latency sample in the moving average.
+const ewmaAlpha = 0.25
+
+const (
+	defaultLoadFactor   = 2.0
+	defaultFailCooldown = time.Second
+)
+
+// observeLatency folds one completed attempt's latency into the EWMA.
+func (r *replicaState) observeLatency(d time.Duration) {
+	ns := d.Nanoseconds()
+	for {
+		old := r.ewmaNs.Load()
+		nw := ns
+		if old != 0 {
+			nw = old + int64(ewmaAlpha*float64(ns-old))
+		}
+		if r.ewmaNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// loadScore ranks replicas for the least-loaded pick: expected latency
+// scaled by the queue already in front of it. +1s keep zero-valued
+// inputs ordered (no sample beats any sample; an idle replica beats a
+// busy one at equal EWMA).
+func (r *replicaState) loadScore() float64 {
+	return float64(r.ewmaNs.Load()+1) * float64(r.inflight.Load()+1)
+}
+
+func (r *replicaState) cooling(now time.Time) bool {
+	return r.coolUntil.Load() > now.UnixNano()
+}
+
+func (r *replicaState) markFailure(now time.Time, cooldown time.Duration) {
+	r.coolUntil.Store(now.Add(cooldown).UnixNano())
+}
+
+func (r *replicaState) markSuccess() {
+	r.coolUntil.Store(0)
+}
+
+// rendezvousWeight is the highest-random-weight score of one (key,
+// replica) pair: independent 64-bit FNV-1a hashes of the URL and the
+// key, combined and avalanched through a SplitMix64 finalizer. The
+// finalizer matters: FNV alone over the concatenation leaves the
+// cross-key weight *ordering* dominated by the per-URL prefix state
+// (some replicas then win almost every key), while the multiply-xor
+// cascade decorrelates them. The URL (not the ordinal) is hashed so
+// the mapping survives coordinator restarts and list reorderings, and
+// removing one replica moves only the keys that preferred it.
+func rendezvousWeight(key, replicaURL string) uint64 {
+	hu := fnv.New64a()
+	hu.Write([]byte(replicaURL))
+	hk := fnv.New64a()
+	hk.Write([]byte(key))
+	x := hu.Sum64() ^ hk.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardSet is one shard's replica set.
+type shardSet struct {
+	name     string
+	replicas []*replicaState
+}
+
+// order returns replica ordinals in routing-preference order for one
+// request key: rendezvous weight descending, then cooling replicas
+// stably demoted to the back. Deterministic for a fixed (key,
+// topology, cooldown) state.
+func (s *shardSet) order(key string, now time.Time) []int {
+	ord := make([]int, len(s.replicas))
+	for i := range ord {
+		ord[i] = i
+	}
+	if len(ord) == 1 {
+		return ord
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return rendezvousWeight(key, s.replicas[ord[a]].URL) >
+			rendezvousWeight(key, s.replicas[ord[b]].URL)
+	})
+	healthy := ord[:0:len(ord)]
+	var cooling []int
+	for _, i := range ord {
+		if s.replicas[i].cooling(now) {
+			cooling = append(cooling, i)
+		} else {
+			healthy = append(healthy, i)
+		}
+	}
+	return append(healthy, cooling...)
+}
+
+// pickFirst chooses the first-attempt target from a preference order:
+// the affinity head, unless its load score exceeds loadFactor× the
+// lightest replica's — then the least-loaded replica is promoted (ties
+// keep the earlier preference, so the pick is deterministic).
+func (s *shardSet) pickFirst(ord []int, loadFactor float64) int {
+	best := ord[0]
+	bestScore := s.replicas[best].loadScore()
+	for _, i := range ord[1:] {
+		if sc := s.replicas[i].loadScore(); sc < bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	if s.replicas[ord[0]].loadScore() <= loadFactor*bestScore {
+		return ord[0]
+	}
+	return best
+}
+
+// hedgeTarget chooses the hedged retry's target: the most-preferred
+// replica that is not the first target. A single-replica shard hedges
+// against its only endpoint (the pre-replica behavior: the retry still
+// beats a dropped connection).
+func (s *shardSet) hedgeTarget(ord []int, first int) int {
+	for _, i := range ord {
+		if i != first {
+			return i
+		}
+	}
+	return first
+}
+
+// buildShards validates and normalizes Config.Shards into shard sets.
+func buildShards(topology [][]Endpoint) ([]*shardSet, error) {
+	if len(topology) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	shards := make([]*shardSet, 0, len(topology))
+	for i, reps := range topology {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		sh := &shardSet{name: fmt.Sprintf("shard%d", i)}
+		for j, raw := range reps {
+			addr := strings.TrimSpace(string(raw))
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: empty replica address at shard %d position %d", i, j)
+			}
+			if !strings.Contains(addr, "://") {
+				addr = "http://" + addr
+			}
+			u, err := url.Parse(addr)
+			if err != nil || u.Host == "" {
+				return nil, fmt.Errorf("cluster: bad replica address %q", raw)
+			}
+			sh.replicas = append(sh.replicas, &replicaState{
+				Replica: Replica{
+					Shard: sh.name,
+					Name:  fmt.Sprintf("%s/r%d@%s", sh.name, j, u.Host),
+					URL:   strings.TrimRight(addr, "/"),
+				},
+				m: &replicaMetrics{sink: obs.NewSink()},
+			})
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
+}

@@ -1,0 +1,239 @@
+// Internal tests of the replica routing policy: deterministic
+// least-loaded picking under synthetic load inputs, rendezvous
+// stability across coordinator restarts, and the
+// hedge-goes-to-a-different-replica invariant.
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testShardSet builds one shard of n replicas with fixed URLs.
+func testShardSet(t *testing.T, n int) *shardSet {
+	t.Helper()
+	reps := make([]Endpoint, n)
+	for i := range reps {
+		reps[i] = Endpoint(fmt.Sprintf("host%d:80%02d", i, i))
+	}
+	shards, err := buildShards([][]Endpoint{reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards[0]
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]Endpoint
+	}{
+		{"h0,h1", [][]Endpoint{{"h0"}, {"h1"}}},
+		{"h0a|h0b,h1a|h1b", [][]Endpoint{{"h0a", "h0b"}, {"h1a", "h1b"}}},
+		{"h0a,h0b;h1a,h1b", [][]Endpoint{{"h0a", "h0b"}, {"h1a", "h1b"}}},
+		{"h0; h1a , h1b", [][]Endpoint{{"h0"}, {"h1a", "h1b"}}},
+		{"solo", [][]Endpoint{{"solo"}}},
+	}
+	for _, c := range cases {
+		if got := ParseTopology(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseTopology(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSingleReplica(t *testing.T) {
+	got := SingleReplica("a:1", "b:2")
+	want := [][]Endpoint{{"a:1"}, {"b:2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SingleReplica = %v, want %v", got, want)
+	}
+}
+
+// TestRendezvousStability: the preference order is a deterministic
+// function of (key, replica URLs) — two independently-built shard sets
+// (two coordinator restarts) agree on every key, and keys spread over
+// all replicas rather than piling on one.
+func TestRendezvousStability(t *testing.T) {
+	a, b := testShardSet(t, 4), testShardSet(t, 4)
+	now := time.Now()
+	heads := map[int]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("corpus\x00query-%d", i)
+		oa, ob := a.order(key, now), b.order(key, now)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("key %q: restart changed preference order: %v vs %v", key, oa, ob)
+		}
+		seen := map[int]bool{}
+		for _, j := range oa {
+			seen[j] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("key %q: order %v is not a permutation", key, oa)
+		}
+		heads[oa[0]]++
+	}
+	for i := 0; i < 4; i++ {
+		if heads[i] == 0 {
+			t.Fatalf("replica %d attracted no keys: %v", i, heads)
+		}
+	}
+}
+
+// TestRendezvousMinimalMovement: removing one replica reassigns only
+// the keys that preferred it; every other key keeps its head replica
+// (by URL). This is what keeps suggestion caches warm through a
+// topology change.
+func TestRendezvousMinimalMovement(t *testing.T) {
+	full := testShardSet(t, 4)
+	removed := full.replicas[3].URL
+	shrunk, err := buildShards([][]Endpoint{{
+		Endpoint(full.replicas[0].URL),
+		Endpoint(full.replicas[1].URL),
+		Endpoint(full.replicas[2].URL),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	moved, kept := 0, 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k\x00%d", i)
+		before := full.replicas[full.order(key, now)[0]].URL
+		after := shrunk[0].replicas[shrunk[0].order(key, now)[0]].URL
+		if before == removed {
+			moved++
+			continue // this key had to move
+		}
+		if before != after {
+			t.Fatalf("key %q moved from %s to %s though %s was the removed replica",
+				key, before, after, removed)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate key split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestPickFirstLeastLoaded: the affinity head keeps the pick while its
+// load score stays within LoadFactor× the lightest replica's, and is
+// deterministically routed around once it does not.
+func TestPickFirstLeastLoaded(t *testing.T) {
+	sh := testShardSet(t, 3)
+	ord := sh.order("some\x00key", time.Now())
+	head, alt := ord[0], ord[1]
+
+	// Synthetic EWMA: head slightly slower but within 2× — affinity wins.
+	sh.replicas[head].ewmaNs.Store(15e6)
+	sh.replicas[alt].ewmaNs.Store(10e6)
+	sh.replicas[ord[2]].ewmaNs.Store(10e6)
+	if got := sh.pickFirst(ord, 2.0); got != head {
+		t.Fatalf("pickFirst = %d, want affinity head %d within the load factor", got, head)
+	}
+
+	// Head overloaded (queue of 9 in flight): routed to the lightest.
+	sh.replicas[head].inflight.Store(9)
+	got := sh.pickFirst(ord, 2.0)
+	if got == head {
+		t.Fatal("pickFirst kept an overloaded affinity head")
+	}
+	want, wantScore := ord[0], sh.replicas[ord[0]].loadScore()
+	for _, i := range ord[1:] {
+		if sc := sh.replicas[i].loadScore(); sc < wantScore {
+			want, wantScore = i, sc
+		}
+	}
+	if got != want {
+		t.Fatalf("pickFirst = %d, want least-loaded %d", got, want)
+	}
+
+	// Deterministic: same inputs, same pick.
+	for i := 0; i < 10; i++ {
+		if again := sh.pickFirst(ord, 2.0); again != got {
+			t.Fatalf("pickFirst flapped: %d then %d on identical inputs", got, again)
+		}
+	}
+}
+
+// TestHedgeTargetDifferentReplica: with ≥2 replicas the hedge target
+// is never the first-attempt replica, whatever the first pick was;
+// with 1 replica it falls back to the only endpoint.
+func TestHedgeTargetDifferentReplica(t *testing.T) {
+	sh := testShardSet(t, 3)
+	now := time.Now()
+	for i := 0; i < 50; i++ {
+		ord := sh.order(fmt.Sprintf("q\x00%d", i), now)
+		for _, first := range ord {
+			if h := sh.hedgeTarget(ord, first); h == first {
+				t.Fatalf("hedge target %d equals first attempt %d (order %v)", h, first, ord)
+			}
+		}
+	}
+	solo := testShardSet(t, 1)
+	ord := solo.order("q\x000", now)
+	if h := solo.hedgeTarget(ord, ord[0]); h != ord[0] {
+		t.Fatalf("single-replica hedge target = %d, want the only replica %d", h, ord[0])
+	}
+}
+
+// TestOrderCoolingDemotion: a replica in failure cooldown moves to the
+// back of every preference order without disturbing the relative order
+// of the healthy ones, and is restored once the cooldown lapses.
+func TestOrderCoolingDemotion(t *testing.T) {
+	sh := testShardSet(t, 3)
+	now := time.Now()
+	key := "corpus\x00cooling"
+	base := sh.order(key, now)
+	sh.replicas[base[0]].markFailure(now, time.Minute)
+	demoted := sh.order(key, now)
+	want := append(append([]int{}, base[1:]...), base[0])
+	if !reflect.DeepEqual(demoted, want) {
+		t.Fatalf("cooling order = %v, want %v", demoted, want)
+	}
+	if got := sh.order(key, now.Add(2*time.Minute)); !reflect.DeepEqual(got, base) {
+		t.Fatalf("post-cooldown order = %v, want restored %v", got, base)
+	}
+	sh.replicas[base[0]].markSuccess()
+	if got := sh.order(key, now); !reflect.DeepEqual(got, base) {
+		t.Fatalf("markSuccess did not clear the cooldown: %v, want %v", got, base)
+	}
+}
+
+// TestObserveLatencyEWMA: the first sample is taken whole; later
+// samples fold in at α=0.25; the moving average converges toward a
+// stable input.
+func TestObserveLatencyEWMA(t *testing.T) {
+	r := &replicaState{}
+	r.observeLatency(100 * time.Millisecond)
+	if got := r.ewmaNs.Load(); got != (100 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("first sample ewma = %d, want taken whole", got)
+	}
+	r.observeLatency(200 * time.Millisecond)
+	want := int64(100e6) + int64(ewmaAlpha*float64(100e6))
+	if got := r.ewmaNs.Load(); got != want {
+		t.Fatalf("second sample ewma = %d, want %d", got, want)
+	}
+	for i := 0; i < 100; i++ {
+		r.observeLatency(50 * time.Millisecond)
+	}
+	if got := float64(r.ewmaNs.Load()); got < 49e6 || got > 51e6 {
+		t.Fatalf("ewma did not converge to the stable input: %gns", got)
+	}
+}
+
+// TestLoadScoreOrdering: no sample beats any sample, and at equal EWMA
+// an idle replica beats a busy one.
+func TestLoadScoreOrdering(t *testing.T) {
+	fresh, idle, busy := &replicaState{}, &replicaState{}, &replicaState{}
+	idle.ewmaNs.Store(10e6)
+	busy.ewmaNs.Store(10e6)
+	busy.inflight.Store(3)
+	if !(fresh.loadScore() < idle.loadScore()) {
+		t.Fatal("unsampled replica should score below a sampled one")
+	}
+	if !(idle.loadScore() < busy.loadScore()) {
+		t.Fatal("idle replica should score below a busy one at equal EWMA")
+	}
+}

@@ -182,8 +182,10 @@ type SpanNode struct {
 	// a duration was measured, e.g. engine stage spans).
 	StartUnixNano int64 `json:"startUnixNano,omitempty"`
 	DurationNs    int64 `json:"durationNs"`
-	// Status is "" (ok), "error", or "timeout"; Error carries the
-	// message when not ok.
+	// Status is "" (ok), "error", "timeout", "canceled" (the caller
+	// hung up mid-span), or "abandoned" (a fan-out race loser whose
+	// work was discarded — not a failure); Error carries the message
+	// when the span actually failed.
 	Status string `json:"status,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Attrs are free-form key→value annotations (shard name, attempt

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"xclean/internal/cluster"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// POST /shard/suggest answers a whole batch in one round-trip, entry
+// for entry identical to the single-query GET responses.
+func TestShardSuggestBatch(t *testing.T) {
+	ts := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(ts.Close)
+	queries := []string{"rose fpga", "power point", "wirless"}
+
+	resp, body := postJSON(t, ts.URL+"/shard/suggest", cluster.BatchRequest{
+		Version: cluster.WireVersion,
+		Queries: queries,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br cluster.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Version != cluster.WireVersion || len(br.Results) != len(queries) {
+		t.Fatalf("batch envelope = version %d, %d results; want %d results at version %d",
+			br.Version, len(br.Results), len(queries), cluster.WireVersion)
+	}
+	for i, q := range queries {
+		e := br.Results[i]
+		if e.Query != q || e.Error != "" {
+			t.Fatalf("entry %d = %+v, want clean entry for %q", i, e, q)
+		}
+		_, single := get(t, ts.URL+"/shard/suggest?q="+url.QueryEscape(q))
+		var sr cluster.ShardResponse
+		if err := json.Unmarshal(single, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(e.Candidates) != len(sr.Candidates) {
+			t.Fatalf("%q: batch %d candidates vs single %d",
+				q, len(e.Candidates), len(sr.Candidates))
+		}
+	}
+
+	// Version and size validation reject bad batches up front.
+	resp, body = postJSON(t, ts.URL+"/shard/suggest", cluster.BatchRequest{
+		Version: cluster.WireVersion + 1,
+		Queries: queries,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-version batch: status %d: %s", resp.StatusCode, body)
+	}
+	big := make([]string, cluster.MaxBatchQueries+1)
+	for i := range big {
+		big[i] = "q"
+	}
+	resp, body = postJSON(t, ts.URL+"/shard/suggest", cluster.BatchRequest{
+		Version: cluster.WireVersion,
+		Queries: big,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/shard/suggest", cluster.BatchRequest{
+		Version: cluster.WireVersion,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// POST /suggest on a coordinator fans the whole batch out, agrees with
+// the GET path query for query, and shares the GET path's cache (a
+// batch warms it; a warm entry short-circuits the batch).
+func TestCoordinatorSuggestBatch(t *testing.T) {
+	ts := coordServer(t, Config{CacheSize: 16})
+	queries := []string{"rose fpga", "power point"}
+
+	resp, body := postJSON(t, ts.URL+"/suggest", BatchSuggestBody{Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var bs BatchSuggestResponse
+	if err := json.Unmarshal(body, &bs); err != nil {
+		t.Fatal(err)
+	}
+	if bs.Partial || len(bs.Results) != len(queries) {
+		t.Fatalf("batch = partial:%v %d results: %s", bs.Partial, len(bs.Results), body)
+	}
+	if len(bs.Shards) == 0 {
+		t.Fatalf("cold batch reported no shard statuses: %s", body)
+	}
+	for i, q := range queries {
+		_, single := get(t, ts.URL+"/suggest?q="+url.QueryEscape(q)+"&debug=1")
+		var sr SuggestResponse
+		if err := json.Unmarshal(single, &sr); err != nil {
+			t.Fatal(err)
+		}
+		b := bs.Results[i]
+		if b.Query != q || len(b.Suggestions) != len(sr.Suggestions) {
+			t.Fatalf("%q: batch %d suggestions vs GET %d: %s",
+				q, len(b.Suggestions), len(sr.Suggestions), body)
+		}
+		for j := range sr.Suggestions {
+			bj, gj := b.Suggestions[j], sr.Suggestions[j]
+			if bj.Query != gj.Query || bj.Score != gj.Score ||
+				bj.ResultType != gj.ResultType || bj.Entities != gj.Entities {
+				t.Fatalf("%q rank %d: batch %+v vs GET %+v", q, j, bj, gj)
+			}
+		}
+	}
+
+	// The batch populated the shared cache: a repeat batch is all hits
+	// (no fan-out, so no shard statuses).
+	resp, body = postJSON(t, ts.URL+"/suggest", BatchSuggestBody{Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", resp.StatusCode, body)
+	}
+	var warm BatchSuggestResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Shards) != 0 {
+		t.Fatalf("warm batch still fanned out: %s", body)
+	}
+	if len(warm.Results) != len(queries) || len(warm.Results[0].Suggestions) == 0 {
+		t.Fatalf("warm batch results: %s", body)
+	}
+
+	// Malformed batches are rejected.
+	resp, body = postJSON(t, ts.URL+"/suggest", BatchSuggestBody{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// POST /suggest on a standalone server stays 405: batching is a
+// coordinator feature.
+func TestSuggestBatchStandalone405(t *testing.T) {
+	ts := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(ts.Close)
+	resp, _ := postJSON(t, ts.URL+"/suggest", BatchSuggestBody{Queries: []string{"q"}})
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("standalone POST /suggest: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// /readyz with replica sets: a shard keeps its coverage while any
+// replica lives; it is the loss of the last replica of any shard that
+// flips the coordinator unready.
+func TestReadyzReplicaCoverage(t *testing.T) {
+	shard := httptest.NewServer(New(testEngine(t), Config{}).Handler())
+	t.Cleanup(shard.Close)
+	spare := httptest.NewServer(shard.Config.Handler)
+	t.Cleanup(spare.Close)
+	coord, err := cluster.New(cluster.Config{
+		Shards:  [][]cluster.Endpoint{{cluster.Endpoint(shard.URL), cluster.Endpoint(spare.URL)}},
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(nil, Config{Cluster: coord}).Handler())
+	t.Cleanup(ts.Close)
+
+	expect := func(wantCode, wantUp int) ReadyResponse {
+		t.Helper()
+		resp, body := get(t, ts.URL+"/readyz")
+		if resp.StatusCode != wantCode {
+			t.Fatalf("status %d, want %d: %s", resp.StatusCode, wantCode, body)
+		}
+		var rr ReadyResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.ShardsUp != wantUp || rr.ShardsTotal != 1 {
+			t.Fatalf("coverage %d/%d, want %d/1: %s", rr.ShardsUp, rr.ShardsTotal, wantUp, body)
+		}
+		return rr
+	}
+	expect(http.StatusOK, 1)
+	shard.Close()
+	expect(http.StatusOK, 1) // the spare still covers the shard
+	spare.Close()
+	if rr := expect(http.StatusServiceUnavailable, 0); rr.Reason == "" {
+		t.Fatal("unready with no reason")
+	}
+}

@@ -96,7 +96,7 @@ func coordCatalogServer(t *testing.T) (*httptest.Server, string) {
 	shard := httptest.NewServer(New(nil, Config{Catalog: shardCat}).Handler())
 	t.Cleanup(shard.Close)
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{shard.URL},
+		Shards:  cluster.SingleReplica(shard.URL),
 		Timeout: 5 * time.Second,
 	})
 	if err != nil {

@@ -2,6 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -38,8 +41,12 @@ type partialExplainedSuggester interface {
 // wire envelope, leaving error-model weighting, normalization, and
 // ranking to the coordinator.
 func (s *Server) handleShardSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleShardSuggestBatch(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
-		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET (single query) or POST (batch)")
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -298,38 +305,311 @@ func (s *Server) writeClusterResponse(w http.ResponseWriter, q, corpus, rid stri
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleShardSuggestBatch serves POST /shard/suggest: the batched
+// shard half of the scatter-gather protocol. The whole batch is one
+// admission unit and one scan loop under the forwarded deadline; a
+// mid-batch context death marks the remaining queries failed in their
+// entries (the coordinator degrades just those queries) instead of
+// failing the round-trip. Batched scans are untraced and skip the
+// slow log (there is no single query to attribute the latency to).
+func (s *Server) handleShardSuggestBatch(w http.ResponseWriter, r *http.Request) {
+	var br cluster.BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&br); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if br.Version != cluster.WireVersion {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("wire version %d (this shard speaks %d)", br.Version, cluster.WireVersion))
+		return
+	}
+	if len(br.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(br.Queries) > cluster.MaxBatchQueries {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the %d limit", len(br.Queries), cluster.MaxBatchQueries))
+		return
+	}
+	for _, q := range br.Queries {
+		if q == "" || len(q) > s.cfg.maxQueryLen() {
+			s.writeError(w, http.StatusBadRequest, "batch query empty or too long")
+			return
+		}
+	}
+	eng, corpus, err := s.resolveEngineByName(br.Corpus)
+	if err != nil {
+		s.writeError(w, catalogStatus(err), err.Error())
+		return
+	}
+	ps, ok := eng.(partialSuggester)
+	if !ok {
+		s.writeError(w, http.StatusNotImplemented, "engine does not serve shard partials")
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, admit := s.adm.acquire(ctx)
+	switch admit {
+	case admitShed:
+		s.writeShed(w)
+		return
+	case admitTimeout:
+		s.writeOverdeadline(w, ctx.Err())
+		return
+	}
+	start := time.Now()
+	if s.cfg.InjectDelay > 0 {
+		time.Sleep(s.cfg.InjectDelay)
+	}
+	results := make([]cluster.BatchEntry, len(br.Queries))
+	for i, q := range br.Queries {
+		results[i].Query = q
+		set, err := ps.SuggestPartialsContext(ctx, q)
+		if err != nil {
+			results[i].Error = err.Error()
+			if isCtxErr(err) {
+				// The deadline died mid-batch: the remaining scans would
+				// fail identically, so mark them without running them.
+				s.adm.cancels.Add(1)
+				for j := i + 1; j < len(br.Queries); j++ {
+					results[j].Query = br.Queries[j]
+					results[j].Error = err.Error()
+				}
+				break
+			}
+			continue
+		}
+		results[i].PartialSet = set
+	}
+	release()
+	s.writeJSON(w, http.StatusOK, cluster.BatchResponse{
+		Version:    cluster.WireVersion,
+		Corpus:     corpus,
+		TookMillis: float64(time.Since(start).Microseconds()) / 1000,
+		Results:    results,
+	})
+}
+
+// BatchSuggestBody is the body of POST /suggest in coordinator mode.
+type BatchSuggestBody struct {
+	Queries []string `json:"queries"`
+	Corpus  string   `json:"corpus,omitempty"`
+	// K caps the suggestions returned per query (0 = server default).
+	K int `json:"k,omitempty"`
+}
+
+// BatchSuggestResponse is the response of POST /suggest: one
+// SuggestResponse per query in request order (each carrying its own
+// partial flag), plus the batched fan-out's per-shard statuses when a
+// fan-out happened (absent when every query was a cache hit).
+type BatchSuggestResponse struct {
+	Corpus     string  `json:"corpus,omitempty"`
+	RequestID  string  `json:"requestId,omitempty"`
+	TookMillis float64 `json:"tookMillis"`
+	// Partial is true when any query's answer is partial.
+	Partial bool                  `json:"partial,omitempty"`
+	Shards  []cluster.ShardStatus `json:"shards,omitempty"`
+	Results []SuggestResponse     `json:"results"`
+}
+
+// handleClusterSuggestBatch serves POST /suggest in coordinator mode:
+// resolve per-query cache hits, fan the misses out in one batched
+// round-trip per shard, merge per query, and cache the complete
+// answers. The whole batch passes admission once (it is one unit of
+// cluster work).
+func (s *Server) handleClusterSuggestBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchSuggestBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&body); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(body.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch (want {\"queries\": [...]})")
+		return
+	}
+	if len(body.Queries) > cluster.MaxBatchQueries {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds the %d limit", len(body.Queries), cluster.MaxBatchQueries))
+		return
+	}
+	for _, q := range body.Queries {
+		if q == "" || len(q) > s.cfg.maxQueryLen() {
+			s.writeError(w, http.StatusBadRequest, "batch query empty or too long")
+			return
+		}
+	}
+	rid := requestIDFrom(r.Context())
+	start := time.Now()
+	if s.cfg.QueryLog != nil {
+		for _, q := range body.Queries {
+			s.cfg.QueryLog.RecordQuery(q)
+		}
+	}
+
+	results := make([]SuggestResponse, len(body.Queries))
+	var misses []string
+	missAt := make([]int, 0, len(body.Queries))
+	for i, q := range body.Queries {
+		results[i].Query = q
+		if s.cache != nil {
+			// Batch and GET answers share cacheModeCluster keys, so a
+			// batch warms the cache for interactive traffic and vice
+			// versa.
+			if sugs, ok := s.cache.Get(suggestCacheKey(cacheModeCluster, body.Corpus, q)); ok {
+				results[i].Suggestions = suggestionJSON(sugs, body.K)
+				continue
+			}
+		}
+		misses = append(misses, q)
+		missAt = append(missAt, i)
+	}
+
+	var shards []cluster.ShardStatus
+	partial := false
+	if len(misses) > 0 {
+		release, admit := s.adm.acquire(r.Context())
+		switch admit {
+		case admitShed:
+			s.writeShed(w)
+			return
+		case admitTimeout:
+			s.writeOverdeadline(w, r.Context().Err())
+			return
+		}
+		ans, err := s.cfg.Cluster.SuggestBatch(r.Context(), misses, body.Corpus, rid)
+		release()
+		if err != nil {
+			if isCtxErr(err) {
+				s.adm.cancels.Add(1)
+				s.writeOverdeadline(w, err)
+				return
+			}
+			s.writeError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		shards = ans.Shards
+		partial = ans.Partial
+		for mi, qa := range ans.Queries {
+			i := missAt[mi]
+			sugs := make([]xclean.Suggestion, len(qa.Suggestions))
+			for j, ms := range qa.Suggestions {
+				sugs[j] = xclean.Suggestion{
+					Query:        ms.Query(),
+					Words:        ms.Words,
+					Score:        ms.Score,
+					ResultType:   ms.ResultType,
+					Entities:     ms.Entities,
+					EditDistance: ms.EditDistance,
+					Witness:      ms.Witness,
+				}
+			}
+			results[i].Suggestions = suggestionJSON(sugs, body.K)
+			results[i].Partial = qa.Partial
+			// Only complete answers are cacheable, mirroring the GET path.
+			if s.cache != nil && !qa.Partial {
+				s.cache.Put(suggestCacheKey(cacheModeCluster, body.Corpus, qa.Query), sugs)
+			}
+		}
+	}
+	took := time.Since(start)
+	s.latency.Record(took)
+	corpus := s.cfg.Cluster.Corpus()
+	s.writeJSON(w, http.StatusOK, BatchSuggestResponse{
+		Corpus:     corpus,
+		RequestID:  rid,
+		TookMillis: float64(took.Microseconds()) / 1000,
+		Partial:    partial,
+		Shards:     shards,
+		Results:    results,
+	})
+}
+
+// suggestionJSON renders a suggestion list to wire form, capped at k
+// (0 = uncapped).
+func suggestionJSON(sugs []xclean.Suggestion, k int) []SuggestionJSON {
+	if k > 0 && len(sugs) > k {
+		sugs = sugs[:k]
+	}
+	out := make([]SuggestionJSON, len(sugs))
+	for i, sg := range sugs {
+		out[i] = SuggestionJSON{
+			Query:        sg.Query,
+			Words:        sg.Words,
+			Score:        sg.Score,
+			ResultType:   sg.ResultType,
+			Entities:     sg.Entities,
+			EditDistance: sg.EditDistance,
+			Witness:      sg.Witness,
+		}
+	}
+	return out
+}
+
 // ClusterHealth is the body of GET /healthz in coordinator mode.
 type ClusterHealth struct {
-	// Status is "ok" (every shard healthy), "degraded" (some shards
-	// down), or "down" (every shard down — served with HTTP 503 so load
-	// balancers drop the coordinator even though its process is up).
+	// Status is "ok" (every replica healthy), "degraded" (some
+	// replicas down — answers may be partial where a whole shard is
+	// uncovered), or "down" (no shard has a live replica — served with
+	// HTTP 503 so load balancers drop the coordinator even though its
+	// process is up).
 	Status string `json:"status"`
 	// Corpus is the corpus name negotiated from shard responses (or
 	// the configured name before any traffic).
-	Corpus string                `json:"corpus,omitempty"`
+	Corpus string `json:"corpus,omitempty"`
+	// ShardsCovered counts shards with at least one healthy replica;
+	// answers are complete iff ShardsCovered == ShardsTotal.
+	ShardsCovered int `json:"shardsCovered"`
+	ShardsTotal   int `json:"shardsTotal"`
+	// Shards holds per-replica probe outcomes in shard then replica
+	// order.
 	Shards []cluster.ShardHealth `json:"shards"`
+}
+
+// shardCoverage folds per-replica probes into (covered, total) shard
+// counts: a shard is covered when at least one of its replicas is
+// healthy.
+func shardCoverage(probes []cluster.ShardHealth) (covered, total int) {
+	healthyBy := map[string]bool{}
+	order := []string{}
+	for _, h := range probes {
+		if _, seen := healthyBy[h.Shard]; !seen {
+			order = append(order, h.Shard)
+		}
+		healthyBy[h.Shard] = healthyBy[h.Shard] || h.Healthy
+	}
+	for _, name := range order {
+		if healthyBy[name] {
+			covered++
+		}
+	}
+	return covered, len(order)
 }
 
 func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 	defer cancel()
-	shards := s.cfg.Cluster.Health(ctx)
+	probes := s.cfg.Cluster.Health(ctx)
 	up := 0
-	for _, h := range shards {
+	for _, h := range probes {
 		if h.Healthy {
 			up++
 		}
 	}
+	covered, total := shardCoverage(probes)
 	status, code := "ok", http.StatusOK
 	switch {
-	case up == 0:
+	case covered == 0:
 		status, code = "down", http.StatusServiceUnavailable
-	case up < len(shards):
+	case up < len(probes):
 		status = "degraded"
 	}
 	s.writeJSON(w, code, ClusterHealth{
-		Status: status,
-		Corpus: s.cfg.Cluster.Corpus(),
-		Shards: shards,
+		Status:        status,
+		Corpus:        s.cfg.Cluster.Corpus(),
+		ShardsCovered: covered,
+		ShardsTotal:   total,
+		Shards:        probes,
 	})
 }

@@ -17,7 +17,7 @@ func coordServer(t *testing.T, cfg Config) *httptest.Server {
 	shard := httptest.NewServer(New(testEngine(t), Config{}).Handler())
 	t.Cleanup(shard.Close)
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{shard.URL},
+		Shards:  cluster.SingleReplica(shard.URL),
 		Timeout: 5 * time.Second,
 	})
 	if err != nil {

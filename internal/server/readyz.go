@@ -18,8 +18,8 @@ type ReadyResponse struct {
 	Ready bool `json:"ready"`
 	// Reason says why the server is not ready ("" when it is).
 	Reason string `json:"reason,omitempty"`
-	// ShardsUp / ShardsTotal report the quorum check in coordinator
-	// mode.
+	// ShardsUp / ShardsTotal report coordinator coverage: shards with
+	// at least one live replica over total shards.
 	ShardsUp    int `json:"shardsUp,omitempty"`
 	ShardsTotal int `json:"shardsTotal,omitempty"`
 }
@@ -39,9 +39,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // readiness evaluates the mode-specific readiness condition:
 //
-//   - coordinator: a quorum (strict majority) of shards answers its
-//     health probe — a minority outage degrades answers (partial:true)
-//     but keeps the coordinator routable;
+//   - coordinator: every shard has at least one replica answering its
+//     health probe — with full coverage answers are complete even while
+//     individual replicas are down, so the coordinator is routable; a
+//     shard with zero live replicas means every answer would be
+//     partial, and the load balancer should prefer another coordinator;
 //   - catalog: the default corpus answers queries — serving now, or
 //     evicted with a snapshot (the next request warm-starts it);
 //   - standalone: the fixed engine exists;
@@ -53,16 +55,10 @@ func (s *Server) readiness(ctx context.Context) ReadyResponse {
 	if s.cfg.Cluster != nil {
 		hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 		defer cancel()
-		shards := s.cfg.Cluster.Health(hctx)
-		up := 0
-		for _, h := range shards {
-			if h.Healthy {
-				up++
-			}
-		}
-		resp := ReadyResponse{ShardsUp: up, ShardsTotal: len(shards)}
-		if up*2 <= len(shards) {
-			resp.Reason = "shard quorum lost"
+		covered, total := shardCoverage(s.cfg.Cluster.Health(hctx))
+		resp := ReadyResponse{ShardsUp: covered, ShardsTotal: total}
+		if covered < total {
+			resp.Reason = "shard coverage lost (a shard has no live replica)"
 			return resp
 		}
 		resp.Ready = true

@@ -331,6 +331,20 @@ func (s *Server) resolveEngine(r *http.Request) (Engine, string, error) {
 	return eng, name, nil
 }
 
+// resolveEngineByName is resolveEngine for callers that carry the
+// corpus name in a request body (the batched shard protocol) instead
+// of a ?corpus= parameter.
+func (s *Server) resolveEngineByName(name string) (Engine, string, error) {
+	if s.cfg.Catalog == nil {
+		return s.eng, "", nil
+	}
+	eng, resolved, err := s.cfg.Catalog.Resolve(name)
+	if err != nil {
+		return nil, resolved, err
+	}
+	return eng, resolved, nil
+}
+
 // catalogStatus maps a catalog error to its HTTP status.
 func catalogStatus(err error) int {
 	switch {
@@ -390,6 +404,10 @@ type ErrorResponse struct {
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && s.cfg.Cluster != nil {
+		s.handleClusterSuggestBatch(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return

@@ -103,7 +103,7 @@ func TestTraceparentForwardedAndStitched(t *testing.T) {
 	t.Cleanup(shard1.Close)
 
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{shard0.URL, shard1.URL},
+		Shards:  cluster.SingleReplica(shard0.URL, shard1.URL),
 		Timeout: 5 * time.Second,
 	})
 	if err != nil {
@@ -392,7 +392,7 @@ func TestReadyzCoordinator(t *testing.T) {
 	shard := httptest.NewServer(New(testEngine(t), Config{}).Handler())
 	t.Cleanup(shard.Close)
 	coord, err := cluster.New(cluster.Config{
-		Shards:  []string{shard.URL},
+		Shards:  cluster.SingleReplica(shard.URL),
 		Timeout: 2 * time.Second,
 	})
 	if err != nil {

@@ -206,6 +206,9 @@ func (r *Reader) parseMeta() error {
 	m := r.secs[secMeta]
 	read := 0
 	uv := func() uint64 {
+		if read < 0 {
+			return 0 // poisoned by an earlier short read
+		}
 		v, n := binary.Uvarint(m[read:])
 		if n <= 0 {
 			read = -1 << 30 // poison: a later uv keeps failing

@@ -9,9 +9,9 @@ import (
 // Build a structurally valid file (header, table CRC, footer, section
 // CRCs all correct) whose meta section ends mid-scalar.
 func TestReviewTruncatedMeta(t *testing.T) {
-	meta := []byte{1}                      // version=1
+	meta := []byte{1}                                // version=1
 	meta = append(meta, uvb(uint64(blockSize()))...) // block size
-	meta = append(meta, 5)                 // nodeCount=5; then truncated
+	meta = append(meta, 5)                           // nodeCount=5; then truncated
 	paths := []byte{}
 	secs := []section{{secMeta, meta}, {secPaths, paths}}
 	off := uint64(headerLen + secEntryLen*len(secs))

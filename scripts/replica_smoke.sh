@@ -1,0 +1,123 @@
+#!/bin/sh
+# replica_smoke.sh — end-to-end replica-failover drill.
+#
+# Boots two shards × two replicas each (four shard servers over two
+# shard indexes), a standalone reference server over the unsharded
+# index, and one coordinator with -cache 0. A Go loader
+# (scripts/replicaload) then sustains mixed GET + batched-POST load
+# while this script kills one replica of each shard mid-run. With
+# every shard keeping a live replica, the drill asserts:
+#
+#   - ZERO "partial": true responses — the hedged retry and failure
+#     cooldown must absorb the dead replicas invisibly;
+#   - every answer's scores within 1e-12 of the standalone reference;
+#   - /readyz stays 200 (coverage intact) after the kills.
+#
+# Run via `make replica-smoke`. Requires only the go toolchain and curl.
+set -eu
+
+PORT_S0R0=18101
+PORT_S0R1=18102
+PORT_S1R0=18103
+PORT_S1R1=18104
+PORT_REF=18105
+PORT_COORD=18100
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for pid in $pids; do
+		kill "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+say() { echo "replica-smoke: $*"; }
+
+# wait_http <url> — poll until the endpoint answers (any status).
+wait_http() {
+	i=0
+	while ! curl -fsS -o /dev/null --max-time 1 "$1" 2>/dev/null; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			say "timeout waiting for $1"
+			exit 1
+		fi
+		sleep 0.2
+	done
+}
+
+say "building binaries"
+go build -o "$tmp/xgen" ./cmd/xgen
+go build -o "$tmp/xclean" ./cmd/xclean
+go build -o "$tmp/xserve" ./cmd/xserve
+go build -o "$tmp/replicaload" ./scripts/replicaload
+
+say "generating corpus, shard indexes, and the reference index"
+"$tmp/xgen" -out "$tmp/corpus.xml" -kind dblp -articles 500 -queries 8
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/full.idx"
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard0.idx" -shard 0/2
+"$tmp/xclean" -doc "$tmp/corpus.xml" -save-index "$tmp/shard1.idx" -shard 1/2
+
+say "starting 2 shards x 2 replicas + the standalone reference"
+"$tmp/xserve" -index "$tmp/shard0.idx" -addr "127.0.0.1:$PORT_S0R0" -q &
+s0r0_pid=$!
+pids="$pids $s0r0_pid"
+"$tmp/xserve" -index "$tmp/shard0.idx" -addr "127.0.0.1:$PORT_S0R1" -q &
+pids="$pids $!"
+"$tmp/xserve" -index "$tmp/shard1.idx" -addr "127.0.0.1:$PORT_S1R0" -q &
+pids="$pids $!"
+"$tmp/xserve" -index "$tmp/shard1.idx" -addr "127.0.0.1:$PORT_S1R1" -q &
+s1r1_pid=$!
+pids="$pids $s1r1_pid"
+"$tmp/xserve" -index "$tmp/full.idx" -addr "127.0.0.1:$PORT_REF" -q &
+pids="$pids $!"
+for port in $PORT_S0R0 $PORT_S0R1 $PORT_S1R0 $PORT_S1R1 $PORT_REF; do
+	wait_http "http://127.0.0.1:$port/healthz"
+done
+
+say "starting coordinator over the replicated topology"
+"$tmp/xserve" -role coordinator \
+	-shard-replicas "127.0.0.1:$PORT_S0R0,127.0.0.1:$PORT_S0R1;127.0.0.1:$PORT_S1R0,127.0.0.1:$PORT_S1R1" \
+	-addr "127.0.0.1:$PORT_COORD" -cache 0 -shard-timeout 5s -hedge-after 150ms -q &
+pids="$pids $!"
+wait_http "http://127.0.0.1:$PORT_COORD/readyz"
+
+say "sustaining load; killing one replica of each shard at T+2s"
+(
+	sleep 2
+	say "killing shard0/r0 (pid $s0r0_pid) and shard1/r1 (pid $s1r1_pid)"
+	kill "$s0r0_pid" "$s1r1_pid" 2>/dev/null || true
+) &
+pids="$pids $!"
+
+"$tmp/replicaload" \
+	-coord "http://127.0.0.1:$PORT_COORD" \
+	-ref "http://127.0.0.1:$PORT_REF" \
+	-queries "$tmp/corpus.xml.queries.tsv" \
+	-duration 6s
+
+say "checking /readyz kept full shard coverage"
+ready=$(curl -fsS --max-time 5 "http://127.0.0.1:$PORT_COORD/readyz")
+echo "$ready"
+case "$ready" in
+*'"ready":true'*) ;;
+*)
+	say "FAIL: coordinator unready after losing one replica per shard"
+	exit 1
+	;;
+esac
+
+say "checking per-replica metrics attribution"
+metrics=$(curl -fsS --max-time 5 "http://127.0.0.1:$PORT_COORD/metricz")
+case "$metrics" in
+*'"replica":"shard0/r0@'*) ;;
+*)
+	say "FAIL: /metricz has no per-replica series"
+	exit 1
+	;;
+esac
+
+say "OK"

@@ -1,0 +1,177 @@
+// replicaload is the load driver of the replica-smoke drill
+// (scripts/replica_smoke.sh): it hammers a coordinator with a fixed
+// query set for a fixed duration — single GETs plus periodic batched
+// POSTs — while the drill kills one replica per shard mid-run, and
+// fails if ANY response comes back partial:true, errors, or deviates
+// from a standalone reference server's scores by more than 1e-12
+// relative. With every shard keeping one live replica, degradation is
+// a bug, not an expected outcome.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+type suggestion struct {
+	Query string  `json:"query"`
+	Score float64 `json:"score"`
+}
+
+type suggestResponse struct {
+	Query       string       `json:"query"`
+	Suggestions []suggestion `json:"suggestions"`
+	Partial     bool         `json:"partial"`
+}
+
+type batchResponse struct {
+	Partial bool              `json:"partial"`
+	Results []suggestResponse `json:"results"`
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// loadQueries reads the xgen queries TSV (type<TAB>query per line).
+func loadQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var qs []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) >= 2 && fields[1] != "" {
+			qs = append(qs, fields[1])
+		}
+	}
+	return qs, sc.Err()
+}
+
+// matches reports whether got reproduces want within 1e-12 relative
+// score error (and identical suggestion text, order included).
+func matches(got, want []suggestion) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d suggestions, reference has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Query != want[i].Query {
+			return fmt.Errorf("rank %d: %q, reference %q", i, got[i].Query, want[i].Query)
+		}
+		if diff := math.Abs(got[i].Score - want[i].Score); diff > 1e-12*math.Max(1, math.Abs(want[i].Score)) {
+			return fmt.Errorf("rank %d (%q): score %.15g, reference %.15g",
+				i, got[i].Query, got[i].Score, want[i].Score)
+		}
+	}
+	return nil
+}
+
+func main() {
+	coord := flag.String("coord", "", "coordinator base URL")
+	ref := flag.String("ref", "", "standalone reference server base URL")
+	queriesPath := flag.String("queries", "", "xgen queries TSV")
+	duration := flag.Duration("duration", 6*time.Second, "how long to sustain load")
+	batchEvery := flag.Int("batch-every", 7, "send a batched POST every N iterations")
+	flag.Parse()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "replicaload: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *coord == "" || *ref == "" || *queriesPath == "" {
+		fail("need -coord, -ref, and -queries")
+	}
+	queries, err := loadQueries(*queriesPath)
+	if err != nil || len(queries) == 0 {
+		fail("load queries from %s: %v (%d queries)", *queriesPath, err, len(queries))
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Pin the ground truth once from the standalone reference server.
+	want := make(map[string][]suggestion, len(queries))
+	for _, q := range queries {
+		var sr suggestResponse
+		if err := getJSON(client, *ref+"/suggest?q="+strings.ReplaceAll(q, " ", "+"), &sr); err != nil {
+			fail("reference answer for %q: %v", q, err)
+		}
+		want[q] = sr.Suggestions
+	}
+
+	deadline := time.Now().Add(*duration)
+	singles, batches := 0, 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		q := queries[i%len(queries)]
+		if *batchEvery > 0 && i%*batchEvery == *batchEvery-1 {
+			// Batched POST: a window of queries in one round-trip.
+			win := make([]string, 0, 4)
+			for j := 0; j < 4; j++ {
+				win = append(win, queries[(i+j)%len(queries)])
+			}
+			body, _ := json.Marshal(map[string]any{"queries": win})
+			resp, err := client.Post(*coord+"/suggest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fail("batch POST: %v", err)
+			}
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("batch POST: HTTP %d: %s", resp.StatusCode, raw)
+			}
+			var br batchResponse
+			if err := json.Unmarshal(raw, &br); err != nil {
+				fail("batch POST: bad body: %v", err)
+			}
+			if br.Partial {
+				fail("batch answered partial:true with a live replica per shard: %s", raw)
+			}
+			if len(br.Results) != len(win) {
+				fail("batch returned %d results for %d queries", len(br.Results), len(win))
+			}
+			for j, r := range br.Results {
+				if r.Partial {
+					fail("batch entry %q partial:true", win[j])
+				}
+				if err := matches(r.Suggestions, want[win[j]]); err != nil {
+					fail("batch entry %q: %v", win[j], err)
+				}
+			}
+			batches++
+			continue
+		}
+		var sr suggestResponse
+		if err := getJSON(client, *coord+"/suggest?q="+strings.ReplaceAll(q, " ", "+"), &sr); err != nil {
+			fail("suggest %q: %v", q, err)
+		}
+		if sr.Partial {
+			fail("%q answered partial:true with a live replica per shard", q)
+		}
+		if err := matches(sr.Suggestions, want[q]); err != nil {
+			fail("%q: %v", q, err)
+		}
+		singles++
+	}
+	fmt.Printf("replicaload: OK (%d single requests, %d batches, 0 partial)\n", singles, batches)
+}
